@@ -1,0 +1,217 @@
+/// \file bench_ablations.cc
+/// \brief Ablation studies for the design choices DESIGN.md calls out
+/// (not in the paper, but validating its architecture):
+///
+///   A. Blocking vs all-pairs candidate generation (scalability of
+///      entity consolidation).
+///   B. Composite matcher vs single-signal matchers (schema matching
+///      quality on the FTABLES ground truth).
+///   C. Synonym dictionary on/off.
+///   D. Expert vote count vs mapping accuracy and cost.
+///   E. Index-backed vs scan point lookups in the document store.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "datagen/dedup_labels.h"
+#include "dedup/blocking.h"
+#include "expert/expert.h"
+#include "match/global_schema.h"
+#include "query/query.h"
+
+namespace {
+
+using namespace dt;
+using namespace dt::bench;
+
+void AblationBlocking() {
+  PrintSection("A. blocking vs all-pairs (entity consolidation)");
+  std::printf("  %-8s %14s %14s %10s %10s\n", "records", "all-pairs",
+              "blocked", "reduction", "time(ms)");
+  for (int64_t n : {200, 800, 3200}) {
+    datagen::DedupLabelOptions opts;
+    opts.num_pairs = n / 2;
+    auto pairs =
+        datagen::GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+    std::vector<dedup::DedupRecord> records;
+    for (const auto& p : pairs) {
+      records.push_back(p.a);
+      records.push_back(p.b);
+    }
+    auto all = dedup::AllPairs(records);
+    Timer t;
+    dedup::BlockingStats stats;
+    auto blocked =
+        dedup::GenerateCandidatePairs(records, dedup::BlockingOptions{},
+                                      &stats);
+    std::printf("  %-8zu %14s %14s %9.2f%% %10.1f\n", records.size(),
+                WithThousandsSep(static_cast<int64_t>(all.size())).c_str(),
+                WithThousandsSep(static_cast<int64_t>(blocked.size())).c_str(),
+                100.0 * stats.reduction_ratio, t.Millis());
+  }
+}
+
+double MatcherAccuracy(const match::MatcherWeights& weights,
+                       bool use_synonyms, int num_sources) {
+  datagen::FTablesGenOptions fopts;
+  fopts.num_sources = num_sources;
+  datagen::FusionTablesGenerator gen(fopts);
+  auto sources = gen.Generate();
+  match::SynonymDictionary syn = match::SynonymDictionary::Default();
+  match::GlobalSchemaOptions opts;
+  opts.weights = weights;
+  match::GlobalSchema schema(opts, use_synonyms ? &syn : nullptr);
+  int64_t correct = 0, mapped = 0;
+  for (const auto& src : sources) {
+    auto results = schema.MatchTable(src.table);
+    // Oracle review: accept the top suggestion (isolates ranking
+    // quality from threshold placement).
+    std::map<std::string, match::GlobalSchema::ReviewResolution> res;
+    for (const auto& r : results) {
+      if (r.decision == match::MatchDecision::kNeedsReview) {
+        res[r.source_attr] = {r.suggestions[0].global_index};
+      }
+    }
+    if (!schema.IntegrateTable(src.table, results, res).ok()) return 0.0;
+    for (const auto& [attr, concept_name] : src.attr_concept) {
+      int g = schema.MappingOf(src.table.name(), attr);
+      if (g < 0) continue;
+      ++mapped;
+      if (schema.attribute(g).name == concept_name) ++correct;
+    }
+  }
+  return mapped == 0 ? 0.0 : static_cast<double>(correct) / mapped;
+}
+
+void AblationMatcherSignals() {
+  PrintSection("B/C. matcher signal ablation (mapping accuracy, 20 sources)");
+  struct Config {
+    const char* name;
+    match::MatcherWeights weights;
+    bool synonyms;
+  };
+  std::vector<Config> configs = {
+      {"composite (name+value+sem)", {0.55, 0.30, 0.15}, true},
+      {"name only", {1.0, 0.0, 0.0}, true},
+      {"value only", {0.0, 0.85, 0.15}, true},
+      {"composite, no synonyms", {0.55, 0.30, 0.15}, false},
+      {"name only, no synonyms", {1.0, 0.0, 0.0}, false},
+  };
+  std::printf("  %-28s %10s\n", "configuration", "accuracy");
+  for (const auto& cfg : configs) {
+    Timer t;
+    double acc = MatcherAccuracy(cfg.weights, cfg.synonyms, 20);
+    std::printf("  %-28s %9.1f%%   (%.0f ms)\n", cfg.name, 100 * acc,
+                t.Millis());
+  }
+  std::printf("  (expected shape: composite+synonyms on top; removing "
+              "either evidence\n   channel or the dictionary costs "
+              "accuracy)\n");
+}
+
+void AblationExpertVotes() {
+  PrintSection("D. expert votes per task vs accuracy and cost");
+  std::printf("  %-8s %10s %10s\n", "votes", "accuracy", "cost/task");
+  for (int votes : {1, 3, 5, 7}) {
+    expert::ExpertPool pool;
+    pool.AddExpert({"e1", 0.80, 1.0});
+    pool.AddExpert({"e2", 0.75, 0.6});
+    pool.AddExpert({"e3", 0.70, 0.3});
+    Rng rng(99);
+    int correct = 0;
+    const int kTasks = 2000;
+    for (int i = 0; i < kTasks; ++i) {
+      expert::ReviewTask task;
+      task.options = {"a", "b", "c", "new attribute"};
+      task.machine_confidence = 0.5;
+      int truth = static_cast<int>(rng.Uniform(4));
+      auto r = pool.Resolve(task, truth, votes, &rng);
+      if (r.ok() && r->option == truth) ++correct;
+    }
+    std::printf("  %-8d %9.1f%% %10.2f\n", votes, 100.0 * correct / kTasks,
+                pool.total_cost() / pool.tasks_resolved());
+  }
+}
+
+void AblationIndexLookup() {
+  PrintSection("E. index-backed vs full-scan point lookup (dt.entity)");
+  BenchScale scale;
+  scale.num_fragments = 8000;
+  DemoPipeline with_idx = BuildDemoPipeline(scale, true, false);
+  // A second pipeline without CreateStandardIndexes is not directly
+  // constructible via the helper; emulate the scan by querying a path
+  // that has no index.
+  auto* coll = with_idx.tamer->entity_collection();
+  const storage::DocValue key = storage::DocValue::Str("Matilda");
+
+  Timer t1;
+  std::vector<storage::DocId> via_index;
+  for (int i = 0; i < 50; ++i) via_index = coll->FindEqual("name", key);
+  double idx_ms = t1.Millis() / 50;
+
+  // "canonical" is not indexed -> full scan fallback inside FindEqual.
+  Timer t2;
+  std::vector<storage::DocId> via_scan;
+  for (int i = 0; i < 50; ++i) via_scan = coll->FindEqual("surface", key);
+  double scan_ms = 0;
+  if (coll->HasIndex("surface")) {
+    // surface IS indexed by CreateStandardIndexes; use an unindexed
+    // nested path instead for the scan case.
+    Timer t3;
+    for (int i = 0; i < 50; ++i) {
+      via_scan = coll->FindEqual("nonexistent_path", key);
+    }
+    scan_ms = t3.Millis() / 50;
+  } else {
+    scan_ms = t2.Millis() / 50;
+  }
+  std::printf("  docs: %s\n", WithThousandsSep(coll->count()).c_str());
+  std::printf("  index lookup:  %8.3f ms (%zu hits)\n", idx_ms,
+              via_index.size());
+  std::printf("  full scan:     %8.3f ms\n", scan_ms);
+  std::printf("  speedup:       %8.1fx\n",
+              idx_ms > 0 ? scan_ms / idx_ms : 0.0);
+}
+
+void AblationMergePolicies() {
+  PrintSection("F. merge policies on conflicting composite fields");
+  std::vector<dedup::DedupRecord> recs;
+  auto mk = [&](int64_t id, const char* src, int trust, int64_t seq,
+                const char* price) {
+    dedup::DedupRecord r;
+    r.id = id;
+    r.entity_type = "Movie";
+    r.fields["name"] = "Matilda";
+    r.fields["price"] = price;
+    r.source_id = src;
+    r.trust_priority = trust;
+    r.ingest_seq = seq;
+    recs.push_back(r);
+  };
+  mk(1, "curated", 10, 1, "$27");
+  mk(2, "aggregator", 5, 2, "$29");
+  mk(3, "crawl", 1, 3, "$29");
+  mk(4, "stale-feed", 1, 4, "$35 (expired)");
+  std::vector<size_t> all = {0, 1, 2, 3};
+  for (auto policy :
+       {dedup::MergePolicy::kSourcePriority, dedup::MergePolicy::kMajority,
+        dedup::MergePolicy::kLongest, dedup::MergePolicy::kMostRecent}) {
+    auto e = dedup::MergeCluster(recs, all, 0, policy);
+    std::printf("  %-16s -> price = %s\n", dedup::MergePolicyName(policy),
+                e.fields.at("price").c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  PrintHeader("Ablations: design-choice validation");
+  AblationBlocking();
+  AblationMatcherSignals();
+  AblationExpertVotes();
+  AblationIndexLookup();
+  AblationMergePolicies();
+  return 0;
+}

@@ -1,0 +1,189 @@
+/// \file bench_fig1_pipeline.cc
+/// \brief Exercises the Fig. 1 architecture end to end and measures
+/// per-stage throughput with google-benchmark.
+///
+/// Fig. 1 is the system diagram, not a data plot; the reproducible
+/// claim is that the architecture sustains web scale. This bench times
+/// every box of the figure — domain parse, document store ingest,
+/// flattening, schema integration, entity consolidation, cleaning,
+/// fused query — at growing input sizes so the scaling behaviour
+/// (linear ingest, sublinear query via indexes) is visible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "clean/cleaning.h"
+#include "datagen/dedup_labels.h"
+#include "ingest/flatten.h"
+#include "match/global_schema.h"
+#include "textparse/domain_parser.h"
+
+namespace {
+
+using namespace dt;
+using namespace dt::bench;
+
+// Shared generator state (built once; benchmarks slice what they need).
+struct Corpus {
+  datagen::WebTextGenerator webgen;
+  textparse::Gazetteer gazetteer;
+  std::vector<datagen::GeneratedFragment> fragments;
+
+  explicit Corpus(int64_t n)
+      : webgen([n] {
+          datagen::WebTextGenOptions o;
+          o.num_fragments = n;
+          return o;
+        }()) {
+    gazetteer = webgen.BuildGazetteer();
+    fragments = webgen.Generate();
+  }
+};
+
+Corpus& GetCorpus() {
+  static Corpus corpus(32768);
+  return corpus;
+}
+
+void BM_DomainParse(benchmark::State& state) {
+  Corpus& c = GetCorpus();
+  textparse::DomainParser parser(&c.gazetteer);
+  int64_t n = state.range(0);
+  int64_t chars = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& frag = c.fragments[i % c.fragments.size()];
+      auto parsed = parser.Parse(frag.text, frag.feed, frag.timestamp);
+      benchmark::DoNotOptimize(parsed.mentions.size());
+      chars += static_cast<int64_t>(frag.text.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(chars);
+}
+BENCHMARK(BM_DomainParse)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TextIngestToStores(benchmark::State& state) {
+  Corpus& c = GetCorpus();
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    fusion::DataTamer tamer;
+    tamer.SetGazetteer(&c.gazetteer);
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& frag = c.fragments[i % c.fragments.size()];
+      benchmark::DoNotOptimize(
+          tamer.IngestTextFragment(frag.text, frag.feed, frag.timestamp));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TextIngestToStores)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FlattenParserOutput(benchmark::State& state) {
+  Corpus& c = GetCorpus();
+  textparse::DomainParser parser(&c.gazetteer);
+  std::vector<storage::DocValue> docs;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const auto& frag = c.fragments[i % c.fragments.size()];
+    docs.push_back(textparse::DomainParser::ToInstanceDoc(
+        parser.Parse(frag.text, frag.feed, frag.timestamp)));
+  }
+  for (auto _ : state) {
+    auto table = ingest::FlattenToTable("flat", docs);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlattenParserOutput)->Arg(256)->Arg(1024);
+
+void BM_SchemaIntegration(benchmark::State& state) {
+  datagen::FTablesGenOptions fopts;
+  fopts.num_sources = static_cast<int>(state.range(0));
+  datagen::FusionTablesGenerator gen(fopts);
+  auto sources = gen.Generate();
+  auto synonyms = match::SynonymDictionary::Default();
+  for (auto _ : state) {
+    match::GlobalSchema schema({}, &synonyms);
+    for (const auto& src : sources) {
+      benchmark::DoNotOptimize(schema.IntegrateTableAuto(src.table).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sources.size());
+}
+BENCHMARK(BM_SchemaIntegration)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_EntityConsolidation(benchmark::State& state) {
+  // Records drawn from the labeled-pair generator (realistic dirt).
+  datagen::DedupLabelOptions opts;
+  opts.num_pairs = state.range(0) / 2;
+  auto pairs =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kMovie, opts);
+  std::vector<dedup::DedupRecord> records;
+  for (const auto& p : pairs) {
+    records.push_back(p.a);
+    records.push_back(p.b);
+  }
+  dedup::ConsolidationOptions copts;
+  for (auto _ : state) {
+    dedup::ConsolidationStats stats;
+    auto result = dedup::Consolidate(records, copts, &stats);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * records.size());
+}
+BENCHMARK(BM_EntityConsolidation)->Arg(512)->Arg(2048);
+
+void BM_CleanStructuredSource(benchmark::State& state) {
+  datagen::FTablesGenOptions fopts;
+  fopts.num_sources = 1;
+  fopts.min_rows = 100;
+  fopts.max_rows = 100;
+  fopts.dirty_rate = 0.1;
+  datagen::FusionTablesGenerator gen(fopts);
+  auto sources = gen.Generate();
+  for (auto _ : state) {
+    auto cleaned = clean::CleanTable(sources[0].table);
+    benchmark::DoNotOptimize(cleaned.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * sources[0].table.num_rows());
+}
+BENCHMARK(BM_CleanStructuredSource);
+
+void BM_FusedPointQuery(benchmark::State& state) {
+  static DemoPipeline pipeline = [] {
+    BenchScale scale;
+    scale.num_fragments = 4096;
+    scale.num_sources = 10;
+    return BuildDemoPipeline(scale);
+  }();
+  for (auto _ : state) {
+    auto result = pipeline.tamer->QueryEntity("Movie", "Matilda", true);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_FusedPointQuery);
+
+void BM_TopKDiscussedQuery(benchmark::State& state) {
+  static DemoPipeline pipeline = [] {
+    BenchScale scale;
+    scale.num_fragments = 4096;
+    scale.num_sources = 0;
+    return BuildDemoPipeline(scale, true, false);
+  }();
+  for (auto _ : state) {
+    auto top = pipeline.tamer->TopDiscussed("Movie", 10, true);
+    benchmark::DoNotOptimize(top.size());
+  }
+}
+BENCHMARK(BM_TopKDiscussedQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dt::bench::PrintHeader(
+      "Figure 1: end-to-end architecture stage throughput");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

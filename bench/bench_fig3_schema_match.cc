@@ -1,0 +1,106 @@
+/// \file bench_fig3_schema_match.cc
+/// \brief Reproduces Figure 3: matching an incoming FTABLES source
+/// against the global schema.
+///
+/// Fig. 3 shows, per incoming attribute, the suggested global targets
+/// with heuristic matching scores, and the user-chosen acceptance
+/// threshold below which suggestions need expert assessment. This
+/// harness prints the same score table for a representative variant
+/// source and sweeps the threshold to show the accept/review/new
+/// routing trade-off (matcher precision/recall vs human workload).
+
+#include "bench_util.h"
+#include "match/global_schema.h"
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  using namespace dt::bench;
+
+  BenchScale scale = ParseScale(argc, argv);
+  PrintHeader("Figure 3: schema matching of an incoming source");
+
+  datagen::FTablesGenOptions fopts;
+  fopts.num_sources = scale.num_sources;
+  datagen::FusionTablesGenerator gen(fopts);
+  auto sources = gen.Generate();
+
+  auto synonyms = match::SynonymDictionary::Default();
+  match::GlobalSchema schema({}, &synonyms);
+  // Bootstrap with all sources but the last (the incoming one).
+  for (size_t s = 0; s + 1 < sources.size(); ++s) {
+    auto r = schema.IntegrateTableAuto(sources[s].table);
+    if (!r.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const auto& incoming = sources.back();
+
+  Timer t;
+  auto results = schema.MatchTable(incoming.table);
+  double match_seconds = t.Seconds();
+
+  PrintSection("incoming source: " + incoming.table.name());
+  std::printf("  %-18s -> %-18s %7s   %s\n", "source attribute",
+              "suggested target", "score", "signal breakdown");
+  for (const auto& res : results) {
+    if (res.suggestions.empty()) {
+      std::printf("  %-18s -> %-18s %7s   (no counterpart in global "
+                  "schema: add / ignore)\n",
+                  res.source_attr.c_str(), "<none>", "-");
+      continue;
+    }
+    for (size_t i = 0; i < res.suggestions.size() && i < 3; ++i) {
+      const auto& sug = res.suggestions[i];
+      std::printf("  %-18s -> %-18s %7.3f   %s\n",
+                  i == 0 ? res.source_attr.c_str() : "",
+                  schema.attribute(sug.global_index).name.c_str(), sug.score,
+                  sug.detail.Explain().c_str());
+    }
+  }
+
+  PrintSection("threshold sweep (accept >= T; review band below)");
+  std::printf("  %-6s %8s %8s %6s %10s %10s\n", "T", "accept", "review",
+              "new", "precision", "recall");
+  for (double threshold : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    int accepted = 0, review = 0, fresh = 0;
+    int correct_accepts = 0;
+    int truly_mappable = 0;
+    for (const auto& res : results) {
+      const std::string& concept_name =
+          incoming.attr_concept.at(res.source_attr);
+      bool truth_in_schema = schema.IndexOf(concept_name) >= 0;
+      if (truth_in_schema) ++truly_mappable;
+      if (res.suggestions.empty() || res.suggestions[0].score <
+                                         schema.options().review_threshold) {
+        ++fresh;
+        continue;
+      }
+      if (res.suggestions[0].score >= threshold) {
+        ++accepted;
+        if (schema.attribute(res.suggestions[0].global_index).name ==
+            concept_name) {
+          ++correct_accepts;
+        }
+      } else {
+        ++review;
+      }
+    }
+    std::printf("  %-6.2f %8d %8d %6d %9.1f%% %9.1f%%\n", threshold,
+                accepted, review, fresh,
+                accepted ? 100.0 * correct_accepts / accepted : 0.0,
+                truly_mappable ? 100.0 * correct_accepts / truly_mappable
+                               : 0.0);
+  }
+  std::printf("\n  (the paper: \"the user can pick the acceptance threshold"
+              " by looking at\n   the quality of matches\" — the sweep shows"
+              " precision rising and recall\n   falling as T grows)\n");
+
+  PrintSection("timing");
+  std::printf("  matching %d attributes against %d global attributes: "
+              "%.1f ms\n",
+              incoming.table.schema().num_attributes(),
+              schema.num_attributes(), match_seconds * 1000);
+  return 0;
+}

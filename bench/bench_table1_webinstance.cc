@@ -1,0 +1,73 @@
+/// \file bench_table1_webinstance.cc
+/// \brief Reproduces Table I: `db.instance.stats()` for the sharded
+/// WEBINSTANCE collection.
+///
+/// The paper ingested ~1 TB of Recorded Future web text: 17,731,744
+/// fragments over 242 distributed 2 GB extents with the single default
+/// _id index (733,651,904 bytes). This harness ingests the synthetic
+/// corpus at a scale factor and prints the same stats() fields; the
+/// shape to check is extents ~ data volume / extent cap and index size
+/// ~ 40 B/doc.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+
+namespace {
+
+constexpr int64_t kPaperCount = 17731744;
+constexpr int64_t kPaperNumExtents = 242;
+constexpr int64_t kPaperNindexes = 1;
+constexpr int64_t kPaperLastExtentSize = 1903786752;
+constexpr int64_t kPaperTotalIndexSize = 733651904;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  using namespace dt::bench;
+
+  BenchScale scale = ParseScale(argc, argv);
+  PrintHeader("Table I: db.instance.stats() — WEBINSTANCE");
+  std::printf("scale: %s fragments (paper: %s)\n",
+              WithThousandsSep(scale.num_fragments).c_str(),
+              WithThousandsSep(kPaperCount).c_str());
+
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  auto stats = p.tamer->instance_collection()->Stats();
+
+  PrintSection("measured > db.instance.stats()");
+  std::printf("%s\n", stats.ToString().c_str());
+
+  PrintSection("paper vs measured");
+  std::printf("  %-18s %20s %20s %12s\n", "field", "paper", "measured",
+              "ratio");
+  auto row = [](const char* field, int64_t paper, int64_t measured) {
+    std::printf("  %-18s %20s %20s %12.5f\n", field,
+                WithThousandsSep(paper).c_str(),
+                WithThousandsSep(measured).c_str(),
+                paper == 0 ? 0.0
+                           : static_cast<double>(measured) /
+                                 static_cast<double>(paper));
+  };
+  row("count", kPaperCount, stats.count);
+  row("numExtents", kPaperNumExtents, stats.num_extents);
+  row("nindexes", kPaperNindexes, stats.nindexes);
+  row("lastExtentSize", kPaperLastExtentSize, stats.last_extent_size);
+  row("totalIndexSize", kPaperTotalIndexSize, stats.total_index_size);
+
+  PrintSection("derived shape checks");
+  PrintKV("bytes/document (measured)",
+          stats.count ? stats.data_size / stats.count : 0);
+  PrintKV("index bytes/doc (measured)",
+          stats.count ? stats.total_index_size / stats.count : 0);
+  std::printf("  index bytes/doc (paper)      %" PRId64 "\n",
+              kPaperTotalIndexSize / kPaperCount);
+
+  PrintSection("timing");
+  std::printf("  text ingest+parse+store      %.2f s (%.0f fragments/s)\n",
+              p.text_ingest_seconds,
+              scale.num_fragments / p.text_ingest_seconds);
+  return 0;
+}

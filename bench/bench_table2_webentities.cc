@@ -1,0 +1,71 @@
+/// \file bench_table2_webentities.cc
+/// \brief Reproduces Table II: `db.entity.stats()` for the WEBENTITIES
+/// collection (parser output).
+///
+/// Paper: 173,451,529 entity documents, 56 extents, 8 indexes,
+/// totalIndexSize 59,123,168,800 (~42 B/entry/index). The shape to
+/// check: entities-per-instance ratio (~9.8 in the paper), nindexes=8,
+/// and index bytes per document per index in the tens of bytes.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+
+namespace {
+
+constexpr int64_t kPaperInstanceCount = 17731744;
+constexpr int64_t kPaperCount = 173451529;
+constexpr int64_t kPaperNumExtents = 56;
+constexpr int64_t kPaperNindexes = 8;
+constexpr int64_t kPaperLastExtentSize = 2042834432;
+constexpr int64_t kPaperTotalIndexSize = 59123168800;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dt;
+  using namespace dt::bench;
+
+  BenchScale scale = ParseScale(argc, argv);
+  PrintHeader("Table II: db.entity.stats() — WEBENTITIES");
+  std::printf("scale: %s fragments (paper: %s)\n",
+              WithThousandsSep(scale.num_fragments).c_str(),
+              WithThousandsSep(kPaperInstanceCount).c_str());
+
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  auto stats = p.tamer->entity_collection()->Stats();
+  auto istats = p.tamer->instance_collection()->Stats();
+
+  PrintSection("measured > db.entity.stats()");
+  std::printf("%s\n", stats.ToString().c_str());
+
+  PrintSection("paper vs measured");
+  std::printf("  %-18s %20s %20s\n", "field", "paper", "measured");
+  auto row = [](const char* field, int64_t paper, int64_t measured) {
+    std::printf("  %-18s %20s %20s\n", field, WithThousandsSep(paper).c_str(),
+                WithThousandsSep(measured).c_str());
+  };
+  row("count", kPaperCount, stats.count);
+  row("numExtents", kPaperNumExtents, stats.num_extents);
+  row("nindexes", kPaperNindexes, stats.nindexes);
+  row("lastExtentSize", kPaperLastExtentSize, stats.last_extent_size);
+  row("totalIndexSize", kPaperTotalIndexSize, stats.total_index_size);
+
+  PrintSection("derived shape checks");
+  std::printf("  entities per instance: paper %.2f, measured %.2f\n",
+              static_cast<double>(kPaperCount) / kPaperInstanceCount,
+              istats.count ? static_cast<double>(stats.count) / istats.count
+                           : 0.0);
+  std::printf("  index B/doc/index: paper %" PRId64 ", measured %" PRId64
+              "\n",
+              kPaperTotalIndexSize / kPaperCount / kPaperNindexes,
+              stats.count ? stats.total_index_size / stats.count /
+                                stats.nindexes
+                          : 0);
+
+  PrintSection("timing");
+  std::printf("  parse+extract+index          %.2f s (%.0f entities/s)\n",
+              p.text_ingest_seconds, stats.count / p.text_ingest_seconds);
+  return 0;
+}

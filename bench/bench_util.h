@@ -1,0 +1,143 @@
+/// \file bench_util.h
+/// \brief Shared scaffolding for the per-table/per-figure experiment
+/// harnesses.
+///
+/// Every bench regenerates one table or figure of the paper at a
+/// configurable scale factor (the paper ran at 1 TB / 17.7M fragments;
+/// the default here is ~1/1000 of that so the full suite runs in
+/// seconds), prints the paper's published numbers next to the measured
+/// ones, and reports wall-clock timings for the pipeline stages it
+/// exercises.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strutil.h"
+#include "datagen/ftables_gen.h"
+#include "datagen/webtext_gen.h"
+#include "fusion/data_tamer.h"
+
+namespace dt::bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+  double Millis() const { return Seconds() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n| %s |\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+inline void PrintKV(const std::string& key, const std::string& value) {
+  std::printf("  %-28s %s\n", key.c_str(), value.c_str());
+}
+
+inline void PrintKV(const std::string& key, int64_t value) {
+  PrintKV(key, WithThousandsSep(value));
+}
+
+/// Scale knobs shared across benches, overridable via argv:
+///   bench_binary [num_fragments] [num_sources]
+struct BenchScale {
+  int64_t num_fragments = 20000;
+  int num_sources = 20;
+};
+
+inline BenchScale ParseScale(int argc, char** argv) {
+  BenchScale s;
+  if (argc > 1) {
+    int64_t v;
+    if (ParseInt64(argv[1], &v) && v > 0) s.num_fragments = v;
+  }
+  if (argc > 2) {
+    int64_t v;
+    if (ParseInt64(argv[2], &v) && v > 0) s.num_sources = static_cast<int>(v);
+  }
+  return s;
+}
+
+/// \brief Builds a DataTamer with the demo corpus ingested: text
+/// fragments parsed into dt.instance/dt.entity (+ standard indexes),
+/// FTABLES sources cleaned/transformed/schema-integrated.
+///
+/// The generators live in the returned struct because the gazetteer
+/// must outlive the facade.
+struct DemoPipeline {
+  datagen::WebTextGenOptions text_opts;
+  std::unique_ptr<datagen::WebTextGenerator> webgen;
+  textparse::Gazetteer gazetteer;
+  std::unique_ptr<datagen::FusionTablesGenerator> ftgen;
+  std::unique_ptr<fusion::DataTamer> tamer;
+  double text_ingest_seconds = 0;
+  double structured_ingest_seconds = 0;
+};
+
+inline DemoPipeline BuildDemoPipeline(const BenchScale& scale,
+                                      bool ingest_text = true,
+                                      bool ingest_structured = true) {
+  DemoPipeline p;
+  p.text_opts.num_fragments = scale.num_fragments;
+  p.webgen = std::make_unique<datagen::WebTextGenerator>(p.text_opts);
+  p.gazetteer = p.webgen->BuildGazetteer();
+
+  fusion::DataTamerOptions opts;
+  // Extent sizing scaled so the collection spans tens-to-hundreds of
+  // extents at bench scale, like the production 2GB extents at 1 TB.
+  opts.collection_options.num_shards = 8;
+  opts.collection_options.initial_extent_size_bytes = 1 << 14;   // 16 KiB
+  opts.collection_options.max_extent_size_bytes = 1 << 20;       // 1 MiB
+  p.tamer = std::make_unique<fusion::DataTamer>(opts);
+  p.tamer->SetGazetteer(&p.gazetteer);
+
+  if (ingest_text) {
+    Timer t;
+    for (const auto& frag : p.webgen->Generate()) {
+      auto r = p.tamer->IngestTextFragment(frag.text, frag.feed,
+                                           frag.timestamp);
+      if (!r.ok()) {
+        std::fprintf(stderr, "text ingest failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    (void)p.tamer->CreateStandardIndexes();
+    p.text_ingest_seconds = t.Seconds();
+  }
+  if (ingest_structured) {
+    datagen::FTablesGenOptions fopts;
+    fopts.num_sources = scale.num_sources;
+    p.ftgen = std::make_unique<datagen::FusionTablesGenerator>(fopts);
+    Timer t;
+    for (auto& src : p.ftgen->Generate()) {
+      auto r = p.tamer->IngestStructuredTable(std::move(src.table));
+      if (!r.ok()) {
+        std::fprintf(stderr, "structured ingest failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    p.structured_ingest_seconds = t.Seconds();
+  }
+  return p;
+}
+
+}  // namespace dt::bench

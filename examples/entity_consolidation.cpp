@@ -1,0 +1,120 @@
+/// \file entity_consolidation.cpp
+/// \brief Entity consolidation on a dirty multi-source catalog:
+/// blocking, ML-scored matching, clustering and composite-record
+/// construction — the paper's "finding records from different data
+/// sources which describe the same entity and then consolidating these
+/// records into a composite entity record".
+///
+/// Three simulated feeds describe overlapping companies with typos,
+/// abbreviations and conflicting fields. A classifier trained on the
+/// generator's labeled pairs scores candidates; composites merge under
+/// the source-priority policy.
+
+#include <cstdio>
+
+#include "datagen/dedup_labels.h"
+#include "dedup/consolidation.h"
+#include "ml/classifier.h"
+#include "ml/evaluation.h"
+
+int main() {
+  using namespace dt;
+
+  // 1. Train the dedup classifier on labeled pairs (ground truth from
+  //    the corruption model — in production this is expert-sourced).
+  std::printf("Step 1: training the dedup classifier...\n");
+  datagen::DedupLabelOptions lopts;
+  lopts.num_pairs = 4000;
+  auto labeled =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kCompany, lopts);
+  ml::FeatureDictionary dict;
+  std::vector<ml::Example> examples;
+  for (const auto& p : labeled) {
+    ml::Example ex;
+    ex.features = dedup::PairSignalsToFeatures(
+        dedup::ComputePairSignals(p.a, p.b), &dict, true);
+    ex.label = p.label;
+    examples.push_back(std::move(ex));
+  }
+  auto cv = ml::CrossValidate(
+      [] { return std::make_unique<ml::LogisticRegression>(); }, examples,
+      10);
+  if (!cv.ok()) {
+    std::fprintf(stderr, "%s\n", cv.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("        10-fold CV: P=%.1f%% R=%.1f%%\n",
+              100 * cv->mean_precision(), 100 * cv->mean_recall());
+  ml::LogisticRegression classifier;
+  if (auto s = classifier.Train(examples); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. A dirty three-source catalog.
+  std::printf("\nStep 2: three feeds describe overlapping companies:\n");
+  auto rec = [](int64_t id, const char* name, const char* src, int trust,
+                std::initializer_list<std::pair<const char*, const char*>>
+                    fields) {
+    dedup::DedupRecord r;
+    r.id = id;
+    r.entity_type = "Company";
+    r.fields["name"] = name;
+    for (auto& [k, v] : fields) r.fields[k] = v;
+    r.source_id = src;
+    r.trust_priority = trust;
+    return r;
+  };
+  std::vector<dedup::DedupRecord> records = {
+      rec(1, "Recorded Future", "crm", 10,
+          {{"hq", "Cambridge"}, {"sector", "web intelligence"}}),
+      rec(2, "Recorded Future Inc", "web-crawl", 2,
+          {{"hq", "cambridge"}, {"employees", "400"}}),
+      rec(3, "recorded futur", "user-upload", 1, {{"hq", "Boston"}}),
+      rec(4, "Vertica Systems", "crm", 10, {{"sector", "databases"}}),
+      rec(5, "Vertica Systems LLC", "web-crawl", 2,
+          {{"employees", "150"}, {"sector", "databases"}}),
+      rec(6, "Stonebridge Media", "crm", 10, {{"sector", "media"}}),
+  };
+  for (const auto& r : records) {
+    std::printf("        [%s] %s\n", r.source_id.c_str(),
+                r.DisplayName().c_str());
+  }
+
+  // 3. Consolidate with the trained classifier.
+  dedup::ConsolidationOptions copts;
+  copts.classifier = &classifier;
+  copts.feature_dict = &dict;
+  copts.match_threshold = 0.5;
+  copts.blocking.qgram_size = 3;  // catch "recorded futur"
+  dedup::ConsolidationStats stats;
+  auto composites = dedup::Consolidate(records, copts, &stats);
+  if (!composites.ok()) {
+    std::fprintf(stderr, "%s\n", composites.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nStep 3: consolidation (%lld candidates scored, %lld "
+              "matched, %lld clusters):\n",
+              static_cast<long long>(stats.pairs_scored),
+              static_cast<long long>(stats.pairs_matched),
+              static_cast<long long>(stats.clusters));
+  for (const auto& e : *composites) {
+    std::printf("        composite #%lld: %s\n",
+                static_cast<long long>(e.cluster_id),
+                e.fields.count("name") ? e.fields.at("name").c_str() : "?");
+    for (const auto& [field, value] : e.fields) {
+      if (field != "name") {
+        std::printf("            %-10s = %s\n", field.c_str(),
+                    value.c_str());
+      }
+    }
+    std::printf("            sources: ");
+    for (const auto& s : e.contributing_sources) std::printf("%s ", s.c_str());
+    std::printf("(%zu records)\n", e.member_record_ids.size());
+  }
+  std::printf("\n        Note the composite keeps the curated CRM spelling "
+              "and HQ while\n        gaining the employee count only the "
+              "crawl knew.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "clean/cleaning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strutil.h"
+
+namespace dt::clean {
+
+using relational::Row;
+using relational::Value;
+using relational::ValueType;
+
+std::string CleaningReport::ToString() const {
+  return "examined=" + std::to_string(cells_examined) +
+         " nulls=" + std::to_string(nulls_canonicalized) +
+         " ws_fixed=" + std::to_string(whitespace_fixed) +
+         " retyped=" + std::to_string(numeric_repaired) +
+         " outliers=" + std::to_string(outliers_flagged) +
+         " dropped=" + std::to_string(outliers_dropped);
+}
+
+std::vector<double> RobustZScores(const std::vector<double>& values) {
+  std::vector<double> out(values.size(), 0.0);
+  if (values.empty()) return out;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double median = sorted[sorted.size() / 2];
+  std::vector<double> devs;
+  devs.reserve(values.size());
+  for (double v : values) devs.push_back(std::fabs(v - median));
+  std::sort(devs.begin(), devs.end());
+  double mad = devs[devs.size() / 2];
+  // 1.4826 scales MAD to the stddev of a normal distribution.
+  double scale = 1.4826 * mad;
+  if (scale < 1e-12) {
+    // Over half the values are identical; fall back to stddev.
+    double sum = 0, sq = 0;
+    for (double v : values) {
+      sum += v;
+      sq += v * v;
+    }
+    double mean = sum / values.size();
+    double var = sq / values.size() - mean * mean;
+    scale = var > 0 ? std::sqrt(var) : 0;
+    if (scale < 1e-12) return out;  // constant column: no outliers
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = (values[i] - mean) / scale;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - median) / scale;
+  }
+  return out;
+}
+
+Result<relational::Table> CleanTable(const relational::Table& table,
+                                     const CleaningOptions& opts,
+                                     CleaningReport* report) {
+  CleaningReport rep;
+  std::unordered_set<std::string> null_markers;
+  for (const auto& m : opts.null_markers) null_markers.insert(ToLower(m));
+
+  const auto& schema = table.schema();
+  const int ncols = schema.num_attributes();
+
+  // Pass 1+2: per-cell cleaning into a working copy.
+  std::vector<Row> rows;
+  rows.reserve(table.num_rows());
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    Row row = table.row(r);
+    for (int c = 0; c < ncols; ++c) {
+      Value& cell = row[c];
+      ++rep.cells_examined;
+      if (cell.is_null()) continue;
+      if (cell.is_string()) {
+        std::string s = cell.string_value();
+        if (opts.normalize_whitespace) {
+          std::string fixed = NormalizeWhitespace(s);
+          if (fixed != s) {
+            ++rep.whitespace_fixed;
+            s = fixed;
+          }
+        }
+        if (null_markers.count(ToLower(s)) > 0) {
+          cell = Value::Null();
+          ++rep.nulls_canonicalized;
+          continue;
+        }
+        if (s != cell.string_value()) cell = Value::Str(s);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Pass 2b: column re-typing — a string column whose every non-null
+  // cell parses numerically becomes numeric.
+  std::vector<ValueType> out_types;
+  for (int c = 0; c < ncols; ++c) out_types.push_back(schema.attribute(c).type);
+  if (opts.repair_numeric_strings) {
+    for (int c = 0; c < ncols; ++c) {
+      if (schema.attribute(c).type != ValueType::kString) continue;
+      bool all_numeric = true, all_int = true, any = false;
+      for (const auto& row : rows) {
+        const Value& cell = row[c];
+        if (cell.is_null()) continue;
+        any = true;
+        int64_t i;
+        double d;
+        if (ParseInt64(cell.string_value(), &i)) continue;
+        all_int = false;
+        if (!ParseDouble(cell.string_value(), &d)) {
+          all_numeric = false;
+          break;
+        }
+      }
+      if (any && all_numeric) {
+        out_types[c] = all_int ? ValueType::kInt : ValueType::kDouble;
+        for (auto& row : rows) {
+          Value& cell = row[c];
+          if (cell.is_null()) continue;
+          if (all_int) {
+            int64_t i = 0;
+            (void)ParseInt64(cell.string_value(), &i);
+            cell = Value::Int(i);
+          } else {
+            double d = 0;
+            (void)ParseDouble(cell.string_value(), &d);
+            cell = Value::Double(d);
+          }
+          ++rep.numeric_repaired;
+        }
+      }
+    }
+  }
+
+  // Pass 3: outlier flagging on numeric columns.
+  if (opts.outlier_zscore > 0) {
+    for (int c = 0; c < ncols; ++c) {
+      if (out_types[c] != ValueType::kInt &&
+          out_types[c] != ValueType::kDouble) {
+        continue;
+      }
+      std::vector<double> vals;
+      std::vector<size_t> positions;
+      for (size_t r = 0; r < rows.size(); ++r) {
+        const Value& cell = rows[r][c];
+        if (cell.is_number()) {
+          vals.push_back(cell.as_double());
+          positions.push_back(r);
+        }
+      }
+      if (vals.size() < 8) continue;  // too few points to call outliers
+      auto z = RobustZScores(vals);
+      for (size_t k = 0; k < z.size(); ++k) {
+        if (std::fabs(z[k]) > opts.outlier_zscore) {
+          ++rep.outliers_flagged;
+          if (opts.drop_outliers) {
+            rows[positions[k]][c] = Value::Null();
+            ++rep.outliers_dropped;
+          }
+        }
+      }
+    }
+  }
+
+  relational::Schema out_schema;
+  for (int c = 0; c < ncols; ++c) {
+    DT_RETURN_NOT_OK(
+        out_schema.AddAttribute({schema.attribute(c).name, out_types[c]}));
+  }
+  relational::Table out(table.name(), out_schema);
+  out.set_source_id(table.source_id());
+  for (auto& row : rows) {
+    DT_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+}  // namespace dt::clean

@@ -1,0 +1,61 @@
+/// \file cleaning.h
+/// \brief Data-cleaning module (Fig. 1: "data cleaning (to correct
+/// erroneous data)").
+///
+/// Cleans a table in three passes: (1) null canonicalization — the
+/// dozen spellings of "unknown" become real nulls; (2) format repair —
+/// whitespace/case normalization and re-typing of numeric strings
+/// stranded in string columns; (3) outlier flagging on numeric columns
+/// via robust z-scores (median/MAD), since text-derived data is far
+/// dirtier than curated structured sources (§II).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace dt::clean {
+
+/// Cleaning knobs.
+struct CleaningOptions {
+  /// Strings (case-insensitive, trimmed) treated as null markers.
+  std::vector<std::string> null_markers = {"", "n/a", "na", "null", "none",
+                                           "-", "--", "unknown", "?"};
+  bool normalize_whitespace = true;
+  /// Re-type numeric strings in string columns when the whole column
+  /// (post-cleaning) is numeric.
+  bool repair_numeric_strings = true;
+  /// Robust z-score threshold for outlier flagging; <= 0 disables.
+  double outlier_zscore = 4.0;
+  /// When true outliers are nulled out; when false only counted.
+  bool drop_outliers = false;
+};
+
+/// What the cleaner did (the audit trail a curator reviews).
+struct CleaningReport {
+  int64_t cells_examined = 0;
+  int64_t nulls_canonicalized = 0;
+  int64_t whitespace_fixed = 0;
+  int64_t numeric_repaired = 0;
+  int64_t outliers_flagged = 0;
+  int64_t outliers_dropped = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Cleans `table`, returning a new table (and the report via
+/// `*report` when provided).
+Result<relational::Table> CleanTable(const relational::Table& table,
+                                     const CleaningOptions& opts = {},
+                                     CleaningReport* report = nullptr);
+
+/// \brief Robust z-scores of a numeric vector via median/MAD (values
+/// aligned with input; nulls yield 0). Exposed for tests and the
+/// outlier ablation.
+std::vector<double> RobustZScores(const std::vector<double>& values);
+
+}  // namespace dt::clean

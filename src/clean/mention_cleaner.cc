@@ -1,0 +1,86 @@
+#include "clean/mention_cleaner.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace dt::clean {
+
+MentionCleaner::MentionCleaner(MentionCleanerOptions opts) : opts_(opts) {}
+
+ml::FeatureVector MentionCleaner::Featurize(std::string_view surface,
+                                            std::string_view context,
+                                            bool add) const {
+  ml::FeatureVector out;
+  auto bump = [&](const std::string& name, double v = 1.0) {
+    int id = dict_.IdOf(name, add);
+    if (id >= 0) out[id] += v;
+  };
+  // Surface shape features.
+  auto tokens = WordTokens(surface);
+  bump("s:ntok=" + std::to_string(std::min<size_t>(tokens.size(), 6)));
+  int caps = 0, digits = 0;
+  for (char c : surface) {
+    if (std::isupper(static_cast<unsigned char>(c))) ++caps;
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  bump("s:caps=" + std::to_string(std::min(caps, 8)));
+  if (digits > 0) bump("s:has_digits");
+  for (const auto& t : tokens) bump("st:" + t);
+  // Character trigrams of the surface (suffix morphology: -ville,
+  // -berg, Inc, common-word shapes).
+  for (const auto& g : QGrams(surface, 3)) bump("sq:" + g, 0.5);
+  // Context words (bag; the words around real entities differ from the
+  // words around headline fragments).
+  for (const auto& t : WordTokens(context)) bump("c:" + t, 0.5);
+  return out;
+}
+
+Status MentionCleaner::Train(const std::vector<LabeledMention>& mentions) {
+  std::vector<ml::Example> examples;
+  examples.reserve(mentions.size());
+  for (const auto& m : mentions) {
+    ml::Example ex;
+    ex.features = Featurize(m.surface, m.context, /*add=*/true);
+    ex.label = m.label;
+    examples.push_back(std::move(ex));
+  }
+  DT_RETURN_NOT_OK(model_.Train(examples));
+  trained_ = true;
+  return Status::OK();
+}
+
+double MentionCleaner::ScoreMention(std::string_view surface,
+                                    std::string_view context) const {
+  if (!trained_) return 1.0;  // keep everything before training
+  return model_.PredictProb(Featurize(surface, context, /*add=*/false));
+}
+
+int MentionCleaner::FilterFragment(
+    textparse::ParsedFragment* fragment) const {
+  if (!trained_) return 0;
+  const std::string& text = fragment->text;
+  auto& mentions = fragment->mentions;
+  int dropped = 0;
+  auto keep = [&](const textparse::EntityMention& m) {
+    if (m.confidence >= opts_.trusted_confidence) return true;
+    size_t lo = m.offset > static_cast<size_t>(opts_.context_window)
+                    ? m.offset - opts_.context_window
+                    : 0;
+    size_t hi = std::min(text.size(),
+                         m.offset + m.surface.size() +
+                             static_cast<size_t>(opts_.context_window));
+    std::string_view context =
+        std::string_view(text).substr(lo, hi - lo);
+    return ScoreMention(m.surface, context) >= opts_.keep_threshold;
+  };
+  auto it = std::remove_if(
+      mentions.begin(), mentions.end(),
+      [&](const textparse::EntityMention& m) { return !keep(m); });
+  dropped = static_cast<int>(mentions.end() - it);
+  mentions.erase(it, mentions.end());
+  return dropped;
+}
+
+}  // namespace dt::clean

@@ -1,0 +1,73 @@
+/// \file mention_cleaner.h
+/// \brief ML-based cleaning of extracted entity mentions — the second
+/// half of the paper's §IV claim: the web-text classifier is "used …
+/// for deduplication and *data cleaning*".
+///
+/// The domain parser's heuristics (capitalized runs, quoted titles)
+/// extract junk alongside real entities: sentence-initial word pairs,
+/// headline fragments, boilerplate. The cleaner classifies each
+/// mention from its surface form and the text window around it and
+/// drops the garbage before it pollutes WEBENTITIES.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/features.h"
+#include "textparse/domain_parser.h"
+
+namespace dt::clean {
+
+/// \brief A labeled mention for training the cleaner.
+struct LabeledMention {
+  std::string surface;   ///< the mention text
+  std::string context;   ///< surrounding fragment text
+  int label = 0;         ///< 1 = real entity, 0 = garbage extraction
+};
+
+/// Cleaner configuration.
+struct MentionCleanerOptions {
+  /// Mentions scoring below this probability of being real are dropped.
+  double keep_threshold = 0.5;
+  /// Gazetteer-confirmed mentions (confidence >= this) bypass the
+  /// classifier; the cleaner only judges heuristic extractions.
+  double trusted_confidence = 0.99;
+  /// Bytes of context taken on each side of the mention.
+  int context_window = 48;
+};
+
+/// \brief Binary classifier over mention surface + context features.
+class MentionCleaner {
+ public:
+  explicit MentionCleaner(MentionCleanerOptions opts = {});
+
+  /// Trains on labeled mentions. Fails when a class is missing.
+  Status Train(const std::vector<LabeledMention>& mentions);
+
+  /// P(real entity) for one mention given its context.
+  double ScoreMention(std::string_view surface,
+                      std::string_view context) const;
+
+  /// \brief Filters a parsed fragment in place: heuristic mentions
+  /// scoring below the keep threshold are removed. Returns the number
+  /// of mentions dropped. No-op (0) before Train.
+  int FilterFragment(textparse::ParsedFragment* fragment) const;
+
+  bool trained() const { return trained_; }
+  const MentionCleanerOptions& options() const { return opts_; }
+
+ private:
+  ml::FeatureVector Featurize(std::string_view surface,
+                              std::string_view context, bool add) const;
+
+  MentionCleanerOptions opts_;
+  mutable ml::FeatureDictionary dict_;
+  ml::NaiveBayesClassifier model_;
+  bool trained_ = false;
+};
+
+}  // namespace dt::clean

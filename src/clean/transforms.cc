@@ -1,0 +1,269 @@
+#include "clean/transforms.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace dt::clean {
+
+using relational::Value;
+
+std::optional<Money> ParseMoney(std::string_view raw) {
+  std::string s = Trim(raw);
+  if (s.empty()) return std::nullopt;
+  std::string currency;
+  if (s[0] == '$') {
+    currency = "USD";
+    s = Trim(s.substr(1));
+  } else if (StartsWith(s, "\xe2\x82\xac")) {  // €
+    currency = "EUR";
+    s = Trim(s.substr(3));
+  } else if (StartsWith(s, "\xc2\xa3")) {  // £
+    currency = "GBP";
+    s = Trim(s.substr(2));
+  } else {
+    std::string lower = ToLower(s);
+    auto strip_suffix = [&](std::string_view suf, const char* code) {
+      if (EndsWith(lower, suf)) {
+        currency = code;
+        s = Trim(s.substr(0, s.size() - suf.size()));
+        return true;
+      }
+      return false;
+    };
+    bool matched = strip_suffix("usd", "USD") || strip_suffix("eur", "EUR") ||
+                   strip_suffix("gbp", "GBP") ||
+                   strip_suffix("dollars", "USD") ||
+                   strip_suffix("euros", "EUR") || strip_suffix("euro", "EUR");
+    if (!matched) return std::nullopt;
+  }
+  // Strip thousands separators.
+  std::string digits;
+  for (char c : s) {
+    if (c != ',') digits.push_back(c);
+  }
+  double amount;
+  if (!ParseDouble(digits, &amount)) return std::nullopt;
+  return Money{amount, currency};
+}
+
+std::string FormatUsd(double amount) {
+  double rounded = std::round(amount * 100.0) / 100.0;
+  if (rounded == std::floor(rounded)) {
+    return "$" + std::to_string(static_cast<int64_t>(rounded));
+  }
+  return "$" + FormatDouble(rounded, 2);
+}
+
+namespace {
+int MonthFromName(std::string_view name) {
+  static const char* kMonths[] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                  "jul", "aug", "sep", "oct", "nov", "dec"};
+  std::string lower = ToLower(name);
+  for (int m = 0; m < 12; ++m) {
+    if (StartsWith(lower, kMonths[m])) return m + 1;
+  }
+  return 0;
+}
+
+bool ValidDate(int y, int m, int d) {
+  if (y < 1000 || y > 3000 || m < 1 || m > 12 || d < 1) return false;
+  static const int kDays[] = {31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return d <= kDays[m - 1];
+}
+}  // namespace
+
+std::optional<CivilDate> ParseDate(std::string_view raw) {
+  std::string s = Trim(raw);
+  if (s.empty()) return std::nullopt;
+  // yyyy-mm-dd
+  {
+    auto parts = Split(s, '-');
+    if (parts.size() == 3 && parts[0].size() == 4) {
+      int64_t y, m, d;
+      if (ParseInt64(parts[0], &y) && ParseInt64(parts[1], &m) &&
+          ParseInt64(parts[2], &d) && ValidDate(static_cast<int>(y),
+                                                static_cast<int>(m),
+                                                static_cast<int>(d))) {
+        return CivilDate{static_cast<int>(y), static_cast<int>(m),
+                         static_cast<int>(d)};
+      }
+    }
+  }
+  // m/d/yyyy
+  {
+    auto parts = Split(s, '/');
+    if (parts.size() == 3) {
+      int64_t m, d, y;
+      if (ParseInt64(parts[0], &m) && ParseInt64(parts[1], &d) &&
+          ParseInt64(parts[2], &y) && ValidDate(static_cast<int>(y),
+                                                static_cast<int>(m),
+                                                static_cast<int>(d))) {
+        return CivilDate{static_cast<int>(y), static_cast<int>(m),
+                         static_cast<int>(d)};
+      }
+    }
+  }
+  // "Mar 4, 2013" / "March 4 2013"
+  {
+    auto tokens = WordTokens(s);
+    if (tokens.size() == 3) {
+      int m = MonthFromName(tokens[0]);
+      int64_t d, y;
+      if (m > 0 && ParseInt64(tokens[1], &d) && ParseInt64(tokens[2], &y) &&
+          ValidDate(static_cast<int>(y), m, static_cast<int>(d))) {
+        return CivilDate{static_cast<int>(y), m, static_cast<int>(d)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string FormatIsoDate(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+Status TransformRegistry::Register(const std::string& name, TransformFn fn) {
+  if (transforms_.count(name) > 0) {
+    return Status::AlreadyExists("transform " + name + " already registered");
+  }
+  transforms_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+Result<TransformFn> TransformRegistry::Get(const std::string& name) const {
+  auto it = transforms_.find(name);
+  if (it == transforms_.end()) {
+    return Status::NotFound("transform " + name + " not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TransformRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(transforms_.size());
+  for (const auto& [name, _] : transforms_) out.push_back(name);
+  return out;
+}
+
+TransformRegistry TransformRegistry::Builtins(double eur_usd_rate) {
+  TransformRegistry reg;
+  (void)reg.Register("eur_to_usd", [eur_usd_rate](const Value& v) -> Result<Value> {
+    if (v.is_number()) {
+      return Value::Str(FormatUsd(v.as_double() * eur_usd_rate));
+    }
+    if (v.is_string()) {
+      auto money = ParseMoney(v.string_value());
+      if (!money.has_value()) {
+        return Status::InvalidArgument("not a monetary value: " +
+                                       v.string_value());
+      }
+      double usd = money->currency == "EUR"
+                       ? money->amount * eur_usd_rate
+                       : money->amount;  // already USD (or treated as such)
+      return Value::Str(FormatUsd(usd));
+    }
+    return Status::InvalidArgument("eur_to_usd expects number or string");
+  });
+  (void)reg.Register("normalize_date", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) {
+      return Status::InvalidArgument("normalize_date expects a string");
+    }
+    auto d = ParseDate(v.string_value());
+    if (!d.has_value()) {
+      return Status::InvalidArgument("unparseable date: " + v.string_value());
+    }
+    return Value::Str(FormatIsoDate(*d));
+  });
+  (void)reg.Register("us_date", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) {
+      return Status::InvalidArgument("us_date expects a string");
+    }
+    auto d = ParseDate(v.string_value());
+    if (!d.has_value()) {
+      return Status::InvalidArgument("unparseable date: " + v.string_value());
+    }
+    return Value::Str(std::to_string(d->month) + "/" + std::to_string(d->day) +
+                      "/" + std::to_string(d->year));
+  });
+  (void)reg.Register("normalize_phone", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) {
+      return Status::InvalidArgument("normalize_phone expects a string");
+    }
+    std::string digits;
+    for (char c : v.string_value()) {
+      if (std::isdigit(static_cast<unsigned char>(c))) digits.push_back(c);
+    }
+    if (digits.size() == 11 && digits[0] == '1') digits = digits.substr(1);
+    if (digits.size() != 10) {
+      return Status::InvalidArgument("not a 10-digit phone: " +
+                                     v.string_value());
+    }
+    return Value::Str("(" + digits.substr(0, 3) + ") " + digits.substr(3, 3) +
+                      "-" + digits.substr(6));
+  });
+  (void)reg.Register("trim", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) return v;
+    return Value::Str(NormalizeWhitespace(v.string_value()));
+  });
+  (void)reg.Register("lower", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) return v;
+    return Value::Str(ToLower(v.string_value()));
+  });
+  (void)reg.Register("upper", [](const Value& v) -> Result<Value> {
+    if (!v.is_string()) return v;
+    return Value::Str(ToUpper(v.string_value()));
+  });
+  (void)reg.Register("parse_number", [](const Value& v) -> Result<Value> {
+    if (v.is_number()) return v;
+    if (v.is_string()) {
+      double d;
+      if (ParseDouble(v.string_value(), &d)) return Value::Double(d);
+    }
+    return Status::InvalidArgument("not numeric");
+  });
+  return reg;
+}
+
+Result<relational::Table> ApplyTransform(const relational::Table& table,
+                                         const std::string& attr,
+                                         const TransformFn& fn,
+                                         int64_t* skipped) {
+  auto idx = table.schema().IndexOf(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + attr + " not in table " +
+                            table.name());
+  }
+  // Transformed columns may change type; rebuild the schema attribute
+  // as string when the original was not (string is the universal
+  // carrier for normalized renderings).
+  relational::Schema schema;
+  for (const auto& a : table.schema().attributes()) {
+    relational::Attribute na = a;
+    if (a.name == attr) na.type = relational::ValueType::kString;
+    DT_RETURN_NOT_OK(schema.AddAttribute(na));
+  }
+  relational::Table out(table.name(), schema);
+  out.set_source_id(table.source_id());
+  int64_t skip_count = 0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    relational::Row row = table.row(r);
+    Value& cell = row[*idx];
+    if (!cell.is_null()) {
+      auto transformed = fn(cell);
+      if (transformed.ok()) {
+        cell = std::move(transformed).ValueOrDie();
+      } else {
+        ++skip_count;
+      }
+    }
+    DT_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return out;
+}
+
+}  // namespace dt::clean

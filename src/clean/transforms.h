@@ -1,0 +1,92 @@
+/// \file transforms.h
+/// \brief The data-transformation engine of Fig. 1 ("for example to
+/// translate euros into dollars").
+///
+/// Transforms are named, typed value->value functions kept in a
+/// registry; pipelines apply them to whole columns. Built-ins cover the
+/// paper's demo domain: currency conversion, date/time/phone
+/// normalization, case and whitespace repair.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace dt::clean {
+
+/// \brief A parsed monetary amount.
+struct Money {
+  double amount = 0;
+  std::string currency;  ///< ISO code: "USD", "EUR", "GBP"
+};
+
+/// Parses "$27", "€35.50", "27 USD", "35.50 euros"; nullopt otherwise.
+std::optional<Money> ParseMoney(std::string_view s);
+
+/// Renders as "$27" / "$35.50" (USD convention of Table VI).
+std::string FormatUsd(double amount);
+
+/// \brief A calendar date.
+struct CivilDate {
+  int year = 0, month = 0, day = 0;
+  bool operator==(const CivilDate& o) const {
+    return year == o.year && month == o.month && day == o.day;
+  }
+};
+
+/// Parses "3/4/2013" (m/d/yyyy), "2013-03-04", "Mar 4, 2013",
+/// "March 4 2013"; validates month/day ranges; nullopt otherwise.
+std::optional<CivilDate> ParseDate(std::string_view s);
+
+/// Renders ISO "2013-03-04".
+std::string FormatIsoDate(const CivilDate& d);
+
+/// A transformation takes a value and produces a value (or an error
+/// explaining why the input is untransformable).
+using TransformFn = std::function<Result<relational::Value>(
+    const relational::Value&)>;
+
+/// \brief Named registry of transformations.
+class TransformRegistry {
+ public:
+  /// Registers `fn` under `name`; AlreadyExists on clash.
+  Status Register(const std::string& name, TransformFn fn);
+
+  /// Looks up a transform; NotFound when unregistered.
+  Result<TransformFn> Get(const std::string& name) const;
+
+  /// Sorted names of all registered transforms.
+  std::vector<std::string> Names() const;
+
+  /// \brief Registry preloaded with the built-ins:
+  ///   "eur_to_usd"    — Money or number treated as EUR -> "$..." string
+  ///   "normalize_date"— any supported date format -> ISO string
+  ///   "us_date"       — any supported date format -> "m/d/yyyy"
+  ///   "normalize_phone"— digits-only phone -> "(ddd) ddd-dddd"
+  ///   "trim"          — whitespace normalization
+  ///   "lower", "upper"— case folding
+  ///   "parse_number"  — numeric string -> Double value
+  /// \param eur_usd_rate EUR->USD conversion rate.
+  static TransformRegistry Builtins(double eur_usd_rate = 1.30);
+
+ private:
+  std::map<std::string, TransformFn> transforms_;
+};
+
+/// Applies a transform to every non-null value of `attr`, returning a
+/// new table (the source is immutable provenance, per the curation
+/// model). Values the transform rejects pass through unchanged and are
+/// counted in `*skipped` when provided.
+Result<relational::Table> ApplyTransform(const relational::Table& table,
+                                         const std::string& attr,
+                                         const TransformFn& fn,
+                                         int64_t* skipped = nullptr);
+
+}  // namespace dt::clean

@@ -1,0 +1,37 @@
+/// \file hash.h
+/// \brief Hashing helpers shared across modules (blocking keys, shard
+/// routing, document ids).
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dt {
+
+/// FNV-1a 64-bit hash of a byte string.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Finalizing mix (MurmurHash3 fmix64) — decorrelates integer keys.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dt

@@ -1,0 +1,68 @@
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr.
+///
+/// The library itself logs sparingly (benchmark harnesses print their
+/// own tables to stdout); logging exists mainly for pipeline progress
+/// at kInfo and diagnostics at kDebug.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DT_LOG(level)                                                         \
+  ::dt::internal::LogMessage(::dt::LogLevel::k##level, __FILE__, __LINE__)    \
+      .stream()
+
+}  // namespace dt

@@ -1,0 +1,196 @@
+/// \file status.h
+/// \brief Error model for the Data Tamer library.
+///
+/// Following the Arrow/RocksDB idiom, library code returns a `Status`
+/// (or a `Result<T>` when a value is produced) instead of throwing
+/// exceptions across module boundaries.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dt {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kCapacityExceeded = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// `Status::OK()` is represented with a null state pointer so the success
+/// path costs one pointer compare and no allocation.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code
+  /// must not carry a message; use `Status::OK()`.
+  Status(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Success.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message attached at construction; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`: construct from a value for success, from a
+/// failed `Status` for errors.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a failed status: error. Aborts if the status is OK,
+  /// since an OK Result must carry a value.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// The held value; must only be called when `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  /// The held value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define DT_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::dt::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, propagating a
+/// non-OK status out of the current function.
+#define DT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define DT_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define DT_ASSIGN_OR_RETURN_CONCAT(x, y) DT_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define DT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DT_ASSIGN_OR_RETURN_IMPL(             \
+      DT_ASSIGN_OR_RETURN_CONCAT(_dt_result_, __LINE__), lhs, rexpr)
+
+}  // namespace dt

@@ -1,0 +1,358 @@
+#include "common/strutil.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dt {
+
+namespace {
+
+inline bool IsSpaceByte(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+inline char LowerByte(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+inline bool IsAlnumByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsDigitByte(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsUpperByte(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return LowerByte(c); });
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  return out;
+}
+
+std::string_view TrimView(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && IsSpaceByte(s[b])) ++b;
+  while (e > b && IsSpaceByte(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpaceByte(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpaceByte(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) { return IsDigitByte(c); });
+}
+
+std::string NormalizeWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // drop leading whitespace
+  for (char c : s) {
+    if (IsSpaceByte(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> NameTokens(std::string_view name) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    if (!IsAlnumByte(c)) {
+      flush();
+      continue;
+    }
+    if (IsUpperByte(c) && !cur.empty() && !IsUpperByte(name[i - 1])) {
+      // camelCase hump: "showName" -> show | Name
+      flush();
+    } else if (IsUpperByte(c) && !cur.empty() && i + 1 < name.size() &&
+               IsUpperByte(name[i - 1]) && std::islower(static_cast<unsigned char>(name[i + 1]))) {
+      // acronym boundary: "URLName" -> URL | Name
+      flush();
+    } else if (IsDigitByte(c) != (!cur.empty() && IsDigitByte(cur.back()))) {
+      // letter<->digit boundary
+      if (!cur.empty()) flush();
+    }
+    cur.push_back(LowerByte(c));
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (IsAlnumByte(c)) {
+      cur.push_back(LowerByte(c));
+    } else if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, int q) {
+  std::vector<std::string> out;
+  if (q <= 0) return out;
+  std::string padded(q - 1, '#');
+  padded += ToLower(s);
+  padded.append(q - 1, '#');
+  if (static_cast<int>(padded.size()) < q) return out;
+  out.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, q));
+  }
+  return out;
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  std::vector<int> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= m; ++j) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= n; ++i) {
+      int tmp = row[i];
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, prev_diag + cost});
+      prev_diag = tmp;
+    }
+  }
+  return row[n];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t mx = std::max(a.size(), b.size());
+  if (mx == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(mx);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t la = a.size(), lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+  const int window =
+      std::max(0, static_cast<int>(std::max(la, lb)) / 2 - 1);
+  std::vector<bool> a_match(la, false), b_match(lb, false);
+  int matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = (static_cast<int>(i) - window > 0) ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_match[j] && a[i] == b[j]) {
+        a_match[i] = b_match[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // transpositions
+  int t = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[k]) ++k;
+    if (a[i] != b[k]) ++t;
+    ++k;
+  }
+  double m = matches;
+  return (m / la + m / lb + (m - t / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] == b[i])
+      ++prefix;
+    else
+      break;
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t denom = sa.size() + sb.size();
+  return denom == 0 ? 1.0 : 2.0 * inter / static_cast<double>(denom);
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  return JaccardSimilarity(QGrams(a, q), QGrams(b, q));
+}
+
+double TokenCosine(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<std::string, int> fa, fb;
+  for (const auto& t : a) ++fa[t];
+  for (const auto& t : b) ++fb[t];
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [t, c] : fa) {
+    na += static_cast<double>(c) * c;
+    auto it = fb.find(t);
+    if (it != fb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [t, c] : fb) nb += static_cast<double>(c) * c;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+int LongestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<int> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  s = TrimView(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = TrimView(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string WithThousandsSep(int64_t v) {
+  bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dt

@@ -1,0 +1,111 @@
+/// \file strutil.h
+/// \brief String manipulation and similarity primitives.
+///
+/// These are the shared building blocks for attribute-name matching,
+/// value-based matching, blocking keys and text tokenization. All
+/// functions are pure and allocation-conscious; similarity functions
+/// return values in [0, 1] where 1 means identical.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dt {
+
+/// Lower-cases ASCII characters; leaves other bytes untouched.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters; leaves other bytes untouched.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits on a single-character delimiter. Empty fields are preserved:
+/// "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any ASCII whitespace run; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Collapses whitespace runs to single spaces and trims; "a \t b" -> "a b".
+std::string NormalizeWhitespace(std::string_view s);
+
+/// \brief Splits an attribute or entity name into lower-case word tokens.
+///
+/// Understands snake_case, kebab-case, dotted.paths, spaces and
+/// CamelCase humps: "ShowName", "show_name" and "show-name" all yield
+/// {"show", "name"}. Digit runs form their own tokens.
+std::vector<std::string> NameTokens(std::string_view name);
+
+/// \brief Lower-cased word tokens of free text (letters+digits runs);
+/// punctuation is a separator. "It's 9pm!" -> {"it", "s", "9pm"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// \brief Character q-grams of the lower-cased input, padded with `q-1`
+/// leading/trailing '#' marks so boundaries are represented.
+/// QGrams("ab", 2) -> {"#a", "ab", "b#"}.
+std::vector<std::string> QGrams(std::string_view s, int q);
+
+/// \brief Levenshtein edit distance (unit costs).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief Edit distance normalized to [0,1]: 1 - dist / max(len). Both
+/// strings empty -> 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity with standard prefix scaling (p=0.1,
+/// max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaccard similarity |A∩B| / |A∪B| of two token multisets'
+/// underlying sets. Both empty -> 1.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// \brief Dice coefficient 2|A∩B| / (|A|+|B|) over sets. Both empty -> 1.
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// \brief Jaccard over character q-grams of both strings.
+double QGramJaccard(std::string_view a, std::string_view b, int q);
+
+/// \brief Cosine similarity of term-frequency vectors of two token lists.
+double TokenCosine(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// \brief Longest common substring length.
+int LongestCommonSubstring(std::string_view a, std::string_view b);
+
+/// Parses a string as int64; returns false on any non-numeric content.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a string as double; returns false on any non-numeric content.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with up to `precision` significant decimal digits,
+/// trimming trailing zeros ("2.5", "27", "0.125").
+std::string FormatDouble(double v, int precision = 6);
+
+/// Formats an integer with thousands separators: 17731744 -> "17,731,744".
+std::string WithThousandsSep(int64_t v);
+
+}  // namespace dt

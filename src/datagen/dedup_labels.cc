@@ -1,0 +1,171 @@
+#include "datagen/dedup_labels.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "datagen/vocab.h"
+
+namespace dt::datagen {
+
+using dedup::DedupRecord;
+using textparse::EntityType;
+
+namespace {
+
+std::vector<std::string> NamePoolFor(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson: {
+      std::vector<std::string> out;
+      const auto& fn = FirstNames();
+      const auto& ln = LastNames();
+      for (size_t i = 0; i < 400; ++i) {
+        out.push_back(fn[i % fn.size()] + " " +
+                      ln[(i * 11 + i / fn.size()) % ln.size()]);
+      }
+      return out;
+    }
+    case EntityType::kCompany:
+      return Companies();
+    case EntityType::kMovie: {
+      std::vector<std::string> out = PaperTop10Titles();
+      for (const auto& t : ExtraTitles()) out.push_back(t);
+      return out;
+    }
+    case EntityType::kCity:
+      return Cities();
+    case EntityType::kFacility:
+      return Facilities();
+    case EntityType::kOrganization:
+      return Organizations();
+    case EntityType::kProduct:
+      return Products();
+    default: {
+      // Fall back to a mixed pool for types without a large vocabulary.
+      std::vector<std::string> out = Companies();
+      for (const auto& x : Organizations()) out.push_back(x);
+      for (const auto& x : Facilities()) out.push_back(x);
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CorruptName(const std::string& name, Rng* rng) {
+  std::string s = name;
+  if (s.empty()) return s;
+  switch (rng->Uniform(6)) {
+    case 0: {  // swap two adjacent characters
+      if (s.size() >= 2) {
+        size_t i = rng->Uniform(s.size() - 1);
+        std::swap(s[i], s[i + 1]);
+      }
+      break;
+    }
+    case 1: {  // drop a character
+      size_t i = rng->Uniform(s.size());
+      s.erase(i, 1);
+      break;
+    }
+    case 2: {  // duplicate a character
+      size_t i = rng->Uniform(s.size());
+      s.insert(i, 1, s[i]);
+      break;
+    }
+    case 3: {  // case damage
+      s = rng->Bernoulli(0.5) ? ToLower(s) : ToUpper(s);
+      break;
+    }
+    case 4: {  // decoration
+      static const char* kDecor[] = {"The ", " Inc", " LLC", " (NY)", " Co"};
+      const char* d = kDecor[rng->Uniform(5)];
+      if (d[0] == ' ') {
+        s += d;
+      } else {
+        s = std::string(d) + s;
+      }
+      break;
+    }
+    default: {  // token drop or initialization
+      auto tokens = SplitWhitespace(s);
+      if (tokens.size() >= 2) {
+        if (rng->Bernoulli(0.5)) {
+          // Abbreviate the first token ("Michael Smith" -> "M. Smith").
+          tokens[0] = tokens[0].substr(0, 1) + ".";
+        } else {
+          tokens.erase(tokens.begin() +
+                       static_cast<long>(rng->Uniform(tokens.size())));
+        }
+        s = Join(tokens, " ");
+      } else {
+        size_t i = rng->Uniform(s.size());
+        s.erase(i, 1);
+      }
+      break;
+    }
+  }
+  return s.empty() ? name : s;
+}
+
+std::vector<LabeledPair> GenerateLabeledPairs(EntityType type,
+                                              const DedupLabelOptions& opts) {
+  Rng rng(opts.seed ^ (static_cast<uint64_t>(type) * 0x9e3779b9ULL));
+  std::vector<std::string> pool = NamePoolFor(type);
+  const char* type_name = textparse::EntityTypeName(type);
+
+  // Token index for hard negatives.
+  std::unordered_map<std::string, std::vector<size_t>> by_token;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (const auto& tok : WordTokens(pool[i])) {
+      by_token[tok].push_back(i);
+    }
+  }
+
+  auto make_record = [&](int64_t id, const std::string& name) {
+    DedupRecord r;
+    r.id = id;
+    r.entity_type = type_name;
+    r.fields["name"] = name;
+    r.source_id = "webtext";
+    return r;
+  };
+
+  std::vector<LabeledPair> out;
+  out.reserve(static_cast<size_t>(opts.num_pairs));
+  int64_t next_id = 1;
+  while (static_cast<int64_t>(out.size()) < opts.num_pairs) {
+    LabeledPair pair;
+    if (rng.Bernoulli(opts.positive_rate)) {
+      // Positive: name vs corrupted variant.
+      const std::string& name = rng.Pick(pool);
+      std::string variant = name;
+      int n = 1 + static_cast<int>(rng.Uniform(
+                      static_cast<uint64_t>(opts.max_corruptions)));
+      for (int c = 0; c < n; ++c) variant = CorruptName(variant, &rng);
+      pair.a = make_record(next_id++, name);
+      pair.b = make_record(next_id++, variant);
+      pair.label = 1;
+    } else {
+      // Negative: two distinct entities, often sharing a token.
+      size_t i = rng.Uniform(pool.size());
+      size_t j = i;
+      if (rng.Bernoulli(opts.hard_negative_rate)) {
+        // Try to find a distinct entity sharing a token with pool[i].
+        auto tokens = WordTokens(pool[i]);
+        for (int attempt = 0; attempt < 8 && j == i; ++attempt) {
+          const auto& candidates = by_token[rng.Pick(tokens)];
+          size_t cand = candidates[rng.Uniform(candidates.size())];
+          if (cand != i) j = cand;
+        }
+      }
+      while (j == i) j = rng.Uniform(pool.size());
+      pair.a = make_record(next_id++, pool[i]);
+      pair.b = make_record(next_id++, pool[j]);
+      pair.label = 0;
+    }
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+}  // namespace dt::datagen

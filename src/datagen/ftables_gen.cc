@@ -1,0 +1,288 @@
+#include "datagen/ftables_gen.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "datagen/vocab.h"
+
+namespace dt::datagen {
+
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+const char* const kConceptShowName = "SHOW_NAME";
+const char* const kConceptTheater = "THEATER";
+const char* const kConceptPerformance = "PERFORMANCE";
+const char* const kConceptCheapestPrice = "CHEAPEST_PRICE";
+const char* const kConceptFullPrice = "FULL_PRICE";
+const char* const kConceptDiscount = "DISCOUNT";
+const char* const kConceptFirst = "FIRST";
+const char* const kConceptLast = "LAST";
+const char* const kConceptPhone = "PHONE";
+const char* const kConceptUrl = "URL";
+const char* const kConceptCity = "CITY";
+const char* const kConceptSeats = "SEATS";
+const char* const kConceptRuntime = "RUNTIME";
+
+std::vector<std::string> FusionTablesGenerator::Concepts() {
+  return {kConceptShowName, kConceptTheater,  kConceptPerformance,
+          kConceptCheapestPrice, kConceptFullPrice, kConceptDiscount,
+          kConceptFirst,    kConceptLast,     kConceptPhone,
+          kConceptUrl,      kConceptCity,     kConceptSeats,
+          kConceptRuntime};
+}
+
+const std::vector<std::string>& FusionTablesGenerator::VariantsOf(
+    const std::string& concept_name) {
+  static const std::map<std::string, std::vector<std::string>> kVariants = {
+      {kConceptShowName,
+       {"show_name", "show", "title", "production", "showTitle", "name"}},
+      {kConceptTheater,
+       {"theater", "theatre", "venue", "playhouse", "theater_name"}},
+      {kConceptPerformance,
+       {"performance", "schedule", "showtimes", "performance_times",
+        "curtain_times"}},
+      {kConceptCheapestPrice,
+       {"cheapest_price", "lowest_price", "min_price", "best_price",
+        "price_from"}},
+      {kConceptFullPrice,
+       {"full_price", "regular_price", "ticket_price", "price", "cost"}},
+      {kConceptDiscount,
+       {"discount", "discount_pct", "savings", "promo_pct"}},
+      {kConceptFirst,
+       {"first", "first_performance", "opening", "opening_date",
+        "previews_begin"}},
+      {kConceptLast, {"last", "closing", "closing_date", "final_performance"}},
+      {kConceptPhone, {"phone", "tel", "box_office_phone", "contact"}},
+      {kConceptUrl, {"url", "website", "tickets_url", "link"}},
+      {kConceptCity, {"city", "town", "market"}},
+      {kConceptSeats, {"seats", "capacity", "house_size"}},
+      {kConceptRuntime, {"runtime", "running_time", "length_min", "duration"}},
+  };
+  static const std::vector<std::string> kEmpty;
+  auto it = kVariants.find(concept_name);
+  return it == kVariants.end() ? kEmpty : it->second;
+}
+
+FusionTablesGenerator::FusionTablesGenerator(FTablesGenOptions opts)
+    : opts_(opts) {
+  BuildShows();
+}
+
+void FusionTablesGenerator::BuildShows() {
+  Rng rng(opts_.seed ^ 0x5710c0ffeeULL);
+  std::vector<std::string> titles = PaperTop10Titles();
+  for (const auto& t : ExtraTitles()) titles.push_back(t);
+  const auto& theaters = TheaterEntries();
+  static const char* kSchedules[] = {
+      "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at 2pm "
+      "Sun at 3pm",
+      "Tue-Sat at 8pm Sat-Sun at 2pm",
+      "Mon Wed-Sat at 7:30pm Sat at 2pm Sun at 3pm",
+      "Wed-Sun at 8pm Sun at 2pm",
+      "Tue Thu at 7pm Fri-Sat at 8pm Sun at 3pm",
+  };
+  for (size_t i = 0; i < titles.size(); ++i) {
+    ShowRecord show;
+    show.title = titles[i];
+    auto parts = Split(theaters[i % theaters.size()], '|');
+    show.theater = parts[0] + " " + parts[1];
+    show.performance = kSchedules[i % 5];
+    show.cheapest_price = static_cast<double>(rng.UniformInt(22, 59));
+    show.full_price =
+        show.cheapest_price + static_cast<double>(rng.UniformInt(40, 140));
+    show.discount_pct = static_cast<int>(rng.UniformInt(10, 55));
+    show.first_date = std::to_string(rng.UniformInt(1, 12)) + "/" +
+                      std::to_string(rng.UniformInt(1, 28)) + "/2013";
+    show.last_date = std::to_string(rng.UniformInt(1, 12)) + "/" +
+                     std::to_string(rng.UniformInt(1, 28)) + "/2014";
+    show.phone = "(212) " + std::to_string(rng.UniformInt(200, 999)) + "-" +
+                 std::to_string(rng.UniformInt(1000, 9999));
+    show.url = rng.Pick(UrlPool());
+    show.city = "New York";
+    show.seats = static_cast<int>(rng.UniformInt(500, 1950));
+    show.runtime_min = static_cast<int>(rng.UniformInt(90, 185));
+    shows_.push_back(std::move(show));
+  }
+  // Matilda carries the exact Table VI values.
+  for (auto& show : shows_) {
+    if (show.title == "Matilda") {
+      show.theater = "Shubert 225 W. 44th St between 7th and 8th";
+      show.performance =
+          "Tues at 7pm Wed at 8pm Thurs at 7pm Fri-Sat at 8pm Wed, Sat at "
+          "2pm Sun at 3pm";
+      show.cheapest_price = 27.0;
+      show.first_date = "3/4/2013";
+    }
+  }
+}
+
+std::string FusionTablesGenerator::RenderValue(const std::string& concept_name,
+                                               const ShowRecord& show,
+                                               int style, Rng* rng) const {
+  if (concept_name == kConceptShowName) return show.title;
+  if (concept_name == kConceptTheater) return show.theater;
+  if (concept_name == kConceptPerformance) return show.performance;
+  if (concept_name == kConceptCheapestPrice || concept_name == kConceptFullPrice) {
+    double usd = concept_name == kConceptCheapestPrice ? show.cheapest_price
+                                                  : show.full_price;
+    switch (style % 4) {
+      case 0:
+        return "$" + FormatDouble(usd, 2);
+      case 1:
+        return FormatDouble(usd, 2);
+      case 2:
+        return FormatDouble(usd, 2) + " USD";
+      default:
+        // Euro-quoting source (exercises the eur_to_usd transform);
+        // 1 USD ~ 0.77 EUR in the demo's era.
+        return "\xe2\x82\xac" + FormatDouble(usd * 0.77, 2);
+    }
+  }
+  if (concept_name == kConceptDiscount) {
+    return std::to_string(show.discount_pct) + "%";
+  }
+  if (concept_name == kConceptFirst || concept_name == kConceptLast) {
+    const std::string& mdy =
+        concept_name == kConceptFirst ? show.first_date : show.last_date;
+    if (style % 3 == 0) return mdy;
+    auto parts = Split(mdy, '/');
+    int m = std::stoi(parts[0]), d = std::stoi(parts[1]);
+    int y = std::stoi(parts[2]);
+    if (style % 3 == 1) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+      return buf;
+    }
+    static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+    return std::string(kMonths[m - 1]) + " " + std::to_string(d) + ", " +
+           std::to_string(y);
+  }
+  if (concept_name == kConceptPhone) {
+    if (style % 2 == 0) return show.phone;
+    std::string digits;
+    for (char c : show.phone) {
+      if (c >= '0' && c <= '9') digits.push_back(c);
+    }
+    return digits;
+  }
+  if (concept_name == kConceptUrl) return show.url;
+  if (concept_name == kConceptCity) return show.city;
+  if (concept_name == kConceptSeats) return std::to_string(show.seats);
+  if (concept_name == kConceptRuntime) {
+    return style % 2 == 0 ? std::to_string(show.runtime_min)
+                          : std::to_string(show.runtime_min) + " min";
+  }
+  (void)rng;
+  return "";
+}
+
+std::vector<GeneratedSource> FusionTablesGenerator::Generate() {
+  Rng rng(opts_.seed);
+  std::vector<GeneratedSource> out;
+  std::vector<std::string> concepts = Concepts();
+
+  for (int s = 0; s < opts_.num_sources; ++s) {
+    // Attribute selection: SHOW_NAME always; a random subset of the
+    // rest. Source 0 is the canonical reference source: every concept_name,
+    // canonical order (it seeds the bottom-up global schema).
+    std::vector<std::string> chosen = {kConceptShowName};
+    std::vector<std::string> rest(concepts.begin() + 1, concepts.end());
+    if (s == 0) {
+      for (const auto& c : rest) chosen.push_back(c);
+    } else {
+      rng.Shuffle(&rest);
+      int max_attrs =
+          std::min<int>(opts_.max_attrs, static_cast<int>(concepts.size()));
+      int nattrs = static_cast<int>(rng.UniformInt(
+          opts_.min_attrs, std::max(opts_.min_attrs, max_attrs)));
+      for (int a = 0; a < nattrs - 1 && a < static_cast<int>(rest.size());
+           ++a) {
+        chosen.push_back(rest[a]);
+      }
+    }
+
+    // Attribute naming: source 0 is canonical; others sample variants.
+    std::map<std::string, std::string> attr_of_concept;
+    GeneratedSource gen;
+    Schema schema;
+    for (const auto& concept_name : chosen) {
+      std::string attr_name;
+      if (s == 0) {
+        attr_name = concept_name;
+      } else {
+        const auto& variants = VariantsOf(concept_name);
+        attr_name = variants.empty() ? ToLower(concept_name)
+                                     : variants[rng.Uniform(variants.size())];
+      }
+      attr_of_concept[concept_name] = attr_name;
+      gen.attr_concept[attr_name] = concept_name;
+      (void)schema.AddAttribute({attr_name, ValueType::kString});
+    }
+
+    // Row coverage: contiguous-ish random subset of the show list.
+    int max_rows = std::min<int>(opts_.max_rows,
+                                 static_cast<int>(shows_.size()));
+    int nrows = static_cast<int>(rng.UniformInt(
+        opts_.min_rows, std::max(opts_.min_rows, max_rows)));
+    std::vector<size_t> show_idx(shows_.size());
+    for (size_t i = 0; i < show_idx.size(); ++i) show_idx[i] = i;
+    rng.Shuffle(&show_idx);
+    show_idx.resize(static_cast<size_t>(nrows));
+    // Source 0 always covers Matilda (index 4 in the title list) so the
+    // demo's fused query has its structured half.
+    if (s == 0) {
+      bool has_matilda = false;
+      for (size_t idx : show_idx) {
+        if (shows_[idx].title == "Matilda") has_matilda = true;
+      }
+      if (!has_matilda) {
+        for (size_t i = 0; i < shows_.size(); ++i) {
+          if (shows_[i].title == "Matilda") {
+            show_idx[0] = i;
+            break;
+          }
+        }
+      }
+    }
+    std::sort(show_idx.begin(), show_idx.end());
+
+    int value_style = s;  // per-source formatting convention
+    Table table("ftables_" + (s < 10 ? "0" + std::to_string(s)
+                                     : std::to_string(s)),
+                schema);
+    table.set_source_id("ftables/" + std::to_string(s));
+    for (size_t idx : show_idx) {
+      Row row;
+      row.reserve(chosen.size());
+      for (const auto& concept_name : chosen) {
+        std::string v = RenderValue(concept_name, shows_[idx], value_style, &rng);
+        // Dirt: null markers and whitespace damage.
+        if (rng.Bernoulli(opts_.dirty_rate)) {
+          switch (rng.Uniform(3)) {
+            case 0:
+              v = "N/A";
+              break;
+            case 1:
+              v = "  " + v + " ";
+              break;
+            default:
+              v = "";
+              break;
+          }
+        }
+        row.push_back(v.empty() ? Value::Null() : Value::Str(v));
+      }
+      (void)table.Append(std::move(row));
+    }
+    gen.table = std::move(table);
+    out.push_back(std::move(gen));
+  }
+  return out;
+}
+
+}  // namespace dt::datagen

@@ -1,0 +1,106 @@
+/// \file ftables_gen.h
+/// \brief FTABLES generator — the 20 Google-Fusion-Tables Broadway
+/// sources of the paper (schedules, theater locations, discounts;
+/// 5-20 attributes and 10-100 rows each).
+///
+/// Sources share an underlying master show list but disagree on
+/// attribute naming (synonym variants), value formats (currencies,
+/// date styles) and coverage — exactly the heterogeneity the schema
+/// matcher must overcome in Figs. 2/3. Ground truth maps every source
+/// attribute to its canonical concept_name so the benches can score the
+/// matcher. Matilda's master record carries the exact values of
+/// Table VI.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relational/table.h"
+
+namespace dt::datagen {
+
+/// Canonical concept_name names (uppercase, the paper's demo convention).
+/// Source 0 uses these verbatim; later sources use synonym variants.
+extern const char* const kConceptShowName;       // "SHOW_NAME"
+extern const char* const kConceptTheater;        // "THEATER"
+extern const char* const kConceptPerformance;    // "PERFORMANCE"
+extern const char* const kConceptCheapestPrice;  // "CHEAPEST_PRICE"
+extern const char* const kConceptFullPrice;      // "FULL_PRICE"
+extern const char* const kConceptDiscount;       // "DISCOUNT"
+extern const char* const kConceptFirst;          // "FIRST"
+extern const char* const kConceptLast;           // "LAST"
+extern const char* const kConceptPhone;          // "PHONE"
+extern const char* const kConceptUrl;            // "URL"
+extern const char* const kConceptCity;           // "CITY"
+extern const char* const kConceptSeats;          // "SEATS"
+extern const char* const kConceptRuntime;        // "RUNTIME"
+
+/// \brief Master data for one Broadway show.
+struct ShowRecord {
+  std::string title;
+  std::string theater;      ///< "Shubert 225 W. 44th St between 7th and 8th"
+  std::string performance;  ///< "Tues at 7pm Wed at 8pm ..."
+  double cheapest_price = 0;  ///< USD
+  double full_price = 0;      ///< USD
+  int discount_pct = 0;
+  std::string first_date;  ///< m/d/yyyy
+  std::string last_date;
+  std::string phone;
+  std::string url;
+  std::string city;
+  int seats = 0;
+  int runtime_min = 0;
+};
+
+/// Generator knobs (defaults mirror the paper's description).
+struct FTablesGenOptions {
+  int num_sources = 20;
+  uint64_t seed = 42;
+  int min_rows = 10;
+  int max_rows = 100;
+  int min_attrs = 5;
+  int max_attrs = 20;  // capped by available concepts
+  /// Fraction of cells damaged (null markers, stray whitespace).
+  double dirty_rate = 0.04;
+};
+
+/// \brief One generated structured source with its ground truth.
+struct GeneratedSource {
+  relational::Table table{"", relational::Schema()};
+  /// source attribute name -> canonical concept_name name
+  std::map<std::string, std::string> attr_concept;
+};
+
+/// \brief Deterministic FTABLES generator.
+class FusionTablesGenerator {
+ public:
+  explicit FusionTablesGenerator(FTablesGenOptions opts = {});
+
+  /// The master show list (Matilda first, with Table VI's exact values).
+  const std::vector<ShowRecord>& shows() const { return shows_; }
+
+  /// All canonical concept_name names, SHOW_NAME first.
+  static std::vector<std::string> Concepts();
+
+  /// Synonym variants of a concept_name used by non-canonical sources.
+  static const std::vector<std::string>& VariantsOf(
+      const std::string& concept_name);
+
+  /// Generates the sources. Deterministic in the seed; table names are
+  /// "ftables_00".."ftables_NN" and source ids "ftables/NN".
+  std::vector<GeneratedSource> Generate();
+
+ private:
+  void BuildShows();
+  std::string RenderValue(const std::string& concept_name, const ShowRecord& show,
+                          int style, Rng* rng) const;
+
+  FTablesGenOptions opts_;
+  std::vector<ShowRecord> shows_;
+};
+
+}  // namespace dt::datagen

@@ -1,0 +1,144 @@
+#include "datagen/mention_labels.h"
+
+#include <cctype>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "datagen/vocab.h"
+
+namespace dt::datagen {
+
+namespace {
+
+const std::vector<std::string>& GarbagePhrases() {
+  // What capitalized-run heuristics actually pick up from web text.
+  static const std::vector<std::string> kGarbage = {
+      "Breaking News",      "Read More",          "Click Here",
+      "Sign Up",            "Full Story",         "Editors Note",
+      "Last Updated",       "Photo Credit",       "Related Articles",
+      "Terms Of Service",   "Privacy Policy",     "All Rights Reserved",
+      "Next Page",          "Top Stories",        "Live Blog",
+      "Subscribe Now",      "Share This",         "Sponsored Content",
+      "Monday Morning",     "Tuesday Evening",    "Late Thursday",
+      "Early Friday",       "This Week",          "Next Season",
+      "Opening Night Buzz", "Box Office Report",  "Critics Corner",
+      "Weekend Roundup",    "The Next Day",       "First Look",
+      "Exclusive Interview", "Press Release",     "Media Advisory",
+      "Hot Takes",          "Must See",           "Dont Miss",
+  };
+  return kGarbage;
+}
+
+const std::vector<std::string>& PositiveContexts() {
+  static const std::vector<std::string> kContexts = {
+      "tickets for {} sold out within the hour",
+      "the producers of {} announced an extension",
+      "critics praised {} after the premiere",
+      "audiences lined up to see {} downtown",
+      "a revival of {} is planned for the fall",
+      "{} posted record grosses this week",
+      "the board appointed {} to lead the search",
+      "analysts at {} raised their estimates",
+      "shares of {} rallied after earnings",
+      "{} spoke with reporters backstage",
+  };
+  return kContexts;
+}
+
+const std::vector<std::string>& GarbageContexts() {
+  static const std::vector<std::string> kContexts = {
+      "{} : our latest coverage of the theater season",
+      "{} - subscribe for unlimited access",
+      "{} | the best of this week's reviews",
+      "tap {} to continue reading the article",
+      "{} follow us for updates and alerts",
+      "advertisement {} scroll to continue",
+      "{} copyright the syndicate press office",
+      "see {} for showtimes near you",
+  };
+  return kContexts;
+}
+
+const std::vector<std::string>& NeutralContexts() {
+  // Contexts either class can appear in — forces the classifier to use
+  // surface-form evidence, not context alone.
+  static const std::vector<std::string> kContexts = {
+      "{} appeared near the top of the page",
+      "readers clicked through to {} yesterday",
+      "the section on {} ran this week",
+      "{} was mentioned twice in the roundup",
+      "editors placed {} above the fold",
+      "the item about {} drew comments",
+  };
+  return kContexts;
+}
+
+std::string Embed(const std::string& tmpl, const std::string& surface) {
+  std::string out;
+  size_t pos = tmpl.find("{}");
+  if (pos == std::string::npos) return tmpl + " " + surface;
+  out = tmpl.substr(0, pos) + surface + tmpl.substr(pos + 2);
+  return out;
+}
+
+}  // namespace
+
+std::vector<clean::LabeledMention> GenerateMentionLabels(
+    const MentionLabelOptions& opts) {
+  Rng rng(opts.seed ^ 0xC1EA4ULL);
+  // Positive surface pool: every entity class the vocabulary offers.
+  std::vector<std::string> positives = PaperTop10Titles();
+  for (const auto& x : ExtraTitles()) positives.push_back(x);
+  for (const auto& x : Companies()) positives.push_back(x);
+  for (const auto& x : Facilities()) positives.push_back(x);
+  for (const auto& x : Organizations()) positives.push_back(x);
+  const auto& fn = FirstNames();
+  const auto& ln = LastNames();
+  for (size_t i = 0; i < 200; ++i) {
+    positives.push_back(fn[i % fn.size()] + " " +
+                        ln[(i * 13) % ln.size()]);
+  }
+
+  std::vector<clean::LabeledMention> out;
+  out.reserve(static_cast<size_t>(opts.num_mentions));
+  while (static_cast<int64_t>(out.size()) < opts.num_mentions) {
+    clean::LabeledMention m;
+    // Half the contexts are class-neutral so surface evidence matters;
+    // the rest lean toward (but do not determine) the true class.
+    bool neutral = rng.Bernoulli(0.5);
+    if (rng.Bernoulli(opts.positive_rate)) {
+      m.surface = rng.Pick(positives);
+      const auto& pool = neutral ? NeutralContexts()
+                                 : (rng.Bernoulli(0.85) ? PositiveContexts()
+                                                        : GarbageContexts());
+      m.context = Embed(rng.Pick(pool), m.surface);
+      m.label = 1;
+    } else {
+      if (rng.Bernoulli(0.4)) {
+        // Overextended/partial extraction: an entity token glued to a
+        // generic headline word — the hard negatives a capitalized-run
+        // heuristic really produces ("Chicago Weekend", "Matilda
+        // Tonight").
+        static const char* kGlue[] = {"Weekend", "Tonight", "Update",
+                                      "Insider", "Review",  "Preview",
+                                      "Recap",   "Watch"};
+        auto tokens = WordTokens(rng.Pick(positives));
+        std::string head = tokens.empty() ? "Show" : tokens[0];
+        head[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(head[0])));
+        m.surface = head + " " + kGlue[rng.Uniform(8)];
+      } else {
+        m.surface = rng.Pick(GarbagePhrases());
+      }
+      const auto& pool = neutral ? NeutralContexts()
+                                 : (rng.Bernoulli(0.85) ? GarbageContexts()
+                                                        : PositiveContexts());
+      m.context = Embed(rng.Pick(pool), m.surface);
+      m.label = 0;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace dt::datagen

@@ -1,0 +1,31 @@
+/// \file mention_labels.h
+/// \brief Labeled mention generator for the data-cleaning classifier.
+///
+/// Positives are real entity mentions (drawn from the generator
+/// vocabulary) embedded in realistic sentence contexts. Negatives are
+/// the false positives a capitalized-run heuristic actually produces:
+/// sentence-initial word pairs ("Breaking News"), headline fragments,
+/// boilerplate phrases, day/month pairs — each embedded in contexts
+/// where they occur.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clean/mention_cleaner.h"
+
+namespace dt::datagen {
+
+/// Generator knobs.
+struct MentionLabelOptions {
+  int64_t num_mentions = 4000;
+  uint64_t seed = 42;
+  double positive_rate = 0.5;
+};
+
+/// Generates labeled (surface, context, label) triples.
+std::vector<clean::LabeledMention> GenerateMentionLabels(
+    const MentionLabelOptions& opts);
+
+}  // namespace dt::datagen

@@ -1,0 +1,308 @@
+#include "datagen/vocab.h"
+
+namespace dt::datagen {
+
+const std::vector<std::string>& PaperTop10Titles() {
+  static const std::vector<std::string> kTitles = {
+      "The Walking Dead", "Written",        "Mean Streets",
+      "Goodfellas",       "Matilda",        "The Wolverine",
+      "Trees Lounge",     "Raging Bull",    "Berkeley in the Sixties",
+      "Never Should Have",
+  };
+  return kTitles;
+}
+
+const std::vector<std::string>& ExtraTitles() {
+  static const std::vector<std::string> kTitles = {
+      "Wicked", "Chicago", "The Lion King", "Phantom of the Opera",
+      "Les Miserables", "The Book of Mormon", "Kinky Boots", "Pippin",
+      "Annie", "Cinderella", "Newsies", "Once", "Jersey Boys",
+      "Rock of Ages", "Mamma Mia", "Spider Turn Off the Dark",
+      "Lucky Guy", "The Nance", "Motown", "Vanya and Sonia",
+      "The Assembled Parties", "Orphans", "The Big Knife", "Macbeth",
+      "The Testament of Mary", "Jekyll and Hyde", "Breakfast at Tiffanys",
+      "Cat on a Hot Tin Roof", "The Heiress", "Glengarry Glen Ross",
+      "Dead Accounts", "The Anarchist", "Golden Boy", "Picnic",
+      "The Other Place", "Ann", "Grace", "An Enemy of the People",
+      "The Performers", "Scandalous", "Elf", "Bring It On",
+      "A Christmas Story", "War Horse", "Peter and the Starcatcher",
+      "End of the Rainbow", "Ghost the Musical", "Leap of Faith",
+      "Nice Work If You Can Get It", "Evita", "Godspell",
+  };
+  return kTitles;
+}
+
+const std::vector<std::string>& TheaterEntries() {
+  static const std::vector<std::string> kTheaters = {
+      "Shubert|225 W. 44th St between 7th and 8th",
+      "Gershwin|222 W. 51st St between Broadway and 8th",
+      "Majestic|245 W. 44th St between 7th and 8th",
+      "Ambassador|219 W. 49th St between Broadway and 8th",
+      "Imperial|249 W. 45th St between 7th and 8th",
+      "Richard Rodgers|226 W. 46th St between Broadway and 8th",
+      "Al Hirschfeld|302 W. 45th St between 8th and 9th",
+      "Minskoff|200 W. 45th St at Broadway",
+      "Lunt-Fontanne|205 W. 46th St between Broadway and 8th",
+      "Nederlander|208 W. 41st St between 7th and 8th",
+      "Palace|1564 Broadway at 47th",
+      "Winter Garden|1634 Broadway between 50th and 51st",
+      "Eugene O'Neill|230 W. 49th St between Broadway and 8th",
+      "Booth|222 W. 45th St between Broadway and 8th",
+      "Broadhurst|235 W. 44th St between 7th and 8th",
+      "Ethel Barrymore|243 W. 47th St between Broadway and 8th",
+      "Longacre|220 W. 48th St between Broadway and 8th",
+      "Lyceum|149 W. 45th St between 6th and 7th",
+      "Music Box|239 W. 45th St between Broadway and 8th",
+      "New Amsterdam|214 W. 42nd St between 7th and 8th",
+  };
+  return kTheaters;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",   "Daniel",  "Lisa",     "Matthew", "Nancy",
+      "Anthony", "Betty",   "Mark",    "Margaret", "Donald",  "Sandra",
+      "Steven",  "Ashley",  "Paul",    "Kimberly", "Andrew",  "Emily",
+      "Joshua",  "Donna",   "Kenneth", "Michelle",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",
+      "Garcia",   "Miller",   "Davis",    "Rodriguez", "Martinez",
+      "Hernandez", "Lopez",   "Gonzalez", "Wilson",   "Anderson",
+      "Thomas",   "Taylor",   "Moore",    "Jackson",  "Martin",
+      "Lee",      "Perez",    "Thompson", "White",    "Harris",
+      "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",
+      "Scott",    "Torres",   "Nguyen",   "Hill",     "Flores",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& Companies() {
+  static const std::vector<std::string> kCompanies = {
+      "Acme Analytics",     "Recorded Future",    "Vertica Systems",
+      "Stonebridge Media",  "Harborview Capital", "BlueRiver Software",
+      "Northgate Pharma",   "Summit Logistics",   "Ironwood Energy",
+      "Clearpath Networks", "Silverline Studios", "Redwood Robotics",
+      "Atlas Semiconductor", "Crestview Insurance", "Beacon Biotech",
+      "Quarry Data Systems", "Lakeshore Airlines", "Pinnacle Foods",
+      "Granite Telecom",    "Seaboard Shipping",  "Copperfield Bank",
+      "Meridian Health",    "Falcon Aerospace",   "Willow Creek Farms",
+      "Starlight Pictures", "Hudson Publishing",  "Everest Outfitters",
+      "Cobalt Motors",      "Amber Materials",    "Lighthouse Security",
+  };
+  return kCompanies;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kCities = {
+      "New York", "Los Angeles", "Chicago",  "Houston",   "Phoenix",
+      "Boston",   "Seattle",     "Denver",   "Atlanta",   "Miami",
+      "Dallas",   "Portland",    "Detroit",  "Baltimore", "Cleveland",
+      "Austin",   "Nashville",   "Memphis",  "Oakland",   "Pittsburgh",
+      "Cambridge", "Berkeley",   "San Jose", "Tucson",    "Omaha",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& OrgEntities() {
+  static const std::vector<std::string> kOrgs = {
+      "City Council",        "Board of Trade",     "Chamber of Commerce",
+      "Planning Commission", "Transit Authority",  "School Board",
+      "Port Authority",      "Housing Department", "Election Commission",
+      "Parks Department",    "Budget Office",      "Water District",
+      "Arts Council",        "Labor Union Local",  "Merchants Association",
+      "Zoning Board",        "Finance Committee",  "Ethics Panel",
+      "Tourism Bureau",      "Safety Commission",
+  };
+  return kOrgs;
+}
+
+const std::vector<std::string>& GeoEntities() {
+  static const std::vector<std::string> kGeo = {
+      "Hudson River",     "Lake Michigan",   "Rocky Mountains",
+      "Mississippi River", "Gulf Coast",     "Pacific Northwest",
+      "Great Plains",     "Appalachian Trail", "Death Valley",
+      "Chesapeake Bay",   "Mojave Desert",   "Cascade Range",
+      "Everglades",       "Grand Canyon",    "Puget Sound",
+      "Long Island",      "Cape Cod",        "Sierra Nevada",
+  };
+  return kGeo;
+}
+
+const std::vector<std::string>& IndustryTerms() {
+  static const std::vector<std::string> kTerms = {
+      "cloud computing",  "data integration", "supply chain",
+      "renewable energy", "mobile payments",  "social media",
+      "machine learning", "digital advertising", "e-commerce",
+      "cybersecurity",    "big data",         "crowdsourcing",
+      "venture capital",  "quantitative easing", "box office",
+      "streaming video",  "ticket sales",     "subscription model",
+  };
+  return kTerms;
+}
+
+const std::vector<std::string>& Positions() {
+  static const std::vector<std::string> kPositions = {
+      "chief executive",  "managing director", "lead producer",
+      "stage manager",    "artistic director", "chief analyst",
+      "press secretary",  "head of research",  "casting director",
+      "general manager",  "music director",    "choreographer",
+      "senior engineer",  "marketing director", "box office manager",
+  };
+  return kPositions;
+}
+
+const std::vector<std::string>& Products() {
+  static const std::vector<std::string> kProducts = {
+      "TicketFinder",   "ShowPass",     "StageLight Pro",
+      "CurtainCall App", "SceneBuilder", "EncorePlayer",
+      "BroadwayGuide",  "SeatMapper",   "PlaybillReader",
+      "AudioCue",       "LightBoard X", "PropTracker",
+      "CastBook",       "RehearsalHub", "MatineePlanner",
+  };
+  return kProducts;
+}
+
+const std::vector<std::string>& Organizations() {
+  static const std::vector<std::string> kOrgs = {
+      "Actors Equity",          "Dramatists Guild",
+      "Stage Directors Society", "Broadway League",
+      "Theater Wing",           "Drama Critics Circle",
+      "Musicians Federation",   "Scenic Artists Guild",
+      "Press Agents Association", "Ushers Benevolent Society",
+      "Playwrights Collective", "Producers Alliance",
+  };
+  return kOrgs;
+}
+
+const std::vector<std::string>& Facilities() {
+  static const std::vector<std::string> kFacilities = {
+      "Lincoln Center",     "Carnegie Hall",     "Radio City",
+      "Madison Square Garden", "Kennedy Center", "City Opera House",
+      "Grand Ballroom",     "Civic Auditorium",  "Riverside Arena",
+      "Harborside Pavilion", "Memorial Stadium", "Convention Center",
+  };
+  return kFacilities;
+}
+
+const std::vector<std::string>& MedicalConditions() {
+  static const std::vector<std::string> kConditions = {
+      "influenza",     "diabetes",     "hypertension", "asthma",
+      "migraine",      "pneumonia",    "arthritis",    "insomnia",
+      "laryngitis",    "tendonitis",
+  };
+  return kConditions;
+}
+
+const std::vector<std::string>& Technologies() {
+  static const std::vector<std::string> kTech = {
+      "LED lighting",     "projection mapping", "wireless microphones",
+      "motion capture",   "3D printing",        "facial recognition",
+      "noise cancellation", "holographic display", "haptic feedback",
+      "speech synthesis",
+  };
+  return kTech;
+}
+
+const std::vector<std::string>& ProvincesOrStates() {
+  static const std::vector<std::string> kStates = {
+      "California", "Texas",    "Florida",      "Illinois", "Pennsylvania",
+      "Ohio",       "Georgia",  "Michigan",     "Ontario",  "Quebec",
+      "Washington", "Colorado", "Massachusetts", "Arizona", "Oregon",
+  };
+  return kStates;
+}
+
+const std::vector<std::string>& UrlPool() {
+  static const std::vector<std::string> kUrls = {
+      "http://broadwayworld.example.com/reviews",
+      "http://playbill.example.com/news",
+      "http://nytheater.example.org/listings",
+      "http://telecharge.example.com/tickets",
+      "http://ticketmaster.example.com/broadway",
+      "http://theatermania.example.com/discounts",
+      "www.stagegrade.example.com",
+      "www.didhelikeit.example.com",
+      "http://variety.example.com/legit",
+      "http://deadline.example.com/broadway",
+  };
+  return kUrls;
+}
+
+const std::vector<std::string>& NewsTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "{title} which began previews on Tuesday, grossed {gross}, or {pct} "
+      "percent of the maximum at the {theater}.",
+      "And {title} an award-winning import from London, grossed {gross}, or "
+      "{pct} percent of the maximum.",
+      "{person}, {position} at {company}, said {title} could extend its run "
+      "in {city}.",
+      "The {org} announced that {title} will open at the {theater} this "
+      "spring.",
+      "{company} shares rose after its {industry} unit signed a deal with "
+      "the {facility}.",
+      "{person} was named {position} of {company}, the {city} firm behind "
+      "{product}.",
+      "Box office tracking by {company} shows {title} leading {industry} "
+      "revenue this week.",
+      "{title} producers credited {tech} for the show's effects, per "
+      "{url}.",
+      "Officials in {state} said the {org} will review {industry} rules "
+      "near the {geo}.",
+      "After weeks of previews in {city}, {title} officially opened at the "
+      "{theater} with {person} attending.",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& BlogTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "Saw {title} at the {theater} last night and {person} was brilliant "
+      "as ever.",
+      "My review of {title} is up at {url} - tldr it deserves every award.",
+      "Is {title} worth full price? Grabbed seats via {product} and have "
+      "no regrets.",
+      "Rumor: {company} is backing a {city} transfer of {title} next "
+      "season.",
+      "{person} talked about battling {condition} during the {title} run. "
+      "Respect.",
+      "The {tech} used in {title} is unreal - best stagecraft since "
+      "{city}.",
+      "Comparing {title} to the {facility} staging: the {theater} version "
+      "wins.",
+      "{position} {person} of the {org} called {title} the season's "
+      "high point.",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& TweetTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "{title} tonight!!! {url}",
+      "just met {person} outside the {theater} after {title} omg",
+      "{title} grossed {gross} this week?? huge",
+      "rush tickets for {title} via {product} worked, see you in {city}",
+      "{company} needs to bring {title} to {city} already",
+      "{person} leaving {company} to be {position}?? wild",
+      "the {geo} views from the {facility} before {title} - perfect "
+      "night",
+      "{title} + {tech} = the future of theater, fight me",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& FeedNames() {
+  static const std::vector<std::string> kFeeds = {"newsfeed", "blog",
+                                                  "twitter"};
+  return kFeeds;
+}
+
+}  // namespace dt::datagen

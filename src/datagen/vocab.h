@@ -1,0 +1,58 @@
+/// \file vocab.h
+/// \brief Curated vocabulary backing the synthetic data generators.
+///
+/// The WEBINSTANCE substitute needs entity names of every Table III
+/// type plus sentence templates in news/blog/tweet registers. The
+/// lists are fixed (not random strings) so the corpus reads like the
+/// web text the paper ingests and the gazetteer-based parser has a
+/// realistic dictionary. The movie/show list embeds the paper's
+/// Table IV titles with their popularity ranks so the top-k query
+/// reproduces the published list.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "textparse/entity_types.h"
+
+namespace dt::datagen {
+
+/// Names of the ten titles in Table IV, most discussed first.
+const std::vector<std::string>& PaperTop10Titles();
+
+/// Additional movie/Broadway titles beyond the paper's ten.
+const std::vector<std::string>& ExtraTitles();
+
+/// Broadway theaters with street addresses ("Shubert|225 W. 44th St
+/// between 7th and 8th" — pipe-separated name|address).
+const std::vector<std::string>& TheaterEntries();
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Companies();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& OrgEntities();
+const std::vector<std::string>& GeoEntities();
+const std::vector<std::string>& IndustryTerms();
+const std::vector<std::string>& Positions();
+const std::vector<std::string>& Products();
+const std::vector<std::string>& Organizations();
+const std::vector<std::string>& Facilities();
+const std::vector<std::string>& MedicalConditions();
+const std::vector<std::string>& Technologies();
+const std::vector<std::string>& ProvincesOrStates();
+const std::vector<std::string>& UrlPool();
+
+/// Sentence templates per feed register. Placeholders:
+///   {title} {person} {company} {city} {theater} {gross} {pct} {url}
+///   {industry} {position} {product} {org} {facility} {condition}
+///   {tech} {geo} {state}
+const std::vector<std::string>& NewsTemplates();
+const std::vector<std::string>& BlogTemplates();
+const std::vector<std::string>& TweetTemplates();
+
+/// Feed names ("newsfeed", "blog", "twitter").
+const std::vector<std::string>& FeedNames();
+
+}  // namespace dt::datagen

@@ -1,0 +1,309 @@
+#include "datagen/webtext_gen.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "datagen/vocab.h"
+
+namespace dt::datagen {
+
+using textparse::EntityType;
+
+WebTextGenerator::WebTextGenerator(WebTextGenOptions opts)
+    : opts_(opts),
+      title_zipf_(PaperTop10Titles().size() + ExtraTitles().size(),
+                  opts.zipf_theta) {
+  titles_ = PaperTop10Titles();
+  for (const auto& t : ExtraTitles()) titles_.push_back(t);
+  // A deterministic pool of person names (first x last, strided to mix).
+  const auto& fn = FirstNames();
+  const auto& ln = LastNames();
+  for (size_t i = 0; i < 300; ++i) {
+    persons_.push_back(fn[i % fn.size()] + " " +
+                       ln[(i * 7 + i / fn.size()) % ln.size()]);
+  }
+  for (const auto& entry : TheaterEntries()) {
+    theater_names_.push_back(Split(entry, '|')[0]);
+  }
+  double total = 0;
+  for (int t = 0; t < textparse::kNumEntityTypes; ++t) {
+    total += static_cast<double>(
+        textparse::PaperEntityTypeCount(static_cast<EntityType>(t)));
+  }
+  for (int t = 0; t < textparse::kNumEntityTypes; ++t) {
+    target_share_[t] =
+        static_cast<double>(
+            textparse::PaperEntityTypeCount(static_cast<EntityType>(t))) /
+        total;
+    planted_[t] = 0;
+  }
+}
+
+bool WebTextGenerator::IsAwardWinning(const std::string& title) const {
+  const auto& top = PaperTop10Titles();
+  return std::find(top.begin(), top.end(), title) != top.end();
+}
+
+textparse::Gazetteer WebTextGenerator::BuildGazetteer() const {
+  textparse::Gazetteer g;
+  for (const auto& t : titles_) {
+    textparse::GazetteerEntry e;
+    e.phrase = t;
+    e.type = EntityType::kMovie;
+    if (IsAwardWinning(t)) e.attrs = {{"award_winning", "true"}};
+    g.Add(std::move(e));
+  }
+  for (const auto& p : persons_) g.Add(p, EntityType::kPerson);
+  for (const auto& t : theater_names_) g.Add(t, EntityType::kFacility);
+  for (const auto& c : Companies()) g.Add(c, EntityType::kCompany);
+  for (const auto& c : Cities()) g.Add(c, EntityType::kCity);
+  for (const auto& o : OrgEntities()) g.Add(o, EntityType::kOrgEntity);
+  for (const auto& x : GeoEntities()) g.Add(x, EntityType::kGeoEntity);
+  for (const auto& x : IndustryTerms()) g.Add(x, EntityType::kIndustryTerm);
+  for (const auto& x : Positions()) g.Add(x, EntityType::kPosition);
+  for (const auto& x : Products()) g.Add(x, EntityType::kProduct);
+  for (const auto& x : Organizations()) g.Add(x, EntityType::kOrganization);
+  for (const auto& x : Facilities()) g.Add(x, EntityType::kFacility);
+  for (const auto& x : MedicalConditions()) {
+    g.Add(x, EntityType::kMedicalCondition);
+  }
+  for (const auto& x : Technologies()) g.Add(x, EntityType::kTechnology);
+  for (const auto& x : ProvincesOrStates()) {
+    g.Add(x, EntityType::kProvinceOrState);
+  }
+  return g;
+}
+
+std::string WebTextGenerator::PickTitle(Rng* rng) {
+  return titles_[title_zipf_.Sample(rng)];
+}
+
+namespace {
+std::string RandomGross(Rng* rng) {
+  // 6-7 digit gross with thousands separators, newspaper style.
+  int64_t v = rng->UniformInt(150000, 1900000);
+  return WithThousandsSep(v);
+}
+}  // namespace
+
+std::string WebTextGenerator::FillTemplate(const std::string& tmpl, Rng* rng,
+                                           GeneratedFragment* frag) {
+  std::string out;
+  out.reserve(tmpl.size() + 32);
+  size_t i = 0;
+  auto plant = [&](EntityType type, const std::string& name) {
+    frag->truth_mentions.emplace_back(type, name);
+    ++planted_[static_cast<int>(type)];
+    ++total_planted_;
+    out += name;
+  };
+  while (i < tmpl.size()) {
+    if (tmpl[i] != '{') {
+      out.push_back(tmpl[i++]);
+      continue;
+    }
+    size_t close = tmpl.find('}', i);
+    if (close == std::string::npos) {
+      out.push_back(tmpl[i++]);
+      continue;
+    }
+    std::string key = tmpl.substr(i + 1, close - i - 1);
+    i = close + 1;
+    if (key == "title") {
+      plant(EntityType::kMovie, PickTitle(rng));
+    } else if (key == "person") {
+      plant(EntityType::kPerson, rng->Pick(persons_));
+    } else if (key == "company") {
+      plant(EntityType::kCompany, rng->Pick(Companies()));
+    } else if (key == "city") {
+      plant(EntityType::kCity, rng->Pick(Cities()));
+    } else if (key == "theater") {
+      plant(EntityType::kFacility, rng->Pick(theater_names_));
+    } else if (key == "facility") {
+      plant(EntityType::kFacility, rng->Pick(Facilities()));
+    } else if (key == "url") {
+      plant(EntityType::kUrl, rng->Pick(UrlPool()));
+    } else if (key == "industry") {
+      plant(EntityType::kIndustryTerm, rng->Pick(IndustryTerms()));
+    } else if (key == "position") {
+      plant(EntityType::kPosition, rng->Pick(Positions()));
+    } else if (key == "product") {
+      plant(EntityType::kProduct, rng->Pick(Products()));
+    } else if (key == "org") {
+      plant(EntityType::kOrganization, rng->Pick(Organizations()));
+    } else if (key == "organization") {
+      plant(EntityType::kOrganization, rng->Pick(Organizations()));
+    } else if (key == "orgentity") {
+      plant(EntityType::kOrgEntity, rng->Pick(OrgEntities()));
+    } else if (key == "condition") {
+      plant(EntityType::kMedicalCondition, rng->Pick(MedicalConditions()));
+    } else if (key == "tech") {
+      plant(EntityType::kTechnology, rng->Pick(Technologies()));
+    } else if (key == "geo") {
+      plant(EntityType::kGeoEntity, rng->Pick(GeoEntities()));
+    } else if (key == "state") {
+      plant(EntityType::kProvinceOrState, rng->Pick(ProvincesOrStates()));
+    } else if (key == "gross") {
+      out += RandomGross(rng);
+    } else if (key == "pct") {
+      out += std::to_string(rng->UniformInt(45, 99));
+    } else {
+      out += key;  // unknown placeholder passes through literally
+    }
+  }
+  return out;
+}
+
+std::string WebTextGenerator::MicroSentence(EntityType type, Rng* rng,
+                                            GeneratedFragment* frag) {
+  switch (type) {
+    case EntityType::kPerson:
+      return FillTemplate(rng->Bernoulli(0.5)
+                              ? "{person} declined to comment."
+                              : "{person} drew applause at the curtain.",
+                          rng, frag);
+    case EntityType::kOrgEntity:
+      return FillTemplate("The {orgentity} met again on Monday.", rng, frag);
+    case EntityType::kGeoEntity:
+      return FillTemplate("Crowds gathered along the {geo}.", rng, frag);
+    case EntityType::kUrl:
+      return FillTemplate("Full details at {url}.", rng, frag);
+    case EntityType::kIndustryTerm:
+      return FillTemplate("Analysts cited {industry} growth again.", rng,
+                          frag);
+    case EntityType::kPosition:
+      return FillTemplate("The {position} resigned abruptly.", rng, frag);
+    case EntityType::kCompany:
+      return FillTemplate("{company} posted strong quarterly results.", rng,
+                          frag);
+    case EntityType::kProduct:
+      return FillTemplate("{product} shipped a major update.", rng, frag);
+    case EntityType::kOrganization:
+      return FillTemplate("The {organization} endorsed the plan.", rng, frag);
+    case EntityType::kFacility:
+      return FillTemplate("The gala was held at {facility}.", rng, frag);
+    case EntityType::kCity:
+      return FillTemplate("The tour stops next in {city}.", rng, frag);
+    case EntityType::kMedicalCondition:
+      return FillTemplate("Doctors warned about {condition} this season.",
+                          rng, frag);
+    case EntityType::kTechnology:
+      return FillTemplate("Engineers praised the {tech} rig.", rng, frag);
+    case EntityType::kMovie:
+      return FillTemplate("{title} drew another full house.", rng, frag);
+    case EntityType::kProvinceOrState:
+      return FillTemplate("Lawmakers in {state} debated the measure.", rng,
+                          frag);
+    default:
+      return "";
+  }
+}
+
+GeneratedFragment WebTextGenerator::MakeDuplicate(
+    const GeneratedFragment& original, Rng* rng) {
+  GeneratedFragment dup = original;
+  // Near-duplicate perturbations that leave entity surfaces intact:
+  // prepend a retweet-ish marker, tweak numbers, or append a tail.
+  switch (rng->Uniform(3)) {
+    case 0:
+      dup.text = "RT: " + dup.text;
+      break;
+    case 1: {
+      // Change digits (different gross, same story).
+      for (auto& c : dup.text) {
+        if (c >= '1' && c <= '8' && rng->Bernoulli(0.5)) {
+          c = static_cast<char>(c + 1);
+        }
+      }
+      break;
+    }
+    default:
+      dup.text += " (via syndication)";
+      break;
+  }
+  dup.feed = rng->Pick(FeedNames());
+  return dup;
+}
+
+std::vector<GeneratedFragment> WebTextGenerator::Generate() {
+  Rng rng(opts_.seed);
+  for (int t = 0; t < textparse::kNumEntityTypes; ++t) planted_[t] = 0;
+  total_planted_ = 0;
+
+  std::vector<GeneratedFragment> out;
+  out.reserve(static_cast<size_t>(opts_.num_fragments));
+  int64_t base_ts = 1362000000;  // around March 2013, the demo's era
+
+  // Fragment 0 is the guaranteed Matilda grosses story of Tables V/VI.
+  {
+    GeneratedFragment frag;
+    frag.feed = "newsfeed";
+    frag.timestamp = base_ts;
+    frag.text =
+        "..which began previews on Tuesday, grossed 659,391, or...And "
+        "Matilda an award-winning import from London, grossed 960,998, or "
+        "93 percent of the maximum.";
+    frag.truth_mentions.emplace_back(EntityType::kMovie, "Matilda");
+    ++planted_[static_cast<int>(EntityType::kMovie)];
+    ++total_planted_;
+    out.push_back(std::move(frag));
+  }
+
+  auto most_lagging_type = [&]() -> EntityType {
+    int best = 0;
+    double best_deficit = -1e18;
+    for (int t = 0; t < textparse::kNumEntityTypes; ++t) {
+      double expected = target_share_[t] * (total_planted_ + 1);
+      double deficit = expected - static_cast<double>(planted_[t]);
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = t;
+      }
+    }
+    return static_cast<EntityType>(best);
+  };
+
+  while (static_cast<int64_t>(out.size()) < opts_.num_fragments) {
+    // Near-duplicate of an earlier fragment?
+    if (out.size() > 4 && rng.Bernoulli(opts_.duplicate_rate)) {
+      size_t src = rng.Uniform(out.size());
+      GeneratedFragment dup = MakeDuplicate(out[src], &rng);
+      dup.duplicate_of = out[src].duplicate_of >= 0
+                             ? out[src].duplicate_of
+                             : static_cast<int64_t>(src);
+      dup.timestamp = base_ts + static_cast<int64_t>(out.size()) * 37;
+      // Count the duplicate's mentions toward the plant totals (the
+      // parser will extract them again).
+      for (const auto& [type, _] : dup.truth_mentions) {
+        ++planted_[static_cast<int>(type)];
+        ++total_planted_;
+      }
+      out.push_back(std::move(dup));
+      continue;
+    }
+    GeneratedFragment frag;
+    frag.feed = rng.Pick(FeedNames());
+    frag.timestamp = base_ts + static_cast<int64_t>(out.size()) * 37;
+    int sentences = 1 + static_cast<int>(rng.Uniform(
+                            static_cast<uint64_t>(opts_.max_extra_sentences + 1)));
+    std::string text;
+    for (int s = 0; s < sentences; ++s) {
+      std::string sentence;
+      if (rng.Bernoulli(opts_.rich_template_rate)) {
+        const std::vector<std::string>* pool = &NewsTemplates();
+        if (frag.feed == "blog") pool = &BlogTemplates();
+        if (frag.feed == "twitter") pool = &TweetTemplates();
+        sentence = FillTemplate(rng.Pick(*pool), &rng, &frag);
+      } else {
+        sentence = MicroSentence(most_lagging_type(), &rng, &frag);
+      }
+      if (!text.empty()) text += " ";
+      text += sentence;
+    }
+    frag.text = std::move(text);
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+}  // namespace dt::datagen

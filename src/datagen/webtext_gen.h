@@ -1,0 +1,98 @@
+/// \file webtext_gen.h
+/// \brief Synthetic WEBINSTANCE corpus generator (the Recorded Future
+/// crawl substitute).
+///
+/// Generates news/blog/tweet-register fragments whose planted entity
+/// mentions follow the type skew of Table III, with Zipf-distributed
+/// title popularity whose rank order embeds the paper's Table IV
+/// top-10 list, controllable near-duplicate injection (ground truth
+/// for the dedup classifier) and a guaranteed "Matilda" grosses
+/// fragment that reproduces the TEXT_FEED of Tables V/VI.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "textparse/entity_types.h"
+#include "textparse/gazetteer.h"
+
+namespace dt::datagen {
+
+/// Generator knobs.
+struct WebTextGenOptions {
+  int64_t num_fragments = 10000;
+  uint64_t seed = 42;
+  /// Title popularity skew (rank 0 = most discussed).
+  double zipf_theta = 1.1;
+  /// Fraction of fragments that are near-duplicates of earlier ones.
+  double duplicate_rate = 0.08;
+  /// Probability a sentence uses a rich multi-entity template instead
+  /// of a type-steered micro template. Rich templates skew toward
+  /// movie/show mentions (the demo's domain); the micro templates are
+  /// what keep the aggregate type distribution on Table III's skew, so
+  /// this stays small by default.
+  double rich_template_rate = 0.12;
+  /// Sentences per fragment: 1 + Uniform(max_extra_sentences+1). The
+  /// default targets the paper's ~9.8 extracted entities per instance
+  /// (Table II count / Table I count); web articles mention many
+  /// entities each.
+  int max_extra_sentences = 14;
+};
+
+/// \brief One generated fragment with its planted ground truth.
+struct GeneratedFragment {
+  std::string text;
+  std::string feed;  ///< "newsfeed" | "blog" | "twitter"
+  int64_t timestamp = 0;
+  /// Entities planted in the text (type, canonical name).
+  std::vector<std::pair<textparse::EntityType, std::string>> truth_mentions;
+  /// Index of the fragment this near-duplicates, or -1.
+  int64_t duplicate_of = -1;
+};
+
+/// \brief Deterministic corpus generator.
+class WebTextGenerator {
+ public:
+  explicit WebTextGenerator(WebTextGenOptions opts = {});
+
+  /// All movie/show titles, most popular first (the first ten are the
+  /// paper's Table IV list).
+  const std::vector<std::string>& titles() const { return titles_; }
+
+  /// True for the award-winning titles (exactly the paper's ten).
+  bool IsAwardWinning(const std::string& title) const;
+
+  /// \brief Gazetteer covering every entity the generator can plant —
+  /// the dictionary handed to the domain parser (the closed-world
+  /// contract described in DESIGN.md).
+  textparse::Gazetteer BuildGazetteer() const;
+
+  /// Generates the corpus. Deterministic in the options' seed; calling
+  /// again regenerates the identical corpus.
+  std::vector<GeneratedFragment> Generate();
+
+ private:
+  std::string FillTemplate(const std::string& tmpl, Rng* rng,
+                           GeneratedFragment* frag);
+  std::string MicroSentence(textparse::EntityType type, Rng* rng,
+                            GeneratedFragment* frag);
+  std::string PickTitle(Rng* rng);
+  GeneratedFragment MakeDuplicate(const GeneratedFragment& original,
+                                  Rng* rng);
+
+  WebTextGenOptions opts_;
+  std::vector<std::string> titles_;
+  std::vector<std::string> persons_;
+  std::vector<std::string> theater_names_;  // name only (no address)
+  ZipfSampler title_zipf_;
+  // Type steering state: planted counts vs Table III targets.
+  double target_share_[textparse::kNumEntityTypes];
+  int64_t planted_[textparse::kNumEntityTypes];
+  int64_t total_planted_ = 0;
+};
+
+}  // namespace dt::datagen

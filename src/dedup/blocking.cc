@@ -1,0 +1,86 @@
+#include "dedup/blocking.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strutil.h"
+
+namespace dt::dedup {
+
+std::vector<std::string> BlockingKeys(const DedupRecord& record,
+                                      const BlockingOptions& opts) {
+  std::vector<std::string> keys;
+  const std::string& name = record.DisplayName();
+  std::string norm = Join(WordTokens(name), " ");
+  std::string type_prefix = record.entity_type + "|";
+  if (opts.token_keys) {
+    for (const auto& tok : WordTokens(name)) {
+      keys.push_back(type_prefix + "t:" + tok);
+    }
+  }
+  if (opts.qgram_size > 0) {
+    for (const auto& g : QGrams(norm, opts.qgram_size)) {
+      keys.push_back(type_prefix + "q:" + g);
+    }
+  }
+  if (opts.prefix_len > 0 && !norm.empty()) {
+    keys.push_back(type_prefix + "p:" +
+                   norm.substr(0, static_cast<size_t>(opts.prefix_len)));
+  }
+  // Dedup keys (q-grams repeat).
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<std::pair<size_t, size_t>> GenerateCandidatePairs(
+    const std::vector<DedupRecord>& records, const BlockingOptions& opts,
+    BlockingStats* stats) {
+  std::unordered_map<std::string, std::vector<size_t>> blocks;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (const auto& key : BlockingKeys(records[i], opts)) {
+      blocks[key].push_back(i);
+    }
+  }
+  std::set<std::pair<size_t, size_t>> pairs;
+  int64_t skipped = 0;
+  for (const auto& [key, members] : blocks) {
+    if (static_cast<int>(members.size()) > opts.max_block_size) {
+      ++skipped;
+      continue;
+    }
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        size_t i = std::min(members[a], members[b]);
+        size_t j = std::max(members[a], members[b]);
+        if (i != j) pairs.insert({i, j});
+      }
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> out(pairs.begin(), pairs.end());
+  if (stats != nullptr) {
+    stats->num_records = static_cast<int64_t>(records.size());
+    stats->num_blocks = static_cast<int64_t>(blocks.size());
+    stats->oversize_blocks_skipped = skipped;
+    stats->candidate_pairs = static_cast<int64_t>(out.size());
+    double all = static_cast<double>(records.size()) *
+                 (static_cast<double>(records.size()) - 1) / 2.0;
+    stats->reduction_ratio = all > 0 ? out.size() / all : 0.0;
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, size_t>> AllPairs(
+    const std::vector<DedupRecord>& records) {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      if (records[i].entity_type == records[j].entity_type) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dt::dedup

@@ -1,0 +1,58 @@
+#include "dedup/clustering.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dt::dedup {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Groups() {
+  std::map<size_t, std::vector<size_t>> by_root;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(by_root.size());
+  // Map keys iterate ascending; each member list is built ascending, so
+  // groups come out ordered by smallest member.
+  std::map<size_t, std::vector<size_t>> by_min;
+  for (auto& [root, members] : by_root) {
+    size_t mn = members.front();
+    by_min.emplace(mn, std::move(members));
+  }
+  for (auto& [_, members] : by_min) out.push_back(std::move(members));
+  return out;
+}
+
+std::vector<std::vector<size_t>> ClusterPairs(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& matched_pairs) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : matched_pairs) {
+    if (a < n && b < n) uf.Union(a, b);
+  }
+  return uf.Groups();
+}
+
+}  // namespace dt::dedup

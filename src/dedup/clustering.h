@@ -1,0 +1,45 @@
+/// \file clustering.h
+/// \brief Union-find clustering of matched pairs into entity clusters.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dt::dedup {
+
+/// \brief Disjoint-set forest with union by rank and path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of `x`'s set.
+  size_t Find(size_t x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True when `a` and `b` share a set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t num_sets() const { return num_sets_; }
+  size_t size() const { return parent_.size(); }
+
+  /// Members grouped by set, each group sorted, groups ordered by their
+  /// smallest member (deterministic output for tests and benches).
+  std::vector<std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+/// \brief Clusters `n` records from matched index pairs. Returns groups
+/// as produced by `UnionFind::Groups` (singletons included).
+std::vector<std::vector<size_t>> ClusterPairs(
+    size_t n, const std::vector<std::pair<size_t, size_t>>& matched_pairs);
+
+}  // namespace dt::dedup

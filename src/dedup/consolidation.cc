@@ -1,0 +1,150 @@
+#include "dedup/consolidation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dt::dedup {
+
+const char* MergePolicyName(MergePolicy p) {
+  switch (p) {
+    case MergePolicy::kSourcePriority:
+      return "source-priority";
+    case MergePolicy::kMajority:
+      return "majority";
+    case MergePolicy::kLongest:
+      return "longest";
+    case MergePolicy::kMostRecent:
+      return "most-recent";
+  }
+  return "?";
+}
+
+CompositeEntity MergeCluster(const std::vector<DedupRecord>& records,
+                             const std::vector<size_t>& member_indexes,
+                             int64_t cluster_id, MergePolicy policy) {
+  CompositeEntity out;
+  out.cluster_id = cluster_id;
+  if (!member_indexes.empty()) {
+    out.entity_type = records[member_indexes[0]].entity_type;
+  }
+  std::set<std::string> sources;
+  // field -> candidate (value, trust, seq) list
+  std::map<std::string, std::vector<const DedupRecord*>> contributors;
+  for (size_t idx : member_indexes) {
+    const DedupRecord& r = records[idx];
+    out.member_record_ids.push_back(r.id);
+    sources.insert(r.source_id);
+    for (const auto& [field, value] : r.fields) {
+      if (value.empty()) continue;
+      contributors[field].push_back(&r);
+    }
+  }
+  out.contributing_sources.assign(sources.begin(), sources.end());
+
+  for (const auto& [field, recs] : contributors) {
+    const std::string* best = nullptr;
+    // Owns the winning value in the majority case, whose vote map dies
+    // at the end of its case block (a pointer into it would dangle).
+    std::string majority_value;
+    switch (policy) {
+      case MergePolicy::kSourcePriority: {
+        const DedupRecord* winner = nullptr;
+        for (const DedupRecord* r : recs) {
+          if (winner == nullptr ||
+              r->trust_priority > winner->trust_priority ||
+              (r->trust_priority == winner->trust_priority &&
+               r->ingest_seq > winner->ingest_seq)) {
+            winner = r;
+          }
+        }
+        best = &winner->fields.at(field);
+        break;
+      }
+      case MergePolicy::kMajority: {
+        std::map<std::string, std::pair<int, int>> votes;  // value -> (n, max_trust)
+        for (const DedupRecord* r : recs) {
+          auto& v = votes[r->fields.at(field)];
+          ++v.first;
+          v.second = std::max(v.second, r->trust_priority);
+        }
+        std::pair<int, int> best_vote{-1, -1};
+        for (const auto& [value, vote] : votes) {
+          if (vote > best_vote) {
+            best_vote = vote;
+            majority_value = value;
+          }
+        }
+        if (best_vote.first >= 0) best = &majority_value;
+        break;
+      }
+      case MergePolicy::kLongest: {
+        for (const DedupRecord* r : recs) {
+          const std::string& v = r->fields.at(field);
+          if (best == nullptr || v.size() > best->size()) best = &v;
+        }
+        break;
+      }
+      case MergePolicy::kMostRecent: {
+        const DedupRecord* winner = nullptr;
+        for (const DedupRecord* r : recs) {
+          if (winner == nullptr || r->ingest_seq > winner->ingest_seq) {
+            winner = r;
+          }
+        }
+        best = &winner->fields.at(field);
+        break;
+      }
+    }
+    if (best != nullptr) out.fields[field] = *best;
+  }
+  return out;
+}
+
+Result<std::vector<CompositeEntity>> Consolidate(
+    const std::vector<DedupRecord>& records, const ConsolidationOptions& opts,
+    ConsolidationStats* stats) {
+  if (opts.classifier != nullptr && opts.feature_dict == nullptr) {
+    return Status::InvalidArgument(
+        "consolidation with a classifier requires the feature dictionary "
+        "it was trained with");
+  }
+  BlockingStats bstats;
+  auto candidates = GenerateCandidatePairs(records, opts.blocking, &bstats);
+
+  std::vector<std::pair<size_t, size_t>> matches;
+  for (const auto& [i, j] : candidates) {
+    PairSignals signals = ComputePairSignals(records[i], records[j]);
+    if (signals.same_type == 0) continue;
+    double score;
+    if (opts.classifier != nullptr) {
+      ml::FeatureVector fv = PairSignalsToFeatures(
+          signals, opts.feature_dict, /*add_features=*/false);
+      score = opts.classifier->PredictProb(fv);
+    } else {
+      score = signals.RuleScore();
+    }
+    if (score >= opts.match_threshold) matches.emplace_back(i, j);
+  }
+
+  auto groups = ClusterPairs(records.size(), matches);
+  std::vector<CompositeEntity> out;
+  out.reserve(groups.size());
+  int64_t cluster_id = 0;
+  int64_t merged_records = 0;
+  for (const auto& group : groups) {
+    if (group.size() > 1) merged_records += static_cast<int64_t>(group.size());
+    out.push_back(
+        MergeCluster(records, group, cluster_id++, opts.merge_policy));
+  }
+  if (stats != nullptr) {
+    stats->blocking = bstats;
+    stats->pairs_scored = static_cast<int64_t>(candidates.size());
+    stats->pairs_matched = static_cast<int64_t>(matches.size());
+    stats->clusters = static_cast<int64_t>(out.size());
+    stats->merged_records = merged_records;
+  }
+  return out;
+}
+
+}  // namespace dt::dedup

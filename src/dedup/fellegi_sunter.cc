@@ -1,0 +1,175 @@
+#include "dedup/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace dt::dedup {
+
+const char* LinkageDecisionName(LinkageDecision d) {
+  switch (d) {
+    case LinkageDecision::kNonMatch:
+      return "non-match";
+    case LinkageDecision::kPossibleMatch:
+      return "possible-match";
+    case LinkageDecision::kMatch:
+      return "match";
+  }
+  return "?";
+}
+
+FellegiSunterScorer::FellegiSunterScorer() {
+  fields_ = {
+      {"name_levenshtein", 0.80}, {"name_jaro_winkler", 0.88},
+      {"name_token_jaccard", 0.60}, {"name_qgram_jaccard", 0.50},
+      {"field_agreement", 0.60},
+  };
+}
+
+std::vector<double> FellegiSunterScorer::SignalValues(
+    const PairSignals& s) const {
+  return {s.name_levenshtein, s.name_jaro_winkler, s.name_token_jaccard,
+          s.name_qgram_jaccard, s.shared_field_agreement};
+}
+
+Status FellegiSunterScorer::Fit(
+    const std::vector<std::pair<PairSignals, int>>& labeled) {
+  int64_t matches = 0, nonmatches = 0;
+  std::vector<int64_t> agree_m(fields_.size(), 0), agree_u(fields_.size(), 0);
+  for (const auto& [signals, label] : labeled) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    auto values = SignalValues(signals);
+    (label == 1 ? matches : nonmatches) += 1;
+    for (size_t f = 0; f < fields_.size(); ++f) {
+      if (values[f] >= fields_[f].cutoff) {
+        (label == 1 ? agree_m[f] : agree_u[f]) += 1;
+      }
+    }
+  }
+  if (matches == 0 || nonmatches == 0) {
+    return Status::InvalidArgument(
+        "Fellegi-Sunter needs both matched and non-matched pairs "
+        "(matches=" + std::to_string(matches) +
+        ", nonmatches=" + std::to_string(nonmatches) + ")");
+  }
+  agree_weight_.assign(fields_.size(), 0);
+  disagree_weight_.assign(fields_.size(), 0);
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    // Add-one smoothing keeps weights finite for perfectly separating
+    // fields.
+    double m = (agree_m[f] + 1.0) / (matches + 2.0);
+    double u = (agree_u[f] + 1.0) / (nonmatches + 2.0);
+    agree_weight_[f] = std::log(m / u);
+    disagree_weight_[f] = std::log((1.0 - m) / (1.0 - u));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double FellegiSunterScorer::Weight(const PairSignals& signals) const {
+  if (!fitted_) return 0;
+  if (signals.same_type == 0) return -1e9;
+  auto values = SignalValues(signals);
+  double w = 0;
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    w += values[f] >= fields_[f].cutoff ? agree_weight_[f]
+                                        : disagree_weight_[f];
+  }
+  return w;
+}
+
+LinkageDecision FellegiSunterScorer::Decide(const PairSignals& signals) const {
+  double w = Weight(signals);
+  if (w >= upper_threshold_) return LinkageDecision::kMatch;
+  if (w <= lower_threshold_) return LinkageDecision::kNonMatch;
+  return LinkageDecision::kPossibleMatch;
+}
+
+Status FellegiSunterScorer::CalibrateThresholds(
+    const std::vector<std::pair<PairSignals, int>>& labeled,
+    double target_precision) {
+  if (!fitted_) {
+    return Status::InvalidArgument("call Fit before CalibrateThresholds");
+  }
+  if (labeled.empty()) {
+    return Status::InvalidArgument("no calibration pairs");
+  }
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(labeled.size());
+  for (const auto& [signals, label] : labeled) {
+    scored.emplace_back(Weight(signals), label);
+  }
+  std::sort(scored.begin(), scored.end());
+
+  // Upper threshold: walk tie groups from the top, keeping precision
+  // above target. Weights are discrete (binary field agreements), so a
+  // threshold is only meaningful at a group boundary — it admits every
+  // pair sharing the weight.
+  int64_t tp = 0, fp = 0;
+  double upper = scored.back().first + 1e-9;
+  {
+    size_t i = scored.size();
+    while (i > 0) {
+      double w = scored[i - 1].first;
+      size_t j = i;
+      while (j > 0 && scored[j - 1].first == w) {
+        (scored[j - 1].second == 1 ? tp : fp) += 1;
+        --j;
+      }
+      double precision = static_cast<double>(tp) / (tp + fp);
+      if (precision >= target_precision) {
+        upper = w;
+        i = j;
+      } else {
+        break;
+      }
+    }
+  }
+  // Lower threshold: walk tie groups from the bottom, keeping
+  // non-match purity.
+  int64_t tn = 0, fn = 0;
+  double lower = scored.front().first - 1e-9;
+  {
+    size_t i = 0;
+    while (i < scored.size()) {
+      double w = scored[i].first;
+      size_t j = i;
+      while (j < scored.size() && scored[j].first == w) {
+        (scored[j].second == 0 ? tn : fn) += 1;
+        ++j;
+      }
+      double purity = static_cast<double>(tn) / (tn + fn);
+      if (purity >= target_precision) {
+        lower = w;
+        i = j;
+      } else {
+        break;
+      }
+    }
+  }
+  if (lower > upper) lower = upper;
+  lower_threshold_ = lower;
+  upper_threshold_ = upper;
+  return Status::OK();
+}
+
+std::string FellegiSunterScorer::Explain(const PairSignals& signals) const {
+  auto values = SignalValues(signals);
+  std::string out;
+  double total = 0;
+  for (size_t f = 0; f < fields_.size(); ++f) {
+    bool agree = values[f] >= fields_[f].cutoff;
+    double w = fitted_ ? (agree ? agree_weight_[f] : disagree_weight_[f]) : 0;
+    total += w;
+    if (!out.empty()) out += " ";
+    out += fields_[f].name + (agree ? "+" : "-") + FormatDouble(w, 2);
+  }
+  out += " => " + FormatDouble(total, 2) + " (" +
+         LinkageDecisionName(Decide(signals)) + ")";
+  return out;
+}
+
+}  // namespace dt::dedup

@@ -1,0 +1,95 @@
+/// \file fellegi_sunter.h
+/// \brief Fellegi-Sunter probabilistic record-linkage scorer — an
+/// alternative to the ML classifier for pair matching (the classic
+/// decision-theoretic model; DESIGN.md extension feature).
+///
+/// Each comparison field contributes a log-likelihood ratio
+/// log(m_i / u_i) on agreement and log((1-m_i)/(1-u_i)) on
+/// disagreement, where m_i = P(agree | match) and u_i =
+/// P(agree | non-match). Parameters are estimated from labeled pairs
+/// (supervised; the original EM fitting is unnecessary when the
+/// expert-sourcing loop provides labels). Two thresholds split pairs
+/// into match / possible-match (routed to experts) / non-match.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/pair_features.h"
+#include "dedup/record.h"
+
+namespace dt::dedup {
+
+/// Decision regions of the Fellegi-Sunter model.
+enum class LinkageDecision {
+  kNonMatch = 0,
+  kPossibleMatch = 1,  ///< goes to clerical review / expert sourcing
+  kMatch = 2,
+};
+
+const char* LinkageDecisionName(LinkageDecision d);
+
+/// \brief Supervised Fellegi-Sunter scorer over the dense pair signals.
+///
+/// Signals are dichotomized at per-field agreement cutoffs; m/u
+/// probabilities are estimated with add-one smoothing from labeled
+/// pairs.
+class FellegiSunterScorer {
+ public:
+  /// Comparison fields = the PairSignals members used. Cutoff: a signal
+  /// >= cutoff counts as agreement.
+  struct FieldSpec {
+    std::string name;
+    double cutoff = 0.8;
+  };
+
+  FellegiSunterScorer();
+
+  /// Estimates m/u from labeled pairs. Fails when either class is
+  /// absent.
+  Status Fit(const std::vector<std::pair<PairSignals, int>>& labeled);
+
+  /// Total log-likelihood-ratio weight of a pair (higher = more likely
+  /// a match). Requires Fit.
+  double Weight(const PairSignals& signals) const;
+
+  /// Classifies with the configured thresholds.
+  LinkageDecision Decide(const PairSignals& signals) const;
+
+  /// Decision thresholds on the total weight (upper for kMatch, lower
+  /// for kNonMatch; between = kPossibleMatch).
+  void SetThresholds(double lower, double upper) {
+    lower_threshold_ = lower;
+    upper_threshold_ = upper;
+  }
+  double lower_threshold() const { return lower_threshold_; }
+  double upper_threshold() const { return upper_threshold_; }
+
+  /// Chooses thresholds from labeled data: upper = smallest weight with
+  /// empirical match-precision >= `target_precision` above it; lower =
+  /// largest weight with non-match purity >= `target_precision` below.
+  Status CalibrateThresholds(
+      const std::vector<std::pair<PairSignals, int>>& labeled,
+      double target_precision = 0.95);
+
+  bool fitted() const { return fitted_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// Per-field agreement/disagreement weights (for explainability).
+  std::string Explain(const PairSignals& signals) const;
+
+ private:
+  std::vector<double> SignalValues(const PairSignals& s) const;
+
+  std::vector<FieldSpec> fields_;
+  std::vector<double> agree_weight_;     // log(m/u)
+  std::vector<double> disagree_weight_;  // log((1-m)/(1-u))
+  double lower_threshold_ = 0;
+  double upper_threshold_ = 3;
+  bool fitted_ = false;
+};
+
+}  // namespace dt::dedup

@@ -1,0 +1,78 @@
+#include "dedup/pair_features.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dt::dedup {
+
+double PairSignals::RuleScore() const {
+  if (same_type == 0) return 0.0;
+  double name_evidence =
+      std::max({name_levenshtein, name_jaro_winkler * 0.95,
+                name_token_jaccard, name_qgram_jaccard});
+  // Records with no overlapping fields (e.g. a text-derived record vs a
+  // structured one) can only be judged by name.
+  if (shared_field_count == 0) return 0.95 * name_evidence;
+  // Field agreement refines the name evidence rather than replacing it:
+  // two records named identically but disagreeing on every shared field
+  // should score below the match threshold.
+  return 0.7 * name_evidence +
+         0.2 * shared_field_agreement +
+         0.1 * shared_field_count;
+}
+
+PairSignals ComputePairSignals(const DedupRecord& a, const DedupRecord& b) {
+  PairSignals s;
+  s.same_type = (a.entity_type == b.entity_type) ? 1.0 : 0.0;
+  const std::string na = ToLower(a.DisplayName());
+  const std::string nb = ToLower(b.DisplayName());
+  s.name_levenshtein = LevenshteinSimilarity(na, nb);
+  s.name_jaro_winkler = JaroWinklerSimilarity(na, nb);
+  s.name_token_jaccard = JaccardSimilarity(WordTokens(na), WordTokens(nb));
+  s.name_qgram_jaccard = QGramJaccard(na, nb, 2);
+
+  int shared = 0, agree = 0;
+  for (const auto& [k, va] : a.fields) {
+    if (k == "name") continue;
+    auto it = b.fields.find(k);
+    if (it == b.fields.end()) continue;
+    ++shared;
+    if (ToLower(Trim(va)) == ToLower(Trim(it->second))) ++agree;
+  }
+  s.shared_field_agreement = shared == 0 ? 0.0
+                                         : static_cast<double>(agree) / shared;
+  s.shared_field_count = std::min(1.0, shared / 5.0);
+  return s;
+}
+
+namespace {
+// Bucketize a [0,1] signal into one-hot features at 0.1 resolution so
+// linear models can learn non-linear response curves.
+void EmitBuckets(const char* name, double v, ml::FeatureDictionary* dict,
+                 bool add, ml::FeatureVector* out) {
+  int bucket = static_cast<int>(std::min(0.999, std::max(0.0, v)) * 10);
+  std::string feat = std::string(name) + ":" + std::to_string(bucket);
+  int id = dict->IdOf(feat, add);
+  if (id >= 0) (*out)[id] = 1.0;
+  // Also a raw-magnitude feature for smooth response.
+  int raw_id = dict->IdOf(std::string(name) + ":raw", add);
+  if (raw_id >= 0) (*out)[raw_id] = v;
+}
+}  // namespace
+
+ml::FeatureVector PairSignalsToFeatures(const PairSignals& s,
+                                        ml::FeatureDictionary* dict,
+                                        bool add_features) {
+  ml::FeatureVector out;
+  EmitBuckets("lev", s.name_levenshtein, dict, add_features, &out);
+  EmitBuckets("jw", s.name_jaro_winkler, dict, add_features, &out);
+  EmitBuckets("tokjac", s.name_token_jaccard, dict, add_features, &out);
+  EmitBuckets("qgram", s.name_qgram_jaccard, dict, add_features, &out);
+  EmitBuckets("agree", s.shared_field_agreement, dict, add_features, &out);
+  EmitBuckets("nshared", s.shared_field_count, dict, add_features, &out);
+  EmitBuckets("sametype", s.same_type, dict, add_features, &out);
+  return out;
+}
+
+}  // namespace dt::dedup

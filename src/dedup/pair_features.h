@@ -1,0 +1,42 @@
+/// \file pair_features.h
+/// \brief Similarity features for a candidate record pair.
+///
+/// The features feed both the rule-based scorer (weighted blend) and
+/// the ML classifier (sparse vector) so the ablation bench can compare
+/// the two on identical evidence.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dedup/record.h"
+#include "ml/features.h"
+
+namespace dt::dedup {
+
+/// \brief Dense pairwise similarity signals in [0,1].
+struct PairSignals {
+  double name_levenshtein = 0;
+  double name_jaro_winkler = 0;
+  double name_token_jaccard = 0;
+  double name_qgram_jaccard = 0;
+  double shared_field_agreement = 0;  ///< fraction of shared fields equal
+  double shared_field_count = 0;      ///< min(#shared fields / 5, 1)
+  double same_type = 0;
+
+  /// Rule-based match score: weighted blend used when no trained
+  /// classifier is available (the bootstrap phase).
+  double RuleScore() const;
+};
+
+/// Computes all dense signals for a pair.
+PairSignals ComputePairSignals(const DedupRecord& a, const DedupRecord& b);
+
+/// \brief Converts dense signals to a sparse ML feature vector with
+/// bucketized magnitudes (ids allocated in `dict`).
+ml::FeatureVector PairSignalsToFeatures(const PairSignals& signals,
+                                        ml::FeatureDictionary* dict,
+                                        bool add_features);
+
+}  // namespace dt::dedup

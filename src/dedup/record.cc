@@ -1,0 +1,13 @@
+#include "dedup/record.h"
+
+namespace dt::dedup {
+
+const std::string& DedupRecord::DisplayName() const {
+  static const std::string kEmpty;
+  auto it = fields.find("name");
+  if (it != fields.end()) return it->second;
+  if (!fields.empty()) return fields.begin()->second;
+  return kEmpty;
+}
+
+}  // namespace dt::dedup

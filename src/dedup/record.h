@@ -1,0 +1,45 @@
+/// \file record.h
+/// \brief The record model entity consolidation operates on.
+///
+/// Consolidation sees flat records from any origin (flattened parser
+/// output, ingested tables) as a bag of string fields plus provenance.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dt::dedup {
+
+/// \brief One record headed into entity consolidation.
+struct DedupRecord {
+  int64_t id = 0;
+  /// Entity type ("Movie", "Person", ...); records of different types
+  /// never match.
+  std::string entity_type;
+  /// Attribute name -> value (string domain; the consolidation engine
+  /// is type-agnostic by design, like the paper's).
+  std::map<std::string, std::string> fields;
+  std::string source_id;
+  /// Merge priority of the source (higher wins on conflicts).
+  int trust_priority = 0;
+  /// Ingest sequence (newer wins under recency policy).
+  int64_t ingest_seq = 0;
+
+  /// The primary name field used for blocking/matching: "name" if
+  /// present, else the first field, else "".
+  const std::string& DisplayName() const;
+};
+
+/// \brief A consolidated composite entity (output of clustering+merge).
+struct CompositeEntity {
+  int64_t cluster_id = 0;
+  std::string entity_type;
+  std::map<std::string, std::string> fields;
+  std::vector<int64_t> member_record_ids;
+  std::vector<std::string> contributing_sources;
+};
+
+}  // namespace dt::dedup

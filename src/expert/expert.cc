@@ -1,0 +1,88 @@
+#include "expert/expert.h"
+
+#include <algorithm>
+
+namespace dt::expert {
+
+namespace {
+// Min-heap on machine_confidence: least confident at the top.
+bool HeapCmp(const ReviewTask& a, const ReviewTask& b) {
+  if (a.machine_confidence != b.machine_confidence) {
+    return a.machine_confidence > b.machine_confidence;
+  }
+  return a.id > b.id;  // FIFO within equal confidence
+}
+}  // namespace
+
+int64_t TaskQueue::Enqueue(ReviewTask task) {
+  task.id = next_id_++;
+  tasks_.push_back(std::move(task));
+  std::push_heap(tasks_.begin(), tasks_.end(), HeapCmp);
+  return tasks_.back().id;
+}
+
+std::optional<ReviewTask> TaskQueue::Dequeue() {
+  if (tasks_.empty()) return std::nullopt;
+  std::pop_heap(tasks_.begin(), tasks_.end(), HeapCmp);
+  ReviewTask task = std::move(tasks_.back());
+  tasks_.pop_back();
+  return task;
+}
+
+int SimulatedExpert::Answer(const ReviewTask& task, int truth_option,
+                            Rng* rng) const {
+  const int n = static_cast<int>(task.options.size());
+  if (n <= 1) return 0;
+  if (rng->Bernoulli(profile_.accuracy)) return truth_option;
+  // Uniform over the wrong options.
+  int wrong = static_cast<int>(rng->Uniform(static_cast<uint64_t>(n - 1)));
+  return wrong >= truth_option ? wrong + 1 : wrong;
+}
+
+void ExpertPool::AddExpert(ExpertProfile profile) {
+  experts_.emplace_back(std::move(profile));
+}
+
+Result<AggregatedAnswer> ExpertPool::Resolve(const ReviewTask& task,
+                                             int truth_option, int num_voters,
+                                             Rng* rng) {
+  if (experts_.empty()) {
+    return Status::InvalidArgument("expert pool is empty");
+  }
+  if (task.options.empty()) {
+    return Status::InvalidArgument("task " + std::to_string(task.id) +
+                                   " has no options");
+  }
+  if (truth_option < 0 ||
+      truth_option >= static_cast<int>(task.options.size())) {
+    return Status::OutOfRange("truth option out of range");
+  }
+  if (num_voters < 1) {
+    return Status::InvalidArgument("num_voters must be >= 1");
+  }
+
+  std::vector<double> weight(task.options.size(), 0.0);
+  double total_weight = 0;
+  AggregatedAnswer agg;
+  for (int v = 0; v < num_voters; ++v) {
+    const SimulatedExpert& expert = experts_[next_expert_];
+    next_expert_ = (next_expert_ + 1) % experts_.size();
+    int choice = expert.Answer(task, truth_option, rng);
+    weight[choice] += expert.profile().accuracy;
+    total_weight += expert.profile().accuracy;
+    agg.cost += expert.profile().cost_per_task;
+    ++agg.votes;
+  }
+  int best = 0;
+  for (size_t i = 1; i < weight.size(); ++i) {
+    if (weight[i] > weight[best]) best = static_cast<int>(i);
+  }
+  agg.option = best;
+  agg.confidence = total_weight > 0 ? weight[best] / total_weight : 0;
+  total_cost_ += agg.cost;
+  ++tasks_resolved_;
+  if (best == truth_option) ++correct_;
+  return agg;
+}
+
+}  // namespace dt::expert

@@ -1,0 +1,121 @@
+/// \file expert.h
+/// \brief Expert sourcing — Data Tamer's "unique expert-sourcing
+/// mechanism for obtaining human guidance".
+///
+/// Low-confidence decisions (schema matches in the review band, dedup
+/// pairs near the threshold) become review tasks. A pool of simulated
+/// domain experts — oracles with configurable accuracy and cost,
+/// standing in for the humans of the production deployment — votes on
+/// tasks; answers aggregate by accuracy-weighted majority. The Fig. 2
+/// bench uses this loop to measure human effort as the global schema
+/// saturates.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dt::expert {
+
+/// \brief One unit of work for a human reviewer.
+struct ReviewTask {
+  int64_t id = 0;
+  /// Task family: "schema-match", "dedup-pair", "cleaning".
+  std::string kind;
+  /// What is being reviewed (attribute name, record pair, ...).
+  std::string subject;
+  /// Candidate answers the reviewer chooses among. By convention the
+  /// last option is the rejection ("none of the above" / "new
+  /// attribute" / "not a duplicate").
+  std::vector<std::string> options;
+  /// The machine's confidence in its top suggestion; the queue serves
+  /// least-confident first (they benefit most from a human).
+  double machine_confidence = 0;
+};
+
+/// \brief Priority queue of pending review tasks.
+class TaskQueue {
+ public:
+  /// Enqueues a task, assigning and returning its id.
+  int64_t Enqueue(ReviewTask task);
+
+  /// Pops the least-confident pending task; nullopt when empty.
+  std::optional<ReviewTask> Dequeue();
+
+  size_t pending() const { return tasks_.size(); }
+  int64_t total_enqueued() const { return next_id_ - 1; }
+
+ private:
+  std::vector<ReviewTask> tasks_;  // heap by -machine_confidence
+  int64_t next_id_ = 1;
+};
+
+/// \brief A simulated domain expert.
+struct ExpertProfile {
+  std::string name;
+  /// Probability of choosing the true option.
+  double accuracy = 0.9;
+  /// Cost charged per answered task (abstract units).
+  double cost_per_task = 1.0;
+};
+
+/// \brief Oracle expert: answers correctly with probability `accuracy`,
+/// otherwise uniformly picks a wrong option.
+class SimulatedExpert {
+ public:
+  explicit SimulatedExpert(ExpertProfile profile)
+      : profile_(std::move(profile)) {}
+
+  const ExpertProfile& profile() const { return profile_; }
+
+  /// Chooses an option index for `task` given the hidden ground truth.
+  /// `truth_option` must index into task.options.
+  int Answer(const ReviewTask& task, int truth_option, Rng* rng) const;
+
+ private:
+  ExpertProfile profile_;
+};
+
+/// \brief Outcome of aggregating expert votes on one task.
+struct AggregatedAnswer {
+  int option = -1;       ///< winning option index
+  double confidence = 0; ///< winning accuracy-weighted vote share
+  int votes = 0;         ///< number of experts consulted
+  double cost = 0;       ///< total cost charged
+};
+
+/// \brief A pool of experts with vote aggregation.
+class ExpertPool {
+ public:
+  void AddExpert(ExpertProfile profile);
+
+  int num_experts() const { return static_cast<int>(experts_.size()); }
+
+  /// \brief Asks `num_voters` experts (round-robin over the pool) to
+  /// answer, aggregating by accuracy-weighted majority.
+  ///
+  /// Fails when the pool is empty, the task has no options, or
+  /// `truth_option` is out of range.
+  Result<AggregatedAnswer> Resolve(const ReviewTask& task, int truth_option,
+                                   int num_voters, Rng* rng);
+
+  /// Running totals across all Resolve calls.
+  double total_cost() const { return total_cost_; }
+  int64_t tasks_resolved() const { return tasks_resolved_; }
+  int64_t correct_resolutions() const { return correct_; }
+
+ private:
+  std::vector<SimulatedExpert> experts_;
+  size_t next_expert_ = 0;
+  double total_cost_ = 0;
+  int64_t tasks_resolved_ = 0;
+  int64_t correct_ = 0;
+};
+
+}  // namespace dt::expert

@@ -1,0 +1,395 @@
+#include "fusion/data_tamer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/strutil.h"
+#include "ingest/flatten.h"
+#include "ingest/json.h"
+#include "ingest/type_infer.h"
+#include "match/name_matcher.h"
+
+namespace dt::fusion {
+
+using relational::Table;
+using relational::Value;
+using storage::DocValue;
+
+DataTamer::DataTamer(DataTamerOptions opts)
+    : opts_(opts),
+      synonyms_(std::make_unique<match::SynonymDictionary>(
+          match::SynonymDictionary::Default())),
+      global_schema_(std::make_unique<match::GlobalSchema>(
+          opts.schema_options, synonyms_.get())),
+      store_("dt"),
+      transforms_(clean::TransformRegistry::Builtins(opts.eur_usd_rate)) {
+  instance_ =
+      store_.CreateCollection("instance", opts_.collection_options)
+          .ValueOrDie();
+  entity_ =
+      store_.CreateCollection("entity", opts_.collection_options).ValueOrDie();
+}
+
+void DataTamer::SetGazetteer(const textparse::Gazetteer* gazetteer) {
+  gazetteer_ = gazetteer;
+  parser_ = std::make_unique<textparse::DomainParser>(gazetteer_);
+}
+
+Result<storage::DocId> DataTamer::IngestTextFragment(std::string_view text,
+                                                     const std::string& feed,
+                                                     int64_t timestamp) {
+  if (parser_ == nullptr) {
+    return Status::InvalidArgument(
+        "no gazetteer installed; call SetGazetteer first");
+  }
+  textparse::ParsedFragment frag = parser_->Parse(text, feed, timestamp);
+  DocValue instance_doc = textparse::DomainParser::ToInstanceDoc(frag);
+  storage::DocId instance_id = instance_->Insert(std::move(instance_doc));
+  for (auto& entity_doc : textparse::DomainParser::ToEntityDocs(
+           frag, static_cast<int64_t>(instance_id))) {
+    entity_->Insert(std::move(entity_doc));
+    ++stats_.entities_extracted;
+  }
+  ++stats_.fragments_ingested;
+  return instance_id;
+}
+
+Status DataTamer::CreateStandardIndexes() {
+  // dt.instance keeps only the default _id index (Table I: nindexes=1).
+  // dt.entity gets 7 user indexes + _id = 8 (Table II: nindexes=8).
+  for (const char* path : {"type", "name", "surface", "confidence",
+                           "instance_id", "award_winning", "source"}) {
+    DT_RETURN_NOT_OK(entity_->CreateIndex(path));
+  }
+  return Status::OK();
+}
+
+Table DataTamer::ApplyIngestTransforms(Table table) {
+  // Per-column semantic detection drives the normalizing transforms:
+  // money converges on "$..." USD renderings, dates on m/d/yyyy.
+  std::vector<std::string> attrs;
+  for (const auto& a : table.schema().attributes()) attrs.push_back(a.name);
+  for (const auto& attr : attrs) {
+    std::vector<std::string> cells;
+    for (const auto& v : table.Column(attr)) {
+      if (!v.is_null()) cells.push_back(v.ToString());
+    }
+    auto semantic = ingest::DetectColumnSemanticType(cells);
+    const char* transform = nullptr;
+    if (semantic == ingest::SemanticType::kCurrency) transform = "eur_to_usd";
+    if (semantic == ingest::SemanticType::kDate) transform = "us_date";
+    if (semantic == ingest::SemanticType::kPhone) {
+      transform = "normalize_phone";
+    }
+    if (transform == nullptr) continue;
+    auto fn = transforms_.Get(transform);
+    if (!fn.ok()) continue;
+    auto transformed = clean::ApplyTransform(table, attr, *fn);
+    if (transformed.ok()) table = std::move(transformed).ValueOrDie();
+  }
+  return table;
+}
+
+Result<match::IntegrationReport> DataTamer::IngestStructuredTable(
+    Table table, const ReviewResolver& resolver) {
+  if (table.source_id().empty()) {
+    table.set_source_id("structured/" + std::to_string(stats_.structured_tables));
+  }
+  // Clean.
+  if (opts_.clean_structured_sources) {
+    clean::CleaningReport report;
+    DT_ASSIGN_OR_RETURN(table,
+                        clean::CleanTable(table, opts_.cleaning_options,
+                                          &report));
+    stats_.cleaning.cells_examined += report.cells_examined;
+    stats_.cleaning.nulls_canonicalized += report.nulls_canonicalized;
+    stats_.cleaning.whitespace_fixed += report.whitespace_fixed;
+    stats_.cleaning.numeric_repaired += report.numeric_repaired;
+    stats_.cleaning.outliers_flagged += report.outliers_flagged;
+    stats_.cleaning.outliers_dropped += report.outliers_dropped;
+  }
+  // Transform.
+  if (opts_.auto_transform) {
+    table = ApplyIngestTransforms(std::move(table));
+  }
+  // Register provenance.
+  ingest::DataSource source;
+  source.id = table.source_id();
+  source.name = table.name();
+  source.kind = ingest::SourceKind::kStructured;
+  // Earlier sources outrank later ones at merge time: the first source
+  // is the curated reference that seeded the global schema, and the
+  // curator vets sources in the order they are onboarded.
+  source.trust_priority = std::max(
+      opts_.text_trust + 1,
+      opts_.structured_trust - static_cast<int>(stats_.structured_tables));
+  source.records_ingested = table.num_rows();
+  Status reg = registry_.Register(source);
+  if (!reg.ok() && !reg.IsAlreadyExists()) return reg;
+
+  // Schema integration.
+  auto results = global_schema_->MatchTable(table);
+  std::map<std::string, match::GlobalSchema::ReviewResolution> resolutions;
+  if (resolver != nullptr) {
+    for (const auto& res : results) {
+      if (res.decision == match::MatchDecision::kNeedsReview) {
+        resolutions[res.source_attr] = {resolver(res, *global_schema_)};
+      }
+    }
+  }
+  DT_ASSIGN_OR_RETURN(auto mapping,
+                      global_schema_->IntegrateTable(table, results,
+                                                     resolutions));
+  (void)mapping;
+  stats_.structured_rows += table.num_rows();
+  ++stats_.structured_tables;
+  DT_RETURN_NOT_OK(catalog_.AddTable(std::move(table)).status());
+  return global_schema_->reports().back();
+}
+
+Result<match::IntegrationReport> DataTamer::IngestSemiStructuredSource(
+    const std::string& source_name,
+    const std::vector<storage::DocValue>& documents,
+    const ReviewResolver& resolver) {
+  DT_ASSIGN_OR_RETURN(relational::Table table,
+                      ingest::FlattenToTable(source_name, documents));
+  table.set_source_id("semistructured/" + source_name);
+  // Register under the semi-structured kind before the structured
+  // pipeline sees it (which would otherwise register it as structured).
+  ingest::DataSource source;
+  source.id = table.source_id();
+  source.name = source_name;
+  source.kind = ingest::SourceKind::kSemiStructured;
+  source.trust_priority = std::max(
+      opts_.text_trust + 1,
+      opts_.structured_trust - static_cast<int>(stats_.structured_tables));
+  source.records_ingested = table.num_rows();
+  DT_RETURN_NOT_OK(registry_.Register(source));
+  return IngestStructuredTable(std::move(table), resolver);
+}
+
+Result<match::IntegrationReport> DataTamer::IngestJsonLines(
+    const std::string& source_name, std::string_view json_lines,
+    const ReviewResolver& resolver) {
+  DT_ASSIGN_OR_RETURN(auto docs, ingest::ParseJsonLines(json_lines));
+  return IngestSemiStructuredSource(source_name, docs, resolver);
+}
+
+std::vector<query::CountRow> DataTamer::TopDiscussed(
+    const std::string& entity_type, int k, bool award_winning_only) const {
+  query::DocFilter filter = [&](const DocValue& doc) {
+    const DocValue* type = doc.Find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->string_value() != entity_type) {
+      return false;
+    }
+    if (award_winning_only) {
+      const DocValue* award = doc.Find("award_winning");
+      if (award == nullptr || !award->is_string() ||
+          award->string_value() != "true") {
+        return false;
+      }
+    }
+    return true;
+  };
+  return query::TopKByCount(*entity_, "name", k, filter);
+}
+
+namespace {
+std::string NormalizeName(std::string_view s) {
+  return ToLower(NormalizeWhitespace(s));
+}
+
+/// The global attribute carrying the entity-name concept: among the
+/// candidates similar to "name", prefer the one integrating the most
+/// sources (the founding bottom-up name attribute), not a stray
+/// single-source attribute that happens to be called "name".
+int NameConceptIndex(const match::GlobalSchema& schema,
+                     const match::SynonymDictionary* synonyms) {
+  int best = -1;
+  size_t best_provenance = 0;
+  for (int g = 0; g < schema.num_attributes(); ++g) {
+    double s =
+        match::NameSimilarity(schema.attribute(g).name, "name", synonyms);
+    if (s < 0.5) continue;
+    size_t prov = schema.attribute(g).provenance.size();
+    if (best < 0 || prov > best_provenance) {
+      best = g;
+      best_provenance = prov;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+std::vector<dedup::DedupRecord> DataTamer::CollectRecords(
+    const std::string& entity_type, const std::string& name) const {
+  std::vector<dedup::DedupRecord> records;
+  const std::string want = NormalizeName(name);
+  int64_t next_id = 1;
+
+  // ---- Text side: one record per distinct canonical entity name. ----
+  struct TextEntity {
+    std::set<int64_t> instance_ids;
+    std::string canonical;
+  };
+  std::unordered_map<std::string, TextEntity> by_name;
+  entity_->ForEach([&](storage::DocId, const DocValue& doc) {
+    const DocValue* type = doc.Find("type");
+    const DocValue* ename = doc.Find("name");
+    if (type == nullptr || ename == nullptr || !ename->is_string()) return;
+    if (type->string_value() != entity_type) return;
+    std::string norm = NormalizeName(ename->string_value());
+    if (!want.empty() && norm != want) return;
+    auto& te = by_name[norm];
+    te.canonical = ename->string_value();
+    const DocValue* iid = doc.Find("instance_id");
+    if (iid != nullptr && iid->is_int()) {
+      te.instance_ids.insert(iid->int_value());
+    }
+  });
+  for (auto& [norm, te] : by_name) {
+    dedup::DedupRecord rec;
+    rec.id = next_id++;
+    rec.entity_type = entity_type;
+    rec.source_id = "webtext";
+    rec.trust_priority = opts_.text_trust;
+    rec.ingest_seq = ingest_seq_;
+    rec.fields["name"] = te.canonical;
+    // TEXT_FEED: concatenated fragments mentioning the entity (cap 3).
+    std::string feed;
+    int taken = 0;
+    for (int64_t iid : te.instance_ids) {
+      const DocValue* inst = instance_->Get(static_cast<storage::DocId>(iid));
+      if (inst == nullptr) continue;
+      const DocValue* text = inst->Find("text");
+      if (text == nullptr || !text->is_string()) continue;
+      if (!feed.empty()) feed += " ... ";
+      feed += text->string_value();
+      if (++taken >= 3) break;
+    }
+    if (!feed.empty()) rec.fields["TEXT_FEED"] = feed;
+    records.push_back(std::move(rec));
+  }
+
+  // ---- Structured side: one record per row naming the entity. ----
+  int gname = NameConceptIndex(*global_schema_, synonyms_.get());
+  if (gname >= 0) {
+    int64_t seq = 0;
+    for (const auto& table_name : catalog_.TableNames()) {
+      const Table* table = catalog_.GetTable(table_name).ValueOrDie();
+      ++seq;
+      // Locate this table's source attribute for the name concept and
+      // the global mapping of every attribute.
+      int name_col = -1;
+      std::vector<int> global_of(table->schema().num_attributes(), -1);
+      for (int c = 0; c < table->schema().num_attributes(); ++c) {
+        int g = global_schema_->MappingOf(
+            table->name(), table->schema().attribute(c).name);
+        global_of[c] = g;
+        if (g == gname) name_col = c;
+      }
+      if (name_col < 0) continue;
+      int trust = opts_.structured_trust;
+      auto src = registry_.Get(table->source_id());
+      if (src.ok()) trust = src->trust_priority;
+      for (int64_t r = 0; r < table->num_rows(); ++r) {
+        const Value& nv = table->row(r)[name_col];
+        if (nv.is_null()) continue;
+        std::string norm = NormalizeName(nv.ToString());
+        if (want.empty() ? norm.empty() : norm != want) continue;
+        dedup::DedupRecord rec;
+        rec.id = next_id++;
+        rec.entity_type = entity_type;
+        rec.source_id = table->source_id();
+        rec.trust_priority = trust;
+        rec.ingest_seq = seq;
+        rec.fields["name"] = nv.ToString();
+        for (int c = 0; c < table->schema().num_attributes(); ++c) {
+          if (global_of[c] < 0) continue;
+          const Value& v = table->row(r)[c];
+          if (v.is_null()) continue;
+          rec.fields[global_schema_->attribute(global_of[c]).name] =
+              v.ToString();
+        }
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<query::SearchHit> DataTamer::SearchFragments(
+    std::string_view keywords, int k) const {
+  if (fragments_indexed_ != instance_->count()) {
+    // Rebuild from scratch: simple and correct under updates/removes;
+    // incremental maintenance is an optimization the demo scale does
+    // not need.
+    fragment_index_ = query::InvertedIndex("text");
+    (void)fragment_index_.Build(*instance_);
+    fragments_indexed_ = instance_->count();
+  }
+  return fragment_index_.Search(keywords, k);
+}
+
+Result<std::vector<dedup::CompositeEntity>> DataTamer::ConsolidateAll(
+    const std::string& entity_type, dedup::ConsolidationStats* stats) const {
+  auto records = CollectRecords(entity_type, "");
+  return dedup::Consolidate(records, opts_.consolidation_options, stats);
+}
+
+Result<Table> DataTamer::QueryEntity(const std::string& entity_type,
+                                     const std::string& name,
+                                     bool include_structured) const {
+  std::vector<dedup::DedupRecord> records = CollectRecords(entity_type, name);
+  if (!include_structured) {
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [](const dedup::DedupRecord& r) {
+                                   return r.source_id != "webtext";
+                                 }),
+                  records.end());
+  }
+  if (records.empty()) {
+    return Status::NotFound("no data for " + entity_type + " '" + name + "'");
+  }
+  // All collected records describe the same normalized name; merge them
+  // into one composite directly.
+  std::vector<size_t> all(records.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  dedup::CompositeEntity composite = dedup::MergeCluster(
+      records, all, 0, opts_.consolidation_options.merge_policy);
+
+  // Render as (ATTRIBUTE, VALUE) rows: name concept first (labelled by
+  // the global name attribute when one exists), then global attributes
+  // in schema order, then the text-pipeline TEXT_FEED.
+  std::string name_label = "NAME";
+  std::set<std::string> emitted = {"name"};
+  relational::Schema schema(
+      {{"ATTRIBUTE", relational::ValueType::kString},
+       {"VALUE", relational::ValueType::kString}});
+  Table out("query_" + name, schema);
+  // Find the global name-attribute label.
+  int gname = NameConceptIndex(*global_schema_, synonyms_.get());
+  if (gname >= 0) name_label = global_schema_->attribute(gname).name;
+  auto it_name = composite.fields.find("name");
+  std::string display =
+      it_name != composite.fields.end() ? it_name->second : name;
+  DT_RETURN_NOT_OK(out.Append(
+      {Value::Str(name_label), Value::Str(display)}));
+  emitted.insert(name_label);
+  for (int g = 0; g < global_schema_->num_attributes(); ++g) {
+    const std::string& attr = global_schema_->attribute(g).name;
+    auto it = composite.fields.find(attr);
+    if (it == composite.fields.end() || emitted.count(attr) > 0) continue;
+    DT_RETURN_NOT_OK(out.Append({Value::Str(attr), Value::Str(it->second)}));
+    emitted.insert(attr);
+  }
+  for (const auto& [field, value] : composite.fields) {
+    if (emitted.count(field) > 0) continue;
+    DT_RETURN_NOT_OK(out.Append({Value::Str(field), Value::Str(value)}));
+  }
+  return out;
+}
+
+}  // namespace dt::fusion

@@ -1,0 +1,187 @@
+/// \file data_tamer.h
+/// \brief The extended Data Tamer facade — Fig. 1 end to end.
+///
+/// Owns the storage substrates (document store for text-derived data,
+/// relational catalog for structured sources), the bottom-up global
+/// schema, the cleaning/transformation engines and the consolidation
+/// pipeline, and exposes the demo's query surface (top-discussed,
+/// entity lookup pre/post fusion).
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clean/cleaning.h"
+#include "clean/transforms.h"
+#include "common/status.h"
+#include "dedup/consolidation.h"
+#include "ingest/source_registry.h"
+#include "match/global_schema.h"
+#include "match/synonyms.h"
+#include "query/query.h"
+#include "query/text_search.h"
+#include "relational/catalog.h"
+#include "storage/document_store.h"
+#include "textparse/domain_parser.h"
+
+namespace dt::fusion {
+
+/// Facade configuration.
+struct DataTamerOptions {
+  /// Storage options for dt.instance / dt.entity (benches scale the
+  /// extent sizes with the corpus).
+  storage::CollectionOptions collection_options;
+  match::GlobalSchemaOptions schema_options;
+  clean::CleaningOptions cleaning_options;
+  dedup::ConsolidationOptions consolidation_options;
+  /// Run the cleaner on structured sources at ingest.
+  bool clean_structured_sources = true;
+  /// Apply built-in normalizing transforms (currency -> USD, dates ->
+  /// m/d/yyyy-preserving ISO) to recognized columns at ingest.
+  bool auto_transform = true;
+  /// Merge priority of structured vs text-derived records.
+  int structured_trust = 10;
+  int text_trust = 1;
+  /// EUR->USD rate for the currency transform.
+  double eur_usd_rate = 1.30;
+};
+
+/// Decides a reviewed attribute: return the chosen global attribute
+/// index, or -1 to create a new attribute. Wired to the expert-sourcing
+/// loop by the caller (the facade stays oracle-free).
+using ReviewResolver = std::function<int(
+    const match::AttributeMatchResult&, const match::GlobalSchema&)>;
+
+/// Running counts of what the pipeline has processed.
+struct PipelineStats {
+  int64_t fragments_ingested = 0;
+  int64_t entities_extracted = 0;
+  int64_t structured_tables = 0;
+  int64_t structured_rows = 0;
+  clean::CleaningReport cleaning;
+};
+
+/// \brief The end-to-end system.
+class DataTamer {
+ public:
+  explicit DataTamer(DataTamerOptions opts = {});
+
+  // ---- Text pipeline (unstructured arrow of Fig. 1) ----
+
+  /// Installs the domain parser's dictionary (must outlive the facade).
+  void SetGazetteer(const textparse::Gazetteer* gazetteer);
+
+  /// \brief Parses one text fragment and stores it: the fragment into
+  /// dt.instance, its mentions into dt.entity. Returns the instance id.
+  /// Fails unless a gazetteer is installed.
+  Result<storage::DocId> IngestTextFragment(std::string_view text,
+                                            const std::string& feed,
+                                            int64_t timestamp);
+
+  /// Creates the production index set: dt.instance on source (1 user
+  /// index), dt.entity on type, name, surface, confidence, instance_id,
+  /// award_winning, source (7 user indexes + _id = 8 as in Table II).
+  Status CreateStandardIndexes();
+
+  // ---- Structured pipeline ----
+
+  /// \brief Cleans, transforms, registers and schema-integrates a
+  /// structured source (one FTABLES table). Review-band attributes go
+  /// through `resolver` when provided, else conservatively become new
+  /// global attributes. Returns the integration report.
+  Result<match::IntegrationReport> IngestStructuredTable(
+      relational::Table table, const ReviewResolver& resolver = nullptr);
+
+  // ---- Semi-structured pipeline (the third arrow of Fig. 1) ----
+
+  /// \brief Ingests hierarchical documents: flattens them into a table
+  /// named `source_name` (object arrays unnest; see ingest::Flatten)
+  /// and routes it through the structured pipeline (clean, transform,
+  /// schema-match, register).
+  Result<match::IntegrationReport> IngestSemiStructuredSource(
+      const std::string& source_name,
+      const std::vector<storage::DocValue>& documents,
+      const ReviewResolver& resolver = nullptr);
+
+  /// Convenience overload: parses newline-delimited JSON first.
+  Result<match::IntegrationReport> IngestJsonLines(
+      const std::string& source_name, std::string_view json_lines,
+      const ReviewResolver& resolver = nullptr);
+
+  // ---- Fusion queries (the demo of §V) ----
+
+  /// \brief Table IV: top-k most discussed entities of `entity_type`
+  /// in the web text, optionally restricted to award winners.
+  std::vector<query::CountRow> TopDiscussed(const std::string& entity_type,
+                                            int k,
+                                            bool award_winning_only) const;
+
+  /// \brief Point query on the fused data: all information known about
+  /// the named entity, as a two-column (ATTRIBUTE, VALUE) table.
+  ///
+  /// With `include_structured` false the result only reflects the web
+  /// text (Table V); with true it consolidates text-derived and
+  /// structured records into an enriched composite (Table VI).
+  Result<relational::Table> QueryEntity(const std::string& entity_type,
+                                        const std::string& name,
+                                        bool include_structured) const;
+
+  /// \brief Keyword search over the ingested text fragments (how the
+  /// §V user explores WEBINSTANCE before knowing entity names).
+  /// Conjunctive TF-IDF ranking; the inverted index is built lazily and
+  /// refreshed when new fragments have arrived since the last search.
+  std::vector<query::SearchHit> SearchFragments(std::string_view keywords,
+                                                int k = 10) const;
+
+  /// \brief Consolidates all structured rows plus text entities of
+  /// `entity_type` into composite entities (the full entity-
+  /// consolidation pass, used by benches and examples).
+  Result<std::vector<dedup::CompositeEntity>> ConsolidateAll(
+      const std::string& entity_type,
+      dedup::ConsolidationStats* stats = nullptr) const;
+
+  // ---- Accessors ----
+  storage::Collection* instance_collection() { return instance_; }
+  const storage::Collection* instance_collection() const { return instance_; }
+  storage::Collection* entity_collection() { return entity_; }
+  const storage::Collection* entity_collection() const { return entity_; }
+  relational::Catalog& catalog() { return catalog_; }
+  const relational::Catalog& catalog() const { return catalog_; }
+  match::GlobalSchema& global_schema() { return *global_schema_; }
+  const match::GlobalSchema& global_schema() const { return *global_schema_; }
+  ingest::SourceRegistry& registry() { return registry_; }
+  const PipelineStats& stats() const { return stats_; }
+  const DataTamerOptions& options() const { return opts_; }
+
+ private:
+  /// Builds dedup records for `entity_type` whose name matches `name`
+  /// (empty name = all) from both text and structured sides.
+  std::vector<dedup::DedupRecord> CollectRecords(
+      const std::string& entity_type, const std::string& name) const;
+
+  relational::Table ApplyIngestTransforms(relational::Table table);
+
+  DataTamerOptions opts_;
+  std::unique_ptr<match::SynonymDictionary> synonyms_;
+  std::unique_ptr<match::GlobalSchema> global_schema_;
+  storage::DocumentStore store_;
+  storage::Collection* instance_ = nullptr;
+  storage::Collection* entity_ = nullptr;
+  relational::Catalog catalog_;
+  ingest::SourceRegistry registry_;
+  clean::TransformRegistry transforms_;
+  const textparse::Gazetteer* gazetteer_ = nullptr;
+  std::unique_ptr<textparse::DomainParser> parser_;
+  PipelineStats stats_;
+  int64_t ingest_seq_ = 0;
+  // Lazily built full-text index over dt.instance (see SearchFragments).
+  mutable query::InvertedIndex fragment_index_{"text"};
+  mutable int64_t fragments_indexed_ = 0;
+};
+
+}  // namespace dt::fusion

@@ -1,0 +1,186 @@
+#include "ingest/csv.h"
+
+#include "ingest/type_infer.h"
+
+namespace dt::ingest {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       const CsvOptions& opts) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  bool at_cell_start = true;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    at_cell_start = true;
+    cell_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!at_cell_start) {
+        return Status::Corruption("stray quote at offset " + std::to_string(i));
+      }
+      in_quotes = true;
+      cell_was_quoted = true;
+      at_cell_start = false;
+      ++i;
+      continue;
+    }
+    if (c == opts.delimiter) {
+      end_cell();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      // swallow, handle \r\n and bare \r as row ends via following \n or not
+      if (i + 1 < n && text[i + 1] == '\n') {
+        ++i;
+        continue;
+      }
+      end_row();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    if (cell_was_quoted) {
+      return Status::Corruption("data after closing quote at offset " +
+                                std::to_string(i));
+    }
+    cell.push_back(c);
+    at_cell_start = false;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted field");
+  }
+  // Trailing row without final newline.
+  if (!cell.empty() || !row.empty() || !at_cell_start || cell_was_quoted) {
+    end_row();
+  }
+  return rows;
+}
+
+Result<relational::Table> CsvToTable(const std::string& table_name,
+                                     std::string_view text,
+                                     const CsvOptions& opts) {
+  DT_ASSIGN_OR_RETURN(auto rows, ParseCsv(text, opts));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input for table " + table_name);
+  }
+  std::vector<std::string> header;
+  size_t first_data = 0;
+  if (opts.has_header) {
+    header = rows[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < rows[0].size(); ++c) {
+      header.push_back("col" + std::to_string(c));
+    }
+  }
+
+  const size_t ncols = header.size();
+  // Column-wise type inference over the data rows.
+  std::vector<relational::ValueType> types(ncols,
+                                           relational::ValueType::kString);
+  if (opts.infer_types) {
+    for (size_t c = 0; c < ncols; ++c) {
+      std::vector<std::string_view> col;
+      col.reserve(rows.size() - first_data);
+      for (size_t r = first_data; r < rows.size(); ++r) {
+        if (c < rows[r].size()) col.push_back(rows[r][c]);
+      }
+      types[c] = InferColumnType(col);
+    }
+  }
+
+  relational::Schema schema;
+  for (size_t c = 0; c < ncols; ++c) {
+    DT_RETURN_NOT_OK(schema.AddAttribute({header[c], types[c]}));
+  }
+  relational::Table table(table_name, std::move(schema));
+  for (size_t r = first_data; r < rows.size(); ++r) {
+    if (rows[r].size() != ncols) {
+      return Status::Corruption(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " cells, expected " +
+          std::to_string(ncols) + " in table " + table_name);
+    }
+    relational::Row row;
+    row.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      row.push_back(ParseValueAs(rows[r][c], types[c]));
+    }
+    DT_RETURN_NOT_OK(table.Append(std::move(row)));
+  }
+  return table;
+}
+
+namespace {
+std::string EscapeCell(const std::string& s, char delim) {
+  bool needs_quote = s.find(delim) != std::string::npos ||
+                     s.find('"') != std::string::npos ||
+                     s.find('\n') != std::string::npos ||
+                     s.find('\r') != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TableToCsv(const relational::Table& table, char delimiter) {
+  std::string out;
+  const auto& attrs = table.schema().attributes();
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    out += EscapeCell(attrs[c].name, delimiter);
+  }
+  out.push_back('\n');
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const auto& row = table.row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      out += EscapeCell(row[c].ToString(), delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dt::ingest

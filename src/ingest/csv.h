@@ -1,0 +1,44 @@
+/// \file csv.h
+/// \brief RFC-4180-style CSV parsing into string cells or typed tables.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace dt::ingest {
+
+/// Parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row is a header with attribute names.
+  bool has_header = true;
+  /// Infer int/double/bool column types from the data; otherwise all
+  /// columns are strings.
+  bool infer_types = true;
+};
+
+/// \brief Parses CSV text into rows of string cells.
+///
+/// Supports quoted fields with embedded delimiters/newlines and "" as an
+/// escaped quote. Rejects unterminated quotes and stray quotes inside
+/// unquoted fields with a Corruption status.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, const CsvOptions& opts = {});
+
+/// \brief Parses CSV text into a typed table named `table_name`.
+///
+/// With `has_header` false, attributes are named col0..colN-1. Rows
+/// with a cell count different from the header are rejected.
+Result<relational::Table> CsvToTable(const std::string& table_name,
+                                     std::string_view text,
+                                     const CsvOptions& opts = {});
+
+/// Renders a table back to CSV (used by examples and round-trip tests).
+std::string TableToCsv(const relational::Table& table, char delimiter = ',');
+
+}  // namespace dt::ingest

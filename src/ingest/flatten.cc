@@ -1,0 +1,198 @@
+#include "ingest/flatten.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/strutil.h"
+
+namespace dt::ingest {
+
+namespace {
+
+using relational::Value;
+using storage::DocType;
+using storage::DocValue;
+
+Value ScalarToValue(const DocValue& v) {
+  switch (v.type()) {
+    case DocType::kNull:
+      return Value::Null();
+    case DocType::kBool:
+      return Value::Bool(v.bool_value());
+    case DocType::kInt64:
+      return Value::Int(v.int_value());
+    case DocType::kDouble:
+      return Value::Double(v.double_value());
+    case DocType::kString:
+      return Value::Str(v.string_value());
+    default:
+      return Value::Null();
+  }
+}
+
+bool IsScalar(const DocValue& v) { return !v.is_array() && !v.is_object(); }
+
+bool AllScalars(const DocValue& arr) {
+  for (const auto& item : arr.array_items()) {
+    if (!IsScalar(item)) return false;
+  }
+  return true;
+}
+
+std::string JoinScalarArray(const DocValue& arr, const std::string& sep) {
+  std::vector<std::string> parts;
+  parts.reserve(arr.array_items().size());
+  for (const auto& item : arr.array_items()) {
+    parts.push_back(ScalarToValue(item).ToString());
+  }
+  return Join(parts, sep);
+}
+
+// Recursive worker: produces the cross product of exploded object
+// arrays. `prefix` is the dotted path so far.
+Status FlattenInto(const DocValue& doc, const std::string& prefix,
+                   const FlattenOptions& opts,
+                   std::vector<FlatRecord>* records) {
+  for (const auto& [key, val] : doc.fields()) {
+    std::string path = prefix.empty() ? key : prefix + "." + key;
+    if (IsScalar(val)) {
+      for (auto& rec : *records) rec.emplace_back(path, ScalarToValue(val));
+    } else if (val.is_object()) {
+      DT_RETURN_NOT_OK(FlattenInto(val, path, opts, records));
+    } else {  // array
+      if (val.array_items().empty()) continue;
+      if (AllScalars(val)) {
+        Value joined =
+            Value::Str(JoinScalarArray(val, opts.array_join_separator));
+        for (auto& rec : *records) rec.emplace_back(path, joined);
+      } else if (opts.explode_object_arrays) {
+        // Unnest: every existing record fans out per array element.
+        size_t fanout = val.array_items().size();
+        if (records->size() * fanout >
+            static_cast<size_t>(opts.max_records_per_document)) {
+          return Status::CapacityExceeded(
+              "flattening explosion exceeds max_records_per_document at " +
+              path);
+        }
+        std::vector<FlatRecord> expanded;
+        expanded.reserve(records->size() * fanout);
+        for (const auto& item : val.array_items()) {
+          std::vector<FlatRecord> branch = *records;  // copy current state
+          if (item.is_object()) {
+            DT_RETURN_NOT_OK(FlattenInto(item, path, opts, &branch));
+          } else if (item.is_array()) {
+            // Nested arrays flatten positionally under the same path.
+            for (auto& rec : branch) {
+              rec.emplace_back(
+                  path, Value::Str(item.ToJson()));
+            }
+          } else {
+            for (auto& rec : branch) {
+              rec.emplace_back(path, ScalarToValue(item));
+            }
+          }
+          for (auto& rec : branch) expanded.push_back(std::move(rec));
+        }
+        *records = std::move(expanded);
+      } else {
+        // In-place: positional path segments.
+        int idx = 0;
+        for (const auto& item : val.array_items()) {
+          std::string ipath = path + "." + std::to_string(idx++);
+          if (item.is_object()) {
+            DT_RETURN_NOT_OK(FlattenInto(item, ipath, opts, records));
+          } else if (IsScalar(item)) {
+            for (auto& rec : *records) {
+              rec.emplace_back(ipath, ScalarToValue(item));
+            }
+          } else {
+            for (auto& rec : *records) {
+              rec.emplace_back(ipath, Value::Str(item.ToJson()));
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<FlatRecord>> FlattenDocument(const storage::DocValue& doc,
+                                                const FlattenOptions& opts) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("can only flatten object documents, got " +
+                                   std::string(DocTypeName(doc.type())));
+  }
+  std::vector<FlatRecord> records(1);
+  DT_RETURN_NOT_OK(FlattenInto(doc, "", opts, &records));
+  return records;
+}
+
+Result<relational::Table> FlattenToTable(
+    const std::string& table_name, const std::vector<storage::DocValue>& docs,
+    const FlattenOptions& opts) {
+  // First pass: flatten everything, collect attribute paths in
+  // first-seen order and their observed value types.
+  std::vector<FlatRecord> all_records;
+  std::vector<std::string> paths;
+  std::unordered_map<std::string, int> path_index;
+  std::unordered_map<std::string, relational::ValueType> path_type;
+  std::unordered_map<std::string, bool> type_conflict;
+
+  for (const auto& doc : docs) {
+    DT_ASSIGN_OR_RETURN(auto records, FlattenDocument(doc, opts));
+    for (auto& rec : records) {
+      for (const auto& [path, value] : rec) {
+        if (path_index.emplace(path, static_cast<int>(paths.size())).second) {
+          paths.push_back(path);
+          path_type[path] = value.type();
+        } else if (!value.is_null()) {
+          auto& t = path_type[path];
+          if (t == relational::ValueType::kNull) {
+            t = value.type();
+          } else if (t != value.type()) {
+            // int widens to double; anything else conflicts to string
+            bool numeric_widen =
+                (t == relational::ValueType::kInt &&
+                 value.type() == relational::ValueType::kDouble) ||
+                (t == relational::ValueType::kDouble &&
+                 value.type() == relational::ValueType::kInt);
+            if (numeric_widen) {
+              t = relational::ValueType::kDouble;
+            } else {
+              type_conflict[path] = true;
+            }
+          }
+        }
+      }
+      all_records.push_back(std::move(rec));
+    }
+  }
+
+  relational::Schema schema;
+  for (const auto& p : paths) {
+    relational::ValueType t = type_conflict[p] ? relational::ValueType::kString
+                                               : path_type[p];
+    if (t == relational::ValueType::kNull) t = relational::ValueType::kString;
+    DT_RETURN_NOT_OK(schema.AddAttribute({p, t}));
+  }
+
+  relational::Table table(table_name, schema);
+  for (const auto& rec : all_records) {
+    relational::Row row(paths.size());
+    for (const auto& [path, value] : rec) {
+      int idx = path_index[path];
+      if (type_conflict[path] && !value.is_null()) {
+        row[idx] = relational::Value::Str(value.ToString());
+      } else {
+        row[idx] = value;
+      }
+    }
+    DT_RETURN_NOT_OK(table.Append(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace dt::ingest

@@ -1,0 +1,56 @@
+/// \file flatten.h
+/// \brief Conversion of hierarchical documents into flat records.
+///
+/// The paper: "By flattening here we mean the process of converting
+/// hierarchical data into flat records before processing by DATA
+/// TAMER." Scalars map to dotted-path attributes; arrays either join
+/// into delimited strings (scalar arrays) or explode into one record
+/// per element (object arrays, i.e. an unnest).
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "storage/docvalue.h"
+
+namespace dt::ingest {
+
+/// A flat record: ordered (attribute path, scalar value) pairs.
+using FlatRecord = std::vector<std::pair<std::string, relational::Value>>;
+
+/// Flattening behaviour knobs.
+struct FlattenOptions {
+  /// Separator used when a scalar array is joined into one string.
+  std::string array_join_separator = " | ";
+  /// When true, an array of objects produces one record per element
+  /// (cross product across multiple such arrays); when false the array
+  /// elements are flattened in place with numeric path segments.
+  bool explode_object_arrays = true;
+  /// Safety valve on the cross-product explosion.
+  int max_records_per_document = 4096;
+};
+
+/// \brief Flattens one hierarchical document into >= 1 flat records.
+///
+/// Fails with InvalidArgument for non-object inputs and
+/// CapacityExceeded when the explode cross-product exceeds
+/// `max_records_per_document`.
+Result<std::vector<FlatRecord>> FlattenDocument(const storage::DocValue& doc,
+                                                const FlattenOptions& opts = {});
+
+/// \brief Flattens a batch of documents into a relational table.
+///
+/// The schema is the union of all attribute paths encountered, in first-
+/// seen order; records missing an attribute get Null. All columns land
+/// as their natural scalar types when every occurrence agrees,
+/// otherwise as strings.
+Result<relational::Table> FlattenToTable(
+    const std::string& table_name,
+    const std::vector<storage::DocValue>& docs,
+    const FlattenOptions& opts = {});
+
+}  // namespace dt::ingest

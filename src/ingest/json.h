@@ -1,0 +1,27 @@
+/// \file json.h
+/// \brief JSON parsing into the hierarchical `storage::DocValue` model.
+///
+/// This is the entry point for semi-structured sources (the output of
+/// a domain-specific parser, exported crawls, API feeds).
+
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/docvalue.h"
+
+namespace dt::ingest {
+
+/// \brief Parses one JSON value (object, array, or scalar).
+///
+/// Integers without fraction/exponent parse to Int; other numbers to
+/// Double. Supports \uXXXX escapes (encoded as UTF-8; surrogate pairs
+/// are combined). Trailing non-whitespace input is a Corruption error.
+Result<storage::DocValue> ParseJson(std::string_view text);
+
+/// \brief Parses newline-delimited JSON (one document per line; blank
+/// lines skipped).
+Result<std::vector<storage::DocValue>> ParseJsonLines(std::string_view text);
+
+}  // namespace dt::ingest

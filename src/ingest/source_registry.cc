@@ -1,0 +1,50 @@
+#include "ingest/source_registry.h"
+
+namespace dt::ingest {
+
+const char* SourceKindName(SourceKind k) {
+  switch (k) {
+    case SourceKind::kStructured:
+      return "structured";
+    case SourceKind::kSemiStructured:
+      return "semi-structured";
+    case SourceKind::kText:
+      return "text";
+  }
+  return "?";
+}
+
+Status SourceRegistry::Register(DataSource source) {
+  if (sources_.count(source.id) > 0) {
+    return Status::AlreadyExists("source " + source.id +
+                                 " already registered");
+  }
+  sources_.emplace(source.id, std::move(source));
+  return Status::OK();
+}
+
+Result<DataSource> SourceRegistry::Get(const std::string& id) const {
+  auto it = sources_.find(id);
+  if (it == sources_.end()) {
+    return Status::NotFound("source " + id + " not registered");
+  }
+  return it->second;
+}
+
+Status SourceRegistry::RecordIngest(const std::string& id, int64_t count) {
+  auto it = sources_.find(id);
+  if (it == sources_.end()) {
+    return Status::NotFound("source " + id + " not registered");
+  }
+  it->second.records_ingested += count;
+  return Status::OK();
+}
+
+std::vector<DataSource> SourceRegistry::All() const {
+  std::vector<DataSource> out;
+  out.reserve(sources_.size());
+  for (const auto& [_, s] : sources_) out.push_back(s);
+  return out;
+}
+
+}  // namespace dt::ingest

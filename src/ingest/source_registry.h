@@ -1,0 +1,61 @@
+/// \file source_registry.h
+/// \brief Provenance registry for ingested data sources.
+///
+/// Every dataset entering the system (structured table, semi-structured
+/// feed, text corpus) is registered here; downstream modules carry the
+/// source id so consolidation can apply per-source merge priorities and
+/// the UI can explain where a fused value came from.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dt::ingest {
+
+/// Broad class of a data source (Fig. 1's three input arrows).
+enum class SourceKind {
+  kStructured = 0,      ///< CSV / relational exports (FTABLES)
+  kSemiStructured = 1,  ///< JSON / hierarchical feeds
+  kText = 2,            ///< raw text corpora (WEBINSTANCE input)
+};
+
+const char* SourceKindName(SourceKind k);
+
+/// \brief Descriptor of a registered source.
+struct DataSource {
+  std::string id;    ///< unique, e.g. "ftables/broadway_shows_03"
+  std::string name;  ///< human-readable
+  SourceKind kind = SourceKind::kStructured;
+  /// Priority used by consolidation when merging conflicting values;
+  /// higher wins (structured curated sources usually outrank text).
+  int trust_priority = 0;
+  int64_t records_ingested = 0;
+};
+
+/// \brief Registry of all ingested sources.
+class SourceRegistry {
+ public:
+  /// Registers a source; AlreadyExists on id clash.
+  Status Register(DataSource source);
+
+  /// Looks a source up by id.
+  Result<DataSource> Get(const std::string& id) const;
+
+  /// Adds to the ingested-record counter of `id`.
+  Status RecordIngest(const std::string& id, int64_t count);
+
+  /// All sources, ordered by id.
+  std::vector<DataSource> All() const;
+
+  int64_t num_sources() const { return static_cast<int64_t>(sources_.size()); }
+
+ private:
+  std::map<std::string, DataSource> sources_;
+};
+
+}  // namespace dt::ingest

@@ -1,0 +1,232 @@
+#include "ingest/type_infer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace dt::ingest {
+
+relational::ValueType InferColumnType(
+    const std::vector<std::string_view>& cells) {
+  bool saw_any = false;
+  bool all_int = true, all_num = true, all_bool = true;
+  for (auto cell : cells) {
+    std::string_view t = TrimView(cell);
+    if (t.empty()) continue;
+    saw_any = true;
+    int64_t i;
+    double d;
+    bool is_int = ParseInt64(t, &i);
+    bool is_num = is_int || ParseDouble(t, &d);
+    std::string lower = ToLower(t);
+    bool is_bool = (lower == "true" || lower == "false");
+    all_int = all_int && is_int;
+    all_num = all_num && is_num;
+    all_bool = all_bool && is_bool;
+  }
+  if (!saw_any) return relational::ValueType::kString;
+  if (all_bool) return relational::ValueType::kBool;
+  if (all_int) return relational::ValueType::kInt;
+  if (all_num) return relational::ValueType::kDouble;
+  return relational::ValueType::kString;
+}
+
+relational::Value ParseValueAs(std::string_view cell,
+                               relational::ValueType type) {
+  std::string_view t = TrimView(cell);
+  if (t.empty()) return relational::Value::Null();
+  switch (type) {
+    case relational::ValueType::kBool: {
+      std::string lower = ToLower(t);
+      if (lower == "true") return relational::Value::Bool(true);
+      if (lower == "false") return relational::Value::Bool(false);
+      break;
+    }
+    case relational::ValueType::kInt: {
+      int64_t i;
+      if (ParseInt64(t, &i)) return relational::Value::Int(i);
+      break;
+    }
+    case relational::ValueType::kDouble: {
+      double d;
+      if (ParseDouble(t, &d)) return relational::Value::Double(d);
+      break;
+    }
+    default:
+      break;
+  }
+  return relational::Value::Str(std::string(t));
+}
+
+const char* SemanticTypeName(SemanticType t) {
+  switch (t) {
+    case SemanticType::kUnknown:
+      return "unknown";
+    case SemanticType::kInteger:
+      return "integer";
+    case SemanticType::kDecimal:
+      return "decimal";
+    case SemanticType::kCurrency:
+      return "currency";
+    case SemanticType::kDate:
+      return "date";
+    case SemanticType::kTime:
+      return "time";
+    case SemanticType::kPhone:
+      return "phone";
+    case SemanticType::kUrl:
+      return "url";
+    case SemanticType::kZipCode:
+      return "zipcode";
+    case SemanticType::kPercentage:
+      return "percentage";
+    case SemanticType::kFreeText:
+      return "freetext";
+    case SemanticType::kShortString:
+      return "shortstring";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsDigitByte(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool LooksLikeDate(std::string_view s) {
+  // m/d/yyyy or mm/dd/yyyy or yyyy-mm-dd or "Mar 4, 2013"-ish
+  int digits = 0, seps = 0;
+  char sep = 0;
+  for (char c : s) {
+    if (IsDigitByte(c)) {
+      ++digits;
+    } else if (c == '/' || c == '-' || c == '.') {
+      if (sep == 0) sep = c;
+      if (c == sep) ++seps;
+    }
+  }
+  if (seps == 2 && digits >= 4 && digits <= 8 && s.size() <= 10) return true;
+  // Month-name form.
+  static const char* kMonths[] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                  "jul", "aug", "sep", "oct", "nov", "dec"};
+  std::string lower = ToLower(s);
+  for (const char* m : kMonths) {
+    if (lower.rfind(m, 0) == 0 && digits >= 1 && digits <= 6) return true;
+  }
+  return false;
+}
+
+bool LooksLikeTime(std::string_view s) {
+  std::string lower = ToLower(Trim(s));
+  if (lower.empty()) return false;
+  // "7pm", "7 pm", "19:30", "7:30pm"
+  bool has_ampm = EndsWith(lower, "am") || EndsWith(lower, "pm");
+  std::string_view core = lower;
+  if (has_ampm) core = TrimView(core.substr(0, core.size() - 2));
+  if (core.empty()) return false;
+  int colons = 0;
+  for (char c : core) {
+    if (c == ':') {
+      ++colons;
+    } else if (!IsDigitByte(c)) {
+      return false;
+    }
+  }
+  if (colons > 2) return false;
+  if (colons == 0 && !has_ampm) return false;  // bare number is not a time
+  return core.size() <= 8;
+}
+
+bool LooksLikeCurrency(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.empty()) return false;
+  bool has_symbol = t[0] == '$' || StartsWith(t, "\xe2\x82\xac") /* € */ ||
+                    StartsWith(t, "\xc2\xa3") /* £ */;
+  std::string lower = ToLower(t);
+  bool has_code = EndsWith(lower, "usd") || EndsWith(lower, "eur") ||
+                  EndsWith(lower, "gbp") || EndsWith(lower, "dollars") ||
+                  EndsWith(lower, "euros");
+  if (!has_symbol && !has_code) return false;
+  // There must be a number somewhere.
+  for (char c : t) {
+    if (IsDigitByte(c)) return true;
+  }
+  return false;
+}
+
+bool LooksLikePhone(std::string_view s) {
+  int digits = 0;
+  for (char c : s) {
+    if (IsDigitByte(c)) {
+      ++digits;
+    } else if (c != '(' && c != ')' && c != '-' && c != ' ' && c != '+' &&
+               c != '.') {
+      return false;
+    }
+  }
+  return digits >= 7 && digits <= 15;
+}
+
+bool LooksLikeUrl(std::string_view s) {
+  std::string lower = ToLower(TrimView(s));
+  return StartsWith(lower, "http://") || StartsWith(lower, "https://") ||
+         StartsWith(lower, "www.");
+}
+
+bool LooksLikePercentage(std::string_view s) {
+  std::string t = Trim(s);
+  if (t.size() < 2 || t.back() != '%') return false;
+  double d;
+  return ParseDouble(std::string_view(t).substr(0, t.size() - 1), &d);
+}
+
+}  // namespace
+
+SemanticType DetectSemanticType(std::string_view raw) {
+  std::string_view s = TrimView(raw);
+  if (s.empty()) return SemanticType::kUnknown;
+  if (LooksLikeUrl(s)) return SemanticType::kUrl;
+  if (LooksLikeCurrency(s)) return SemanticType::kCurrency;
+  if (LooksLikePercentage(s)) return SemanticType::kPercentage;
+  int64_t i;
+  if (ParseInt64(s, &i)) {
+    if (s.size() == 5 && IsDigits(s)) return SemanticType::kZipCode;
+    return SemanticType::kInteger;
+  }
+  double d;
+  if (ParseDouble(s, &d)) return SemanticType::kDecimal;
+  if (LooksLikeDate(s)) return SemanticType::kDate;
+  if (LooksLikeTime(s)) return SemanticType::kTime;
+  if (LooksLikePhone(s)) return SemanticType::kPhone;
+  size_t tokens = WordTokens(s).size();
+  return tokens > 5 ? SemanticType::kFreeText : SemanticType::kShortString;
+}
+
+SemanticType DetectColumnSemanticType(const std::vector<std::string>& cells) {
+  int counts[12] = {0};
+  int non_empty = 0;
+  size_t total_tokens = 0;
+  for (const auto& c : cells) {
+    SemanticType t = DetectSemanticType(c);
+    if (t == SemanticType::kUnknown) continue;
+    ++non_empty;
+    ++counts[static_cast<int>(t)];
+    total_tokens += WordTokens(c).size();
+  }
+  if (non_empty == 0) return SemanticType::kUnknown;
+  int best = 0;
+  for (int t = 1; t < 12; ++t) {
+    if (counts[t] > counts[best]) best = t;
+  }
+  if (counts[best] * 2 > non_empty &&
+      static_cast<SemanticType>(best) != SemanticType::kShortString &&
+      static_cast<SemanticType>(best) != SemanticType::kFreeText) {
+    return static_cast<SemanticType>(best);
+  }
+  double avg_tokens = static_cast<double>(total_tokens) / non_empty;
+  return avg_tokens > 5.0 ? SemanticType::kFreeText
+                          : SemanticType::kShortString;
+}
+
+}  // namespace dt::ingest

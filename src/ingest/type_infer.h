@@ -1,0 +1,55 @@
+/// \file type_infer.h
+/// \brief Storage-type and semantic-type inference over string columns.
+///
+/// Storage types drive the relational landing zone; semantic types
+/// (currency, date, phone, URL, ...) feed both the value-based schema
+/// matcher and the cleaning/transformation engine.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace dt::ingest {
+
+/// \brief Infers the narrowest storage type covering every non-empty
+/// cell: all ints -> kInt; ints+doubles -> kDouble; "true"/"false" ->
+/// kBool; anything else -> kString. All-empty columns are kString.
+relational::ValueType InferColumnType(
+    const std::vector<std::string_view>& cells);
+
+/// Parses a single cell as `type`, falling back to string (never fails;
+/// empty cells become Null).
+relational::Value ParseValueAs(std::string_view cell,
+                               relational::ValueType type);
+
+/// \brief Domain-level interpretation of a string column.
+enum class SemanticType {
+  kUnknown = 0,
+  kInteger,      ///< digits, possibly signed
+  kDecimal,      ///< decimal number
+  kCurrency,     ///< "$27", "27 USD", "€35.50"
+  kDate,         ///< "3/4/2013", "2013-03-04", "Mar 4, 2013"
+  kTime,         ///< "7pm", "19:30"
+  kPhone,        ///< "(212) 239-6200"
+  kUrl,          ///< "http://..."
+  kZipCode,      ///< 5-digit US zip
+  kPercentage,   ///< "93%"
+  kFreeText,     ///< long prose (avg > 5 tokens)
+  kShortString,  ///< everything else
+};
+
+const char* SemanticTypeName(SemanticType t);
+
+/// Classifies a single string.
+SemanticType DetectSemanticType(std::string_view s);
+
+/// Majority-vote classification of a column (ignoring empties); returns
+/// kUnknown for an all-empty column. A type wins with >50% of non-empty
+/// cells, otherwise kShortString/kFreeText based on average token count.
+SemanticType DetectColumnSemanticType(const std::vector<std::string>& cells);
+
+}  // namespace dt::ingest

@@ -1,0 +1,164 @@
+#include "match/column_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace dt::match {
+
+using relational::Value;
+using relational::ValueType;
+
+void ColumnProfile::Observe(const Value& v) {
+  ++count_;
+  if (v.is_null()) return;
+  ++non_null_;
+  ++type_counts_[static_cast<int>(v.type())];
+  if (v.is_number()) {
+    double d = v.as_double();
+    if (numeric_n_ == 0) {
+      min_ = max_ = d;
+    } else {
+      min_ = std::min(min_, d);
+      max_ = std::max(max_, d);
+    }
+    ++numeric_n_;
+    sum_ += d;
+    sum_sq_ += d * d;
+  }
+  std::string s = v.ToString();
+  if (v.is_string()) {
+    ++string_n_;
+    total_string_len_ += static_cast<int64_t>(s.size());
+    for (const auto& tok : WordTokens(s)) ++token_tf_[tok];
+  }
+  if (values_seen_.size() < kMaxRetainedValues ||
+      values_seen_.count(ToLower(s)) > 0) {
+    ++values_seen_[ToLower(s)];
+  }
+}
+
+ColumnProfile ColumnProfile::Build(const std::vector<Value>& values) {
+  ColumnProfile p;
+  std::vector<std::string> strings;
+  for (const auto& v : values) {
+    p.Observe(v);
+    if (!v.is_null()) strings.push_back(v.ToString());
+  }
+  p.FinalizeTypes(strings);
+  return p;
+}
+
+void ColumnProfile::FinalizeTypes(const std::vector<std::string>& strings) {
+  // Dominant storage type by majority of non-null observations.
+  int best = static_cast<int>(ValueType::kString);
+  int64_t best_n = -1;
+  for (int t = 1; t < 5; ++t) {  // skip kNull
+    if (type_counts_[t] > best_n) {
+      best_n = type_counts_[t];
+      best = t;
+    }
+  }
+  dominant_type_ = non_null_ == 0 ? ValueType::kString
+                                  : static_cast<ValueType>(best);
+  semantic_type_ = ingest::DetectColumnSemanticType(strings);
+}
+
+void ColumnProfile::Merge(const ColumnProfile& other) {
+  count_ += other.count_;
+  non_null_ += other.non_null_;
+  for (int t = 0; t < 5; ++t) type_counts_[t] += other.type_counts_[t];
+  if (other.numeric_n_ > 0) {
+    if (numeric_n_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    numeric_n_ += other.numeric_n_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+  }
+  string_n_ += other.string_n_;
+  total_string_len_ += other.total_string_len_;
+  for (const auto& [tok, n] : other.token_tf_) token_tf_[tok] += n;
+  for (const auto& [val, n] : other.values_seen_) {
+    if (values_seen_.size() < kMaxRetainedValues ||
+        values_seen_.count(val) > 0) {
+      values_seen_[val] += n;
+    }
+  }
+  // Recompute dominant type from merged counts.
+  int best = static_cast<int>(ValueType::kString);
+  int64_t best_n = -1;
+  for (int t = 1; t < 5; ++t) {
+    if (type_counts_[t] > best_n) {
+      best_n = type_counts_[t];
+      best = t;
+    }
+  }
+  if (non_null_ > 0) dominant_type_ = static_cast<ValueType>(best);
+  // Semantic type: keep ours unless we had none.
+  if (semantic_type_ == ingest::SemanticType::kUnknown) {
+    semantic_type_ = other.semantic_type_;
+  }
+}
+
+double ColumnProfile::mean() const {
+  return numeric_n_ == 0 ? 0.0 : sum_ / static_cast<double>(numeric_n_);
+}
+
+double ColumnProfile::stddev() const {
+  if (numeric_n_ == 0) return 0.0;
+  double m = mean();
+  double var = sum_sq_ / static_cast<double>(numeric_n_) - m * m;
+  return var <= 0 ? 0.0 : std::sqrt(var);
+}
+
+double ColumnProfile::avg_string_len() const {
+  return string_n_ == 0
+             ? 0.0
+             : static_cast<double>(total_string_len_) / string_n_;
+}
+
+double ColumnProfile::ValueOverlap(const ColumnProfile& other) const {
+  if (values_seen_.empty() && other.values_seen_.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& [v, _] : values_seen_) inter += other.values_seen_.count(v);
+  size_t uni = values_seen_.size() + other.values_seen_.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double ColumnProfile::TokenCosine(const ColumnProfile& other) const {
+  if (token_tf_.empty() || other.token_tf_.empty()) return 0.0;
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [tok, n] : token_tf_) {
+    na += static_cast<double>(n) * n;
+    auto it = other.token_tf_.find(tok);
+    if (it != other.token_tf_.end()) {
+      dot += static_cast<double>(n) * it->second;
+    }
+  }
+  for (const auto& [tok, n] : other.token_tf_) {
+    nb += static_cast<double>(n) * n;
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double ColumnProfile::NumericAffinity(const ColumnProfile& other) const {
+  if (numeric_n_ == 0 || other.numeric_n_ == 0) return 0.0;
+  // Range overlap.
+  double lo = std::max(min_, other.min_);
+  double hi = std::min(max_, other.max_);
+  double span = std::max(max_, other.max_) - std::min(min_, other.min_);
+  double range_overlap =
+      span <= 0 ? 1.0 : std::max(0.0, (hi - lo)) / span;
+  // Mean proximity relative to the pooled spread.
+  double spread = std::max({stddev(), other.stddev(), 1e-9});
+  double mean_prox = std::exp(-std::fabs(mean() - other.mean()) / (2 * spread));
+  return 0.5 * range_overlap + 0.5 * mean_prox;
+}
+
+}  // namespace dt::match

@@ -1,0 +1,93 @@
+/// \file column_profile.h
+/// \brief Statistical fingerprint of a column's contents.
+///
+/// Value-based matching compares columns by what they *contain*, not
+/// what they are called: storage type, semantic type, token
+/// distribution, numeric moments, distinct-value overlap. Profiles are
+/// mergeable so the global schema can keep one running profile per
+/// global attribute as sources integrate.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ingest/type_infer.h"
+#include "relational/value.h"
+
+namespace dt::match {
+
+/// \brief Aggregated description of one column.
+class ColumnProfile {
+ public:
+  /// Builds a profile from column values (nulls are counted but
+  /// otherwise ignored).
+  static ColumnProfile Build(const std::vector<relational::Value>& values);
+
+  /// Merges another profile into this one (running global profile).
+  void Merge(const ColumnProfile& other);
+
+  int64_t count() const { return count_; }
+  int64_t non_null() const { return non_null_; }
+  /// Approximate distinct count (exact up to the sample cap).
+  int64_t distinct() const { return static_cast<int64_t>(values_seen_.size()); }
+  double null_fraction() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(count_ - non_null_) / count_;
+  }
+
+  relational::ValueType dominant_type() const { return dominant_type_; }
+  ingest::SemanticType semantic_type() const { return semantic_type_; }
+
+  bool has_numeric_stats() const { return numeric_n_ > 0; }
+  double mean() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double avg_string_len() const;
+
+  /// Term-frequency map over word tokens of string values.
+  const std::unordered_map<std::string, int64_t>& token_tf() const {
+    return token_tf_;
+  }
+
+  /// Distinct-value overlap |A∩B| / |A∪B| over the retained value sets.
+  double ValueOverlap(const ColumnProfile& other) const;
+
+  /// Cosine similarity of the token tf vectors.
+  double TokenCosine(const ColumnProfile& other) const;
+
+  /// Similarity of numeric ranges/moments in [0,1]; 0 when either side
+  /// has no numeric content.
+  double NumericAffinity(const ColumnProfile& other) const;
+
+ private:
+  static constexpr size_t kMaxRetainedValues = 512;
+
+  void Observe(const relational::Value& v);
+  void FinalizeTypes(const std::vector<std::string>& strings);
+
+  int64_t count_ = 0;
+  int64_t non_null_ = 0;
+  int64_t type_counts_[5] = {0, 0, 0, 0, 0};
+  relational::ValueType dominant_type_ = relational::ValueType::kString;
+  ingest::SemanticType semantic_type_ = ingest::SemanticType::kUnknown;
+
+  // Numeric moments.
+  int64_t numeric_n_ = 0;
+  double sum_ = 0, sum_sq_ = 0;
+  double min_ = 0, max_ = 0;
+
+  // Strings.
+  int64_t string_n_ = 0;
+  int64_t total_string_len_ = 0;
+  std::unordered_map<std::string, int64_t> token_tf_;
+
+  // Distinct-value sample (normalized lower-case strings).
+  std::unordered_map<std::string, int64_t> values_seen_;
+};
+
+}  // namespace dt::match

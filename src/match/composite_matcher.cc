@@ -1,0 +1,60 @@
+#include "match/composite_matcher.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dt::match {
+
+std::string MatchScore::Explain() const {
+  std::string out = "name=" + FormatDouble(name_score, 2);
+  if (name_signals.synonym_jaccard > name_signals.token_jaccard) {
+    out += " (syn=" + FormatDouble(name_signals.synonym_jaccard, 2) + ")";
+  }
+  out += " value=" + FormatDouble(value_score, 2);
+  out += " sem=" + FormatDouble(semantic_score, 2);
+  out += " -> " + FormatDouble(total, 2);
+  return out;
+}
+
+MatchScore CompositeMatcher::Score(const AttributeCandidate& source,
+                                   const AttributeCandidate& target) const {
+  MatchScore s;
+  s.name_signals = ComputeNameSignals(source.name, target.name, synonyms_);
+  s.name_score = s.name_signals.Combined();
+
+  const bool have_profiles =
+      source.profile != nullptr && target.profile != nullptr &&
+      source.profile->non_null() > 0 && target.profile->non_null() > 0;
+
+  if (have_profiles) {
+    const ColumnProfile& a = *source.profile;
+    const ColumnProfile& b = *target.profile;
+    // Value evidence: the strongest of token distribution, shared
+    // values, and numeric shape (different channels dominate for
+    // different column kinds).
+    s.value_score = std::max(
+        {a.TokenCosine(b), a.ValueOverlap(b), a.NumericAffinity(b)});
+    // Semantic agreement: full credit for equal semantic types, half
+    // credit for agreeing storage type only.
+    if (a.semantic_type() == b.semantic_type() &&
+        a.semantic_type() != ingest::SemanticType::kUnknown) {
+      s.semantic_score = 1.0;
+    } else if (a.dominant_type() == b.dominant_type()) {
+      s.semantic_score = 0.5;
+    }
+    double wsum = weights_.name + weights_.value + weights_.semantic;
+    s.total = (weights_.name * s.name_score + weights_.value * s.value_score +
+               weights_.semantic * s.semantic_score) /
+              wsum;
+    // A perfect name match should not be dragged below acceptance by
+    // weak value evidence alone (e.g. disjoint value sets for the same
+    // attribute across sources).
+    if (s.name_signals.exact >= 1.0) s.total = std::max(s.total, 0.9);
+  } else {
+    s.total = s.name_score;
+  }
+  return s;
+}
+
+}  // namespace dt::match

@@ -1,0 +1,65 @@
+/// \file composite_matcher.h
+/// \brief Weighted combination of name and value evidence for one
+/// (source attribute, global attribute) pair.
+
+#pragma once
+
+#include <string>
+
+#include "match/column_profile.h"
+#include "match/name_matcher.h"
+#include "match/synonyms.h"
+
+namespace dt::match {
+
+/// Relative weights of the evidence channels (normalized at use).
+struct MatcherWeights {
+  double name = 0.55;
+  double value = 0.30;
+  double semantic = 0.15;
+};
+
+/// \brief Full score breakdown for a candidate pair, shown to the user
+/// in the suggestion drop-down (Figs. 2/3) and handed to experts with
+/// review tasks.
+struct MatchScore {
+  double total = 0;
+  NameMatchSignals name_signals;
+  double name_score = 0;
+  double value_score = 0;
+  double semantic_score = 0;
+
+  /// One-line explanation, e.g.
+  /// "name=0.82 (syn=1.00) value=0.41 sem=1.00 -> 0.74".
+  std::string Explain() const;
+};
+
+/// \brief One side of a match: an attribute with its content profile.
+struct AttributeCandidate {
+  std::string name;
+  const ColumnProfile* profile = nullptr;  // may be null (name-only match)
+};
+
+/// \brief Scores (source, target) attribute pairs.
+class CompositeMatcher {
+ public:
+  explicit CompositeMatcher(const SynonymDictionary* synonyms,
+                            MatcherWeights weights = {})
+      : synonyms_(synonyms), weights_(weights) {}
+
+  /// Scores the pair. When either profile is missing, the value and
+  /// semantic channels drop out and their weight redistributes onto the
+  /// name channel (so name-only matching still yields full-range
+  /// scores, matching the early bootstrap stage of Fig. 2).
+  MatchScore Score(const AttributeCandidate& source,
+                   const AttributeCandidate& target) const;
+
+  const MatcherWeights& weights() const { return weights_; }
+  void set_weights(MatcherWeights w) { weights_ = w; }
+
+ private:
+  const SynonymDictionary* synonyms_;
+  MatcherWeights weights_;
+};
+
+}  // namespace dt::match

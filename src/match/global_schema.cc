@@ -1,0 +1,185 @@
+#include "match/global_schema.h"
+
+#include <algorithm>
+
+namespace dt::match {
+
+const char* MatchDecisionName(MatchDecision d) {
+  switch (d) {
+    case MatchDecision::kAutoAccept:
+      return "auto-accept";
+    case MatchDecision::kNeedsReview:
+      return "needs-review";
+    case MatchDecision::kNewAttribute:
+      return "new-attribute";
+  }
+  return "?";
+}
+
+GlobalSchema::GlobalSchema(GlobalSchemaOptions opts,
+                           const SynonymDictionary* synonyms)
+    : opts_(opts),
+      synonyms_(synonyms),
+      matcher_(synonyms, opts.weights) {}
+
+std::vector<AttributeMatchResult> GlobalSchema::MatchTable(
+    const relational::Table& table) const {
+  std::vector<AttributeMatchResult> out;
+  const auto& schema = table.schema();
+  for (const auto& attr : schema.attributes()) {
+    AttributeMatchResult res;
+    res.source_attr = attr.name;
+    ColumnProfile src_profile = ColumnProfile::Build(table.Column(attr.name));
+    AttributeCandidate src{attr.name, &src_profile};
+
+    for (int g = 0; g < num_attributes(); ++g) {
+      AttributeCandidate tgt{attrs_[g].name, &attrs_[g].profile};
+      MatchScore score = matcher_.Score(src, tgt);
+      if (score.total >= opts_.review_threshold) {
+        MatchSuggestion sug;
+        sug.global_index = g;
+        sug.score = score.total;
+        sug.detail = score;
+        res.suggestions.push_back(std::move(sug));
+      }
+    }
+    std::sort(res.suggestions.begin(), res.suggestions.end(),
+              [](const MatchSuggestion& a, const MatchSuggestion& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.global_index < b.global_index;
+              });
+    if (static_cast<int>(res.suggestions.size()) > opts_.max_suggestions) {
+      res.suggestions.resize(opts_.max_suggestions);
+    }
+    if (res.suggestions.empty()) {
+      res.decision = MatchDecision::kNewAttribute;
+    } else if (res.suggestions[0].score >= opts_.accept_threshold) {
+      res.decision = MatchDecision::kAutoAccept;
+    } else {
+      res.decision = MatchDecision::kNeedsReview;
+    }
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+int GlobalSchema::AddAttribute(const std::string& name,
+                               relational::ValueType type,
+                               ColumnProfile profile,
+                               const std::string& source_table,
+                               const std::string& source_attr) {
+  // Global attribute names must be unique; suffix on clash (two
+  // distinct source attributes may share a name but fail to match on
+  // content — both deserve to exist).
+  std::string unique = name;
+  int suffix = 2;
+  while (IndexOf(unique) >= 0) {
+    unique = name + "_" + std::to_string(suffix++);
+  }
+  GlobalAttribute attr;
+  attr.name = unique;
+  attr.type = type;
+  attr.profile = std::move(profile);
+  attr.provenance.emplace_back(source_table, source_attr);
+  attrs_.push_back(std::move(attr));
+  int idx = num_attributes() - 1;
+  mapping_[{source_table, source_attr}] = idx;
+  return idx;
+}
+
+void GlobalSchema::MergeInto(int global_index, const ColumnProfile& profile,
+                             const std::string& source_table,
+                             const std::string& source_attr) {
+  attrs_[global_index].profile.Merge(profile);
+  attrs_[global_index].provenance.emplace_back(source_table, source_attr);
+  mapping_[{source_table, source_attr}] = global_index;
+}
+
+Result<std::map<std::string, int>> GlobalSchema::IntegrateTable(
+    const relational::Table& table,
+    const std::vector<AttributeMatchResult>& results,
+    const std::map<std::string, ReviewResolution>& review_resolutions) {
+  // Validate the result set covers the table's schema.
+  if (results.size() != static_cast<size_t>(table.schema().num_attributes())) {
+    return Status::InvalidArgument(
+        "match results cover " + std::to_string(results.size()) +
+        " attributes but table " + table.name() + " has " +
+        std::to_string(table.schema().num_attributes()));
+  }
+  IntegrationReport report;
+  report.source_name = table.name();
+  std::map<std::string, int> mapping;
+
+  for (const auto& res : results) {
+    if (!table.schema().Contains(res.source_attr)) {
+      return Status::InvalidArgument("match result for unknown attribute " +
+                                     res.source_attr);
+    }
+    ColumnProfile profile =
+        ColumnProfile::Build(table.Column(res.source_attr));
+    auto type = table.schema()
+                    .attribute(*table.schema().IndexOf(res.source_attr))
+                    .type;
+    switch (res.decision) {
+      case MatchDecision::kAutoAccept: {
+        int g = res.suggestions[0].global_index;
+        if (g < 0 || g >= num_attributes()) {
+          return Status::OutOfRange("suggestion index out of range");
+        }
+        MergeInto(g, profile, table.name(), res.source_attr);
+        mapping[res.source_attr] = g;
+        ++report.auto_accepted;
+        break;
+      }
+      case MatchDecision::kNeedsReview: {
+        ++report.sent_to_review;
+        auto it = review_resolutions.find(res.source_attr);
+        if (it != review_resolutions.end() && it->second.global_index >= 0) {
+          if (it->second.global_index >= num_attributes()) {
+            return Status::OutOfRange("review resolution index out of range");
+          }
+          MergeInto(it->second.global_index, profile, table.name(),
+                    res.source_attr);
+          mapping[res.source_attr] = it->second.global_index;
+          ++report.review_mapped;
+        } else {
+          // Conservative default: keep as a distinct global attribute.
+          int g = AddAttribute(res.source_attr, type, std::move(profile),
+                               table.name(), res.source_attr);
+          mapping[res.source_attr] = g;
+          ++report.review_added;
+        }
+        break;
+      }
+      case MatchDecision::kNewAttribute: {
+        int g = AddAttribute(res.source_attr, type, std::move(profile),
+                             table.name(), res.source_attr);
+        mapping[res.source_attr] = g;
+        ++report.new_attributes;
+        break;
+      }
+    }
+  }
+  reports_.push_back(report);
+  return mapping;
+}
+
+Result<std::map<std::string, int>> GlobalSchema::IntegrateTableAuto(
+    const relational::Table& table) {
+  return IntegrateTable(table, MatchTable(table));
+}
+
+int GlobalSchema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int GlobalSchema::MappingOf(const std::string& source_table,
+                            const std::string& source_attr) const {
+  auto it = mapping_.find({source_table, source_attr});
+  return it == mapping_.end() ? -1 : it->second;
+}
+
+}  // namespace dt::match

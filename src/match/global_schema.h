@@ -1,0 +1,152 @@
+/// \file global_schema.h
+/// \brief Bottom-up global integrated schema (Figs. 2 and 3).
+///
+/// The global schema starts empty and grows as sources arrive: each
+/// incoming attribute is matched against every current global
+/// attribute; scores above the acceptance threshold map automatically,
+/// scores in the review band go to expert sourcing, and attributes with
+/// no counterpart are added to the global schema (the "add to global
+/// schema / ignore" alert of Fig. 2).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/type_infer.h"
+#include "match/composite_matcher.h"
+#include "relational/table.h"
+
+namespace dt::match {
+
+/// \brief One attribute of the global integrated schema.
+struct GlobalAttribute {
+  std::string name;
+  relational::ValueType type = relational::ValueType::kString;
+  ColumnProfile profile;
+  /// (source table, source attribute) pairs merged into this attribute.
+  std::vector<std::pair<std::string, std::string>> provenance;
+};
+
+/// \brief A ranked suggestion for a source attribute.
+struct MatchSuggestion {
+  int global_index = -1;
+  double score = 0;
+  MatchScore detail;
+};
+
+/// Routing decision for one source attribute.
+enum class MatchDecision {
+  kAutoAccept = 0,   ///< top score >= accept threshold
+  kNeedsReview = 1,  ///< top score in [review, accept)
+  kNewAttribute = 2, ///< no suggestion above the review threshold
+};
+
+const char* MatchDecisionName(MatchDecision d);
+
+/// \brief Match outcome for one source attribute.
+struct AttributeMatchResult {
+  std::string source_attr;
+  std::vector<MatchSuggestion> suggestions;  ///< descending by score
+  MatchDecision decision = MatchDecision::kNewAttribute;
+
+  /// Convenience: best suggestion score (0 when none).
+  double top_score() const {
+    return suggestions.empty() ? 0.0 : suggestions[0].score;
+  }
+};
+
+/// Thresholds and knobs. The paper: "The user can pick the acceptance
+/// threshold by looking at the quality of matches."
+struct GlobalSchemaOptions {
+  double accept_threshold = 0.70;
+  double review_threshold = 0.45;
+  int max_suggestions = 5;
+  MatcherWeights weights;
+};
+
+/// Per-source integration statistics (drives the Fig. 2 curve of human
+/// effort vs. source index).
+struct IntegrationReport {
+  std::string source_name;
+  int auto_accepted = 0;
+  int sent_to_review = 0;
+  int new_attributes = 0;
+  /// Review outcomes applied when integrating (from experts).
+  int review_mapped = 0;
+  int review_added = 0;
+};
+
+/// \brief The global schema and its bottom-up construction operations.
+class GlobalSchema {
+ public:
+  explicit GlobalSchema(GlobalSchemaOptions opts = {},
+                        const SynonymDictionary* synonyms = nullptr);
+
+  /// Matches every attribute of `table` against the current global
+  /// schema without mutating it (pure suggestion pass — what the UI
+  /// shows before the user clicks).
+  std::vector<AttributeMatchResult> MatchTable(
+      const relational::Table& table) const;
+
+  /// Resolution of one reviewed attribute: map to an existing global
+  /// attribute (global_index >= 0) or create a new one (-1).
+  struct ReviewResolution {
+    int global_index = -1;
+  };
+
+  /// \brief Integrates a table using the given match results.
+  ///
+  /// Auto-accepts merge immediately; kNeedsReview attributes consult
+  /// `review_resolutions` (attr name -> resolution) and fall back to
+  /// creating a new attribute when absent (conservative default);
+  /// kNewAttribute attributes are appended. On success appends a report
+  /// to `reports()` and returns the per-source-attribute mapping to
+  /// global indexes.
+  Result<std::map<std::string, int>> IntegrateTable(
+      const relational::Table& table,
+      const std::vector<AttributeMatchResult>& results,
+      const std::map<std::string, ReviewResolution>& review_resolutions = {});
+
+  /// One-call convenience: MatchTable + IntegrateTable with no expert.
+  Result<std::map<std::string, int>> IntegrateTableAuto(
+      const relational::Table& table);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const GlobalAttribute& attribute(int i) const { return attrs_[i]; }
+  const std::vector<GlobalAttribute>& attributes() const { return attrs_; }
+
+  /// Index of the global attribute named `name` (exact), or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Global index an ingested (source table, attr) pair maps to, or -1.
+  int MappingOf(const std::string& source_table,
+                const std::string& source_attr) const;
+
+  const std::vector<IntegrationReport>& reports() const { return reports_; }
+
+  const GlobalSchemaOptions& options() const { return opts_; }
+  void set_accept_threshold(double t) { opts_.accept_threshold = t; }
+  void set_review_threshold(double t) { opts_.review_threshold = t; }
+
+ private:
+  int AddAttribute(const std::string& name, relational::ValueType type,
+                   ColumnProfile profile, const std::string& source_table,
+                   const std::string& source_attr);
+  void MergeInto(int global_index, const ColumnProfile& profile,
+                 const std::string& source_table,
+                 const std::string& source_attr);
+
+  GlobalSchemaOptions opts_;
+  const SynonymDictionary* synonyms_;
+  CompositeMatcher matcher_;
+  std::vector<GlobalAttribute> attrs_;
+  // (source_table, source_attr) -> global index
+  std::map<std::pair<std::string, std::string>, int> mapping_;
+  std::vector<IntegrationReport> reports_;
+};
+
+}  // namespace dt::match

@@ -1,0 +1,53 @@
+#include "match/name_matcher.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dt::match {
+
+double NameMatchSignals::Combined() const {
+  if (exact >= 1.0) return 1.0;
+  // Token-level evidence, upgraded by synonyms; containment counts at a
+  // discount ("title" covers the name token of "show_name" but not the
+  // whole attribute).
+  double token_evidence = std::max(
+      {token_jaccard, synonym_jaccard, 0.85 * synonym_overlap});
+  // Character-level evidence.
+  double char_evidence =
+      std::max({levenshtein, jaro_winkler * 0.95, qgram_jaccard});
+  // Partial containment ("price" vs "cheapest_price") shows up as
+  // token_jaccard 0.5; blend rather than max so both kinds of evidence
+  // help, then cap below exact-match.
+  double blended = 0.6 * std::max(token_evidence, char_evidence) +
+                   0.4 * (0.5 * (token_evidence + char_evidence));
+  return std::min(blended, 0.99);
+}
+
+NameMatchSignals ComputeNameSignals(std::string_view a, std::string_view b,
+                                    const SynonymDictionary* synonyms) {
+  NameMatchSignals s;
+  std::string la = ToLower(a), lb = ToLower(b);
+  s.exact = (la == lb) ? 1.0 : 0.0;
+  s.levenshtein = LevenshteinSimilarity(la, lb);
+  s.jaro_winkler = JaroWinklerSimilarity(la, lb);
+  s.qgram_jaccard = QGramJaccard(a, b, 2);
+  auto ta = NameTokens(a), tb = NameTokens(b);
+  s.token_jaccard = JaccardSimilarity(ta, tb);
+  if (synonyms != nullptr) {
+    s.synonym_jaccard = synonyms->SynonymJaccard(ta, tb);
+    s.synonym_overlap = synonyms->SynonymOverlap(ta, tb);
+  } else {
+    s.synonym_jaccard = s.token_jaccard;
+    SynonymDictionary empty;
+    s.synonym_overlap = empty.SynonymOverlap(ta, tb);
+  }
+  return s;
+}
+
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const SynonymDictionary* synonyms) {
+  return ComputeNameSignals(a, b, synonyms).Combined();
+}
+
+}  // namespace dt::match

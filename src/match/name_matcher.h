@@ -1,0 +1,45 @@
+/// \file name_matcher.h
+/// \brief Attribute-name similarity signals.
+///
+/// Combines string metrics (edit distance, Jaro-Winkler, q-grams) with
+/// token-level signals (name-token Jaccard, synonym Jaccard) into one
+/// heuristic name score in [0, 1] — the per-pair numbers the Data Tamer
+/// UI shows next to each suggested matching target (Figs. 2 and 3).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "match/synonyms.h"
+
+namespace dt::match {
+
+/// \brief Per-signal breakdown of a name comparison (for explainable
+/// suggestions in the review UI).
+struct NameMatchSignals {
+  double exact = 0;           ///< 1 if case-insensitive equal
+  double levenshtein = 0;     ///< normalized edit similarity
+  double jaro_winkler = 0;
+  double qgram_jaccard = 0;   ///< 2-gram Jaccard
+  double token_jaccard = 0;   ///< NameTokens set Jaccard
+  double synonym_jaccard = 0; ///< token Jaccard under synonym classes
+  double synonym_overlap = 0; ///< containment coefficient under synonyms
+
+  /// Blended name score: exact match short-circuits to 1; otherwise the
+  /// max of (synonym-aware token evidence) and (character evidence),
+  /// which keeps "price"/"cheapest_price" and "theatre"/"theater" both
+  /// high without either signal washing the other out.
+  double Combined() const;
+};
+
+/// Computes all signals for a pair of attribute names. `synonyms` may
+/// be null (synonym_jaccard then equals token_jaccard).
+NameMatchSignals ComputeNameSignals(std::string_view a, std::string_view b,
+                                    const SynonymDictionary* synonyms);
+
+/// Shorthand for ComputeNameSignals(...).Combined().
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const SynonymDictionary* synonyms);
+
+}  // namespace dt::match

@@ -1,0 +1,116 @@
+#include "match/synonyms.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strutil.h"
+
+namespace dt::match {
+
+void SynonymDictionary::AddGroup(const std::vector<std::string>& group) {
+  if (group.empty()) return;
+  // Find an existing group id among the words, else make a new one.
+  int gid = -1;
+  for (const auto& w : group) {
+    auto it = group_of_.find(ToLower(w));
+    if (it != group_of_.end()) {
+      gid = it->second;
+      break;
+    }
+  }
+  if (gid < 0) {
+    gid = static_cast<int>(representative_.size());
+    representative_.push_back(ToLower(group[0]));
+  }
+  for (const auto& w : group) {
+    std::string lw = ToLower(w);
+    auto it = group_of_.find(lw);
+    if (it != group_of_.end() && it->second != gid) {
+      // Merge: move everything from the old group into gid.
+      int old = it->second;
+      for (auto& [tok, g] : group_of_) {
+        if (g == old) g = gid;
+      }
+    }
+    group_of_[lw] = gid;
+  }
+}
+
+int SynonymDictionary::GroupOf(const std::string& token) const {
+  auto it = group_of_.find(token);
+  return it == group_of_.end() ? -1 : it->second;
+}
+
+bool SynonymDictionary::AreSynonyms(std::string_view a,
+                                    std::string_view b) const {
+  std::string la = ToLower(a), lb = ToLower(b);
+  if (la == lb) return true;
+  int ga = GroupOf(la), gb = GroupOf(lb);
+  return ga >= 0 && ga == gb;
+}
+
+std::string SynonymDictionary::Canonicalize(std::string_view token) const {
+  std::string lt = ToLower(token);
+  int g = GroupOf(lt);
+  return g < 0 ? lt : representative_[g];
+}
+
+double SynonymDictionary::SynonymJaccard(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<std::string> sa, sb;
+  for (const auto& t : a) sa.insert(Canonicalize(t));
+  for (const auto& t : b) sb.insert(Canonicalize(t));
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double SynonymDictionary::SynonymOverlap(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_set<std::string> sa, sb;
+  for (const auto& t : a) sa.insert(Canonicalize(t));
+  for (const auto& t : b) sb.insert(Canonicalize(t));
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t mn = std::min(sa.size(), sb.size());
+  return mn == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(mn);
+}
+
+SynonymDictionary SynonymDictionary::Default() {
+  SynonymDictionary d;
+  // Pricing.
+  d.AddGroup({"price", "cost", "fee", "fare", "rate"});
+  d.AddGroup({"cheapest", "lowest", "min", "minimum", "best"});
+  d.AddGroup({"discount", "deal", "offer", "promo", "promotion"});
+  // Venues.
+  d.AddGroup({"theater", "theatre", "venue", "playhouse", "hall"});
+  d.AddGroup({"address", "addr", "location", "loc", "street"});
+  d.AddGroup({"city", "town", "municipality"});
+  d.AddGroup({"state", "province", "region"});
+  // Shows.
+  d.AddGroup({"show", "production", "musical", "play"});
+  d.AddGroup({"schedule", "times", "showtimes", "curtain", "performance",
+              "performances"});
+  d.AddGroup({"name", "title", "label"});
+  d.AddGroup({"movie", "film", "picture"});
+  // Dates.
+  d.AddGroup({"date", "day", "when"});
+  d.AddGroup({"first", "opening", "premiere", "start", "begin", "begins"});
+  d.AddGroup({"last", "closing", "end", "final"});
+  // Contact / misc enterprise vocabulary.
+  d.AddGroup({"phone", "tel", "telephone", "contact"});
+  d.AddGroup({"url", "link", "website", "web", "site", "homepage"});
+  d.AddGroup({"description", "desc", "summary", "text", "feed", "body"});
+  d.AddGroup({"seats", "capacity", "size"});
+  d.AddGroup({"company", "organization", "org", "firm", "employer"});
+  d.AddGroup({"person", "people", "individual"});
+  d.AddGroup({"id", "identifier", "key", "code"});
+  d.AddGroup({"quantity", "qty", "count", "num", "number"});
+  return d;
+}
+
+}  // namespace dt::match

@@ -1,0 +1,60 @@
+/// \file synonyms.h
+/// \brief Token-level synonym dictionary for attribute-name matching.
+///
+/// Data Tamer's schema matcher understands that "price" and "cost"
+/// name the same concept even though no string metric says so. The
+/// dictionary groups tokens into synonym classes; matching happens on
+/// the class representative. The default dictionary covers the
+/// vocabulary of the paper's Broadway/fusion demo plus common
+/// enterprise attribute tokens; callers extend it per domain (and the
+/// expert-sourcing loop can add entries at runtime).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dt::match {
+
+/// \brief Union of synonym groups over lower-case tokens.
+class SynonymDictionary {
+ public:
+  /// Registers all words in `group` as mutual synonyms. A word already
+  /// in another group merges the two groups (union semantics).
+  void AddGroup(const std::vector<std::string>& group);
+
+  /// True when the lower-cased tokens are in the same group (every
+  /// token is trivially a synonym of itself).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// Canonical representative of the token's group (the token itself
+  /// when unregistered).
+  std::string Canonicalize(std::string_view token) const;
+
+  /// Jaccard similarity of two token sets where tokens compare via
+  /// their synonym classes.
+  double SynonymJaccard(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) const;
+
+  /// Overlap coefficient |A∩B| / min(|A|,|B|) under synonym classes —
+  /// containment-aware, so "title" fully covers "show_name"'s name
+  /// token even though the Jaccard is only 0.5.
+  double SynonymOverlap(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) const;
+
+  int64_t num_tokens() const { return static_cast<int64_t>(group_of_.size()); }
+
+  /// The built-in dictionary used by the paper's demo scenario
+  /// (schedule/performance, theater/venue, price/cost, ...).
+  static SynonymDictionary Default();
+
+ private:
+  int GroupOf(const std::string& token) const;
+
+  std::unordered_map<std::string, int> group_of_;
+  std::vector<std::string> representative_;  // per group id
+};
+
+}  // namespace dt::match

@@ -1,0 +1,59 @@
+#include "match/threshold_tuner.h"
+
+#include <algorithm>
+
+namespace dt::match {
+
+double ThresholdTuner::PrecisionAt(double t) const {
+  int64_t above = 0, correct = 0;
+  for (const auto& obs : observations_) {
+    if (obs.machine_score >= t) {
+      ++above;
+      if (obs.top_was_correct) ++correct;
+    }
+  }
+  return above == 0 ? 1.0 : static_cast<double>(correct) / above;
+}
+
+double ThresholdTuner::CoverageAt(double t) const {
+  if (observations_.empty()) return 0.0;
+  int64_t above = 0;
+  for (const auto& obs : observations_) {
+    if (obs.machine_score >= t) ++above;
+  }
+  return static_cast<double>(above) / observations_.size();
+}
+
+double ThresholdTuner::RecommendAcceptThreshold(double fallback) const {
+  if (num_observations() < min_observations_) return fallback;
+  // Sort scores descending; sweep the cut downward, tracking precision.
+  std::vector<ThresholdObservation> sorted = observations_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ThresholdObservation& a, const ThresholdObservation& b) {
+              return a.machine_score > b.machine_score;
+            });
+  int64_t correct = 0;
+  double best = fallback;
+  bool found = false;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    // Consume the whole tie group: a threshold at this score accepts
+    // every observation in it, so precision is only evaluable at group
+    // boundaries.
+    double score = sorted[i].machine_score;
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].machine_score == score) {
+      if (sorted[j].top_was_correct) ++correct;
+      ++j;
+    }
+    double precision = static_cast<double>(correct) / j;
+    if (precision >= target_precision_) {
+      best = score;
+      found = true;
+    }
+    i = j;
+  }
+  return found ? best : fallback;
+}
+
+}  // namespace dt::match

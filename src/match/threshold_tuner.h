@@ -1,0 +1,71 @@
+/// \file threshold_tuner.h
+/// \brief Auto-tuning of the schema-matching acceptance threshold from
+/// expert feedback (the paper: "the user can pick the acceptance
+/// threshold by looking at the quality of matches" — this module picks
+/// it for them from the review outcomes the expert loop accumulates).
+///
+/// Every resolved review task yields an observation (machine score,
+/// was-the-top-suggestion-correct). The tuner selects the smallest
+/// acceptance threshold whose empirical precision above it meets the
+/// curator's target, shrinking the review band — and thus human
+/// effort — as evidence accumulates (the Fig. 2 saturation story).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dt::match {
+
+/// \brief One resolved review outcome.
+struct ThresholdObservation {
+  double machine_score = 0;  ///< top suggestion's composite score
+  bool top_was_correct = false;
+};
+
+/// \brief Accumulates observations and recommends thresholds.
+class ThresholdTuner {
+ public:
+  /// \param target_precision minimum acceptable fraction of correct
+  ///        auto-accepts above the recommended threshold.
+  /// \param min_observations observations required before recommending
+  ///        (below it, RecommendAcceptThreshold returns the fallback).
+  explicit ThresholdTuner(double target_precision = 0.95,
+                          int64_t min_observations = 20)
+      : target_precision_(target_precision),
+        min_observations_(min_observations) {}
+
+  void Observe(double machine_score, bool top_was_correct) {
+    observations_.push_back({machine_score, top_was_correct});
+  }
+  void Observe(const ThresholdObservation& obs) {
+    observations_.push_back(obs);
+  }
+
+  int64_t num_observations() const {
+    return static_cast<int64_t>(observations_.size());
+  }
+
+  /// \brief Smallest threshold T such that the empirical precision of
+  /// observations with score >= T is >= target. Returns `fallback`
+  /// until enough observations exist or when no threshold achieves the
+  /// target.
+  double RecommendAcceptThreshold(double fallback) const;
+
+  /// Empirical precision of auto-accepting at threshold `t` (1.0 when
+  /// nothing scores above `t`).
+  double PrecisionAt(double t) const;
+
+  /// Fraction of observations at or above `t` (the auto-accept rate —
+  /// what the threshold saves in human effort).
+  double CoverageAt(double t) const;
+
+ private:
+  double target_precision_;
+  int64_t min_observations_;
+  std::vector<ThresholdObservation> observations_;
+};
+
+}  // namespace dt::match

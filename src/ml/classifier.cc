@@ -1,0 +1,119 @@
+#include "ml/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dt::ml {
+
+Status NaiveBayesClassifier::Train(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("cannot train NaiveBayes on no examples");
+  }
+  int max_id = -1;
+  int64_t class_n[2] = {0, 0};
+  for (const auto& ex : examples) {
+    if (ex.label != 0 && ex.label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    ++class_n[ex.label];
+    for (const auto& [id, _] : ex.features) max_id = std::max(max_id, id);
+  }
+  if (class_n[0] == 0 || class_n[1] == 0) {
+    return Status::InvalidArgument(
+        "NaiveBayes needs examples of both classes");
+  }
+  num_features_ = max_id + 1;
+
+  // Per-class feature mass.
+  std::vector<double> mass[2];
+  mass[0].assign(num_features_, 0.0);
+  mass[1].assign(num_features_, 0.0);
+  double total_mass[2] = {0, 0};
+  for (const auto& ex : examples) {
+    for (const auto& [id, v] : ex.features) {
+      mass[ex.label][id] += v;
+      total_mass[ex.label] += v;
+    }
+  }
+  double n = static_cast<double>(examples.size());
+  for (int c = 0; c < 2; ++c) {
+    log_prior_[c] = std::log(class_n[c] / n);
+    double denom = total_mass[c] + alpha_ * (num_features_ + 1);
+    log_likelihood_[c].assign(num_features_, 0.0);
+    for (int f = 0; f < num_features_; ++f) {
+      log_likelihood_[c][f] = std::log((mass[c][f] + alpha_) / denom);
+    }
+    log_unseen_[c] = std::log(alpha_ / denom);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double NaiveBayesClassifier::PredictProb(const FeatureVector& features) const {
+  if (!trained_) return 0.5;
+  double score[2] = {log_prior_[0], log_prior_[1]};
+  for (const auto& [id, v] : features) {
+    for (int c = 0; c < 2; ++c) {
+      double ll = (id >= 0 && id < num_features_) ? log_likelihood_[c][id]
+                                                  : log_unseen_[c];
+      score[c] += v * ll;
+    }
+  }
+  // Softmax over the two log scores, numerically stable.
+  double mx = std::max(score[0], score[1]);
+  double e0 = std::exp(score[0] - mx), e1 = std::exp(score[1] - mx);
+  return e1 / (e0 + e1);
+}
+
+Status LogisticRegression::Train(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument(
+        "cannot train LogisticRegression on no examples");
+  }
+  int max_id = -1;
+  for (const auto& ex : examples) {
+    if (ex.label != 0 && ex.label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    for (const auto& [id, _] : ex.features) max_id = std::max(max_id, id);
+  }
+  weights_.assign(max_id + 1, 0.0);
+  bias_ = 0;
+
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(opts_.shuffle_seed);
+
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = opts_.learning_rate / (1.0 + 0.1 * epoch);
+    for (size_t idx : order) {
+      const Example& ex = examples[idx];
+      double z = bias_;
+      for (const auto& [id, v] : ex.features) z += weights_[id] * v;
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double g = p - ex.label;
+      bias_ -= lr * g;
+      for (const auto& [id, v] : ex.features) {
+        weights_[id] -= lr * (g * v + opts_.l2 * weights_[id]);
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProb(const FeatureVector& features) const {
+  if (!trained_) return 0.5;
+  double z = bias_;
+  for (const auto& [id, v] : features) {
+    if (id >= 0 && id < static_cast<int>(weights_.size())) {
+      z += weights_[id] * v;
+    }
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace dt::ml

@@ -1,0 +1,80 @@
+/// \file classifier.h
+/// \brief Binary classifiers for text dedup and data cleaning (§IV:
+/// "we trained a machine-learning classifier on a large-scale web-text
+/// and used it for deduplication and data cleaning").
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/features.h"
+
+namespace dt::ml {
+
+/// \brief Interface all binary classifiers implement.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model to `examples`. Retraining replaces prior state.
+  virtual Status Train(const std::vector<Example>& examples) = 0;
+
+  /// P(label == 1 | features), in [0, 1].
+  virtual double PredictProb(const FeatureVector& features) const = 0;
+
+  /// Hard decision at `threshold`.
+  int Predict(const FeatureVector& features, double threshold = 0.5) const {
+    return PredictProb(features) >= threshold ? 1 : 0;
+  }
+};
+
+/// \brief Multinomial Naive Bayes with Laplace smoothing.
+///
+/// The workhorse for web-scale text: training is one counting pass,
+/// prediction is a sparse dot product in log space.
+class NaiveBayesClassifier : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(double alpha = 1.0) : alpha_(alpha) {}
+
+  Status Train(const std::vector<Example>& examples) override;
+  double PredictProb(const FeatureVector& features) const override;
+
+ private:
+  double alpha_;  // Laplace smoothing
+  double log_prior_[2] = {0, 0};
+  std::vector<double> log_likelihood_[2];  // per feature id
+  double log_unseen_[2] = {0, 0};          // smoothing mass for unseen ids
+  int num_features_ = 0;
+  bool trained_ = false;
+};
+
+/// Logistic-regression hyperparameters.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 20;
+  uint64_t shuffle_seed = 42;
+};
+
+/// \brief L2-regularized logistic regression trained with SGD.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions opts = {})
+      : opts_(opts) {}
+
+  Status Train(const std::vector<Example>& examples) override;
+  double PredictProb(const FeatureVector& features) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions opts_;
+  std::vector<double> weights_;
+  double bias_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace dt::ml

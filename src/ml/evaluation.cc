@@ -1,0 +1,90 @@
+#include "ml/evaluation.h"
+
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace dt::ml {
+
+std::string BinaryMetrics::ToString() const {
+  return "P=" + FormatDouble(precision(), 4) +
+         " R=" + FormatDouble(recall(), 4) + " F1=" + FormatDouble(f1(), 4) +
+         " acc=" + FormatDouble(accuracy(), 4) + " (tp=" + std::to_string(tp) +
+         " fp=" + std::to_string(fp) + " tn=" + std::to_string(tn) +
+         " fn=" + std::to_string(fn) + ")";
+}
+
+BinaryMetrics Evaluate(const Classifier& model,
+                       const std::vector<Example>& examples,
+                       double threshold) {
+  BinaryMetrics m;
+  for (const auto& ex : examples) {
+    int pred = model.Predict(ex.features, threshold);
+    if (pred == 1 && ex.label == 1) ++m.tp;
+    if (pred == 1 && ex.label == 0) ++m.fp;
+    if (pred == 0 && ex.label == 0) ++m.tn;
+    if (pred == 0 && ex.label == 1) ++m.fn;
+  }
+  return m;
+}
+
+double CrossValidationResult::mean_precision() const {
+  if (folds.empty()) return 0;
+  double s = 0;
+  for (const auto& f : folds) s += f.precision();
+  return s / folds.size();
+}
+
+double CrossValidationResult::mean_recall() const {
+  if (folds.empty()) return 0;
+  double s = 0;
+  for (const auto& f : folds) s += f.recall();
+  return s / folds.size();
+}
+
+double CrossValidationResult::mean_f1() const {
+  if (folds.empty()) return 0;
+  double s = 0;
+  for (const auto& f : folds) s += f.f1();
+  return s / folds.size();
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const ClassifierFactory& factory, const std::vector<Example>& examples,
+    int k, uint64_t seed, double threshold) {
+  if (k < 2) {
+    return Status::InvalidArgument("k must be >= 2, got " + std::to_string(k));
+  }
+  // Stratify: shuffle within each class, then deal round-robin.
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    (examples[i].label == 1 ? pos : neg).push_back(i);
+  }
+  if (static_cast<int>(pos.size()) < k || static_cast<int>(neg.size()) < k) {
+    return Status::InvalidArgument(
+        "each class needs at least k examples for stratified " +
+        std::to_string(k) + "-fold CV (pos=" + std::to_string(pos.size()) +
+        ", neg=" + std::to_string(neg.size()) + ")");
+  }
+  Rng rng(seed);
+  rng.Shuffle(&pos);
+  rng.Shuffle(&neg);
+  std::vector<int> fold_of(examples.size());
+  for (size_t i = 0; i < pos.size(); ++i) fold_of[pos[i]] = static_cast<int>(i % k);
+  for (size_t i = 0; i < neg.size(); ++i) fold_of[neg[i]] = static_cast<int>(i % k);
+
+  CrossValidationResult result;
+  for (int fold = 0; fold < k; ++fold) {
+    std::vector<Example> train, test;
+    for (size_t i = 0; i < examples.size(); ++i) {
+      (fold_of[i] == fold ? test : train).push_back(examples[i]);
+    }
+    auto model = factory();
+    DT_RETURN_NOT_OK(model->Train(train));
+    BinaryMetrics m = Evaluate(*model, test, threshold);
+    result.pooled.Add(m);
+    result.folds.push_back(m);
+  }
+  return result;
+}
+
+}  // namespace dt::ml

@@ -1,0 +1,53 @@
+#include "ml/features.h"
+
+#include "common/strutil.h"
+
+namespace dt::ml {
+
+int FeatureDictionary::IdOf(std::string_view name, bool add) {
+  std::string key(name);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  if (!add) return -1;
+  int id = size();
+  ids_.emplace(std::move(key), id);
+  names_.push_back(std::string(name));
+  return id;
+}
+
+const std::string& FeatureDictionary::NameOf(int id) const {
+  static const std::string kEmpty;
+  if (id < 0 || id >= size()) return kEmpty;
+  return names_[id];
+}
+
+void TextFeaturizer::Bump(const std::string& name, bool add,
+                          FeatureVector* out) const {
+  if (static_cast<int>(out->size()) >= opts_.max_features_per_text) return;
+  int id = dict_->IdOf(name, add);
+  if (id >= 0) (*out)[id] += 1.0;
+}
+
+FeatureVector TextFeaturizer::Featurize(std::string_view text,
+                                        bool add_features) const {
+  FeatureVector out;
+  std::vector<std::string> tokens = WordTokens(text);
+  if (opts_.unigrams) {
+    for (const auto& t : tokens) Bump("u:" + t, add_features, &out);
+  }
+  if (opts_.bigrams) {
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      Bump("b:" + tokens[i - 1] + "_" + tokens[i], add_features, &out);
+    }
+  }
+  if (opts_.char_qgrams > 0) {
+    for (const auto& t : tokens) {
+      for (const auto& g : QGrams(t, opts_.char_qgrams)) {
+        Bump("q:" + g, add_features, &out);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dt::ml

@@ -1,0 +1,70 @@
+/// \file features.h
+/// \brief Sparse feature representation and text featurization for the
+/// dedup/cleaning classifiers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dt::ml {
+
+/// Sparse feature vector: feature id -> value.
+using FeatureVector = std::unordered_map<int, double>;
+
+/// \brief One labeled training/eval example (binary labels).
+struct Example {
+  FeatureVector features;
+  int label = 0;  ///< 0 or 1
+};
+
+/// \brief Bidirectional feature-name <-> id dictionary.
+class FeatureDictionary {
+ public:
+  /// Id of `name`; assigns a fresh id when `add` and unseen, else -1.
+  int IdOf(std::string_view name, bool add);
+
+  /// Name of `id` ("" for out-of-range).
+  const std::string& NameOf(int id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Featurization knobs.
+struct TextFeaturizerOptions {
+  bool unigrams = true;
+  bool bigrams = true;
+  /// Character q-grams of each token (robust to typos/dirt); 0 = off.
+  int char_qgrams = 3;
+  /// Cap on features added per text (guards adversarially long inputs).
+  int max_features_per_text = 4096;
+};
+
+/// \brief Bag-of-words/bigrams/char-qgrams featurizer over a shared
+/// dictionary.
+class TextFeaturizer {
+ public:
+  /// The dictionary must outlive the featurizer.
+  explicit TextFeaturizer(FeatureDictionary* dict,
+                          TextFeaturizerOptions opts = {})
+      : dict_(dict), opts_(opts) {}
+
+  /// Features of `text`. With `add_features` false (inference time),
+  /// unseen features are dropped instead of registered.
+  FeatureVector Featurize(std::string_view text, bool add_features) const;
+
+ private:
+  void Bump(const std::string& name, bool add, FeatureVector* out) const;
+
+  FeatureDictionary* dict_;
+  TextFeaturizerOptions opts_;
+};
+
+}  // namespace dt::ml

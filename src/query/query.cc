@@ -1,0 +1,140 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dt::query {
+
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+std::vector<CountRow> CountByField(const storage::Collection& coll,
+                                   const std::string& path,
+                                   const DocFilter& filter) {
+  std::unordered_map<std::string, int64_t> counts;
+  coll.ForEach([&](storage::DocId, const storage::DocValue& doc) {
+    if (filter != nullptr && !filter(doc)) return;
+    const storage::DocValue* v = doc.FindPath(path);
+    if (v == nullptr || v->is_null()) return;
+    std::string key = v->is_string() ? v->string_value() : v->ToJson();
+    ++counts[key];
+  });
+  std::vector<CountRow> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) out.push_back({key, count});
+  std::sort(out.begin(), out.end(), [](const CountRow& a, const CountRow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<CountRow> TopKByCount(const storage::Collection& coll,
+                                  const std::string& path, int k,
+                                  const DocFilter& filter) {
+  auto all = CountByField(coll, path, filter);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+Result<Table> Project(const Table& table,
+                      const std::vector<std::string>& attrs) {
+  Schema schema;
+  std::vector<int> indexes;
+  for (const auto& name : attrs) {
+    auto idx = table.schema().IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute " + name + " not in table " +
+                              table.name());
+    }
+    indexes.push_back(*idx);
+    DT_RETURN_NOT_OK(schema.AddAttribute(table.schema().attribute(*idx)));
+  }
+  Table out(table.name() + "_proj", schema);
+  out.set_source_id(table.source_id());
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    Row row;
+    row.reserve(indexes.size());
+    for (int idx : indexes) row.push_back(table.row(r)[idx]);
+    DT_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> OrderBy(const Table& table, const std::string& attr,
+                      bool descending) {
+  auto idx = table.schema().IndexOf(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + attr + " not in table " +
+                            table.name());
+  }
+  std::vector<int64_t> order(table.num_rows());
+  for (int64_t i = 0; i < table.num_rows(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    int cmp = table.row(a)[*idx].Compare(table.row(b)[*idx]);
+    return descending ? cmp > 0 : cmp < 0;
+  });
+  Table out(table.name() + "_sorted", table.schema());
+  out.set_source_id(table.source_id());
+  for (int64_t i : order) {
+    DT_RETURN_NOT_OK(out.Append(table.row(i)));
+  }
+  return out;
+}
+
+Table Limit(const Table& table, int64_t n) {
+  Table out(table.name() + "_limit", table.schema());
+  out.set_source_id(table.source_id());
+  for (int64_t r = 0; r < std::min(n, table.num_rows()); ++r) {
+    (void)out.Append(table.row(r));
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, const std::string& left_attr,
+                       const Table& right, const std::string& right_attr) {
+  auto li = left.schema().IndexOf(left_attr);
+  auto ri = right.schema().IndexOf(right_attr);
+  if (!li.has_value()) {
+    return Status::NotFound("attribute " + left_attr + " not in " +
+                            left.name());
+  }
+  if (!ri.has_value()) {
+    return Status::NotFound("attribute " + right_attr + " not in " +
+                            right.name());
+  }
+  Schema schema;
+  for (const auto& a : left.schema().attributes()) {
+    DT_RETURN_NOT_OK(schema.AddAttribute(a));
+  }
+  for (const auto& a : right.schema().attributes()) {
+    relational::Attribute attr = a;
+    if (schema.Contains(attr.name)) attr.name = "right_" + attr.name;
+    DT_RETURN_NOT_OK(schema.AddAttribute(attr));
+  }
+  // Build on the smaller side conceptually; keep it simple and build on
+  // right.
+  std::unordered_map<std::string, std::vector<int64_t>> index;
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    const Value& v = right.row(r)[*ri];
+    if (v.is_null()) continue;
+    index[v.ToString()].push_back(r);
+  }
+  Table out(left.name() + "_join_" + right.name(), schema);
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    const Value& v = left.row(l)[*li];
+    if (v.is_null()) continue;
+    auto it = index.find(v.ToString());
+    if (it == index.end()) continue;
+    for (int64_t r : it->second) {
+      Row row = left.row(l);
+      for (const auto& cell : right.row(r)) row.push_back(cell);
+      DT_RETURN_NOT_OK(out.Append(std::move(row)));
+    }
+  }
+  return out;
+}
+
+}  // namespace dt::query

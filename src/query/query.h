@@ -1,0 +1,60 @@
+/// \file query.h
+/// \brief Query operators over document collections and relational
+/// tables — enough algebra for the paper's demo queries (top-k most
+/// discussed, point lookups, projections, joins).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+#include "storage/collection.h"
+
+namespace dt::query {
+
+/// \brief One group of a count aggregation.
+struct CountRow {
+  std::string key;
+  int64_t count = 0;
+};
+
+/// Optional document predicate.
+using DocFilter = std::function<bool(const storage::DocValue&)>;
+
+/// \brief Group-by-count over the string value at `path` across a
+/// collection (documents failing `filter` or lacking the path are
+/// skipped). Results are sorted by descending count, ties by key.
+std::vector<CountRow> CountByField(const storage::Collection& coll,
+                                   const std::string& path,
+                                   const DocFilter& filter = nullptr);
+
+/// First `k` groups of CountByField — the Table IV "top 10 most
+/// discussed" query shape.
+std::vector<CountRow> TopKByCount(const storage::Collection& coll,
+                                  const std::string& path, int k,
+                                  const DocFilter& filter = nullptr);
+
+/// \brief Projection: keeps `attrs` in the given order. Unknown
+/// attributes are an error.
+Result<relational::Table> Project(const relational::Table& table,
+                                  const std::vector<std::string>& attrs);
+
+/// \brief Sorts by one attribute (stable); `descending` flips order.
+Result<relational::Table> OrderBy(const relational::Table& table,
+                                  const std::string& attr, bool descending);
+
+/// \brief Keeps the first `n` rows.
+relational::Table Limit(const relational::Table& table, int64_t n);
+
+/// \brief Hash equi-join on string-rendered key equality. Output schema
+/// is left's attributes followed by right's (right-side name clashes
+/// get a "right_" prefix).
+Result<relational::Table> HashJoin(const relational::Table& left,
+                                   const std::string& left_attr,
+                                   const relational::Table& right,
+                                   const std::string& right_attr);
+
+}  // namespace dt::query

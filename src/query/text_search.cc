@@ -1,0 +1,102 @@
+#include "query/text_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace dt::query {
+
+void InvertedIndex::Add(storage::DocId id, std::string_view text) {
+  std::vector<std::string> tokens = WordTokens(text);
+  if (doc_length_.count(id) == 0) {
+    ++num_docs_;
+  }
+  doc_length_[id] += static_cast<int32_t>(tokens.size());
+  std::unordered_map<std::string, int32_t> tf;
+  for (const auto& t : tokens) ++tf[t];
+  for (const auto& [term, freq] : tf) {
+    auto& plist = postings_[term];
+    // Postings stay sorted by doc id because ids are assigned
+    // monotonically and Add is called in ingest order; re-adding the
+    // same doc merges frequencies.
+    if (!plist.empty() && plist.back().doc_id == id) {
+      plist.back().term_frequency += freq;
+    } else {
+      plist.push_back({id, freq});
+    }
+  }
+}
+
+int64_t InvertedIndex::Build(const storage::Collection& coll) {
+  int64_t indexed = 0;
+  coll.ForEach([&](storage::DocId id, const storage::DocValue& doc) {
+    const storage::DocValue* field = doc.FindPath(field_path_);
+    if (field == nullptr || !field->is_string()) return;
+    Add(id, field->string_value());
+    ++indexed;
+  });
+  return indexed;
+}
+
+std::vector<storage::DocId> InvertedIndex::Postings(
+    std::string_view token) const {
+  std::vector<storage::DocId> out;
+  auto it = postings_.find(ToLower(token));
+  if (it == postings_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& p : it->second) out.push_back(p.doc_id);
+  return out;
+}
+
+std::vector<SearchHit> InvertedIndex::Search(std::string_view keywords,
+                                             int k) const {
+  std::vector<std::string> terms = WordTokens(keywords);
+  if (terms.empty() || num_docs_ == 0) return {};
+  // Dedup query terms.
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  // Conjunctive: start from the rarest term's postings and intersect.
+  std::vector<const std::vector<Posting>*> lists;
+  for (const auto& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) return {};  // some term matches nothing
+    lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<Posting>* a, const std::vector<Posting>* b) {
+              return a->size() < b->size();
+            });
+
+  std::unordered_map<storage::DocId, double> scores;
+  for (const auto& p : *lists[0]) scores.emplace(p.doc_id, 0.0);
+  for (const auto* plist : lists) {
+    double idf = std::log(
+        (num_docs_ + 1.0) / (static_cast<double>(plist->size()) + 1.0)) + 1.0;
+    std::unordered_map<storage::DocId, double> next;
+    for (const auto& p : *plist) {
+      auto it = scores.find(p.doc_id);
+      if (it == scores.end()) continue;
+      next.emplace(p.doc_id, it->second + p.term_frequency * idf);
+    }
+    scores.swap(next);
+    if (scores.empty()) return {};
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [id, score] : scores) {
+    double len = std::max<int32_t>(doc_length_.at(id), 1);
+    hits.push_back({id, score / std::sqrt(len)});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a,
+                                         const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (static_cast<int>(hits.size()) > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace dt::query

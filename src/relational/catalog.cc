@@ -1,0 +1,48 @@
+#include "relational/catalog.h"
+
+namespace dt::relational {
+
+Result<Table*> Catalog::AddTable(Table table) {
+  const std::string name = table.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already in catalog");
+  }
+  auto owned = std::make_unique<Table>(std::move(table));
+  Table* ptr = owned.get();
+  tables_.emplace(name, std::move(owned));
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dt::relational

@@ -1,0 +1,38 @@
+/// \file catalog.h
+/// \brief Named registry of relational tables.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace dt::relational {
+
+/// \brief Owns tables by name; the structured half of the landing zone.
+class Catalog {
+ public:
+  /// Registers a table; AlreadyExists on a name clash.
+  Result<Table*> AddTable(Table table);
+
+  /// Returns the named table, or NotFound.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Removes the named table, or NotFound.
+  Status DropTable(const std::string& name);
+
+  /// Sorted table names.
+  std::vector<std::string> TableNames() const;
+
+  int64_t num_tables() const { return static_cast<int64_t>(tables_.size()); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace dt::relational

@@ -1,0 +1,43 @@
+#include "relational/schema.h"
+
+namespace dt::relational {
+
+Schema::Schema(std::vector<Attribute> attrs) {
+  for (auto& a : attrs) {
+    // Constructor form asserts well-formed input; duplicate names keep
+    // the first occurrence, matching SQL SELECT semantics.
+    if (by_name_.count(a.name) == 0) {
+      by_name_.emplace(a.name, static_cast<int>(attrs_.size()));
+      attrs_.push_back(std::move(a));
+    }
+  }
+}
+
+Status Schema::AddAttribute(Attribute attr) {
+  if (by_name_.count(attr.name) > 0) {
+    return Status::AlreadyExists("attribute " + attr.name +
+                                 " already in schema");
+  }
+  by_name_.emplace(attr.name, static_cast<int>(attrs_.size()));
+  attrs_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+std::optional<int> Schema::IndexOf(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += ValueTypeName(attrs_[i].type);
+  }
+  return out;
+}
+
+}  // namespace dt::relational

@@ -1,0 +1,55 @@
+/// \file schema.h
+/// \brief Relational schemas: ordered attribute lists with types.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace dt::relational {
+
+/// \brief One column of a table.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief An ordered list of attributes with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  /// Appends an attribute; fails with AlreadyExists on duplicate names.
+  Status AddAttribute(Attribute attr);
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<int> IndexOf(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+
+  const Attribute& attribute(int i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+
+  /// "name:type, name:type, ..." rendering for logs and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace dt::relational

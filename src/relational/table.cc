@@ -1,0 +1,83 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace dt::relational {
+
+Status Table::Append(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        std::to_string(schema_.num_attributes()) + " in table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Value& Table::at(int64_t row, std::string_view attr) const {
+  static const Value kNull;
+  auto idx = schema_.IndexOf(attr);
+  if (!idx.has_value()) return kNull;
+  return rows_[row][*idx];
+}
+
+std::vector<Value> Table::Column(std::string_view attr) const {
+  std::vector<Value> out;
+  auto idx = schema_.IndexOf(attr);
+  if (!idx.has_value()) return out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[*idx]);
+  return out;
+}
+
+Table Table::Filter(const std::function<bool(const Row&)>& pred) const {
+  Table out(name_ + "_filtered", schema_);
+  out.set_source_id(source_id_);
+  for (const auto& r : rows_) {
+    if (pred(r)) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  // Compute column widths over the shown prefix.
+  std::vector<std::string> header;
+  for (const auto& a : schema_.attributes()) header.push_back(a.name);
+  int64_t shown = std::min<int64_t>(max_rows, num_rows());
+  std::vector<size_t> width(header.size());
+  for (size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  std::vector<std::vector<std::string>> cells(shown);
+  for (int64_t r = 0; r < shown; ++r) {
+    cells[r].reserve(header.size());
+    for (size_t c = 0; c < header.size(); ++c) {
+      std::string s = rows_[r][c].ToString();
+      if (s.size() > 40) s = s.substr(0, 37) + "...";
+      width[c] = std::max(width[c], s.size());
+      cells[r].push_back(std::move(s));
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t c = 0; c < header.size(); ++c) {
+      s += std::string(width[c] + 2, '-') + "+";
+    }
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    std::string s = "|";
+    for (size_t c = 0; c < header.size(); ++c) {
+      s += " " + vals[c] + std::string(width[c] - vals[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = name_ + " (" + std::to_string(num_rows()) + " rows)\n";
+  out += rule() + line(header) + rule();
+  for (int64_t r = 0; r < shown; ++r) out += line(cells[r]);
+  out += rule();
+  if (shown < num_rows()) {
+    out += "... " + std::to_string(num_rows() - shown) + " more rows\n";
+  }
+  return out;
+}
+
+}  // namespace dt::relational

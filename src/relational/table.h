@@ -1,0 +1,60 @@
+/// \file table.h
+/// \brief In-memory row-store tables — the RDBMS landing zone of Fig. 1.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace dt::relational {
+
+/// One record.
+using Row = std::vector<Value>;
+
+/// \brief A named table: schema + rows + source provenance.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Identifier of the data source this table was ingested from (set by
+  /// the ingest layer; empty for derived tables).
+  const std::string& source_id() const { return source_id_; }
+  void set_source_id(std::string id) { source_id_ = std::move(id); }
+
+  /// Appends a row; fails with InvalidArgument on arity mismatch.
+  Status Append(Row row);
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(int64_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Value at (row, attribute-name); Null for unknown attribute.
+  const Value& at(int64_t row, std::string_view attr) const;
+
+  /// All values in the named column (empty for unknown attribute).
+  std::vector<Value> Column(std::string_view attr) const;
+
+  /// Rows passing `pred`, as a derived table with the same schema.
+  Table Filter(const std::function<bool(const Row&)>& pred) const;
+
+  /// Pretty-prints up to `max_rows` rows with a header (for examples
+  /// and demo output).
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::string source_id_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dt::relational

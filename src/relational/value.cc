@@ -1,0 +1,105 @@
+#include "relational/value.h"
+
+#include "common/strutil.h"
+
+namespace dt::relational {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double Value::as_double() const {
+  switch (type_) {
+    case ValueType::kInt:
+      return static_cast<double>(int_);
+    case ValueType::kDouble:
+      return double_;
+    case ValueType::kBool:
+      return bool_ ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kBool:
+      return bool_ ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble:
+      return FormatDouble(double_, 10);
+    case ValueType::kString:
+      return str_;
+  }
+  return "";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    return as_double() == other.as_double();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return bool_ == other.bool_;
+    case ValueType::kString:
+      return str_ == other.str_;
+    default:
+      return true;  // numeric handled above
+  }
+}
+
+namespace {
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type_), rb = TypeRank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1:
+      return (bool_ == other.bool_) ? 0 : (bool_ < other.bool_ ? -1 : 1);
+    case 2: {
+      double a = as_double(), b = other.as_double();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    default:
+      return str_.compare(other.str_) < 0   ? -1
+             : str_.compare(other.str_) > 0 ? 1
+                                            : 0;
+  }
+}
+
+}  // namespace dt::relational

@@ -1,0 +1,93 @@
+/// \file value.h
+/// \brief Typed scalar values for the internal RDBMS landing zone.
+///
+/// Flattened records land here after ingest (Fig. 1 "data ingest" into
+/// the internal RDBMS). Values are deliberately scalar — hierarchy is
+/// eliminated by `ingest::Flattener` before records reach a table.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dt::relational {
+
+/// Storage type of a relational value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A nullable scalar.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = ValueType::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = ValueType::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = ValueType::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = ValueType::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_bool() const { return type_ == ValueType::kBool; }
+  bool is_int() const { return type_ == ValueType::kInt; }
+  bool is_double() const { return type_ == ValueType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == ValueType::kString; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return str_; }
+
+  /// Numeric content as double (0 for non-numeric).
+  double as_double() const;
+
+  /// Lossless textual rendering ("" for null).
+  std::string ToString() const;
+
+  /// Structural equality; int/double compare numerically (Int(2) ==
+  /// Double(2.0)) because ingested sources disagree on numeric types.
+  bool Equals(const Value& other) const;
+
+  /// Three-way ordering: null < bool < numeric < string; numerics
+  /// compare across int/double.
+  int Compare(const Value& other) const;
+
+ private:
+  ValueType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+};
+
+}  // namespace dt::relational

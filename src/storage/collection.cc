@@ -1,0 +1,181 @@
+#include "storage/collection.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strutil.h"
+
+namespace dt::storage {
+
+void ExtentChain::Append(int64_t bytes) {
+  if (extents_.empty() ||
+      extents_.back().used + bytes > extents_.back().capacity) {
+    int64_t cap = extents_.empty()
+                      ? opts_.initial_extent_size_bytes
+                      : std::min(opts_.max_extent_size_bytes,
+                                 extents_.back().capacity * 2);
+    cap = std::max(cap, bytes);  // oversized documents get a fitted extent
+    extents_.push_back(Extent{cap, 0});
+    storage_size_ += cap;
+    if (epoch_counter_ != nullptr) last_alloc_epoch_ = ++*epoch_counter_;
+  }
+  extents_.back().used += bytes;
+}
+
+Collection::Collection(std::string ns, CollectionOptions opts)
+    : ns_(std::move(ns)), opts_(opts) {
+  shards_.reserve(opts_.num_shards);
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    shards_.emplace_back(opts_);
+    shards_.back().set_epoch_counter(&alloc_epoch_);
+  }
+  // Default _id index, as in the production store behind Table I
+  // (nindexes == 1 for a collection with no user indexes).
+  indexes_.push_back(std::make_unique<SecondaryIndex>("_id"));
+}
+
+int Collection::ShardOf(DocId id) const {
+  return static_cast<int>(Mix64(id) % static_cast<uint64_t>(opts_.num_shards));
+}
+
+DocId Collection::Insert(DocValue doc) {
+  DocId id = next_id_++;
+  if (doc.is_object() && doc.Find("_id") == nullptr) {
+    doc.Add("_id", DocValue::Int(static_cast<int64_t>(id)));
+  }
+  int64_t bytes = doc.SerializedSize();
+  shards_[ShardOf(id)].Append(bytes);
+  data_size_ += bytes;
+  for (auto& idx : indexes_) idx->Insert(id, doc);
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
+const DocValue* Collection::Get(DocId id) const {
+  auto it = docs_.find(id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+Status Collection::Update(DocId id, DocValue doc) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document with id " + std::to_string(id) +
+                            " in " + ns_);
+  }
+  if (doc.is_object() && doc.Find("_id") == nullptr) {
+    doc.Add("_id", DocValue::Int(static_cast<int64_t>(id)));
+  }
+  for (auto& idx : indexes_) {
+    idx->Remove(id, it->second);
+    idx->Insert(id, doc);
+  }
+  data_size_ += doc.SerializedSize() - it->second.SerializedSize();
+  // In-place update: extent accounting models append-only allocation,
+  // so updated bytes stay attributed to the original extent.
+  it->second = std::move(doc);
+  return Status::OK();
+}
+
+Status Collection::Remove(DocId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document with id " + std::to_string(id) +
+                            " in " + ns_);
+  }
+  for (auto& idx : indexes_) idx->Remove(id, it->second);
+  data_size_ -= it->second.SerializedSize();
+  docs_.erase(it);
+  return Status::OK();
+}
+
+void Collection::ForEach(
+    const std::function<void(DocId, const DocValue&)>& fn) const {
+  for (const auto& [id, doc] : docs_) fn(id, doc);
+}
+
+Status Collection::CreateIndex(const std::string& field_path) {
+  if (HasIndex(field_path)) {
+    return Status::AlreadyExists("index on " + field_path + " already exists");
+  }
+  auto idx = std::make_unique<SecondaryIndex>(field_path);
+  for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+bool Collection::HasIndex(const std::string& field_path) const {
+  for (const auto& idx : indexes_) {
+    if (idx->field_path() == field_path) return true;
+  }
+  return false;
+}
+
+std::vector<DocId> Collection::FindEqual(const std::string& field_path,
+                                         const DocValue& value) const {
+  for (const auto& idx : indexes_) {
+    if (idx->field_path() == field_path) return idx->Lookup(value);
+  }
+  std::vector<DocId> out;
+  for (const auto& [id, doc] : docs_) {
+    const DocValue* v = doc.FindPath(field_path);
+    if (v != nullptr && v->Equals(value)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<DocId> Collection::FindRange(const std::string& field_path,
+                                         const DocValue& lo,
+                                         const DocValue& hi) const {
+  for (const auto& idx : indexes_) {
+    if (idx->field_path() == field_path) return idx->Range(lo, hi);
+  }
+  std::vector<DocId> out;
+  IndexKey klo = IndexKey::FromValue(lo), khi = IndexKey::FromValue(hi);
+  for (const auto& [id, doc] : docs_) {
+    const DocValue* v = doc.FindPath(field_path);
+    if (v == nullptr) continue;
+    IndexKey k = IndexKey::FromValue(*v);
+    if (!(k < klo) && !(khi < k)) out.push_back(id);
+  }
+  return out;
+}
+
+CollectionStats Collection::Stats() const {
+  CollectionStats st;
+  st.ns = ns_;
+  st.count = count();
+  st.nindexes = static_cast<int64_t>(indexes_.size());
+  st.num_shards = opts_.num_shards;
+  uint64_t best_epoch = 0;
+  for (const auto& shard : shards_) {
+    st.num_extents += shard.num_extents();
+    st.storage_size += shard.storage_size();
+    if (shard.last_alloc_epoch() >= best_epoch && shard.num_extents() > 0) {
+      best_epoch = shard.last_alloc_epoch();
+      st.last_extent_size = shard.last_extent_size();
+    }
+  }
+  for (const auto& idx : indexes_) st.total_index_size += idx->SizeBytes();
+  st.data_size = data_size_;
+  st.avg_obj_size = st.count > 0 ? st.data_size / st.count : 0;
+  return st;
+}
+
+std::string CollectionStats::ToString() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"ns\" : \"" + ns + "\",\n";
+  out += "  \"count\" : " + std::to_string(count) + ",\n";
+  out += "  \"numExtents\" : " + std::to_string(num_extents) + ",\n";
+  out += "  \"nindexes\" : " + std::to_string(nindexes) + ",\n";
+  out += "  \"lastExtentSize\" : " + std::to_string(last_extent_size) + ",\n";
+  out += "  \"totalIndexSize\" : " + std::to_string(total_index_size) + ",\n";
+  out += "  \"dataSize\" : " + std::to_string(data_size) + ",\n";
+  out += "  \"storageSize\" : " + std::to_string(storage_size) + ",\n";
+  out += "  \"avgObjSize\" : " + std::to_string(avg_obj_size) + ",\n";
+  out += "  \"numShards\" : " + std::to_string(num_shards) + "\n";
+  out += "}";
+  return out;
+}
+
+}  // namespace dt::storage

@@ -1,0 +1,152 @@
+/// \file collection.h
+/// \brief Sharded document collection with extent-based storage accounting.
+///
+/// Mirrors the storage engine the paper runs on: a collection is split
+/// across shards; each shard appends documents into fixed-capacity
+/// extents, allocated with doubling sizes up to a 2 GB cap (the
+/// allocation policy that produces the `numExtents`/`lastExtentSize`
+/// figures of Tables I and II). A default `_id` index always exists;
+/// secondary indexes can be added and are maintained on insert/update/
+/// remove.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/docvalue.h"
+#include "storage/index.h"
+
+namespace dt::storage {
+
+/// Tuning knobs for a collection. The defaults reproduce the paper's
+/// production configuration; benches scale `max_extent_size_bytes`
+/// down proportionally with the data scale factor.
+struct CollectionOptions {
+  /// Number of shards the collection is distributed over.
+  int num_shards = 8;
+  /// First extent allocated per shard.
+  int64_t initial_extent_size_bytes = 1 << 16;  // 64 KiB
+  /// Extent allocation doubles until reaching this cap (2 GB in the
+  /// paper's deployment).
+  int64_t max_extent_size_bytes = 2LL * 1024 * 1024 * 1024;
+};
+
+/// Snapshot of collection statistics — the `db.<coll>.stats()` call
+/// whose output the paper prints as Tables I and II.
+struct CollectionStats {
+  std::string ns;             ///< namespace, e.g. "dt.instance"
+  int64_t count = 0;          ///< number of documents
+  int64_t num_extents = 0;    ///< total extents across shards
+  int64_t nindexes = 0;       ///< including the default _id index
+  int64_t last_extent_size = 0;  ///< capacity of the most recent extent
+  int64_t total_index_size = 0;  ///< bytes across all indexes
+  int64_t data_size = 0;      ///< serialized bytes of live documents
+  int64_t storage_size = 0;   ///< sum of extent capacities
+  int64_t avg_obj_size = 0;   ///< data_size / count
+  int num_shards = 0;
+
+  /// Renders in the mongo-shell style of the paper's tables.
+  std::string ToString() const;
+};
+
+/// \brief One shard's extent chain (byte bookkeeping only; documents
+/// live in the collection's id map).
+class ExtentChain {
+ public:
+  explicit ExtentChain(const CollectionOptions& opts) : opts_(opts) {}
+
+  /// Accounts for a document of `bytes`; allocates a new extent when
+  /// the current one cannot fit it.
+  void Append(int64_t bytes);
+
+  int64_t num_extents() const { return static_cast<int64_t>(extents_.size()); }
+  int64_t last_extent_size() const {
+    return extents_.empty() ? 0 : extents_.back().capacity;
+  }
+  int64_t storage_size() const { return storage_size_; }
+  /// Epoch counter of the most recent allocation (for cross-shard
+  /// "latest extent" resolution).
+  uint64_t last_alloc_epoch() const { return last_alloc_epoch_; }
+
+  /// Sets the allocation epoch source shared by all shards.
+  void set_epoch_counter(uint64_t* counter) { epoch_counter_ = counter; }
+
+ private:
+  struct Extent {
+    int64_t capacity = 0;
+    int64_t used = 0;
+  };
+
+  CollectionOptions opts_;
+  std::vector<Extent> extents_;
+  int64_t storage_size_ = 0;
+  uint64_t* epoch_counter_ = nullptr;
+  uint64_t last_alloc_epoch_ = 0;
+};
+
+/// \brief A sharded document collection.
+class Collection {
+ public:
+  Collection(std::string ns, CollectionOptions opts = {});
+
+  const std::string& ns() const { return ns_; }
+
+  /// Inserts a document, assigning and returning its id. The document
+  /// gains an "_id" field if absent.
+  DocId Insert(DocValue doc);
+
+  /// Returns the document with `id`, or nullptr.
+  const DocValue* Get(DocId id) const;
+
+  /// Replaces the document with `id`. Indexes are maintained.
+  Status Update(DocId id, DocValue doc);
+
+  /// Removes the document with `id`. Indexes are maintained.
+  Status Remove(DocId id);
+
+  /// Invokes `fn` for every live document in id order.
+  void ForEach(const std::function<void(DocId, const DocValue&)>& fn) const;
+
+  /// Creates a secondary index on `field_path`, backfilling existing
+  /// documents. Fails with AlreadyExists if one exists on that path.
+  Status CreateIndex(const std::string& field_path);
+
+  /// True if a secondary index exists on `field_path`.
+  bool HasIndex(const std::string& field_path) const;
+
+  /// Ids of documents whose `field_path` equals `value`; uses the index
+  /// when present, otherwise falls back to a full scan.
+  std::vector<DocId> FindEqual(const std::string& field_path,
+                               const DocValue& value) const;
+
+  /// Ids with `field_path` in [lo, hi]; index-backed when possible.
+  std::vector<DocId> FindRange(const std::string& field_path,
+                               const DocValue& lo, const DocValue& hi) const;
+
+  int64_t count() const { return static_cast<int64_t>(docs_.size()); }
+
+  /// The `db.<coll>.stats()` snapshot.
+  CollectionStats Stats() const;
+
+ private:
+  int ShardOf(DocId id) const;
+
+  std::string ns_;
+  CollectionOptions opts_;
+  DocId next_id_ = 1;
+  uint64_t alloc_epoch_ = 0;
+  // Id-ordered storage. A std::map keeps ForEach deterministic in id
+  // order, which the query layer and tests rely on.
+  std::map<DocId, DocValue> docs_;
+  std::vector<ExtentChain> shards_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;  // [0] is _id
+  int64_t data_size_ = 0;
+};
+
+}  // namespace dt::storage

@@ -1,0 +1,47 @@
+#include "storage/document_store.h"
+
+namespace dt::storage {
+
+Result<Collection*> DocumentStore::CreateCollection(const std::string& name,
+                                                    CollectionOptions opts) {
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection " + name + " already exists");
+  }
+  auto coll = std::make_unique<Collection>(db_name_ + "." + name, opts);
+  Collection* ptr = coll.get();
+  collections_.emplace(name, std::move(coll));
+  return ptr;
+}
+
+Result<Collection*> DocumentStore::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection " + name + " does not exist");
+  }
+  return it->second.get();
+}
+
+Collection* DocumentStore::GetOrCreateCollection(const std::string& name,
+                                                 CollectionOptions opts) {
+  auto it = collections_.find(name);
+  if (it != collections_.end()) return it->second.get();
+  return CreateCollection(name, opts).ValueOrDie();
+}
+
+Status DocumentStore::DropCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection " + name + " does not exist");
+  }
+  collections_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> DocumentStore::CollectionNames() const {
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dt::storage

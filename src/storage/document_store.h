@@ -1,0 +1,49 @@
+/// \file document_store.h
+/// \brief Named registry of sharded document collections (the "dt"
+/// database of the paper: dt.instance, dt.entity, ...).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/collection.h"
+
+namespace dt::storage {
+
+/// \brief A database holding named collections.
+class DocumentStore {
+ public:
+  /// \param db_name Prefix used to build collection namespaces
+  ///        ("dt" -> "dt.instance").
+  explicit DocumentStore(std::string db_name = "dt")
+      : db_name_(std::move(db_name)) {}
+
+  /// Creates a collection; fails with AlreadyExists on a name clash.
+  Result<Collection*> CreateCollection(const std::string& name,
+                                       CollectionOptions opts = {});
+
+  /// Returns the collection, or NotFound.
+  Result<Collection*> GetCollection(const std::string& name);
+
+  /// Returns the collection if present, else creates it.
+  Collection* GetOrCreateCollection(const std::string& name,
+                                    CollectionOptions opts = {});
+
+  /// Drops a collection; NotFound if absent.
+  Status DropCollection(const std::string& name);
+
+  /// Names of all collections, sorted.
+  std::vector<std::string> CollectionNames() const;
+
+  const std::string& db_name() const { return db_name_; }
+
+ private:
+  std::string db_name_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace dt::storage

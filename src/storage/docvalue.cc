@@ -1,0 +1,228 @@
+#include "storage/docvalue.h"
+
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace dt::storage {
+
+const char* DocTypeName(DocType t) {
+  switch (t) {
+    case DocType::kNull:
+      return "null";
+    case DocType::kBool:
+      return "bool";
+    case DocType::kInt64:
+      return "int64";
+    case DocType::kDouble:
+      return "double";
+    case DocType::kString:
+      return "string";
+    case DocType::kArray:
+      return "array";
+    case DocType::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+const DocValue* DocValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : *fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const DocValue* DocValue::FindPath(std::string_view dotted_path) const {
+  const DocValue* cur = this;
+  size_t start = 0;
+  while (start <= dotted_path.size()) {
+    size_t dot = dotted_path.find('.', start);
+    std::string_view seg = (dot == std::string_view::npos)
+                               ? dotted_path.substr(start)
+                               : dotted_path.substr(start, dot - start);
+    if (seg.empty()) return nullptr;
+    if (cur->is_object()) {
+      cur = cur->Find(seg);
+    } else if (cur->is_array() && IsDigits(seg)) {
+      int64_t idx = 0;
+      if (!ParseInt64(seg, &idx)) return nullptr;
+      const auto& items = cur->array_items();
+      if (idx < 0 || static_cast<size_t>(idx) >= items.size()) return nullptr;
+      cur = &items[static_cast<size_t>(idx)];
+    } else {
+      return nullptr;
+    }
+    if (cur == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return cur;
+}
+
+void DocValue::Set(std::string_view key, DocValue value) {
+  if (!is_object()) return;
+  for (auto& [k, v] : *fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_->emplace_back(std::string(key), std::move(value));
+}
+
+int64_t DocValue::ElementValueSize() const {
+  switch (type_) {
+    case DocType::kNull:
+      return 0;
+    case DocType::kBool:
+      return 1;
+    case DocType::kInt64:
+    case DocType::kDouble:
+      return 8;
+    case DocType::kString:
+      // 4-byte length prefix + bytes + NUL
+      return 4 + static_cast<int64_t>(str_.size()) + 1;
+    case DocType::kArray: {
+      int64_t sz = 4 + 1;  // length prefix + terminator
+      int idx = 0;
+      for (const auto& item : *array_) {
+        // type byte + decimal index key + NUL
+        sz += 1 + static_cast<int64_t>(std::to_string(idx).size()) + 1 +
+              item.ElementValueSize();
+        ++idx;
+      }
+      return sz;
+    }
+    case DocType::kObject: {
+      int64_t sz = 4 + 1;
+      for (const auto& [k, v] : *fields_) {
+        sz += 1 + static_cast<int64_t>(k.size()) + 1 + v.ElementValueSize();
+      }
+      return sz;
+    }
+  }
+  return 0;
+}
+
+int64_t DocValue::SerializedSize() const { return ElementValueSize(); }
+
+namespace {
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+void DocValue::AppendJson(std::string* out) const {
+  switch (type_) {
+    case DocType::kNull:
+      out->append("null");
+      break;
+    case DocType::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case DocType::kInt64:
+      out->append(std::to_string(int_));
+      break;
+    case DocType::kDouble:
+      out->append(FormatDouble(double_, 10));
+      break;
+    case DocType::kString:
+      AppendEscaped(str_, out);
+      break;
+    case DocType::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& item : *array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.AppendJson(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case DocType::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : *fields_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(k, out);
+        out->push_back(':');
+        v.AppendJson(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string DocValue::ToJson() const {
+  std::string out;
+  AppendJson(&out);
+  return out;
+}
+
+bool DocValue::Equals(const DocValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case DocType::kNull:
+      return true;
+    case DocType::kBool:
+      return bool_ == other.bool_;
+    case DocType::kInt64:
+      return int_ == other.int_;
+    case DocType::kDouble:
+      return double_ == other.double_;
+    case DocType::kString:
+      return str_ == other.str_;
+    case DocType::kArray: {
+      if (array_->size() != other.array_->size()) return false;
+      for (size_t i = 0; i < array_->size(); ++i) {
+        if (!(*array_)[i].Equals((*other.array_)[i])) return false;
+      }
+      return true;
+    }
+    case DocType::kObject: {
+      if (fields_->size() != other.fields_->size()) return false;
+      for (size_t i = 0; i < fields_->size(); ++i) {
+        if ((*fields_)[i].first != (*other.fields_)[i].first) return false;
+        if (!(*fields_)[i].second.Equals((*other.fields_)[i].second))
+          return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dt::storage

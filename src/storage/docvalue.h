@@ -1,0 +1,197 @@
+/// \file docvalue.h
+/// \brief Semi-structured (hierarchical) document model.
+///
+/// `DocValue` is a BSON-like tagged value: null, bool, int64, double,
+/// string, array, or object. Objects preserve insertion order (like
+/// MongoDB documents) and offer by-name lookup. The serialized size is
+/// computed with BSON's framing rules so extent/index byte accounting
+/// in `storage::Collection` behaves like the system the paper measured
+/// in Tables I and II.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dt::storage {
+
+class DocValue;
+
+/// Ordered key/value fields of an object.
+using DocFields = std::vector<std::pair<std::string, DocValue>>;
+/// Elements of an array.
+using DocArray = std::vector<DocValue>;
+
+/// Type tag of a `DocValue`.
+enum class DocType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kArray = 5,
+  kObject = 6,
+};
+
+const char* DocTypeName(DocType t);
+
+/// \brief A hierarchical value (the unit stored in a document collection).
+class DocValue {
+ public:
+  /// Null value.
+  DocValue() : type_(DocType::kNull) {}
+
+  static DocValue Null() { return DocValue(); }
+  static DocValue Bool(bool b) {
+    DocValue v;
+    v.type_ = DocType::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static DocValue Int(int64_t i) {
+    DocValue v;
+    v.type_ = DocType::kInt64;
+    v.int_ = i;
+    return v;
+  }
+  static DocValue Double(double d) {
+    DocValue v;
+    v.type_ = DocType::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static DocValue Str(std::string s) {
+    DocValue v;
+    v.type_ = DocType::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static DocValue Array(DocArray items = {}) {
+    DocValue v;
+    v.type_ = DocType::kArray;
+    v.array_ = std::make_shared<DocArray>(std::move(items));
+    return v;
+  }
+  static DocValue Object(DocFields fields = {}) {
+    DocValue v;
+    v.type_ = DocType::kObject;
+    v.fields_ = std::make_shared<DocFields>(std::move(fields));
+    return v;
+  }
+
+  DocType type() const { return type_; }
+  bool is_null() const { return type_ == DocType::kNull; }
+  bool is_bool() const { return type_ == DocType::kBool; }
+  bool is_int() const { return type_ == DocType::kInt64; }
+  bool is_double() const { return type_ == DocType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == DocType::kString; }
+  bool is_array() const { return type_ == DocType::kArray; }
+  bool is_object() const { return type_ == DocType::kObject; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  /// Numeric value as double regardless of int/double storage.
+  double as_double() const {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return str_; }
+
+  const DocArray& array_items() const { return *array_; }
+  DocArray& mutable_array() { return *array_; }
+  const DocFields& fields() const { return *fields_; }
+  DocFields& mutable_fields() { return *fields_; }
+
+  /// Appends a field to an object (no uniqueness check; callers own key
+  /// discipline like MongoDB does).
+  void Add(std::string key, DocValue value) {
+    fields_->emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Appends an element to an array.
+  void Push(DocValue value) { array_->push_back(std::move(value)); }
+
+  /// Pointer to the first field named `key`, or nullptr. Object only.
+  const DocValue* Find(std::string_view key) const;
+
+  /// Dotted-path navigation: "payload.entities.0.type". A numeric path
+  /// segment indexes into an array. Returns nullptr when the path does
+  /// not resolve.
+  const DocValue* FindPath(std::string_view dotted_path) const;
+
+  /// Replaces (or appends) the field `key` on an object.
+  void Set(std::string_view key, DocValue value);
+
+  /// BSON-style serialized size in bytes of this value when stored as a
+  /// top-level document (objects/arrays include the 4-byte length prefix
+  /// and trailing NUL; strings include length prefix and NUL; each
+  /// element carries a type byte and a NUL-terminated key).
+  int64_t SerializedSize() const;
+
+  /// Compact JSON rendering (stable field order; doubles via
+  /// `FormatDouble`; strings escaped).
+  std::string ToJson() const;
+
+  /// Deep structural equality (int 2 != double 2.0).
+  bool Equals(const DocValue& other) const;
+
+ private:
+  int64_t ElementValueSize() const;
+  void AppendJson(std::string* out) const;
+
+  DocType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  // Shared pointers keep DocValue cheap to copy in pipelines that fan a
+  // parsed document into several collections; mutation via mutable_*
+  // affects all copies by design (copy-on-write is not needed because
+  // pipeline stages construct fresh objects).
+  std::shared_ptr<DocArray> array_;
+  std::shared_ptr<DocFields> fields_;
+};
+
+/// Convenience builder for object documents:
+///   DocBuilder().Set("a", 1).Set("b", "x").Build()
+class DocBuilder {
+ public:
+  DocBuilder() : doc_(DocValue::Object()) {}
+
+  DocBuilder& Set(std::string key, DocValue v) {
+    doc_.Add(std::move(key), std::move(v));
+    return *this;
+  }
+  DocBuilder& Set(std::string key, const char* s) {
+    return Set(std::move(key), DocValue::Str(s));
+  }
+  DocBuilder& Set(std::string key, std::string s) {
+    return Set(std::move(key), DocValue::Str(std::move(s)));
+  }
+  DocBuilder& Set(std::string key, int64_t i) {
+    return Set(std::move(key), DocValue::Int(i));
+  }
+  DocBuilder& Set(std::string key, int i) {
+    return Set(std::move(key), DocValue::Int(i));
+  }
+  DocBuilder& Set(std::string key, double d) {
+    return Set(std::move(key), DocValue::Double(d));
+  }
+  DocBuilder& Set(std::string key, bool b) {
+    return Set(std::move(key), DocValue::Bool(b));
+  }
+
+  DocValue Build() { return std::move(doc_); }
+
+ private:
+  DocValue doc_;
+};
+
+}  // namespace dt::storage

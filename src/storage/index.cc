@@ -1,0 +1,121 @@
+#include "storage/index.h"
+
+#include "common/strutil.h"
+
+namespace dt::storage {
+
+IndexKey IndexKey::FromValue(const DocValue& v) {
+  IndexKey k;
+  switch (v.type()) {
+    case DocType::kBool:
+      k.tag_ = Tag::kBool;
+      k.bool_ = v.bool_value();
+      break;
+    case DocType::kInt64:
+      k.tag_ = Tag::kNumber;
+      k.num_ = static_cast<double>(v.int_value());
+      break;
+    case DocType::kDouble:
+      k.tag_ = Tag::kNumber;
+      k.num_ = v.double_value();
+      break;
+    case DocType::kString:
+      k.tag_ = Tag::kString;
+      k.str_ = v.string_value();
+      break;
+    default:
+      k.tag_ = Tag::kNull;  // null, array, object index as null
+      break;
+  }
+  return k;
+}
+
+bool IndexKey::operator<(const IndexKey& other) const {
+  if (tag_ != other.tag_) return tag_ < other.tag_;
+  switch (tag_) {
+    case Tag::kNull:
+      return false;
+    case Tag::kBool:
+      return bool_ < other.bool_;
+    case Tag::kNumber:
+      return num_ < other.num_;
+    case Tag::kString:
+      return str_ < other.str_;
+  }
+  return false;
+}
+
+bool IndexKey::operator==(const IndexKey& other) const {
+  return !(*this < other) && !(other < *this);
+}
+
+int64_t IndexKey::SizeBytes() const {
+  switch (tag_) {
+    case Tag::kNull:
+      return 1;
+    case Tag::kBool:
+      return 1;
+    case Tag::kNumber:
+      return 8;
+    case Tag::kString:
+      return static_cast<int64_t>(str_.size()) + 5;
+  }
+  return 1;
+}
+
+std::string IndexKey::ToString() const {
+  switch (tag_) {
+    case Tag::kNull:
+      return "null";
+    case Tag::kBool:
+      return bool_ ? "true" : "false";
+    case Tag::kNumber:
+      return FormatDouble(num_, 10);
+    case Tag::kString:
+      return str_;
+  }
+  return "?";
+}
+
+namespace {
+IndexKey KeyAt(const std::string& path, const DocValue& doc) {
+  const DocValue* v = doc.FindPath(path);
+  return v == nullptr ? IndexKey() : IndexKey::FromValue(*v);
+}
+}  // namespace
+
+void SecondaryIndex::Insert(DocId id, const DocValue& doc) {
+  IndexKey key = KeyAt(field_path_, doc);
+  size_bytes_ += key.SizeBytes() + kEntryOverheadBytes;
+  entries_.emplace(std::move(key), id);
+}
+
+void SecondaryIndex::Remove(DocId id, const DocValue& doc) {
+  IndexKey key = KeyAt(field_path_, doc);
+  auto [lo, hi] = entries_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      size_bytes_ -= key.SizeBytes() + kEntryOverheadBytes;
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<DocId> SecondaryIndex::Lookup(const DocValue& value) const {
+  std::vector<DocId> out;
+  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<DocId> SecondaryIndex::Range(const DocValue& lo_v,
+                                         const DocValue& hi_v) const {
+  std::vector<DocId> out;
+  auto lo = entries_.lower_bound(IndexKey::FromValue(lo_v));
+  auto hi = entries_.upper_bound(IndexKey::FromValue(hi_v));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace dt::storage

@@ -1,0 +1,165 @@
+#include "textparse/domain_parser.h"
+
+#include <unordered_set>
+
+#include "common/strutil.h"
+
+namespace dt::textparse {
+
+DomainParser::DomainParser(const Gazetteer* gazetteer,
+                           DomainParserOptions opts)
+    : gazetteer_(gazetteer), opts_(opts) {}
+
+namespace {
+
+bool IsUrlToken(const Token& tok) {
+  if (tok.kind != TokenKind::kWord) return false;
+  std::string lower = ToLower(tok.text);
+  return StartsWith(lower, "http://") || StartsWith(lower, "https://") ||
+         StartsWith(lower, "www.");
+}
+
+// Words that start sentences often capitalize without being names.
+bool IsStopWord(const std::string& lower) {
+  static const std::unordered_set<std::string> kStop = {
+      "the", "a",  "an", "and", "or",  "but", "in", "on",  "at",  "to",
+      "of",  "is", "it", "he",  "she", "we",  "i",  "you", "they"};
+  return kStop.count(lower) > 0;
+}
+
+}  // namespace
+
+ParsedFragment DomainParser::Parse(std::string_view text, std::string source,
+                                   int64_t timestamp) const {
+  ParsedFragment out;
+  out.text = std::string(text);
+  out.source = std::move(source);
+  out.timestamp = timestamp;
+
+  std::vector<Token> tokens = Tokenize(text);
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // 1. Gazetteer longest match (highest precedence).
+    if (opts_.enable_gazetteer && gazetteer_ != nullptr) {
+      size_t consumed = 0;
+      auto hit = gazetteer_->LongestMatch(tokens, i, &consumed);
+      if (hit.has_value()) {
+        EntityMention m;
+        m.type = hit->type;
+        m.canonical = hit->canonical;
+        m.offset = tokens[i].offset;
+        const Token& last = tokens[i + consumed - 1];
+        m.surface = std::string(
+            text.substr(m.offset, last.offset + last.text.size() - m.offset));
+        m.confidence = 1.0;
+        m.attrs = hit->attrs;
+        out.mentions.push_back(std::move(m));
+        i += consumed;
+        continue;
+      }
+    }
+    // 2. URLs.
+    if (opts_.enable_url_detection && IsUrlToken(tokens[i])) {
+      EntityMention m;
+      m.type = EntityType::kUrl;
+      m.canonical = ToLower(tokens[i].text);
+      m.surface = tokens[i].text;
+      m.offset = tokens[i].offset;
+      m.confidence = 1.0;
+      out.mentions.push_back(std::move(m));
+      ++i;
+      continue;
+    }
+    // 3. Quoted capitalized phrase => Movie/Show title candidate.
+    if (opts_.enable_quoted_title_detection &&
+        tokens[i].kind == TokenKind::kPunct && tokens[i].text == "\"") {
+      size_t j = i + 1;
+      bool any_cap = false;
+      while (j < tokens.size() && j - i <= 8 &&
+             tokens[j].kind != TokenKind::kPunct) {
+        any_cap = any_cap || tokens[j].IsCapitalized();
+        ++j;
+      }
+      if (any_cap && j > i + 1 && j < tokens.size() &&
+          tokens[j].text == "\"") {
+        const Token& first = tokens[i + 1];
+        const Token& last = tokens[j - 1];
+        EntityMention m;
+        m.type = EntityType::kMovie;
+        m.offset = first.offset;
+        m.surface = std::string(text.substr(
+            first.offset, last.offset + last.text.size() - first.offset));
+        m.canonical = m.surface;
+        m.confidence = opts_.heuristic_confidence;
+        out.mentions.push_back(std::move(m));
+        i = j + 1;
+        continue;
+      }
+    }
+    // 4. Capitalized-run person heuristic.
+    if (opts_.enable_person_heuristic && tokens[i].kind == TokenKind::kWord &&
+        tokens[i].IsCapitalized() && !IsStopWord(ToLower(tokens[i].text))) {
+      size_t j = i;
+      while (j < tokens.size() && tokens[j].kind == TokenKind::kWord &&
+             tokens[j].IsCapitalized() &&
+             !IsStopWord(ToLower(tokens[j].text))) {
+        ++j;
+      }
+      if (j - i >= 2 && j - i <= 4) {
+        const Token& last = tokens[j - 1];
+        EntityMention m;
+        m.type = EntityType::kPerson;
+        m.offset = tokens[i].offset;
+        m.surface = std::string(text.substr(
+            m.offset, last.offset + last.text.size() - m.offset));
+        m.canonical = m.surface;
+        m.confidence = opts_.heuristic_confidence;
+        out.mentions.push_back(std::move(m));
+        i = j;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+storage::DocValue DomainParser::ToInstanceDoc(const ParsedFragment& fragment) {
+  using storage::DocValue;
+  DocValue entities = DocValue::Array();
+  for (const auto& m : fragment.mentions) {
+    DocValue e = DocValue::Object();
+    e.Add("type", DocValue::Str(EntityTypeName(m.type)));
+    e.Add("name", DocValue::Str(m.canonical));
+    e.Add("offset", DocValue::Int(static_cast<int64_t>(m.offset)));
+    entities.Push(std::move(e));
+  }
+  DocValue doc = DocValue::Object();
+  doc.Add("text", DocValue::Str(fragment.text));
+  doc.Add("source", DocValue::Str(fragment.source));
+  doc.Add("timestamp", DocValue::Int(fragment.timestamp));
+  doc.Add("entities", std::move(entities));
+  return doc;
+}
+
+std::vector<storage::DocValue> DomainParser::ToEntityDocs(
+    const ParsedFragment& fragment, int64_t instance_id) {
+  using storage::DocValue;
+  std::vector<DocValue> out;
+  out.reserve(fragment.mentions.size());
+  for (const auto& m : fragment.mentions) {
+    DocValue doc = DocValue::Object();
+    doc.Add("type", DocValue::Str(EntityTypeName(m.type)));
+    doc.Add("name", DocValue::Str(m.canonical));
+    doc.Add("surface", DocValue::Str(m.surface));
+    doc.Add("confidence", DocValue::Double(m.confidence));
+    doc.Add("instance_id", DocValue::Int(instance_id));
+    for (const auto& [k, v] : m.attrs) {
+      doc.Add(k, DocValue::Str(v));
+    }
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+}  // namespace dt::textparse

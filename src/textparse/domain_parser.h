@@ -1,0 +1,81 @@
+/// \file domain_parser.h
+/// \brief The domain-specific parser of Fig. 1 (the user-defined module
+/// supplied by a web aggregator such as Recorded Future).
+///
+/// Consumes a raw text fragment and produces hierarchical
+/// semi-structured output: the fragment itself (a WEBINSTANCE record)
+/// plus the typed entity mentions found in it (WEBENTITIES records).
+/// Extraction combines greedy gazetteer matching with rule heuristics
+/// for URLs, quoted titles, and capitalized-name sequences.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "storage/docvalue.h"
+#include "textparse/entity_types.h"
+#include "textparse/gazetteer.h"
+#include "textparse/tokenizer.h"
+
+namespace dt::textparse {
+
+/// \brief One extracted entity mention.
+struct EntityMention {
+  EntityType type = EntityType::kPerson;
+  std::string canonical;  ///< dictionary canonical name (or surface form)
+  std::string surface;    ///< text as it appeared
+  size_t offset = 0;      ///< byte offset of the mention in the fragment
+  double confidence = 1.0;
+  /// Attributes inherited from the dictionary entry (e.g. award_winning).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// \brief Parser output for one fragment.
+struct ParsedFragment {
+  std::string text;
+  std::string source;  ///< feed name ("newsfeed", "twitter", "blog", ...)
+  int64_t timestamp = 0;
+  std::vector<EntityMention> mentions;
+};
+
+/// Heuristic toggles (all on by default; ablation benches switch them).
+struct DomainParserOptions {
+  bool enable_gazetteer = true;
+  bool enable_url_detection = true;
+  /// Quoted capitalized phrases become Movie candidates ("Matilda").
+  bool enable_quoted_title_detection = true;
+  /// Runs of >= 2 capitalized words become Person candidates.
+  bool enable_person_heuristic = true;
+  double heuristic_confidence = 0.6;
+};
+
+/// \brief Rule/gazetteer entity extractor.
+class DomainParser {
+ public:
+  /// The gazetteer must outlive the parser.
+  explicit DomainParser(const Gazetteer* gazetteer,
+                        DomainParserOptions opts = {});
+
+  /// Extracts all mentions from `text`.
+  ParsedFragment Parse(std::string_view text, std::string source = "",
+                       int64_t timestamp = 0) const;
+
+  /// Hierarchical WEBINSTANCE document:
+  /// {text, source, timestamp, entities: [{type, name, offset}, ...]}.
+  static storage::DocValue ToInstanceDoc(const ParsedFragment& fragment);
+
+  /// One hierarchical WEBENTITIES document per mention:
+  /// {type, name, surface, confidence, instance_id, <attrs...>}.
+  static std::vector<storage::DocValue> ToEntityDocs(
+      const ParsedFragment& fragment, int64_t instance_id);
+
+ private:
+  const Gazetteer* gazetteer_;
+  DomainParserOptions opts_;
+};
+
+}  // namespace dt::textparse

@@ -1,0 +1,59 @@
+#include "textparse/entity_types.h"
+
+namespace dt::textparse {
+
+namespace {
+struct TypeInfo {
+  const char* name;
+  int64_t paper_count;
+};
+
+// Names and counts exactly as printed in Table III.
+constexpr TypeInfo kTypeInfo[kNumEntityTypes] = {
+    {"Person", 38867351},
+    {"OrgEntity", 33529169},
+    {"GeoEntity", 11964810},
+    {"URL", 11194592},
+    {"IndustryTerm", 9101781},
+    {"Position", 8938934},
+    {"Company", 8846692},
+    {"Product", 8800019},
+    {"Organization", 6301459},
+    {"Facility", 4081458},
+    {"City", 3621317},
+    {"MedicalCondition", 1313487},
+    {"Technology", 940349},
+    {"Movie", 260230},
+    {"ProvinceOrState", 223243},
+};
+}  // namespace
+
+const char* EntityTypeName(EntityType t) {
+  int i = static_cast<int>(t);
+  if (i < 0 || i >= kNumEntityTypes) return "?";
+  return kTypeInfo[i].name;
+}
+
+std::optional<EntityType> EntityTypeFromName(std::string_view name) {
+  for (int i = 0; i < kNumEntityTypes; ++i) {
+    if (name == kTypeInfo[i].name) return static_cast<EntityType>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<EntityType> AllEntityTypes() {
+  std::vector<EntityType> out;
+  out.reserve(kNumEntityTypes);
+  for (int i = 0; i < kNumEntityTypes; ++i) {
+    out.push_back(static_cast<EntityType>(i));
+  }
+  return out;
+}
+
+int64_t PaperEntityTypeCount(EntityType t) {
+  int i = static_cast<int>(t);
+  if (i < 0 || i >= kNumEntityTypes) return 0;
+  return kTypeInfo[i].paper_count;
+}
+
+}  // namespace dt::textparse

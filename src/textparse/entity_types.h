@@ -1,0 +1,52 @@
+/// \file entity_types.h
+/// \brief The entity-type taxonomy of the WEBENTITIES dataset (Table III).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dt::textparse {
+
+/// Entity types reported in Table III of the paper, in the table's
+/// descending-count order.
+enum class EntityType : uint8_t {
+  kPerson = 0,
+  kOrgEntity,
+  kGeoEntity,
+  kUrl,
+  kIndustryTerm,
+  kPosition,
+  kCompany,
+  kProduct,
+  kOrganization,
+  kFacility,
+  kCity,
+  kMedicalCondition,
+  kTechnology,
+  kMovie,
+  kProvinceOrState,
+  kNumEntityTypes,  // sentinel
+};
+
+inline constexpr int kNumEntityTypes =
+    static_cast<int>(EntityType::kNumEntityTypes);
+
+/// Type name as printed in Table III ("Person", "OrgEntity", ...).
+const char* EntityTypeName(EntityType t);
+
+/// Inverse of EntityTypeName; nullopt for unknown names.
+std::optional<EntityType> EntityTypeFromName(std::string_view name);
+
+/// All types in Table III order.
+std::vector<EntityType> AllEntityTypes();
+
+/// Entity counts from Table III of the paper (same order as the enum).
+/// Used by the generator to reproduce the published type skew and by
+/// the Table III bench to print the paper-vs-measured comparison.
+int64_t PaperEntityTypeCount(EntityType t);
+
+}  // namespace dt::textparse

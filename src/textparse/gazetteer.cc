@@ -1,0 +1,71 @@
+#include "textparse/gazetteer.h"
+
+#include "common/strutil.h"
+
+namespace dt::textparse {
+
+std::string Gazetteer::NormalizePhrase(std::string_view phrase) {
+  return Join(WordTokens(phrase), " ");
+}
+
+void Gazetteer::Add(GazetteerEntry entry) {
+  if (entry.phrase.empty()) return;
+  if (entry.canonical.empty()) entry.canonical = entry.phrase;
+  std::string key = NormalizePhrase(entry.phrase);
+  if (key.empty()) return;
+  size_t ntok = WordTokens(entry.phrase).size();
+  max_phrase_tokens_ = std::max(max_phrase_tokens_, ntok);
+  entries_[key] = std::move(entry);
+}
+
+void Gazetteer::Add(std::string phrase, EntityType type,
+                    std::string canonical) {
+  GazetteerEntry e;
+  e.phrase = std::move(phrase);
+  e.type = type;
+  e.canonical = std::move(canonical);
+  Add(std::move(e));
+}
+
+std::optional<GazetteerEntry> Gazetteer::LongestMatch(
+    const std::vector<Token>& tokens, size_t start,
+    size_t* tokens_consumed) const {
+  if (start >= tokens.size()) return std::nullopt;
+  // Build the candidate key incrementally, longest first by extending
+  // then remembering the last hit.
+  std::string key;
+  std::optional<GazetteerEntry> best;
+  size_t best_len = 0;
+  size_t limit = std::min(tokens.size() - start, max_phrase_tokens_);
+  for (size_t len = 1; len <= limit; ++len) {
+    const Token& tok = tokens[start + len - 1];
+    if (tok.kind == TokenKind::kPunct) break;  // phrases don't cross punct
+    if (!key.empty()) key.push_back(' ');
+    key += ToLower(tok.text);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      best = it->second;
+      best_len = len;
+    }
+  }
+  if (best.has_value()) {
+    *tokens_consumed = best_len;
+    return best;
+  }
+  return std::nullopt;
+}
+
+std::optional<GazetteerEntry> Gazetteer::Lookup(std::string_view phrase) const {
+  auto it = entries_.find(NormalizePhrase(phrase));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<GazetteerEntry> Gazetteer::Entries() const {
+  std::vector<GazetteerEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e);
+  return out;
+}
+
+}  // namespace dt::textparse

@@ -1,0 +1,70 @@
+/// \file gazetteer.h
+/// \brief Phrase dictionary backing the domain parser.
+///
+/// Maps surface phrases (case-insensitive, multi-word) to typed
+/// canonical entities, with greedy longest-match lookup over a token
+/// stream. The generator registers its vocabulary here so the parser
+/// extracts the mentions it planted — the same closed-world contract a
+/// commercial domain parser has with its curated dictionaries.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "textparse/entity_types.h"
+#include "textparse/tokenizer.h"
+
+namespace dt::textparse {
+
+/// \brief One dictionary entry.
+struct GazetteerEntry {
+  std::string phrase;     ///< surface form, e.g. "The Walking Dead"
+  EntityType type = EntityType::kPerson;
+  std::string canonical;  ///< canonical name; defaults to `phrase`
+  /// Free-form attributes attached to the entity (e.g. award_winning).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// \brief Longest-match phrase dictionary.
+class Gazetteer {
+ public:
+  /// Adds an entry; later duplicates of the same (phrase, type) replace
+  /// earlier ones. Empty phrases are ignored.
+  void Add(GazetteerEntry entry);
+
+  /// Convenience: adds a phrase with type and optional canonical name.
+  void Add(std::string phrase, EntityType type, std::string canonical = "");
+
+  /// \brief Longest match starting at token `start`.
+  ///
+  /// Compares lower-cased token sequences against dictionary phrases
+  /// (up to the longest phrase registered). Returns the matched entry
+  /// and sets `*tokens_consumed`; nullopt when nothing matches.
+  std::optional<GazetteerEntry> LongestMatch(const std::vector<Token>& tokens,
+                                             size_t start,
+                                             size_t* tokens_consumed) const;
+
+  /// Entry for an exact phrase (case-insensitive), or nullopt.
+  std::optional<GazetteerEntry> Lookup(std::string_view phrase) const;
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  size_t max_phrase_tokens() const { return max_phrase_tokens_; }
+
+  /// All registered entries (unspecified order).
+  std::vector<GazetteerEntry> Entries() const;
+
+ private:
+  static std::string NormalizePhrase(std::string_view phrase);
+
+  // key: normalized phrase
+  std::unordered_map<std::string, GazetteerEntry> entries_;
+  size_t max_phrase_tokens_ = 0;
+};
+
+}  // namespace dt::textparse

@@ -1,0 +1,165 @@
+#include "textparse/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace dt::textparse {
+
+namespace {
+inline bool IsWordByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsDigitByte(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsSpaceByte(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+// True if a URL starts at position i; sets *len to its extent.
+bool MatchUrl(std::string_view text, size_t i, size_t* len) {
+  auto rest = text.substr(i);
+  std::string lower = ToLower(rest.substr(0, 8));
+  size_t start_len = 0;
+  if (StartsWith(lower, "http://")) start_len = 7;
+  else if (StartsWith(lower, "https://")) start_len = 8;
+  else if (StartsWith(lower, "www.")) start_len = 4;
+  if (start_len == 0) return false;
+  size_t j = start_len;
+  while (j < rest.size() && !IsSpaceByte(rest[j]) && rest[j] != '"' &&
+         rest[j] != ')' && rest[j] != '>' && rest[j] != ',') {
+    ++j;
+  }
+  // Trailing sentence punctuation is not part of the URL.
+  while (j > start_len && (rest[j - 1] == '.' || rest[j - 1] == '!' ||
+                           rest[j - 1] == '?' || rest[j - 1] == ';')) {
+    --j;
+  }
+  if (j <= start_len) return false;
+  *len = j;
+  return true;
+}
+}  // namespace
+
+bool Token::IsCapitalized() const {
+  return !text.empty() && std::isupper(static_cast<unsigned char>(text[0]));
+}
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (IsSpaceByte(c)) {
+      ++i;
+      continue;
+    }
+    size_t url_len = 0;
+    if ((c == 'h' || c == 'H' || c == 'w' || c == 'W') &&
+        MatchUrl(text, i, &url_len)) {
+      out.push_back({std::string(text.substr(i, url_len)), i, TokenKind::kWord});
+      i += url_len;
+      continue;
+    }
+    if (IsWordByte(c)) {
+      size_t start = i;
+      bool all_digits = true;
+      bool has_digits = false;
+      while (i < text.size()) {
+        char d = text[i];
+        if (IsWordByte(d)) {
+          all_digits = all_digits && IsDigitByte(d);
+          has_digits = has_digits || IsDigitByte(d);
+          ++i;
+          continue;
+        }
+        // Keep internal apostrophes ("O'Brien") and number separators
+        // ("659,391", "3.5") inside one token.
+        if (d == '\'' && i + 1 < text.size() && IsWordByte(text[i + 1]) &&
+            !all_digits) {
+          i += 2;
+          all_digits = false;
+          continue;
+        }
+        if ((d == ',' || d == '.') && has_digits && all_digits &&
+            i + 1 < text.size() && IsDigitByte(text[i + 1])) {
+          i += 2;
+          continue;
+        }
+        break;
+      }
+      std::string tok(text.substr(start, i - start));
+      TokenKind kind = TokenKind::kWord;
+      if (!tok.empty() && IsDigitByte(tok[0]) && all_digits) {
+        kind = TokenKind::kNumber;
+      }
+      out.push_back({std::move(tok), start, kind});
+      continue;
+    }
+    out.push_back({std::string(1, c), i, TokenKind::kPunct});
+    ++i;
+  }
+  return out;
+}
+
+std::vector<SentenceSpan> SplitSentences(std::string_view text) {
+  static const char* kAbbrev[] = {"mr", "mrs", "ms", "dr",  "st", "inc",
+                                  "co", "corp", "vs", "jr", "sr", "prof",
+                                  "gen", "rep", "sen", "etc", "e.g", "i.e"};
+  std::vector<SentenceSpan> out;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    if (c == '.') {
+      // Decimal point?
+      if (i > 0 && std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+          i + 1 < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        continue;
+      }
+      // Abbreviation?
+      size_t wb = i;
+      while (wb > start && std::isalpha(static_cast<unsigned char>(text[wb - 1]))) {
+        --wb;
+      }
+      std::string word = ToLower(text.substr(wb, i - wb));
+      bool is_abbrev = false;
+      for (const char* a : kAbbrev) {
+        if (word == a) {
+          is_abbrev = true;
+          break;
+        }
+      }
+      if (is_abbrev) continue;
+    }
+    // Sentence boundary requires end of text or whitespace next.
+    size_t j = i + 1;
+    while (j < text.size() && (text[j] == '"' || text[j] == '\'' ||
+                               text[j] == ')' || text[j] == '.')) {
+      ++j;
+    }
+    if (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j]))) {
+      continue;
+    }
+    out.push_back({start, j});
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    start = j;
+    i = j > 0 ? j - 1 : 0;
+  }
+  if (start < text.size()) {
+    // Trailing sentence without terminal punctuation.
+    size_t end = text.size();
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+      --end;
+    }
+    if (end > start) out.push_back({start, end});
+  }
+  return out;
+}
+
+}  // namespace dt::textparse

@@ -1,0 +1,49 @@
+/// \file tokenizer.h
+/// \brief Offset-preserving tokenization and sentence splitting for the
+/// domain parser.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dt::textparse {
+
+/// Lexical class of a token.
+enum class TokenKind : uint8_t {
+  kWord = 0,
+  kNumber = 1,
+  kPunct = 2,
+};
+
+/// \brief One token with its source offset (so extracted mentions can
+/// point back into the fragment).
+struct Token {
+  std::string text;   ///< original surface form
+  size_t offset = 0;  ///< byte offset in the input
+  TokenKind kind = TokenKind::kWord;
+
+  /// True if the first character is an ASCII capital.
+  bool IsCapitalized() const;
+};
+
+/// \brief Tokenizes text into words, numbers, and single-char punct
+/// tokens. Words keep internal apostrophes ("O'Brien") and hyphens
+/// stay separate tokens. URLs survive as single word tokens when they
+/// start with http:// https:// or www.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// \brief One sentence as an offset range [begin, end) into the input.
+struct SentenceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// \brief Splits on '.', '!', '?' followed by whitespace + capital (or
+/// end of input), protecting common abbreviations ("Mr.", "St.", "Inc.")
+/// and decimal points.
+std::vector<SentenceSpan> SplitSentences(std::string_view text);
+
+}  // namespace dt::textparse

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clean/cleaning.h"
+#include "clean/transforms.h"
+
+namespace dt::clean {
+namespace {
+
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+TEST(MoneyTest, ParseFormats) {
+  auto m = ParseMoney("$27");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->amount, 27);
+  EXPECT_EQ(m->currency, "USD");
+
+  m = ParseMoney("\xe2\x82\xac""35.50");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->amount, 35.5);
+  EXPECT_EQ(m->currency, "EUR");
+
+  m = ParseMoney("27 USD");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->currency, "USD");
+
+  m = ParseMoney("19.99 euros");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->currency, "EUR");
+
+  m = ParseMoney("1,234.56 USD");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->amount, 1234.56);
+
+  EXPECT_FALSE(ParseMoney("27").has_value());
+  EXPECT_FALSE(ParseMoney("$").has_value());
+  EXPECT_FALSE(ParseMoney("").has_value());
+  EXPECT_FALSE(ParseMoney("$abc").has_value());
+}
+
+TEST(MoneyTest, FormatUsd) {
+  EXPECT_EQ(FormatUsd(27.0), "$27");
+  EXPECT_EQ(FormatUsd(35.5), "$35.5");
+  EXPECT_EQ(FormatUsd(35.55), "$35.55");
+  EXPECT_EQ(FormatUsd(35.999), "$36");
+}
+
+TEST(DateTest, ParseFormats) {
+  CivilDate want{2013, 3, 4};
+  EXPECT_EQ(ParseDate("3/4/2013"), want);
+  EXPECT_EQ(ParseDate("2013-03-04"), want);
+  EXPECT_EQ(ParseDate("Mar 4, 2013"), want);
+  EXPECT_EQ(ParseDate("March 4 2013"), want);
+  EXPECT_FALSE(ParseDate("13/40/2013").has_value());
+  EXPECT_FALSE(ParseDate("2013-13-04").has_value());
+  EXPECT_FALSE(ParseDate("hello").has_value());
+  EXPECT_FALSE(ParseDate("").has_value());
+  EXPECT_FALSE(ParseDate("2/30/2013").has_value());
+}
+
+TEST(DateTest, FormatIso) {
+  EXPECT_EQ(FormatIsoDate({2013, 3, 4}), "2013-03-04");
+}
+
+TEST(TransformRegistryTest, RegisterGetNames) {
+  TransformRegistry reg;
+  ASSERT_TRUE(reg.Register("x", [](const Value& v) -> Result<Value> {
+    return v;
+  }).ok());
+  EXPECT_TRUE(reg.Register("x", [](const Value& v) -> Result<Value> {
+    return v;
+  }).IsAlreadyExists());
+  EXPECT_TRUE(reg.Get("x").ok());
+  EXPECT_TRUE(reg.Get("missing").status().IsNotFound());
+}
+
+TEST(BuiltinsTest, EurToUsd) {
+  auto reg = TransformRegistry::Builtins(1.30);
+  auto fn = reg.Get("eur_to_usd").ValueOrDie();
+  EXPECT_EQ(fn(Value::Str("\xe2\x82\xac""100")).ValueOrDie().string_value(),
+            "$130");
+  // USD passes through.
+  EXPECT_EQ(fn(Value::Str("$27")).ValueOrDie().string_value(), "$27");
+  EXPECT_EQ(fn(Value::Str("20.79 EUR")).ValueOrDie().string_value(),
+            "$27.03");
+  EXPECT_TRUE(fn(Value::Str("not money")).status().IsInvalidArgument());
+  // Bare numbers are treated as EUR amounts.
+  EXPECT_EQ(fn(Value::Double(10)).ValueOrDie().string_value(), "$13");
+}
+
+TEST(BuiltinsTest, DateTransforms) {
+  auto reg = TransformRegistry::Builtins();
+  auto iso = reg.Get("normalize_date").ValueOrDie();
+  EXPECT_EQ(iso(Value::Str("3/4/2013")).ValueOrDie().string_value(),
+            "2013-03-04");
+  auto us = reg.Get("us_date").ValueOrDie();
+  EXPECT_EQ(us(Value::Str("2013-03-04")).ValueOrDie().string_value(),
+            "3/4/2013");
+  EXPECT_EQ(us(Value::Str("Mar 4, 2013")).ValueOrDie().string_value(),
+            "3/4/2013");
+  EXPECT_EQ(us(Value::Str("3/4/2013")).ValueOrDie().string_value(),
+            "3/4/2013");
+  EXPECT_TRUE(us(Value::Str("garbage")).status().IsInvalidArgument());
+}
+
+TEST(BuiltinsTest, PhoneNormalization) {
+  auto reg = TransformRegistry::Builtins();
+  auto fn = reg.Get("normalize_phone").ValueOrDie();
+  EXPECT_EQ(fn(Value::Str("2122396200")).ValueOrDie().string_value(),
+            "(212) 239-6200");
+  EXPECT_EQ(fn(Value::Str("1-212-239-6200")).ValueOrDie().string_value(),
+            "(212) 239-6200");
+  EXPECT_TRUE(fn(Value::Str("12345")).status().IsInvalidArgument());
+}
+
+TEST(BuiltinsTest, CaseAndTrim) {
+  auto reg = TransformRegistry::Builtins();
+  EXPECT_EQ(reg.Get("trim").ValueOrDie()(Value::Str("  a  b "))
+                .ValueOrDie()
+                .string_value(),
+            "a b");
+  EXPECT_EQ(reg.Get("upper").ValueOrDie()(Value::Str("abc"))
+                .ValueOrDie()
+                .string_value(),
+            "ABC");
+  EXPECT_EQ(reg.Get("lower").ValueOrDie()(Value::Str("ABC"))
+                .ValueOrDie()
+                .string_value(),
+            "abc");
+}
+
+TEST(BuiltinsTest, ParseNumber) {
+  auto reg = TransformRegistry::Builtins();
+  auto fn = reg.Get("parse_number").ValueOrDie();
+  EXPECT_DOUBLE_EQ(fn(Value::Str("2.5")).ValueOrDie().double_value(), 2.5);
+  EXPECT_TRUE(fn(Value::Str("x")).status().IsInvalidArgument());
+}
+
+Table PriceTable() {
+  Schema s({{"show", ValueType::kString}, {"price", ValueType::kString}});
+  Table t("prices", s);
+  (void)t.Append({Value::Str("Matilda"), Value::Str("\xe2\x82\xac""20.79")});
+  (void)t.Append({Value::Str("Wicked"), Value::Str("$89")});
+  (void)t.Append({Value::Str("Annie"), Value::Null()});
+  (void)t.Append({Value::Str("Bad"), Value::Str("call box office")});
+  return t;
+}
+
+TEST(ApplyTransformTest, TransformsColumnSkippingFailures) {
+  auto reg = TransformRegistry::Builtins(1.30);
+  int64_t skipped = 0;
+  auto out = ApplyTransform(PriceTable(), "price",
+                            reg.Get("eur_to_usd").ValueOrDie(), &skipped);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0, "price").string_value(), "$27.03");
+  EXPECT_EQ(out->at(1, "price").string_value(), "$89");
+  EXPECT_TRUE(out->at(2, "price").is_null());
+  EXPECT_EQ(out->at(3, "price").string_value(), "call box office");
+  EXPECT_EQ(skipped, 1);
+}
+
+TEST(ApplyTransformTest, UnknownAttrFails) {
+  auto reg = TransformRegistry::Builtins();
+  EXPECT_TRUE(ApplyTransform(PriceTable(), "nope",
+                             reg.Get("trim").ValueOrDie())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(RobustZTest, FlagsOutlier) {
+  std::vector<double> vals = {10, 11, 9, 10, 12, 10, 11, 9, 10, 1000};
+  auto z = RobustZScores(vals);
+  EXPECT_GT(std::fabs(z.back()), 10);
+  for (size_t i = 0; i + 1 < z.size(); ++i) {
+    EXPECT_LT(std::fabs(z[i]), 4);
+  }
+}
+
+TEST(RobustZTest, ConstantColumnNoOutliers) {
+  std::vector<double> vals(10, 5.0);
+  auto z = RobustZScores(vals);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RobustZTest, MadZeroFallsBackToStddev) {
+  // Majority identical -> MAD 0, but stddev sees the spread.
+  std::vector<double> vals = {5, 5, 5, 5, 5, 5, 5, 100};
+  auto z = RobustZScores(vals);
+  EXPECT_GT(std::fabs(z.back()), 1.5);
+}
+
+TEST(RobustZTest, Empty) {
+  EXPECT_TRUE(RobustZScores({}).empty());
+}
+
+Table DirtyTable() {
+  Schema s({{"name", ValueType::kString},
+            {"price", ValueType::kString},
+            {"note", ValueType::kString}});
+  Table t("dirty", s);
+  (void)t.Append({Value::Str("  Matilda  "), Value::Str("27"),
+                  Value::Str("N/A")});
+  (void)t.Append({Value::Str("Wicked"), Value::Str("89"), Value::Str("ok")});
+  (void)t.Append({Value::Str("Annie"), Value::Str("35"), Value::Str("-")});
+  (void)t.Append({Value::Str("unknown"), Value::Str("49"),
+                  Value::Str("fine")});
+  return t;
+}
+
+TEST(CleanTableTest, NullCanonicalizationAndWhitespace) {
+  CleaningReport report;
+  auto out = CleanTable(DirtyTable(), CleaningOptions{}, &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at(0, "name").string_value(), "Matilda");
+  EXPECT_TRUE(out->at(0, "note").is_null());
+  EXPECT_TRUE(out->at(2, "note").is_null());
+  // "unknown" is a null marker.
+  EXPECT_TRUE(out->at(3, "name").is_null());
+  EXPECT_EQ(report.nulls_canonicalized, 3);
+  EXPECT_GE(report.whitespace_fixed, 1);
+  EXPECT_EQ(report.cells_examined, 12);
+}
+
+TEST(CleanTableTest, NumericStringColumnRetyped) {
+  auto out = CleanTable(DirtyTable());
+  ASSERT_TRUE(out.ok());
+  auto idx = out->schema().IndexOf("price");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(out->schema().attribute(*idx).type, ValueType::kInt);
+  EXPECT_EQ(out->at(1, "price").int_value(), 89);
+}
+
+TEST(CleanTableTest, MixedColumnStaysString) {
+  Schema s({{"v", ValueType::kString}});
+  Table t("x", s);
+  (void)t.Append({Value::Str("12")});
+  (void)t.Append({Value::Str("abc")});
+  auto out = CleanTable(t);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().attribute(0).type, ValueType::kString);
+}
+
+TEST(CleanTableTest, OutlierDetectionAndDrop) {
+  Schema s({{"v", ValueType::kInt}});
+  Table t("x", s);
+  for (int i = 0; i < 12; ++i) {
+    (void)t.Append({Value::Int(100 + (i % 3))});
+  }
+  (void)t.Append({Value::Int(99999)});
+  CleaningOptions opts;
+  opts.drop_outliers = true;
+  CleaningReport report;
+  auto out = CleanTable(t, opts, &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(report.outliers_flagged, 1);
+  EXPECT_EQ(report.outliers_dropped, 1);
+  EXPECT_TRUE(out->at(12, "v").is_null());
+}
+
+TEST(CleanTableTest, TooFewPointsNoOutlierCall) {
+  Schema s({{"v", ValueType::kInt}});
+  Table t("x", s);
+  for (int i = 0; i < 5; ++i) (void)t.Append({Value::Int(i)});
+  (void)t.Append({Value::Int(100000)});
+  CleaningReport report;
+  auto out = CleanTable(t, CleaningOptions{}, &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(report.outliers_flagged, 0);
+}
+
+TEST(CleanTableTest, ReportToString) {
+  CleaningReport r;
+  r.cells_examined = 10;
+  r.nulls_canonicalized = 2;
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("examined=10"), std::string::npos);
+  EXPECT_NE(s.find("nulls=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dt::clean

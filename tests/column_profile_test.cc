@@ -1,0 +1,110 @@
+#include "match/column_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::match {
+namespace {
+
+using relational::Value;
+using relational::ValueType;
+
+std::vector<Value> Strings(std::initializer_list<const char*> vals) {
+  std::vector<Value> out;
+  for (const char* v : vals) out.push_back(Value::Str(v));
+  return out;
+}
+
+TEST(ColumnProfileTest, CountsAndNulls) {
+  auto p = ColumnProfile::Build(
+      {Value::Str("a"), Value::Null(), Value::Str("b"), Value::Null()});
+  EXPECT_EQ(p.count(), 4);
+  EXPECT_EQ(p.non_null(), 2);
+  EXPECT_DOUBLE_EQ(p.null_fraction(), 0.5);
+  EXPECT_EQ(p.distinct(), 2);
+}
+
+TEST(ColumnProfileTest, DominantType) {
+  auto p = ColumnProfile::Build(
+      {Value::Int(1), Value::Int(2), Value::Str("x")});
+  EXPECT_EQ(p.dominant_type(), ValueType::kInt);
+}
+
+TEST(ColumnProfileTest, NumericStats) {
+  auto p = ColumnProfile::Build(
+      {Value::Double(10), Value::Double(20), Value::Double(30)});
+  EXPECT_TRUE(p.has_numeric_stats());
+  EXPECT_DOUBLE_EQ(p.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(p.min(), 10.0);
+  EXPECT_DOUBLE_EQ(p.max(), 30.0);
+  EXPECT_NEAR(p.stddev(), 8.1649, 1e-3);
+}
+
+TEST(ColumnProfileTest, SemanticDetection) {
+  auto p = ColumnProfile::Build(Strings({"$27", "$35", "$99"}));
+  EXPECT_EQ(p.semantic_type(), ingest::SemanticType::kCurrency);
+  auto d = ColumnProfile::Build(Strings({"3/4/2013", "5/1/2013"}));
+  EXPECT_EQ(d.semantic_type(), ingest::SemanticType::kDate);
+}
+
+TEST(ColumnProfileTest, ValueOverlap) {
+  auto a = ColumnProfile::Build(Strings({"Matilda", "Wicked", "Chicago"}));
+  auto b = ColumnProfile::Build(Strings({"matilda", "wicked", "Annie"}));
+  // Case-insensitive overlap: 2 shared of 4 distinct.
+  EXPECT_NEAR(a.ValueOverlap(b), 0.5, 1e-9);
+  auto c = ColumnProfile::Build(Strings({"x", "y"}));
+  EXPECT_DOUBLE_EQ(a.ValueOverlap(c), 0.0);
+}
+
+TEST(ColumnProfileTest, TokenCosine) {
+  auto a = ColumnProfile::Build(Strings({"Shubert theater", "Majestic theater"}));
+  auto b = ColumnProfile::Build(Strings({"theater Shubert"}));
+  EXPECT_GT(a.TokenCosine(b), 0.5);
+  auto c = ColumnProfile::Build(Strings({"zebra"}));
+  EXPECT_DOUBLE_EQ(a.TokenCosine(c), 0.0);
+}
+
+TEST(ColumnProfileTest, NumericAffinity) {
+  auto a = ColumnProfile::Build({Value::Int(20), Value::Int(40), Value::Int(60)});
+  auto b = ColumnProfile::Build({Value::Int(25), Value::Int(45), Value::Int(55)});
+  auto c = ColumnProfile::Build({Value::Int(2000), Value::Int(4000)});
+  EXPECT_GT(a.NumericAffinity(b), 0.5);
+  EXPECT_LT(a.NumericAffinity(c), 0.3);
+  auto s = ColumnProfile::Build(Strings({"x"}));
+  EXPECT_DOUBLE_EQ(a.NumericAffinity(s), 0.0);
+}
+
+TEST(ColumnProfileTest, MergeAccumulates) {
+  auto a = ColumnProfile::Build({Value::Int(1), Value::Int(2)});
+  auto b = ColumnProfile::Build({Value::Int(3), Value::Null()});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.non_null(), 3);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(ColumnProfileTest, MergePreservesOverlapDetection) {
+  auto a = ColumnProfile::Build(Strings({"Matilda"}));
+  auto b = ColumnProfile::Build(Strings({"Wicked"}));
+  a.Merge(b);
+  auto probe = ColumnProfile::Build(Strings({"Wicked"}));
+  EXPECT_GT(a.ValueOverlap(probe), 0.0);
+}
+
+TEST(ColumnProfileTest, EmptyColumn) {
+  auto p = ColumnProfile::Build({});
+  EXPECT_EQ(p.count(), 0);
+  EXPECT_EQ(p.non_null(), 0);
+  EXPECT_FALSE(p.has_numeric_stats());
+  EXPECT_EQ(p.semantic_type(), ingest::SemanticType::kUnknown);
+  EXPECT_DOUBLE_EQ(p.null_fraction(), 0.0);
+}
+
+TEST(ColumnProfileTest, AvgStringLen) {
+  auto p = ColumnProfile::Build(Strings({"ab", "abcd"}));
+  EXPECT_DOUBLE_EQ(p.avg_string_len(), 3.0);
+}
+
+}  // namespace
+}  // namespace dt::match

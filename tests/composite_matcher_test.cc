@@ -1,0 +1,122 @@
+#include "match/composite_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::match {
+namespace {
+
+using relational::Value;
+
+ColumnProfile Prices() {
+  return ColumnProfile::Build(
+      {Value::Str("$27"), Value::Str("$35"), Value::Str("$49")});
+}
+ColumnProfile MorePrices() {
+  return ColumnProfile::Build(
+      {Value::Str("$27"), Value::Str("$89"), Value::Str("$120")});
+}
+ColumnProfile Venues() {
+  return ColumnProfile::Build(
+      {Value::Str("Shubert"), Value::Str("Gershwin"), Value::Str("Palace")});
+}
+
+class CompositeMatcherTest : public ::testing::Test {
+ protected:
+  CompositeMatcherTest()
+      : syn_(SynonymDictionary::Default()), matcher_(&syn_) {}
+  SynonymDictionary syn_;
+  CompositeMatcher matcher_;
+};
+
+TEST_F(CompositeMatcherTest, NameOnlyWhenProfilesMissing) {
+  AttributeCandidate a{"price", nullptr};
+  AttributeCandidate b{"cost", nullptr};
+  MatchScore s = matcher_.Score(a, b);
+  EXPECT_DOUBLE_EQ(s.total, s.name_score);
+  EXPECT_DOUBLE_EQ(s.value_score, 0.0);
+  EXPECT_GT(s.total, 0.5);  // synonyms
+}
+
+TEST_F(CompositeMatcherTest, ValueEvidenceBoostsWeakNames) {
+  // Unrelated names; identical value distributions.
+  ColumnProfile p1 = Prices(), p2 = Prices();
+  AttributeCandidate weak_name_a{"zq", &p1};
+  AttributeCandidate weak_name_b{"pw", &p2};
+  MatchScore with_values = matcher_.Score(weak_name_a, weak_name_b);
+  AttributeCandidate no_profile_a{"zq", nullptr};
+  AttributeCandidate no_profile_b{"pw", nullptr};
+  MatchScore without = matcher_.Score(no_profile_a, no_profile_b);
+  EXPECT_GT(with_values.total, without.total);
+  EXPECT_GT(with_values.semantic_score, 0.9);  // both currency
+}
+
+TEST_F(CompositeMatcherTest, ExactNameFloorsAtPointNine) {
+  ColumnProfile p1 = Prices(), p2 = Venues();  // disjoint contents
+  AttributeCandidate a{"price", &p1};
+  AttributeCandidate b{"PRICE", &p2};
+  MatchScore s = matcher_.Score(a, b);
+  EXPECT_GE(s.total, 0.9);
+}
+
+TEST_F(CompositeMatcherTest, DisjointEverythingScoresLow) {
+  ColumnProfile p1 = Prices(), p2 = Venues();
+  AttributeCandidate a{"cheapest_price", &p1};
+  AttributeCandidate b{"theater", &p2};
+  MatchScore s = matcher_.Score(a, b);
+  EXPECT_LT(s.total, 0.45);
+}
+
+TEST_F(CompositeMatcherTest, WeightsChangeBlend) {
+  ColumnProfile p1 = Prices(), p2 = Prices();  // identical contents
+  AttributeCandidate a{"alpha", &p1};
+  AttributeCandidate b{"omega", &p2};
+  CompositeMatcher name_heavy(&syn_, {1.0, 0.0, 0.0});
+  CompositeMatcher value_heavy(&syn_, {0.0, 1.0, 0.0});
+  double ns = name_heavy.Score(a, b).total;
+  double vs = value_heavy.Score(a, b).total;
+  EXPECT_LT(ns, vs);  // names unrelated, values overlap
+  EXPECT_DOUBLE_EQ(name_heavy.weights().name, 1.0);
+}
+
+TEST_F(CompositeMatcherTest, EmptyProfilesFallBackToName) {
+  ColumnProfile empty = ColumnProfile::Build({});
+  AttributeCandidate a{"price", &empty};
+  AttributeCandidate b{"cost", &empty};
+  MatchScore s = matcher_.Score(a, b);
+  EXPECT_DOUBLE_EQ(s.total, s.name_score);
+}
+
+TEST_F(CompositeMatcherTest, ScoresSymmetricEnough) {
+  ColumnProfile p1 = Prices(), p2 = MorePrices();
+  AttributeCandidate a{"lowest_price", &p1};
+  AttributeCandidate b{"min_price", &p2};
+  double ab = matcher_.Score(a, b).total;
+  double ba = matcher_.Score(b, a).total;
+  EXPECT_NEAR(ab, ba, 1e-9);
+}
+
+TEST_F(CompositeMatcherTest, TotalBounded) {
+  const char* names[] = {"price", "PRICE", "theater", "x"};
+  ColumnProfile profiles[] = {Prices(), MorePrices(), Venues(),
+                              ColumnProfile::Build({})};
+  for (const char* na : names) {
+    for (auto& pa : profiles) {
+      for (const char* nb : names) {
+        for (auto& pb : profiles) {
+          MatchScore s = matcher_.Score({na, &pa}, {nb, &pb});
+          EXPECT_GE(s.total, 0.0);
+          EXPECT_LE(s.total, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CompositeMatcherTest, SetWeightsTakesEffect) {
+  CompositeMatcher m(&syn_);
+  m.set_weights({0.2, 0.2, 0.6});
+  EXPECT_DOUBLE_EQ(m.weights().semantic, 0.6);
+}
+
+}  // namespace
+}  // namespace dt::match

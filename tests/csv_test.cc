@@ -1,0 +1,139 @@
+#include "ingest/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::ingest {
+namespace {
+
+using relational::ValueType;
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0][0], "a");
+  EXPECT_EQ((*r)[1][2], "3");
+}
+
+TEST(ParseCsvTest, NoTrailingNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto r = ParseCsv("name,addr\n\"Shubert\",\"225 W. 44th St\nbetween 7th, 8th\"\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1][1], "225 W. 44th St\nbetween 7th, 8th");
+}
+
+TEST(ParseCsvTest, EscapedQuotes) {
+  auto r = ParseCsv("q\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[1][0], "say \"hi\"");
+}
+
+TEST(ParseCsvTest, EmptyCells) {
+  auto r = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0][1], "");
+  EXPECT_EQ((*r)[1].size(), 3u);
+}
+
+TEST(ParseCsvTest, CrLfLineEndings) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1][1], "2");
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteIsCorruption) {
+  EXPECT_TRUE(ParseCsv("a\n\"oops\n").status().IsCorruption());
+}
+
+TEST(ParseCsvTest, StrayQuoteIsCorruption) {
+  EXPECT_TRUE(ParseCsv("a\nb\"c\n").status().IsCorruption());
+}
+
+TEST(ParseCsvTest, DataAfterClosingQuoteIsCorruption) {
+  EXPECT_TRUE(ParseCsv("a\n\"x\"y\n").status().IsCorruption());
+}
+
+TEST(ParseCsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = '\t';
+  auto r = ParseCsv("a\tb\n1\t2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[1][0], "1");
+}
+
+TEST(CsvToTableTest, HeaderAndTypeInference) {
+  auto t = CsvToTable("shows", "show,price,seats,open\nMatilda,27.5,1400,true\nWicked,89,1900,false\n");
+  ASSERT_TRUE(t.ok());
+  const auto& schema = t->schema();
+  EXPECT_EQ(schema.attribute(0).type, ValueType::kString);
+  EXPECT_EQ(schema.attribute(1).type, ValueType::kDouble);
+  EXPECT_EQ(schema.attribute(2).type, ValueType::kInt);
+  EXPECT_EQ(schema.attribute(3).type, ValueType::kBool);
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(t->at(0, "price").double_value(), 27.5);
+  EXPECT_EQ(t->at(1, "seats").int_value(), 1900);
+  EXPECT_FALSE(t->at(1, "open").bool_value());
+}
+
+TEST(CsvToTableTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto t = CsvToTable("x", "1,2\n3,4\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->schema().Contains("col0"));
+  EXPECT_TRUE(t->schema().Contains("col1"));
+  EXPECT_EQ(t->num_rows(), 2);
+}
+
+TEST(CsvToTableTest, RaggedRowRejected) {
+  auto t = CsvToTable("x", "a,b\n1\n");
+  EXPECT_TRUE(t.status().IsCorruption());
+}
+
+TEST(CsvToTableTest, EmptyInputRejected) {
+  EXPECT_TRUE(CsvToTable("x", "").status().IsInvalidArgument());
+}
+
+TEST(CsvToTableTest, EmptyCellsBecomeNull) {
+  auto t = CsvToTable("x", "a,b\n1,\n,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0, "b").is_null());
+  EXPECT_TRUE(t->at(1, "a").is_null());
+  EXPECT_EQ(t->at(1, "b").int_value(), 2);
+}
+
+TEST(CsvToTableTest, MixedNumericWidensToDouble) {
+  auto t = CsvToTable("x", "v\n1\n2.5\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().attribute(0).type, ValueType::kDouble);
+}
+
+TEST(CsvToTableTest, InferenceOffMakesStrings) {
+  CsvOptions opts;
+  opts.infer_types = false;
+  auto t = CsvToTable("x", "v\n42\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().attribute(0).type, ValueType::kString);
+  EXPECT_EQ(t->at(0, "v").string_value(), "42");
+}
+
+TEST(TableToCsvTest, RoundTrip) {
+  auto t = CsvToTable("x", "name,price\n\"Quoted, name\",27\nPlain,35\n");
+  ASSERT_TRUE(t.ok());
+  std::string csv = TableToCsv(*t);
+  auto t2 = CsvToTable("x2", csv);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->num_rows(), t->num_rows());
+  EXPECT_EQ(t2->at(0, "name").string_value(), "Quoted, name");
+  EXPECT_EQ(t2->at(0, "price").int_value(), 27);
+}
+
+}  // namespace
+}  // namespace dt::ingest

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/dedup_labels.h"
+#include "datagen/ftables_gen.h"
+#include "datagen/vocab.h"
+#include "datagen/webtext_gen.h"
+#include "textparse/domain_parser.h"
+
+namespace dt::datagen {
+namespace {
+
+TEST(VocabTest, PaperTitlesPresent) {
+  const auto& top = PaperTop10Titles();
+  ASSERT_EQ(top.size(), 10u);
+  EXPECT_EQ(top[0], "The Walking Dead");
+  EXPECT_EQ(top[4], "Matilda");
+  EXPECT_EQ(top[9], "Never Should Have");
+}
+
+TEST(VocabTest, PoolsNonEmpty) {
+  EXPECT_GE(ExtraTitles().size(), 40u);
+  EXPECT_GE(TheaterEntries().size(), 15u);
+  EXPECT_GE(FirstNames().size(), 30u);
+  EXPECT_GE(Companies().size(), 20u);
+  EXPECT_GE(NewsTemplates().size(), 8u);
+  EXPECT_EQ(FeedNames().size(), 3u);
+}
+
+TEST(WebTextGenTest, DeterministicAcrossRuns) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 200;
+  WebTextGenerator g1(opts), g2(opts);
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].feed, b[i].feed);
+  }
+}
+
+TEST(WebTextGenTest, RegenerateOnSameInstance) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 50;
+  WebTextGenerator g(opts);
+  auto a = g.Generate();
+  auto b = g.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(WebTextGenTest, FragmentZeroIsMatildaStory) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 5;
+  WebTextGenerator g(opts);
+  auto frags = g.Generate();
+  ASSERT_FALSE(frags.empty());
+  EXPECT_NE(frags[0].text.find("960,998"), std::string::npos);
+  EXPECT_NE(frags[0].text.find("Matilda"), std::string::npos);
+  ASSERT_EQ(frags[0].truth_mentions.size(), 1u);
+  EXPECT_EQ(frags[0].truth_mentions[0].second, "Matilda");
+}
+
+TEST(WebTextGenTest, AwardWinnersAreExactlyPaperTitles) {
+  WebTextGenerator g;
+  for (const auto& t : PaperTop10Titles()) {
+    EXPECT_TRUE(g.IsAwardWinning(t)) << t;
+  }
+  for (const auto& t : ExtraTitles()) {
+    EXPECT_FALSE(g.IsAwardWinning(t)) << t;
+  }
+}
+
+TEST(WebTextGenTest, DuplicatesMarkedAndBounded) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 1000;
+  opts.duplicate_rate = 0.10;
+  WebTextGenerator g(opts);
+  auto frags = g.Generate();
+  int64_t dups = 0;
+  for (size_t i = 0; i < frags.size(); ++i) {
+    if (frags[i].duplicate_of >= 0) {
+      ++dups;
+      EXPECT_LT(frags[i].duplicate_of, static_cast<int64_t>(i));
+      // Chains resolve to an original.
+      EXPECT_EQ(frags[frags[i].duplicate_of].duplicate_of, -1);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dups) / frags.size(), 0.10, 0.03);
+}
+
+TEST(WebTextGenTest, GazetteerExtractsPlantedMentions) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 300;
+  WebTextGenerator g(opts);
+  auto gaz = g.BuildGazetteer();
+  textparse::DomainParserOptions popts;
+  popts.enable_person_heuristic = false;  // isolate gazetteer recall
+  popts.enable_quoted_title_detection = false;
+  textparse::DomainParser parser(&gaz, popts);
+  auto frags = g.Generate();
+  int64_t planted = 0, recovered = 0;
+  for (const auto& frag : frags) {
+    auto parsed = parser.Parse(frag.text, frag.feed, frag.timestamp);
+    std::multiset<std::string> extracted;
+    for (const auto& m : parsed.mentions) extracted.insert(m.canonical);
+    for (const auto& [type, name] : frag.truth_mentions) {
+      ++planted;
+      auto it = extracted.find(name);
+      if (it != extracted.end()) {
+        ++recovered;
+        extracted.erase(it);
+      }
+    }
+  }
+  ASSERT_GT(planted, 300);
+  // The parser must recover nearly every planted mention (longest-match
+  // can occasionally merge adjacent plants).
+  EXPECT_GT(static_cast<double>(recovered) / planted, 0.95);
+}
+
+TEST(WebTextGenTest, TypeSkewFollowsTableIII) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 4000;
+  WebTextGenerator g(opts);
+  auto frags = g.Generate();
+  int64_t counts[textparse::kNumEntityTypes] = {0};
+  int64_t total = 0;
+  for (const auto& frag : frags) {
+    for (const auto& [type, _] : frag.truth_mentions) {
+      ++counts[static_cast<int>(type)];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 4000);
+  // Person must be the most common type and ProvinceOrState near the
+  // bottom, mirroring the Table III ordering.
+  int64_t person = counts[static_cast<int>(textparse::EntityType::kPerson)];
+  for (int t = 1; t < textparse::kNumEntityTypes; ++t) {
+    EXPECT_GE(person, counts[t]) << textparse::EntityTypeName(
+        static_cast<textparse::EntityType>(t));
+  }
+  // Shares within a factor ~2 of the paper's for the big types.
+  double person_share = static_cast<double>(person) / total;
+  EXPECT_GT(person_share, 0.10);
+  EXPECT_LT(person_share, 0.45);
+}
+
+TEST(WebTextGenTest, TitlePopularityZipfOrdered) {
+  WebTextGenOptions opts;
+  opts.num_fragments = 5000;
+  WebTextGenerator g(opts);
+  auto frags = g.Generate();
+  std::map<std::string, int64_t> counts;
+  for (const auto& frag : frags) {
+    for (const auto& [type, name] : frag.truth_mentions) {
+      if (type == textparse::EntityType::kMovie) ++counts[name];
+    }
+  }
+  // Rank 0 beats rank 5 beats rank 20.
+  EXPECT_GT(counts["The Walking Dead"], counts["The Wolverine"]);
+  EXPECT_GT(counts["The Walking Dead"], counts[ExtraTitles()[10]]);
+}
+
+TEST(FTablesGenTest, SourceStatisticsMatchPaper) {
+  FusionTablesGenerator gen;
+  auto sources = gen.Generate();
+  ASSERT_EQ(sources.size(), 20u);
+  for (const auto& src : sources) {
+    int attrs = src.table.schema().num_attributes();
+    EXPECT_GE(attrs, 5);
+    EXPECT_LE(attrs, 20);
+    EXPECT_GE(src.table.num_rows(), 10);
+    EXPECT_LE(src.table.num_rows(), 100);
+    EXPECT_FALSE(src.table.source_id().empty());
+  }
+}
+
+TEST(FTablesGenTest, SourceZeroIsCanonical) {
+  FusionTablesGenerator gen;
+  auto sources = gen.Generate();
+  const auto& s0 = sources[0];
+  EXPECT_TRUE(s0.table.schema().Contains("SHOW_NAME"));
+  EXPECT_TRUE(s0.table.schema().Contains("THEATER"));
+  EXPECT_TRUE(s0.table.schema().Contains("CHEAPEST_PRICE"));
+  EXPECT_TRUE(s0.table.schema().Contains("FIRST"));
+  // Every attribute maps to itself.
+  for (const auto& [attr, concept_name] : s0.attr_concept) {
+    EXPECT_EQ(attr, concept_name);
+  }
+  // Matilda is covered by source 0.
+  bool has_matilda = false;
+  for (const auto& v : s0.table.Column("SHOW_NAME")) {
+    if (!v.is_null() && v.ToString() == "Matilda") has_matilda = true;
+  }
+  EXPECT_TRUE(has_matilda);
+}
+
+TEST(FTablesGenTest, GroundTruthCoversAllAttributes) {
+  FusionTablesGenerator gen;
+  auto sources = gen.Generate();
+  for (const auto& src : sources) {
+    for (const auto& attr : src.table.schema().attributes()) {
+      EXPECT_EQ(src.attr_concept.count(attr.name), 1u)
+          << src.table.name() << "." << attr.name;
+    }
+  }
+}
+
+TEST(FTablesGenTest, VariantNamesComeFromDictionary) {
+  FusionTablesGenerator gen;
+  auto sources = gen.Generate();
+  for (size_t s = 1; s < sources.size(); ++s) {
+    for (const auto& [attr, concept_name] : sources[s].attr_concept) {
+      const auto& variants = FusionTablesGenerator::VariantsOf(concept_name);
+      EXPECT_TRUE(std::find(variants.begin(), variants.end(), attr) !=
+                  variants.end())
+          << attr << " not a variant of " << concept_name;
+    }
+  }
+}
+
+TEST(FTablesGenTest, MatildaMasterValuesMatchTableVI) {
+  FusionTablesGenerator gen;
+  const ShowRecord* matilda = nullptr;
+  for (const auto& show : gen.shows()) {
+    if (show.title == "Matilda") matilda = &show;
+  }
+  ASSERT_NE(matilda, nullptr);
+  EXPECT_EQ(matilda->theater, "Shubert 225 W. 44th St between 7th and 8th");
+  EXPECT_DOUBLE_EQ(matilda->cheapest_price, 27.0);
+  EXPECT_EQ(matilda->first_date, "3/4/2013");
+  EXPECT_NE(matilda->performance.find("Tues at 7pm"), std::string::npos);
+}
+
+TEST(FTablesGenTest, Deterministic) {
+  FusionTablesGenerator g1, g2;
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].table.num_rows(), b[i].table.num_rows());
+    EXPECT_EQ(a[i].table.schema().ToString(), b[i].table.schema().ToString());
+  }
+}
+
+TEST(CorruptNameTest, ProducesVariants) {
+  Rng rng(3);
+  std::set<std::string> variants;
+  for (int i = 0; i < 100; ++i) {
+    std::string v = CorruptName("Michael Stonebraker", &rng);
+    EXPECT_FALSE(v.empty());
+    variants.insert(v);
+  }
+  EXPECT_GT(variants.size(), 10u);
+}
+
+TEST(CorruptNameTest, NeverEmpty) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(CorruptName("ab", &rng).empty());
+    EXPECT_FALSE(CorruptName("x", &rng).empty());
+  }
+}
+
+TEST(DedupLabelsTest, BalancedAndTyped) {
+  DedupLabelOptions opts;
+  opts.num_pairs = 1000;
+  auto pairs = GenerateLabeledPairs(textparse::EntityType::kMovie, opts);
+  ASSERT_EQ(pairs.size(), 1000u);
+  int64_t pos = 0;
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.a.entity_type, "Movie");
+    EXPECT_EQ(p.b.entity_type, "Movie");
+    EXPECT_FALSE(p.a.fields.at("name").empty());
+    if (p.label == 1) ++pos;
+  }
+  EXPECT_NEAR(pos / 1000.0, 0.5, 0.06);
+}
+
+TEST(DedupLabelsTest, NegativesAreDistinctEntities) {
+  DedupLabelOptions opts;
+  opts.num_pairs = 500;
+  auto pairs = GenerateLabeledPairs(textparse::EntityType::kCompany, opts);
+  for (const auto& p : pairs) {
+    if (p.label == 0) {
+      EXPECT_NE(p.a.fields.at("name"), p.b.fields.at("name"));
+    }
+  }
+}
+
+TEST(DedupLabelsTest, DeterministicPerTypeSeed) {
+  DedupLabelOptions opts;
+  opts.num_pairs = 100;
+  auto a = GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+  auto b = GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a.fields.at("name"), b[i].a.fields.at("name"));
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+  // Different types draw different streams.
+  auto c = GenerateLabeledPairs(textparse::EntityType::kMovie, opts);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a.fields.at("name") != c[i].a.fields.at("name")) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace dt::datagen

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include "dedup/blocking.h"
+#include "dedup/clustering.h"
+#include "dedup/consolidation.h"
+#include "dedup/pair_features.h"
+#include "dedup/record.h"
+
+namespace dt::dedup {
+namespace {
+
+DedupRecord Rec(int64_t id, const std::string& name,
+                const std::string& type = "Movie",
+                const std::string& source = "s", int trust = 0,
+                int64_t seq = 0) {
+  DedupRecord r;
+  r.id = id;
+  r.entity_type = type;
+  r.fields["name"] = name;
+  r.source_id = source;
+  r.trust_priority = trust;
+  r.ingest_seq = seq;
+  return r;
+}
+
+TEST(RecordTest, DisplayNamePrefersNameField) {
+  DedupRecord r = Rec(1, "Matilda");
+  r.fields["zzz"] = "other";
+  EXPECT_EQ(r.DisplayName(), "Matilda");
+  DedupRecord no_name;
+  no_name.fields["title_x"] = "fallback";
+  EXPECT_EQ(no_name.DisplayName(), "fallback");
+  DedupRecord empty;
+  EXPECT_EQ(empty.DisplayName(), "");
+}
+
+TEST(BlockingTest, TokenKeysTypeScoped) {
+  BlockingOptions opts;
+  auto keys = BlockingKeys(Rec(1, "The Walking Dead"), opts);
+  ASSERT_EQ(keys.size(), 3u);
+  for (const auto& k : keys) {
+    EXPECT_EQ(k.rfind("Movie|t:", 0), 0u) << k;
+  }
+}
+
+TEST(BlockingTest, QGramAndPrefixKeys) {
+  BlockingOptions opts;
+  opts.token_keys = false;
+  opts.qgram_size = 3;
+  opts.prefix_len = 4;
+  auto keys = BlockingKeys(Rec(1, "Matilda"), opts);
+  bool has_prefix = false;
+  for (const auto& k : keys) {
+    if (k.find("p:mati") != std::string::npos) has_prefix = true;
+  }
+  EXPECT_TRUE(has_prefix);
+  EXPECT_GT(keys.size(), 4u);
+}
+
+TEST(BlockingTest, SharedTokenPairsGenerated) {
+  std::vector<DedupRecord> recs = {
+      Rec(1, "Matilda"), Rec(2, "matilda"), Rec(3, "Wicked")};
+  BlockingStats stats;
+  auto pairs = GenerateCandidatePairs(recs, BlockingOptions{}, &stats);
+  ASSERT_EQ(pairs.size(), 1u);
+  std::pair<size_t, size_t> expected{0, 1};
+  EXPECT_EQ(pairs[0], expected);
+  EXPECT_EQ(stats.num_records, 3);
+  EXPECT_GT(stats.num_blocks, 0);
+  EXPECT_LT(stats.reduction_ratio, 1.0);
+}
+
+TEST(BlockingTest, DifferentTypesNeverPair) {
+  std::vector<DedupRecord> recs = {Rec(1, "Matilda", "Movie"),
+                                   Rec(2, "Matilda", "Person")};
+  auto pairs = GenerateCandidatePairs(recs, BlockingOptions{});
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(BlockingTest, OversizeBlocksSkipped) {
+  BlockingOptions opts;
+  opts.max_block_size = 3;
+  std::vector<DedupRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    recs.push_back(Rec(i, "The Show " + std::to_string(i)));
+  }
+  BlockingStats stats;
+  auto pairs = GenerateCandidatePairs(recs, opts, &stats);
+  // "the" and "show" blocks have 10 members -> skipped; unique number
+  // tokens produce no pairs.
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_GE(stats.oversize_blocks_skipped, 2);
+}
+
+TEST(BlockingTest, AllPairsBaselineQuadratic) {
+  std::vector<DedupRecord> recs = {Rec(1, "a"), Rec(2, "b"), Rec(3, "c"),
+                                   Rec(4, "d", "Person")};
+  auto pairs = AllPairs(recs);
+  EXPECT_EQ(pairs.size(), 3u);  // 3 Movies choose 2
+}
+
+TEST(BlockingTest, ReductionVsAllPairs) {
+  std::vector<DedupRecord> recs;
+  for (int i = 0; i < 60; ++i) {
+    recs.push_back(Rec(i, "Entity" + std::to_string(i) + " Unique" +
+                              std::to_string(i)));
+  }
+  BlockingStats stats;
+  auto blocked = GenerateCandidatePairs(recs, BlockingOptions{}, &stats);
+  auto all = AllPairs(recs);
+  EXPECT_LT(blocked.size(), all.size() / 10);
+}
+
+TEST(PairFeaturesTest, IdenticalNamesScoreHigh) {
+  PairSignals s = ComputePairSignals(Rec(1, "Matilda"), Rec(2, "Matilda"));
+  EXPECT_DOUBLE_EQ(s.name_levenshtein, 1.0);
+  EXPECT_DOUBLE_EQ(s.same_type, 1.0);
+  EXPECT_GT(s.RuleScore(), 0.69);
+}
+
+TEST(PairFeaturesTest, TypoStillScoresWell) {
+  PairSignals s = ComputePairSignals(Rec(1, "Matilda"), Rec(2, "Matlida"));
+  EXPECT_GT(s.RuleScore(), 0.55);
+}
+
+TEST(PairFeaturesTest, DifferentNamesScoreLow) {
+  PairSignals s = ComputePairSignals(Rec(1, "Matilda"), Rec(2, "Goodfellas"));
+  EXPECT_LT(s.RuleScore(), 0.5);
+}
+
+TEST(PairFeaturesTest, CrossTypeZero) {
+  PairSignals s =
+      ComputePairSignals(Rec(1, "Matilda", "Movie"), Rec(2, "Matilda", "Person"));
+  EXPECT_DOUBLE_EQ(s.RuleScore(), 0.0);
+}
+
+TEST(PairFeaturesTest, FieldAgreementCounts) {
+  DedupRecord a = Rec(1, "Matilda");
+  DedupRecord b = Rec(2, "Matilda");
+  a.fields["theater"] = "Shubert";
+  b.fields["theater"] = "shubert";  // case-insensitive agree
+  a.fields["price"] = "$27";
+  b.fields["price"] = "$99";  // disagree
+  PairSignals s = ComputePairSignals(a, b);
+  EXPECT_DOUBLE_EQ(s.shared_field_agreement, 0.5);
+  EXPECT_DOUBLE_EQ(s.shared_field_count, 0.4);  // 2 shared / 5
+}
+
+TEST(PairFeaturesTest, SparseFeaturesGenerated) {
+  ml::FeatureDictionary dict;
+  PairSignals s = ComputePairSignals(Rec(1, "Matilda"), Rec(2, "Matlida"));
+  auto fv = PairSignalsToFeatures(s, &dict, true);
+  EXPECT_GE(fv.size(), 10u);  // bucket + raw per signal
+  // Inference mode on a fresh dictionary yields nothing.
+  ml::FeatureDictionary empty;
+  auto fv2 = PairSignalsToFeatures(s, &empty, false);
+  EXPECT_TRUE(fv2.empty());
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already connected
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindTest, GroupsDeterministic) {
+  UnionFind uf(6);
+  uf.Union(4, 2);
+  uf.Union(0, 5);
+  auto groups = uf.Groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 5}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<size_t>{2, 4}));
+  EXPECT_EQ(groups[3], (std::vector<size_t>{3}));
+}
+
+TEST(ClusterPairsTest, TransitiveClosure) {
+  auto groups = ClusterPairs(5, {{0, 1}, {1, 2}});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(ClusterPairsTest, OutOfRangePairsIgnored) {
+  auto groups = ClusterPairs(2, {{0, 7}});
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(ConsolidateTest, MergesDuplicates) {
+  std::vector<DedupRecord> recs = {
+      Rec(10, "Matilda", "Movie", "text", 1, 1),
+      Rec(11, "matilda", "Movie", "ftables/0", 10, 2),
+      Rec(12, "Wicked", "Movie", "ftables/0", 10, 2),
+  };
+  recs[0].fields["TEXT_FEED"] = "grossed 960,998";
+  recs[1].fields["THEATER"] = "Shubert";
+  ConsolidationOptions opts;
+  ConsolidationStats stats;
+  auto result = Consolidate(recs, opts, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(stats.clusters, 2);
+  EXPECT_EQ(stats.merged_records, 2);
+  // The Matilda composite has both text and structured fields.
+  const CompositeEntity* matilda = nullptr;
+  for (const auto& e : *result) {
+    if (e.member_record_ids.size() == 2) matilda = &e;
+  }
+  ASSERT_NE(matilda, nullptr);
+  EXPECT_EQ(matilda->fields.at("TEXT_FEED"), "grossed 960,998");
+  EXPECT_EQ(matilda->fields.at("THEATER"), "Shubert");
+  // Higher-trust structured source wins the name spelling.
+  EXPECT_EQ(matilda->fields.at("name"), "matilda");
+  EXPECT_EQ(matilda->contributing_sources.size(), 2u);
+}
+
+TEST(ConsolidateTest, ClassifierWithoutDictRejected) {
+  ConsolidationOptions opts;
+  ml::NaiveBayesClassifier nb;
+  opts.classifier = &nb;
+  auto r = Consolidate({}, opts);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ConsolidateTest, ThresholdControlsMatching) {
+  std::vector<DedupRecord> recs = {Rec(1, "Matilda"), Rec(2, "Matlida")};
+  ConsolidationOptions strict;
+  strict.match_threshold = 0.99;
+  auto r1 = Consolidate(recs, strict);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->size(), 2u);
+  ConsolidationOptions loose;
+  loose.match_threshold = 0.5;
+  loose.blocking.qgram_size = 3;  // token keys alone miss the typo pair
+  auto r2 = Consolidate(recs, loose);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 1u);
+}
+
+TEST(MergeClusterTest, SourcePriorityTieBreaksByRecency) {
+  std::vector<DedupRecord> recs = {
+      Rec(1, "Matilda", "Movie", "a", 5, 1),
+      Rec(2, "Matilda", "Movie", "b", 5, 9),
+  };
+  recs[0].fields["price"] = "$27";
+  recs[1].fields["price"] = "$35";
+  auto e = MergeCluster(recs, {0, 1}, 0, MergePolicy::kSourcePriority);
+  EXPECT_EQ(e.fields.at("price"), "$35");
+}
+
+TEST(MergeClusterTest, MajorityPolicy) {
+  std::vector<DedupRecord> recs = {
+      Rec(1, "X", "Movie", "a", 1, 1), Rec(2, "X", "Movie", "b", 9, 2),
+      Rec(3, "X", "Movie", "c", 1, 3)};
+  recs[0].fields["city"] = "New York";
+  recs[1].fields["city"] = "Boston";
+  recs[2].fields["city"] = "New York";
+  auto e = MergeCluster(recs, {0, 1, 2}, 0, MergePolicy::kMajority);
+  EXPECT_EQ(e.fields.at("city"), "New York");
+}
+
+TEST(MergeClusterTest, LongestPolicy) {
+  std::vector<DedupRecord> recs = {Rec(1, "X"), Rec(2, "X")};
+  recs[0].fields["desc"] = "short";
+  recs[1].fields["desc"] = "a much longer description";
+  auto e = MergeCluster(recs, {0, 1}, 0, MergePolicy::kLongest);
+  EXPECT_EQ(e.fields.at("desc"), "a much longer description");
+}
+
+TEST(MergeClusterTest, MostRecentPolicy) {
+  std::vector<DedupRecord> recs = {Rec(1, "X", "Movie", "a", 9, 1),
+                                   Rec(2, "X", "Movie", "b", 1, 5)};
+  recs[0].fields["v"] = "old";
+  recs[1].fields["v"] = "new";
+  auto e = MergeCluster(recs, {0, 1}, 0, MergePolicy::kMostRecent);
+  EXPECT_EQ(e.fields.at("v"), "new");
+}
+
+TEST(MergeClusterTest, EmptyValuesNeverWin) {
+  std::vector<DedupRecord> recs = {Rec(1, "X", "Movie", "a", 9, 9),
+                                   Rec(2, "X", "Movie", "b", 1, 1)};
+  recs[0].fields["theater"] = "";
+  recs[1].fields["theater"] = "Shubert";
+  auto e = MergeCluster(recs, {0, 1}, 0, MergePolicy::kSourcePriority);
+  EXPECT_EQ(e.fields.at("theater"), "Shubert");
+}
+
+TEST(MergePolicyTest, Names) {
+  EXPECT_STREQ(MergePolicyName(MergePolicy::kSourcePriority),
+               "source-priority");
+  EXPECT_STREQ(MergePolicyName(MergePolicy::kMajority), "majority");
+  EXPECT_STREQ(MergePolicyName(MergePolicy::kLongest), "longest");
+  EXPECT_STREQ(MergePolicyName(MergePolicy::kMostRecent), "most-recent");
+}
+
+// Consolidation with a trained classifier matches at least as well as
+// rules on clean duplicates.
+TEST(ConsolidateTest, ClassifierPathWorks) {
+  // Train a tiny classifier on bucketized pair features.
+  ml::FeatureDictionary dict;
+  std::vector<ml::Example> train;
+  std::vector<std::pair<std::string, std::string>> pos = {
+      {"Matilda", "Matilda"}, {"Wicked", "wicked"}, {"Chicago", "Chicagoo"},
+      {"Goodfellas", "Good fellas"}, {"Annie", "Anniee"}};
+  std::vector<std::pair<std::string, std::string>> neg = {
+      {"Matilda", "Wicked"}, {"Chicago", "Annie"}, {"Goodfellas", "Pippin"},
+      {"Newsies", "Once"}, {"Evita", "Macbeth"}};
+  for (const auto& [a, b] : pos) {
+    ml::Example ex;
+    ex.features = PairSignalsToFeatures(
+        ComputePairSignals(Rec(1, a), Rec(2, b)), &dict, true);
+    ex.label = 1;
+    train.push_back(ex);
+  }
+  for (const auto& [a, b] : neg) {
+    ml::Example ex;
+    ex.features = PairSignalsToFeatures(
+        ComputePairSignals(Rec(1, a), Rec(2, b)), &dict, true);
+    ex.label = 0;
+    train.push_back(ex);
+  }
+  ml::NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(train).ok());
+
+  std::vector<DedupRecord> recs = {Rec(1, "Matilda"), Rec(2, "matilda"),
+                                   Rec(3, "Wicked")};
+  ConsolidationOptions opts;
+  opts.classifier = &nb;
+  opts.feature_dict = &dict;
+  opts.match_threshold = 0.5;
+  ConsolidationStats stats;
+  auto result = Consolidate(recs, opts, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+}  // namespace
+}  // namespace dt::dedup

@@ -1,0 +1,62 @@
+#include "storage/document_store.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::storage {
+namespace {
+
+TEST(DocumentStoreTest, CreateAndGet) {
+  DocumentStore store("dt");
+  auto created = store.CreateCollection("instance");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.ValueOrDie()->ns(), "dt.instance");
+  auto got = store.GetCollection("instance");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.ValueOrDie(), created.ValueOrDie());
+}
+
+TEST(DocumentStoreTest, DuplicateCreateFails) {
+  DocumentStore store;
+  ASSERT_TRUE(store.CreateCollection("x").ok());
+  EXPECT_TRUE(store.CreateCollection("x").status().IsAlreadyExists());
+}
+
+TEST(DocumentStoreTest, GetMissingFails) {
+  DocumentStore store;
+  EXPECT_TRUE(store.GetCollection("nope").status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, GetOrCreateIdempotent) {
+  DocumentStore store;
+  Collection* a = store.GetOrCreateCollection("entity");
+  Collection* b = store.GetOrCreateCollection("entity");
+  EXPECT_EQ(a, b);
+}
+
+TEST(DocumentStoreTest, DropRemoves) {
+  DocumentStore store;
+  ASSERT_TRUE(store.CreateCollection("x").ok());
+  ASSERT_TRUE(store.DropCollection("x").ok());
+  EXPECT_TRUE(store.GetCollection("x").status().IsNotFound());
+  EXPECT_TRUE(store.DropCollection("x").IsNotFound());
+}
+
+TEST(DocumentStoreTest, CollectionNamesSorted) {
+  DocumentStore store;
+  store.GetOrCreateCollection("zeta");
+  store.GetOrCreateCollection("alpha");
+  store.GetOrCreateCollection("instance");
+  auto names = store.CollectionNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(DocumentStoreTest, DbNamePrefixesNamespace) {
+  DocumentStore store("mydb");
+  Collection* c = store.GetOrCreateCollection("coll");
+  EXPECT_EQ(c->ns(), "mydb.coll");
+}
+
+}  // namespace
+}  // namespace dt::storage

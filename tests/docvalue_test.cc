@@ -1,0 +1,122 @@
+#include "storage/docvalue.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::storage {
+namespace {
+
+TEST(DocValueTest, ScalarConstruction) {
+  EXPECT_TRUE(DocValue::Null().is_null());
+  EXPECT_TRUE(DocValue::Bool(true).bool_value());
+  EXPECT_EQ(DocValue::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(DocValue::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(DocValue::Str("x").string_value(), "x");
+}
+
+TEST(DocValueTest, AsDoubleCoercesInt) {
+  EXPECT_DOUBLE_EQ(DocValue::Int(3).as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(DocValue::Double(2.5).as_double(), 2.5);
+}
+
+TEST(DocValueTest, ObjectFindAndSet) {
+  DocValue obj = DocBuilder().Set("a", 1).Set("b", "x").Build();
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->int_value(), 1);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  obj.Set("a", DocValue::Int(9));
+  EXPECT_EQ(obj.Find("a")->int_value(), 9);
+  obj.Set("c", DocValue::Bool(true));
+  EXPECT_EQ(obj.fields().size(), 3u);
+}
+
+TEST(DocValueTest, FindPathNested) {
+  DocValue inner = DocBuilder().Set("type", "Movie").Build();
+  DocValue arr = DocValue::Array();
+  arr.Push(inner);
+  DocValue doc = DocValue::Object();
+  doc.Add("payload", DocBuilder().Set("count", 2).Build());
+  doc.Add("entities", arr);
+
+  ASSERT_NE(doc.FindPath("payload.count"), nullptr);
+  EXPECT_EQ(doc.FindPath("payload.count")->int_value(), 2);
+  ASSERT_NE(doc.FindPath("entities.0.type"), nullptr);
+  EXPECT_EQ(doc.FindPath("entities.0.type")->string_value(), "Movie");
+  EXPECT_EQ(doc.FindPath("entities.1.type"), nullptr);
+  EXPECT_EQ(doc.FindPath("payload.missing"), nullptr);
+  EXPECT_EQ(doc.FindPath("payload.count.deeper"), nullptr);
+}
+
+TEST(DocValueTest, FindPathOnScalarIsNull) {
+  DocValue v = DocValue::Int(1);
+  EXPECT_EQ(v.FindPath("a"), nullptr);
+}
+
+TEST(DocValueTest, SerializedSizeScalars) {
+  // Object framing: 4 + 1 = 5 bytes.
+  EXPECT_EQ(DocValue::Object().SerializedSize(), 5);
+  // {"a": int64}: 5 + (1 + 2 + 8) = 16
+  DocValue obj = DocBuilder().Set("a", int64_t{1}).Build();
+  EXPECT_EQ(obj.SerializedSize(), 16);
+  // string value "xy": 4 + 2 + 1 = 7, element = 1 + 2 + 7 = 10, total 15
+  DocValue s = DocBuilder().Set("a", "xy").Build();
+  EXPECT_EQ(s.SerializedSize(), 15);
+}
+
+TEST(DocValueTest, SerializedSizeGrowsWithContent) {
+  DocValue small = DocBuilder().Set("t", "short").Build();
+  DocValue large = DocBuilder().Set("t", std::string(1000, 'x')).Build();
+  EXPECT_GT(large.SerializedSize(), small.SerializedSize() + 900);
+}
+
+TEST(DocValueTest, ToJsonRoundtripShape) {
+  DocValue doc = DocBuilder()
+                     .Set("name", "Matilda")
+                     .Set("gross", 960998)
+                     .Set("pct", 0.93)
+                     .Set("open", true)
+                     .Set("closed", DocValue::Null())
+                     .Build();
+  std::string json = doc.ToJson();
+  EXPECT_NE(json.find("\"name\":\"Matilda\""), std::string::npos);
+  EXPECT_NE(json.find("\"gross\":960998"), std::string::npos);
+  EXPECT_NE(json.find("\"open\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"closed\":null"), std::string::npos);
+}
+
+TEST(DocValueTest, ToJsonEscapes) {
+  DocValue doc = DocBuilder().Set("q", "say \"hi\"\nnow").Build();
+  std::string json = doc.ToJson();
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(DocValueTest, EqualsDeep) {
+  DocValue a = DocBuilder().Set("x", 1).Set("y", "z").Build();
+  DocValue b = DocBuilder().Set("x", 1).Set("y", "z").Build();
+  DocValue c = DocBuilder().Set("x", 2).Set("y", "z").Build();
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  // Type-strict: int 2 != double 2.0
+  EXPECT_FALSE(DocValue::Int(2).Equals(DocValue::Double(2.0)));
+  // Field order matters (document model)
+  DocValue d = DocValue::Object();
+  d.Add("y", DocValue::Str("z"));
+  d.Add("x", DocValue::Int(1));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(DocValueTest, ArrayOps) {
+  DocValue arr = DocValue::Array();
+  arr.Push(DocValue::Int(1));
+  arr.Push(DocValue::Str("two"));
+  EXPECT_EQ(arr.array_items().size(), 2u);
+  EXPECT_EQ(arr.array_items()[1].string_value(), "two");
+}
+
+TEST(DocValueTest, TypeNames) {
+  EXPECT_STREQ(DocTypeName(DocType::kNull), "null");
+  EXPECT_STREQ(DocTypeName(DocType::kObject), "object");
+}
+
+}  // namespace
+}  // namespace dt::storage

@@ -1,0 +1,167 @@
+#include "textparse/domain_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::textparse {
+namespace {
+
+Gazetteer MakeGaz() {
+  Gazetteer g;
+  GazetteerEntry matilda;
+  matilda.phrase = "Matilda";
+  matilda.type = EntityType::kMovie;
+  matilda.attrs = {{"award_winning", "true"}};
+  g.Add(matilda);
+  g.Add("The Walking Dead", EntityType::kMovie);
+  g.Add("Shubert", EntityType::kFacility);
+  g.Add("London", EntityType::kCity);
+  return g;
+}
+
+TEST(DomainParserTest, GazetteerMentions) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Matilda opened at the Shubert last night.");
+  ASSERT_GE(frag.mentions.size(), 2u);
+  EXPECT_EQ(frag.mentions[0].type, EntityType::kMovie);
+  EXPECT_EQ(frag.mentions[0].canonical, "Matilda");
+  EXPECT_DOUBLE_EQ(frag.mentions[0].confidence, 1.0);
+  EXPECT_EQ(frag.mentions[1].canonical, "Shubert");
+}
+
+TEST(DomainParserTest, MentionOffsetsCorrect) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  std::string text = "An import from London called Matilda.";
+  auto frag = parser.Parse(text);
+  for (const auto& m : frag.mentions) {
+    EXPECT_EQ(text.substr(m.offset, m.surface.size()), m.surface);
+  }
+}
+
+TEST(DomainParserTest, MultiWordGazetteerMatch) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Fans discussed The Walking Dead on Sunday");
+  bool found = false;
+  for (const auto& m : frag.mentions) {
+    if (m.canonical == "The Walking Dead") {
+      found = true;
+      EXPECT_EQ(m.type, EntityType::kMovie);
+      EXPECT_EQ(m.surface, "The Walking Dead");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DomainParserTest, UrlDetection) {
+  Gazetteer g;
+  DomainParser parser(&g);
+  auto frag = parser.Parse("tickets at http://telecharge.com/matilda now");
+  ASSERT_EQ(frag.mentions.size(), 1u);
+  EXPECT_EQ(frag.mentions[0].type, EntityType::kUrl);
+  EXPECT_EQ(frag.mentions[0].canonical, "http://telecharge.com/matilda");
+}
+
+TEST(DomainParserTest, QuotedTitleHeuristic) {
+  Gazetteer g;
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Critics loved \"Raging Bull\" this month");
+  bool found = false;
+  for (const auto& m : frag.mentions) {
+    if (m.type == EntityType::kMovie && m.canonical == "Raging Bull") {
+      found = true;
+      EXPECT_LT(m.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DomainParserTest, PersonHeuristicCapitalizedRun) {
+  Gazetteer g;
+  DomainParser parser(&g);
+  auto frag = parser.Parse("meanwhile Daniel Bruckner wrote the module");
+  bool found = false;
+  for (const auto& m : frag.mentions) {
+    if (m.type == EntityType::kPerson && m.canonical == "Daniel Bruckner") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DomainParserTest, GazetteerBeatsHeuristic) {
+  Gazetteer g;
+  g.Add("Michael Stonebraker", EntityType::kPerson, "Michael Stonebraker");
+  DomainParser parser(&g);
+  auto frag = parser.Parse("yesterday Michael Stonebraker spoke");
+  ASSERT_EQ(frag.mentions.size(), 1u);
+  EXPECT_DOUBLE_EQ(frag.mentions[0].confidence, 1.0);
+}
+
+TEST(DomainParserTest, HeuristicsCanBeDisabled) {
+  Gazetteer g;
+  DomainParserOptions opts;
+  opts.enable_person_heuristic = false;
+  opts.enable_quoted_title_detection = false;
+  opts.enable_url_detection = false;
+  DomainParser parser(&g, opts);
+  auto frag = parser.Parse(
+      "visit http://x.com where John Smith saw \"Some Show\" yesterday");
+  EXPECT_TRUE(frag.mentions.empty());
+}
+
+TEST(DomainParserTest, AttrsFlowToMentions) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Matilda won again");
+  ASSERT_FALSE(frag.mentions.empty());
+  ASSERT_EQ(frag.mentions[0].attrs.size(), 1u);
+  EXPECT_EQ(frag.mentions[0].attrs[0].first, "award_winning");
+}
+
+TEST(DomainParserTest, SourceAndTimestampCarried) {
+  Gazetteer g;
+  DomainParser parser(&g);
+  auto frag = parser.Parse("hello", "twitter", 1362355200);
+  EXPECT_EQ(frag.source, "twitter");
+  EXPECT_EQ(frag.timestamp, 1362355200);
+}
+
+TEST(DomainParserTest, ToInstanceDocShape) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Matilda at the Shubert.", "blog", 42);
+  auto doc = DomainParser::ToInstanceDoc(frag);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("text")->string_value(), "Matilda at the Shubert.");
+  EXPECT_EQ(doc.Find("source")->string_value(), "blog");
+  EXPECT_EQ(doc.Find("timestamp")->int_value(), 42);
+  const auto* entities = doc.Find("entities");
+  ASSERT_NE(entities, nullptr);
+  ASSERT_GE(entities->array_items().size(), 2u);
+  EXPECT_EQ(entities->array_items()[0].Find("type")->string_value(), "Movie");
+  EXPECT_EQ(entities->array_items()[0].Find("name")->string_value(),
+            "Matilda");
+}
+
+TEST(DomainParserTest, ToEntityDocsCarryInstanceRefAndAttrs) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  auto frag = parser.Parse("Matilda premiered.");
+  auto docs = DomainParser::ToEntityDocs(frag, 777);
+  ASSERT_EQ(docs.size(), frag.mentions.size());
+  EXPECT_EQ(docs[0].Find("instance_id")->int_value(), 777);
+  EXPECT_EQ(docs[0].Find("type")->string_value(), "Movie");
+  ASSERT_NE(docs[0].Find("award_winning"), nullptr);
+  EXPECT_EQ(docs[0].Find("award_winning")->string_value(), "true");
+}
+
+TEST(DomainParserTest, EmptyTextNoMentions) {
+  Gazetteer g = MakeGaz();
+  DomainParser parser(&g);
+  EXPECT_TRUE(parser.Parse("").mentions.empty());
+}
+
+}  // namespace
+}  // namespace dt::textparse

@@ -1,0 +1,119 @@
+/// Integration of the Fellegi-Sunter possible-match band with expert
+/// sourcing: the clerical-review loop of classic record linkage wired
+/// to Data Tamer's expert pool, plus threshold-tuner feedback.
+
+#include <gtest/gtest.h>
+
+#include "datagen/dedup_labels.h"
+#include "dedup/fellegi_sunter.h"
+#include "expert/expert.h"
+#include "match/threshold_tuner.h"
+
+namespace dt {
+namespace {
+
+std::vector<std::pair<dedup::PairSignals, int>> Labeled(int64_t n,
+                                                        uint64_t seed) {
+  datagen::DedupLabelOptions opts;
+  opts.num_pairs = n;
+  opts.seed = seed;
+  auto pairs =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+  std::vector<std::pair<dedup::PairSignals, int>> out;
+  for (const auto& p : pairs) {
+    out.emplace_back(dedup::ComputePairSignals(p.a, p.b), p.label);
+  }
+  return out;
+}
+
+TEST(ExpertDedupLoopTest, ClericalReviewResolvesPossibleMatches) {
+  auto train = Labeled(2000, 3);
+  auto incoming = Labeled(800, 5);
+
+  dedup::FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(train).ok());
+  ASSERT_TRUE(fs.CalibrateThresholds(train, 0.95).ok());
+
+  expert::ExpertPool pool;
+  pool.AddExpert({"clerk-1", 0.93, 1.0});
+  pool.AddExpert({"clerk-2", 0.88, 0.5});
+  expert::TaskQueue queue;
+  Rng rng(17);
+
+  // Machine decides; the possible-match band goes to the clerks.
+  int64_t auto_correct = 0, auto_total = 0;
+  int64_t expert_correct = 0, expert_total = 0;
+  for (const auto& [signals, label] : incoming) {
+    auto decision = fs.Decide(signals);
+    if (decision == dedup::LinkageDecision::kPossibleMatch) {
+      expert::ReviewTask task;
+      task.kind = "dedup-pair";
+      task.options = {"duplicate", "not a duplicate"};
+      task.machine_confidence = 0.5;
+      queue.Enqueue(task);
+      auto answer = pool.Resolve(task, label == 1 ? 0 : 1, 2, &rng);
+      ASSERT_TRUE(answer.ok());
+      ++expert_total;
+      if ((answer->option == 0) == (label == 1)) ++expert_correct;
+    } else {
+      ++auto_total;
+      bool machine_says_dup = decision == dedup::LinkageDecision::kMatch;
+      if (machine_says_dup == (label == 1)) ++auto_correct;
+    }
+  }
+  // The machine handles the bulk; both machine and experts are
+  // accurate on their slices.
+  EXPECT_GT(auto_total, expert_total / 4);
+  ASSERT_GT(auto_total, 0);
+  EXPECT_GT(static_cast<double>(auto_correct) / auto_total, 0.85);
+  if (expert_total > 0) {
+    EXPECT_GT(static_cast<double>(expert_correct) / expert_total, 0.80);
+  }
+  EXPECT_EQ(queue.total_enqueued(), expert_total);
+}
+
+TEST(ExpertDedupLoopTest, TunerFeedbackNarrowsSchemaReviewBand) {
+  // The schema-matching analogue: review outcomes feed the tuner, the
+  // tuner recommends a lower acceptance threshold once the matcher
+  // proves precise, and the expert load drops.
+  match::ThresholdTuner tuner(0.92, 25);
+  Rng rng(23);
+  double accept = 0.92;
+  std::vector<int64_t> reviews_per_round;
+  for (int round = 0; round < 6; ++round) {
+    int64_t reviews = 0;
+    for (int i = 0; i < 120; ++i) {
+      // Simulated matcher: scores above 0.65 are 96% correct.
+      double score = rng.UniformDouble(0.45, 1.0);
+      bool correct = score >= 0.65 ? rng.Bernoulli(0.96)
+                                   : rng.Bernoulli(0.35);
+      if (score >= accept) continue;  // auto-accepted, no human
+      ++reviews;
+      tuner.Observe(score, correct);
+    }
+    reviews_per_round.push_back(reviews);
+    accept = tuner.RecommendAcceptThreshold(accept);
+  }
+  EXPECT_LT(accept, 0.92);
+  EXPECT_LT(reviews_per_round.back(), reviews_per_round.front());
+}
+
+TEST(ExpertDedupLoopTest, QueueServesHardestPairsFirst) {
+  expert::TaskQueue queue;
+  auto enqueue = [&](double conf) {
+    expert::ReviewTask t;
+    t.kind = "dedup-pair";
+    t.options = {"dup", "not"};
+    t.machine_confidence = conf;
+    queue.Enqueue(t);
+  };
+  enqueue(0.49);
+  enqueue(0.02);
+  enqueue(0.31);
+  EXPECT_DOUBLE_EQ(queue.Dequeue()->machine_confidence, 0.02);
+  EXPECT_DOUBLE_EQ(queue.Dequeue()->machine_confidence, 0.31);
+  EXPECT_DOUBLE_EQ(queue.Dequeue()->machine_confidence, 0.49);
+}
+
+}  // namespace
+}  // namespace dt

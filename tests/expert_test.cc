@@ -1,0 +1,148 @@
+#include "expert/expert.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::expert {
+namespace {
+
+ReviewTask Task(double confidence, std::vector<std::string> options = {
+                                       "map to SHOW_NAME", "map to THEATER",
+                                       "new attribute"}) {
+  ReviewTask t;
+  t.kind = "schema-match";
+  t.subject = "title";
+  t.options = std::move(options);
+  t.machine_confidence = confidence;
+  return t;
+}
+
+TEST(TaskQueueTest, LeastConfidentFirst) {
+  TaskQueue q;
+  q.Enqueue(Task(0.7));
+  q.Enqueue(Task(0.2));
+  q.Enqueue(Task(0.5));
+  auto t1 = q.Dequeue();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_DOUBLE_EQ(t1->machine_confidence, 0.2);
+  EXPECT_DOUBLE_EQ(q.Dequeue()->machine_confidence, 0.5);
+  EXPECT_DOUBLE_EQ(q.Dequeue()->machine_confidence, 0.7);
+  EXPECT_FALSE(q.Dequeue().has_value());
+}
+
+TEST(TaskQueueTest, FifoWithinEqualConfidence) {
+  TaskQueue q;
+  int64_t a = q.Enqueue(Task(0.5));
+  int64_t b = q.Enqueue(Task(0.5));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(q.Dequeue()->id, a);
+  EXPECT_EQ(q.Dequeue()->id, b);
+}
+
+TEST(TaskQueueTest, CountsTracked) {
+  TaskQueue q;
+  q.Enqueue(Task(0.1));
+  q.Enqueue(Task(0.2));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.total_enqueued(), 2);
+  (void)q.Dequeue();
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.total_enqueued(), 2);
+}
+
+TEST(SimulatedExpertTest, PerfectExpertAlwaysRight) {
+  SimulatedExpert expert({"oracle", 1.0, 1.0});
+  Rng rng(5);
+  ReviewTask t = Task(0.5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(expert.Answer(t, 1, &rng), 1);
+  }
+}
+
+TEST(SimulatedExpertTest, AccuracyApproximatelyHonored) {
+  SimulatedExpert expert({"junior", 0.7, 0.2});
+  Rng rng(7);
+  ReviewTask t = Task(0.5);
+  int correct = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (expert.Answer(t, 2, &rng) == 2) ++correct;
+  }
+  EXPECT_NEAR(correct / 5000.0, 0.7, 0.03);
+}
+
+TEST(SimulatedExpertTest, WrongAnswersAreValidOptions) {
+  SimulatedExpert expert({"bad", 0.0, 1.0});
+  Rng rng(11);
+  ReviewTask t = Task(0.5);
+  for (int i = 0; i < 100; ++i) {
+    int a = expert.Answer(t, 1, &rng);
+    EXPECT_NE(a, 1);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(ExpertPoolTest, ResolveAggregatesVotes) {
+  ExpertPool pool;
+  pool.AddExpert({"a", 0.95, 1.0});
+  pool.AddExpert({"b", 0.9, 0.5});
+  pool.AddExpert({"c", 0.85, 0.25});
+  Rng rng(13);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto r = pool.Resolve(Task(0.5), 0, 3, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->votes, 3);
+    EXPECT_DOUBLE_EQ(r->cost, 1.75);
+    if (r->option == 0) ++correct;
+  }
+  // Majority of three strong experts is nearly always right.
+  EXPECT_GT(correct, 190);
+  EXPECT_EQ(pool.tasks_resolved(), 200);
+  EXPECT_DOUBLE_EQ(pool.total_cost(), 350.0);
+  EXPECT_GT(pool.correct_resolutions(), 190);
+}
+
+TEST(ExpertPoolTest, MajorityBeatsSingleExpert) {
+  Rng rng1(17), rng3(17);
+  ExpertPool single, triple;
+  single.AddExpert({"x", 0.75, 1.0});
+  triple.AddExpert({"x", 0.75, 1.0});
+  triple.AddExpert({"y", 0.75, 1.0});
+  triple.AddExpert({"z", 0.75, 1.0});
+  int single_right = 0, triple_right = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (single.Resolve(Task(0.5), 1, 1, &rng1)->option == 1) ++single_right;
+    if (triple.Resolve(Task(0.5), 1, 3, &rng3)->option == 1) ++triple_right;
+  }
+  EXPECT_GT(triple_right, single_right);
+}
+
+TEST(ExpertPoolTest, ErrorCases) {
+  ExpertPool empty;
+  Rng rng(1);
+  EXPECT_TRUE(empty.Resolve(Task(0.5), 0, 1, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  ExpertPool pool;
+  pool.AddExpert({"a", 0.9, 1.0});
+  EXPECT_TRUE(pool.Resolve(Task(0.5, {}), 0, 1, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(pool.Resolve(Task(0.5), 9, 1, &rng).status().IsOutOfRange());
+  EXPECT_TRUE(pool.Resolve(Task(0.5), 0, 0, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExpertPoolTest, ConfidenceReflectsAgreement) {
+  ExpertPool pool;
+  pool.AddExpert({"a", 1.0, 1.0});
+  pool.AddExpert({"b", 1.0, 1.0});
+  Rng rng(3);
+  auto r = pool.Resolve(Task(0.5), 0, 2, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->confidence, 1.0);  // unanimous perfect experts
+}
+
+}  // namespace
+}  // namespace dt::expert

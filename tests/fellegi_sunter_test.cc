@@ -1,0 +1,170 @@
+#include "dedup/fellegi_sunter.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dedup_labels.h"
+
+namespace dt::dedup {
+namespace {
+
+std::vector<std::pair<PairSignals, int>> MakeLabeled(int64_t n,
+                                                     uint64_t seed) {
+  datagen::DedupLabelOptions opts;
+  opts.num_pairs = n;
+  opts.seed = seed;
+  auto pairs =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kCompany, opts);
+  std::vector<std::pair<PairSignals, int>> out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    out.emplace_back(ComputePairSignals(p.a, p.b), p.label);
+  }
+  return out;
+}
+
+TEST(FellegiSunterTest, FitRequiresBothClasses) {
+  FellegiSunterScorer fs;
+  EXPECT_TRUE(fs.Fit({}).IsInvalidArgument());
+  std::vector<std::pair<PairSignals, int>> only_pos = {{PairSignals{}, 1}};
+  EXPECT_TRUE(fs.Fit(only_pos).IsInvalidArgument());
+  std::vector<std::pair<PairSignals, int>> bad = {{PairSignals{}, 2}};
+  EXPECT_TRUE(fs.Fit(bad).IsInvalidArgument());
+}
+
+TEST(FellegiSunterTest, MatchesWeighHigherThanNonMatches) {
+  auto labeled = MakeLabeled(2000, 7);
+  FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(labeled).ok());
+  double sum_match = 0, sum_non = 0;
+  int64_t n_match = 0, n_non = 0;
+  for (const auto& [signals, label] : labeled) {
+    if (label == 1) {
+      sum_match += fs.Weight(signals);
+      ++n_match;
+    } else {
+      sum_non += fs.Weight(signals);
+      ++n_non;
+    }
+  }
+  EXPECT_GT(sum_match / n_match, sum_non / n_non + 2.0);
+}
+
+TEST(FellegiSunterTest, CrossTypeIsNeverAMatch) {
+  auto labeled = MakeLabeled(500, 9);
+  FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(labeled).ok());
+  PairSignals cross;
+  cross.same_type = 0;
+  cross.name_levenshtein = 1.0;
+  EXPECT_EQ(fs.Decide(cross), LinkageDecision::kNonMatch);
+}
+
+TEST(FellegiSunterTest, CalibratedThresholdsSeparateWell) {
+  auto train = MakeLabeled(3000, 11);
+  auto test = MakeLabeled(1000, 13);
+  FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(train).ok());
+  ASSERT_TRUE(fs.CalibrateThresholds(train, 0.95).ok());
+  EXPECT_LE(fs.lower_threshold(), fs.upper_threshold());
+
+  int64_t tp = 0, fp = 0, fn = 0, review = 0;
+  for (const auto& [signals, label] : test) {
+    switch (fs.Decide(signals)) {
+      case LinkageDecision::kMatch:
+        (label == 1 ? tp : fp) += 1;
+        break;
+      case LinkageDecision::kPossibleMatch:
+        ++review;
+        break;
+      case LinkageDecision::kNonMatch:
+        if (label == 1) ++fn;
+        break;
+    }
+  }
+  // Precision of the auto-match region should be near the calibration
+  // target, and most pairs should avoid clerical review.
+  ASSERT_GT(tp + fp, 0);
+  EXPECT_GT(static_cast<double>(tp) / (tp + fp), 0.88);
+  // The 0.95-precision target leaves a wide clerical band on this
+  // deliberately hard pair distribution, but it must not swallow
+  // everything.
+  EXPECT_GT(review, 0);
+  EXPECT_LT(review, 700);
+}
+
+TEST(FellegiSunterTest, CalibrateBeforeFitFails) {
+  FellegiSunterScorer fs;
+  EXPECT_TRUE(fs.CalibrateThresholds(MakeLabeled(100, 1))
+                  .IsInvalidArgument());
+}
+
+TEST(FellegiSunterTest, UnfittedWeightIsZero) {
+  FellegiSunterScorer fs;
+  PairSignals s;
+  s.same_type = 1;
+  EXPECT_DOUBLE_EQ(fs.Weight(s), 0.0);
+}
+
+TEST(FellegiSunterTest, ExplainListsFieldsAndDecision) {
+  auto labeled = MakeLabeled(500, 15);
+  FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(labeled).ok());
+  PairSignals s;
+  s.same_type = 1;
+  s.name_levenshtein = 0.95;
+  s.name_jaro_winkler = 0.95;
+  s.name_token_jaccard = 1.0;
+  s.name_qgram_jaccard = 0.9;
+  s.shared_field_agreement = 1.0;
+  std::string e = fs.Explain(s);
+  EXPECT_NE(e.find("name_levenshtein+"), std::string::npos);
+  EXPECT_NE(e.find("=>"), std::string::npos);
+  EXPECT_NE(e.find("match"), std::string::npos);
+}
+
+TEST(FellegiSunterTest, ThresholdSettersRespected) {
+  FellegiSunterScorer fs;
+  fs.SetThresholds(-2.5, 7.5);
+  EXPECT_DOUBLE_EQ(fs.lower_threshold(), -2.5);
+  EXPECT_DOUBLE_EQ(fs.upper_threshold(), 7.5);
+}
+
+TEST(FellegiSunterTest, NamesForDecisions) {
+  EXPECT_STREQ(LinkageDecisionName(LinkageDecision::kMatch), "match");
+  EXPECT_STREQ(LinkageDecisionName(LinkageDecision::kPossibleMatch),
+               "possible-match");
+  EXPECT_STREQ(LinkageDecisionName(LinkageDecision::kNonMatch), "non-match");
+}
+
+// Property sweep: FS accuracy across entity types stays solid.
+class FellegiSunterTypeTest
+    : public ::testing::TestWithParam<textparse::EntityType> {};
+
+TEST_P(FellegiSunterTypeTest, AccuracyAboveBaseline) {
+  datagen::DedupLabelOptions opts;
+  opts.num_pairs = 1500;
+  auto pairs = datagen::GenerateLabeledPairs(GetParam(), opts);
+  std::vector<std::pair<PairSignals, int>> labeled;
+  for (const auto& p : pairs) {
+    labeled.emplace_back(ComputePairSignals(p.a, p.b), p.label);
+  }
+  FellegiSunterScorer fs;
+  ASSERT_TRUE(fs.Fit(labeled).ok());
+  int64_t correct = 0;
+  for (const auto& [signals, label] : labeled) {
+    int pred = fs.Weight(signals) >= fs.upper_threshold() ? 1 : 0;
+    if (pred == label) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / labeled.size(), 0.8)
+      << textparse::EntityTypeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, FellegiSunterTypeTest,
+    ::testing::Values(textparse::EntityType::kPerson,
+                      textparse::EntityType::kCompany,
+                      textparse::EntityType::kMovie,
+                      textparse::EntityType::kFacility));
+
+}  // namespace
+}  // namespace dt::dedup

@@ -1,0 +1,167 @@
+#include "ingest/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "ingest/json.h"
+
+namespace dt::ingest {
+namespace {
+
+using storage::DocBuilder;
+using storage::DocValue;
+
+storage::DocValue Doc(const char* json) {
+  auto r = ParseJson(json);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+TEST(FlattenTest, FlatObjectPassesThrough) {
+  auto recs = FlattenDocument(Doc(R"({"a": 1, "b": "x"})"));
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  const auto& rec = (*recs)[0];
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec[0].first, "a");
+  EXPECT_EQ(rec[0].second.int_value(), 1);
+  EXPECT_EQ(rec[1].second.string_value(), "x");
+}
+
+TEST(FlattenTest, NestedObjectsDotPaths) {
+  auto recs = FlattenDocument(Doc(R"({"venue": {"name": "Shubert", "loc": {"city": "NYC"}}})"));
+  ASSERT_TRUE(recs.ok());
+  const auto& rec = (*recs)[0];
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec[0].first, "venue.name");
+  EXPECT_EQ(rec[1].first, "venue.loc.city");
+  EXPECT_EQ(rec[1].second.string_value(), "NYC");
+}
+
+TEST(FlattenTest, ScalarArrayJoins) {
+  auto recs = FlattenDocument(Doc(R"({"tags": ["award", "london"]})"));
+  ASSERT_TRUE(recs.ok());
+  const auto& rec = (*recs)[0];
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].second.string_value(), "award | london");
+}
+
+TEST(FlattenTest, ObjectArrayExplodes) {
+  auto recs = FlattenDocument(Doc(
+      R"({"show": "Matilda", "perfs": [{"day": "Tue"}, {"day": "Wed"}]})"));
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  // Both records share the scalar, differ in the array element.
+  EXPECT_EQ((*recs)[0][0].second.string_value(), "Matilda");
+  EXPECT_EQ((*recs)[0][1].first, "perfs.day");
+  EXPECT_EQ((*recs)[0][1].second.string_value(), "Tue");
+  EXPECT_EQ((*recs)[1][1].second.string_value(), "Wed");
+}
+
+TEST(FlattenTest, TwoObjectArraysCrossProduct) {
+  auto recs = FlattenDocument(Doc(
+      R"({"a": [{"x": 1}, {"x": 2}], "b": [{"y": 3}, {"y": 4}, {"y": 5}]})"));
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(recs->size(), 6u);
+}
+
+TEST(FlattenTest, ExplosionGuard) {
+  FlattenOptions opts;
+  opts.max_records_per_document = 4;
+  auto recs = FlattenDocument(Doc(
+      R"({"a": [{"x": 1}, {"x": 2}, {"x": 3}], "b": [{"y": 1}, {"y": 2}]})"),
+      opts);
+  EXPECT_TRUE(recs.status().IsCapacityExceeded());
+}
+
+TEST(FlattenTest, NoExplodeModeUsesPositionalPaths) {
+  FlattenOptions opts;
+  opts.explode_object_arrays = false;
+  auto recs = FlattenDocument(
+      Doc(R"({"perfs": [{"day": "Tue"}, {"day": "Wed"}]})"), opts);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  const auto& rec = (*recs)[0];
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec[0].first, "perfs.0.day");
+  EXPECT_EQ(rec[1].first, "perfs.1.day");
+}
+
+TEST(FlattenTest, EmptyArrayIgnored) {
+  auto recs = FlattenDocument(Doc(R"({"a": 1, "empty": []})"));
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ((*recs)[0].size(), 1u);
+}
+
+TEST(FlattenTest, NonObjectRejected) {
+  EXPECT_TRUE(FlattenDocument(DocValue::Int(1)).status().IsInvalidArgument());
+  EXPECT_TRUE(FlattenDocument(DocValue::Array()).status().IsInvalidArgument());
+}
+
+TEST(FlattenToTableTest, UnionSchemaWithNulls) {
+  std::vector<DocValue> docs = {
+      Doc(R"({"name": "Matilda", "price": 27})"),
+      Doc(R"({"name": "Wicked", "theater": "Gershwin"})"),
+  };
+  auto t = FlattenToTable("fused", docs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->schema().num_attributes(), 3);
+  EXPECT_EQ(t->at(0, "name").string_value(), "Matilda");
+  EXPECT_TRUE(t->at(0, "theater").is_null());
+  EXPECT_TRUE(t->at(1, "price").is_null());
+  EXPECT_EQ(t->at(1, "theater").string_value(), "Gershwin");
+}
+
+TEST(FlattenToTableTest, ExplodedDocsProduceMultipleRows) {
+  std::vector<DocValue> docs = {
+      Doc(R"({"show": "Matilda", "perfs": [{"d": "Tue"}, {"d": "Wed"}]})")};
+  auto t = FlattenToTable("perfs", docs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);
+}
+
+TEST(FlattenToTableTest, IntWidensToDouble) {
+  std::vector<DocValue> docs = {Doc(R"({"v": 1})"), Doc(R"({"v": 2.5})")};
+  auto t = FlattenToTable("x", docs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().attribute(0).type, relational::ValueType::kDouble);
+}
+
+TEST(FlattenToTableTest, TypeConflictFallsBackToString) {
+  std::vector<DocValue> docs = {Doc(R"({"v": 1})"), Doc(R"({"v": "x"})")};
+  auto t = FlattenToTable("x", docs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().attribute(0).type, relational::ValueType::kString);
+  EXPECT_EQ(t->at(0, "v").string_value(), "1");
+  EXPECT_EQ(t->at(1, "v").string_value(), "x");
+}
+
+TEST(FlattenToTableTest, EmptyInputMakesEmptyTable) {
+  auto t = FlattenToTable("x", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 0);
+  EXPECT_EQ(t->schema().num_attributes(), 0);
+}
+
+TEST(FlattenToTableTest, RealisticParserOutput) {
+  // Shape of a WEBINSTANCE document after the domain parser.
+  std::vector<DocValue> docs = {Doc(R"({
+    "text": "Matilda grossed 960,998 this week.",
+    "source": "newsfeed",
+    "timestamp": 1362355200,
+    "entities": [
+      {"type": "Movie", "name": "Matilda", "offset": 0},
+      {"type": "Company", "name": "Shubert Organization", "offset": 12}
+    ]
+  })")};
+  auto t = FlattenToTable("webinstance_flat", docs);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2);  // exploded by entity
+  EXPECT_TRUE(t->schema().Contains("entities.type"));
+  EXPECT_TRUE(t->schema().Contains("text"));
+  EXPECT_EQ(t->at(0, "entities.name").string_value(), "Matilda");
+  EXPECT_EQ(t->at(1, "entities.type").string_value(), "Company");
+}
+
+}  // namespace
+}  // namespace dt::ingest

@@ -1,0 +1,134 @@
+#include "textparse/gazetteer.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::textparse {
+namespace {
+
+Gazetteer MakeGaz() {
+  Gazetteer g;
+  g.Add("Matilda", EntityType::kMovie);
+  g.Add("The Walking Dead", EntityType::kMovie);
+  g.Add("New York", EntityType::kCity);
+  g.Add("New York Times", EntityType::kCompany);
+  return g;
+}
+
+TEST(GazetteerTest, ExactLookupCaseInsensitive) {
+  Gazetteer g = MakeGaz();
+  auto e = g.Lookup("matilda");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->type, EntityType::kMovie);
+  EXPECT_EQ(e->canonical, "Matilda");
+  EXPECT_FALSE(g.Lookup("unknown").has_value());
+}
+
+TEST(GazetteerTest, LongestMatchPrefersLongerPhrase) {
+  Gazetteer g = MakeGaz();
+  auto toks = Tokenize("the New York Times reported");
+  size_t consumed = 0;
+  auto hit = g.LongestMatch(toks, 1, &consumed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->canonical, "New York Times");
+  EXPECT_EQ(consumed, 3u);
+}
+
+TEST(GazetteerTest, ShorterMatchWhenLongerFails) {
+  Gazetteer g = MakeGaz();
+  auto toks = Tokenize("in New York tonight");
+  size_t consumed = 0;
+  auto hit = g.LongestMatch(toks, 1, &consumed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->canonical, "New York");
+  EXPECT_EQ(consumed, 2u);
+}
+
+TEST(GazetteerTest, NoMatch) {
+  Gazetteer g = MakeGaz();
+  auto toks = Tokenize("nothing here");
+  size_t consumed = 0;
+  EXPECT_FALSE(g.LongestMatch(toks, 0, &consumed).has_value());
+}
+
+TEST(GazetteerTest, MatchDoesNotCrossPunctuation) {
+  Gazetteer g;
+  g.Add("New York", EntityType::kCity);
+  auto toks = Tokenize("New. York");
+  size_t consumed = 0;
+  EXPECT_FALSE(g.LongestMatch(toks, 0, &consumed).has_value());
+}
+
+TEST(GazetteerTest, StartBeyondEnd) {
+  Gazetteer g = MakeGaz();
+  auto toks = Tokenize("x");
+  size_t consumed = 0;
+  EXPECT_FALSE(g.LongestMatch(toks, 5, &consumed).has_value());
+}
+
+TEST(GazetteerTest, CanonicalDefaultsToPhrase) {
+  Gazetteer g;
+  g.Add("Shubert", EntityType::kFacility);
+  EXPECT_EQ(g.Lookup("shubert")->canonical, "Shubert");
+}
+
+TEST(GazetteerTest, ExplicitCanonical) {
+  Gazetteer g;
+  g.Add("the wolverine", EntityType::kMovie, "The Wolverine");
+  EXPECT_EQ(g.Lookup("The Wolverine")->canonical, "The Wolverine");
+}
+
+TEST(GazetteerTest, AttrsCarried) {
+  Gazetteer g;
+  GazetteerEntry e;
+  e.phrase = "Matilda";
+  e.type = EntityType::kMovie;
+  e.attrs = {{"award_winning", "true"}};
+  g.Add(e);
+  auto hit = g.Lookup("matilda");
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->attrs.size(), 1u);
+  EXPECT_EQ(hit->attrs[0].first, "award_winning");
+}
+
+TEST(GazetteerTest, ReplaceOnDuplicatePhrase) {
+  Gazetteer g;
+  g.Add("Matilda", EntityType::kPerson);
+  g.Add("Matilda", EntityType::kMovie);
+  EXPECT_EQ(g.Lookup("matilda")->type, EntityType::kMovie);
+  EXPECT_EQ(g.size(), 1);
+}
+
+TEST(GazetteerTest, EmptyPhraseIgnored) {
+  Gazetteer g;
+  g.Add("", EntityType::kPerson);
+  g.Add("...", EntityType::kPerson);  // normalizes to empty
+  EXPECT_EQ(g.size(), 0);
+}
+
+TEST(GazetteerTest, MaxPhraseTokensTracked) {
+  Gazetteer g = MakeGaz();
+  EXPECT_EQ(g.max_phrase_tokens(), 3u);
+}
+
+TEST(EntityTypesTest, NamesRoundTrip) {
+  for (EntityType t : AllEntityTypes()) {
+    auto back = EntityTypeFromName(EntityTypeName(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(EntityTypeFromName("NotAType").has_value());
+}
+
+TEST(EntityTypesTest, PaperCountsDescendInTableOrder) {
+  auto types = AllEntityTypes();
+  ASSERT_EQ(types.size(), static_cast<size_t>(kNumEntityTypes));
+  for (size_t i = 1; i < types.size(); ++i) {
+    EXPECT_GE(PaperEntityTypeCount(types[i - 1]),
+              PaperEntityTypeCount(types[i]));
+  }
+  EXPECT_EQ(PaperEntityTypeCount(EntityType::kPerson), 38867351);
+  EXPECT_EQ(PaperEntityTypeCount(EntityType::kProvinceOrState), 223243);
+}
+
+}  // namespace
+}  // namespace dt::textparse

@@ -1,0 +1,225 @@
+#include "match/global_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "match/synonyms.h"
+
+namespace dt::match {
+namespace {
+
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+Table BroadwayCanonical() {
+  Schema s({{"SHOW_NAME", ValueType::kString},
+            {"THEATER", ValueType::kString},
+            {"CHEAPEST_PRICE", ValueType::kString}});
+  Table t("src0", s);
+  (void)t.Append({Value::Str("Matilda"), Value::Str("Shubert"),
+                  Value::Str("$27")});
+  (void)t.Append({Value::Str("Wicked"), Value::Str("Gershwin"),
+                  Value::Str("$89")});
+  (void)t.Append({Value::Str("Chicago"), Value::Str("Ambassador"),
+                  Value::Str("$49")});
+  return t;
+}
+
+Table BroadwayVariant() {
+  Schema s({{"title", ValueType::kString},
+            {"venue", ValueType::kString},
+            {"lowest_price", ValueType::kString},
+            {"seats", ValueType::kInt}});
+  Table t("src1", s);
+  (void)t.Append({Value::Str("Matilda"), Value::Str("Shubert"),
+                  Value::Str("$27"), Value::Int(1400)});
+  (void)t.Append({Value::Str("Annie"), Value::Str("Palace"),
+                  Value::Str("$35"), Value::Int(1700)});
+  return t;
+}
+
+class GlobalSchemaTest : public ::testing::Test {
+ protected:
+  GlobalSchemaTest() : syn_(SynonymDictionary::Default()) {}
+  SynonymDictionary syn_;
+};
+
+TEST_F(GlobalSchemaTest, FirstSourceBootstrapsAllNew) {
+  GlobalSchema gs({}, &syn_);
+  auto results = gs.MatchTable(BroadwayCanonical());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.decision, MatchDecision::kNewAttribute);
+    EXPECT_TRUE(r.suggestions.empty());
+  }
+  auto mapping = gs.IntegrateTable(BroadwayCanonical(), results);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(gs.num_attributes(), 3);
+  EXPECT_GE(gs.IndexOf("SHOW_NAME"), 0);
+  EXPECT_GE(gs.IndexOf("THEATER"), 0);
+}
+
+TEST_F(GlobalSchemaTest, SecondSourceMatchesVariants) {
+  GlobalSchema gs({}, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results = gs.MatchTable(BroadwayVariant());
+  ASSERT_EQ(results.size(), 4u);
+  // title -> SHOW_NAME, venue -> THEATER, lowest_price -> CHEAPEST_PRICE
+  // should at least be suggested; seats is new.
+  for (const auto& r : results) {
+    if (r.source_attr == "seats") {
+      EXPECT_EQ(r.decision, MatchDecision::kNewAttribute);
+    } else {
+      ASSERT_FALSE(r.suggestions.empty()) << r.source_attr;
+      // Top suggestion must be the right concept.
+      const auto& top = gs.attribute(r.suggestions[0].global_index);
+      if (r.source_attr == "title") {
+        EXPECT_EQ(top.name, "SHOW_NAME");
+      }
+      if (r.source_attr == "venue") {
+        EXPECT_EQ(top.name, "THEATER");
+      }
+      if (r.source_attr == "lowest_price") {
+        EXPECT_EQ(top.name, "CHEAPEST_PRICE");
+      }
+    }
+  }
+}
+
+TEST_F(GlobalSchemaTest, IntegrationMergesProvenance) {
+  GlobalSchema gs({}, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results = gs.MatchTable(BroadwayVariant());
+  // Force all suggestions to resolve to their top candidate via review
+  // resolutions (covers the review path deterministically).
+  std::map<std::string, GlobalSchema::ReviewResolution> resolutions;
+  for (const auto& r : results) {
+    if (r.decision == MatchDecision::kNeedsReview) {
+      resolutions[r.source_attr] = {r.suggestions[0].global_index};
+    }
+  }
+  auto mapping = gs.IntegrateTable(BroadwayVariant(), results, resolutions);
+  ASSERT_TRUE(mapping.ok());
+  int g = gs.IndexOf("SHOW_NAME");
+  ASSERT_GE(g, 0);
+  // Value overlap (Matilda in both) should have driven an auto-accept
+  // or review-map; either way provenance reaches 2 sources.
+  EXPECT_GE(gs.attribute(g).provenance.size(), 2u);
+  EXPECT_EQ(gs.MappingOf("src1", "title"), g);
+}
+
+TEST_F(GlobalSchemaTest, ThresholdsControlRouting) {
+  GlobalSchemaOptions strict;
+  strict.accept_threshold = 0.999;  // nothing auto-accepts
+  strict.review_threshold = 0.10;
+  GlobalSchema gs(strict, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results = gs.MatchTable(BroadwayVariant());
+  int review = 0;
+  for (const auto& r : results) {
+    if (r.decision == MatchDecision::kNeedsReview) ++review;
+    EXPECT_NE(r.decision, MatchDecision::kAutoAccept);
+  }
+  EXPECT_GE(review, 3);
+
+  GlobalSchemaOptions loose;
+  loose.accept_threshold = 0.15;
+  loose.review_threshold = 0.10;
+  GlobalSchema gs2(loose, &syn_);
+  ASSERT_TRUE(gs2.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results2 = gs2.MatchTable(BroadwayVariant());
+  int accepted = 0;
+  for (const auto& r : results2) {
+    if (r.decision == MatchDecision::kAutoAccept) ++accepted;
+  }
+  EXPECT_GE(accepted, 3);
+}
+
+TEST_F(GlobalSchemaTest, ReviewDefaultsToNewAttribute) {
+  GlobalSchemaOptions opts;
+  opts.accept_threshold = 0.999;
+  GlobalSchema gs(opts, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  int before = gs.num_attributes();
+  auto results = gs.MatchTable(BroadwayVariant());
+  ASSERT_TRUE(gs.IntegrateTable(BroadwayVariant(), results).ok());
+  // Everything became a new attribute (conservative default).
+  EXPECT_EQ(gs.num_attributes(), before + 4);
+}
+
+TEST_F(GlobalSchemaTest, NameClashGetsSuffix) {
+  GlobalSchema gs({}, &syn_);
+  Schema s1({{"price", ValueType::kString}});
+  Table t1("a", s1);
+  (void)t1.Append({Value::Str("alpha")});
+  ASSERT_TRUE(gs.IntegrateTableAuto(t1).ok());
+  // A source whose "price" column holds completely different content
+  // and which we force to be new via thresholds:
+  gs.set_accept_threshold(1.01);
+  gs.set_review_threshold(1.01);
+  Schema s2({{"price", ValueType::kString}});
+  Table t2("b", s2);
+  (void)t2.Append({Value::Str("zzz")});
+  ASSERT_TRUE(gs.IntegrateTableAuto(t2).ok());
+  EXPECT_EQ(gs.num_attributes(), 2);
+  EXPECT_GE(gs.IndexOf("price_2"), 0);
+}
+
+TEST_F(GlobalSchemaTest, MismatchedResultsRejected) {
+  GlobalSchema gs({}, &syn_);
+  auto results = gs.MatchTable(BroadwayCanonical());
+  results.pop_back();
+  EXPECT_TRUE(gs.IntegrateTable(BroadwayCanonical(), results)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(GlobalSchemaTest, ReportsTrackDecisions) {
+  GlobalSchema gs({}, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayVariant()).ok());
+  ASSERT_EQ(gs.reports().size(), 2u);
+  EXPECT_EQ(gs.reports()[0].new_attributes, 3);
+  EXPECT_EQ(gs.reports()[0].auto_accepted, 0);
+  const auto& r1 = gs.reports()[1];
+  EXPECT_EQ(r1.auto_accepted + r1.sent_to_review + r1.new_attributes, 4);
+  // Later sources need less fresh schema than the first (Fig. 2 shape).
+  EXPECT_LT(r1.new_attributes, 4);
+}
+
+TEST_F(GlobalSchemaTest, SuggestionsRankedDescending) {
+  GlobalSchema gs({}, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results = gs.MatchTable(BroadwayVariant());
+  for (const auto& r : results) {
+    for (size_t i = 1; i < r.suggestions.size(); ++i) {
+      EXPECT_GE(r.suggestions[i - 1].score, r.suggestions[i].score);
+    }
+  }
+}
+
+TEST(MatchDecisionTest, Names) {
+  EXPECT_STREQ(MatchDecisionName(MatchDecision::kAutoAccept), "auto-accept");
+  EXPECT_STREQ(MatchDecisionName(MatchDecision::kNeedsReview),
+               "needs-review");
+  EXPECT_STREQ(MatchDecisionName(MatchDecision::kNewAttribute),
+               "new-attribute");
+}
+
+TEST_F(GlobalSchemaTest, MatchScoreExplainIsHumanReadable) {
+  GlobalSchema gs({}, &syn_);
+  ASSERT_TRUE(gs.IntegrateTableAuto(BroadwayCanonical()).ok());
+  auto results = gs.MatchTable(BroadwayVariant());
+  for (const auto& r : results) {
+    for (const auto& sug : r.suggestions) {
+      std::string e = sug.detail.Explain();
+      EXPECT_NE(e.find("name="), std::string::npos);
+      EXPECT_NE(e.find("->"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dt::match

@@ -1,0 +1,108 @@
+#include "ingest/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::ingest {
+namespace {
+
+using storage::DocType;
+
+TEST(JsonTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_EQ(ParseJson("42")->int_value(), 42);
+  EXPECT_EQ(ParseJson("-7")->int_value(), -7);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5")->double_value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3")->double_value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e-2")->double_value(), -0.015);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonTest, IntegerVsDouble) {
+  EXPECT_TRUE(ParseJson("3")->is_int());
+  EXPECT_TRUE(ParseJson("3.0")->is_double());
+  EXPECT_TRUE(ParseJson("3e0")->is_double());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto v = ParseJson(R"("Aé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonTest, SurrogatePair) {
+  auto v = ParseJson(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, NestedObject) {
+  auto v = ParseJson(R"({"a": {"b": [1, 2, {"c": "deep"}]}})");
+  ASSERT_TRUE(v.ok());
+  const auto* deep = v->FindPath("a.b.2.c");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_EQ(deep->string_value(), "deep");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->is_object());
+  EXPECT_EQ(ParseJson("{}")->fields().size(), 0u);
+  EXPECT_TRUE(ParseJson("[]")->is_array());
+  EXPECT_EQ(ParseJson("[]")->array_items().size(), 0u);
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  auto v = ParseJson("  {\n\t\"a\" :  1 ,\n \"b\": [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->int_value(), 1);
+}
+
+TEST(JsonTest, ErrorsAreCorruption) {
+  EXPECT_TRUE(ParseJson("").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("{").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("{\"a\":}").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("[1,]").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("tru").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("\"unterminated").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("1 2").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("{'a':1}").status().IsCorruption());
+  EXPECT_TRUE(ParseJson("-").status().IsCorruption());
+}
+
+TEST(JsonTest, DuplicateKeysPreserved) {
+  // Document model keeps both (like BSON); Find returns the first.
+  auto v = ParseJson(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->fields().size(), 2u);
+  EXPECT_EQ(v->Find("a")->int_value(), 1);
+}
+
+TEST(JsonLinesTest, ParsesEachLine) {
+  auto docs = ParseJsonLines("{\"a\":1}\n\n{\"a\":2}\n{\"a\":3}");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 3u);
+  EXPECT_EQ((*docs)[2].Find("a")->int_value(), 3);
+}
+
+TEST(JsonLinesTest, BadLineFailsWhole) {
+  EXPECT_TRUE(ParseJsonLines("{\"a\":1}\nnot json\n").status().IsCorruption());
+}
+
+TEST(JsonTest, RoundTripThroughToJson) {
+  const char* src = R"({"name":"Matilda","gross":960998,"pct":0.93,"tags":["award","london"],"venue":{"theater":"Shubert"}})";
+  auto v = ParseJson(src);
+  ASSERT_TRUE(v.ok());
+  auto v2 = ParseJson(v->ToJson());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(v->Equals(*v2));
+}
+
+}  // namespace
+}  // namespace dt::ingest

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dt {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MessageAboveLevelEmitted) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  DT_LOG(Warning) << "disk almost full: " << 93 << "%";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("disk almost full: 93%"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageBelowLevelSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  DT_LOG(Debug) << "noise";
+  DT_LOG(Info) << "more noise";
+  DT_LOG(Warning) << "still noise";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST_F(LoggingTest, ErrorAlwaysEmittedAtErrorLevel) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  DT_LOG(Error) << "boom";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dt

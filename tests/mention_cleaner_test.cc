@@ -1,0 +1,137 @@
+#include "clean/mention_cleaner.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/mention_labels.h"
+#include "ml/evaluation.h"
+
+namespace dt::clean {
+namespace {
+
+std::vector<LabeledMention> Data(int64_t n, uint64_t seed) {
+  datagen::MentionLabelOptions opts;
+  opts.num_mentions = n;
+  opts.seed = seed;
+  return datagen::GenerateMentionLabels(opts);
+}
+
+TEST(MentionCleanerTest, UntrainedKeepsEverything) {
+  MentionCleaner cleaner;
+  EXPECT_FALSE(cleaner.trained());
+  EXPECT_DOUBLE_EQ(cleaner.ScoreMention("Breaking News", "anything"), 1.0);
+  textparse::ParsedFragment frag;
+  frag.text = "Breaking News tonight";
+  textparse::EntityMention m;
+  m.surface = "Breaking News";
+  m.confidence = 0.6;
+  frag.mentions.push_back(m);
+  EXPECT_EQ(cleaner.FilterFragment(&frag), 0);
+  EXPECT_EQ(frag.mentions.size(), 1u);
+}
+
+TEST(MentionCleanerTest, TrainRequiresBothClasses) {
+  MentionCleaner cleaner;
+  EXPECT_TRUE(cleaner.Train({}).IsInvalidArgument());
+  std::vector<LabeledMention> only_pos = {{"Matilda", "saw Matilda", 1}};
+  EXPECT_TRUE(cleaner.Train(only_pos).IsInvalidArgument());
+}
+
+TEST(MentionCleanerTest, SeparatesRealFromGarbage) {
+  auto train = Data(3000, 1);
+  auto test = Data(1000, 2);
+  MentionCleaner cleaner;
+  ASSERT_TRUE(cleaner.Train(train).ok());
+  ml::BinaryMetrics m;
+  for (const auto& lm : test) {
+    int pred = cleaner.ScoreMention(lm.surface, lm.context) >= 0.5 ? 1 : 0;
+    if (pred == 1 && lm.label == 1) ++m.tp;
+    if (pred == 1 && lm.label == 0) ++m.fp;
+    if (pred == 0 && lm.label == 0) ++m.tn;
+    if (pred == 0 && lm.label == 1) ++m.fn;
+  }
+  EXPECT_GT(m.precision(), 0.85) << m.ToString();
+  EXPECT_GT(m.recall(), 0.85) << m.ToString();
+}
+
+TEST(MentionCleanerTest, FilterDropsGarbageKeepsEntities) {
+  MentionCleaner cleaner;
+  ASSERT_TRUE(cleaner.Train(Data(3000, 3)).ok());
+  textparse::ParsedFragment frag;
+  frag.text =
+      "Breaking News tickets for Matilda sold out within the hour "
+      "Subscribe Now";
+  auto add = [&](const char* surface, size_t offset, double conf) {
+    textparse::EntityMention m;
+    m.surface = surface;
+    m.canonical = surface;
+    m.offset = offset;
+    m.confidence = conf;
+    frag.mentions.push_back(m);
+  };
+  add("Breaking News", 0, 0.6);   // heuristic garbage
+  add("Matilda", 26, 0.6);        // heuristic but real
+  add("Subscribe Now", 60, 0.6);  // heuristic garbage
+  int dropped = cleaner.FilterFragment(&frag);
+  EXPECT_EQ(dropped, 2);
+  ASSERT_EQ(frag.mentions.size(), 1u);
+  EXPECT_EQ(frag.mentions[0].surface, "Matilda");
+}
+
+TEST(MentionCleanerTest, TrustedMentionsBypassClassifier) {
+  MentionCleaner cleaner;
+  ASSERT_TRUE(cleaner.Train(Data(2000, 5)).ok());
+  textparse::ParsedFragment frag;
+  frag.text = "Breaking News everywhere";
+  textparse::EntityMention m;
+  m.surface = "Breaking News";
+  m.offset = 0;
+  m.confidence = 1.0;  // gazetteer hit: trusted
+  frag.mentions.push_back(m);
+  EXPECT_EQ(cleaner.FilterFragment(&frag), 0);
+  EXPECT_EQ(frag.mentions.size(), 1u);
+}
+
+TEST(MentionCleanerTest, ThresholdControlsAggressiveness) {
+  auto train = Data(2000, 7);
+  MentionCleanerOptions lax;
+  lax.keep_threshold = 0.01;
+  MentionCleanerOptions strict;
+  strict.keep_threshold = 0.99;
+  MentionCleaner lax_cleaner(lax), strict_cleaner(strict);
+  ASSERT_TRUE(lax_cleaner.Train(train).ok());
+  ASSERT_TRUE(strict_cleaner.Train(train).ok());
+  auto make_frag = [] {
+    textparse::ParsedFragment frag;
+    frag.text = "the producers of Goodfellas announced an extension";
+    textparse::EntityMention m;
+    m.surface = "Goodfellas";
+    m.offset = 17;
+    m.confidence = 0.6;
+    frag.mentions.push_back(m);
+    return frag;
+  };
+  auto f1 = make_frag();
+  EXPECT_EQ(lax_cleaner.FilterFragment(&f1), 0);
+  // A 0.99 threshold is aggressive; real-but-uncertain mentions may go.
+  auto f2 = make_frag();
+  int dropped = strict_cleaner.FilterFragment(&f2);
+  EXPECT_GE(dropped, 0);  // must not crash; may drop
+}
+
+TEST(MentionLabelsTest, GeneratorBalancedAndDeterministic) {
+  auto a = Data(800, 9);
+  auto b = Data(800, 9);
+  ASSERT_EQ(a.size(), 800u);
+  int64_t pos = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].surface, b[i].surface);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_FALSE(a[i].surface.empty());
+    EXPECT_NE(a[i].context.find(a[i].surface), std::string::npos);
+    if (a[i].label == 1) ++pos;
+  }
+  EXPECT_NEAR(pos / 800.0, 0.5, 0.07);
+}
+
+}  // namespace
+}  // namespace dt::clean

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/evaluation.h"
+#include "ml/features.h"
+
+namespace dt::ml {
+namespace {
+
+TEST(FeatureDictionaryTest, AssignsStableIds) {
+  FeatureDictionary dict;
+  int a = dict.IdOf("u:hello", true);
+  int b = dict.IdOf("u:world", true);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.IdOf("u:hello", true), a);
+  EXPECT_EQ(dict.IdOf("u:hello", false), a);
+  EXPECT_EQ(dict.IdOf("u:unseen", false), -1);
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_EQ(dict.NameOf(a), "u:hello");
+  EXPECT_EQ(dict.NameOf(99), "");
+}
+
+TEST(TextFeaturizerTest, UnigramsAndBigrams) {
+  FeatureDictionary dict;
+  TextFeaturizerOptions opts;
+  opts.char_qgrams = 0;
+  TextFeaturizer feat(&dict, opts);
+  auto fv = feat.Featurize("the walking dead", true);
+  EXPECT_GE(dict.IdOf("u:walking", false), 0);
+  EXPECT_GE(dict.IdOf("b:the_walking", false), 0);
+  EXPECT_GE(dict.IdOf("b:walking_dead", false), 0);
+  EXPECT_EQ(fv.size(), 5u);  // 3 unigrams + 2 bigrams
+}
+
+TEST(TextFeaturizerTest, InferenceDoesNotGrowDictionary) {
+  FeatureDictionary dict;
+  TextFeaturizerOptions opts;
+  opts.char_qgrams = 0;  // qgrams of different words can still collide
+  TextFeaturizer feat(&dict, opts);
+  (void)feat.Featurize("alpha beta", true);
+  int size = dict.size();
+  auto fv = feat.Featurize("gamma delta", false);
+  EXPECT_EQ(dict.size(), size);
+  EXPECT_TRUE(fv.empty());
+}
+
+TEST(TextFeaturizerTest, QGramsCatchTypos) {
+  FeatureDictionary dict;
+  TextFeaturizer feat(&dict);
+  auto a = feat.Featurize("matilda", true);
+  auto b = feat.Featurize("matlida", false);  // typo, same char 3-grams mostly
+  int shared = 0;
+  for (const auto& [id, _] : b) shared += a.count(id);
+  EXPECT_GT(shared, 2);
+}
+
+std::vector<Example> MakeSeparableData(int n, uint64_t seed) {
+  // Two classes with overlapping vocab: class 1 has "dup" tokens with
+  // high probability.
+  Rng rng(seed);
+  FeatureDictionary dict;
+  std::vector<Example> out;
+  for (int i = 0; i < n; ++i) {
+    Example ex;
+    ex.label = static_cast<int>(rng.Uniform(2));
+    for (int f = 0; f < 6; ++f) {
+      std::string tok;
+      if (ex.label == 1) {
+        tok = rng.Bernoulli(0.75) ? "dup" + std::to_string(rng.Uniform(4))
+                                  : "bg" + std::to_string(rng.Uniform(12));
+      } else {
+        tok = rng.Bernoulli(0.75) ? "non" + std::to_string(rng.Uniform(4))
+                                  : "bg" + std::to_string(rng.Uniform(12));
+      }
+      ex.features[dict.IdOf(tok, true)] += 1.0;
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+TEST(NaiveBayesTest, LearnsSeparableData) {
+  auto data = MakeSeparableData(600, 7);
+  std::vector<Example> train(data.begin(), data.begin() + 400);
+  std::vector<Example> test(data.begin() + 400, data.end());
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(train).ok());
+  BinaryMetrics m = Evaluate(nb, test);
+  EXPECT_GT(m.accuracy(), 0.85);
+  EXPECT_GT(m.f1(), 0.85);
+}
+
+TEST(NaiveBayesTest, RejectsEmptyAndSingleClass) {
+  NaiveBayesClassifier nb;
+  EXPECT_TRUE(nb.Train({}).IsInvalidArgument());
+  Example only_pos;
+  only_pos.label = 1;
+  only_pos.features[0] = 1;
+  EXPECT_TRUE(nb.Train({only_pos}).IsInvalidArgument());
+  Example bad;
+  bad.label = 2;
+  EXPECT_TRUE(nb.Train({bad}).IsInvalidArgument());
+}
+
+TEST(NaiveBayesTest, UntrainedPredictsHalf) {
+  NaiveBayesClassifier nb;
+  EXPECT_DOUBLE_EQ(nb.PredictProb({}), 0.5);
+}
+
+TEST(NaiveBayesTest, UnseenFeaturesHandled) {
+  auto data = MakeSeparableData(200, 11);
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(data).ok());
+  FeatureVector unseen;
+  unseen[999999] = 1.0;
+  double p = nb.PredictProb(unseen);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  auto data = MakeSeparableData(600, 13);
+  std::vector<Example> train(data.begin(), data.begin() + 400);
+  std::vector<Example> test(data.begin() + 400, data.end());
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Train(train).ok());
+  BinaryMetrics m = Evaluate(lr, test);
+  EXPECT_GT(m.accuracy(), 0.85);
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  auto data = MakeSeparableData(200, 17);
+  LogisticRegression a, b;
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LogisticRegressionTest, RejectsBadInput) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.Train({}).IsInvalidArgument());
+}
+
+TEST(MetricsTest, ConfusionMath) {
+  BinaryMetrics m;
+  m.tp = 8;
+  m.fp = 2;
+  m.tn = 85;
+  m.fn = 5;
+  EXPECT_DOUBLE_EQ(m.precision(), 0.8);
+  EXPECT_NEAR(m.recall(), 8.0 / 13.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.93);
+  EXPECT_GT(m.f1(), 0.0);
+  BinaryMetrics zero;
+  EXPECT_DOUBLE_EQ(zero.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.f1(), 0.0);
+}
+
+TEST(MetricsTest, AddAccumulates) {
+  BinaryMetrics a, b;
+  a.tp = 1;
+  b.tp = 2;
+  b.fn = 3;
+  a.Add(b);
+  EXPECT_EQ(a.tp, 3);
+  EXPECT_EQ(a.fn, 3);
+}
+
+TEST(MetricsTest, ToStringContainsAll) {
+  BinaryMetrics m;
+  m.tp = 1;
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("P="), std::string::npos);
+  EXPECT_NE(s.find("R="), std::string::npos);
+  EXPECT_NE(s.find("tp=1"), std::string::npos);
+}
+
+TEST(CrossValidationTest, TenFoldOnSeparableData) {
+  auto data = MakeSeparableData(800, 23);
+  auto result = CrossValidate(
+      [] { return std::make_unique<NaiveBayesClassifier>(); }, data, 10, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->folds.size(), 10u);
+  EXPECT_GT(result->mean_precision(), 0.8);
+  EXPECT_GT(result->mean_recall(), 0.8);
+  // Pooled counts cover every example exactly once.
+  EXPECT_EQ(result->pooled.tp + result->pooled.fp + result->pooled.tn +
+                result->pooled.fn,
+            800);
+}
+
+TEST(CrossValidationTest, RejectsBadK) {
+  auto data = MakeSeparableData(100, 29);
+  auto r = CrossValidate(
+      [] { return std::make_unique<NaiveBayesClassifier>(); }, data, 1);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CrossValidationTest, RejectsTooFewPerClass) {
+  std::vector<Example> tiny;
+  for (int i = 0; i < 5; ++i) {
+    Example e;
+    e.label = i % 2;
+    e.features[i] = 1;
+    tiny.push_back(e);
+  }
+  auto r = CrossValidate(
+      [] { return std::make_unique<NaiveBayesClassifier>(); }, tiny, 10);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed) {
+  auto data = MakeSeparableData(300, 31);
+  auto a = CrossValidate(
+      [] { return std::make_unique<NaiveBayesClassifier>(); }, data, 5, 7);
+  auto b = CrossValidate(
+      [] { return std::make_unique<NaiveBayesClassifier>(); }, data, 5, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->folds.size(); ++i) {
+    EXPECT_EQ(a->folds[i].tp, b->folds[i].tp);
+    EXPECT_EQ(a->folds[i].fp, b->folds[i].fp);
+  }
+}
+
+}  // namespace
+}  // namespace dt::ml

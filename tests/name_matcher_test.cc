@@ -1,0 +1,110 @@
+#include "match/name_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::match {
+namespace {
+
+class NameMatcherTest : public ::testing::Test {
+ protected:
+  SynonymDictionary syn_ = SynonymDictionary::Default();
+};
+
+TEST_F(NameMatcherTest, ExactMatchIsOne) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("SHOW_NAME", "show_name", &syn_), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("price", "PRICE", &syn_), 1.0);
+}
+
+TEST_F(NameMatcherTest, SpellingVariant) {
+  double s = NameSimilarity("theater", "theatre", &syn_);
+  EXPECT_GT(s, 0.7);
+}
+
+TEST_F(NameMatcherTest, SynonymsScoreHigh) {
+  double s = NameSimilarity("price", "cost", &syn_);
+  EXPECT_GT(s, 0.6);
+  // Without the dictionary the same pair is weak.
+  double raw = NameSimilarity("price", "cost", nullptr);
+  EXPECT_LT(raw, s);
+}
+
+TEST_F(NameMatcherTest, MultiTokenSynonyms) {
+  double s = NameSimilarity("show_name", "production_title", &syn_);
+  EXPECT_GT(s, 0.6);
+}
+
+TEST_F(NameMatcherTest, PartialContainment) {
+  double s = NameSimilarity("price", "cheapest_price", &syn_);
+  EXPECT_GT(s, 0.35);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST_F(NameMatcherTest, UnrelatedNamesScoreLow) {
+  EXPECT_LT(NameSimilarity("theater", "discount_pct", &syn_), 0.4);
+  EXPECT_LT(NameSimilarity("phone", "seats", &syn_), 0.4);
+}
+
+TEST_F(NameMatcherTest, SignalsPopulated) {
+  NameMatchSignals s = ComputeNameSignals("show_name", "ShowName", &syn_);
+  EXPECT_DOUBLE_EQ(s.token_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(s.synonym_jaccard, 1.0);
+  EXPECT_GT(s.qgram_jaccard, 0.3);
+  EXPECT_LT(s.exact, 1.0);  // underscore differs
+  EXPECT_GE(s.Combined(), 0.9);
+  EXPECT_LT(s.Combined(), 1.0);  // capped below exact
+}
+
+TEST_F(NameMatcherTest, CombinedNeverExceedsOne) {
+  const char* names[] = {"a", "price", "SHOW_NAME", "cheapest_price",
+                         "theatre", "x_y_z"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      double s = NameSimilarity(a, b, &syn_);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_F(NameMatcherTest, NullDictionaryWorks) {
+  NameMatchSignals s = ComputeNameSignals("price", "cost", nullptr);
+  EXPECT_DOUBLE_EQ(s.synonym_jaccard, s.token_jaccard);
+}
+
+// Discrimination property: true matches of the FTABLES variant pairs
+// always outrank a fixed set of impostors.
+struct VariantCase {
+  const char* canonical;
+  const char* variant;
+};
+
+class VariantDiscriminationTest : public ::testing::TestWithParam<VariantCase> {
+ protected:
+  SynonymDictionary syn_ = SynonymDictionary::Default();
+};
+
+TEST_P(VariantDiscriminationTest, TrueMatchBeatsImpostors) {
+  auto [canonical, variant] = GetParam();
+  double true_score = NameSimilarity(canonical, variant, &syn_);
+  const char* impostors[] = {"DISCOUNT", "SEATS", "RUNTIME", "CITY"};
+  for (const char* imp : impostors) {
+    if (std::string(imp) == canonical) continue;
+    EXPECT_GT(true_score, NameSimilarity(imp, variant, &syn_))
+        << canonical << " vs " << variant << " lost to " << imp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FtablesVariants, VariantDiscriminationTest,
+    ::testing::Values(VariantCase{"SHOW_NAME", "show"},
+                      VariantCase{"SHOW_NAME", "title"},
+                      VariantCase{"THEATER", "venue"},
+                      VariantCase{"THEATER", "theatre"},
+                      VariantCase{"PERFORMANCE", "showtimes"},
+                      VariantCase{"CHEAPEST_PRICE", "lowest_price"},
+                      VariantCase{"FIRST", "opening_date"},
+                      VariantCase{"PHONE", "tel"},
+                      VariantCase{"URL", "website"}));
+
+}  // namespace
+}  // namespace dt::match

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace dt::relational {
+namespace {
+
+TEST(ValueTest, Construction) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Str("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Str("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(2).Equals(Value::Double(2.0)));
+  EXPECT_FALSE(Value::Int(2).Equals(Value::Double(2.5)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value::Str("a").Equals(Value::Str("a")));
+  EXPECT_FALSE(Value::Str("a").Equals(Value::Int(1)));
+}
+
+TEST(ValueTest, CompareOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(99).Compare(Value::Str("a")), 0);
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+  EXPECT_GT(Value::Str("b").Compare(Value::Str("a")), 0);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute({"name", ValueType::kString}).ok());
+  ASSERT_TRUE(s.AddAttribute({"price", ValueType::kDouble}).ok());
+  EXPECT_EQ(s.num_attributes(), 2);
+  ASSERT_TRUE(s.IndexOf("price").has_value());
+  EXPECT_EQ(*s.IndexOf("price"), 1);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  EXPECT_TRUE(s.Contains("name"));
+}
+
+TEST(SchemaTest, DuplicateRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute({"a", ValueType::kInt}).ok());
+  EXPECT_TRUE(s.AddAttribute({"a", ValueType::kString}).IsAlreadyExists());
+}
+
+TEST(SchemaTest, ConstructorDedupsKeepingFirst) {
+  Schema s({{"a", ValueType::kInt}, {"a", ValueType::kString},
+            {"b", ValueType::kBool}});
+  EXPECT_EQ(s.num_attributes(), 2);
+  EXPECT_EQ(s.attribute(0).type, ValueType::kInt);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"x", ValueType::kInt}, {"y", ValueType::kString}});
+  EXPECT_EQ(s.ToString(), "x:int, y:string");
+}
+
+Table MakeShows() {
+  Schema s({{"show", ValueType::kString},
+            {"price", ValueType::kDouble},
+            {"seats", ValueType::kInt}});
+  Table t("shows", s);
+  EXPECT_TRUE(t.Append({Value::Str("Matilda"), Value::Double(27.0),
+                        Value::Int(1400)}).ok());
+  EXPECT_TRUE(t.Append({Value::Str("Wicked"), Value::Double(89.0),
+                        Value::Int(1900)}).ok());
+  EXPECT_TRUE(t.Append({Value::Str("Chicago"), Value::Double(49.5),
+                        Value::Int(1100)}).ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeShows();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.at(0, "show").string_value(), "Matilda");
+  EXPECT_DOUBLE_EQ(t.at(1, "price").double_value(), 89.0);
+  EXPECT_TRUE(t.at(0, "missing").is_null());
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t = MakeShows();
+  EXPECT_TRUE(t.Append({Value::Str("x")}).IsInvalidArgument());
+}
+
+TEST(TableTest, ColumnExtraction) {
+  Table t = MakeShows();
+  auto col = t.Column("price");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[2].double_value(), 49.5);
+  EXPECT_TRUE(t.Column("nope").empty());
+}
+
+TEST(TableTest, FilterKeepsSchemaAndMatches) {
+  Table t = MakeShows();
+  Table cheap = t.Filter(
+      [&](const Row& r) { return r[1].double_value() < 50.0; });
+  EXPECT_EQ(cheap.num_rows(), 2);
+  EXPECT_EQ(cheap.schema().num_attributes(), 3);
+  EXPECT_EQ(cheap.at(0, "show").string_value(), "Matilda");
+}
+
+TEST(TableTest, SourceIdPropagatesThroughFilter) {
+  Table t = MakeShows();
+  t.set_source_id("ftables/01");
+  Table f = t.Filter([](const Row&) { return true; });
+  EXPECT_EQ(f.source_id(), "ftables/01");
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  Table t = MakeShows();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("show"), std::string::npos);
+  EXPECT_NE(s.find("Matilda"), std::string::npos);
+  EXPECT_NE(s.find("3 rows"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeShows();
+  std::string s = t.ToString(1);
+  EXPECT_NE(s.find("2 more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeShows()).ok());
+  EXPECT_EQ(cat.num_tables(), 1);
+  auto t = cat.GetTable("shows");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.ValueOrDie()->num_rows(), 3);
+  EXPECT_TRUE(cat.AddTable(MakeShows()).status().IsAlreadyExists());
+  ASSERT_TRUE(cat.DropTable("shows").ok());
+  EXPECT_TRUE(cat.GetTable("shows").status().IsNotFound());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  Schema s({{"a", ValueType::kInt}});
+  ASSERT_TRUE(cat.AddTable(Table("zzz", s)).ok());
+  ASSERT_TRUE(cat.AddTable(Table("aaa", s)).ok());
+  auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aaa");
+}
+
+}  // namespace
+}  // namespace dt::relational

@@ -1,0 +1,110 @@
+/// Tests for the semi-structured ingestion arrow of Fig. 1: JSON ->
+/// flatten -> clean/transform -> schema-integrate, through the facade.
+
+#include <gtest/gtest.h>
+
+#include "fusion/data_tamer.h"
+
+namespace dt::fusion {
+namespace {
+
+const char* kListingsJson =
+    R"({"show": "Matilda", "venue": {"name": "Shubert", "city": "New York"}, "prices": [{"tier": "rush", "amount": "$27"}, {"tier": "orchestra", "amount": "$137"}]})"
+    "\n"
+    R"({"show": "Wicked", "venue": {"name": "Gershwin", "city": "New York"}, "prices": [{"tier": "rush", "amount": "$35"}]})"
+    "\n";
+
+TEST(SemiStructuredTest, JsonLinesFlattenAndIntegrate) {
+  DataTamer tamer;
+  auto report = tamer.IngestJsonLines("web_listings", kListingsJson);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // 3 exploded rows: Matilda x2 price tiers + Wicked x1.
+  auto table = tamer.catalog().GetTable("web_listings");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.ValueOrDie()->num_rows(), 3);
+  // Dotted paths became attributes.
+  EXPECT_TRUE(table.ValueOrDie()->schema().Contains("venue.name"));
+  EXPECT_TRUE(table.ValueOrDie()->schema().Contains("prices.amount"));
+  // Registered as a semi-structured source.
+  auto src = tamer.registry().Get("semistructured/web_listings");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->kind, ingest::SourceKind::kSemiStructured);
+  EXPECT_EQ(src->records_ingested, 3);
+}
+
+TEST(SemiStructuredTest, MatchesAgainstExistingGlobalSchema) {
+  DataTamer tamer;
+  // Seed the global schema with a canonical structured source.
+  relational::Schema schema({{"SHOW_NAME", relational::ValueType::kString},
+                             {"THEATER", relational::ValueType::kString}});
+  relational::Table seed("canonical", schema);
+  (void)seed.Append({relational::Value::Str("Matilda"),
+                     relational::Value::Str("Shubert")});
+  (void)seed.Append({relational::Value::Str("Wicked"),
+                     relational::Value::Str("Gershwin")});
+  ASSERT_TRUE(tamer.IngestStructuredTable(std::move(seed)).ok());
+
+  // Semi-structured source with variant names + overlapping values;
+  // accept the top suggestion in the review band (oracle resolver).
+  ReviewResolver resolver = [](const match::AttributeMatchResult& res,
+                               const match::GlobalSchema&) {
+    return res.suggestions.empty() ? -1 : res.suggestions[0].global_index;
+  };
+  auto report = tamer.IngestJsonLines("listings", kListingsJson, resolver);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // "show" should map onto SHOW_NAME, "venue.name" onto THEATER.
+  int g_show = tamer.global_schema().MappingOf("listings", "show");
+  ASSERT_GE(g_show, 0);
+  EXPECT_EQ(tamer.global_schema().attribute(g_show).name, "SHOW_NAME");
+  int g_venue = tamer.global_schema().MappingOf("listings", "venue.name");
+  ASSERT_GE(g_venue, 0);
+  EXPECT_EQ(tamer.global_schema().attribute(g_venue).name, "THEATER");
+}
+
+TEST(SemiStructuredTest, BadJsonRejected) {
+  DataTamer tamer;
+  auto r = tamer.IngestJsonLines("bad", "{\"a\": }\n");
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_EQ(tamer.catalog().num_tables(), 0);
+}
+
+TEST(SemiStructuredTest, DuplicateSourceNameRejected) {
+  DataTamer tamer;
+  ASSERT_TRUE(tamer.IngestJsonLines("dup", "{\"a\": 1}\n").ok());
+  EXPECT_TRUE(tamer.IngestJsonLines("dup", "{\"a\": 2}\n")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(SemiStructuredTest, ScalarArrayJoinsIntoOneRow) {
+  DataTamer tamer;
+  auto report = tamer.IngestSemiStructuredSource(
+      "tags", {[] {
+        auto doc = storage::DocValue::Object();
+        doc.Add("name", storage::DocValue::Str("Matilda"));
+        auto tags = storage::DocValue::Array();
+        tags.Push(storage::DocValue::Str("award"));
+        tags.Push(storage::DocValue::Str("london"));
+        doc.Add("tags", tags);
+        return doc;
+      }()});
+  ASSERT_TRUE(report.ok());
+  auto table = tamer.catalog().GetTable("tags").ValueOrDie();
+  EXPECT_EQ(table->num_rows(), 1);
+  EXPECT_EQ(table->at(0, "tags").string_value(), "award | london");
+}
+
+TEST(SemiStructuredTest, CurrencyColumnsNormalizedOnIngest) {
+  DataTamer tamer;
+  const char* euros =
+      "{\"name\": \"Matilda\", \"price\": \"\xe2\x82\xac""20\"}\n"
+      "{\"name\": \"Wicked\", \"price\": \"\xe2\x82\xac""70\"}\n";
+  ASSERT_TRUE(tamer.IngestJsonLines("euro_feed", euros).ok());
+  auto table = tamer.catalog().GetTable("euro_feed").ValueOrDie();
+  // 1.30 default rate: €20 -> $26.
+  EXPECT_EQ(table->at(0, "price").string_value(), "$26");
+  EXPECT_EQ(table->at(1, "price").string_value(), "$91");
+}
+
+}  // namespace
+}  // namespace dt::fusion

@@ -1,0 +1,65 @@
+#include "ingest/source_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::ingest {
+namespace {
+
+DataSource Make(const std::string& id, SourceKind kind) {
+  DataSource s;
+  s.id = id;
+  s.name = "name of " + id;
+  s.kind = kind;
+  s.trust_priority = 5;
+  return s;
+}
+
+TEST(SourceRegistryTest, RegisterAndGet) {
+  SourceRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("ftables/01", SourceKind::kStructured)).ok());
+  auto s = reg.Get("ftables/01");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->name, "name of ftables/01");
+  EXPECT_EQ(s->kind, SourceKind::kStructured);
+  EXPECT_EQ(s->trust_priority, 5);
+}
+
+TEST(SourceRegistryTest, DuplicateRejected) {
+  SourceRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("a", SourceKind::kText)).ok());
+  EXPECT_TRUE(reg.Register(Make("a", SourceKind::kText)).IsAlreadyExists());
+}
+
+TEST(SourceRegistryTest, GetMissing) {
+  SourceRegistry reg;
+  EXPECT_TRUE(reg.Get("nope").status().IsNotFound());
+}
+
+TEST(SourceRegistryTest, RecordIngestAccumulates) {
+  SourceRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("s", SourceKind::kSemiStructured)).ok());
+  ASSERT_TRUE(reg.RecordIngest("s", 100).ok());
+  ASSERT_TRUE(reg.RecordIngest("s", 50).ok());
+  EXPECT_EQ(reg.Get("s")->records_ingested, 150);
+  EXPECT_TRUE(reg.RecordIngest("nope", 1).IsNotFound());
+}
+
+TEST(SourceRegistryTest, AllSortedById) {
+  SourceRegistry reg;
+  ASSERT_TRUE(reg.Register(Make("b", SourceKind::kText)).ok());
+  ASSERT_TRUE(reg.Register(Make("a", SourceKind::kText)).ok());
+  auto all = reg.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, "a");
+  EXPECT_EQ(reg.num_sources(), 2);
+}
+
+TEST(SourceRegistryTest, KindNames) {
+  EXPECT_STREQ(SourceKindName(SourceKind::kStructured), "structured");
+  EXPECT_STREQ(SourceKindName(SourceKind::kSemiStructured),
+               "semi-structured");
+  EXPECT_STREQ(SourceKindName(SourceKind::kText), "text");
+}
+
+}  // namespace
+}  // namespace dt::ingest

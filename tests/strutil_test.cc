@@ -1,0 +1,263 @@
+#include "common/strutil.h"
+
+#include <gtest/gtest.h>
+
+namespace dt {
+namespace {
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("Hello World!"), "hello world!");
+  EXPECT_EQ(ToUpper("Hello"), "HELLO");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\na b\r "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitTest, EmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  auto parts = SplitWhitespace("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("http", "http://"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(IsDigitsTest, Basics) {
+  EXPECT_TRUE(IsDigits("12345"));
+  EXPECT_FALSE(IsDigits("12a45"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("-1"));
+}
+
+TEST(NormalizeWhitespaceTest, CollapsesAndTrims) {
+  EXPECT_EQ(NormalizeWhitespace("  a \t\t b  "), "a b");
+  EXPECT_EQ(NormalizeWhitespace("x"), "x");
+  EXPECT_EQ(NormalizeWhitespace(" \n "), "");
+}
+
+TEST(NameTokensTest, SnakeCase) {
+  auto t = NameTokens("show_name");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "show");
+  EXPECT_EQ(t[1], "name");
+}
+
+TEST(NameTokensTest, CamelCase) {
+  auto t = NameTokens("ShowName");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "show");
+  EXPECT_EQ(t[1], "name");
+}
+
+TEST(NameTokensTest, KebabAndDots) {
+  EXPECT_EQ(NameTokens("cheapest-price").size(), 2u);
+  EXPECT_EQ(NameTokens("payload.entities.type").size(), 3u);
+}
+
+TEST(NameTokensTest, AcronymBoundary) {
+  auto t = NameTokens("URLName");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "url");
+  EXPECT_EQ(t[1], "name");
+}
+
+TEST(NameTokensTest, DigitBoundary) {
+  auto t = NameTokens("col2name");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "2");
+}
+
+TEST(WordTokensTest, PunctuationSeparates) {
+  auto t = WordTokens("It's 9pm!");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "it");
+  EXPECT_EQ(t[1], "s");
+  EXPECT_EQ(t[2], "9pm");
+}
+
+TEST(QGramsTest, PaddedGrams) {
+  auto g = QGrams("ab", 2);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], "#a");
+  EXPECT_EQ(g[1], "ab");
+  EXPECT_EQ(g[2], "b#");
+}
+
+TEST(QGramsTest, EmptyInput) {
+  auto g = QGrams("", 2);
+  // "#" + "#" = "##" -> one gram
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], "##");
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+}
+
+TEST(LevenshteinTest, SimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  double s = LevenshteinSimilarity("theater", "theatre");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+  EXPECT_GE(JaroWinklerSimilarity("price", "prices"),
+            JaroSimilarity("price", "prices"));
+}
+
+TEST(JaccardTest, SetSemantics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "a"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_NEAR(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5, 1e-12);
+}
+
+TEST(DiceTest, Basics) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a"}, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_NEAR(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5, 1e-12);
+}
+
+TEST(QGramJaccardTest, SimilarStrings) {
+  double s = QGramJaccard("theater", "theatre", 2);
+  EXPECT_GT(s, 0.4);
+  EXPECT_DOUBLE_EQ(QGramJaccard("abc", "abc", 2), 1.0);
+}
+
+TEST(TokenCosineTest, Basics) {
+  EXPECT_DOUBLE_EQ(TokenCosine({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(TokenCosine({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(TokenCosine({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TokenCosine({}, {"a"}), 0.0);
+  // Frequency matters: {"a","a"} vs {"a"} still cosine 1.
+  EXPECT_DOUBLE_EQ(TokenCosine({"a", "a"}, {"a"}), 1.0);
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubstring("broadway", "roadway"), 7);
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0);
+  EXPECT_EQ(LongestCommonSubstring("", "x"), 0);
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("2.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(FormatDoubleTest, TrimsZeros) {
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(27.0), "27");
+  EXPECT_EQ(FormatDouble(0.125, 6), "0.125");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+}
+
+TEST(WithThousandsSepTest, Grouping) {
+  EXPECT_EQ(WithThousandsSep(17731744), "17,731,744");
+  EXPECT_EQ(WithThousandsSep(0), "0");
+  EXPECT_EQ(WithThousandsSep(999), "999");
+  EXPECT_EQ(WithThousandsSep(1000), "1,000");
+  EXPECT_EQ(WithThousandsSep(-1234567), "-1,234,567");
+}
+
+// Property-style sweep: all similarity measures are symmetric,
+// bounded in [0,1], and reflexive at 1 for identical inputs.
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricBoundedReflexive) {
+  auto [a, b] = GetParam();
+  auto check = [&](double ab, double ba) {
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  };
+  check(LevenshteinSimilarity(a, b), LevenshteinSimilarity(b, a));
+  check(JaroSimilarity(a, b), JaroSimilarity(b, a));
+  check(JaroWinklerSimilarity(a, b), JaroWinklerSimilarity(b, a));
+  check(QGramJaccard(a, b, 2), QGramJaccard(b, a, 2));
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SimilarityPropertyTest,
+    ::testing::Values(std::make_pair("show_name", "SHOW_NAME"),
+                      std::make_pair("theater", "theatre"),
+                      std::make_pair("price", "cheapest_price"),
+                      std::make_pair("Matilda", "Mathilda"),
+                      std::make_pair("a", "completely different"),
+                      std::make_pair("", "nonempty"),
+                      std::make_pair("x", "x")));
+
+}  // namespace
+}  // namespace dt

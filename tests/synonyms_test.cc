@@ -1,0 +1,67 @@
+#include "match/synonyms.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::match {
+namespace {
+
+TEST(SynonymsTest, BasicGroup) {
+  SynonymDictionary d;
+  d.AddGroup({"price", "cost", "fee"});
+  EXPECT_TRUE(d.AreSynonyms("price", "cost"));
+  EXPECT_TRUE(d.AreSynonyms("COST", "Fee"));
+  EXPECT_FALSE(d.AreSynonyms("price", "name"));
+}
+
+TEST(SynonymsTest, SelfSynonymAlways) {
+  SynonymDictionary d;
+  EXPECT_TRUE(d.AreSynonyms("anything", "anything"));
+  EXPECT_TRUE(d.AreSynonyms("X", "x"));
+}
+
+TEST(SynonymsTest, GroupMergeOnSharedWord) {
+  SynonymDictionary d;
+  d.AddGroup({"price", "cost"});
+  d.AddGroup({"cost", "fare"});
+  EXPECT_TRUE(d.AreSynonyms("price", "fare"));
+}
+
+TEST(SynonymsTest, CanonicalizeStable) {
+  SynonymDictionary d;
+  d.AddGroup({"theater", "theatre", "venue"});
+  EXPECT_EQ(d.Canonicalize("theatre"), d.Canonicalize("venue"));
+  EXPECT_EQ(d.Canonicalize("unregistered"), "unregistered");
+}
+
+TEST(SynonymsTest, SynonymJaccard) {
+  SynonymDictionary d;
+  d.AddGroup({"show", "performance"});
+  d.AddGroup({"name", "title"});
+  double s = d.SynonymJaccard({"show", "name"}, {"performance", "title"});
+  EXPECT_DOUBLE_EQ(s, 1.0);
+  EXPECT_DOUBLE_EQ(d.SynonymJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(d.SynonymJaccard({"a"}, {"b"}), 0.0);
+}
+
+TEST(SynonymsTest, DefaultCoversDemoVocabulary) {
+  SynonymDictionary d = SynonymDictionary::Default();
+  EXPECT_TRUE(d.AreSynonyms("theater", "theatre"));
+  EXPECT_TRUE(d.AreSynonyms("theater", "venue"));
+  EXPECT_TRUE(d.AreSynonyms("price", "cost"));
+  EXPECT_TRUE(d.AreSynonyms("show", "production"));
+  EXPECT_TRUE(d.AreSynonyms("performance", "showtimes"));
+  EXPECT_TRUE(d.AreSynonyms("first", "opening"));
+  EXPECT_TRUE(d.AreSynonyms("name", "title"));
+  EXPECT_TRUE(d.AreSynonyms("phone", "tel"));
+  EXPECT_TRUE(d.AreSynonyms("url", "website"));
+  EXPECT_FALSE(d.AreSynonyms("price", "theater"));
+}
+
+TEST(SynonymsTest, EmptyGroupIgnored) {
+  SynonymDictionary d;
+  d.AddGroup({});
+  EXPECT_EQ(d.num_tokens(), 0);
+}
+
+}  // namespace
+}  // namespace dt::match

@@ -1,0 +1,120 @@
+#include "query/text_search.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::query {
+namespace {
+
+using storage::Collection;
+using storage::DocBuilder;
+using storage::DocId;
+
+Collection MakeFragments() {
+  Collection coll("dt.instance");
+  const char* texts[] = {
+      "Matilda grossed 960,998 this week at the Shubert.",
+      "Matilda an award-winning import from London.",
+      "Wicked fans lined the block outside the Gershwin.",
+      "The Walking Dead dominated every feed again.",
+      "Box office tracking shows Matilda and Wicked leading.",
+  };
+  for (const char* t : texts) {
+    coll.Insert(DocBuilder().Set("text", t).Set("source", "news").Build());
+  }
+  return coll;
+}
+
+TEST(InvertedIndexTest, BuildCountsDocuments) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  EXPECT_EQ(idx.Build(coll), 5);
+  EXPECT_EQ(idx.num_documents(), 5);
+  EXPECT_GT(idx.num_terms(), 20);
+}
+
+TEST(InvertedIndexTest, PostingsCaseInsensitive) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  EXPECT_EQ(idx.Postings("matilda").size(), 3u);
+  EXPECT_EQ(idx.Postings("MATILDA").size(), 3u);
+  EXPECT_TRUE(idx.Postings("nonexistent").empty());
+}
+
+TEST(InvertedIndexTest, ConjunctiveSearch) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  auto hits = idx.Search("matilda wicked");
+  ASSERT_EQ(hits.size(), 1u);  // only the tracking fragment has both
+  auto single = idx.Search("matilda");
+  EXPECT_EQ(single.size(), 3u);
+}
+
+TEST(InvertedIndexTest, MissingTermMeansNoHits) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  EXPECT_TRUE(idx.Search("matilda zebra").empty());
+  EXPECT_TRUE(idx.Search("").empty());
+}
+
+TEST(InvertedIndexTest, RankingPrefersFocusedDocuments) {
+  InvertedIndex idx("text");
+  idx.Add(1, "matilda");  // short, fully on-topic
+  idx.Add(2,
+          "matilda appears once inside a very long rambling fragment about "
+          "many unrelated things and some more words to pad the length out");
+  auto hits = idx.Search("matilda", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc_id, 1u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(InvertedIndexTest, RareTermsWeighMore) {
+  InvertedIndex idx("text");
+  for (DocId i = 1; i <= 20; ++i) {
+    idx.Add(i, i == 1 ? "common rareword" : "common filler");
+  }
+  auto common = idx.Search("common", 20);
+  auto rare = idx.Search("rareword", 20);
+  ASSERT_EQ(rare.size(), 1u);
+  ASSERT_FALSE(common.empty());
+  EXPECT_GT(rare[0].score, common[0].score);
+}
+
+TEST(InvertedIndexTest, TopKLimit) {
+  InvertedIndex idx("text");
+  for (DocId i = 1; i <= 50; ++i) idx.Add(i, "matilda again");
+  EXPECT_EQ(idx.Search("matilda", 7).size(), 7u);
+}
+
+TEST(InvertedIndexTest, ReAddMergesFrequencies) {
+  InvertedIndex idx("text");
+  idx.Add(1, "matilda");
+  idx.Add(1, "matilda matilda");
+  EXPECT_EQ(idx.num_documents(), 1);
+  EXPECT_EQ(idx.Postings("matilda").size(), 1u);
+}
+
+TEST(InvertedIndexTest, SkipsDocsWithoutField) {
+  Collection coll("dt.x");
+  coll.Insert(DocBuilder().Set("text", "hello world").Build());
+  coll.Insert(DocBuilder().Set("other", "no text field").Build());
+  coll.Insert(DocBuilder().Set("text", 42).Build());  // non-string
+  InvertedIndex idx("text");
+  EXPECT_EQ(idx.Build(coll), 1);
+}
+
+TEST(InvertedIndexTest, DuplicateQueryTermsCollapse) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  auto once = idx.Search("matilda");
+  auto twice = idx.Search("matilda matilda");
+  ASSERT_EQ(once.size(), twice.size());
+  EXPECT_DOUBLE_EQ(once[0].score, twice[0].score);
+}
+
+}  // namespace
+}  // namespace dt::query

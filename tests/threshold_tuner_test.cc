@@ -1,0 +1,104 @@
+#include "match/threshold_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dt::match {
+namespace {
+
+TEST(ThresholdTunerTest, FallbackUntilEnoughObservations) {
+  ThresholdTuner tuner(0.95, 10);
+  for (int i = 0; i < 9; ++i) tuner.Observe(0.9, true);
+  EXPECT_DOUBLE_EQ(tuner.RecommendAcceptThreshold(0.8), 0.8);
+  tuner.Observe(0.9, true);
+  EXPECT_NE(tuner.RecommendAcceptThreshold(0.8), 0.8);
+}
+
+TEST(ThresholdTunerTest, PerfectScoresDriveThresholdDown) {
+  ThresholdTuner tuner(0.95, 10);
+  // The matcher is right whenever score >= 0.5.
+  for (int i = 0; i < 50; ++i) {
+    tuner.Observe(0.5 + 0.01 * (i % 40), true);
+  }
+  double t = tuner.RecommendAcceptThreshold(0.9);
+  EXPECT_LE(t, 0.51);
+  EXPECT_DOUBLE_EQ(tuner.PrecisionAt(t), 1.0);
+}
+
+TEST(ThresholdTunerTest, NoisyLowScoresKeepThresholdHigh) {
+  ThresholdTuner tuner(0.95, 10);
+  Rng rng(3);
+  // Above 0.8: 98% correct. Below 0.8: coin flip.
+  for (int i = 0; i < 500; ++i) {
+    double score = rng.UniformDouble(0.3, 1.0);
+    bool correct = score >= 0.8 ? rng.Bernoulli(0.98) : rng.Bernoulli(0.5);
+    tuner.Observe(score, correct);
+  }
+  double t = tuner.RecommendAcceptThreshold(0.7);
+  EXPECT_GT(t, 0.7);
+  EXPECT_GE(tuner.PrecisionAt(t), 0.93);
+}
+
+TEST(ThresholdTunerTest, NothingMeetsTargetReturnsFallback) {
+  ThresholdTuner tuner(0.99, 5);
+  for (int i = 0; i < 50; ++i) tuner.Observe(0.9, i % 2 == 0);  // 50% right
+  EXPECT_DOUBLE_EQ(tuner.RecommendAcceptThreshold(0.77), 0.77);
+}
+
+TEST(ThresholdTunerTest, PrecisionAndCoverage) {
+  ThresholdTuner tuner;
+  tuner.Observe(0.9, true);
+  tuner.Observe(0.8, true);
+  tuner.Observe(0.7, false);
+  tuner.Observe(0.6, false);
+  EXPECT_DOUBLE_EQ(tuner.PrecisionAt(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(tuner.PrecisionAt(0.65), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tuner.CoverageAt(0.75), 0.5);
+  EXPECT_DOUBLE_EQ(tuner.CoverageAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tuner.PrecisionAt(0.95), 1.0);  // vacuous
+  ThresholdTuner empty;
+  EXPECT_DOUBLE_EQ(empty.CoverageAt(0.5), 0.0);
+}
+
+TEST(ThresholdTunerTest, CoverageDropsAsThresholdRises) {
+  ThresholdTuner tuner;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    tuner.Observe(rng.NextDouble(), true);
+  }
+  double prev = 1.1;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double c = tuner.CoverageAt(t);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+// Closed loop: tuner + simulated matcher drives the review band down
+// while maintaining precision — the Fig. 2 saturation effect.
+TEST(ThresholdTunerTest, ClosedLoopShrinksReviewBand) {
+  Rng rng(11);
+  ThresholdTuner tuner(0.9, 30);
+  double accept = 0.95;  // very conservative start
+  int64_t review_first = 0, review_last = 0;
+  for (int round = 0; round < 10; ++round) {
+    int64_t review = 0;
+    for (int i = 0; i < 100; ++i) {
+      double score = rng.UniformDouble(0.4, 1.0);
+      bool correct = score >= 0.7 ? rng.Bernoulli(0.97) : rng.Bernoulli(0.4);
+      if (score < accept) {
+        ++review;  // expert reviews, producing an observation
+        tuner.Observe(score, correct);
+      }
+    }
+    accept = tuner.RecommendAcceptThreshold(accept);
+    if (round == 0) review_first = review;
+    if (round == 9) review_last = review;
+  }
+  EXPECT_LT(review_last, review_first);
+  EXPECT_LT(accept, 0.95);
+}
+
+}  // namespace
+}  // namespace dt::match

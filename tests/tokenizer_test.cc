@@ -1,0 +1,113 @@
+#include "textparse/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::textparse {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const auto& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, WordsAndPunct) {
+  auto toks = Tokenize("Hello, world!");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "Hello");
+  EXPECT_EQ(toks[1].text, ",");
+  EXPECT_EQ(toks[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[2].text, "world");
+  EXPECT_EQ(toks[3].text, "!");
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string text = "The Matilda show";
+  auto toks = Tokenize(text);
+  for (const auto& t : toks) {
+    EXPECT_EQ(text.substr(t.offset, t.text.size()), t.text);
+  }
+}
+
+TEST(TokenizerTest, NumbersWithSeparators) {
+  auto toks = Tokenize("grossed 659,391 or 93 percent");
+  auto texts = Texts(toks);
+  ASSERT_EQ(texts.size(), 5u);
+  EXPECT_EQ(texts[1], "659,391");
+  EXPECT_EQ(toks[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, DecimalNumbers) {
+  auto toks = Tokenize("price 27.50 today");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "27.50");
+}
+
+TEST(TokenizerTest, ApostropheNames) {
+  auto toks = Tokenize("O'Brien spoke");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "O'Brien");
+}
+
+TEST(TokenizerTest, UrlsSurviveAsOneToken) {
+  auto toks = Tokenize("see http://example.com/a?b=1 and www.x.org.");
+  auto texts = Texts(toks);
+  EXPECT_EQ(texts[1], "http://example.com/a?b=1");
+  EXPECT_EQ(texts[3], "www.x.org");
+  EXPECT_EQ(texts.back(), ".");
+}
+
+TEST(TokenizerTest, AlphanumericTokens) {
+  auto toks = Tokenize("7pm start");
+  EXPECT_EQ(toks[0].text, "7pm");
+  EXPECT_EQ(toks[0].kind, TokenKind::kWord);  // mixed digits+letters
+}
+
+TEST(TokenizerTest, Capitalization) {
+  auto toks = Tokenize("Alice met bob");
+  EXPECT_TRUE(toks[0].IsCapitalized());
+  EXPECT_FALSE(toks[2].IsCapitalized());
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+}
+
+TEST(SentenceTest, BasicSplit) {
+  auto spans = SplitSentences("First one. Second one! Third?");
+  ASSERT_EQ(spans.size(), 3u);
+}
+
+TEST(SentenceTest, AbbreviationsProtected) {
+  auto spans = SplitSentences("Mr. Smith went to St. Louis. He left.");
+  ASSERT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceTest, DecimalsProtected) {
+  auto spans = SplitSentences("It grossed 1.5 million. Good week.");
+  ASSERT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceTest, TrailingWithoutPunct) {
+  auto spans = SplitSentences("Complete sentence. And a trailing fragment");
+  ASSERT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceTest, SpansCoverText) {
+  std::string text = "Alpha beta. Gamma delta. Epsilon.";
+  auto spans = SplitSentences(text);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(text.substr(spans[0].begin, spans[0].end - spans[0].begin),
+            "Alpha beta.");
+  EXPECT_EQ(text.substr(spans[1].begin, spans[1].end - spans[1].begin),
+            "Gamma delta.");
+}
+
+TEST(SentenceTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+}
+
+}  // namespace
+}  // namespace dt::textparse

@@ -1,0 +1,111 @@
+#include "ingest/type_infer.h"
+
+#include <gtest/gtest.h>
+
+namespace dt::ingest {
+namespace {
+
+using relational::ValueType;
+
+TEST(InferColumnTypeTest, AllInts) {
+  EXPECT_EQ(InferColumnType({"1", "2", "-3"}), ValueType::kInt);
+}
+
+TEST(InferColumnTypeTest, MixedNumericIsDouble) {
+  EXPECT_EQ(InferColumnType({"1", "2.5"}), ValueType::kDouble);
+}
+
+TEST(InferColumnTypeTest, Bools) {
+  EXPECT_EQ(InferColumnType({"true", "False", "TRUE"}), ValueType::kBool);
+}
+
+TEST(InferColumnTypeTest, AnyTextMakesString) {
+  EXPECT_EQ(InferColumnType({"1", "x"}), ValueType::kString);
+}
+
+TEST(InferColumnTypeTest, EmptiesIgnored) {
+  EXPECT_EQ(InferColumnType({"", "5", " "}), ValueType::kInt);
+  EXPECT_EQ(InferColumnType({"", ""}), ValueType::kString);
+  EXPECT_EQ(InferColumnType({}), ValueType::kString);
+}
+
+TEST(ParseValueAsTest, TypedParsing) {
+  EXPECT_EQ(ParseValueAs("7", ValueType::kInt).int_value(), 7);
+  EXPECT_DOUBLE_EQ(ParseValueAs("2.5", ValueType::kDouble).double_value(), 2.5);
+  EXPECT_TRUE(ParseValueAs("TRUE", ValueType::kBool).bool_value());
+  EXPECT_EQ(ParseValueAs("hi", ValueType::kString).string_value(), "hi");
+  EXPECT_TRUE(ParseValueAs("", ValueType::kInt).is_null());
+  EXPECT_TRUE(ParseValueAs("  ", ValueType::kString).is_null());
+}
+
+TEST(ParseValueAsTest, FallbackToStringOnMismatch) {
+  auto v = ParseValueAs("abc", ValueType::kInt);
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value(), "abc");
+}
+
+TEST(SemanticTest, Currency) {
+  EXPECT_EQ(DetectSemanticType("$27"), SemanticType::kCurrency);
+  EXPECT_EQ(DetectSemanticType("27 USD"), SemanticType::kCurrency);
+  EXPECT_EQ(DetectSemanticType("€35.50"), SemanticType::kCurrency);
+  EXPECT_EQ(DetectSemanticType("35.50 euros"), SemanticType::kCurrency);
+  EXPECT_NE(DetectSemanticType("$"), SemanticType::kCurrency);
+}
+
+TEST(SemanticTest, Dates) {
+  EXPECT_EQ(DetectSemanticType("3/4/2013"), SemanticType::kDate);
+  EXPECT_EQ(DetectSemanticType("2013-03-04"), SemanticType::kDate);
+  EXPECT_EQ(DetectSemanticType("Mar 4, 2013"), SemanticType::kDate);
+}
+
+TEST(SemanticTest, Times) {
+  EXPECT_EQ(DetectSemanticType("7pm"), SemanticType::kTime);
+  EXPECT_EQ(DetectSemanticType("19:30"), SemanticType::kTime);
+  EXPECT_EQ(DetectSemanticType("7:30pm"), SemanticType::kTime);
+}
+
+TEST(SemanticTest, PhoneAndUrlAndZip) {
+  EXPECT_EQ(DetectSemanticType("(212) 239-6200"), SemanticType::kPhone);
+  EXPECT_EQ(DetectSemanticType("http://example.com/x"), SemanticType::kUrl);
+  EXPECT_EQ(DetectSemanticType("www.telecharge.com"), SemanticType::kUrl);
+  EXPECT_EQ(DetectSemanticType("10036"), SemanticType::kZipCode);
+}
+
+TEST(SemanticTest, NumbersAndPercent) {
+  EXPECT_EQ(DetectSemanticType("1400"), SemanticType::kInteger);
+  EXPECT_EQ(DetectSemanticType("2.5"), SemanticType::kDecimal);
+  EXPECT_EQ(DetectSemanticType("93%"), SemanticType::kPercentage);
+}
+
+TEST(SemanticTest, TextClasses) {
+  EXPECT_EQ(DetectSemanticType("Shubert"), SemanticType::kShortString);
+  EXPECT_EQ(DetectSemanticType(
+                "an award-winning import from London that grossed well"),
+            SemanticType::kFreeText);
+  EXPECT_EQ(DetectSemanticType(""), SemanticType::kUnknown);
+}
+
+TEST(SemanticColumnTest, MajorityWins) {
+  EXPECT_EQ(DetectColumnSemanticType({"$27", "$35", "$99", "call"}),
+            SemanticType::kCurrency);
+  EXPECT_EQ(DetectColumnSemanticType({"7pm", "8pm", "2pm"}),
+            SemanticType::kTime);
+}
+
+TEST(SemanticColumnTest, NoMajorityFallsBackToStringiness) {
+  auto t = DetectColumnSemanticType({"Shubert", "$27", "7pm", "Majestic"});
+  EXPECT_EQ(t, SemanticType::kShortString);
+}
+
+TEST(SemanticColumnTest, EmptyColumnUnknown) {
+  EXPECT_EQ(DetectColumnSemanticType({}), SemanticType::kUnknown);
+  EXPECT_EQ(DetectColumnSemanticType({"", ""}), SemanticType::kUnknown);
+}
+
+TEST(SemanticTest, Names) {
+  EXPECT_STREQ(SemanticTypeName(SemanticType::kCurrency), "currency");
+  EXPECT_STREQ(SemanticTypeName(SemanticType::kFreeText), "freetext");
+}
+
+}  // namespace
+}  // namespace dt::ingest
