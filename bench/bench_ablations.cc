@@ -10,11 +10,17 @@
 ///   D. Expert vote count vs mapping accuracy and cost.
 ///   E. Index-backed vs scan point lookups in the document store.
 
+///   G. Serial vs multi-threaded candidate generation + pair scoring
+///      (the consolidation hot path on the thread pool).
+
 #include <algorithm>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "datagen/dedup_labels.h"
 #include "dedup/blocking.h"
+#include "dedup/consolidation.h"
+#include "dedup/pair_features.h"
 #include "expert/expert.h"
 #include "match/global_schema.h"
 #include "query/query.h"
@@ -202,6 +208,64 @@ void AblationMergePolicies() {
   }
 }
 
+void AblationParallelism() {
+  PrintSection("G. serial vs parallel consolidation hot path (4 threads)");
+  std::printf("  (hardware threads available: %d)\n",
+              ResolveNumThreads(0));
+  std::printf("  %-8s %-10s %12s %12s %9s %10s\n", "records", "stage",
+              "serial(ms)", "4-thr(ms)", "speedup", "identical");
+  for (int64_t n : {1600, 6400}) {
+    datagen::DedupLabelOptions opts;
+    opts.num_pairs = n / 2;
+    auto labeled =
+        datagen::GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+    std::vector<dedup::DedupRecord> records;
+    for (const auto& p : labeled) {
+      records.push_back(p.a);
+      records.push_back(p.b);
+    }
+    dedup::BlockingOptions bopts;
+    bopts.qgram_size = 3;
+
+    ThreadPool pool(4);
+    Timer t1;
+    auto serial_pairs = dedup::GenerateCandidatePairs(records, bopts);
+    double candgen_serial = t1.Millis();
+    Timer t2;
+    auto par_pairs =
+        dedup::GenerateCandidatePairs(records, bopts, nullptr, &pool);
+    double candgen_par = t2.Millis();
+    std::printf("  %-8zu %-10s %12.1f %12.1f %8.2fx %10s\n", records.size(),
+                "candgen", candgen_serial, candgen_par,
+                candgen_par > 0 ? candgen_serial / candgen_par : 0.0,
+                serial_pairs == par_pairs ? "yes" : "NO");
+
+    std::vector<dedup::PairSignals> serial_sig, par_sig;
+    Timer t3;
+    Status sst = dedup::ComputeAllPairSignals(records, serial_pairs, nullptr,
+                                              &serial_sig);
+    double score_serial = t3.Millis();
+    Timer t4;
+    Status pst = dedup::ComputeAllPairSignals(records, serial_pairs, &pool,
+                                              &par_sig);
+    double score_par = t4.Millis();
+    if (!sst.ok() || !pst.ok()) {
+      std::printf("  %-8zu scoring FAILED: serial=%s parallel=%s\n",
+                  records.size(), sst.ToString().c_str(),
+                  pst.ToString().c_str());
+      continue;
+    }
+    bool same = serial_sig.size() == par_sig.size();
+    for (size_t k = 0; same && k < serial_sig.size(); ++k) {
+      same = serial_sig[k].RuleScore() == par_sig[k].RuleScore();
+    }
+    std::printf("  %-8zu %-10s %12.1f %12.1f %8.2fx %10s\n", records.size(),
+                "scoring", score_serial, score_par,
+                score_par > 0 ? score_serial / score_par : 0.0,
+                same ? "yes" : "NO");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,5 +277,6 @@ int main(int argc, char** argv) {
   AblationExpertVotes();
   AblationIndexLookup();
   AblationMergePolicies();
+  AblationParallelism();
   return 0;
 }

@@ -1,0 +1,177 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace dt {
+
+namespace {
+/// Set while the current thread is executing loop chunks; a nested
+/// ParallelFor sees it and runs inline instead of scheduling onto a
+/// pool whose workers may all be blocked in the outer loop.
+thread_local bool t_in_parallel_loop = false;
+}  // namespace
+
+void RethrowIfError(const Status& st) {
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+}
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Shared state of one ParallelForChunks call. Workers claim chunk
+/// indexes from `next` until exhausted; the issuing thread waits for
+/// `active` helpers to drain before reading `first_error`.
+struct ThreadPool::LoopState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t num_chunks = 0;
+  const std::function<Status(size_t, size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int active = 0;  ///< helper tasks still inside RunLoop
+  /// Error from the lowest-indexed failing chunk (deterministic pick
+  /// when several chunks fail under different schedules).
+  size_t first_error_chunk = 0;
+  Status first_error;
+
+  void Record(size_t chunk, Status st) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok() || chunk < first_error_chunk) {
+      first_error_chunk = chunk;
+      first_error = std::move(st);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  int total = ResolveNumThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(total - 1));
+  for (int i = 0; i < total - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  if (workers_.empty()) {
+    // No spawned workers: run inline so tasks still make progress.
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunLoop(LoopState* state) {
+  bool was_nested = t_in_parallel_loop;
+  t_in_parallel_loop = true;
+  const size_t n = state->end - state->begin;
+  for (;;) {
+    size_t chunk = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= state->num_chunks) break;
+    // Uniform partition: chunk c covers [c*n/k, (c+1)*n/k) — depends
+    // only on (n, k), which is what makes parallel output reproducible.
+    size_t lo = state->begin + chunk * n / state->num_chunks;
+    size_t hi = state->begin + (chunk + 1) * n / state->num_chunks;
+    if (lo >= hi) continue;
+    Status st;
+    try {
+      st = (*state->body)(chunk, lo, hi);
+    } catch (const std::exception& e) {
+      st = Status::Internal(std::string("uncaught exception in parallel "
+                                        "loop body: ") +
+                            e.what());
+    } catch (...) {
+      st = Status::Internal("uncaught non-std exception in parallel loop "
+                            "body");
+    }
+    if (!st.ok()) state->Record(chunk, std::move(st));
+  }
+  t_in_parallel_loop = was_nested;
+}
+
+Status ThreadPool::ParallelForChunks(
+    size_t begin, size_t end, size_t num_chunks,
+    const std::function<Status(size_t, size_t, size_t)>& body) {
+  if (begin >= end) return Status::OK();
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, end - begin));
+
+  LoopState state;
+  state.begin = begin;
+  state.end = end;
+  state.num_chunks = num_chunks;
+  state.body = &body;
+
+  // Nested call (or single-threaded pool): the calling worker drains
+  // every chunk inline; scheduling helpers could deadlock a busy pool.
+  if (t_in_parallel_loop || workers_.empty() || num_chunks == 1) {
+    RunLoop(&state);
+    return state.first_error;
+  }
+
+  size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.active = static_cast<int>(helpers);
+  }
+  for (size_t i = 0; i < helpers; ++i) {
+    Schedule([&state] {
+      RunLoop(&state);
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.active == 0) state.done_cv.notify_one();
+    });
+  }
+  RunLoop(&state);
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.active == 0; });
+  return state.first_error;
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end,
+                               const std::function<Status(size_t)>& body) {
+  // 4 chunks per thread: enough slack for dynamic load balance without
+  // drowning small loops in claim overhead.
+  size_t chunks = static_cast<size_t>(num_threads()) * 4;
+  return ParallelForChunks(begin, end, chunks,
+                           [&body](size_t, size_t lo, size_t hi) -> Status {
+                             for (size_t i = lo; i < hi; ++i) {
+                               DT_RETURN_NOT_OK(body(i));
+                             }
+                             return Status::OK();
+                           });
+}
+
+}  // namespace dt

@@ -1,0 +1,99 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool and data-parallel loops for the hot
+/// paths (candidate generation, pair scoring).
+///
+/// Design constraints, in order:
+///   1. Determinism first: `ParallelFor` hands out *index ranges*, so
+///      callers write results into pre-sized slots and merge them in
+///      index order — parallel output is byte-identical to serial.
+///   2. Errors cross thread boundaries as `Status`, never as
+///      exceptions (consistent with common/status.h): a body that
+///      throws or returns non-OK surfaces as the loop's first error.
+///   3. Nested `ParallelFor` is safe: a loop issued from inside a pool
+///      worker runs inline on that worker instead of scheduling (which
+///      could deadlock a fully-busy pool).
+///
+/// The calling thread always participates as a worker, so a pool built
+/// with `num_threads = 1` spawns no threads at all and the loops
+/// degrade to plain serial execution.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dt {
+
+/// \brief A fixed-size pool of worker threads.
+class ThreadPool {
+ public:
+  /// Creates a pool whose loops use `num_threads` total threads: the
+  /// caller plus `num_threads - 1` spawned workers. Values < 1 (and a
+  /// special 0 meaning "auto") clamp to the hardware concurrency.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Pending scheduled tasks run to completion.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a loop runs on (spawned workers + the caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues a standalone task. Exceptions escaping `fn` terminate
+  /// (prefer the Status-returning loops below for fallible work).
+  void Schedule(std::function<void()> fn);
+
+  /// \brief Runs `body(chunk, chunk_begin, chunk_end)` for `num_chunks`
+  /// contiguous chunks of `[begin, end)`, distributed dynamically over
+  /// the pool plus the calling thread.
+  ///
+  /// Chunk boundaries depend only on `(begin, end, num_chunks)`, never
+  /// on thread scheduling. Returns the first non-OK status (by chunk
+  /// index) once every chunk has finished; a thrown exception is
+  /// converted to `Status::Internal` with the exception message. Safe
+  /// to call from inside another loop's body (runs inline).
+  Status ParallelForChunks(
+      size_t begin, size_t end, size_t num_chunks,
+      const std::function<Status(size_t chunk, size_t chunk_begin,
+                                 size_t chunk_end)>& body);
+
+  /// \brief Runs `body(i)` for every i in `[begin, end)` with automatic
+  /// chunking (4 chunks per thread for load balance). Same error and
+  /// nesting semantics as `ParallelForChunks`.
+  Status ParallelFor(size_t begin, size_t end,
+                     const std::function<Status(size_t)>& body);
+
+ private:
+  struct LoopState;
+
+  void WorkerMain();
+  /// Claims and runs chunks of `state` until exhausted.
+  static void RunLoop(LoopState* state);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+};
+
+/// Resolves a `num_threads` option value: <= 0 means "auto" (hardware
+/// concurrency), otherwise the value itself, min 1.
+int ResolveNumThreads(int num_threads);
+
+/// Rethrows a loop failure as an exception. For callers with
+/// infallible signatures (vector-returning APIs) whose serial path
+/// propagates exceptions: dropping the pool's Status there would
+/// silently return partial results instead.
+void RethrowIfError(const Status& st);
+
+}  // namespace dt

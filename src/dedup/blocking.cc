@@ -1,7 +1,8 @@
 #include "dedup/blocking.h"
 
 #include <algorithm>
-#include <set>
+#include <functional>
+#include <unordered_map>
 
 #include "common/strutil.h"
 
@@ -33,34 +34,128 @@ std::vector<std::string> BlockingKeys(const DedupRecord& record,
   return keys;
 }
 
-std::vector<std::pair<size_t, size_t>> GenerateCandidatePairs(
-    const std::vector<DedupRecord>& records, const BlockingOptions& opts,
-    BlockingStats* stats) {
-  std::unordered_map<std::string, std::vector<size_t>> blocks;
-  for (size_t i = 0; i < records.size(); ++i) {
-    for (const auto& key : BlockingKeys(records[i], opts)) {
-      blocks[key].push_back(i);
-    }
-  }
-  std::set<std::pair<size_t, size_t>> pairs;
-  int64_t skipped = 0;
+namespace {
+
+/// Pair output + stats of one blocking-key shard.
+struct ShardResult {
+  std::vector<std::pair<size_t, size_t>> pairs;  // sorted, deduped
+  int64_t num_blocks = 0;
+  int64_t oversize_skipped = 0;
+};
+
+/// Expands a block map into the sorted deduped pairs + stats of one
+/// shard.
+ShardResult ExpandBlocks(
+    std::unordered_map<std::string, std::vector<size_t>> blocks,
+    const BlockingOptions& opts) {
+  ShardResult out;
+  out.num_blocks = static_cast<int64_t>(blocks.size());
   for (const auto& [key, members] : blocks) {
     if (static_cast<int>(members.size()) > opts.max_block_size) {
-      ++skipped;
+      ++out.oversize_skipped;
       continue;
     }
     for (size_t a = 0; a < members.size(); ++a) {
       for (size_t b = a + 1; b < members.size(); ++b) {
         size_t i = std::min(members[a], members[b]);
         size_t j = std::max(members[a], members[b]);
-        if (i != j) pairs.insert({i, j});
+        if (i != j) out.pairs.emplace_back(i, j);
       }
     }
   }
-  std::vector<std::pair<size_t, size_t>> out(pairs.begin(), pairs.end());
+  std::sort(out.pairs.begin(), out.pairs.end());
+  out.pairs.erase(std::unique(out.pairs.begin(), out.pairs.end()),
+                  out.pairs.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<size_t, size_t>> GenerateCandidatePairs(
+    const std::vector<DedupRecord>& records, const BlockingOptions& opts,
+    BlockingStats* stats, ThreadPool* pool) {
+  const size_t num_shards =
+      pool != nullptr ? static_cast<size_t>(pool->num_threads()) : 1;
+  std::vector<ShardResult> shards(num_shards);
+  if (num_shards > 1) {
+    // Phase 1: per-record key generation (string-heavy, embarrassingly
+    // parallel), bucketed by destination shard as keys are produced so
+    // each key is hashed for routing exactly once and phase 2 touches
+    // only its own shard's keys. Buckets land in chunk-indexed slots.
+    // A body failure rethrows so partial key sets can't silently
+    // shrink the output.
+    const size_t num_chunks = num_shards * 4;
+    // buckets[chunk][shard] -> (record index, key) routed there.
+    std::vector<std::vector<std::vector<std::pair<size_t, std::string>>>>
+        buckets(num_chunks);
+    RethrowIfError(pool->ParallelForChunks(
+        0, records.size(), num_chunks,
+        [&](size_t chunk, size_t lo, size_t hi) {
+          auto& local = buckets[chunk];
+          local.resize(num_shards);
+          std::hash<std::string> hasher;
+          for (size_t i = lo; i < hi; ++i) {
+            for (auto& key : BlockingKeys(records[i], opts)) {
+              size_t shard = hasher(key) % num_shards;
+              local[shard].emplace_back(i, std::move(key));
+            }
+          }
+          return Status::OK();
+        }));
+    // Phase 2: per shard, assemble the block map from that shard's
+    // buckets (chunk order keeps member lists ascending by record
+    // index, matching the serial build) and expand pairs. Every key
+    // lands in exactly one shard, so summed stats are
+    // shard-count-invariant.
+    RethrowIfError(pool->ParallelForChunks(
+        0, num_shards, num_shards, [&](size_t shard, size_t, size_t) {
+          std::unordered_map<std::string, std::vector<size_t>> blocks;
+          for (auto& chunk_buckets : buckets) {
+            if (shard >= chunk_buckets.size()) continue;  // empty chunk
+            for (auto& [i, key] : chunk_buckets[shard]) {
+              blocks[std::move(key)].push_back(i);
+            }
+          }
+          shards[shard] = ExpandBlocks(std::move(blocks), opts);
+          return Status::OK();
+        }));
+  } else {
+    // Serial: stream keys straight into the block map, no per-record
+    // key materialization.
+    std::unordered_map<std::string, std::vector<size_t>> blocks;
+    for (size_t i = 0; i < records.size(); ++i) {
+      for (auto& key : BlockingKeys(records[i], opts)) {
+        blocks[std::move(key)].push_back(i);
+      }
+    }
+    shards[0] = ExpandBlocks(std::move(blocks), opts);
+  }
+
+  // Phase 3: deterministic merge. The same pair can surface from keys
+  // in different shards, so dedup globally; the final sorted order is
+  // independent of shard count and scheduling.
+  std::vector<std::pair<size_t, size_t>> out;
+  int64_t num_blocks = 0, skipped = 0;
+  if (num_shards == 1) {
+    out = std::move(shards[0].pairs);  // already sorted and deduped
+    num_blocks = shards[0].num_blocks;
+    skipped = shards[0].oversize_skipped;
+  } else {
+    size_t total = 0;
+    for (const auto& s : shards) total += s.pairs.size();
+    out.reserve(total);
+    for (const auto& s : shards) {
+      out.insert(out.end(), s.pairs.begin(), s.pairs.end());
+      num_blocks += s.num_blocks;
+      skipped += s.oversize_skipped;
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
   if (stats != nullptr) {
     stats->num_records = static_cast<int64_t>(records.size());
-    stats->num_blocks = static_cast<int64_t>(blocks.size());
+    stats->num_blocks = num_blocks;
     stats->oversize_blocks_skipped = skipped;
     stats->candidate_pairs = static_cast<int64_t>(out.size());
     double all = static_cast<double>(records.size()) *

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "dedup/record.h"
 
 namespace dt::dedup {
@@ -48,10 +49,16 @@ struct BlockingStats {
 };
 
 /// \brief Produces deduplicated candidate pairs (i < j index pairs into
-/// `records`) from shared blocking keys.
+/// `records`) from shared blocking keys, sorted ascending.
+///
+/// When `pool` is non-null, key generation runs in parallel over the
+/// records and pair generation shards by blocking key (hash-partitioned
+/// so every key lands in exactly one shard), with per-shard results
+/// merged in shard order. Output and stats are byte-identical to the
+/// serial (`pool == nullptr`) run for any thread count.
 std::vector<std::pair<size_t, size_t>> GenerateCandidatePairs(
     const std::vector<DedupRecord>& records, const BlockingOptions& opts,
-    BlockingStats* stats = nullptr);
+    BlockingStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 /// \brief All pairs of same-type records (the no-blocking baseline the
 /// ablation bench compares against).

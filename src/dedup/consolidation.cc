@@ -109,33 +109,87 @@ Result<std::vector<CompositeEntity>> Consolidate(
         "consolidation with a classifier requires the feature dictionary "
         "it was trained with");
   }
-  BlockingStats bstats;
-  auto candidates = GenerateCandidatePairs(records, opts.blocking, &bstats);
-
-  std::vector<std::pair<size_t, size_t>> matches;
-  for (const auto& [i, j] : candidates) {
-    PairSignals signals = ComputePairSignals(records[i], records[j]);
-    if (signals.same_type == 0) continue;
-    double score;
-    if (opts.classifier != nullptr) {
-      ml::FeatureVector fv = PairSignalsToFeatures(
-          signals, opts.feature_dict, /*add_features=*/false);
-      score = opts.classifier->PredictProb(fv);
-    } else {
-      score = signals.RuleScore();
+  // One pool for the whole run (the caller's when provided);
+  // num_threads == 1 without a caller pool stays fully serial.
+  ThreadPool* pool = opts.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && opts.num_threads != 1) {
+    const int resolved = ResolveNumThreads(opts.num_threads);
+    if (resolved > 1) {
+      owned_pool = std::make_unique<ThreadPool>(resolved);
+      pool = owned_pool.get();
     }
-    if (score >= opts.match_threshold) matches.emplace_back(i, j);
+  }
+  const int num_threads = pool != nullptr ? pool->num_threads() : 1;
+
+  BlockingStats bstats;
+  auto candidates =
+      GenerateCandidatePairs(records, opts.blocking, &bstats, pool);
+
+  // Compute signals and score candidates in contiguous chunks; each
+  // chunk appends to its own slot and slots concatenate in chunk
+  // order, so the match list (and therefore the clustering) is
+  // identical to the serial run. Signals stream through each chunk —
+  // never materialized for the whole candidate set. Inference-time
+  // featurization and PredictProb are read-only on the
+  // dictionary/model, so workers share them without locks.
+  auto score_range = [&](size_t lo, size_t hi,
+                         std::vector<std::pair<size_t, size_t>>* out) {
+    for (size_t k = lo; k < hi; ++k) {
+      const PairSignals s =
+          ComputePairSignals(records[candidates[k].first],
+                             records[candidates[k].second]);
+      if (s.same_type == 0) continue;
+      double score;
+      if (opts.classifier != nullptr) {
+        ml::FeatureVector fv = PairSignalsToFeatures(
+            s, opts.feature_dict, /*add_features=*/false);
+        score = opts.classifier->PredictProb(fv);
+      } else {
+        score = s.RuleScore();
+      }
+      if (score >= opts.match_threshold) out->push_back(candidates[k]);
+    }
+  };
+  std::vector<std::pair<size_t, size_t>> matches;
+  if (pool != nullptr) {
+    const size_t num_chunks = static_cast<size_t>(num_threads) * 4;
+    std::vector<std::vector<std::pair<size_t, size_t>>> chunk_matches(
+        num_chunks);
+    DT_RETURN_NOT_OK(pool->ParallelForChunks(
+        0, candidates.size(), num_chunks,
+        [&](size_t chunk, size_t lo, size_t hi) -> Status {
+          score_range(lo, hi, &chunk_matches[chunk]);
+          return Status::OK();
+        }));
+    for (const auto& cm : chunk_matches) {
+      matches.insert(matches.end(), cm.begin(), cm.end());
+    }
+  } else {
+    score_range(0, candidates.size(), &matches);
   }
 
   auto groups = ClusterPairs(records.size(), matches);
-  std::vector<CompositeEntity> out;
-  out.reserve(groups.size());
-  int64_t cluster_id = 0;
+  // Cluster merges are independent; group order (and with it
+  // cluster_id assignment) comes from ClusterPairs, which is already
+  // deterministic.
+  std::vector<CompositeEntity> out(groups.size());
   int64_t merged_records = 0;
+  auto merge_group = [&](size_t g) {
+    out[g] = MergeCluster(records, groups[g], static_cast<int64_t>(g),
+                          opts.merge_policy);
+  };
+  if (pool != nullptr) {
+    DT_RETURN_NOT_OK(pool->ParallelFor(0, groups.size(),
+                                       [&](size_t g) -> Status {
+                                         merge_group(g);
+                                         return Status::OK();
+                                       }));
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) merge_group(g);
+  }
   for (const auto& group : groups) {
     if (group.size() > 1) merged_records += static_cast<int64_t>(group.size());
-    out.push_back(
-        MergeCluster(records, group, cluster_id++, opts.merge_policy));
   }
   if (stats != nullptr) {
     stats->blocking = bstats;

@@ -46,6 +46,15 @@ struct ConsolidationOptions {
   /// Dictionary the classifier was trained with (required with
   /// classifier; inference-time features use add=false).
   ml::FeatureDictionary* feature_dict = nullptr;
+  /// Threads for candidate generation, pair scoring and cluster
+  /// merging: 1 = serial, <= 0 = all hardware threads. The clusters
+  /// produced are byte-identical for every value.
+  int num_threads = 1;
+  /// Externally owned pool to run on (must outlive the call). When
+  /// null and num_threads > 1, each Consolidate call creates its own
+  /// pool; callers consolidating repeatedly should share one here to
+  /// skip the per-call thread spawn/join.
+  ThreadPool* pool = nullptr;
 };
 
 /// Outcome statistics of one consolidation run.

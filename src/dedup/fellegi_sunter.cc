@@ -88,6 +88,22 @@ LinkageDecision FellegiSunterScorer::Decide(const PairSignals& signals) const {
   return LinkageDecision::kPossibleMatch;
 }
 
+std::vector<LinkageDecision> FellegiSunterScorer::DecideAll(
+    const std::vector<PairSignals>& signals, ThreadPool* pool) const {
+  std::vector<LinkageDecision> out(signals.size(), LinkageDecision::kNonMatch);
+  if (pool != nullptr) {
+    // Rethrow loop failures: silently returning the kNonMatch
+    // pre-fill would misclassify real matches.
+    RethrowIfError(pool->ParallelFor(0, signals.size(), [&](size_t k) -> Status {
+      out[k] = Decide(signals[k]);
+      return Status::OK();
+    }));
+  } else {
+    for (size_t k = 0; k < signals.size(); ++k) out[k] = Decide(signals[k]);
+  }
+  return out;
+}
+
 Status FellegiSunterScorer::CalibrateThresholds(
     const std::vector<std::pair<PairSignals, int>>& labeled,
     double target_precision) {

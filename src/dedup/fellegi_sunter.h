@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dedup/pair_features.h"
 #include "dedup/record.h"
 
@@ -58,6 +59,13 @@ class FellegiSunterScorer {
 
   /// Classifies with the configured thresholds.
   LinkageDecision Decide(const PairSignals& signals) const;
+
+  /// \brief Classifies a batch of pairs, on `pool` when non-null.
+  /// `result[k]` corresponds to `signals[k]` for any thread count
+  /// (scoring is read-only on the fitted parameters, so the pool
+  /// workers share the scorer without synchronization).
+  std::vector<LinkageDecision> DecideAll(const std::vector<PairSignals>& signals,
+                                         ThreadPool* pool = nullptr) const;
 
   /// Decision thresholds on the total weight (upper for kMatch, lower
   /// for kNonMatch; between = kPossibleMatch).

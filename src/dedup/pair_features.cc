@@ -46,6 +46,26 @@ PairSignals ComputePairSignals(const DedupRecord& a, const DedupRecord& b) {
   return s;
 }
 
+Status ComputeAllPairSignals(
+    const std::vector<DedupRecord>& records,
+    const std::vector<std::pair<size_t, size_t>>& pairs, ThreadPool* pool,
+    std::vector<PairSignals>* out) {
+  out->assign(pairs.size(), PairSignals{});
+  auto compute = [&](size_t k) -> Status {
+    const auto& [i, j] = pairs[k];
+    if (i >= records.size() || j >= records.size()) {
+      return Status::OutOfRange("candidate pair (" + std::to_string(i) + "," +
+                                std::to_string(j) + ") exceeds " +
+                                std::to_string(records.size()) + " records");
+    }
+    (*out)[k] = ComputePairSignals(records[i], records[j]);
+    return Status::OK();
+  };
+  if (pool != nullptr) return pool->ParallelFor(0, pairs.size(), compute);
+  for (size_t k = 0; k < pairs.size(); ++k) DT_RETURN_NOT_OK(compute(k));
+  return Status::OK();
+}
+
 namespace {
 // Bucketize a [0,1] signal into one-hot features at 0.1 resolution so
 // linear models can learn non-linear response curves.

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "dedup/record.h"
 #include "ml/features.h"
 
@@ -32,6 +34,16 @@ struct PairSignals {
 
 /// Computes all dense signals for a pair.
 PairSignals ComputePairSignals(const DedupRecord& a, const DedupRecord& b);
+
+/// \brief Computes signals for every candidate pair, on `pool` when
+/// non-null (the scoring hot path of consolidation).
+///
+/// `out[k]` always corresponds to `pairs[k]` — each parallel chunk
+/// writes its own index range, so the result is identical to the
+/// serial run for any thread count.
+Status ComputeAllPairSignals(const std::vector<DedupRecord>& records,
+                             const std::vector<std::pair<size_t, size_t>>& pairs,
+                             ThreadPool* pool, std::vector<PairSignals>* out);
 
 /// \brief Converts dense signals to a sparse ML feature vector with
 /// bucketized magnitudes (ids allocated in `dict`).

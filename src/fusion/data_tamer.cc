@@ -24,6 +24,11 @@ DataTamer::DataTamer(DataTamerOptions opts)
           opts.schema_options, synonyms_.get())),
       store_("dt"),
       transforms_(clean::TransformRegistry::Builtins(opts.eur_usd_rate)) {
+  // The facade-level thread knob is the default for the consolidation
+  // engine; an explicit consolidation_options.num_threads wins.
+  if (opts_.num_threads != 1 && opts_.consolidation_options.num_threads == 1) {
+    opts_.consolidation_options.num_threads = opts_.num_threads;
+  }
   instance_ =
       store_.CreateCollection("instance", opts_.collection_options)
           .ValueOrDie();

@@ -49,6 +49,12 @@ struct DataTamerOptions {
   int text_trust = 1;
   /// EUR->USD rate for the currency transform.
   double eur_usd_rate = 1.30;
+  /// Worker threads for the consolidation hot path (candidate
+  /// generation, pair scoring, cluster merging): 1 = serial, <= 0 =
+  /// all hardware threads. Propagates into
+  /// `consolidation_options.num_threads` unless that was itself set
+  /// away from its default. Output is identical for every value.
+  int num_threads = 1;
 };
 
 /// Decides a reviewed attribute: return the chosen global attribute
