@@ -12,8 +12,17 @@
 
 ///   G. Serial vs multi-threaded candidate generation + pair scoring
 ///      (the consolidation hot path on the thread pool).
+///   H. Snapshot cold start (binary save/load) vs re-ingest.
+///
+/// `--json <path>` additionally writes the headline timings as a flat
+/// JSON object (the per-commit artifact CI uploads to track the perf
+/// trajectory).
+
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
@@ -24,11 +33,43 @@
 #include "expert/expert.h"
 #include "match/global_schema.h"
 #include "query/query.h"
+#include "storage/snapshot.h"
 
 namespace {
 
 using namespace dt;
 using namespace dt::bench;
+
+/// Headline metrics emitted by --json, in recording order.
+std::vector<std::pair<std::string, double>>& JsonMetrics() {
+  static std::vector<std::pair<std::string, double>> metrics;
+  return metrics;
+}
+
+/// Set by any section that detects a failure (save/load error, parallel
+/// output mismatch); turns into a non-zero exit so CI goes red.
+bool& CheckFailed() {
+  static bool failed = false;
+  return failed;
+}
+
+void RecordMetric(const std::string& key, double value) {
+  JsonMetrics().emplace_back(key, value);
+}
+
+bool WriteJsonMetrics(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  const auto& metrics = JsonMetrics();
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.3f%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
 
 void AblationBlocking() {
   PrintSection("A. blocking vs all-pairs (entity consolidation)");
@@ -235,6 +276,7 @@ void AblationParallelism() {
     auto par_pairs =
         dedup::GenerateCandidatePairs(records, bopts, nullptr, &pool);
     double candgen_par = t2.Millis();
+    if (serial_pairs != par_pairs) CheckFailed() = true;
     std::printf("  %-8zu %-10s %12.1f %12.1f %8.2fx %10s\n", records.size(),
                 "candgen", candgen_serial, candgen_par,
                 candgen_par > 0 ? candgen_serial / candgen_par : 0.0,
@@ -253,24 +295,125 @@ void AblationParallelism() {
       std::printf("  %-8zu scoring FAILED: serial=%s parallel=%s\n",
                   records.size(), sst.ToString().c_str(),
                   pst.ToString().c_str());
+      CheckFailed() = true;
       continue;
     }
     bool same = serial_sig.size() == par_sig.size();
     for (size_t k = 0; same && k < serial_sig.size(); ++k) {
       same = serial_sig[k].RuleScore() == par_sig[k].RuleScore();
     }
+    if (!same) CheckFailed() = true;
     std::printf("  %-8zu %-10s %12.1f %12.1f %8.2fx %10s\n", records.size(),
                 "scoring", score_serial, score_par,
                 score_par > 0 ? score_serial / score_par : 0.0,
                 same ? "yes" : "NO");
+    if (n == 6400) {
+      RecordMetric("candgen_serial_ms", candgen_serial);
+      RecordMetric("candgen_4thr_ms", candgen_par);
+      RecordMetric("scoring_serial_ms", score_serial);
+      RecordMetric("scoring_4thr_ms", score_par);
+    }
   }
+}
+
+void AblationSnapshot() {
+  PrintSection("H. snapshot cold start (binary save/load) vs re-ingest");
+  // Per-process path so concurrent bench runs cannot race on the file.
+  const std::string path =
+      "/tmp/dt_bench_snapshot." + std::to_string(::getpid()) + ".bin";
+  BenchScale scale;
+  scale.num_fragments = 10000;
+
+  // Re-ingest cost: parse + extract + index the corpus from raw text.
+  // text_ingest_seconds times only the ingest loop + index creation,
+  // excluding synthetic corpus generation (a real cold start has the
+  // raw data already).
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  double reingest_ms = p.text_ingest_seconds * 1000.0;
+  const auto* entity = p.tamer->entity_collection();
+  int64_t total_docs =
+      p.tamer->instance_collection()->count() + entity->count();
+
+  Timer t_save;
+  Status save_st = p.tamer->SaveSnapshot(path);
+  double save_ms = t_save.Millis();
+  if (!save_st.ok()) {
+    std::printf("  save FAILED: %s\n", save_st.ToString().c_str());
+    CheckFailed() = true;
+    return;
+  }
+  int64_t file_bytes = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    file_bytes = std::ftell(f);
+    std::fclose(f);
+  }
+
+  fusion::DataTamer cold;
+  cold.SetGazetteer(&p.gazetteer);
+  Timer t_load;
+  Status load_st = cold.LoadSnapshot(path);
+  double load_ms = t_load.Millis();
+  if (!load_st.ok()) {
+    std::printf("  load FAILED: %s\n", load_st.ToString().c_str());
+    CheckFailed() = true;
+    std::remove(path.c_str());
+    return;
+  }
+
+  fusion::DataTamerOptions par_opts;
+  par_opts.snapshot_options.num_threads = 4;
+  fusion::DataTamer cold4(par_opts);
+  cold4.SetGazetteer(&p.gazetteer);
+  Timer t_load4;
+  Status load4_st = cold4.LoadSnapshot(path);
+  double load4_ms = load4_st.ok() ? t_load4.Millis() : -1;
+
+  bool identical =
+      cold.stats().fragments_ingested == p.tamer->stats().fragments_ingested &&
+      cold.entity_collection()->count() == entity->count() &&
+      cold.entity_collection()->HasIndex("name");
+
+  std::printf("  docs: %s (instance + entity), snapshot: %.1f MB\n",
+              WithThousandsSep(total_docs).c_str(), file_bytes / 1048576.0);
+  std::printf("  %-28s %10.1f ms\n", "re-ingest (parse + index)", reingest_ms);
+  std::printf("  %-28s %10.1f ms\n", "snapshot save", save_ms);
+  std::printf("  %-28s %10.1f ms   (%.1fx faster than re-ingest)\n",
+              "snapshot load (cold start)", load_ms,
+              load_ms > 0 ? reingest_ms / load_ms : 0.0);
+  if (load4_ms >= 0) {
+    std::printf("  %-28s %10.1f ms\n", "snapshot load (4 threads)", load4_ms);
+  }
+  std::printf("  loaded store identical:      %s\n", identical ? "yes" : "NO");
+  if (!identical || !load4_st.ok()) CheckFailed() = true;
+
+  RecordMetric("snapshot_docs", static_cast<double>(total_docs));
+  RecordMetric("snapshot_file_mb", file_bytes / 1048576.0);
+  RecordMetric("snapshot_reingest_ms", reingest_ms);
+  RecordMetric("snapshot_save_ms", save_ms);
+  RecordMetric("snapshot_load_ms", load_ms);
+  if (load4_ms >= 0) RecordMetric("snapshot_load_4thr_ms", load4_ms);
+  RecordMetric("snapshot_load_speedup_vs_reingest",
+               load_ms > 0 ? reingest_ms / load_ms : 0.0);
+  std::remove(path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      // A typo'd flag silently skipping the JSON artifact would defeat
+      // the CI job that collects it.
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json <path>]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
   PrintHeader("Ablations: design-choice validation");
   AblationBlocking();
   AblationMatcherSignals();
@@ -278,5 +421,18 @@ int main(int argc, char** argv) {
   AblationIndexLookup();
   AblationMergePolicies();
   AblationParallelism();
+  AblationSnapshot();
+  if (!json_path.empty()) {
+    if (!WriteJsonMetrics(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu metrics to %s\n", JsonMetrics().size(),
+                json_path.c_str());
+  }
+  if (CheckFailed()) {
+    std::fprintf(stderr, "\nFAILED: one or more correctness checks above\n");
+    return 1;
+  }
   return 0;
 }

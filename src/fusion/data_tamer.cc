@@ -25,9 +25,12 @@ DataTamer::DataTamer(DataTamerOptions opts)
       store_("dt"),
       transforms_(clean::TransformRegistry::Builtins(opts.eur_usd_rate)) {
   // The facade-level thread knob is the default for the consolidation
-  // engine; an explicit consolidation_options.num_threads wins.
+  // engine and the snapshot codec; explicit per-subsystem values win.
   if (opts_.num_threads != 1 && opts_.consolidation_options.num_threads == 1) {
     opts_.consolidation_options.num_threads = opts_.num_threads;
+  }
+  if (opts_.num_threads != 1 && opts_.snapshot_options.num_threads == 1) {
+    opts_.snapshot_options.num_threads = opts_.num_threads;
   }
   instance_ =
       store_.CreateCollection("instance", opts_.collection_options)
@@ -323,6 +326,42 @@ std::vector<dedup::DedupRecord> DataTamer::CollectRecords(
     }
   }
   return records;
+}
+
+Status DataTamer::SaveSnapshot(const std::string& path) const {
+  return storage::SaveSnapshot(store_, path, opts_.snapshot_options);
+}
+
+Status DataTamer::LoadSnapshot(const std::string& path) {
+  DT_ASSIGN_OR_RETURN(std::unique_ptr<storage::DocumentStore> loaded,
+                      storage::LoadSnapshot(path, opts_.snapshot_options));
+  // Validate before committing so a bad file leaves the facade usable.
+  for (const char* required : {"instance", "entity"}) {
+    if (!loaded->GetCollection(required).ok()) {
+      return Status::Corruption(std::string("snapshot misses the ") +
+                                required + " collection");
+    }
+  }
+  store_ = std::move(*loaded);
+  instance_ = store_.GetCollection("instance").ValueOrDie();
+  entity_ = store_.GetCollection("entity").ValueOrDie();
+  // The snapshot covers only the document store, so the structured
+  // side resets to empty too — otherwise QueryEntity/ConsolidateAll
+  // would join loaded text entities against tables from the replaced
+  // state. Structured sources are re-ingested after loading.
+  catalog_ = relational::Catalog();
+  registry_ = ingest::SourceRegistry();
+  global_schema_ = std::make_unique<match::GlobalSchema>(opts_.schema_options,
+                                                         synonyms_.get());
+  ingest_seq_ = 0;
+  stats_ = PipelineStats{};
+  stats_.fragments_ingested = instance_->count();
+  stats_.entities_extracted = entity_->count();
+  // Drop the lazy full-text index; the next SearchFragments rebuilds it
+  // over the loaded fragments.
+  fragment_index_ = query::InvertedIndex("text");
+  fragments_indexed_ = 0;
+  return Status::OK();
 }
 
 std::vector<query::SearchHit> DataTamer::SearchFragments(

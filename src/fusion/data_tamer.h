@@ -27,6 +27,7 @@
 #include "query/text_search.h"
 #include "relational/catalog.h"
 #include "storage/document_store.h"
+#include "storage/snapshot.h"
 #include "textparse/domain_parser.h"
 
 namespace dt::fusion {
@@ -55,6 +56,10 @@ struct DataTamerOptions {
   /// `consolidation_options.num_threads` unless that was itself set
   /// away from its default. Output is identical for every value.
   int num_threads = 1;
+  /// Chunking/parallelism for `SaveSnapshot`/`LoadSnapshot`. Its
+  /// `num_threads` inherits the facade-level knob above unless set
+  /// away from its default.
+  storage::SnapshotOptions snapshot_options;
 };
 
 /// Decides a reviewed attribute: return the chosen global attribute
@@ -151,7 +156,23 @@ class DataTamer {
       const std::string& entity_type,
       dedup::ConsolidationStats* stats = nullptr) const;
 
-  // ---- Accessors ----
+  // ---- Snapshot persistence (the storage layer's cold-start path) ----
+
+  /// \brief Persists the document store (dt.instance, dt.entity and
+  /// any other collections) to `path` as one binary snapshot file.
+  /// Uses `options().snapshot_options`; save -> load -> save is
+  /// byte-identical.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// \brief Replaces the document store with the snapshot at `path`:
+  /// documents, ids and secondary indexes come back as saved, and
+  /// `TopDiscussed`/`QueryEntity`/`SearchFragments` serve the loaded
+  /// data unchanged. The relational catalog, source registry and
+  /// global schema are NOT part of the snapshot; they reset to empty
+  /// so the facade reflects exactly the loaded store (re-ingest
+  /// structured sources after loading). On error the facade is left
+  /// untouched.
+  Status LoadSnapshot(const std::string& path);
   storage::Collection* instance_collection() { return instance_; }
   const storage::Collection* instance_collection() const { return instance_; }
   storage::Collection* entity_collection() { return entity_; }

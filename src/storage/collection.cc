@@ -38,8 +38,7 @@ int Collection::ShardOf(DocId id) const {
   return static_cast<int>(Mix64(id) % static_cast<uint64_t>(opts_.num_shards));
 }
 
-DocId Collection::Insert(DocValue doc) {
-  DocId id = next_id_++;
+void Collection::InsertUnchecked(DocId id, DocValue doc) {
   if (doc.is_object() && doc.Find("_id") == nullptr) {
     doc.Add("_id", DocValue::Int(static_cast<int64_t>(id)));
   }
@@ -48,7 +47,25 @@ DocId Collection::Insert(DocValue doc) {
   data_size_ += bytes;
   for (auto& idx : indexes_) idx->Insert(id, doc);
   docs_.emplace(id, std::move(doc));
+  if (id >= next_id_) next_id_ = id + 1;
+}
+
+DocId Collection::Insert(DocValue doc) {
+  DocId id = next_id_;  // never live and never 0
+  InsertUnchecked(id, std::move(doc));
   return id;
+}
+
+Status Collection::RestoreDocument(DocId id, DocValue doc) {
+  if (id == 0) {
+    return Status::InvalidArgument("document id 0 is not assignable");
+  }
+  if (docs_.count(id) != 0) {
+    return Status::AlreadyExists("document id " + std::to_string(id) +
+                                 " already live in " + ns_);
+  }
+  InsertUnchecked(id, std::move(doc));
+  return Status::OK();
 }
 
 const DocValue* Collection::Get(DocId id) const {
@@ -101,6 +118,14 @@ Status Collection::CreateIndex(const std::string& field_path) {
   for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
   indexes_.push_back(std::move(idx));
   return Status::OK();
+}
+
+std::vector<std::string> Collection::IndexPaths() const {
+  std::vector<std::string> out;
+  for (const auto& idx : indexes_) {
+    if (idx->field_path() != "_id") out.push_back(idx->field_path());
+  }
+  return out;
 }
 
 bool Collection::HasIndex(const std::string& field_path) const {

@@ -24,6 +24,8 @@
 
 namespace dt::storage {
 
+struct SnapshotOptions;
+
 /// Tuning knobs for a collection. The defaults reproduce the paper's
 /// production configuration; benches scale `max_extent_size_bytes`
 /// down proportionally with the data scale factor.
@@ -131,11 +133,49 @@ class Collection {
 
   int64_t count() const { return static_cast<int64_t>(docs_.size()); }
 
+  const CollectionOptions& options() const { return opts_; }
+
+  /// Field paths of the user-created secondary indexes, in creation
+  /// order (the default "_id" index is implicit and excluded).
+  std::vector<std::string> IndexPaths() const;
+
+  /// Id that the next `Insert` will assign.
+  DocId next_id() const { return next_id_; }
+
+  // ---- Snapshot persistence (implemented in storage/snapshot.cc) ----
+
+  /// Writes this collection as a standalone binary snapshot file.
+  Status Save(const std::string& path, const SnapshotOptions& opts) const;
+  Status Save(const std::string& path) const;
+
+  /// Reads a collection snapshot written by `Save`. Secondary indexes
+  /// are rebuilt from their persisted field paths.
+  static Result<std::unique_ptr<Collection>> Open(const std::string& path,
+                                                  const SnapshotOptions& opts);
+  static Result<std::unique_ptr<Collection>> Open(const std::string& path);
+
+  /// \brief Inserts a document under an explicit id (snapshot loading;
+  /// not a general API). Extent accounting and indexes are maintained
+  /// exactly as `Insert` would, and `next_id` advances past `id`.
+  /// Fails with InvalidArgument for id 0 and AlreadyExists for a live
+  /// id.
+  Status RestoreDocument(DocId id, DocValue doc);
+
+  /// Raises `next_id` to at least `next_id` (restores ids burned by
+  /// removed documents so save -> load -> save is byte-identical).
+  void RestoreNextId(DocId next_id) {
+    if (next_id > next_id_) next_id_ = next_id;
+  }
+
   /// The `db.<coll>.stats()` snapshot.
   CollectionStats Stats() const;
 
  private:
   int ShardOf(DocId id) const;
+  /// Shared mutation core of Insert/RestoreDocument: no liveness check
+  /// (callers guarantee `id` is fresh), maintains extents, indexes and
+  /// next_id_.
+  void InsertUnchecked(DocId id, DocValue doc);
 
   std::string ns_;
   CollectionOptions opts_;

@@ -21,6 +21,27 @@ Result<Collection*> DocumentStore::GetCollection(const std::string& name) {
   return it->second.get();
 }
 
+Result<const Collection*> DocumentStore::GetCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection " + name + " does not exist");
+  }
+  return static_cast<const Collection*>(it->second.get());
+}
+
+Status DocumentStore::AdoptCollection(const std::string& name,
+                                      std::unique_ptr<Collection> coll) {
+  if (coll == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null collection");
+  }
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection " + name + " already exists");
+  }
+  collections_.emplace(name, std::move(coll));
+  return Status::OK();
+}
+
 Collection* DocumentStore::GetOrCreateCollection(const std::string& name,
                                                  CollectionOptions opts) {
   auto it = collections_.find(name);

@@ -28,6 +28,13 @@ class DocumentStore {
 
   /// Returns the collection, or NotFound.
   Result<Collection*> GetCollection(const std::string& name);
+  Result<const Collection*> GetCollection(const std::string& name) const;
+
+  /// Installs an externally constructed collection under `name`
+  /// (snapshot loading keeps the collection's original ns/options this
+  /// way); AlreadyExists on a name clash.
+  Status AdoptCollection(const std::string& name,
+                         std::unique_ptr<Collection> coll);
 
   /// Returns the collection if present, else creates it.
   Collection* GetOrCreateCollection(const std::string& name,
@@ -40,6 +47,20 @@ class DocumentStore {
   std::vector<std::string> CollectionNames() const;
 
   const std::string& db_name() const { return db_name_; }
+
+  // ---- Snapshot persistence (implemented in storage/snapshot.cc) ----
+
+  /// Writes the whole store (every collection: documents, options,
+  /// index metadata) as one binary snapshot file.
+  Status Save(const std::string& path, const SnapshotOptions& opts) const;
+  Status Save(const std::string& path) const;
+
+  /// Reads a store snapshot written by `Save`. Collections come back
+  /// with their original options, documents, ids and (rebuilt)
+  /// secondary indexes; queries run unchanged against the result.
+  static Result<std::unique_ptr<DocumentStore>> Open(
+      const std::string& path, const SnapshotOptions& opts);
+  static Result<std::unique_ptr<DocumentStore>> Open(const std::string& path);
 
  private:
   std::string db_name_;

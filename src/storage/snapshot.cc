@@ -1,0 +1,477 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "storage/codec.h"
+
+namespace dt::storage {
+
+namespace {
+
+constexpr uint8_t kKindStore = 1;
+constexpr uint8_t kKindCollection = 2;
+
+// ---- file IO ----------------------------------------------------------
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::streamsize size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(&(*out)[0], size)) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  // Unique temp file + fsync + rename: a crash mid-write leaves any
+  // previous snapshot at `path` intact, the data is on disk before the
+  // rename can replace it, and concurrent saves to the same path
+  // cannot interleave into one temp file (last rename wins whole).
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open " + tmp + " for writing");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal mid-write is not a failure
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  if (::close(fd) != 0) synced = false;  // close must run even if fsync failed
+  if (!synced) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot sync " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  // Make the rename itself durable (best-effort: some filesystems do
+  // not support fsync on directories).
+  std::string dir = path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+// ---- chunking ---------------------------------------------------------
+
+struct ChunkSpec {
+  size_t begin = 0;  // first doc index
+  size_t end = 0;    // one past last doc index
+};
+
+std::vector<ChunkSpec> MakeChunks(size_t num_docs, int docs_per_chunk) {
+  size_t per = docs_per_chunk > 0 ? static_cast<size_t>(docs_per_chunk) : 512;
+  std::vector<ChunkSpec> chunks;
+  for (size_t at = 0; at < num_docs; at += per) {
+    chunks.push_back({at, std::min(num_docs, at + per)});
+  }
+  return chunks;
+}
+
+/// Runs `body(i)` for i in [0, n) on the pool when it has workers,
+/// inline otherwise (a 1-thread pool spawns nothing, but routing the
+/// serial case around ParallelFor keeps the hot loop allocation-free).
+Status ForEachChunk(ThreadPool* pool, size_t n,
+                    const std::function<Status(size_t)>& body) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    return pool->ParallelFor(0, n, body);
+  }
+  for (size_t i = 0; i < n; ++i) DT_RETURN_NOT_OK(body(i));
+  return Status::OK();
+}
+
+// ---- collection section -----------------------------------------------
+
+Status WriteCollectionSection(const Collection& coll, ThreadPool* pool,
+                              int docs_per_chunk, std::string* out) {
+  BinaryWriter w(out);
+  w.PutString(coll.ns());
+  const CollectionOptions& copts = coll.options();
+  w.PutU32(static_cast<uint32_t>(copts.num_shards));
+  w.PutU64(static_cast<uint64_t>(copts.initial_extent_size_bytes));
+  w.PutU64(static_cast<uint64_t>(copts.max_extent_size_bytes));
+  w.PutU64(coll.next_id());
+  std::vector<std::string> index_paths = coll.IndexPaths();
+  w.PutU32(static_cast<uint32_t>(index_paths.size()));
+  for (const std::string& p : index_paths) w.PutString(p);
+
+  // Snapshot (id, doc) in id order; chunk boundaries depend only on
+  // the order and docs_per_chunk, so output bytes are identical for
+  // every thread count.
+  std::vector<std::pair<DocId, const DocValue*>> docs;
+  docs.reserve(static_cast<size_t>(coll.count()));
+  coll.ForEach(
+      [&docs](DocId id, const DocValue& doc) { docs.emplace_back(id, &doc); });
+  w.PutU64(static_cast<uint64_t>(docs.size()));
+
+  std::vector<ChunkSpec> chunks = MakeChunks(docs.size(), docs_per_chunk);
+  std::vector<std::string> payloads(chunks.size());
+  DT_RETURN_NOT_OK(ForEachChunk(pool, chunks.size(), [&](size_t c) {
+    std::string& buf = payloads[c];
+    BinaryWriter cw(&buf);
+    for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+      cw.PutU64(docs[i].first);
+      DT_RETURN_NOT_OK(EncodeDocValue(*docs[i].second, &buf));
+    }
+    return Status::OK();
+  }));
+
+  w.PutU32(static_cast<uint32_t>(chunks.size()));
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    w.PutU32(static_cast<uint32_t>(chunks[c].end - chunks[c].begin));
+    w.PutU64(payloads[c].size());
+  }
+  // Free each payload as it lands so peak memory stays near one copy
+  // of the snapshot, not two.
+  for (std::string& p : payloads) {
+    out->append(p);
+    std::string().swap(p);
+  }
+  return Status::OK();
+}
+
+/// Reads one collection section at the reader's cursor into a fresh
+/// collection constructed from the persisted ns/options. Secondary
+/// indexes are rebuilt from the persisted field paths.
+Result<std::unique_ptr<Collection>> ReadCollectionSection(BinaryReader* r,
+                                                          ThreadPool* pool) {
+  std::string ns;
+  DT_RETURN_NOT_OK(r->ReadString(&ns));
+  CollectionOptions copts;
+  uint32_t num_shards = 0;
+  uint64_t init_extent = 0, max_extent = 0, next_id = 0, doc_count = 0;
+  DT_RETURN_NOT_OK(r->ReadU32(&num_shards));
+  DT_RETURN_NOT_OK(r->ReadU64(&init_extent));
+  DT_RETURN_NOT_OK(r->ReadU64(&max_extent));
+  DT_RETURN_NOT_OK(r->ReadU64(&next_id));
+  if (num_shards == 0 || num_shards > (1u << 20)) {
+    return Status::Corruption("implausible shard count " +
+                              std::to_string(num_shards));
+  }
+  // Extent sizes are written from positive int64s; a u64 that would
+  // cast negative can only come from a bad file.
+  if (init_extent >= (1ull << 63) || max_extent >= (1ull << 63)) {
+    return Status::Corruption("implausible extent sizes");
+  }
+  copts.num_shards = static_cast<int>(num_shards);
+  copts.initial_extent_size_bytes = static_cast<int64_t>(init_extent);
+  copts.max_extent_size_bytes = static_cast<int64_t>(max_extent);
+
+  uint32_t index_count = 0;
+  DT_RETURN_NOT_OK(r->ReadU32(&index_count));
+  // Each path costs >= 4 bytes (its length prefix) in the file.
+  if (index_count > r->remaining() / 4) {
+    return Status::Corruption("index count " + std::to_string(index_count) +
+                              " exceeds remaining bytes");
+  }
+  std::vector<std::string> index_paths;
+  // Clamped reserve: growth past it is paid only as entries really read.
+  index_paths.reserve(std::min<uint32_t>(index_count, 1u << 10));
+  for (uint32_t i = 0; i < index_count; ++i) {
+    std::string p;
+    DT_RETURN_NOT_OK(r->ReadString(&p));
+    index_paths.push_back(std::move(p));
+  }
+
+  DT_RETURN_NOT_OK(r->ReadU64(&doc_count));
+
+  uint32_t chunk_count = 0;
+  DT_RETURN_NOT_OK(r->ReadU32(&chunk_count));
+  // Each directory entry costs 12 bytes in the file, so this bounds the
+  // dir/decoded pre-allocations below to ~2x the input size.
+  if (chunk_count > r->remaining() / 12) {
+    return Status::Corruption("chunk count " + std::to_string(chunk_count) +
+                              " exceeds remaining bytes");
+  }
+  struct ChunkDir {
+    uint32_t ndocs = 0;
+    uint64_t nbytes = 0;
+    size_t offset = 0;  // into the payload region
+  };
+  std::vector<ChunkDir> dir(chunk_count);
+  uint64_t total_docs = 0, total_bytes = 0;
+  for (auto& d : dir) {
+    DT_RETURN_NOT_OK(r->ReadU32(&d.ndocs));
+    DT_RETURN_NOT_OK(r->ReadU64(&d.nbytes));
+    d.offset = static_cast<size_t>(total_bytes);
+    // Each document costs >= 9 bytes (u64 id + type tag); a directory
+    // entry claiming more docs than its bytes allow would otherwise
+    // drive a huge reserve() below.
+    if (d.nbytes > r->remaining() ||
+        static_cast<uint64_t>(d.ndocs) * 9 > d.nbytes) {
+      return Status::Corruption("implausible chunk directory entry (" +
+                                std::to_string(d.ndocs) + " docs, " +
+                                std::to_string(d.nbytes) + " bytes)");
+    }
+    total_docs += d.ndocs;
+    total_bytes += d.nbytes;
+    // The second clause catches u64 wraparound from crafted sizes.
+    if (total_bytes > r->remaining() || total_bytes < d.nbytes) {
+      return Status::Corruption(
+          "chunk payloads (" + std::to_string(total_bytes) +
+          " bytes) exceed remaining " + std::to_string(r->remaining()));
+    }
+  }
+  if (total_docs != doc_count) {
+    return Status::Corruption("chunk directory docs " +
+                              std::to_string(total_docs) +
+                              " != declared count " + std::to_string(doc_count));
+  }
+  // An id space this large can only come from a bad file; accepting it
+  // would let post-load Inserts wrap the id counter to 0.
+  if (next_id >= (1ull << 63)) {
+    return Status::Corruption("implausible next_id " +
+                              std::to_string(next_id));
+  }
+
+  std::string_view payload_region;
+  DT_RETURN_NOT_OK(r->ReadSpan(static_cast<size_t>(total_bytes),
+                               &payload_region));
+
+  // Decode chunks in parallel into per-chunk slots, then restore
+  // serially in id order (RestoreDocument mutates shared state).
+  std::vector<std::vector<std::pair<DocId, DocValue>>> decoded(chunk_count);
+  DT_RETURN_NOT_OK(ForEachChunk(pool, chunk_count, [&](size_t c) -> Status {
+    const ChunkDir& d = dir[c];
+    BinaryReader cr(payload_region.substr(d.offset,
+                                          static_cast<size_t>(d.nbytes)));
+    auto& slot = decoded[c];
+    // Clamped like the codec's container reserves: a crafted directory
+    // could otherwise force a many-times-file-size allocation up front.
+    slot.reserve(std::min<uint32_t>(d.ndocs, 1u << 12));
+    for (uint32_t i = 0; i < d.ndocs; ++i) {
+      uint64_t id = 0;
+      DT_RETURN_NOT_OK(cr.ReadU64(&id));
+      // Ids this large can only come from a bad file; `id + 1` in the
+      // collection's next_id maintenance must never wrap.
+      if (id == 0 || id >= (1ull << 63)) {
+        return Status::Corruption("implausible document id " +
+                                  std::to_string(id));
+      }
+      DocValue doc;
+      DT_RETURN_NOT_OK(DecodeDocValue(&cr, &doc));
+      slot.emplace_back(static_cast<DocId>(id), std::move(doc));
+    }
+    if (cr.remaining() != 0) {
+      return Status::Corruption("chunk " + std::to_string(c) + " has " +
+                                std::to_string(cr.remaining()) +
+                                " trailing bytes");
+    }
+    return Status::OK();
+  }));
+
+  auto coll = std::make_unique<Collection>(ns, copts);
+  for (auto& chunk : decoded) {
+    for (auto& [id, doc] : chunk) {
+      // Duplicate or zero ids surface as AlreadyExists/InvalidArgument
+      // from the collection; to a snapshot reader they mean the file
+      // is bad, so re-code them as the documented kCorruption.
+      Status st = coll->RestoreDocument(id, std::move(doc));
+      if (!st.ok()) {
+        return Status::Corruption("invalid snapshot: " + st.ToString());
+      }
+    }
+  }
+  coll->RestoreNextId(static_cast<DocId>(next_id));
+  for (const std::string& p : index_paths) {
+    Status st = coll->CreateIndex(p);
+    if (!st.ok()) {
+      return Status::Corruption("invalid snapshot index metadata: " +
+                                st.ToString());
+    }
+  }
+  return coll;
+}
+
+Status WriteHeader(uint8_t kind, std::string* out) {
+  AppendCodecHeader(out);
+  BinaryWriter w(out);
+  w.PutU8(kind);
+  return Status::OK();
+}
+
+Status ReadHeader(BinaryReader* r, uint8_t expected_kind) {
+  DT_RETURN_NOT_OK(ReadCodecHeader(r));
+  uint8_t kind = 0;
+  DT_RETURN_NOT_OK(r->ReadU8(&kind));
+  if (kind != expected_kind) {
+    return Status::Corruption(
+        "snapshot kind " + std::to_string(kind) + " (wanted " +
+        std::to_string(expected_kind) +
+        "): store and collection snapshots are distinct files");
+  }
+  return Status::OK();
+}
+
+ThreadPool* MakePool(const SnapshotOptions& opts,
+                     std::unique_ptr<ThreadPool>* holder) {
+  int n = ResolveNumThreads(opts.num_threads);
+  if (n <= 1) return nullptr;
+  *holder = std::make_unique<ThreadPool>(n);
+  return holder->get();
+}
+
+}  // namespace
+
+// ---- whole-store snapshots --------------------------------------------
+
+Status EncodeStoreSnapshot(const DocumentStore& store,
+                           const SnapshotOptions& opts, std::string* out) {
+  std::unique_ptr<ThreadPool> pool_holder;
+  ThreadPool* pool = MakePool(opts, &pool_holder);
+  DT_RETURN_NOT_OK(WriteHeader(kKindStore, out));
+  BinaryWriter w(out);
+  w.PutString(store.db_name());
+  std::vector<std::string> names = store.CollectionNames();
+  w.PutU32(static_cast<uint32_t>(names.size()));
+  // CollectionNames() is sorted, so the layout is deterministic.
+  for (const std::string& name : names) {
+    const Collection* coll = store.GetCollection(name).ValueOrDie();
+    w.PutString(name);
+    DT_RETURN_NOT_OK(
+        WriteCollectionSection(*coll, pool, opts.docs_per_chunk, out));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
+    std::string_view buf, const SnapshotOptions& opts) {
+  std::unique_ptr<ThreadPool> pool_holder;
+  ThreadPool* pool = MakePool(opts, &pool_holder);
+  BinaryReader r(buf);
+  DT_RETURN_NOT_OK(ReadHeader(&r, kKindStore));
+  std::string db_name;
+  DT_RETURN_NOT_OK(r.ReadString(&db_name));
+  uint32_t count = 0;
+  DT_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > r.remaining()) {
+    return Status::Corruption("collection count " + std::to_string(count) +
+                              " exceeds remaining bytes");
+  }
+  auto store = std::make_unique<DocumentStore>(db_name);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    DT_RETURN_NOT_OK(r.ReadString(&name));
+    DT_ASSIGN_OR_RETURN(std::unique_ptr<Collection> coll,
+                        ReadCollectionSection(&r, pool));
+    Status st = store->AdoptCollection(name, std::move(coll));
+    if (!st.ok()) {
+      // A duplicate collection name means the file is bad.
+      return Status::Corruption("invalid snapshot: " + st.ToString());
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption(std::to_string(r.remaining()) +
+                              " trailing bytes after last collection");
+  }
+  return store;
+}
+
+Status SaveSnapshot(const DocumentStore& store, const std::string& path,
+                    const SnapshotOptions& opts) {
+  std::string buf;
+  DT_RETURN_NOT_OK(EncodeStoreSnapshot(store, opts, &buf));
+  return WriteStringToFile(path, buf);
+}
+
+Result<std::unique_ptr<DocumentStore>> LoadSnapshot(
+    const std::string& path, const SnapshotOptions& opts) {
+  std::string buf;
+  DT_RETURN_NOT_OK(ReadFileToString(path, &buf));
+  return DecodeStoreSnapshot(buf, opts);
+}
+
+// ---- single-collection snapshots --------------------------------------
+
+Status SaveSnapshot(const Collection& coll, const std::string& path,
+                    const SnapshotOptions& opts) {
+  std::unique_ptr<ThreadPool> pool_holder;
+  ThreadPool* pool = MakePool(opts, &pool_holder);
+  std::string buf;
+  DT_RETURN_NOT_OK(WriteHeader(kKindCollection, &buf));
+  DT_RETURN_NOT_OK(
+      WriteCollectionSection(coll, pool, opts.docs_per_chunk, &buf));
+  return WriteStringToFile(path, buf);
+}
+
+Result<std::unique_ptr<Collection>> LoadCollectionSnapshot(
+    const std::string& path, const SnapshotOptions& opts) {
+  std::unique_ptr<ThreadPool> pool_holder;
+  ThreadPool* pool = MakePool(opts, &pool_holder);
+  std::string buf;
+  DT_RETURN_NOT_OK(ReadFileToString(path, &buf));
+  BinaryReader r(buf);
+  DT_RETURN_NOT_OK(ReadHeader(&r, kKindCollection));
+  DT_ASSIGN_OR_RETURN(std::unique_ptr<Collection> coll,
+                      ReadCollectionSection(&r, pool));
+  if (r.remaining() != 0) {
+    return Status::Corruption(std::to_string(r.remaining()) +
+                              " trailing bytes after collection");
+  }
+  return coll;
+}
+
+// ---- member wrappers ---------------------------------------------------
+
+Status DocumentStore::Save(const std::string& path,
+                           const SnapshotOptions& opts) const {
+  return SaveSnapshot(*this, path, opts);
+}
+Status DocumentStore::Save(const std::string& path) const {
+  return SaveSnapshot(*this, path, SnapshotOptions{});
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    const std::string& path, const SnapshotOptions& opts) {
+  return LoadSnapshot(path, opts);
+}
+Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    const std::string& path) {
+  return LoadSnapshot(path, SnapshotOptions{});
+}
+
+Status Collection::Save(const std::string& path,
+                        const SnapshotOptions& opts) const {
+  return SaveSnapshot(*this, path, opts);
+}
+Status Collection::Save(const std::string& path) const {
+  return SaveSnapshot(*this, path, SnapshotOptions{});
+}
+
+Result<std::unique_ptr<Collection>> Collection::Open(
+    const std::string& path, const SnapshotOptions& opts) {
+  return LoadCollectionSnapshot(path, opts);
+}
+Result<std::unique_ptr<Collection>> Collection::Open(const std::string& path) {
+  return LoadCollectionSnapshot(path, SnapshotOptions{});
+}
+
+}  // namespace dt::storage

@@ -1,0 +1,85 @@
+/// \file snapshot.h
+/// \brief Binary snapshot persistence for collections and stores.
+///
+/// A snapshot makes cold start O(read) instead of O(re-ingest +
+/// re-index): the file carries every live document (in the
+/// storage/codec.h binary format), each collection's options and
+/// `next_id`, and the field paths of its secondary indexes. On open
+/// the documents are decoded and the indexes are rebuilt from their
+/// persisted metadata, so `query`/`text_search` run unchanged against
+/// the loaded store.
+///
+/// File layout (all framing via storage/codec.h, little-endian):
+///
+///   codec header ("DTB1", version, flags)
+///   u8 kind              1 = DocumentStore snapshot, 2 = Collection
+///   [store only]         db_name string, u32 collection count
+///   per collection:
+///     [store only]       registry name string
+///     ns string
+///     options            u32 num_shards, u64 initial/max extent bytes
+///     u64 next_id
+///     index metadata     u32 count + field-path strings
+///     u64 doc_count
+///     chunk directory    u32 chunk count, then per chunk
+///                        u32 doc count + u64 payload bytes
+///     chunk payloads     per document: u64 id + encoded DocValue
+///
+/// Documents are grouped into fixed-size chunks (`docs_per_chunk`)
+/// that encode and decode in parallel on a thread pool. Chunk
+/// boundaries depend only on document order and the chunk size, never
+/// on thread scheduling, so the bytes written are identical for every
+/// `num_threads` and save -> load -> save is byte-identical.
+///
+/// Load never trusts the input: every length is bounds-checked and a
+/// truncated or corrupt file comes back as `Status::Corruption` (file
+/// system failures as `Status::IOError`), never a crash.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/document_store.h"
+
+namespace dt::storage {
+
+/// Knobs for snapshot save/load.
+struct SnapshotOptions {
+  /// Threads for chunk encode/decode: 1 = serial, <= 0 = all hardware
+  /// threads. Output bytes are identical for every value.
+  int num_threads = 1;
+  /// Documents per encode/decode chunk (the parallelism grain).
+  int docs_per_chunk = 512;
+};
+
+// ---- Whole-store snapshots ----
+
+/// Writes `store` to `path` (via a temp file + rename, so a crash
+/// mid-save cannot truncate an existing snapshot).
+Status SaveSnapshot(const DocumentStore& store, const std::string& path,
+                    const SnapshotOptions& opts = {});
+
+/// Reads a store snapshot written by `SaveSnapshot`.
+Result<std::unique_ptr<DocumentStore>> LoadSnapshot(
+    const std::string& path, const SnapshotOptions& opts = {});
+
+// ---- Single-collection snapshots ----
+
+Status SaveSnapshot(const Collection& coll, const std::string& path,
+                    const SnapshotOptions& opts = {});
+
+Result<std::unique_ptr<Collection>> LoadCollectionSnapshot(
+    const std::string& path, const SnapshotOptions& opts = {});
+
+// ---- In-memory variants (testing; embedding in other streams) ----
+
+Status EncodeStoreSnapshot(const DocumentStore& store,
+                           const SnapshotOptions& opts, std::string* out);
+
+Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
+    std::string_view buf, const SnapshotOptions& opts = {});
+
+}  // namespace dt::storage

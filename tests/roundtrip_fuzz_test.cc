@@ -13,6 +13,7 @@
 #include "dedup/blocking.h"
 #include "ingest/csv.h"
 #include "ingest/json.h"
+#include "storage/codec.h"
 #include "storage/docvalue.h"
 
 namespace dt {
@@ -93,6 +94,72 @@ TEST_P(JsonRoundtripFuzz, ParseOfToJsonIsIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundtripFuzz,
                          ::testing::Values(101, 202, 303, 404));
+
+class BinaryCodecFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+// encode -> decode -> encode is byte-identical for arbitrary trees (a
+// strictly stronger property than Equals: the format has exactly one
+// representation per value, which the snapshot byte-identity guarantee
+// builds on).
+TEST_P(BinaryCodecFuzz, EncodeDecodeEncodeIsByteIdentical) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    DocValue original = RandomValue(&rng, 4);
+    std::string bytes;
+    ASSERT_TRUE(storage::EncodeDocValue(original, &bytes).ok());
+    DocValue decoded;
+    Status st = storage::DecodeDocValue(bytes, &decoded);
+    ASSERT_TRUE(st.ok()) << "seed=" << GetParam() << " trial=" << trial
+                         << "\n" << original.ToJson() << "\n" << st.ToString();
+    ASSERT_TRUE(original.Equals(decoded))
+        << "seed=" << GetParam() << " trial=" << trial;
+    std::string reencoded;
+    ASSERT_TRUE(storage::EncodeDocValue(decoded, &reencoded).ok());
+    ASSERT_EQ(bytes, reencoded)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+// Every strict prefix of a valid encoding decodes to a clean
+// kCorruption status — never a crash, never a bogus success.
+TEST_P(BinaryCodecFuzz, TruncationsFailWithCorruption) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string bytes;
+    ASSERT_TRUE(storage::EncodeDocValue(RandomValue(&rng, 3), &bytes).ok());
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      DocValue out;
+      Status st =
+          storage::DecodeDocValue(std::string_view(bytes.data(), cut), &out);
+      ASSERT_TRUE(st.IsCorruption())
+          << "seed=" << GetParam() << " trial=" << trial << " cut=" << cut
+          << " -> " << st.ToString();
+    }
+  }
+}
+
+// Random byte flips either decode to some value or fail with a Status;
+// under the CI sanitizer job this doubles as a memory-safety proof.
+TEST_P(BinaryCodecFuzz, RandomMutationsNeverCrash) {
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string bytes;
+    ASSERT_TRUE(storage::EncodeDocValue(RandomValue(&rng, 4), &bytes).ok());
+    if (bytes.empty()) continue;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.Uniform(bytes.size())] = static_cast<char>(rng.Uniform(256));
+    }
+    DocValue out;
+    Status st = storage::DecodeDocValue(bytes, &out);
+    if (!st.ok()) {
+      ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryCodecFuzz,
+                         ::testing::Values(1001, 2002, 3003));
 
 class CsvRoundtripFuzz : public ::testing::TestWithParam<uint64_t> {};
 

@@ -1,0 +1,295 @@
+/// Snapshot persistence: collections and stores survive a save/load
+/// round trip byte-identically (including a 10k-doc store), indexes
+/// are rebuilt, parallel encode/decode matches serial output, and the
+/// DataTamer facade serves queries unchanged from a loaded store.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "common/rng.h"
+#include "datagen/webtext_gen.h"
+#include "fusion/data_tamer.h"
+#include "storage/codec.h"
+#include "storage/collection.h"
+#include "storage/document_store.h"
+
+namespace dt::storage {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = testing::TempDir() + "dt_snapshot_" + tag + "_" +
+            std::to_string(::getpid()) + ".bin";
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DocValue RandomDoc(Rng* rng, int64_t i) {
+  DocBuilder b;
+  b.Set("seq", i);
+  b.Set("name", "entity-" + std::to_string(rng->Uniform(1000)));
+  b.Set("score", (2 * rng->UniformInt(-4000, 4000) + 1) / 16.0);
+  b.Set("flag", rng->Bernoulli(0.5));
+  if (rng->Bernoulli(0.3)) {
+    DocValue arr = DocValue::Array();
+    int n = static_cast<int>(rng->Uniform(5));
+    for (int k = 0; k < n; ++k) {
+      arr.Push(DocValue::Str("tag" + std::to_string(rng->Uniform(50))));
+    }
+    b.Set("tags", std::move(arr));
+  }
+  if (rng->Bernoulli(0.2)) {
+    b.Set("nested", DocBuilder()
+                        .Set("a", static_cast<int64_t>(rng->Uniform(100)))
+                        .Set("b", DocValue::Null())
+                        .Build());
+  }
+  return b.Build();
+}
+
+void FillCollection(Collection* coll, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) coll->Insert(RandomDoc(&rng, i));
+}
+
+void ExpectSameDocs(const Collection& a, const Collection& b) {
+  ASSERT_EQ(a.count(), b.count());
+  a.ForEach([&b](DocId id, const DocValue& doc) {
+    const DocValue* other = b.Get(id);
+    ASSERT_NE(other, nullptr) << "id " << id;
+    EXPECT_TRUE(doc.Equals(*other)) << "id " << id;
+  });
+}
+
+TEST(CollectionSnapshotTest, RoundTripsDocsOptionsIndexesAndNextId) {
+  CollectionOptions opts;
+  opts.num_shards = 4;
+  opts.initial_extent_size_bytes = 1 << 12;
+  opts.max_extent_size_bytes = 1 << 18;
+  Collection coll("dt.widgets", opts);
+  FillCollection(&coll, 500, 7);
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  ASSERT_TRUE(coll.CreateIndex("nested.a").ok());
+  // Burn some ids so next_id > max live id.
+  ASSERT_TRUE(coll.Remove(499).ok());
+  ASSERT_TRUE(coll.Remove(500).ok());
+
+  TempFile f("coll");
+  ASSERT_TRUE(coll.Save(f.path()).ok());
+  auto loaded = Collection::Open(f.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->ns(), "dt.widgets");
+  EXPECT_EQ((*loaded)->options().num_shards, 4);
+  EXPECT_EQ((*loaded)->options().initial_extent_size_bytes, 1 << 12);
+  EXPECT_EQ((*loaded)->options().max_extent_size_bytes, 1 << 18);
+  EXPECT_EQ((*loaded)->next_id(), coll.next_id());
+  EXPECT_TRUE((*loaded)->HasIndex("name"));
+  EXPECT_TRUE((*loaded)->HasIndex("nested.a"));
+  ExpectSameDocs(coll, **loaded);
+
+  // Index-backed lookups behave identically.
+  const DocValue key = DocValue::Str("entity-42");
+  EXPECT_EQ(coll.FindEqual("name", key), (*loaded)->FindEqual("name", key));
+  // And inserts keep working with fresh ids.
+  DocId id = (*loaded)->Insert(DocBuilder().Set("seq", -1).Build());
+  EXPECT_EQ(id, coll.next_id());
+}
+
+TEST(CollectionSnapshotTest, SaveLoadSaveIsByteIdentical) {
+  Collection coll("dt.stuff", {});
+  FillCollection(&coll, 300, 11);
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+
+  TempFile f1("first"), f2("second");
+  ASSERT_TRUE(coll.Save(f1.path()).ok());
+  auto loaded = Collection::Open(f1.path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)->Save(f2.path()).ok());
+
+  std::string a, b;
+  {
+    std::ifstream ia(f1.path(), std::ios::binary), ib(f2.path(),
+                                                      std::ios::binary);
+    a.assign(std::istreambuf_iterator<char>(ia), {});
+    b.assign(std::istreambuf_iterator<char>(ib), {});
+  }
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StoreSnapshotTest, TenThousandDocStoreRoundTripsByteIdentically) {
+  DocumentStore store("dt");
+  Collection* instance = store.GetOrCreateCollection("instance");
+  Collection* entity = store.GetOrCreateCollection("entity");
+  FillCollection(instance, 10000, 123);
+  FillCollection(entity, 2500, 321);
+  ASSERT_TRUE(entity->CreateIndex("name").ok());
+
+  SnapshotOptions sopts;
+  std::string first, second;
+  ASSERT_TRUE(EncodeStoreSnapshot(store, sopts, &first).ok());
+  auto loaded = DecodeStoreSnapshot(first, sopts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(EncodeStoreSnapshot(**loaded, sopts, &second).ok());
+  EXPECT_EQ(first, second);  // byte-identical round trip at 10k+ docs
+
+  EXPECT_EQ((*loaded)->db_name(), "dt");
+  EXPECT_EQ((*loaded)->CollectionNames(),
+            std::vector<std::string>({"entity", "instance"}));
+  auto li = (*loaded)->GetCollection("instance");
+  ASSERT_TRUE(li.ok());
+  ExpectSameDocs(*instance, **li);
+  auto le = (*loaded)->GetCollection("entity");
+  ASSERT_TRUE(le.ok());
+  EXPECT_TRUE((*le)->HasIndex("name"));
+  ExpectSameDocs(*entity, **le);
+}
+
+TEST(StoreSnapshotTest, ParallelBytesMatchSerialAndDecodeAgrees) {
+  DocumentStore store("dt");
+  Collection* coll = store.GetOrCreateCollection("instance");
+  FillCollection(coll, 5000, 55);
+
+  SnapshotOptions serial;  // num_threads = 1
+  SnapshotOptions parallel;
+  parallel.num_threads = 4;
+  parallel.docs_per_chunk = 256;
+  SnapshotOptions parallel_same_chunks = serial;
+  parallel_same_chunks.num_threads = 4;
+
+  std::string serial_bytes, parallel_bytes;
+  ASSERT_TRUE(EncodeStoreSnapshot(store, serial, &serial_bytes).ok());
+  ASSERT_TRUE(
+      EncodeStoreSnapshot(store, parallel_same_chunks, &parallel_bytes).ok());
+  // Same chunk size -> identical bytes regardless of thread count.
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+
+  // A different chunk size changes framing but not content.
+  std::string small_chunks;
+  ASSERT_TRUE(EncodeStoreSnapshot(store, parallel, &small_chunks).ok());
+  auto loaded = DecodeStoreSnapshot(small_chunks, parallel);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto lc = (*loaded)->GetCollection("instance");
+  ASSERT_TRUE(lc.ok());
+  ExpectSameDocs(*coll, **lc);
+}
+
+TEST(StoreSnapshotTest, MissingFileIsIOErrorAndCorruptFileIsCorruption) {
+  auto missing = LoadSnapshot("/nonexistent/dir/snap.bin");
+  EXPECT_TRUE(missing.status().IsIOError()) << missing.status().ToString();
+
+  DocumentStore store("dt");
+  FillCollection(store.GetOrCreateCollection("instance"), 50, 5);
+  std::string buf;
+  ASSERT_TRUE(EncodeStoreSnapshot(store, {}, &buf).ok());
+
+  // Every truncation of the snapshot fails cleanly.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{9}, buf.size() / 2,
+                     buf.size() - 1}) {
+    auto r = DecodeStoreSnapshot(std::string_view(buf.data(), cut), {});
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  }
+  // A collection snapshot is not a store snapshot.
+  Collection coll("dt.x", {});
+  TempFile f("kind");
+  ASSERT_TRUE(coll.Save(f.path()).ok());
+  auto wrong_kind = LoadSnapshot(f.path());
+  EXPECT_TRUE(wrong_kind.status().IsCorruption());
+}
+
+TEST(StoreSnapshotTest, MutatedSnapshotsFailOnlyWithCorruption) {
+  DocumentStore store("dt");
+  Collection* coll = store.GetOrCreateCollection("instance");
+  FillCollection(coll, 200, 9);
+  ASSERT_TRUE(coll->CreateIndex("name").ok());
+  std::string buf;
+  ASSERT_TRUE(EncodeStoreSnapshot(store, {}, &buf).ok());
+
+  Rng rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = buf;
+    int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto r = DecodeStoreSnapshot(mutated, {});
+    if (!r.ok()) {
+      // Whatever the mutation hit (doc bytes, ids, chunk directory,
+      // index metadata), a bad file must always read as kCorruption.
+      EXPECT_TRUE(r.status().IsCorruption())
+          << "trial=" << trial << " -> " << r.status().ToString();
+    }
+  }
+}
+
+TEST(DataTamerSnapshotTest, QueriesServeUnchangedFromLoadedStore) {
+  datagen::WebTextGenOptions topts;
+  topts.num_fragments = 400;
+  datagen::WebTextGenerator webgen(topts);
+  textparse::Gazetteer gaz = webgen.BuildGazetteer();
+
+  fusion::DataTamer tamer;
+  tamer.SetGazetteer(&gaz);
+  for (const auto& frag : webgen.Generate()) {
+    ASSERT_TRUE(
+        tamer.IngestTextFragment(frag.text, frag.feed, frag.timestamp).ok());
+  }
+  ASSERT_TRUE(tamer.CreateStandardIndexes().ok());
+
+  auto before_top = tamer.TopDiscussed("Movie", 5, false);
+  auto before_hits = tamer.SearchFragments("opening night", 5);
+
+  TempFile f("facade");
+  ASSERT_TRUE(tamer.SaveSnapshot(f.path()).ok());
+
+  fusion::DataTamer fresh;
+  fresh.SetGazetteer(&gaz);
+  ASSERT_TRUE(fresh.LoadSnapshot(f.path()).ok());
+
+  EXPECT_EQ(fresh.stats().fragments_ingested, tamer.stats().fragments_ingested);
+  EXPECT_EQ(fresh.stats().entities_extracted, tamer.stats().entities_extracted);
+  EXPECT_TRUE(fresh.entity_collection()->HasIndex("name"));
+
+  auto after_top = fresh.TopDiscussed("Movie", 5, false);
+  ASSERT_EQ(before_top.size(), after_top.size());
+  for (size_t i = 0; i < before_top.size(); ++i) {
+    EXPECT_EQ(before_top[i].key, after_top[i].key);
+    EXPECT_EQ(before_top[i].count, after_top[i].count);
+  }
+  auto after_hits = fresh.SearchFragments("opening night", 5);
+  ASSERT_EQ(before_hits.size(), after_hits.size());
+  for (size_t i = 0; i < before_hits.size(); ++i) {
+    EXPECT_EQ(before_hits[i].doc_id, after_hits[i].doc_id);
+    EXPECT_DOUBLE_EQ(before_hits[i].score, after_hits[i].score);
+  }
+
+  // Loading a garbage file leaves the loaded facade untouched.
+  TempFile garbage("garbage");
+  {
+    std::ofstream out(garbage.path(), std::ios::binary);
+    out << "not a snapshot";
+  }
+  EXPECT_FALSE(fresh.LoadSnapshot(garbage.path()).ok());
+  EXPECT_EQ(fresh.stats().fragments_ingested,
+            tamer.stats().fragments_ingested);
+}
+
+}  // namespace
+}  // namespace dt::storage
