@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier_cv.dir/bench/bench_classifier_cv.cc.o"
+  "CMakeFiles/bench_classifier_cv.dir/bench/bench_classifier_cv.cc.o.d"
+  "bench_classifier_cv"
+  "bench_classifier_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_schema_init.dir/bench/bench_fig2_schema_init.cc.o"
+  "CMakeFiles/bench_fig2_schema_init.dir/bench/bench_fig2_schema_init.cc.o.d"
+  "bench_fig2_schema_init"
+  "bench_fig2_schema_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_schema_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

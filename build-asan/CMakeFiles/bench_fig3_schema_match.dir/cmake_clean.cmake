@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_schema_match.dir/bench/bench_fig3_schema_match.cc.o"
+  "CMakeFiles/bench_fig3_schema_match.dir/bench/bench_fig3_schema_match.cc.o.d"
+  "bench_fig3_schema_match"
+  "bench_fig3_schema_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_schema_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

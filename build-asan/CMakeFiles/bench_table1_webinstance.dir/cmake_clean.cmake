@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_webinstance.dir/bench/bench_table1_webinstance.cc.o"
+  "CMakeFiles/bench_table1_webinstance.dir/bench/bench_table1_webinstance.cc.o.d"
+  "bench_table1_webinstance"
+  "bench_table1_webinstance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_webinstance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_webentities.dir/bench/bench_table2_webentities.cc.o"
+  "CMakeFiles/bench_table2_webentities.dir/bench/bench_table2_webentities.cc.o.d"
+  "bench_table2_webentities"
+  "bench_table2_webentities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_webentities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_entity_types.dir/bench/bench_table3_entity_types.cc.o"
+  "CMakeFiles/bench_table3_entity_types.dir/bench/bench_table3_entity_types.cc.o.d"
+  "bench_table3_entity_types"
+  "bench_table3_entity_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_entity_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_text_only.dir/bench/bench_table5_text_only.cc.o"
+  "CMakeFiles/bench_table5_text_only.dir/bench/bench_table5_text_only.cc.o.d"
+  "bench_table5_text_only"
+  "bench_table5_text_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_text_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

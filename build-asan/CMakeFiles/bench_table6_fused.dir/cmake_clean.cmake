@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fused.dir/bench/bench_table6_fused.cc.o"
+  "CMakeFiles/bench_table6_fused.dir/bench/bench_table6_fused.cc.o.d"
+  "bench_table6_fused"
+  "bench_table6_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

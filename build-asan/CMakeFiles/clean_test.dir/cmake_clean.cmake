@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_test.dir/tests/clean_test.cc.o"
+  "CMakeFiles/clean_test.dir/tests/clean_test.cc.o.d"
+  "clean_test"
+  "clean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_profile_test.dir/tests/column_profile_test.cc.o"
+  "CMakeFiles/column_profile_test.dir/tests/column_profile_test.cc.o.d"
+  "column_profile_test"
+  "column_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

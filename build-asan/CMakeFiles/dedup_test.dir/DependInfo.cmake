@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dedup_test.cc" "CMakeFiles/dedup_test.dir/tests/dedup_test.cc.o" "gcc" "CMakeFiles/dedup_test.dir/tests/dedup_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/dt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/googletest/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/googletest/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_test.dir/tests/dedup_test.cc.o"
+  "CMakeFiles/dedup_test.dir/tests/dedup_test.cc.o.d"
+  "dedup_test"
+  "dedup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

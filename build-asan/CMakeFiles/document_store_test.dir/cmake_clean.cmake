@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_store_test.dir/tests/document_store_test.cc.o"
+  "CMakeFiles/document_store_test.dir/tests/document_store_test.cc.o.d"
+  "document_store_test"
+  "document_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docvalue_test.dir/tests/docvalue_test.cc.o"
+  "CMakeFiles/docvalue_test.dir/tests/docvalue_test.cc.o.d"
+  "docvalue_test"
+  "docvalue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docvalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

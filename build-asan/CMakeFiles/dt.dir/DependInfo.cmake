@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clean/cleaning.cc" "CMakeFiles/dt.dir/src/clean/cleaning.cc.o" "gcc" "CMakeFiles/dt.dir/src/clean/cleaning.cc.o.d"
+  "/root/repo/src/clean/mention_cleaner.cc" "CMakeFiles/dt.dir/src/clean/mention_cleaner.cc.o" "gcc" "CMakeFiles/dt.dir/src/clean/mention_cleaner.cc.o.d"
+  "/root/repo/src/clean/transforms.cc" "CMakeFiles/dt.dir/src/clean/transforms.cc.o" "gcc" "CMakeFiles/dt.dir/src/clean/transforms.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/dt.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/dt.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/dt.dir/src/common/status.cc.o" "gcc" "CMakeFiles/dt.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strutil.cc" "CMakeFiles/dt.dir/src/common/strutil.cc.o" "gcc" "CMakeFiles/dt.dir/src/common/strutil.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/dt.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/dt.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/datagen/dedup_labels.cc" "CMakeFiles/dt.dir/src/datagen/dedup_labels.cc.o" "gcc" "CMakeFiles/dt.dir/src/datagen/dedup_labels.cc.o.d"
+  "/root/repo/src/datagen/ftables_gen.cc" "CMakeFiles/dt.dir/src/datagen/ftables_gen.cc.o" "gcc" "CMakeFiles/dt.dir/src/datagen/ftables_gen.cc.o.d"
+  "/root/repo/src/datagen/mention_labels.cc" "CMakeFiles/dt.dir/src/datagen/mention_labels.cc.o" "gcc" "CMakeFiles/dt.dir/src/datagen/mention_labels.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "CMakeFiles/dt.dir/src/datagen/vocab.cc.o" "gcc" "CMakeFiles/dt.dir/src/datagen/vocab.cc.o.d"
+  "/root/repo/src/datagen/webtext_gen.cc" "CMakeFiles/dt.dir/src/datagen/webtext_gen.cc.o" "gcc" "CMakeFiles/dt.dir/src/datagen/webtext_gen.cc.o.d"
+  "/root/repo/src/dedup/blocking.cc" "CMakeFiles/dt.dir/src/dedup/blocking.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/blocking.cc.o.d"
+  "/root/repo/src/dedup/clustering.cc" "CMakeFiles/dt.dir/src/dedup/clustering.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/clustering.cc.o.d"
+  "/root/repo/src/dedup/consolidation.cc" "CMakeFiles/dt.dir/src/dedup/consolidation.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/consolidation.cc.o.d"
+  "/root/repo/src/dedup/fellegi_sunter.cc" "CMakeFiles/dt.dir/src/dedup/fellegi_sunter.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/fellegi_sunter.cc.o.d"
+  "/root/repo/src/dedup/pair_features.cc" "CMakeFiles/dt.dir/src/dedup/pair_features.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/pair_features.cc.o.d"
+  "/root/repo/src/dedup/record.cc" "CMakeFiles/dt.dir/src/dedup/record.cc.o" "gcc" "CMakeFiles/dt.dir/src/dedup/record.cc.o.d"
+  "/root/repo/src/expert/expert.cc" "CMakeFiles/dt.dir/src/expert/expert.cc.o" "gcc" "CMakeFiles/dt.dir/src/expert/expert.cc.o.d"
+  "/root/repo/src/fusion/data_tamer.cc" "CMakeFiles/dt.dir/src/fusion/data_tamer.cc.o" "gcc" "CMakeFiles/dt.dir/src/fusion/data_tamer.cc.o.d"
+  "/root/repo/src/ingest/csv.cc" "CMakeFiles/dt.dir/src/ingest/csv.cc.o" "gcc" "CMakeFiles/dt.dir/src/ingest/csv.cc.o.d"
+  "/root/repo/src/ingest/flatten.cc" "CMakeFiles/dt.dir/src/ingest/flatten.cc.o" "gcc" "CMakeFiles/dt.dir/src/ingest/flatten.cc.o.d"
+  "/root/repo/src/ingest/json.cc" "CMakeFiles/dt.dir/src/ingest/json.cc.o" "gcc" "CMakeFiles/dt.dir/src/ingest/json.cc.o.d"
+  "/root/repo/src/ingest/source_registry.cc" "CMakeFiles/dt.dir/src/ingest/source_registry.cc.o" "gcc" "CMakeFiles/dt.dir/src/ingest/source_registry.cc.o.d"
+  "/root/repo/src/ingest/type_infer.cc" "CMakeFiles/dt.dir/src/ingest/type_infer.cc.o" "gcc" "CMakeFiles/dt.dir/src/ingest/type_infer.cc.o.d"
+  "/root/repo/src/match/column_profile.cc" "CMakeFiles/dt.dir/src/match/column_profile.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/column_profile.cc.o.d"
+  "/root/repo/src/match/composite_matcher.cc" "CMakeFiles/dt.dir/src/match/composite_matcher.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/composite_matcher.cc.o.d"
+  "/root/repo/src/match/global_schema.cc" "CMakeFiles/dt.dir/src/match/global_schema.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/global_schema.cc.o.d"
+  "/root/repo/src/match/name_matcher.cc" "CMakeFiles/dt.dir/src/match/name_matcher.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/name_matcher.cc.o.d"
+  "/root/repo/src/match/synonyms.cc" "CMakeFiles/dt.dir/src/match/synonyms.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/synonyms.cc.o.d"
+  "/root/repo/src/match/threshold_tuner.cc" "CMakeFiles/dt.dir/src/match/threshold_tuner.cc.o" "gcc" "CMakeFiles/dt.dir/src/match/threshold_tuner.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "CMakeFiles/dt.dir/src/ml/classifier.cc.o" "gcc" "CMakeFiles/dt.dir/src/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "CMakeFiles/dt.dir/src/ml/evaluation.cc.o" "gcc" "CMakeFiles/dt.dir/src/ml/evaluation.cc.o.d"
+  "/root/repo/src/ml/features.cc" "CMakeFiles/dt.dir/src/ml/features.cc.o" "gcc" "CMakeFiles/dt.dir/src/ml/features.cc.o.d"
+  "/root/repo/src/query/query.cc" "CMakeFiles/dt.dir/src/query/query.cc.o" "gcc" "CMakeFiles/dt.dir/src/query/query.cc.o.d"
+  "/root/repo/src/query/text_search.cc" "CMakeFiles/dt.dir/src/query/text_search.cc.o" "gcc" "CMakeFiles/dt.dir/src/query/text_search.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "CMakeFiles/dt.dir/src/relational/catalog.cc.o" "gcc" "CMakeFiles/dt.dir/src/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "CMakeFiles/dt.dir/src/relational/schema.cc.o" "gcc" "CMakeFiles/dt.dir/src/relational/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "CMakeFiles/dt.dir/src/relational/table.cc.o" "gcc" "CMakeFiles/dt.dir/src/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "CMakeFiles/dt.dir/src/relational/value.cc.o" "gcc" "CMakeFiles/dt.dir/src/relational/value.cc.o.d"
+  "/root/repo/src/storage/codec.cc" "CMakeFiles/dt.dir/src/storage/codec.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/codec.cc.o.d"
+  "/root/repo/src/storage/collection.cc" "CMakeFiles/dt.dir/src/storage/collection.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/collection.cc.o.d"
+  "/root/repo/src/storage/document_store.cc" "CMakeFiles/dt.dir/src/storage/document_store.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/document_store.cc.o.d"
+  "/root/repo/src/storage/docvalue.cc" "CMakeFiles/dt.dir/src/storage/docvalue.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/docvalue.cc.o.d"
+  "/root/repo/src/storage/index.cc" "CMakeFiles/dt.dir/src/storage/index.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/index.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "CMakeFiles/dt.dir/src/storage/snapshot.cc.o" "gcc" "CMakeFiles/dt.dir/src/storage/snapshot.cc.o.d"
+  "/root/repo/src/textparse/domain_parser.cc" "CMakeFiles/dt.dir/src/textparse/domain_parser.cc.o" "gcc" "CMakeFiles/dt.dir/src/textparse/domain_parser.cc.o.d"
+  "/root/repo/src/textparse/entity_types.cc" "CMakeFiles/dt.dir/src/textparse/entity_types.cc.o" "gcc" "CMakeFiles/dt.dir/src/textparse/entity_types.cc.o.d"
+  "/root/repo/src/textparse/gazetteer.cc" "CMakeFiles/dt.dir/src/textparse/gazetteer.cc.o" "gcc" "CMakeFiles/dt.dir/src/textparse/gazetteer.cc.o.d"
+  "/root/repo/src/textparse/tokenizer.cc" "CMakeFiles/dt.dir/src/textparse/tokenizer.cc.o" "gcc" "CMakeFiles/dt.dir/src/textparse/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_broadway_fusion.dir/examples/broadway_fusion.cpp.o"
+  "CMakeFiles/example_broadway_fusion.dir/examples/broadway_fusion.cpp.o.d"
+  "example_broadway_fusion"
+  "example_broadway_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_broadway_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

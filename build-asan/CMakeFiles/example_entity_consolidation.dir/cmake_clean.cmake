@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_entity_consolidation.dir/examples/entity_consolidation.cpp.o"
+  "CMakeFiles/example_entity_consolidation.dir/examples/entity_consolidation.cpp.o.d"
+  "example_entity_consolidation"
+  "example_entity_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_entity_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_snapshot_roundtrip.dir/examples/snapshot_roundtrip.cpp.o"
+  "CMakeFiles/example_snapshot_roundtrip.dir/examples/snapshot_roundtrip.cpp.o.d"
+  "example_snapshot_roundtrip"
+  "example_snapshot_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_snapshot_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_test.dir/tests/expert_test.cc.o"
+  "CMakeFiles/expert_test.dir/tests/expert_test.cc.o.d"
+  "expert_test"
+  "expert_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

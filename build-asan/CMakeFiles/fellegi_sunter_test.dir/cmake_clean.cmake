@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fellegi_sunter_test.dir/tests/fellegi_sunter_test.cc.o"
+  "CMakeFiles/fellegi_sunter_test.dir/tests/fellegi_sunter_test.cc.o.d"
+  "fellegi_sunter_test"
+  "fellegi_sunter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fellegi_sunter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gazetteer_test.dir/tests/gazetteer_test.cc.o"
+  "CMakeFiles/gazetteer_test.dir/tests/gazetteer_test.cc.o.d"
+  "gazetteer_test"
+  "gazetteer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gazetteer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_schema_test.dir/tests/global_schema_test.cc.o"
+  "CMakeFiles/global_schema_test.dir/tests/global_schema_test.cc.o.d"
+  "global_schema_test"
+  "global_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

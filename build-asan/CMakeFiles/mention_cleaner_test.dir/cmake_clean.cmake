@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mention_cleaner_test.dir/tests/mention_cleaner_test.cc.o"
+  "CMakeFiles/mention_cleaner_test.dir/tests/mention_cleaner_test.cc.o.d"
+  "mention_cleaner_test"
+  "mention_cleaner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mention_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

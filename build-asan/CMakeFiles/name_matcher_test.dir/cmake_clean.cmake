@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_matcher_test.dir/tests/name_matcher_test.cc.o"
+  "CMakeFiles/name_matcher_test.dir/tests/name_matcher_test.cc.o.d"
+  "name_matcher_test"
+  "name_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

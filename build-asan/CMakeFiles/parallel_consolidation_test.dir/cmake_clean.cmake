@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_consolidation_test.dir/tests/parallel_consolidation_test.cc.o"
+  "CMakeFiles/parallel_consolidation_test.dir/tests/parallel_consolidation_test.cc.o.d"
+  "parallel_consolidation_test"
+  "parallel_consolidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_consolidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semistructured_test.dir/tests/semistructured_test.cc.o"
+  "CMakeFiles/semistructured_test.dir/tests/semistructured_test.cc.o.d"
+  "semistructured_test"
+  "semistructured_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semistructured_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

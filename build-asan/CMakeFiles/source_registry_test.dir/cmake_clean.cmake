@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_registry_test.dir/tests/source_registry_test.cc.o"
+  "CMakeFiles/source_registry_test.dir/tests/source_registry_test.cc.o.d"
+  "source_registry_test"
+  "source_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

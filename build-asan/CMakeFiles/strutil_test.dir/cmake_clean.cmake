@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strutil_test.dir/tests/strutil_test.cc.o"
+  "CMakeFiles/strutil_test.dir/tests/strutil_test.cc.o.d"
+  "strutil_test"
+  "strutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonyms_test.dir/tests/synonyms_test.cc.o"
+  "CMakeFiles/synonyms_test.dir/tests/synonyms_test.cc.o.d"
+  "synonyms_test"
+  "synonyms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonyms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_search_test.dir/tests/text_search_test.cc.o"
+  "CMakeFiles/text_search_test.dir/tests/text_search_test.cc.o.d"
+  "text_search_test"
+  "text_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_tuner_test.dir/tests/threshold_tuner_test.cc.o"
+  "CMakeFiles/threshold_tuner_test.dir/tests/threshold_tuner_test.cc.o.d"
+  "threshold_tuner_test"
+  "threshold_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_infer_test.dir/tests/type_infer_test.cc.o"
+  "CMakeFiles/type_infer_test.dir/tests/type_infer_test.cc.o.d"
+  "type_infer_test"
+  "type_infer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
