@@ -13,6 +13,8 @@
 ///   G. Serial vs multi-threaded candidate generation + pair scoring
 ///      (the consolidation hot path on the thread pool).
 ///   H. Snapshot cold start (binary save/load) vs re-ingest.
+///   I. Query planner: index-routed vs full-scan `Find` at 10k-100k
+///      docs (the structured read path of the demo queries).
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
@@ -32,6 +34,8 @@
 #include "dedup/pair_features.h"
 #include "expert/expert.h"
 #include "match/global_schema.h"
+#include "query/planner.h"
+#include "query/predicate.h"
 #include "query/query.h"
 #include "storage/snapshot.h"
 
@@ -399,6 +403,74 @@ void AblationSnapshot() {
   std::remove(path.c_str());
 }
 
+void AblationPlanner() {
+  PrintSection("I. query planner: index-routed vs full-scan Find");
+  std::printf("  %-9s %12s %12s %12s %9s %10s\n", "docs", "IXSCAN(ms)",
+              "scan(ms)", "scan-4t(ms)", "speedup", "identical");
+  // ~10k entity docs per 1k fragments; the two scales bracket the
+  // acceptance range.
+  for (int64_t fragments : {1000, 10000}) {
+    BenchScale scale;
+    scale.num_fragments = fragments;
+    DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                       /*ingest_structured=*/false);
+    const auto* coll = p.tamer->entity_collection();
+    auto pred = query::Predicate::And(
+        {query::Predicate::Eq("type", storage::DocValue::Str("Movie")),
+         query::Predicate::Eq("name", storage::DocValue::Str("Matilda"))});
+
+    const int reps = 30;
+    Timer t_idx;
+    std::vector<storage::DocId> via_index;
+    for (int i = 0; i < reps; ++i) {
+      via_index = query::Find(*coll, pred).ValueOrDie();
+    }
+    double idx_ms = t_idx.Millis() / reps;
+
+    query::FindOptions scan_opts;
+    scan_opts.use_indexes = false;
+    Timer t_scan;
+    std::vector<storage::DocId> via_scan;
+    for (int i = 0; i < reps; ++i) {
+      via_scan = query::Find(*coll, pred, scan_opts).ValueOrDie();
+    }
+    double scan_ms = t_scan.Millis() / reps;
+
+    query::FindOptions par_opts = scan_opts;
+    par_opts.num_threads = 4;
+    Timer t_par;
+    std::vector<storage::DocId> via_par;
+    for (int i = 0; i < reps; ++i) {
+      via_par = query::Find(*coll, pred, par_opts).ValueOrDie();
+    }
+    double par_ms = t_par.Millis() / reps;
+
+    const bool identical = via_index == via_scan && via_scan == via_par;
+    if (!identical || via_index.empty()) CheckFailed() = true;
+    std::printf("  %-9s %12.3f %12.3f %12.3f %8.1fx %10s\n",
+                WithThousandsSep(coll->count()).c_str(), idx_ms, scan_ms,
+                par_ms, idx_ms > 0 ? scan_ms / idx_ms : 0.0,
+                identical ? "yes" : "NO");
+    if (fragments == 1000) {
+      // The ~10k-doc dataset carries the acceptance bar: the indexed
+      // equality Find must beat the full scan by >= 10x.
+      double speedup = idx_ms > 0 ? scan_ms / idx_ms : 0.0;
+      RecordMetric("planner_10k_ixscan_ms", idx_ms);
+      RecordMetric("planner_10k_collscan_ms", scan_ms);
+      RecordMetric("planner_10k_speedup", speedup);
+      if (speedup < 10.0) {
+        std::printf("  FAILED: indexed Find only %.1fx faster than scan "
+                    "(need >= 10x)\n", speedup);
+        CheckFailed() = true;
+      }
+    } else {
+      RecordMetric("planner_100k_ixscan_ms", idx_ms);
+      RecordMetric("planner_100k_collscan_ms", scan_ms);
+      RecordMetric("planner_100k_collscan_4thr_ms", par_ms);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -422,6 +494,7 @@ int main(int argc, char** argv) {
   AblationMergePolicies();
   AblationParallelism();
   AblationSnapshot();
+  AblationPlanner();
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

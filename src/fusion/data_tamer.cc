@@ -186,22 +186,45 @@ Result<match::IntegrationReport> DataTamer::IngestJsonLines(
 
 std::vector<query::CountRow> DataTamer::TopDiscussed(
     const std::string& entity_type, int k, bool award_winning_only) const {
-  query::DocFilter filter = [&](const DocValue& doc) {
-    const DocValue* type = doc.Find("type");
-    if (type == nullptr || !type->is_string() ||
-        type->string_value() != entity_type) {
-      return false;
-    }
-    if (award_winning_only) {
-      const DocValue* award = doc.Find("award_winning");
-      if (award == nullptr || !award->is_string() ||
-          award->string_value() != "true") {
-        return false;
-      }
-    }
-    return true;
-  };
-  return query::TopKByCount(*entity_, "name", k, filter);
+  query::PredicatePtr pred =
+      query::Predicate::Eq("type", DocValue::Str(entity_type));
+  if (award_winning_only) {
+    pred = query::Predicate::And(
+        {std::move(pred),
+         query::Predicate::Eq("award_winning", DocValue::Str("true"))});
+  }
+  query::FindOptions opts;
+  opts.num_threads = opts_.num_threads;
+  return query::TopKByCount(*entity_, "name", k, pred, opts);
+}
+
+query::FindOptions DataTamer::ResolveFindOptions(
+    const std::string& collection, query::FindOptions opts) const {
+  if (opts_.num_threads != 1 && opts.num_threads == 1) {
+    opts.num_threads = opts_.num_threads;
+  }
+  if (opts.text_index == nullptr && collection == "instance") {
+    RefreshFragmentIndex();
+    opts.text_index = &fragment_index_;
+  }
+  return opts;
+}
+
+Result<std::vector<storage::DocId>> DataTamer::Find(
+    const std::string& collection, const query::PredicatePtr& pred,
+    query::FindOptions opts) const {
+  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                      store_.GetCollection(collection));
+  return query::Find(*coll, pred, ResolveFindOptions(collection, opts));
+}
+
+Result<std::string> DataTamer::Explain(const std::string& collection,
+                                       const query::PredicatePtr& pred,
+                                       query::FindOptions opts) const {
+  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                      store_.GetCollection(collection));
+  return query::ExplainFind(*coll, pred,
+                            ResolveFindOptions(collection, opts));
 }
 
 namespace {
@@ -364,8 +387,7 @@ Status DataTamer::LoadSnapshot(const std::string& path) {
   return Status::OK();
 }
 
-std::vector<query::SearchHit> DataTamer::SearchFragments(
-    std::string_view keywords, int k) const {
+void DataTamer::RefreshFragmentIndex() const {
   if (fragments_indexed_ != instance_->count()) {
     // Rebuild from scratch: simple and correct under updates/removes;
     // incremental maintenance is an optimization the demo scale does
@@ -374,6 +396,11 @@ std::vector<query::SearchHit> DataTamer::SearchFragments(
     (void)fragment_index_.Build(*instance_);
     fragments_indexed_ = instance_->count();
   }
+}
+
+std::vector<query::SearchHit> DataTamer::SearchFragments(
+    std::string_view keywords, int k) const {
+  RefreshFragmentIndex();
   return fragment_index_.Search(keywords, k);
 }
 

@@ -127,10 +127,32 @@ class DataTamer {
   // ---- Fusion queries (the demo of §V) ----
 
   /// \brief Table IV: top-k most discussed entities of `entity_type`
-  /// in the web text, optionally restricted to award winners.
+  /// in the web text, optionally restricted to award winners. Routed
+  /// through the query planner: after `CreateStandardIndexes` the type
+  /// predicate drives an index scan instead of a collection scan.
   std::vector<query::CountRow> TopDiscussed(const std::string& entity_type,
                                             int k,
                                             bool award_winning_only) const;
+
+  /// \brief Structured predicate query against a collection of the
+  /// store ("instance", "entity", ...): ascending ids of exactly the
+  /// documents matching `pred`, routed through the cost-aware planner
+  /// (secondary indexes, the full-text index for TextContains on
+  /// instance text, parallel scan fallback). `opts.num_threads`
+  /// inherits the facade-level knob unless set away from its default;
+  /// `opts.text_index` is wired to the fragment index automatically
+  /// for the instance collection.
+  Result<std::vector<storage::DocId>> Find(const std::string& collection,
+                                           const query::PredicatePtr& pred,
+                                           query::FindOptions opts = {}) const;
+
+  /// \brief The access path `Find` would take, rendered for humans
+  /// (e.g. `IXSCAN { name == "Matilda" } est=12`). Pair with the
+  /// `indexScans`/`collScans` counters in `Collection::Stats()` to see
+  /// what the planner actually did.
+  Result<std::string> Explain(const std::string& collection,
+                              const query::PredicatePtr& pred,
+                              query::FindOptions opts = {}) const;
 
   /// \brief Point query on the fused data: all information known about
   /// the named entity, as a two-column (ATTRIBUTE, VALUE) table.
@@ -190,6 +212,17 @@ class DataTamer {
   /// (empty name = all) from both text and structured sides.
   std::vector<dedup::DedupRecord> CollectRecords(
       const std::string& entity_type, const std::string& name) const;
+
+  /// Rebuilds the lazy fragment text index when fragments arrived (or
+  /// a snapshot replaced the store) since the last build.
+  void RefreshFragmentIndex() const;
+
+  /// Shared Find/Explain option normalization: facade thread-knob
+  /// inheritance and fragment-index wiring for the instance
+  /// collection. Keeps the rendered plan and the execution in
+  /// lockstep.
+  query::FindOptions ResolveFindOptions(const std::string& collection,
+                                        query::FindOptions opts) const;
 
   relational::Table ApplyIngestTransforms(relational::Table table);
 

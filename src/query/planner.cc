@@ -1,0 +1,324 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace dt::query {
+
+using storage::Collection;
+using storage::DocId;
+using storage::DocValue;
+using storage::SecondaryIndex;
+
+const char* AccessPathName(AccessPath access) {
+  switch (access) {
+    case AccessPath::kIndexEq:
+    case AccessPath::kIndexRange:
+      return "IXSCAN";
+    case AccessPath::kTextIndex:
+      return "TEXT";
+    case AccessPath::kUnion:
+      return "UNION";
+    case AccessPath::kCollScan:
+      return "COLLSCAN";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Probes whether `p` can drive an index access on its own, and at
+/// what estimated cardinality. Only leaf predicates drive scans; And
+/// nodes pick one of their children through this probe.
+bool ProbeDriver(const Collection& coll, const FindOptions& opts,
+                 const PredicatePtr& p, AccessPath* access, int64_t* est) {
+  switch (p->kind()) {
+    case PredicateKind::kEq: {
+      const SecondaryIndex* idx = coll.IndexOn(p->path());
+      if (idx == nullptr) return false;
+      *access = AccessPath::kIndexEq;
+      *est = idx->CountEqual(p->value());
+      return true;
+    }
+    case PredicateKind::kRange: {
+      const SecondaryIndex* idx = coll.IndexOn(p->path());
+      if (idx == nullptr) return false;
+      *access = AccessPath::kIndexRange;
+      *est = idx->CountRange(p->lo(), p->hi());
+      return true;
+    }
+    case PredicateKind::kTextContains: {
+      if (opts.text_index == nullptr || p->tokens().empty()) return false;
+      if (opts.text_index->field_path() != p->path()) return false;
+      // Conjunctive: the rarest term bounds the result size.
+      int64_t best = std::numeric_limits<int64_t>::max();
+      for (const auto& tok : p->tokens()) {
+        best = std::min(best, opts.text_index->DocFrequency(tok));
+      }
+      *access = AccessPath::kTextIndex;
+      *est = best;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+QueryPlan CollScanPlan(const Collection& coll, const PredicatePtr& pred) {
+  QueryPlan plan;
+  plan.access = AccessPath::kCollScan;
+  plan.node = pred;
+  plan.estimated_rows = coll.count();
+  return plan;
+}
+
+}  // namespace
+
+QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
+                   const FindOptions& opts) {
+  if (pred == nullptr || !opts.use_indexes) return CollScanPlan(coll, pred);
+
+  AccessPath access;
+  int64_t est;
+  // Leaf predicates drive their own scan, exactly (no residual).
+  if (ProbeDriver(coll, opts, pred, &access, &est)) {
+    QueryPlan plan;
+    plan.access = access;
+    plan.node = pred;
+    plan.driver = pred;
+    plan.estimated_rows = est;
+    return plan;
+  }
+
+  if (pred->kind() == PredicateKind::kAnd) {
+    // Cost-aware driver choice: the most selective indexable child
+    // drives; the full conjunction re-checks as a residual filter.
+    QueryPlan best;
+    bool found = false;
+    for (const auto& child : pred->children()) {
+      if (!ProbeDriver(coll, opts, child, &access, &est)) continue;
+      if (!found || est < best.estimated_rows) {
+        best.access = access;
+        best.driver = child;
+        best.estimated_rows = est;
+        found = true;
+      }
+    }
+    // A residual scan that visits as many rows as the collection holds
+    // saves nothing over the straight scan it complicates.
+    if (found && best.estimated_rows < coll.count()) {
+      best.node = pred;
+      best.residual = true;
+      return best;
+    }
+    return CollScanPlan(coll, pred);
+  }
+
+  if (pred->kind() == PredicateKind::kOr) {
+    // Union only when every branch is index-routable on its own; one
+    // non-routable branch means one full scan answers the whole Or.
+    QueryPlan plan;
+    plan.access = AccessPath::kUnion;
+    plan.node = pred;
+    plan.estimated_rows = 0;
+    for (const auto& child : pred->children()) {
+      QueryPlan branch = PlanFind(coll, child, opts);
+      if (branch.access == AccessPath::kCollScan) {
+        return CollScanPlan(coll, pred);
+      }
+      plan.estimated_rows += branch.estimated_rows;
+      plan.branches.push_back(std::move(branch));
+    }
+    if (plan.estimated_rows < coll.count() || plan.branches.empty()) {
+      return plan;
+    }
+    return CollScanPlan(coll, pred);
+  }
+
+  return CollScanPlan(coll, pred);
+}
+
+namespace {
+
+/// Full scan of `coll`, keeping ids whose documents match `pred` (null
+/// = every id). Chunked over a thread pool when `num_threads` resolves
+/// past 1; chunk boundaries and in-order concatenation keep the output
+/// byte-identical to the serial scan.
+Status ExecuteCollScan(const Collection& coll, const PredicatePtr& pred,
+                       int num_threads, std::vector<DocId>* out) {
+  const int threads = ResolveNumThreads(num_threads);
+  if (threads <= 1 || coll.count() < 2) {
+    // Serial: filter inside the iteration, no staging vector.
+    coll.ForEach([&](DocId id, const DocValue& doc) {
+      if (pred == nullptr || pred->Matches(doc)) out->push_back(id);
+    });
+    return Status::OK();
+  }
+  // The chunked loop needs random access; stage (id, doc) pointers.
+  std::vector<std::pair<DocId, const DocValue*>> docs;
+  docs.reserve(static_cast<size_t>(coll.count()));
+  coll.ForEach([&](DocId id, const DocValue& doc) {
+    docs.emplace_back(id, &doc);
+  });
+  ThreadPool pool(threads);
+  const size_t num_chunks = static_cast<size_t>(pool.num_threads()) * 4;
+  std::vector<std::vector<DocId>> parts(num_chunks);
+  DT_RETURN_NOT_OK(pool.ParallelForChunks(
+      0, docs.size(), num_chunks,
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<DocId>& part = parts[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          if (pred == nullptr || pred->Matches(*docs[i].second)) {
+            part.push_back(docs[i].first);
+          }
+        }
+        return Status::OK();
+      }));
+  for (const auto& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
+  }
+  return Status::OK();
+}
+
+Status ExecutePlan(const Collection& coll, const QueryPlan& plan,
+                   const FindOptions& opts, std::vector<DocId>* out);
+
+/// Runs the driving index access of a kIndexEq/kIndexRange/kTextIndex
+/// plan and applies the residual filter when the driver
+/// over-approximates.
+Status ExecuteDriver(const Collection& coll, const QueryPlan& plan,
+                     const FindOptions& opts, std::vector<DocId>* out) {
+  const Predicate& driver = *plan.driver;
+  std::vector<DocId> ids;
+  switch (plan.access) {
+    case AccessPath::kIndexEq:
+    case AccessPath::kIndexRange: {
+      const SecondaryIndex* idx = coll.IndexOn(driver.path());
+      if (idx == nullptr) {
+        return Status::Internal("plan references a dropped index on " +
+                                driver.path());
+      }
+      auto collect = [&ids](const storage::IndexKey&, DocId id) {
+        ids.push_back(id);
+        return true;
+      };
+      if (plan.access == AccessPath::kIndexEq) {
+        idx->VisitEqual(driver.value(), collect);
+      } else {
+        idx->VisitRange(driver.lo(), driver.hi(), collect);
+      }
+      // Key-ordered entries are not id-ordered; the contract is
+      // ascending ids.
+      std::sort(ids.begin(), ids.end());
+      break;
+    }
+    case AccessPath::kTextIndex: {
+      std::vector<std::vector<DocId>> lists;
+      lists.reserve(driver.tokens().size());
+      for (const auto& tok : driver.tokens()) {
+        lists.push_back(opts.text_index->Postings(tok));
+        if (lists.back().empty()) return Status::OK();  // conjunction fails
+      }
+      std::sort(lists.begin(), lists.end(),
+                [](const std::vector<DocId>& a, const std::vector<DocId>& b) {
+                  return a.size() < b.size();
+                });
+      ids = std::move(lists[0]);
+      for (size_t i = 1; i < lists.size() && !ids.empty(); ++i) {
+        std::vector<DocId> next;
+        std::set_intersection(ids.begin(), ids.end(), lists[i].begin(),
+                              lists[i].end(), std::back_inserter(next));
+        ids.swap(next);
+      }
+      break;
+    }
+    default:
+      return Status::Internal("ExecuteDriver on a non-driver plan");
+  }
+  if (!plan.residual) {
+    out->insert(out->end(), ids.begin(), ids.end());
+    return Status::OK();
+  }
+  for (DocId id : ids) {
+    const DocValue* doc = coll.Get(id);
+    if (doc != nullptr && plan.node->Matches(*doc)) out->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status ExecutePlan(const Collection& coll, const QueryPlan& plan,
+                   const FindOptions& opts, std::vector<DocId>* out) {
+  switch (plan.access) {
+    case AccessPath::kCollScan:
+      return ExecuteCollScan(coll, plan.node, opts.num_threads, out);
+    case AccessPath::kUnion: {
+      std::vector<DocId> merged;
+      for (const auto& branch : plan.branches) {
+        DT_RETURN_NOT_OK(ExecutePlan(coll, branch, opts, &merged));
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      out->insert(out->end(), merged.begin(), merged.end());
+      return Status::OK();
+    }
+    default:
+      return ExecuteDriver(coll, plan, opts, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<DocId>> Find(const Collection& coll,
+                                const PredicatePtr& pred,
+                                const FindOptions& opts) {
+  if (pred == nullptr) {
+    return Status::InvalidArgument("Find requires a predicate");
+  }
+  QueryPlan plan = PlanFind(coll, pred, opts);
+  std::vector<DocId> out;
+  DT_RETURN_NOT_OK(ExecutePlan(coll, plan, opts, &out));
+  if (plan.access == AccessPath::kCollScan) {
+    coll.NoteCollScan();
+  } else {
+    coll.NoteIndexScan();
+  }
+  if (opts.limit >= 0 && static_cast<int64_t>(out.size()) > opts.limit) {
+    out.resize(static_cast<size_t>(opts.limit));
+  }
+  return out;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = AccessPathName(access);
+  switch (access) {
+    case AccessPath::kCollScan:
+      out += " { " + (node != nullptr ? node->ToString() : "TRUE") +
+             " } docs=" + std::to_string(estimated_rows);
+      break;
+    case AccessPath::kUnion: {
+      out += " [ ";
+      for (size_t i = 0; i < branches.size(); ++i) {
+        if (i > 0) out += " , ";
+        out += branches[i].ToString();
+      }
+      out += " ] est=" + std::to_string(estimated_rows);
+      break;
+    }
+    default:
+      out += " { " + driver->ToString() +
+             " } est=" + std::to_string(estimated_rows);
+      if (residual) out += " | residual " + node->ToString();
+      break;
+  }
+  return out;
+}
+
+std::string ExplainFind(const Collection& coll, const PredicatePtr& pred,
+                        const FindOptions& opts) {
+  return PlanFind(coll, pred, opts).ToString();
+}
+
+}  // namespace dt::query

@@ -1,0 +1,107 @@
+/// \file planner.h
+/// \brief Cost-aware query planner and executor for document
+/// collections — the index-routed read path behind `Find`.
+///
+/// Given a predicate tree, the planner picks the cheapest access path:
+///
+///   IXSCAN    Eq/Range predicates over a `SecondaryIndex` field (the
+///             B-tree stand-in's ordered point/range iteration).
+///   TEXT      TextContains predicates via `InvertedIndex` postings
+///             intersection (smallest posting list first).
+///   UNION     Or whose branches are all individually index-routable.
+///   COLLSCAN  everything else: a full scan, chunked over the PR-1
+///             thread pool when `num_threads > 1`.
+///
+/// An And picks its most selective indexable child as the driving scan
+/// (estimated row counts come from the index itself) and re-checks the
+/// full predicate on the fetched documents (residual filter). Whatever
+/// the path, the result is the ascending-id set of exactly the
+/// documents the predicate matches — index execution and full scans
+/// agree by construction, a property the differential fuzz harness
+/// asserts over randomized predicate trees.
+///
+/// Every execution bumps the collection's `index_scans`/`coll_scans`
+/// counters (surfaced in `db.<coll>.stats()`), and `ExplainFind`
+/// renders the chosen plan without running it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "query/text_search.h"
+#include "storage/collection.h"
+
+namespace dt::query {
+
+/// Execution knobs for `Find`.
+struct FindOptions {
+  /// Threads for the full-scan fallback: 1 = serial, <= 0 = all
+  /// hardware threads. Results are identical for every value.
+  int num_threads = 1;
+  /// Keep only the first `limit` ids (ascending); -1 = unlimited.
+  int64_t limit = -1;
+  /// Inverted index serving TextContains predicates. Only consulted
+  /// when its `field_path()` matches the predicate's path; the caller
+  /// is responsible for it being current w.r.t. the collection.
+  const InvertedIndex* text_index = nullptr;
+  /// Planner escape hatch: false forces COLLSCAN (differential tests;
+  /// measuring raw scan cost).
+  bool use_indexes = true;
+};
+
+/// How a (sub)plan accesses the collection.
+enum class AccessPath : uint8_t {
+  kIndexEq = 0,    ///< secondary-index point lookup
+  kIndexRange = 1, ///< secondary-index ordered range scan
+  kTextIndex = 2,  ///< inverted-index postings intersection
+  kUnion = 3,      ///< union of index-routable Or branches
+  kCollScan = 4    ///< full scan (parallel-chunked fallback)
+};
+
+const char* AccessPathName(AccessPath access);
+
+/// \brief The chosen execution strategy for one predicate (tree).
+struct QueryPlan {
+  AccessPath access = AccessPath::kCollScan;
+  /// Predicate this plan answers exactly.
+  PredicatePtr node;
+  /// kIndexEq/kIndexRange/kTextIndex: the Eq/Range/TextContains node
+  /// driving the access (== `node` unless `node` is an And).
+  PredicatePtr driver;
+  /// True when the driving scan over-approximates `node`: fetched
+  /// documents are re-checked with `node->Matches`.
+  bool residual = false;
+  /// Driver cardinality estimate from the index (COLLSCAN: doc count).
+  int64_t estimated_rows = 0;
+  /// kUnion: one exact sub-plan per Or branch.
+  std::vector<QueryPlan> branches;
+
+  /// One-line rendering, e.g.
+  ///   `IXSCAN { name == "Matilda" } est=12 | residual (type == ...)`.
+  std::string ToString() const;
+};
+
+/// \brief Chooses the cheapest access path for `pred` over `coll`
+/// (does not execute). `pred` must be non-null.
+QueryPlan PlanFind(const storage::Collection& coll, const PredicatePtr& pred,
+                   const FindOptions& opts = {});
+
+/// \brief Plans and executes: returns the ascending ids of exactly the
+/// documents matching `pred`, and bumps the collection's index-scan /
+/// coll-scan counter. Errors only on invalid arguments or a scan body
+/// failure (thread-pool propagated).
+Result<std::vector<storage::DocId>> Find(const storage::Collection& coll,
+                                         const PredicatePtr& pred,
+                                         const FindOptions& opts = {});
+
+/// The plan `Find` would run, rendered for humans (the shape of the
+/// mongo shell's `explain()` next to the paper's `stats()` calls).
+std::string ExplainFind(const storage::Collection& coll,
+                        const PredicatePtr& pred,
+                        const FindOptions& opts = {});
+
+}  // namespace dt::query

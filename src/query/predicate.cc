@@ -1,0 +1,142 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dt::query {
+
+using storage::DocValue;
+using storage::IndexKey;
+
+PredicatePtr Predicate::Eq(std::string path, DocValue value) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = PredicateKind::kEq;
+  p->path_ = std::move(path);
+  p->value_ = std::move(value);
+  return p;
+}
+
+PredicatePtr Predicate::Range(std::string path, DocValue lo, DocValue hi) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = PredicateKind::kRange;
+  p->path_ = std::move(path);
+  p->value_ = std::move(lo);
+  p->hi_ = std::move(hi);
+  return p;
+}
+
+PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = PredicateKind::kAnd;
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = PredicateKind::kOr;
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr Predicate::TextContains(std::string path, std::string keywords) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = PredicateKind::kTextContains;
+  p->path_ = std::move(path);
+  p->tokens_ = WordTokens(keywords);
+  std::sort(p->tokens_.begin(), p->tokens_.end());
+  p->tokens_.erase(std::unique(p->tokens_.begin(), p->tokens_.end()),
+                   p->tokens_.end());
+  return p;
+}
+
+namespace {
+
+/// Key of the value at `path`, with missing/non-indexable collapsing to
+/// the null key — the exact rule SecondaryIndex::Insert applies.
+IndexKey KeyAt(const DocValue& doc, const std::string& path) {
+  const DocValue* v = doc.FindPath(path);
+  return v == nullptr ? IndexKey() : IndexKey::FromValue(*v);
+}
+
+}  // namespace
+
+bool Predicate::Matches(const DocValue& doc) const {
+  switch (kind_) {
+    case PredicateKind::kEq:
+      return KeyAt(doc, path_) == IndexKey::FromValue(value_);
+    case PredicateKind::kRange: {
+      IndexKey k = KeyAt(doc, path_);
+      IndexKey klo = IndexKey::FromValue(value_);
+      IndexKey khi = IndexKey::FromValue(hi_);
+      return !(k < klo) && !(khi < k);
+    }
+    case PredicateKind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->Matches(doc)) return false;
+      }
+      return true;
+    case PredicateKind::kOr:
+      for (const auto& c : children_) {
+        if (c->Matches(doc)) return true;
+      }
+      return false;
+    case PredicateKind::kTextContains: {
+      const DocValue* v = doc.FindPath(path_);
+      if (v == nullptr || !v->is_string()) return false;
+      // Tokenize once; the token lists are tiny compared to the text.
+      std::vector<std::string> words = WordTokens(v->string_value());
+      std::sort(words.begin(), words.end());
+      for (const auto& t : tokens_) {
+        if (!std::binary_search(words.begin(), words.end(), t)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string RenderValue(const DocValue& v) {
+  return v.is_string() ? "\"" + v.string_value() + "\"" : v.ToJson();
+}
+
+}  // namespace
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case PredicateKind::kEq:
+      return path_ + " == " + RenderValue(value_);
+    case PredicateKind::kRange:
+      return path_ + " in [" + RenderValue(value_) + ", " + RenderValue(hi_) +
+             "]";
+    case PredicateKind::kAnd:
+    case PredicateKind::kOr: {
+      if (children_.empty()) {
+        return kind_ == PredicateKind::kAnd ? "TRUE" : "FALSE";
+      }
+      const char* sep = kind_ == PredicateKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case PredicateKind::kTextContains: {
+      std::string out = path_ + " contains {";
+      for (size_t i = 0; i < tokens_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += tokens_[i];
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace dt::query

@@ -1,0 +1,97 @@
+/// \file predicate.h
+/// \brief Structured query predicates over document collections.
+///
+/// A `Predicate` is an immutable tree of `Eq` / `Range` / `And` / `Or`
+/// / `TextContains` nodes — the filter language behind the planner's
+/// `Find`. Comparison semantics are deliberately those of the
+/// secondary-index key space (storage::IndexKey): numbers compare as a
+/// common numeric domain, and missing fields, explicit nulls and
+/// non-indexable values (arrays/objects) all collapse to the null key.
+/// That makes a full-scan evaluation of a predicate agree *exactly*
+/// with an index-backed one, which the differential planner/oracle
+/// tests assert over randomized trees.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/docvalue.h"
+#include "storage/index.h"
+
+namespace dt::query {
+
+class Predicate;
+/// Predicates are shared immutable trees; subtrees can be reused across
+/// queries (and across threads — evaluation is const).
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Node type of a predicate tree.
+enum class PredicateKind : uint8_t {
+  kEq = 0,           ///< field key == value key
+  kRange = 1,        ///< lo key <= field key <= hi key (inclusive)
+  kAnd = 2,          ///< all children match
+  kOr = 3,           ///< at least one child matches
+  kTextContains = 4  ///< string field contains every keyword token
+};
+
+/// \brief One node of an immutable predicate tree.
+class Predicate {
+ public:
+  // ---- Constructors (the only way to build nodes) ----
+
+  /// Field at `path` equals `value` under index-key comparison.
+  static PredicatePtr Eq(std::string path, storage::DocValue value);
+
+  /// Field at `path` lies in [lo, hi] inclusive under index-key order.
+  static PredicatePtr Range(std::string path, storage::DocValue lo,
+                            storage::DocValue hi);
+
+  /// Conjunction. An empty conjunction matches everything.
+  static PredicatePtr And(std::vector<PredicatePtr> children);
+
+  /// Disjunction. An empty disjunction matches nothing.
+  static PredicatePtr Or(std::vector<PredicatePtr> children);
+
+  /// \brief The string field at `path` contains every word token of
+  /// `keywords` (tokenization identical to the inverted index: lower-
+  /// cased alphanumeric runs). With zero tokens the node matches any
+  /// document whose `path` holds a string.
+  static PredicatePtr TextContains(std::string path, std::string keywords);
+
+  // ---- Introspection ----
+
+  PredicateKind kind() const { return kind_; }
+  /// Field path (kEq / kRange / kTextContains nodes).
+  const std::string& path() const { return path_; }
+  /// Comparison value (kEq).
+  const storage::DocValue& value() const { return value_; }
+  /// Range bounds (kRange).
+  const storage::DocValue& lo() const { return value_; }
+  const storage::DocValue& hi() const { return hi_; }
+  /// Children (kAnd / kOr).
+  const std::vector<PredicatePtr>& children() const { return children_; }
+  /// Deduplicated lower-cased query tokens (kTextContains).
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// \brief Evaluates the predicate against one document. This is the
+  /// scan fallback *and* the differential oracle: index execution must
+  /// (and does) return exactly the ids whose documents satisfy this.
+  bool Matches(const storage::DocValue& doc) const;
+
+  /// Compact rendering, e.g. `(type == "Movie" AND year in [1990, 1999])`.
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  PredicateKind kind_ = PredicateKind::kAnd;
+  std::string path_;
+  storage::DocValue value_;  // Eq value; Range lo
+  storage::DocValue hi_;     // Range hi
+  std::vector<PredicatePtr> children_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace dt::query

@@ -3,40 +3,154 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace dt::query {
 
 using relational::Row;
 using relational::Schema;
 using relational::Table;
 using relational::Value;
+using storage::DocValue;
+using storage::IndexKey;
+
+namespace {
+
+/// Group-key rendering shared by every counting path: the index key's
+/// string form. Null keys (missing fields, explicit nulls and
+/// non-indexable arrays/objects) are not countable — the same rule the
+/// index-only aggregation applies, so scan and index counting agree.
+bool CountKeyOf(const DocValue* v, std::string* key) {
+  if (v == nullptr) return false;
+  IndexKey k = IndexKey::FromValue(*v);
+  if (k.is_null()) return false;
+  *key = k.ToString();
+  return true;
+}
+
+/// Descending count, ties broken by ascending key.
+bool BetterRow(const CountRow& a, const CountRow& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.key < b.key;
+}
+
+using GroupCounts = std::unordered_map<std::string, int64_t>;
+
+/// Group counts of `path` over the documents matching `pred` (null =
+/// all). The unfiltered form over an indexed path never touches a
+/// document: the index's key counts are the answer.
+GroupCounts CountGroups(const storage::Collection& coll,
+                        const std::string& path, const PredicatePtr& pred,
+                        const FindOptions& opts) {
+  GroupCounts counts;
+  if (pred == nullptr) {
+    const storage::SecondaryIndex* idx = coll.IndexOn(path);
+    if (idx != nullptr && opts.use_indexes) {
+      idx->VisitKeyCounts([&](const IndexKey& k, int64_t n) {
+        if (!k.is_null()) counts[k.ToString()] += n;
+      });
+      coll.NoteIndexScan();
+      return counts;
+    }
+    coll.ForEach([&](storage::DocId, const DocValue& doc) {
+      std::string key;
+      if (CountKeyOf(doc.FindPath(path), &key)) ++counts[key];
+    });
+    coll.NoteCollScan();
+    return counts;
+  }
+  // Counting needs every matching document: a leftover limit from a
+  // reused FindOptions must not truncate the group counts.
+  FindOptions find_opts = opts;
+  find_opts.limit = -1;
+  auto ids = Find(coll, pred, find_opts);
+  RethrowIfError(ids.status());  // scan bodies cannot fail short of OOM
+  for (storage::DocId id : *ids) {
+    const DocValue* doc = coll.Get(id);
+    if (doc == nullptr) continue;
+    std::string key;
+    if (CountKeyOf(doc->FindPath(path), &key)) ++counts[key];
+  }
+  return counts;
+}
+
+/// Scan-and-count for the arbitrary-code DocFilter overloads (not
+/// plannable; always a full scan).
+GroupCounts CountGroupsByFilter(const storage::Collection& coll,
+                                const std::string& path,
+                                const DocFilter& filter) {
+  GroupCounts counts;
+  coll.ForEach([&](storage::DocId, const DocValue& doc) {
+    if (!filter(doc)) return;
+    std::string key;
+    if (CountKeyOf(doc.FindPath(path), &key)) ++counts[key];
+  });
+  coll.NoteCollScan();
+  return counts;
+}
+
+std::vector<CountRow> SortAllGroups(const GroupCounts& counts) {
+  std::vector<CountRow> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) out.push_back({key, count});
+  std::sort(out.begin(), out.end(), BetterRow);
+  return out;
+}
+
+/// Bounded selection: a k-element heap whose front is the worst kept
+/// row — O(groups * log k) instead of sorting every group.
+std::vector<CountRow> TopKGroups(const GroupCounts& counts, int k) {
+  if (k <= 0) return {};
+  std::vector<CountRow> heap;
+  heap.reserve(static_cast<size_t>(k) + 1);
+  for (const auto& [key, count] : counts) {
+    CountRow row{key, count};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back(std::move(row));
+      std::push_heap(heap.begin(), heap.end(), BetterRow);
+    } else if (BetterRow(row, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterRow);
+      heap.back() = std::move(row);
+      std::push_heap(heap.begin(), heap.end(), BetterRow);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), BetterRow);
+  return heap;
+}
+
+}  // namespace
+
+std::vector<CountRow> CountByField(const storage::Collection& coll,
+                                   const std::string& path,
+                                   const PredicatePtr& pred,
+                                   const FindOptions& opts) {
+  return SortAllGroups(CountGroups(coll, path, pred, opts));
+}
 
 std::vector<CountRow> CountByField(const storage::Collection& coll,
                                    const std::string& path,
                                    const DocFilter& filter) {
-  std::unordered_map<std::string, int64_t> counts;
-  coll.ForEach([&](storage::DocId, const storage::DocValue& doc) {
-    if (filter != nullptr && !filter(doc)) return;
-    const storage::DocValue* v = doc.FindPath(path);
-    if (v == nullptr || v->is_null()) return;
-    std::string key = v->is_string() ? v->string_value() : v->ToJson();
-    ++counts[key];
-  });
-  std::vector<CountRow> out;
-  out.reserve(counts.size());
-  for (const auto& [key, count] : counts) out.push_back({key, count});
-  std::sort(out.begin(), out.end(), [](const CountRow& a, const CountRow& b) {
-    if (a.count != b.count) return a.count > b.count;
-    return a.key < b.key;
-  });
-  return out;
+  if (filter == nullptr) {
+    // No filter = plannable: the indexed form aggregates off the index.
+    return CountByField(coll, path, PredicatePtr(), FindOptions{});
+  }
+  return SortAllGroups(CountGroupsByFilter(coll, path, filter));
+}
+
+std::vector<CountRow> TopKByCount(const storage::Collection& coll,
+                                  const std::string& path, int k,
+                                  const PredicatePtr& pred,
+                                  const FindOptions& opts) {
+  return TopKGroups(CountGroups(coll, path, pred, opts), k);
 }
 
 std::vector<CountRow> TopKByCount(const storage::Collection& coll,
                                   const std::string& path, int k,
                                   const DocFilter& filter) {
-  auto all = CountByField(coll, path, filter);
-  if (static_cast<int>(all.size()) > k) all.resize(k);
-  return all;
+  if (filter == nullptr) {
+    return TopKByCount(coll, path, k, PredicatePtr(), FindOptions{});
+  }
+  return TopKGroups(CountGroupsByFilter(coll, path, filter), k);
 }
 
 Result<Table> Project(const Table& table,

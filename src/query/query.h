@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "query/planner.h"
+#include "query/predicate.h"
 #include "relational/table.h"
 #include "storage/collection.h"
 
@@ -24,15 +26,34 @@ struct CountRow {
 /// Optional document predicate.
 using DocFilter = std::function<bool(const storage::DocValue&)>;
 
-/// \brief Group-by-count over the string value at `path` across a
-/// collection (documents failing `filter` or lacking the path are
-/// skipped). Results are sorted by descending count, ties by key.
+/// \brief Group-by-count of the values at `path`: one row per distinct
+/// index key (missing fields, nulls and non-indexable arrays/objects
+/// are skipped), rendered through the key's string form. Results are
+/// sorted by descending count, ties by key.
+///
+/// Documents are restricted to those matching `pred` (null = all),
+/// routed through the planner: an indexable predicate drives an index
+/// scan, and the unfiltered form over an indexed `path` is answered
+/// straight off the index's key counts without touching any document.
+std::vector<CountRow> CountByField(const storage::Collection& coll,
+                                   const std::string& path,
+                                   const PredicatePtr& pred,
+                                   const FindOptions& opts = {});
+
+/// Arbitrary-code filter variant (not plannable: always scans).
 std::vector<CountRow> CountByField(const storage::Collection& coll,
                                    const std::string& path,
                                    const DocFilter& filter = nullptr);
 
-/// First `k` groups of CountByField — the Table IV "top 10 most
-/// discussed" query shape.
+/// \brief First `k` groups of CountByField — the Table IV "top 10 most
+/// discussed" query shape. Selection keeps a bounded k-element heap
+/// over the group counts instead of sorting every group.
+std::vector<CountRow> TopKByCount(const storage::Collection& coll,
+                                  const std::string& path, int k,
+                                  const PredicatePtr& pred,
+                                  const FindOptions& opts = {});
+
+/// Arbitrary-code filter variant (not plannable: always scans).
 std::vector<CountRow> TopKByCount(const storage::Collection& coll,
                                   const std::string& path, int k,
                                   const DocFilter& filter = nullptr);

@@ -39,6 +39,11 @@ int64_t InvertedIndex::Build(const storage::Collection& coll) {
   return indexed;
 }
 
+int64_t InvertedIndex::DocFrequency(std::string_view token) const {
+  auto it = postings_.find(ToLower(token));
+  return it == postings_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
 std::vector<storage::DocId> InvertedIndex::Postings(
     std::string_view token) const {
   std::vector<storage::DocId> out;

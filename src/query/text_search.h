@@ -48,6 +48,11 @@ class InvertedIndex {
   /// Documents containing the token (unranked, ascending id).
   std::vector<storage::DocId> Postings(std::string_view token) const;
 
+  /// Number of documents containing the token (0 for unknown tokens).
+  /// The planner's selectivity estimate for TextContains predicates.
+  int64_t DocFrequency(std::string_view token) const;
+
+  const std::string& field_path() const { return field_path_; }
   int64_t num_documents() const { return num_docs_; }
   int64_t num_terms() const { return static_cast<int64_t>(postings_.size()); }
 

@@ -129,10 +129,14 @@ std::vector<std::string> Collection::IndexPaths() const {
 }
 
 bool Collection::HasIndex(const std::string& field_path) const {
+  return IndexOn(field_path) != nullptr;
+}
+
+const SecondaryIndex* Collection::IndexOn(const std::string& field_path) const {
   for (const auto& idx : indexes_) {
-    if (idx->field_path() == field_path) return true;
+    if (idx->field_path() == field_path) return idx.get();
   }
-  return false;
+  return nullptr;
 }
 
 std::vector<DocId> Collection::FindEqual(const std::string& field_path,
@@ -183,6 +187,8 @@ CollectionStats Collection::Stats() const {
   for (const auto& idx : indexes_) st.total_index_size += idx->SizeBytes();
   st.data_size = data_size_;
   st.avg_obj_size = st.count > 0 ? st.data_size / st.count : 0;
+  st.index_scans = index_scans_;
+  st.coll_scans = coll_scans_;
   return st;
 }
 
@@ -198,7 +204,9 @@ std::string CollectionStats::ToString() const {
   out += "  \"dataSize\" : " + std::to_string(data_size) + ",\n";
   out += "  \"storageSize\" : " + std::to_string(storage_size) + ",\n";
   out += "  \"avgObjSize\" : " + std::to_string(avg_obj_size) + ",\n";
-  out += "  \"numShards\" : " + std::to_string(num_shards) + "\n";
+  out += "  \"numShards\" : " + std::to_string(num_shards) + ",\n";
+  out += "  \"indexScans\" : " + std::to_string(index_scans) + ",\n";
+  out += "  \"collScans\" : " + std::to_string(coll_scans) + "\n";
   out += "}";
   return out;
 }

@@ -52,6 +52,12 @@ struct CollectionStats {
   int64_t storage_size = 0;   ///< sum of extent capacities
   int64_t avg_obj_size = 0;   ///< data_size / count
   int num_shards = 0;
+  /// Queries served through a secondary-index access path vs a full
+  /// collection scan since this collection was created (the planner's
+  /// contribution to the `db.entity.stats()` shape; not persisted by
+  /// snapshots — a loaded collection starts both at zero).
+  int64_t index_scans = 0;
+  int64_t coll_scans = 0;
 
   /// Renders in the mongo-shell style of the paper's tables.
   std::string ToString() const;
@@ -122,6 +128,10 @@ class Collection {
   /// True if a secondary index exists on `field_path`.
   bool HasIndex(const std::string& field_path) const;
 
+  /// The index on `field_path` (including "_id"), or nullptr. The
+  /// planner uses this to iterate/count without copying id vectors.
+  const SecondaryIndex* IndexOn(const std::string& field_path) const;
+
   /// Ids of documents whose `field_path` equals `value`; uses the index
   /// when present, otherwise falls back to a full scan.
   std::vector<DocId> FindEqual(const std::string& field_path,
@@ -170,6 +180,17 @@ class Collection {
   /// The `db.<coll>.stats()` snapshot.
   CollectionStats Stats() const;
 
+  // ---- Query-path accounting (filled by query::planner) ----
+
+  /// Records that a query was served via an index access path / via a
+  /// full scan. Counters are observational (mutable): recording against
+  /// a const collection is expected. Not thread-safe; concurrent
+  /// queries may undercount, which stats consumers tolerate.
+  void NoteIndexScan() const { ++index_scans_; }
+  void NoteCollScan() const { ++coll_scans_; }
+  int64_t index_scans() const { return index_scans_; }
+  int64_t coll_scans() const { return coll_scans_; }
+
  private:
   int ShardOf(DocId id) const;
   /// Shared mutation core of Insert/RestoreDocument: no liveness check
@@ -187,6 +208,8 @@ class Collection {
   std::vector<ExtentChain> shards_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;  // [0] is _id
   int64_t data_size_ = 0;
+  mutable int64_t index_scans_ = 0;
+  mutable int64_t coll_scans_ = 0;
 };
 
 }  // namespace dt::storage

@@ -1,5 +1,7 @@
 #include "storage/index.h"
 
+#include <iterator>
+
 #include "common/strutil.h"
 
 namespace dt::storage {
@@ -112,10 +114,57 @@ std::vector<DocId> SecondaryIndex::Lookup(const DocValue& value) const {
 std::vector<DocId> SecondaryIndex::Range(const DocValue& lo_v,
                                          const DocValue& hi_v) const {
   std::vector<DocId> out;
-  auto lo = entries_.lower_bound(IndexKey::FromValue(lo_v));
-  auto hi = entries_.upper_bound(IndexKey::FromValue(hi_v));
+  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
+  // Inverted bounds select nothing — and would put lower_bound(lo)
+  // after upper_bound(hi), walking the iteration off the container.
+  if (khi < klo) return out;
+  auto lo = entries_.lower_bound(klo);
+  auto hi = entries_.upper_bound(khi);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
   return out;
+}
+
+void SecondaryIndex::VisitEqual(const DocValue& value,
+                                const EntryVisitor& visit) const {
+  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
+  for (auto it = lo; it != hi; ++it) {
+    if (!visit(it->first, it->second)) return;
+  }
+}
+
+void SecondaryIndex::VisitRange(const DocValue& lo_v, const DocValue& hi_v,
+                                const EntryVisitor& visit) const {
+  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
+  if (khi < klo) return;  // empty range; see Range()
+  auto lo = entries_.lower_bound(klo);
+  auto hi = entries_.upper_bound(khi);
+  for (auto it = lo; it != hi; ++it) {
+    if (!visit(it->first, it->second)) return;
+  }
+}
+
+void SecondaryIndex::VisitKeyCounts(
+    const std::function<void(const IndexKey&, int64_t)>& visit) const {
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    auto next = entries_.upper_bound(it->first);
+    visit(it->first, static_cast<int64_t>(std::distance(it, next)));
+    it = next;
+  }
+}
+
+int64_t SecondaryIndex::CountEqual(const DocValue& value) const {
+  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
+  return static_cast<int64_t>(std::distance(lo, hi));
+}
+
+int64_t SecondaryIndex::CountRange(const DocValue& lo_v,
+                                   const DocValue& hi_v) const {
+  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
+  if (khi < klo) return 0;  // empty range; see Range()
+  auto lo = entries_.lower_bound(klo);
+  auto hi = entries_.upper_bound(khi);
+  return static_cast<int64_t>(std::distance(lo, hi));
 }
 
 }  // namespace dt::storage

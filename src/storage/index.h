@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@ class IndexKey {
 
   bool operator<(const IndexKey& other) const;
   bool operator==(const IndexKey& other) const;
+
+  /// True for the null key: absent fields, explicit nulls and
+  /// non-indexable values (arrays/objects) all collapse here.
+  bool is_null() const { return tag_ == Tag::kNull; }
 
   /// Serialized footprint of the key itself (B-tree leaf estimate).
   int64_t SizeBytes() const;
@@ -73,6 +78,34 @@ class SecondaryIndex {
 
   /// Ids with keys in [lo, hi] inclusive, in key order.
   std::vector<DocId> Range(const DocValue& lo, const DocValue& hi) const;
+
+  // ---- Ordered iteration (the planner's access paths) ----
+
+  /// Visitor over (key, id) entries; return false to stop the scan.
+  using EntryVisitor = std::function<bool(const IndexKey&, DocId)>;
+
+  /// \brief Point-lookup iteration: visits every entry whose key equals
+  /// the key of `value`, in entry order, without materializing a vector.
+  void VisitEqual(const DocValue& value, const EntryVisitor& visit) const;
+
+  /// \brief Ordered range scan over keys in [lo, hi] inclusive. Entries
+  /// arrive in key order (B-tree leaf order); `visit` returning false
+  /// ends the scan early.
+  void VisitRange(const DocValue& lo, const DocValue& hi,
+                  const EntryVisitor& visit) const;
+
+  /// \brief Visits each distinct key with its entry count, in key
+  /// order. Powers index-only group-by-count aggregation: the query
+  /// layer can answer CountByField without touching a single document.
+  void VisitKeyCounts(
+      const std::function<void(const IndexKey&, int64_t)>& visit) const;
+
+  /// Number of entries whose key equals the key of `value` (planner
+  /// selectivity estimate; O(hits), not O(n)).
+  int64_t CountEqual(const DocValue& value) const;
+
+  /// Number of entries with keys in [lo, hi] inclusive (O(hits)).
+  int64_t CountRange(const DocValue& lo, const DocValue& hi) const;
 
   int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
 

@@ -1,0 +1,570 @@
+/// Unit and differential tests for the predicate tree and the
+/// cost-aware query planner: predicate semantics, access-path choice,
+/// index/scan agreement, the bounded top-k aggregation and the
+/// DataTamer facade surface (Find/Explain, counters, snapshots).
+///
+/// The differential harness at the bottom runs randomized predicate
+/// trees over a datagen-generated corpus and asserts the planner's
+/// output is id-set-identical to a naive full-scan oracle — serial and
+/// 4-threaded, with and without indexes present (1200 comparisons).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/webtext_gen.h"
+#include "fusion/data_tamer.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "query/text_search.h"
+#include "storage/collection.h"
+
+namespace dt::query {
+namespace {
+
+using storage::Collection;
+using storage::DocBuilder;
+using storage::DocId;
+using storage::DocValue;
+
+// ---------------------------------------------------------------------
+// Predicate semantics
+// ---------------------------------------------------------------------
+
+TEST(PredicateTest, EqUsesIndexKeyComparison) {
+  DocValue doc = DocBuilder().Set("n", 2).Set("s", "x").Build();
+  // Numbers compare as one numeric domain (like the index).
+  EXPECT_TRUE(Predicate::Eq("n", DocValue::Int(2))->Matches(doc));
+  EXPECT_TRUE(Predicate::Eq("n", DocValue::Double(2.0))->Matches(doc));
+  EXPECT_FALSE(Predicate::Eq("n", DocValue::Int(3))->Matches(doc));
+  EXPECT_TRUE(Predicate::Eq("s", DocValue::Str("x"))->Matches(doc));
+  // Missing fields collapse to the null key, like index insertion.
+  EXPECT_TRUE(Predicate::Eq("missing", DocValue::Null())->Matches(doc));
+  EXPECT_FALSE(Predicate::Eq("s", DocValue::Null())->Matches(doc));
+}
+
+TEST(PredicateTest, RangeIsInclusiveAndTyped) {
+  DocValue doc = DocBuilder().Set("v", 5).Build();
+  EXPECT_TRUE(
+      Predicate::Range("v", DocValue::Int(5), DocValue::Int(9))->Matches(doc));
+  EXPECT_TRUE(
+      Predicate::Range("v", DocValue::Int(1), DocValue::Int(5))->Matches(doc));
+  EXPECT_FALSE(
+      Predicate::Range("v", DocValue::Int(6), DocValue::Int(9))->Matches(doc));
+  // Numeric range never captures strings (strings order after numbers).
+  DocValue sdoc = DocBuilder().Set("v", "5").Build();
+  EXPECT_FALSE(
+      Predicate::Range("v", DocValue::Int(1), DocValue::Int(9))->Matches(sdoc));
+}
+
+TEST(PredicateTest, BooleanCombinators) {
+  DocValue doc = DocBuilder().Set("a", 1).Set("b", 2).Build();
+  auto a1 = Predicate::Eq("a", DocValue::Int(1));
+  auto b9 = Predicate::Eq("b", DocValue::Int(9));
+  EXPECT_TRUE(Predicate::And({a1})->Matches(doc));
+  EXPECT_FALSE(Predicate::And({a1, b9})->Matches(doc));
+  EXPECT_TRUE(Predicate::Or({a1, b9})->Matches(doc));
+  EXPECT_FALSE(Predicate::Or({b9})->Matches(doc));
+  // Vacuous truth / falsity.
+  EXPECT_TRUE(Predicate::And({})->Matches(doc));
+  EXPECT_FALSE(Predicate::Or({})->Matches(doc));
+}
+
+TEST(PredicateTest, TextContainsTokenSemantics) {
+  DocValue doc =
+      DocBuilder().Set("text", "Matilda opened at the Shubert!").Build();
+  EXPECT_TRUE(Predicate::TextContains("text", "matilda")->Matches(doc));
+  EXPECT_TRUE(Predicate::TextContains("text", "SHUBERT Matilda")->Matches(doc));
+  EXPECT_FALSE(Predicate::TextContains("text", "matilda wicked")->Matches(doc));
+  // Zero tokens: any document with a string at the path matches.
+  EXPECT_TRUE(Predicate::TextContains("text", " ,;")->Matches(doc));
+  DocValue nontext = DocBuilder().Set("text", 42).Build();
+  EXPECT_FALSE(Predicate::TextContains("text", "matilda")->Matches(nontext));
+  EXPECT_FALSE(Predicate::TextContains("text", "")->Matches(nontext));
+}
+
+TEST(PredicateTest, ToStringRendersTree) {
+  auto p = Predicate::And(
+      {Predicate::Eq("type", DocValue::Str("Movie")),
+       Predicate::Or({Predicate::Range("year", DocValue::Int(1990),
+                                       DocValue::Int(1999)),
+                      Predicate::TextContains("text", "wicked matilda")})});
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("type == \"Movie\""), std::string::npos);
+  EXPECT_NE(s.find("year in [1990, 1999]"), std::string::npos);
+  EXPECT_NE(s.find("text contains {matilda, wicked}"), std::string::npos);
+  EXPECT_NE(s.find(" AND "), std::string::npos);
+  EXPECT_NE(s.find(" OR "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Planner access-path choice
+// ---------------------------------------------------------------------
+
+Collection MakeEntities() {
+  Collection coll("dt.entity");
+  auto add = [&](const char* type, const char* name, double conf) {
+    coll.Insert(
+        DocBuilder().Set("type", type).Set("name", name).Set("confidence",
+                                                             conf).Build());
+  };
+  for (int i = 0; i < 30; ++i) add("Movie", i < 5 ? "Matilda" : "Wicked", 0.9);
+  for (int i = 0; i < 10; ++i) add("Person", "John Smith", 0.5);
+  return coll;
+}
+
+TEST(PlannerTest, EqPrefersIndex) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  auto pred = Predicate::Eq("name", DocValue::Str("Matilda"));
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexEq);
+  EXPECT_EQ(plan.estimated_rows, 5);
+  EXPECT_FALSE(plan.residual);
+  EXPECT_NE(ExplainFind(coll, pred).find("IXSCAN"), std::string::npos);
+
+  auto via_index = Find(coll, pred);
+  FindOptions scan;
+  scan.use_indexes = false;
+  auto via_scan = Find(coll, pred, scan);
+  ASSERT_TRUE(via_index.ok());
+  ASSERT_TRUE(via_scan.ok());
+  EXPECT_EQ(*via_index, *via_scan);
+  EXPECT_EQ(via_index->size(), 5u);
+}
+
+TEST(PlannerTest, UnindexedFallsBackToScan) {
+  Collection coll = MakeEntities();
+  auto pred = Predicate::Eq("name", DocValue::Str("Matilda"));
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kCollScan);
+  EXPECT_NE(ExplainFind(coll, pred).find("COLLSCAN"), std::string::npos);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 5u);
+}
+
+TEST(PlannerTest, RangeUsesOrderedIndexScan) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("confidence").ok());
+  auto pred = Predicate::Range("confidence", DocValue::Double(0.4),
+                               DocValue::Double(0.6));
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexRange);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 10u);  // the Person rows at 0.5
+  EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+}
+
+TEST(PlannerTest, AndPicksMostSelectiveDriver) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  // type == "Movie" hits 30 rows; name == "Matilda" hits 5: the name
+  // index must drive.
+  auto pred = Predicate::And({Predicate::Eq("type", DocValue::Str("Movie")),
+                              Predicate::Eq("name", DocValue::Str("Matilda"))});
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexEq);
+  ASSERT_NE(plan.driver, nullptr);
+  EXPECT_EQ(plan.driver->path(), "name");
+  EXPECT_TRUE(plan.residual);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 5u);
+}
+
+TEST(PlannerTest, ResidualCoveringWholeCollectionDemotesToScan) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("confidence").ok());
+  // Every document passes the indexable child: the driver saves
+  // nothing, so the planner takes the straight scan.
+  auto pred = Predicate::And(
+      {Predicate::Range("confidence", DocValue::Double(0.0),
+                        DocValue::Double(1.0)),
+       Predicate::Eq("name", DocValue::Str("Matilda"))});
+  EXPECT_EQ(PlanFind(coll, pred).access, AccessPath::kCollScan);
+}
+
+TEST(PlannerTest, OrOfIndexablesUnions) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  auto pred = Predicate::Or({Predicate::Eq("name", DocValue::Str("Matilda")),
+                             Predicate::Eq("name", DocValue::Str("Wicked"))});
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kUnion);
+  EXPECT_EQ(plan.branches.size(), 2u);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 30u);
+  EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+}
+
+TEST(PlannerTest, OrWithUnindexedBranchScansOnce) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  auto pred =
+      Predicate::Or({Predicate::Eq("name", DocValue::Str("Matilda")),
+                     Predicate::Eq("type", DocValue::Str("Person"))});
+  EXPECT_EQ(PlanFind(coll, pred).access, AccessPath::kCollScan);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 15u);
+}
+
+TEST(PlannerTest, TextContainsRoutesThroughInvertedIndex) {
+  Collection coll("dt.instance");
+  coll.Insert(DocBuilder().Set("text", "Matilda at the Shubert").Build());
+  coll.Insert(DocBuilder().Set("text", "Wicked at the Gershwin").Build());
+  coll.Insert(DocBuilder().Set("text", "Matilda and Wicked lead").Build());
+  coll.Insert(DocBuilder().Set("other", 1).Build());
+  InvertedIndex text_idx("text");
+  text_idx.Build(coll);
+
+  FindOptions opts;
+  opts.text_index = &text_idx;
+  auto pred = Predicate::TextContains("text", "matilda");
+  QueryPlan plan = PlanFind(coll, pred, opts);
+  EXPECT_EQ(plan.access, AccessPath::kTextIndex);
+  auto via_index = Find(coll, pred, opts);
+  FindOptions scan;
+  scan.use_indexes = false;
+  auto via_scan = Find(coll, pred, scan);
+  ASSERT_TRUE(via_index.ok());
+  ASSERT_TRUE(via_scan.ok());
+  EXPECT_EQ(*via_index, *via_scan);
+  EXPECT_EQ(via_index->size(), 2u);
+
+  // Unknown token: conjunction is empty, still via the text path.
+  auto none = Find(coll, Predicate::TextContains("text", "matilda zebra"),
+                   opts);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  // A text index on a different field does not serve this path.
+  InvertedIndex other_idx("body");
+  FindOptions wrong;
+  wrong.text_index = &other_idx;
+  EXPECT_EQ(PlanFind(coll, pred, wrong).access, AccessPath::kCollScan);
+}
+
+TEST(PlannerTest, LimitTruncatesAscendingIds) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.limit = 3;
+  auto ids = Find(coll, pred, opts);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  EXPECT_EQ((*ids)[0], 1u);
+  EXPECT_EQ((*ids)[2], 3u);
+}
+
+TEST(PlannerTest, NullPredicateIsAnError) {
+  Collection coll = MakeEntities();
+  EXPECT_TRUE(Find(coll, nullptr).status().IsInvalidArgument());
+}
+
+TEST(PlannerTest, ParallelScanIdenticalToSerial) {
+  Collection coll = MakeEntities();
+  auto pred = Predicate::Or({Predicate::Eq("name", DocValue::Str("Matilda")),
+                             Predicate::Eq("type", DocValue::Str("Person"))});
+  FindOptions serial;
+  serial.use_indexes = false;
+  FindOptions par = serial;
+  par.num_threads = 4;
+  auto a = Find(coll, pred, serial);
+  auto b = Find(coll, pred, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(PlannerTest, CountersFeedCollectionStats) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  EXPECT_EQ(coll.index_scans(), 0);
+  EXPECT_EQ(coll.coll_scans(), 0);
+  ASSERT_TRUE(Find(coll, Predicate::Eq("name", DocValue::Str("Matilda"))).ok());
+  ASSERT_TRUE(Find(coll, Predicate::Eq("type", DocValue::Str("Movie"))).ok());
+  EXPECT_EQ(coll.index_scans(), 1);
+  EXPECT_EQ(coll.coll_scans(), 1);
+  auto st = coll.Stats();
+  EXPECT_EQ(st.index_scans, 1);
+  EXPECT_EQ(st.coll_scans, 1);
+  std::string s = st.ToString();
+  EXPECT_NE(s.find("\"indexScans\" : 1"), std::string::npos);
+  EXPECT_NE(s.find("\"collScans\" : 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Planner-backed aggregation
+// ---------------------------------------------------------------------
+
+TEST(CountAggregationTest, IndexOnlyCountMatchesScanCount) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  // Unfiltered count over an indexed path never touches a document.
+  int64_t scans_before = coll.coll_scans();
+  auto via_index = CountByField(coll, "name", PredicatePtr());
+  EXPECT_EQ(coll.coll_scans(), scans_before);
+  FindOptions scan;
+  scan.use_indexes = false;
+  auto via_scan = CountByField(coll, "name", PredicatePtr(), scan);
+  ASSERT_EQ(via_index.size(), via_scan.size());
+  for (size_t i = 0; i < via_index.size(); ++i) {
+    EXPECT_EQ(via_index[i].key, via_scan[i].key);
+    EXPECT_EQ(via_index[i].count, via_scan[i].count);
+  }
+  ASSERT_EQ(via_index.size(), 3u);
+  EXPECT_EQ(via_index[0].key, "Wicked");
+  EXPECT_EQ(via_index[0].count, 25);
+}
+
+TEST(CountAggregationTest, PredicateRestrictsGroups) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  auto rows = CountByField(coll, "name",
+                           Predicate::Eq("type", DocValue::Str("Movie")));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "Wicked");
+  EXPECT_EQ(rows[1].key, "Matilda");
+  EXPECT_EQ(rows[1].count, 5);
+}
+
+TEST(CountAggregationTest, BoundedTopKMatchesFullSortPrefix) {
+  Collection coll = MakeEntities();
+  auto all = CountByField(coll, "name", PredicatePtr());
+  for (int k : {0, 1, 2, 3, 99}) {
+    auto top = TopKByCount(coll, "name", k, PredicatePtr());
+    size_t want = std::min<size_t>(all.size(), static_cast<size_t>(k));
+    ASSERT_EQ(top.size(), want) << "k=" << k;
+    for (size_t i = 0; i < want; ++i) {
+      EXPECT_EQ(top[i].key, all[i].key) << "k=" << k << " i=" << i;
+      EXPECT_EQ(top[i].count, all[i].count);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Facade surface: Find/Explain, counters, snapshot round trip
+// ---------------------------------------------------------------------
+
+struct FacadeCorpus {
+  datagen::WebTextGenerator gen;
+  textparse::Gazetteer gazetteer;
+  std::vector<datagen::GeneratedFragment> fragments;
+
+  explicit FacadeCorpus(int64_t num_fragments) : gen(MakeOpts(num_fragments)) {
+    gazetteer = gen.BuildGazetteer();
+    fragments = gen.Generate();
+  }
+
+  static datagen::WebTextGenOptions MakeOpts(int64_t n) {
+    datagen::WebTextGenOptions o;
+    o.num_fragments = n;
+    return o;
+  }
+
+  void Ingest(fusion::DataTamer* tamer, bool with_indexes) const {
+    tamer->SetGazetteer(&gazetteer);
+    for (const auto& frag : fragments) {
+      ASSERT_TRUE(
+          tamer->IngestTextFragment(frag.text, frag.feed, frag.timestamp)
+              .ok());
+    }
+    if (with_indexes) ASSERT_TRUE(tamer->CreateStandardIndexes().ok());
+  }
+};
+
+TEST(DataTamerFindTest, FindAndExplainRouteThroughIndexes) {
+  FacadeCorpus corpus(150);
+  fusion::DataTamer tamer;
+  corpus.Ingest(&tamer, /*with_indexes=*/true);
+
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  auto explain = tamer.Explain("entity", pred);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("IXSCAN"), std::string::npos) << *explain;
+
+  auto ids = tamer.Find("entity", pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_GT(ids->size(), 0u);
+  FindOptions scan;
+  scan.use_indexes = false;
+  auto scanned = tamer.Find("entity", pred, scan);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(*ids, *scanned);
+  EXPECT_GT(tamer.entity_collection()->index_scans(), 0);
+
+  // TextContains on the instance collection rides the fragment index.
+  auto text_pred = Predicate::TextContains("text", "matilda");
+  auto text_explain = tamer.Explain("instance", text_pred);
+  ASSERT_TRUE(text_explain.ok());
+  EXPECT_NE(text_explain->find("TEXT"), std::string::npos) << *text_explain;
+  auto text_ids = tamer.Find("instance", text_pred);
+  auto text_scan = tamer.Find("instance", text_pred, scan);
+  ASSERT_TRUE(text_ids.ok());
+  ASSERT_TRUE(text_scan.ok());
+  EXPECT_EQ(*text_ids, *text_scan);
+  EXPECT_GT(text_ids->size(), 0u);
+
+  EXPECT_TRUE(tamer.Find("no_such_coll", pred).status().IsNotFound());
+}
+
+TEST(DataTamerFindTest, SnapshotPreservesPlannerVisibleIndexes) {
+  FacadeCorpus corpus(120);
+  fusion::DataTamer tamer;
+  corpus.Ingest(&tamer, /*with_indexes=*/true);
+
+  auto eq = Predicate::Eq("type", DocValue::Str("Movie"));
+  auto tree = Predicate::And(
+      {Predicate::Eq("type", DocValue::Str("Movie")),
+       Predicate::Eq("award_winning", DocValue::Str("true"))});
+  auto text = Predicate::TextContains("text", "matilda");
+  auto before_eq = tamer.Find("entity", eq);
+  auto before_tree = tamer.Find("entity", tree);
+  auto before_text = tamer.Find("instance", text);
+  ASSERT_TRUE(before_eq.ok());
+  ASSERT_TRUE(before_tree.ok());
+  ASSERT_TRUE(before_text.ok());
+  ASSERT_GT(tamer.entity_collection()->index_scans(), 0);
+
+  const std::string path = ::testing::TempDir() + "planner_snapshot.bin";
+  ASSERT_TRUE(tamer.SaveSnapshot(path).ok());
+  fusion::DataTamer loaded;
+  loaded.SetGazetteer(&corpus.gazetteer);
+  ASSERT_TRUE(loaded.LoadSnapshot(path).ok());
+  std::remove(path.c_str());
+
+  // Counters are observational, not data: a loaded store starts fresh.
+  EXPECT_EQ(loaded.entity_collection()->index_scans(), 0);
+  EXPECT_EQ(loaded.entity_collection()->coll_scans(), 0);
+
+  // The rebuilt indexes still drive the same plans...
+  auto explain = loaded.Explain("entity", eq);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("IXSCAN"), std::string::npos) << *explain;
+
+  // ...and every query answers identically to the pre-save store.
+  auto after_eq = loaded.Find("entity", eq);
+  auto after_tree = loaded.Find("entity", tree);
+  auto after_text = loaded.Find("instance", text);
+  ASSERT_TRUE(after_eq.ok());
+  ASSERT_TRUE(after_tree.ok());
+  ASSERT_TRUE(after_text.ok());
+  EXPECT_EQ(*before_eq, *after_eq);
+  EXPECT_EQ(*before_tree, *after_tree);
+  EXPECT_EQ(*before_text, *after_text);
+  EXPECT_GT(loaded.entity_collection()->index_scans(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Differential harness: planner vs full-scan oracle
+// ---------------------------------------------------------------------
+
+/// The ground truth: evaluate the predicate against every document.
+std::vector<DocId> OracleFind(const Collection& coll, const PredicatePtr& p) {
+  std::vector<DocId> out;
+  coll.ForEach([&](DocId id, const DocValue& doc) {
+    if (p->Matches(doc)) out.push_back(id);
+  });
+  return out;
+}
+
+/// Random predicate trees over the entity collection's field space.
+/// Values are sampled from live documents (hit-rich) or drawn random
+/// (mostly-miss), so both selective and empty branches occur.
+class PredicateGen {
+ public:
+  PredicateGen(const Collection& coll, Rng* rng) : rng_(rng) {
+    coll.ForEach([&](DocId, const DocValue& doc) {
+      if (samples_.size() < 400) samples_.push_back(doc);
+    });
+  }
+
+  PredicatePtr Random(int depth) {
+    if (depth <= 0 || rng_->Bernoulli(0.55)) return Leaf();
+    int n = 2 + static_cast<int>(rng_->Uniform(2));
+    std::vector<PredicatePtr> children;
+    for (int i = 0; i < n; ++i) children.push_back(Random(depth - 1));
+    return rng_->Bernoulli(0.5) ? Predicate::And(std::move(children))
+                                : Predicate::Or(std::move(children));
+  }
+
+ private:
+  static constexpr const char* kPaths[] = {
+      "type",        "name",          "surface", "confidence",
+      "instance_id", "award_winning", "source",  "no_such_field"};
+
+  DocValue SampleValue(const std::string& path) {
+    switch (rng_->Uniform(5)) {
+      case 0:
+        return DocValue::Str("miss-" + std::to_string(rng_->Uniform(100)));
+      case 1:
+        return DocValue::Int(rng_->UniformInt(-5, 2000000));
+      case 2:
+        return DocValue::Double(rng_->NextDouble());
+      default: {
+        if (samples_.empty()) return DocValue::Null();
+        const DocValue* v =
+            samples_[rng_->Uniform(samples_.size())].FindPath(path);
+        return v == nullptr ? DocValue::Null() : *v;
+      }
+    }
+  }
+
+  PredicatePtr Leaf() {
+    const std::string path = kPaths[rng_->Uniform(8)];
+    if (rng_->Bernoulli(0.6)) return Predicate::Eq(path, SampleValue(path));
+    // Unordered bound sampling on purpose: inverted ranges must come
+    // back empty from both the planner and the oracle.
+    return Predicate::Range(path, SampleValue(path), SampleValue(path));
+  }
+
+  Rng* rng_;
+  std::vector<DocValue> samples_;
+};
+
+TEST(PlannerOracleDifferentialTest, RandomTreesMatchOracle) {
+  FacadeCorpus corpus(300);
+  fusion::DataTamer indexed;
+  corpus.Ingest(&indexed, /*with_indexes=*/true);
+  fusion::DataTamer unindexed;
+  corpus.Ingest(&unindexed, /*with_indexes=*/false);
+
+  int64_t comparisons = 0;
+  for (bool with_indexes : {true, false}) {
+    const fusion::DataTamer& tamer = with_indexes ? indexed : unindexed;
+    const Collection& coll = *tamer.entity_collection();
+    Rng rng(with_indexes ? 4242 : 2424);
+    PredicateGen gen(coll, &rng);
+    for (int trial = 0; trial < 300; ++trial) {
+      PredicatePtr pred = gen.Random(3);
+      std::vector<DocId> expected = OracleFind(coll, pred);
+      for (int threads : {1, 4}) {
+        FindOptions opts;
+        opts.num_threads = threads;
+        auto got = Find(coll, pred, opts);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_EQ(*got, expected)
+            << "indexes=" << with_indexes << " threads=" << threads
+            << " trial=" << trial << "\npred: " << pred->ToString()
+            << "\nplan: " << ExplainFind(coll, pred, opts);
+        ++comparisons;
+      }
+    }
+  }
+  // The acceptance bar for this harness: >= 1000 clean comparisons.
+  EXPECT_GE(comparisons, 1200);
+}
+
+}  // namespace
+}  // namespace dt::query

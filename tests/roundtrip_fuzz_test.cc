@@ -13,7 +13,11 @@
 #include "dedup/blocking.h"
 #include "ingest/csv.h"
 #include "ingest/json.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "query/text_search.h"
 #include "storage/codec.h"
+#include "storage/collection.h"
 #include "storage/docvalue.h"
 
 namespace dt {
@@ -160,6 +164,107 @@ TEST_P(BinaryCodecFuzz, RandomMutationsNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BinaryCodecFuzz,
                          ::testing::Values(1001, 2002, 3003));
+
+// ---------------------------------------------------------------------
+// Planner vs full-scan oracle over randomized collections: hostile
+// documents (nested trees, arrays/objects under indexed paths, absent
+// fields) and random Eq/Range/And/Or/TextContains trees. The planner's
+// id set must be identical to evaluating the predicate on every
+// document, whatever mix of secondary/text indexes exists and however
+// many threads the fallback scan uses.
+// ---------------------------------------------------------------------
+
+class PlannerOracleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+namespace planner_fuzz {
+
+constexpr const char* kWords[] = {"alpha", "beta",  "gamma",
+                                  "delta", "omega", "zeta"};
+
+query::PredicatePtr RandomPredicate(Rng* rng, int depth) {
+  static const char* kPaths[] = {"a", "b", "c", "missing"};
+  if (depth <= 0 || rng->Bernoulli(0.5)) {
+    switch (rng->Uniform(4)) {
+      case 0: {
+        std::string keywords;
+        int n = static_cast<int>(rng->Uniform(3));  // 0 tokens happens
+        for (int i = 0; i < n; ++i) {
+          keywords += std::string(kWords[rng->Uniform(6)]) + " ";
+        }
+        return query::Predicate::TextContains("text", keywords);
+      }
+      case 1:
+        return query::Predicate::Range(kPaths[rng->Uniform(4)],
+                                       RandomValue(rng, 0),
+                                       RandomValue(rng, 0));
+      default:
+        return query::Predicate::Eq(kPaths[rng->Uniform(4)],
+                                    RandomValue(rng, 0));
+    }
+  }
+  int n = 2 + static_cast<int>(rng->Uniform(2));
+  std::vector<query::PredicatePtr> children;
+  for (int i = 0; i < n; ++i) {
+    children.push_back(RandomPredicate(rng, depth - 1));
+  }
+  return rng->Bernoulli(0.5) ? query::Predicate::And(std::move(children))
+                             : query::Predicate::Or(std::move(children));
+}
+
+}  // namespace planner_fuzz
+
+TEST_P(PlannerOracleFuzz, IndexedExecutionMatchesScanOracle) {
+  using planner_fuzz::kWords;
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    storage::Collection coll("dt.fuzz");
+    for (int i = 0; i < 120; ++i) {
+      DocValue doc = DocValue::Object();
+      if (rng.Bernoulli(0.9)) doc.Add("a", RandomValue(&rng, 1));
+      if (rng.Bernoulli(0.9)) doc.Add("b", RandomValue(&rng, 2));
+      if (rng.Bernoulli(0.5)) {
+        doc.Add("c", DocValue::Int(rng.UniformInt(0, 20)));
+      }
+      if (rng.Bernoulli(0.8)) {
+        std::string text;
+        int n = 1 + static_cast<int>(rng.Uniform(6));
+        for (int w = 0; w < n; ++w) {
+          text += std::string(kWords[rng.Uniform(6)]) + " ";
+        }
+        doc.Add("text", DocValue::Str(text));
+      }
+      coll.Insert(std::move(doc));
+    }
+    if (rng.Bernoulli(0.7)) ASSERT_TRUE(coll.CreateIndex("a").ok());
+    if (rng.Bernoulli(0.5)) ASSERT_TRUE(coll.CreateIndex("c").ok());
+    query::InvertedIndex text_idx("text");
+    const bool with_text = rng.Bernoulli(0.7);
+    if (with_text) text_idx.Build(coll);
+
+    for (int trial = 0; trial < 25; ++trial) {
+      query::PredicatePtr pred = planner_fuzz::RandomPredicate(&rng, 3);
+      std::vector<storage::DocId> expected;
+      coll.ForEach([&](storage::DocId id, const DocValue& doc) {
+        if (pred->Matches(doc)) expected.push_back(id);
+      });
+      for (int threads : {1, 4}) {
+        query::FindOptions opts;
+        opts.num_threads = threads;
+        if (with_text) opts.text_index = &text_idx;
+        auto got = query::Find(coll, pred, opts);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_EQ(*got, expected)
+            << "seed=" << GetParam() << " round=" << round
+            << " trial=" << trial << " threads=" << threads
+            << "\npred: " << pred->ToString()
+            << "\nplan: " << query::ExplainFind(coll, pred, opts);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerOracleFuzz,
+                         ::testing::Values(501, 502, 503, 504));
 
 class CsvRoundtripFuzz : public ::testing::TestWithParam<uint64_t> {};
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace dt::query {
 namespace {
 
@@ -104,6 +106,74 @@ TEST(InvertedIndexTest, SkipsDocsWithoutField) {
   coll.Insert(DocBuilder().Set("text", 42).Build());  // non-string
   InvertedIndex idx("text");
   EXPECT_EQ(idx.Build(coll), 1);
+}
+
+TEST(InvertedIndexTest, AddAfterBuildKeepsDocFrequencyConsistent) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  const int64_t df_before = idx.DocFrequency("matilda");
+  ASSERT_EQ(df_before, 3);
+  const int64_t docs_before = idx.num_documents();
+
+  // Live insert after the bulk build: ids keep growing monotonically.
+  DocId new_id = coll.Insert(
+      DocBuilder().Set("text", "Matilda extended through spring.").Build());
+  idx.Add(new_id, "Matilda extended through spring.");
+
+  EXPECT_EQ(idx.num_documents(), docs_before + 1);
+  EXPECT_EQ(idx.DocFrequency("matilda"), df_before + 1);
+  EXPECT_EQ(idx.DocFrequency("spring"), 1);
+  auto postings = idx.Postings("matilda");
+  ASSERT_EQ(postings.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+  EXPECT_EQ(postings.back(), new_id);
+
+  // IDF stays consistent with the grown doc frequencies: the term now
+  // in 4/6 documents must rank below a term in 1/6 for equal-length
+  // docs, and the new document is searchable.
+  auto hits = idx.Search("matilda", 10);
+  ASSERT_EQ(hits.size(), 4u);
+  bool found_new = false;
+  for (const auto& h : hits) found_new |= h.doc_id == new_id;
+  EXPECT_TRUE(found_new);
+  auto rare = idx.Search("spring", 10);
+  ASSERT_EQ(rare.size(), 1u);
+  EXPECT_EQ(rare[0].doc_id, new_id);
+}
+
+TEST(InvertedIndexTest, EmptyQueryReturnsNothing) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  EXPECT_TRUE(idx.Search("").empty());
+  EXPECT_TRUE(idx.Search("   ,;!  ").empty());  // tokenizes to nothing
+  // An empty index answers any query with nothing (no division by the
+  // zero document count).
+  InvertedIndex empty("text");
+  EXPECT_TRUE(empty.Search("matilda").empty());
+  EXPECT_TRUE(empty.Search("").empty());
+  EXPECT_EQ(empty.DocFrequency("matilda"), 0);
+}
+
+TEST(InvertedIndexTest, OnlyUnknownTokensReturnsNothing) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  EXPECT_TRUE(idx.Search("zebra").empty());
+  EXPECT_TRUE(idx.Search("zebra quagga okapi").empty());
+  EXPECT_EQ(idx.DocFrequency("zebra"), 0);
+  EXPECT_TRUE(idx.Postings("zebra").empty());
+}
+
+TEST(InvertedIndexTest, KLargerThanHitCountReturnsAllHits) {
+  Collection coll = MakeFragments();
+  InvertedIndex idx("text");
+  idx.Build(coll);
+  auto hits = idx.Search("matilda", 1000);
+  EXPECT_EQ(hits.size(), 3u);  // every hit, no padding, no crash
+  EXPECT_EQ(idx.Search("matilda", 3).size(), 3u);
+  EXPECT_TRUE(idx.Search("matilda", 0).empty());
 }
 
 TEST(InvertedIndexTest, DuplicateQueryTermsCollapse) {
