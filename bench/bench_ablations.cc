@@ -15,6 +15,9 @@
 ///   H. Snapshot cold start (binary save/load) vs re-ingest.
 ///   I. Query planner: index-routed vs full-scan `Find` at 10k-100k
 ///      docs (the structured read path of the demo queries).
+///   J. Cursor executor: sort/limit push-down (order-covering index
+///      scan + LIMIT) vs materialize-then-sort, and compound vs
+///      intersected single-field indexes.
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
@@ -471,6 +474,151 @@ void AblationPlanner() {
   }
 }
 
+void AblationSortLimitPushdown() {
+  PrintSection("J. sort/limit push-down & compound indexes (dt.entity)");
+  // ~9.8 entity docs per fragment: 5500 fragments clear the >= 50k-doc
+  // acceptance scale with margin.
+  BenchScale scale;
+  scale.num_fragments = 5500;
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  auto* coll = p.tamer->entity_collection();
+  std::printf("  docs: %s\n", WithThousandsSep(coll->count()).c_str());
+  if (coll->count() < 50000) {
+    std::printf("  FAILED: need >= 50,000 docs for the push-down bar\n");
+    CheckFailed() = true;
+  }
+
+  // ---- Sort/limit push-down: top-10 by instance_id over everything.
+  const auto match_all = query::Predicate::And({});
+  query::FindOptions down;
+  down.order_by = "instance_id";
+  down.limit = 10;
+  query::ExecStats stats;
+  down.stats = &stats;
+
+  const std::string explain = query::ExplainFind(*coll, match_all, down);
+  std::printf("  plan: %s\n", explain.c_str());
+  const bool plan_ok = explain.find("IXSCAN") != std::string::npos &&
+                       explain.find("LIMIT(10)") != std::string::npos &&
+                       explain.find("SORT") == std::string::npos;
+  if (!plan_ok) {
+    std::printf("  FAILED: expected an IXSCAN -> LIMIT plan with no SORT\n");
+    CheckFailed() = true;
+  }
+
+  const int push_reps = 200;
+  Timer t_push;
+  std::vector<storage::DocId> pushed;
+  for (int i = 0; i < push_reps; ++i) {
+    pushed = query::Find(*coll, match_all, down).ValueOrDie();
+  }
+  double push_ms = t_push.Millis() / push_reps;
+
+  // Baseline: what PR 3 did — materialize every id, fetch the sort
+  // key per document, sort the whole set, truncate to 10.
+  query::FindOptions material;
+  material.use_indexes = false;
+  const int sort_reps = 10;
+  Timer t_sort;
+  std::vector<storage::DocId> sorted;
+  for (int i = 0; i < sort_reps; ++i) {
+    std::vector<storage::DocId> all =
+        query::Find(*coll, match_all, material).ValueOrDie();
+    std::vector<std::pair<storage::IndexKey, storage::DocId>> keyed;
+    keyed.reserve(all.size());
+    for (storage::DocId id : all) {
+      const storage::DocValue* doc = coll->Get(id);
+      const storage::DocValue* v =
+          doc == nullptr ? nullptr : doc->FindPath("instance_id");
+      keyed.emplace_back(v == nullptr ? storage::IndexKey()
+                                      : storage::IndexKey::FromValue(*v),
+                         id);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first < b.first) return true;
+                if (b.first < a.first) return false;
+                return a.second < b.second;
+              });
+    sorted.clear();
+    for (size_t k = 0; k < keyed.size() && k < 10; ++k) {
+      sorted.push_back(keyed[k].second);
+    }
+  }
+  double sort_ms = t_sort.Millis() / sort_reps;
+
+  const bool identical = pushed == sorted;
+  const double speedup = push_ms > 0 ? sort_ms / push_ms : 0.0;
+  std::printf("  %-34s %10.4f ms   (%lld index entries examined)\n",
+              "push-down (IXSCAN -> LIMIT)", push_ms,
+              static_cast<long long>(stats.index_entries_examined));
+  std::printf("  %-34s %10.4f ms\n", "materialize + sort + truncate",
+              sort_ms);
+  std::printf("  %-34s %9.1fx   identical: %s\n", "speedup", speedup,
+              identical ? "yes" : "NO");
+  if (!identical) CheckFailed() = true;
+  if (speedup < 10.0) {
+    std::printf("  FAILED: push-down only %.1fx faster (need >= 10x)\n",
+                speedup);
+    CheckFailed() = true;
+  }
+  RecordMetric("pushdown_docs", static_cast<double>(coll->count()));
+  RecordMetric("pushdown_ixscan_limit_ms", push_ms);
+  RecordMetric("pushdown_materialize_sort_ms", sort_ms);
+  RecordMetric("pushdown_speedup", speedup);
+  RecordMetric("pushdown_entries_examined",
+               static_cast<double>(stats.index_entries_examined));
+
+  // ---- Compound vs intersected single-field indexes on the Table IV
+  // shape: type equality + award filter.
+  auto pred = query::Predicate::And(
+      {query::Predicate::Eq("type", storage::DocValue::Str("Movie")),
+       query::Predicate::Eq("award_winning", storage::DocValue::Str("true"))});
+  const int reps = 50;
+  Timer t_single;
+  std::vector<storage::DocId> via_single;
+  for (int i = 0; i < reps; ++i) {
+    via_single = query::Find(*coll, pred).ValueOrDie();
+  }
+  double single_ms = t_single.Millis() / reps;
+
+  if (!coll->CreateIndex({"type", "award_winning"}).ok()) {
+    std::printf("  compound index creation FAILED\n");
+    CheckFailed() = true;
+    return;
+  }
+  const std::string compound_explain = query::ExplainFind(*coll, pred);
+  Timer t_compound;
+  std::vector<storage::DocId> via_compound;
+  for (int i = 0; i < reps; ++i) {
+    via_compound = query::Find(*coll, pred).ValueOrDie();
+  }
+  double compound_ms = t_compound.Millis() / reps;
+
+  const bool same = via_single == via_compound;
+  std::printf("  %-34s %10.4f ms   (driver + residual re-check)\n",
+              "single-field index (best driver)", single_ms);
+  std::printf("  %-34s %10.4f ms   (%zu hits, exact bounds)\n",
+              "compound (type,award_winning)", compound_ms,
+              via_compound.size());
+  std::printf("  %-34s %9.1fx   identical: %s\n", "compound speedup",
+              compound_ms > 0 ? single_ms / compound_ms : 0.0,
+              same ? "yes" : "NO");
+  std::printf("  compound plan: %s\n", compound_explain.c_str());
+  if (!same || via_compound.empty()) CheckFailed() = true;
+  if (compound_explain.find("IXSCAN(type,award_winning)") ==
+      std::string::npos) {
+    std::printf("  FAILED: planner did not route through the compound "
+                "index\n");
+    CheckFailed() = true;
+  }
+  RecordMetric("pushdown_single_residual_ms", single_ms);
+  RecordMetric("pushdown_compound_ms", compound_ms);
+  RecordMetric("pushdown_compound_speedup",
+               compound_ms > 0 ? single_ms / compound_ms : 0.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -495,6 +643,7 @@ int main(int argc, char** argv) {
   AblationParallelism();
   AblationSnapshot();
   AblationPlanner();
+  AblationSortLimitPushdown();
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

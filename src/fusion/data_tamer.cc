@@ -193,15 +193,52 @@ std::vector<query::CountRow> DataTamer::TopDiscussed(
         {std::move(pred),
          query::Predicate::Eq("award_winning", DocValue::Str("true"))});
   }
-  query::FindOptions opts;
-  opts.num_threads = opts_.num_threads;
-  return query::TopKByCount(*entity_, "name", k, pred, opts);
+  // Rides the shared bounded top-k machinery (see executor.h's
+  // TopKCursor / BoundedTopK) over the planner-routed group counts.
+  return query::TopKByCount(*entity_, "name", k, pred,
+                            ResolveFindOptions("entity", {}));
+}
+
+ThreadPool* DataTamer::WorkerPool() const {
+  // Guarded lazy init. The facade as a whole is NOT thread-safe (see
+  // the class comment) — this lock only keeps the worst failure mode
+  // of misuse at bay: two racing queries must not construct two pools
+  // into the unique_ptr, destroying one mid-ParallelFor.
+  std::lock_guard<std::mutex> lock(worker_pool_mu_);
+  if (worker_pool_ == nullptr) {
+    int n = ResolveNumThreads(opts_.num_threads);
+    if (n <= 1) return nullptr;
+    worker_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return worker_pool_.get();
+}
+
+/// The cached pool serves a request for `want` threads only when it is
+/// exactly that wide — a caller asking for any other count keeps its
+/// own transient pool (a set pool wins over num_threads, so attaching
+/// a mismatched one would silently override the request in either
+/// direction).
+bool DataTamer::PoolServes(int want) const {
+  return want > 1 && want == ResolveNumThreads(opts_.num_threads);
+}
+
+storage::SnapshotOptions DataTamer::ResolveSnapshotOptions() const {
+  storage::SnapshotOptions opts = opts_.snapshot_options;
+  if (opts.pool == nullptr && PoolServes(ResolveNumThreads(opts.num_threads))) {
+    opts.pool = WorkerPool();
+  }
+  return opts;
 }
 
 query::FindOptions DataTamer::ResolveFindOptions(
     const std::string& collection, query::FindOptions opts) const {
   if (opts_.num_threads != 1 && opts.num_threads == 1) {
     opts.num_threads = opts_.num_threads;
+  }
+  // Parallel scans ride the facade's one cached pool instead of
+  // constructing a fresh ThreadPool per query.
+  if (opts.pool == nullptr && PoolServes(ResolveNumThreads(opts.num_threads))) {
+    opts.pool = WorkerPool();
   }
   if (opts.text_index == nullptr && collection == "instance") {
     RefreshFragmentIndex();
@@ -266,20 +303,30 @@ std::vector<dedup::DedupRecord> DataTamer::CollectRecords(
     std::string canonical;
   };
   std::unordered_map<std::string, TextEntity> by_name;
-  entity_->ForEach([&](storage::DocId, const DocValue& doc) {
-    const DocValue* type = doc.Find("type");
-    const DocValue* ename = doc.Find("name");
-    if (type == nullptr || ename == nullptr || !ename->is_string()) return;
-    if (type->string_value() != entity_type) return;
+  // The type restriction routes through the planner, so after
+  // CreateStandardIndexes this walk is an index scan over exactly the
+  // entities of `entity_type`, not a full collection pass. The name
+  // comparison stays in code: it matches on the *normalized* form,
+  // which no index key carries.
+  auto type_ids =
+      query::Find(*entity_, query::Predicate::Eq("type",
+                                                 DocValue::Str(entity_type)),
+                  ResolveFindOptions("entity", {}));
+  RethrowIfError(type_ids.status());  // scan bodies cannot fail short of OOM
+  for (storage::DocId id : *type_ids) {
+    const DocValue* doc = entity_->Get(id);
+    if (doc == nullptr) continue;
+    const DocValue* ename = doc->Find("name");
+    if (ename == nullptr || !ename->is_string()) continue;
     std::string norm = NormalizeName(ename->string_value());
-    if (!want.empty() && norm != want) return;
+    if (!want.empty() && norm != want) continue;
     auto& te = by_name[norm];
     te.canonical = ename->string_value();
-    const DocValue* iid = doc.Find("instance_id");
+    const DocValue* iid = doc->Find("instance_id");
     if (iid != nullptr && iid->is_int()) {
       te.instance_ids.insert(iid->int_value());
     }
-  });
+  }
   for (auto& [norm, te] : by_name) {
     dedup::DedupRecord rec;
     rec.id = next_id++;
@@ -352,12 +399,12 @@ std::vector<dedup::DedupRecord> DataTamer::CollectRecords(
 }
 
 Status DataTamer::SaveSnapshot(const std::string& path) const {
-  return storage::SaveSnapshot(store_, path, opts_.snapshot_options);
+  return storage::SaveSnapshot(store_, path, ResolveSnapshotOptions());
 }
 
 Status DataTamer::LoadSnapshot(const std::string& path) {
   DT_ASSIGN_OR_RETURN(std::unique_ptr<storage::DocumentStore> loaded,
-                      storage::LoadSnapshot(path, opts_.snapshot_options));
+                      storage::LoadSnapshot(path, ResolveSnapshotOptions()));
   // Validate before committing so a bad file leaves the facade usable.
   for (const char* required : {"instance", "entity"}) {
     if (!loaded->GetCollection(required).ok()) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "clean/cleaning.h"
 #include "clean/transforms.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dedup/consolidation.h"
 #include "ingest/source_registry.h"
 #include "match/global_schema.h"
@@ -78,6 +80,13 @@ struct PipelineStats {
 };
 
 /// \brief The end-to-end system.
+///
+/// Not thread-safe, including the const query surface: `Find` /
+/// `SearchFragments` lazily (re)build the fragment text index and the
+/// worker pool, and executions bump the collections' observational
+/// scan counters. Serialize access externally to share one facade
+/// across threads (parallelism *inside* one call is what
+/// `DataTamerOptions::num_threads` provides).
 class DataTamer {
  public:
   explicit DataTamer(DataTamerOptions opts = {});
@@ -135,13 +144,16 @@ class DataTamer {
                                             bool award_winning_only) const;
 
   /// \brief Structured predicate query against a collection of the
-  /// store ("instance", "entity", ...): ascending ids of exactly the
-  /// documents matching `pred`, routed through the cost-aware planner
-  /// (secondary indexes, the full-text index for TextContains on
-  /// instance text, parallel scan fallback). `opts.num_threads`
-  /// inherits the facade-level knob unless set away from its default;
-  /// `opts.text_index` is wired to the fragment index automatically
-  /// for the instance collection.
+  /// store ("instance", "entity", ...): ids of exactly the documents
+  /// matching `pred` — in `opts.order_by` order with `opts.limit`
+  /// honored inside execution (ascending ids when unordered) — routed
+  /// through the cost-aware planner (secondary indexes including
+  /// compound ones, sort/limit push-down, the full-text index for
+  /// TextContains on instance text, parallel scan fallback).
+  /// `opts.num_threads` inherits the facade-level knob unless set away
+  /// from its default; parallel scans ride the facade's one cached
+  /// thread pool; `opts.text_index` is wired to the fragment index
+  /// automatically for the instance collection.
   Result<std::vector<storage::DocId>> Find(const std::string& collection,
                                            const query::PredicatePtr& pred,
                                            query::FindOptions opts = {}) const;
@@ -217,6 +229,18 @@ class DataTamer {
   /// a snapshot replaced the store) since the last build.
   void RefreshFragmentIndex() const;
 
+  /// \brief The facade's one lazily-constructed worker pool (sized by
+  /// `options().num_threads`), shared by parallel query scans and
+  /// snapshot encode/decode instead of constructing a pool per call.
+  /// Null when the facade runs single-threaded.
+  ThreadPool* WorkerPool() const;
+
+  /// True when the cached pool can serve a `want`-thread request.
+  bool PoolServes(int want) const;
+
+  /// `options().snapshot_options` with the cached pool attached.
+  storage::SnapshotOptions ResolveSnapshotOptions() const;
+
   /// Shared Find/Explain option normalization: facade thread-knob
   /// inheritance and fragment-index wiring for the instance
   /// collection. Keeps the rendered plan and the execution in
@@ -242,6 +266,11 @@ class DataTamer {
   // Lazily built full-text index over dt.instance (see SearchFragments).
   mutable query::InvertedIndex fragment_index_{"text"};
   mutable int64_t fragments_indexed_ = 0;
+  // One pool for every parallel scan/snapshot this facade runs (see
+  // WorkerPool); constructed on first use, never per operation. The
+  // mutex guards the lazy init against concurrent const queries.
+  mutable std::mutex worker_pool_mu_;
+  mutable std::unique_ptr<ThreadPool> worker_pool_;
 };
 
 }  // namespace dt::fusion

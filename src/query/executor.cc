@@ -1,0 +1,280 @@
+#include "query/executor.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace dt::query {
+
+using storage::Collection;
+using storage::CompositeKey;
+using storage::DocId;
+using storage::DocValue;
+using storage::IndexKey;
+
+Status DrainCursor(Cursor* cursor, ExecStats* stats,
+                   std::vector<DocId>* out) {
+  DocId id;
+  while (cursor->Next(&id)) out->push_back(id);
+  DT_RETURN_NOT_OK(cursor->status());
+  if (stats != nullptr) {
+    stats->docs_returned += static_cast<int64_t>(out->size());
+  }
+  return Status::OK();
+}
+
+// ---- IxScanCursor ------------------------------------------------------
+
+namespace {
+
+/// Equality on the first `n` key components (clamped to the key width).
+bool SamePrefix(const CompositeKey& a, const CompositeKey& b, size_t n) {
+  n = std::min({n, a.width(), b.width()});
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a.part(i) == b.part(i))) return false;
+  }
+  return true;
+}
+
+/// The (order key, id) comparison every ordering operator shares:
+/// `descending` flips the key comparison only — ties stay ascending by
+/// id, the deterministic contract the differential harness pins.
+struct OrderBetter {
+  bool descending;
+  bool operator()(const std::pair<IndexKey, DocId>& a,
+                  const std::pair<IndexKey, DocId>& b) const {
+    if (a.first < b.first) return !descending;
+    if (b.first < a.first) return descending;
+    return a.second < b.second;
+  }
+};
+
+IndexKey OrderKeyOf(const DocValue* doc, const std::string& path) {
+  if (doc == nullptr) return IndexKey();
+  const DocValue* v = doc->FindPath(path);
+  return v == nullptr ? IndexKey() : IndexKey::FromValue(*v);
+}
+
+}  // namespace
+
+IxScanCursor::IxScanCursor(storage::SecondaryIndex::Scan scan,
+                           size_t run_prefix_len, ExecStats* stats)
+    : scan_(scan), run_prefix_len_(run_prefix_len), stats_(stats) {}
+
+bool IxScanCursor::FillRun() {
+  run_.clear();
+  run_at_ = 0;
+  const CompositeKey* key;
+  DocId id;
+  if (!pending_valid_) {
+    if (!scan_.Next(&key, &id)) return false;
+    if (stats_ != nullptr) ++stats_->index_entries_examined;
+    pending_key_ = *key;
+    pending_id_ = id;
+  }
+  CompositeKey run_key = std::move(pending_key_);
+  run_.push_back(pending_id_);
+  pending_valid_ = false;
+  while (scan_.Next(&key, &id)) {
+    if (stats_ != nullptr) ++stats_->index_entries_examined;
+    if (!SamePrefix(run_key, *key, run_prefix_len_)) {
+      // First entry of the next run: park it for the next fill.
+      pending_key_ = *key;
+      pending_id_ = id;
+      pending_valid_ = true;
+      break;
+    }
+    run_.push_back(id);
+  }
+  // Ids inside a run tie on every component that orders the output, so
+  // the contract says ascending id.
+  std::sort(run_.begin(), run_.end());
+  return true;
+}
+
+bool IxScanCursor::Next(DocId* id) {
+  while (run_at_ >= run_.size()) {
+    if (!FillRun()) return false;
+  }
+  *id = run_[run_at_++];
+  return true;
+}
+
+// ---- CollScanCursor ----------------------------------------------------
+
+CollScanCursor::CollScanCursor(const Collection& coll, PredicatePtr pred,
+                               ExecStats* stats)
+    : docs_(coll.ScanDocs()), pred_(std::move(pred)), stats_(stats) {}
+
+bool CollScanCursor::Next(DocId* id) {
+  const DocValue* doc;
+  while (docs_.Next(id, &doc)) {
+    if (stats_ != nullptr) ++stats_->docs_examined;
+    if (pred_ == nullptr || pred_->Matches(*doc)) return true;
+  }
+  return false;
+}
+
+Result<CursorPtr> CollScanCursor::Parallel(const Collection& coll,
+                                           const PredicatePtr& pred,
+                                           int num_threads, ThreadPool* pool,
+                                           ExecStats* stats) {
+  // The chunked loop needs random access; stage (id, doc) pointers.
+  std::vector<std::pair<DocId, const DocValue*>> docs;
+  docs.reserve(static_cast<size_t>(coll.count()));
+  coll.ForEach([&](DocId id, const DocValue& doc) {
+    docs.emplace_back(id, &doc);
+  });
+  if (stats != nullptr) {
+    stats->docs_examined += static_cast<int64_t>(docs.size());
+  }
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    transient = std::make_unique<ThreadPool>(ResolveNumThreads(num_threads));
+    pool = transient.get();
+  }
+  const size_t num_chunks = static_cast<size_t>(pool->num_threads()) * 4;
+  std::vector<std::vector<DocId>> parts(num_chunks);
+  DT_RETURN_NOT_OK(pool->ParallelForChunks(
+      0, docs.size(), num_chunks,
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<DocId>& part = parts[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          if (pred == nullptr || pred->Matches(*docs[i].second)) {
+            part.push_back(docs[i].first);
+          }
+        }
+        return Status::OK();
+      }));
+  std::vector<DocId> ids;
+  // In-order concatenation keeps the output byte-identical to the
+  // serial scan for every thread count.
+  for (const auto& part : parts) {
+    ids.insert(ids.end(), part.begin(), part.end());
+  }
+  return CursorPtr(std::make_unique<VectorCursor>(std::move(ids)));
+}
+
+// ---- FilterCursor ------------------------------------------------------
+
+FilterCursor::FilterCursor(const Collection& coll, CursorPtr child,
+                           PredicatePtr pred, ExecStats* stats)
+    : coll_(coll),
+      child_(std::move(child)),
+      pred_(std::move(pred)),
+      stats_(stats) {}
+
+bool FilterCursor::Next(DocId* id) {
+  while (child_->Next(id)) {
+    const DocValue* doc = coll_.Get(*id);
+    if (doc == nullptr) continue;  // concurrently removed: not a match
+    if (stats_ != nullptr) ++stats_->docs_examined;
+    if (pred_ == nullptr || pred_->Matches(*doc)) return true;
+  }
+  return false;
+}
+
+// ---- UnionCursor -------------------------------------------------------
+
+bool UnionCursor::Next(DocId* id) {
+  if (!merged_) {
+    merged_ = true;
+    for (const CursorPtr& child : children_) {
+      DocId cid;
+      while (child->Next(&cid)) ids_.push_back(cid);
+      if (!child->status().ok()) return false;
+    }
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+  if (at_ >= ids_.size()) return false;
+  *id = ids_[at_++];
+  return true;
+}
+
+Status UnionCursor::status() const {
+  for (const CursorPtr& child : children_) {
+    DT_RETURN_NOT_OK(child->status());
+  }
+  return Status::OK();
+}
+
+// ---- SortCursor --------------------------------------------------------
+
+SortCursor::SortCursor(const Collection& coll, CursorPtr child,
+                       std::string order_by, bool descending,
+                       ExecStats* stats)
+    : coll_(coll),
+      child_(std::move(child)),
+      order_by_(std::move(order_by)),
+      descending_(descending),
+      stats_(stats) {}
+
+void SortCursor::Materialize() {
+  std::vector<std::pair<IndexKey, DocId>> keyed;
+  DocId id;
+  while (child_->Next(&id)) {
+    if (order_by_.empty()) {
+      ids_.push_back(id);
+      continue;
+    }
+    if (stats_ != nullptr) ++stats_->docs_examined;
+    keyed.emplace_back(OrderKeyOf(coll_.Get(id), order_by_), id);
+  }
+  if (order_by_.empty()) {
+    std::sort(ids_.begin(), ids_.end());
+    return;
+  }
+  std::sort(keyed.begin(), keyed.end(), OrderBetter{descending_});
+  ids_.reserve(keyed.size());
+  for (const auto& [key, kid] : keyed) ids_.push_back(kid);
+}
+
+bool SortCursor::Next(DocId* id) {
+  if (!sorted_) {
+    sorted_ = true;
+    Materialize();
+    if (!child_->status().ok()) return false;
+  }
+  if (at_ >= ids_.size()) return false;
+  *id = ids_[at_++];
+  return true;
+}
+
+// ---- TopKCursor --------------------------------------------------------
+
+TopKCursor::TopKCursor(const Collection& coll, CursorPtr child,
+                       std::string order_by, bool descending, int64_t k,
+                       ExecStats* stats)
+    : coll_(coll),
+      child_(std::move(child)),
+      order_by_(std::move(order_by)),
+      descending_(descending),
+      k_(k),
+      stats_(stats) {}
+
+void TopKCursor::Materialize() {
+  BoundedTopK<std::pair<IndexKey, DocId>, OrderBetter> top(
+      k_, OrderBetter{descending_});
+  DocId id;
+  while (child_->Next(&id)) {
+    if (stats_ != nullptr) ++stats_->docs_examined;
+    top.Offer({OrderKeyOf(coll_.Get(id), order_by_), id});
+  }
+  std::vector<std::pair<IndexKey, DocId>> best = top.TakeSorted();
+  ids_.reserve(best.size());
+  for (const auto& [key, kid] : best) ids_.push_back(kid);
+}
+
+bool TopKCursor::Next(DocId* id) {
+  if (!selected_) {
+    selected_ = true;
+    Materialize();
+    if (!child_->status().ok()) return false;
+  }
+  if (at_ >= ids_.size()) return false;
+  *id = ids_[at_++];
+  return true;
+}
+
+}  // namespace dt::query

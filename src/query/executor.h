@@ -1,0 +1,302 @@
+/// \file executor.h
+/// \brief Pull-based operator cursors — the execution half of the query
+/// layer (the planner chooses the tree, these run it).
+///
+/// A plan executes as a tree of `Cursor`s, each pulling document ids
+/// from its child on demand:
+///
+///   IxScanCursor    ordered (key, id) stream off a `SecondaryIndex`
+///                   scan, run-buffered so ties come back in ascending
+///                   id order.
+///   CollScanCursor  full collection scan with the predicate applied
+///                   inline (serial pull; the parallel form
+///                   materializes once on the thread pool and replays).
+///   FilterCursor    residual predicate re-check on fetched documents.
+///   UnionCursor     deduplicated ascending-id merge of branch cursors.
+///   SortCursor      materialize + sort by (order key, id).
+///   LimitCursor     stop pulling after k ids.
+///   TopKCursor      fused sort+limit: bounded k-element heap instead
+///                   of sorting everything.
+///
+/// Pull composition is what makes sort/limit push-down work: a
+/// `LimitCursor` over an order-covering `IxScanCursor` stops the index
+/// walk after ~k entries instead of scanning, materializing and
+/// sorting the whole result set. `ExecStats` counts what an execution
+/// actually touched, which the push-down tests assert on.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "storage/collection.h"
+
+namespace dt {
+class ThreadPool;
+}
+
+namespace dt::query {
+
+/// Counters filled in during one `Find` execution — what the chosen
+/// plan actually touched (the observable half of push-down: an indexed
+/// order-by + limit-10 query examines ~10 index entries, not the
+/// collection).
+struct ExecStats {
+  /// Index entries pulled from secondary-index scans.
+  int64_t index_entries_examined = 0;
+  /// Documents fetched (scan bodies, residual filters, sort-key
+  /// extraction).
+  int64_t docs_examined = 0;
+  /// Ids the root cursor produced.
+  int64_t docs_returned = 0;
+};
+
+/// \brief One operator of an executing plan: pulls document ids.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// Pulls the next id; false at end of stream (or on error — check
+  /// `status()` after exhaustion).
+  virtual bool Next(storage::DocId* id) = 0;
+
+  /// First error the cursor (or a child) hit; OK while healthy.
+  virtual Status status() const { return Status::OK(); }
+};
+
+using CursorPtr = std::unique_ptr<Cursor>;
+
+/// Drains `cursor` into `out`, propagating its terminal status and
+/// counting returned ids into `stats` (may be null).
+Status DrainCursor(Cursor* cursor, ExecStats* stats,
+                   std::vector<storage::DocId>* out);
+
+/// \brief Ordered secondary-index scan.
+///
+/// Emits ids in index-key order (or reversed), with *runs* — maximal
+/// groups of consecutive entries equal on the first `run_prefix_len`
+/// key components — internally sorted by ascending id. That yields the
+/// two contracts the planner needs from one operator:
+///
+///   run_prefix_len == number of equality-bound components: the whole
+///   scan is one run, so ids stream out globally ascending (the
+///   unordered `Find` contract) with no separate sort node;
+///
+///   run_prefix_len == equality components + 1: runs group by the
+///   order-by component, so ids stream out ordered by that component
+///   with ties ascending — the push-down contract.
+class IxScanCursor : public Cursor {
+ public:
+  IxScanCursor(storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
+               ExecStats* stats);
+
+  bool Next(storage::DocId* id) override;
+
+ private:
+  /// Refills `run_` with the next run; false when the scan is dry.
+  bool FillRun();
+
+  storage::SecondaryIndex::Scan scan_;
+  size_t run_prefix_len_;
+  ExecStats* stats_;
+  bool pending_valid_ = false;  // one-entry lookahead across run edges
+  storage::CompositeKey pending_key_;
+  storage::DocId pending_id_ = 0;
+  std::vector<storage::DocId> run_;
+  size_t run_at_ = 0;
+};
+
+/// \brief Full collection scan with the predicate applied inline.
+///
+/// The serial form pulls documents lazily (a downstream limit stops
+/// the scan early); `Parallel` chunks the scan over a thread pool,
+/// materializes the thread-count-independent result once and replays
+/// it.
+class CollScanCursor : public Cursor {
+ public:
+  /// Serial pull over `coll`; `pred` may be null (match everything).
+  CollScanCursor(const storage::Collection& coll, PredicatePtr pred,
+                 ExecStats* stats);
+
+  /// Parallel scan: materializes matching ids on `pool` (or a
+  /// transient pool of `num_threads` when `pool` is null) and returns
+  /// a cursor replaying them. Output is identical to the serial form
+  /// for every thread count.
+  static Result<CursorPtr> Parallel(const storage::Collection& coll,
+                                    const PredicatePtr& pred, int num_threads,
+                                    ThreadPool* pool, ExecStats* stats);
+
+  bool Next(storage::DocId* id) override;
+
+ private:
+  storage::Collection::DocCursor docs_;
+  PredicatePtr pred_;
+  ExecStats* stats_;
+};
+
+/// \brief Replays a pre-materialized id vector (parallel scans, text
+/// postings intersections).
+class VectorCursor : public Cursor {
+ public:
+  explicit VectorCursor(std::vector<storage::DocId> ids)
+      : ids_(std::move(ids)) {}
+
+  bool Next(storage::DocId* id) override {
+    if (at_ >= ids_.size()) return false;
+    *id = ids_[at_++];
+    return true;
+  }
+
+ private:
+  std::vector<storage::DocId> ids_;
+  size_t at_ = 0;
+};
+
+/// \brief Residual filter: re-checks the full predicate on each
+/// document the child produces.
+class FilterCursor : public Cursor {
+ public:
+  FilterCursor(const storage::Collection& coll, CursorPtr child,
+               PredicatePtr pred, ExecStats* stats);
+
+  bool Next(storage::DocId* id) override;
+  Status status() const override { return child_->status(); }
+
+ private:
+  const storage::Collection& coll_;
+  CursorPtr child_;
+  PredicatePtr pred_;
+  ExecStats* stats_;
+};
+
+/// \brief Deduplicated ascending-id union of branch cursors
+/// (materializes the branches on first pull).
+class UnionCursor : public Cursor {
+ public:
+  explicit UnionCursor(std::vector<CursorPtr> children)
+      : children_(std::move(children)) {}
+
+  bool Next(storage::DocId* id) override;
+  Status status() const override;
+
+ private:
+  std::vector<CursorPtr> children_;
+  bool merged_ = false;
+  std::vector<storage::DocId> ids_;
+  size_t at_ = 0;
+};
+
+/// \brief Materialize-then-sort by (order key, id): the fallback when
+/// no index covers the requested order. Missing fields sort as the
+/// null key (first ascending); `descending` flips the key comparison
+/// only — ties stay ascending by id.
+class SortCursor : public Cursor {
+ public:
+  SortCursor(const storage::Collection& coll, CursorPtr child,
+             std::string order_by, bool descending, ExecStats* stats);
+
+  bool Next(storage::DocId* id) override;
+  Status status() const override { return child_->status(); }
+
+ private:
+  void Materialize();
+
+  const storage::Collection& coll_;
+  CursorPtr child_;
+  std::string order_by_;
+  bool descending_;
+  ExecStats* stats_;
+  bool sorted_ = false;
+  std::vector<storage::DocId> ids_;
+  size_t at_ = 0;
+};
+
+/// \brief Stops pulling from the child after `limit` ids — and, pulled
+/// lazily itself, stops the upstream scan with it.
+class LimitCursor : public Cursor {
+ public:
+  LimitCursor(CursorPtr child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+
+  bool Next(storage::DocId* id) override {
+    if (remaining_ <= 0) return false;
+    if (!child_->Next(id)) {
+      remaining_ = 0;
+      return false;
+    }
+    --remaining_;
+    return true;
+  }
+  Status status() const override { return child_->status(); }
+
+ private:
+  CursorPtr child_;
+  int64_t remaining_;
+};
+
+/// \brief Bounded top-k selector: keeps the best `k` items under
+/// `better` (a strict "comes before" ordering) in a k-element heap
+/// whose front is the worst kept item — O(n log k) instead of sorting
+/// everything. Shared by `TopKCursor` and the group-count aggregation
+/// in query.cc.
+template <typename T, typename Better>
+class BoundedTopK {
+ public:
+  BoundedTopK(int64_t k, Better better) : k_(k), better_(better) {}
+
+  void Offer(T item) {
+    if (k_ <= 0) return;
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), better_);
+    } else if (better_(item, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), better_);
+      heap_.back() = std::move(item);
+      std::push_heap(heap_.begin(), heap_.end(), better_);
+    }
+  }
+
+  /// The kept items, best first. Leaves the selector empty.
+  std::vector<T> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), better_);
+    return std::move(heap_);
+  }
+
+ private:
+  int64_t k_;
+  Better better_;
+  std::vector<T> heap_;
+};
+
+/// \brief Fused sort+limit: a bounded k-element heap over the child's
+/// (order key, id) stream, then the k best in order. Same ordering
+/// contract as `SortCursor`.
+class TopKCursor : public Cursor {
+ public:
+  TopKCursor(const storage::Collection& coll, CursorPtr child,
+             std::string order_by, bool descending, int64_t k,
+             ExecStats* stats);
+
+  bool Next(storage::DocId* id) override;
+  Status status() const override { return child_->status(); }
+
+ private:
+  void Materialize();
+
+  const storage::Collection& coll_;
+  CursorPtr child_;
+  std::string order_by_;
+  bool descending_;
+  int64_t k_;
+  ExecStats* stats_;
+  bool selected_ = false;
+  std::vector<storage::DocId> ids_;
+  size_t at_ = 0;
+};
+
+}  // namespace dt::query

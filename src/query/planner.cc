@@ -30,41 +30,127 @@ const char* AccessPathName(AccessPath access) {
 
 namespace {
 
-/// Probes whether `p` can drive an index access on its own, and at
-/// what estimated cardinality. Only leaf predicates drive scans; And
-/// nodes pick one of their children through this probe.
-bool ProbeDriver(const Collection& coll, const FindOptions& opts,
-                 const PredicatePtr& p, AccessPath* access, int64_t* est) {
-  switch (p->kind()) {
-    case PredicateKind::kEq: {
-      const SecondaryIndex* idx = coll.IndexOn(p->path());
-      if (idx == nullptr) return false;
-      *access = AccessPath::kIndexEq;
-      *est = idx->CountEqual(p->value());
-      return true;
-    }
-    case PredicateKind::kRange: {
-      const SecondaryIndex* idx = coll.IndexOn(p->path());
-      if (idx == nullptr) return false;
-      *access = AccessPath::kIndexRange;
-      *est = idx->CountRange(p->lo(), p->hi());
-      return true;
-    }
-    case PredicateKind::kTextContains: {
-      if (opts.text_index == nullptr || p->tokens().empty()) return false;
-      if (opts.text_index->field_path() != p->path()) return false;
-      // Conjunctive: the rarest term bounds the result size.
-      int64_t best = std::numeric_limits<int64_t>::max();
-      for (const auto& tok : p->tokens()) {
-        best = std::min(best, opts.text_index->DocFrequency(tok));
+/// A vacuous conjunction needs no residual re-check: it matches every
+/// document a scan can produce.
+bool TriviallyTrue(const PredicatePtr& pred) {
+  return pred == nullptr ||
+         (pred->kind() == PredicateKind::kAnd && pred->children().empty());
+}
+
+/// \brief One way an index (or the text index) could drive the query:
+/// which conjunction children it consumes and at what estimated
+/// cardinality. The planner generates one per matchable index and
+/// picks the best.
+struct Candidate {
+  AccessPath access = AccessPath::kCollScan;
+  const SecondaryIndex* index = nullptr;  // null for kTextIndex
+  std::vector<size_t> covered_children;   // indices into the child list
+  std::vector<DocValue> eq_values;        // equality bounds, component order
+  int range_child = -1;                   // child bounding the next component
+  int64_t est = 0;
+  bool covers_order = false;
+  PredicatePtr driver;
+};
+
+/// Matches `idx` against conjunction `children`: equality children
+/// bind leading components greedily, then one range child may bind the
+/// next component. Returns false when no component binds.
+bool MatchIndex(const SecondaryIndex& idx,
+                const std::vector<PredicatePtr>& children,
+                const FindOptions& opts, Candidate* out) {
+  const std::vector<std::string>& paths = idx.field_paths();
+  std::vector<bool> used(children.size(), false);
+  for (const std::string& comp : paths) {
+    int eq_j = -1, range_j = -1;
+    for (size_t j = 0; j < children.size(); ++j) {
+      if (used[j] || children[j]->path() != comp) continue;
+      if (children[j]->kind() == PredicateKind::kEq && eq_j < 0) {
+        eq_j = static_cast<int>(j);
       }
-      *access = AccessPath::kTextIndex;
-      *est = best;
-      return true;
+      if (children[j]->kind() == PredicateKind::kRange && range_j < 0) {
+        range_j = static_cast<int>(j);
+      }
     }
-    default:
-      return false;
+    if (eq_j >= 0) {
+      used[eq_j] = true;
+      out->covered_children.push_back(static_cast<size_t>(eq_j));
+      out->eq_values.push_back(children[eq_j]->value());
+      continue;
+    }
+    if (range_j >= 0) {
+      out->range_child = range_j;
+      out->covered_children.push_back(static_cast<size_t>(range_j));
+    }
+    break;  // this component is unbound (or range-bound, which is last)
   }
+  if (out->eq_values.empty() && out->range_child < 0) return false;
+  out->index = &idx;
+  const DocValue* lo = nullptr;
+  const DocValue* hi = nullptr;
+  if (out->range_child >= 0) {
+    lo = &children[out->range_child]->lo();
+    hi = &children[out->range_child]->hi();
+  }
+  out->est = idx.CountScan(out->eq_values, lo, hi);
+  out->access = (out->range_child >= 0 || out->eq_values.empty())
+                    ? AccessPath::kIndexRange
+                    : AccessPath::kIndexEq;
+  out->driver = out->eq_values.empty()
+                    ? children[out->range_child]
+                    : children[out->covered_children.front()];
+  // The scan streams in the requested order when the order-by path is
+  // equality-bound (every result ties, so order degenerates to the
+  // ascending-id tie break) or is exactly the next scanned component.
+  if (!opts.order_by.empty()) {
+    const size_t m = out->eq_values.size();
+    for (size_t i = 0; i < m; ++i) {
+      if (paths[i] == opts.order_by) out->covers_order = true;
+    }
+    if (m < paths.size() && paths[m] == opts.order_by) {
+      out->covers_order = true;
+    }
+  }
+  return true;
+}
+
+/// Probes the text index for a TextContains child.
+bool MatchText(const PredicatePtr& p, size_t child_index,
+               const FindOptions& opts, Candidate* out) {
+  if (p->kind() != PredicateKind::kTextContains) return false;
+  if (opts.text_index == nullptr || p->tokens().empty()) return false;
+  if (opts.text_index->field_path() != p->path()) return false;
+  // Conjunctive: the rarest term bounds the result size.
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (const auto& tok : p->tokens()) {
+    best = std::min(best, opts.text_index->DocFrequency(tok));
+  }
+  out->access = AccessPath::kTextIndex;
+  out->covered_children.push_back(child_index);
+  out->est = best;
+  out->driver = p;
+  return true;
+}
+
+/// Candidate preference: when an order-by plus limit is in play, an
+/// order-covering scan early-terminates and beats raw selectivity;
+/// otherwise the most selective driver wins. Ties go to the candidate
+/// whose bounds pin more conjunction children (fewer residual document
+/// fetches — this is where a compound index beats its single-field
+/// prefix), then to order coverage, then to the narrower index.
+bool BetterCandidate(const Candidate& a, const Candidate& b,
+                     const FindOptions& opts) {
+  const bool prefer_covered = !opts.order_by.empty() && opts.limit >= 0;
+  if (prefer_covered && a.covers_order != b.covers_order) {
+    return a.covers_order;
+  }
+  if (a.est != b.est) return a.est < b.est;
+  if (a.covered_children.size() != b.covered_children.size()) {
+    return a.covered_children.size() > b.covered_children.size();
+  }
+  if (a.covers_order != b.covers_order) return a.covers_order;
+  const int wa = a.index != nullptr ? a.index->width() : 1;
+  const int wb = b.index != nullptr ? b.index->width() : 1;
+  return wa < wb;
 }
 
 QueryPlan CollScanPlan(const Collection& coll, const PredicatePtr& pred) {
@@ -75,198 +161,266 @@ QueryPlan CollScanPlan(const Collection& coll, const PredicatePtr& pred) {
   return plan;
 }
 
+/// Builds the access-path half of the plan (no pipeline decoration).
+/// `children` views `pred` as a conjunction: the predicate itself for
+/// leaves, its child list for an And.
+QueryPlan PlanConjunction(const Collection& coll, const PredicatePtr& pred,
+                          const std::vector<PredicatePtr>& children,
+                          bool is_and, const FindOptions& opts) {
+  Candidate best;
+  bool found = false;
+  for (const SecondaryIndex* idx : coll.Indexes()) {
+    Candidate cand;
+    if (!MatchIndex(*idx, children, opts, &cand)) continue;
+    if (!found || BetterCandidate(cand, best, opts)) {
+      best = std::move(cand);
+      found = true;
+    }
+  }
+  for (size_t j = 0; j < children.size(); ++j) {
+    Candidate cand;
+    if (!MatchText(children[j], j, opts, &cand)) continue;
+    if (!found || BetterCandidate(cand, best, opts)) {
+      best = std::move(cand);
+      found = true;
+    }
+  }
+  if (!found) return CollScanPlan(coll, pred);
+  // A residual scan that visits as many rows as the collection holds
+  // saves nothing over the straight scan it complicates — unless the
+  // scan order itself is the point (order-covering with a limit).
+  const bool keep_for_order =
+      best.covers_order && !opts.order_by.empty() && opts.limit >= 0;
+  if (is_and && best.est >= coll.count() && !keep_for_order) {
+    return CollScanPlan(coll, pred);
+  }
+  QueryPlan plan;
+  plan.access = best.access;
+  plan.node = pred;
+  plan.driver = best.driver;
+  plan.estimated_rows = best.est;
+  plan.residual = best.covered_children.size() < children.size();
+  plan.index = best.index;
+  plan.eq_values = std::move(best.eq_values);
+  if (best.range_child >= 0) {
+    plan.has_range = true;
+    plan.range_lo = children[best.range_child]->lo();
+    plan.range_hi = children[best.range_child]->hi();
+  }
+  plan.order_covered = best.covers_order;
+  return plan;
+}
+
+/// The access-path chooser (pre-decoration); see PlanFind.
+QueryPlan PlanAccess(const Collection& coll, const PredicatePtr& pred,
+                     const FindOptions& opts) {
+  if (pred == nullptr || !opts.use_indexes) return CollScanPlan(coll, pred);
+
+  switch (pred->kind()) {
+    case PredicateKind::kEq:
+    case PredicateKind::kRange:
+    case PredicateKind::kTextContains:
+      return PlanConjunction(coll, pred, {pred}, /*is_and=*/false, opts);
+    case PredicateKind::kAnd:
+      return PlanConjunction(coll, pred, pred->children(), /*is_and=*/true,
+                             opts);
+    case PredicateKind::kOr: {
+      // Union only when every branch is index-routable on its own; one
+      // non-routable branch means one full scan answers the whole Or.
+      QueryPlan plan;
+      plan.access = AccessPath::kUnion;
+      plan.node = pred;
+      plan.estimated_rows = 0;
+      // Branches are planned without order/limit decoration: the union
+      // merge re-establishes ascending ids and the pipeline operators
+      // apply on top.
+      FindOptions branch_opts = opts;
+      branch_opts.order_by.clear();
+      branch_opts.limit = -1;
+      for (const auto& child : pred->children()) {
+        QueryPlan branch = PlanAccess(coll, child, branch_opts);
+        if (branch.access == AccessPath::kCollScan) {
+          return CollScanPlan(coll, pred);
+        }
+        plan.estimated_rows += branch.estimated_rows;
+        plan.branches.push_back(std::move(branch));
+      }
+      if (plan.estimated_rows < coll.count() || plan.branches.empty()) {
+        return plan;
+      }
+      return CollScanPlan(coll, pred);
+    }
+  }
+  return CollScanPlan(coll, pred);
+}
+
 }  // namespace
 
 QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
                    const FindOptions& opts) {
-  if (pred == nullptr || !opts.use_indexes) return CollScanPlan(coll, pred);
-
-  AccessPath access;
-  int64_t est;
-  // Leaf predicates drive their own scan, exactly (no residual).
-  if (ProbeDriver(coll, opts, pred, &access, &est)) {
-    QueryPlan plan;
-    plan.access = access;
-    plan.node = pred;
-    plan.driver = pred;
-    plan.estimated_rows = est;
-    return plan;
-  }
-
-  if (pred->kind() == PredicateKind::kAnd) {
-    // Cost-aware driver choice: the most selective indexable child
-    // drives; the full conjunction re-checks as a residual filter.
-    QueryPlan best;
-    bool found = false;
-    for (const auto& child : pred->children()) {
-      if (!ProbeDriver(coll, opts, child, &access, &est)) continue;
-      if (!found || est < best.estimated_rows) {
-        best.access = access;
-        best.driver = child;
-        best.estimated_rows = est;
-        found = true;
+  QueryPlan plan = PlanAccess(coll, pred, opts);
+  // Sort push-down fallback for the match-everything case: an index
+  // leads with the order-by field and a limit bounds the walk, so
+  // stream off the index order and stop after ~limit entries instead
+  // of scanning, materializing and sorting everything. Restricted to
+  // trivially-true predicates: with a residual filter in between, the
+  // walk visits limit/selectivity entries plus a document fetch each,
+  // which loses to COLLSCAN+TOPK for selective predicates — and
+  // without cardinality stats the planner cannot tell those apart.
+  if (plan.access == AccessPath::kCollScan && opts.use_indexes &&
+      TriviallyTrue(pred) && !opts.order_by.empty() && opts.limit >= 0) {
+    const SecondaryIndex* order_idx = nullptr;
+    for (const SecondaryIndex* idx : coll.Indexes()) {
+      if (idx->field_paths().front() != opts.order_by) continue;
+      if (order_idx == nullptr || idx->width() < order_idx->width()) {
+        order_idx = idx;
       }
     }
-    // A residual scan that visits as many rows as the collection holds
-    // saves nothing over the straight scan it complicates.
-    if (found && best.estimated_rows < coll.count()) {
-      best.node = pred;
-      best.residual = true;
-      return best;
+    if (order_idx != nullptr) {
+      QueryPlan scan;
+      scan.access = AccessPath::kIndexRange;
+      scan.node = pred;
+      scan.estimated_rows = order_idx->entry_count();
+      scan.index = order_idx;
+      scan.order_covered = true;
+      plan = std::move(scan);
     }
-    return CollScanPlan(coll, pred);
   }
-
-  if (pred->kind() == PredicateKind::kOr) {
-    // Union only when every branch is index-routable on its own; one
-    // non-routable branch means one full scan answers the whole Or.
-    QueryPlan plan;
-    plan.access = AccessPath::kUnion;
-    plan.node = pred;
-    plan.estimated_rows = 0;
-    for (const auto& child : pred->children()) {
-      QueryPlan branch = PlanFind(coll, child, opts);
-      if (branch.access == AccessPath::kCollScan) {
-        return CollScanPlan(coll, pred);
-      }
-      plan.estimated_rows += branch.estimated_rows;
-      plan.branches.push_back(std::move(branch));
-    }
-    if (plan.estimated_rows < coll.count() || plan.branches.empty()) {
-      return plan;
-    }
-    return CollScanPlan(coll, pred);
+  plan.order_by = opts.order_by;
+  plan.order_desc = opts.order_desc;
+  plan.limit = opts.limit;
+  if (plan.access == AccessPath::kCollScan || plan.access == AccessPath::kUnion ||
+      plan.access == AccessPath::kTextIndex) {
+    plan.order_covered = false;
   }
-
-  return CollScanPlan(coll, pred);
+  if (opts.order_by.empty()) plan.order_covered = false;
+  return plan;
 }
+
+// ---- execution ---------------------------------------------------------
 
 namespace {
 
-/// Full scan of `coll`, keeping ids whose documents match `pred` (null
-/// = every id). Chunked over a thread pool when `num_threads` resolves
-/// past 1; chunk boundaries and in-order concatenation keep the output
-/// byte-identical to the serial scan.
-Status ExecuteCollScan(const Collection& coll, const PredicatePtr& pred,
-                       int num_threads, std::vector<DocId>* out) {
-  const int threads = ResolveNumThreads(num_threads);
-  if (threads <= 1 || coll.count() < 2) {
-    // Serial: filter inside the iteration, no staging vector.
-    coll.ForEach([&](DocId id, const DocValue& doc) {
-      if (pred == nullptr || pred->Matches(doc)) out->push_back(id);
-    });
-    return Status::OK();
+/// Postings intersection for a TEXT access: smallest list first, all
+/// lists sorted ascending by id (so the result is too).
+Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
+                                  const FindOptions& opts, ExecStats* stats) {
+  const Predicate& driver = *plan.driver;
+  if (opts.text_index == nullptr) {
+    return Status::Internal("TEXT plan without a text index");
   }
-  // The chunked loop needs random access; stage (id, doc) pointers.
-  std::vector<std::pair<DocId, const DocValue*>> docs;
-  docs.reserve(static_cast<size_t>(coll.count()));
-  coll.ForEach([&](DocId id, const DocValue& doc) {
-    docs.emplace_back(id, &doc);
-  });
-  ThreadPool pool(threads);
-  const size_t num_chunks = static_cast<size_t>(pool.num_threads()) * 4;
-  std::vector<std::vector<DocId>> parts(num_chunks);
-  DT_RETURN_NOT_OK(pool.ParallelForChunks(
-      0, docs.size(), num_chunks,
-      [&](size_t chunk, size_t begin, size_t end) {
-        std::vector<DocId>& part = parts[chunk];
-        for (size_t i = begin; i < end; ++i) {
-          if (pred == nullptr || pred->Matches(*docs[i].second)) {
-            part.push_back(docs[i].first);
-          }
-        }
-        return Status::OK();
-      }));
-  for (const auto& part : parts) {
-    out->insert(out->end(), part.begin(), part.end());
+  std::vector<std::vector<DocId>> lists;
+  lists.reserve(driver.tokens().size());
+  for (const auto& tok : driver.tokens()) {
+    lists.push_back(opts.text_index->Postings(tok));
+    if (stats != nullptr) {
+      stats->index_entries_examined +=
+          static_cast<int64_t>(lists.back().size());
+    }
+    if (lists.back().empty()) {  // conjunction fails
+      return CursorPtr(std::make_unique<VectorCursor>(std::vector<DocId>{}));
+    }
   }
-  return Status::OK();
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<DocId>& a, const std::vector<DocId>& b) {
+              return a.size() < b.size();
+            });
+  std::vector<DocId> ids = std::move(lists[0]);
+  for (size_t i = 1; i < lists.size() && !ids.empty(); ++i) {
+    std::vector<DocId> next;
+    std::set_intersection(ids.begin(), ids.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(next));
+    ids.swap(next);
+  }
+  return CursorPtr(std::make_unique<VectorCursor>(std::move(ids)));
 }
 
-Status ExecutePlan(const Collection& coll, const QueryPlan& plan,
-                   const FindOptions& opts, std::vector<DocId>* out);
-
-/// Runs the driving index access of a kIndexEq/kIndexRange/kTextIndex
-/// plan and applies the residual filter when the driver
-/// over-approximates.
-Status ExecuteDriver(const Collection& coll, const QueryPlan& plan,
-                     const FindOptions& opts, std::vector<DocId>* out) {
-  const Predicate& driver = *plan.driver;
-  std::vector<DocId> ids;
+/// Builds the access-path cursor for `plan` (no pipeline operators).
+Result<CursorPtr> BuildAccessCursor(const Collection& coll,
+                                    const QueryPlan& plan,
+                                    const FindOptions& opts,
+                                    ExecStats* stats) {
   switch (plan.access) {
+    case AccessPath::kCollScan: {
+      const int threads = opts.pool != nullptr
+                              ? opts.pool->num_threads()
+                              : ResolveNumThreads(opts.num_threads);
+      if (threads > 1 && coll.count() >= 2) {
+        return CollScanCursor::Parallel(coll, plan.node, opts.num_threads,
+                                        opts.pool, stats);
+      }
+      return CursorPtr(
+          std::make_unique<CollScanCursor>(coll, plan.node, stats));
+    }
     case AccessPath::kIndexEq:
     case AccessPath::kIndexRange: {
-      const SecondaryIndex* idx = coll.IndexOn(driver.path());
+      const SecondaryIndex* idx = plan.index;
       if (idx == nullptr) {
-        return Status::Internal("plan references a dropped index on " +
-                                driver.path());
+        return Status::Internal("IXSCAN plan without an index");
       }
-      auto collect = [&ids](const storage::IndexKey&, DocId id) {
-        ids.push_back(id);
-        return true;
-      };
-      if (plan.access == AccessPath::kIndexEq) {
-        idx->VisitEqual(driver.value(), collect);
-      } else {
-        idx->VisitRange(driver.lo(), driver.hi(), collect);
+      // Runs group on the equality-bound components, plus the order-by
+      // component when it is the next one scanned — see IxScanCursor.
+      size_t run_len = plan.eq_values.size();
+      bool scan_desc = false;
+      if (plan.order_covered) {
+        const std::vector<std::string>& paths = idx->field_paths();
+        const size_t m = plan.eq_values.size();
+        if (m < paths.size() && paths[m] == plan.order_by) {
+          run_len = m + 1;
+          scan_desc = plan.order_desc;
+        }
       }
-      // Key-ordered entries are not id-ordered; the contract is
-      // ascending ids.
-      std::sort(ids.begin(), ids.end());
-      break;
+      SecondaryIndex::Scan scan = idx->ScanPrefix(
+          plan.eq_values, plan.has_range ? &plan.range_lo : nullptr,
+          plan.has_range ? &plan.range_hi : nullptr, scan_desc);
+      return CursorPtr(
+          std::make_unique<IxScanCursor>(scan, run_len, stats));
     }
-    case AccessPath::kTextIndex: {
-      std::vector<std::vector<DocId>> lists;
-      lists.reserve(driver.tokens().size());
-      for (const auto& tok : driver.tokens()) {
-        lists.push_back(opts.text_index->Postings(tok));
-        if (lists.back().empty()) return Status::OK();  // conjunction fails
+    case AccessPath::kTextIndex:
+      return BuildTextCursor(plan, opts, stats);
+    case AccessPath::kUnion: {
+      std::vector<CursorPtr> branches;
+      branches.reserve(plan.branches.size());
+      for (const QueryPlan& branch : plan.branches) {
+        DT_ASSIGN_OR_RETURN(CursorPtr cur,
+                            BuildAccessCursor(coll, branch, opts, stats));
+        if (branch.residual) {
+          cur = std::make_unique<FilterCursor>(coll, std::move(cur),
+                                               branch.node, stats);
+        }
+        branches.push_back(std::move(cur));
       }
-      std::sort(lists.begin(), lists.end(),
-                [](const std::vector<DocId>& a, const std::vector<DocId>& b) {
-                  return a.size() < b.size();
-                });
-      ids = std::move(lists[0]);
-      for (size_t i = 1; i < lists.size() && !ids.empty(); ++i) {
-        std::vector<DocId> next;
-        std::set_intersection(ids.begin(), ids.end(), lists[i].begin(),
-                              lists[i].end(), std::back_inserter(next));
-        ids.swap(next);
-      }
-      break;
+      return CursorPtr(std::make_unique<UnionCursor>(std::move(branches)));
     }
-    default:
-      return Status::Internal("ExecuteDriver on a non-driver plan");
   }
-  if (!plan.residual) {
-    out->insert(out->end(), ids.begin(), ids.end());
-    return Status::OK();
-  }
-  for (DocId id : ids) {
-    const DocValue* doc = coll.Get(id);
-    if (doc != nullptr && plan.node->Matches(*doc)) out->push_back(id);
-  }
-  return Status::OK();
+  return Status::Internal("unknown access path");
 }
 
-Status ExecutePlan(const Collection& coll, const QueryPlan& plan,
-                   const FindOptions& opts, std::vector<DocId>* out) {
-  switch (plan.access) {
-    case AccessPath::kCollScan:
-      return ExecuteCollScan(coll, plan.node, opts.num_threads, out);
-    case AccessPath::kUnion: {
-      std::vector<DocId> merged;
-      for (const auto& branch : plan.branches) {
-        DT_RETURN_NOT_OK(ExecutePlan(coll, branch, opts, &merged));
-      }
-      std::sort(merged.begin(), merged.end());
-      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      out->insert(out->end(), merged.begin(), merged.end());
-      return Status::OK();
-    }
-    default:
-      return ExecuteDriver(coll, plan, opts, out);
+/// Builds the full operator tree: access path, residual FILTER, then
+/// SORT / TOPK / LIMIT as the decoration demands.
+Result<CursorPtr> BuildCursor(const Collection& coll, const QueryPlan& plan,
+                              const FindOptions& opts, ExecStats* stats) {
+  DT_ASSIGN_OR_RETURN(CursorPtr cur,
+                      BuildAccessCursor(coll, plan, opts, stats));
+  if (plan.residual && plan.access != AccessPath::kCollScan) {
+    cur = std::make_unique<FilterCursor>(coll, std::move(cur), plan.node,
+                                         stats);
   }
+  bool limit_pending = plan.limit >= 0;
+  if (!plan.order_by.empty() && !plan.order_covered) {
+    if (limit_pending) {
+      cur = std::make_unique<TopKCursor>(coll, std::move(cur), plan.order_by,
+                                         plan.order_desc, plan.limit, stats);
+      limit_pending = false;
+    } else {
+      cur = std::make_unique<SortCursor>(coll, std::move(cur), plan.order_by,
+                                         plan.order_desc, stats);
+    }
+  }
+  if (limit_pending) {
+    cur = std::make_unique<LimitCursor>(std::move(cur), plan.limit);
+  }
+  return cur;
 }
 
 }  // namespace
@@ -277,19 +431,29 @@ Result<std::vector<DocId>> Find(const Collection& coll,
   if (pred == nullptr) {
     return Status::InvalidArgument("Find requires a predicate");
   }
+  if (opts.stats != nullptr) *opts.stats = ExecStats{};
   QueryPlan plan = PlanFind(coll, pred, opts);
+  DT_ASSIGN_OR_RETURN(CursorPtr root,
+                      BuildCursor(coll, plan, opts, opts.stats));
   std::vector<DocId> out;
-  DT_RETURN_NOT_OK(ExecutePlan(coll, plan, opts, &out));
+  DT_RETURN_NOT_OK(DrainCursor(root.get(), opts.stats, &out));
   if (plan.access == AccessPath::kCollScan) {
     coll.NoteCollScan();
   } else {
     coll.NoteIndexScan();
   }
-  if (opts.limit >= 0 && static_cast<int64_t>(out.size()) > opts.limit) {
-    out.resize(static_cast<size_t>(opts.limit));
-  }
   return out;
 }
+
+// ---- rendering ---------------------------------------------------------
+
+namespace {
+
+std::string RenderDocValue(const DocValue& v) {
+  return v.is_string() ? "\"" + v.string_value() + "\"" : v.ToJson();
+}
+
+}  // namespace
 
 std::string QueryPlan::ToString() const {
   std::string out = AccessPathName(access);
@@ -307,12 +471,60 @@ std::string QueryPlan::ToString() const {
       out += " ] est=" + std::to_string(estimated_rows);
       break;
     }
-    default:
+    case AccessPath::kTextIndex:
       out += " { " + driver->ToString() +
              " } est=" + std::to_string(estimated_rows);
-      if (residual) out += " | residual " + node->ToString();
       break;
+    case AccessPath::kIndexEq:
+    case AccessPath::kIndexRange: {
+      const std::vector<std::string> paths =
+          index != nullptr ? index->field_paths() : std::vector<std::string>{};
+      const size_t m = eq_values.size();
+      size_t shown = m + (has_range ? 1 : 0);
+      if (shown == 0) shown = std::min<size_t>(1, paths.size());
+      out += "(";
+      for (size_t i = 0; i < shown && i < paths.size(); ++i) {
+        if (i > 0) out += ",";
+        out += paths[i];
+      }
+      out += ") { ";
+      if (shown == 0 || paths.empty()) {
+        out += "all";
+      } else {
+        for (size_t i = 0; i < m && i < paths.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += paths[i] + " == " + RenderDocValue(eq_values[i]);
+        }
+        if (has_range && m < paths.size()) {
+          if (m > 0) out += ", ";
+          out += paths[m] + " in [" + RenderDocValue(range_lo) + ", " +
+                 RenderDocValue(range_hi) + "]";
+        }
+        if (m == 0 && !has_range) out += "all";
+      }
+      out += " }";
+      if (order_covered && !order_by.empty()) {
+        out += " order=" + order_by + (order_desc ? " desc" : "");
+      }
+      out += " est=" + std::to_string(estimated_rows);
+      break;
+    }
   }
+  if (residual && access != AccessPath::kCollScan) {
+    out += " -> FILTER { " +
+           (node != nullptr ? node->ToString() : "TRUE") + " }";
+  }
+  bool limit_pending = limit >= 0;
+  if (!order_by.empty() && !order_covered) {
+    if (limit_pending) {
+      out += " -> TOPK(" + order_by + (order_desc ? " desc" : "") +
+             ", k=" + std::to_string(limit) + ")";
+      limit_pending = false;
+    } else {
+      out += " -> SORT(" + order_by + (order_desc ? " desc" : "") + ")";
+    }
+  }
+  if (limit_pending) out += " -> LIMIT(" + std::to_string(limit) + ")";
   return out;
 }
 

@@ -1,28 +1,38 @@
 /// \file planner.h
-/// \brief Cost-aware query planner and executor for document
-/// collections — the index-routed read path behind `Find`.
+/// \brief Cost-aware query planner for document collections — the
+/// index-routed read path behind `Find` (execution lives in
+/// executor.h's cursor operators).
 ///
 /// Given a predicate tree, the planner picks the cheapest access path:
 ///
-///   IXSCAN    Eq/Range predicates over a `SecondaryIndex` field (the
-///             B-tree stand-in's ordered point/range iteration).
+///   IXSCAN    Eq/Range predicates over a `SecondaryIndex` — single
+///             field or a compound index prefix: an And's equality
+///             children bind leading components, one range child binds
+///             the next, and an `order_by` on the following component
+///             rides the scan order (sort push-down).
 ///   TEXT      TextContains predicates via `InvertedIndex` postings
 ///             intersection (smallest posting list first).
 ///   UNION     Or whose branches are all individually index-routable.
-///   COLLSCAN  everything else: a full scan, chunked over the PR-1
-///             thread pool when `num_threads > 1`.
+///   COLLSCAN  everything else: a full scan, chunked over the thread
+///             pool when `num_threads > 1`.
 ///
-/// An And picks its most selective indexable child as the driving scan
-/// (estimated row counts come from the index itself) and re-checks the
-/// full predicate on the fetched documents (residual filter). Whatever
-/// the path, the result is the ascending-id set of exactly the
-/// documents the predicate matches — index execution and full scans
-/// agree by construction, a property the differential fuzz harness
-/// asserts over randomized predicate trees.
+/// The access path is then decorated into an operator pipeline —
+/// FILTER for residual re-checks, SORT / TOPK (fused sort+limit) when
+/// no index covers the requested order, LIMIT — and executed as a
+/// pull-based cursor tree, so an order-covering indexed `limit` query
+/// early-terminates after ~limit index entries instead of scanning,
+/// materializing and sorting everything. Whatever the path, the result
+/// is exactly the documents the predicate matches, ordered by
+/// `order_by` (ties ascending id; ascending id overall when unset) —
+/// index execution and full scans agree by construction, a property
+/// the differential fuzz harness asserts over randomized predicate
+/// trees, orders and limits.
 ///
 /// Every execution bumps the collection's `index_scans`/`coll_scans`
 /// counters (surfaced in `db.<coll>.stats()`), and `ExplainFind`
-/// renders the chosen plan without running it.
+/// renders the chosen operator tree without running it, e.g.
+/// `IXSCAN(type,award_winning) { type == "Movie", award_winning ==
+/// "true" } est=12 -> LIMIT(10)`.
 
 #pragma once
 
@@ -31,6 +41,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "query/executor.h"
 #include "query/predicate.h"
 #include "query/text_search.h"
 #include "storage/collection.h"
@@ -42,8 +53,16 @@ struct FindOptions {
   /// Threads for the full-scan fallback: 1 = serial, <= 0 = all
   /// hardware threads. Results are identical for every value.
   int num_threads = 1;
-  /// Keep only the first `limit` ids (ascending); -1 = unlimited.
+  /// Keep only the first `limit` results (in the requested order);
+  /// -1 = unlimited. Honored inside execution: an order-covering index
+  /// scan stops after ~limit entries.
   int64_t limit = -1;
+  /// Order results by the index key of the value at this dotted path
+  /// (missing fields and non-indexable values sort as the null key,
+  /// first ascending), ties by ascending id. Empty = ascending id.
+  std::string order_by;
+  /// Flips the `order_by` key comparison (ties stay ascending by id).
+  bool order_desc = false;
   /// Inverted index serving TextContains predicates. Only consulted
   /// when its `field_path()` matches the predicate's path; the caller
   /// is responsible for it being current w.r.t. the collection.
@@ -51,12 +70,19 @@ struct FindOptions {
   /// Planner escape hatch: false forces COLLSCAN (differential tests;
   /// measuring raw scan cost).
   bool use_indexes = true;
+  /// Borrowed worker pool for parallel scans; null = construct a
+  /// transient pool when `num_threads` resolves past 1 (the facade
+  /// shares its cached pool through this).
+  ThreadPool* pool = nullptr;
+  /// Out-param: reset and filled by `Find` with what the execution
+  /// actually touched (push-down observability). May be null.
+  ExecStats* stats = nullptr;
 };
 
 /// How a (sub)plan accesses the collection.
 enum class AccessPath : uint8_t {
-  kIndexEq = 0,    ///< secondary-index point lookup
-  kIndexRange = 1, ///< secondary-index ordered range scan
+  kIndexEq = 0,    ///< secondary-index point lookup (equality bounds only)
+  kIndexRange = 1, ///< secondary-index ordered range / prefix scan
   kTextIndex = 2,  ///< inverted-index postings intersection
   kUnion = 3,      ///< union of index-routable Or branches
   kCollScan = 4    ///< full scan (parallel-chunked fallback)
@@ -64,36 +90,63 @@ enum class AccessPath : uint8_t {
 
 const char* AccessPathName(AccessPath access);
 
-/// \brief The chosen execution strategy for one predicate (tree).
+/// \brief The chosen execution strategy for one predicate (tree): an
+/// access path plus its operator-pipeline decoration (residual filter,
+/// order, limit).
 struct QueryPlan {
   AccessPath access = AccessPath::kCollScan;
   /// Predicate this plan answers exactly.
   PredicatePtr node;
-  /// kIndexEq/kIndexRange/kTextIndex: the Eq/Range/TextContains node
-  /// driving the access (== `node` unless `node` is an And).
+  /// kIndexEq/kIndexRange/kTextIndex: a representative driving leaf
+  /// (the first equality child for compound scans; null for a pure
+  /// order-driven scan).
   PredicatePtr driver;
   /// True when the driving scan over-approximates `node`: fetched
-  /// documents are re-checked with `node->Matches`.
+  /// documents are re-checked with `node->Matches` (FILTER operator).
   bool residual = false;
   /// Driver cardinality estimate from the index (COLLSCAN: doc count).
   int64_t estimated_rows = 0;
   /// kUnion: one exact sub-plan per Or branch.
   std::vector<QueryPlan> branches;
 
-  /// One-line rendering, e.g.
-  ///   `IXSCAN { name == "Matilda" } est=12 | residual (type == ...)`.
+  // ---- IXSCAN access detail ----
+
+  /// Index driving a kIndexEq/kIndexRange scan. Borrowed from the
+  /// collection: valid while the collection outlives the plan and the
+  /// index is not dropped.
+  const storage::SecondaryIndex* index = nullptr;
+  /// Equality bounds on the index's leading components, in component
+  /// order.
+  std::vector<storage::DocValue> eq_values;
+  /// Optional inclusive range bound on the next component.
+  bool has_range = false;
+  storage::DocValue range_lo, range_hi;
+
+  // ---- Pipeline decoration (from FindOptions at plan time) ----
+
+  std::string order_by;
+  bool order_desc = false;
+  int64_t limit = -1;
+  /// True when the index scan already streams in the requested order
+  /// (no SORT/TOPK operator; a limit becomes an early-terminating
+  /// LIMIT over the scan).
+  bool order_covered = false;
+
+  /// Operator-tree rendering, e.g.
+  ///   `IXSCAN(type,name) { type == "Movie" } est=12 -> LIMIT(10)`.
   std::string ToString() const;
 };
 
 /// \brief Chooses the cheapest access path for `pred` over `coll`
-/// (does not execute). `pred` must be non-null.
+/// (does not execute). A null `pred` plans as a match-all COLLSCAN.
 QueryPlan PlanFind(const storage::Collection& coll, const PredicatePtr& pred,
                    const FindOptions& opts = {});
 
-/// \brief Plans and executes: returns the ascending ids of exactly the
-/// documents matching `pred`, and bumps the collection's index-scan /
-/// coll-scan counter. Errors only on invalid arguments or a scan body
-/// failure (thread-pool propagated).
+/// \brief Plans and executes: returns the ids of exactly the documents
+/// matching `pred` in the requested order (ascending id by default),
+/// truncated to `limit` inside execution, and bumps the collection's
+/// index-scan / coll-scan counter. Errors only on invalid arguments or
+/// a scan body failure (thread-pool propagated).
 Result<std::vector<storage::DocId>> Find(const storage::Collection& coll,
                                          const PredicatePtr& pred,
                                          const FindOptions& opts = {});

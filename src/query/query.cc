@@ -59,10 +59,12 @@ GroupCounts CountGroups(const storage::Collection& coll,
     coll.NoteCollScan();
     return counts;
   }
-  // Counting needs every matching document: a leftover limit from a
-  // reused FindOptions must not truncate the group counts.
+  // Counting needs every matching document: a leftover limit or order
+  // from a reused FindOptions must not truncate the group counts (or
+  // pay for an ordering the hash aggregation ignores).
   FindOptions find_opts = opts;
   find_opts.limit = -1;
+  find_opts.order_by.clear();
   auto ids = Find(coll, pred, find_opts);
   RethrowIfError(ids.status());  // scan bodies cannot fail short of OOM
   for (storage::DocId id : *ids) {
@@ -97,25 +99,14 @@ std::vector<CountRow> SortAllGroups(const GroupCounts& counts) {
   return out;
 }
 
-/// Bounded selection: a k-element heap whose front is the worst kept
-/// row — O(groups * log k) instead of sorting every group.
+/// Bounded selection — the same k-element-heap machinery as the
+/// executor's TopKCursor, applied to group counts instead of sort
+/// keys: O(groups * log k) instead of sorting every group.
 std::vector<CountRow> TopKGroups(const GroupCounts& counts, int k) {
-  if (k <= 0) return {};
-  std::vector<CountRow> heap;
-  heap.reserve(static_cast<size_t>(k) + 1);
-  for (const auto& [key, count] : counts) {
-    CountRow row{key, count};
-    if (static_cast<int>(heap.size()) < k) {
-      heap.push_back(std::move(row));
-      std::push_heap(heap.begin(), heap.end(), BetterRow);
-    } else if (BetterRow(row, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), BetterRow);
-      heap.back() = std::move(row);
-      std::push_heap(heap.begin(), heap.end(), BetterRow);
-    }
-  }
-  std::sort(heap.begin(), heap.end(), BetterRow);
-  return heap;
+  BoundedTopK<CountRow, bool (*)(const CountRow&, const CountRow&)> top(
+      k, BetterRow);
+  for (const auto& [key, count] : counts) top.Offer({key, count});
+  return top.TakeSorted();
 }
 
 }  // namespace

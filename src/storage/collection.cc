@@ -110,21 +110,64 @@ void Collection::ForEach(
   for (const auto& [id, doc] : docs_) fn(id, doc);
 }
 
-Status Collection::CreateIndex(const std::string& field_path) {
-  if (HasIndex(field_path)) {
-    return Status::AlreadyExists("index on " + field_path + " already exists");
+bool Collection::DocCursor::Next(DocId* id, const DocValue** doc) {
+  if (it_ == end_) return false;
+  *id = it_->first;
+  *doc = &it_->second;
+  ++it_;
+  return true;
+}
+
+Status Collection::CreateIndex(const char* field_path) {
+  return CreateIndex(std::vector<std::string>{field_path});
+}
+
+Status Collection::CreateIndex(const std::vector<std::string>& field_paths) {
+  if (field_paths.empty()) {
+    return Status::InvalidArgument("an index needs at least one field path");
   }
-  auto idx = std::make_unique<SecondaryIndex>(field_path);
+  for (const std::string& path : field_paths) {
+    if (path.empty()) {
+      return Status::InvalidArgument("empty index field path");
+    }
+    for (char c : path) {
+      // Control characters are reserved by the snapshot index-record
+      // encoding, ',' by the canonical compound name ("type,name") —
+      // neither makes sense in a dotted path anyway, and allowing them
+      // would let two distinct indexes collide on one canonical name.
+      if (static_cast<unsigned char>(c) < 0x20 || c == ',') {
+        return Status::InvalidArgument(
+            "index field path contains a reserved character");
+      }
+    }
+    if (static_cast<size_t>(std::count(field_paths.begin(), field_paths.end(),
+                                       path)) > 1) {
+      return Status::InvalidArgument("duplicate component " + path +
+                                     " in compound index");
+    }
+  }
+  auto idx = std::make_unique<SecondaryIndex>(field_paths);
+  if (HasIndex(idx->field_path())) {
+    return Status::AlreadyExists("index on " + idx->field_path() +
+                                 " already exists");
+  }
   for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
   indexes_.push_back(std::move(idx));
   return Status::OK();
 }
 
-std::vector<std::string> Collection::IndexPaths() const {
-  std::vector<std::string> out;
+std::vector<std::vector<std::string>> Collection::IndexSpecs() const {
+  std::vector<std::vector<std::string>> out;
   for (const auto& idx : indexes_) {
-    if (idx->field_path() != "_id") out.push_back(idx->field_path());
+    if (idx->field_path() != "_id") out.push_back(idx->field_paths());
   }
+  return out;
+}
+
+std::vector<const SecondaryIndex*> Collection::Indexes() const {
+  std::vector<const SecondaryIndex*> out;
+  out.reserve(indexes_.size());
+  for (const auto& idx : indexes_) out.push_back(idx.get());
   return out;
 }
 

@@ -121,16 +121,50 @@ class Collection {
   /// Invokes `fn` for every live document in id order.
   void ForEach(const std::function<void(DocId, const DocValue&)>& fn) const;
 
+  /// \brief Pull-based iteration over live documents in id order — the
+  /// executor's collection-scan access path (`ForEach` remains the push
+  /// form). Valid while the collection is not mutated.
+  class DocCursor {
+   public:
+    /// Pulls the next (id, document); false at end.
+    bool Next(DocId* id, const DocValue** doc);
+
+   private:
+    friend class Collection;
+    explicit DocCursor(const std::map<DocId, DocValue>* docs)
+        : it_(docs->begin()), end_(docs->end()) {}
+
+    std::map<DocId, DocValue>::const_iterator it_, end_;
+  };
+
+  DocCursor ScanDocs() const { return DocCursor(&docs_); }
+
   /// Creates a secondary index on `field_path`, backfilling existing
   /// documents. Fails with AlreadyExists if one exists on that path.
-  Status CreateIndex(const std::string& field_path);
+  /// (Takes const char* rather than std::string so a braced list of
+  /// literals unambiguously selects the compound overload below.)
+  Status CreateIndex(const char* field_path);
 
-  /// True if a secondary index exists on `field_path`.
+  /// \brief Creates a compound secondary index on `field_paths` in the
+  /// given component order, backfilling existing documents. Components
+  /// must be non-empty, free of control characters and ',' (reserved
+  /// by the snapshot record encoding and the canonical name) and
+  /// distinct within the index; AlreadyExists if an index with the
+  /// same canonical name exists.
+  Status CreateIndex(const std::vector<std::string>& field_paths);
+
+  /// True if a secondary index exists on `field_path` (the canonical
+  /// name: comma-joined component paths for compound indexes).
   bool HasIndex(const std::string& field_path) const;
 
-  /// The index on `field_path` (including "_id"), or nullptr. The
-  /// planner uses this to iterate/count without copying id vectors.
+  /// The index whose canonical name is `field_path` (including "_id"),
+  /// or nullptr. The planner uses this to iterate/count without copying
+  /// id vectors.
   const SecondaryIndex* IndexOn(const std::string& field_path) const;
+
+  /// Every index (the "_id" index first, then user indexes in creation
+  /// order) — the planner's candidate set for access-path selection.
+  std::vector<const SecondaryIndex*> Indexes() const;
 
   /// Ids of documents whose `field_path` equals `value`; uses the index
   /// when present, otherwise falls back to a full scan.
@@ -145,9 +179,9 @@ class Collection {
 
   const CollectionOptions& options() const { return opts_; }
 
-  /// Field paths of the user-created secondary indexes, in creation
-  /// order (the default "_id" index is implicit and excluded).
-  std::vector<std::string> IndexPaths() const;
+  /// Component path lists of the user-created secondary indexes, in
+  /// creation order (snapshot persistence; "_id" excluded).
+  std::vector<std::vector<std::string>> IndexSpecs() const;
 
   /// Id that the next `Insert` will assign.
   DocId next_id() const { return next_id_; }

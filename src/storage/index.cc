@@ -1,6 +1,7 @@
 #include "storage/index.h"
 
 #include <iterator>
+#include <utility>
 
 #include "common/strutil.h"
 
@@ -32,10 +33,17 @@ IndexKey IndexKey::FromValue(const DocValue& v) {
   return k;
 }
 
+IndexKey IndexKey::Max() {
+  IndexKey k;
+  k.tag_ = Tag::kMax;
+  return k;
+}
+
 bool IndexKey::operator<(const IndexKey& other) const {
   if (tag_ != other.tag_) return tag_ < other.tag_;
   switch (tag_) {
     case Tag::kNull:
+    case Tag::kMax:
       return false;
     case Tag::kBool:
       return bool_ < other.bool_;
@@ -54,6 +62,7 @@ bool IndexKey::operator==(const IndexKey& other) const {
 int64_t IndexKey::SizeBytes() const {
   switch (tag_) {
     case Tag::kNull:
+    case Tag::kMax:
       return 1;
     case Tag::kBool:
       return 1;
@@ -69,6 +78,8 @@ std::string IndexKey::ToString() const {
   switch (tag_) {
     case Tag::kNull:
       return "null";
+    case Tag::kMax:
+      return "MaxKey";
     case Tag::kBool:
       return bool_ ? "true" : "false";
     case Tag::kNumber:
@@ -79,21 +90,58 @@ std::string IndexKey::ToString() const {
   return "?";
 }
 
-namespace {
-IndexKey KeyAt(const std::string& path, const DocValue& doc) {
-  const DocValue* v = doc.FindPath(path);
-  return v == nullptr ? IndexKey() : IndexKey::FromValue(*v);
+CompositeKey CompositeKey::FromDoc(const std::vector<std::string>& paths,
+                                   const DocValue& doc) {
+  std::vector<IndexKey> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const DocValue* v = doc.FindPath(path);
+    parts.push_back(v == nullptr ? IndexKey() : IndexKey::FromValue(*v));
+  }
+  return CompositeKey(std::move(parts));
 }
-}  // namespace
+
+bool CompositeKey::operator==(const CompositeKey& other) const {
+  if (parts_.size() != other.parts_.size()) return false;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (!(parts_[i] == other.parts_[i])) return false;
+  }
+  return true;
+}
+
+int64_t CompositeKey::SizeBytes() const {
+  int64_t total = 0;
+  for (const IndexKey& k : parts_) total += k.SizeBytes();
+  return total;
+}
+
+std::string CompositeKey::ToString() const {
+  if (parts_.size() == 1) return parts_[0].ToString();
+  std::string out = "(";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+SecondaryIndex::SecondaryIndex(std::vector<std::string> field_paths)
+    : field_paths_(std::move(field_paths)) {
+  for (size_t i = 0; i < field_paths_.size(); ++i) {
+    if (i > 0) canonical_name_ += ',';
+    canonical_name_ += field_paths_[i];
+  }
+}
 
 void SecondaryIndex::Insert(DocId id, const DocValue& doc) {
-  IndexKey key = KeyAt(field_path_, doc);
+  CompositeKey key = CompositeKey::FromDoc(field_paths_, doc);
   size_bytes_ += key.SizeBytes() + kEntryOverheadBytes;
   entries_.emplace(std::move(key), id);
 }
 
 void SecondaryIndex::Remove(DocId id, const DocValue& doc) {
-  IndexKey key = KeyAt(field_path_, doc);
+  CompositeKey key = CompositeKey::FromDoc(field_paths_, doc);
   auto [lo, hi] = entries_.equal_range(key);
   for (auto it = lo; it != hi; ++it) {
     if (it->second == id) {
@@ -106,65 +154,114 @@ void SecondaryIndex::Remove(DocId id, const DocValue& doc) {
 
 std::vector<DocId> SecondaryIndex::Lookup(const DocValue& value) const {
   std::vector<DocId> out;
-  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  Scan scan = ScanPrefix({value}, nullptr, nullptr, /*descending=*/false);
+  DocId id;
+  while (scan.Next(&id)) out.push_back(id);
   return out;
 }
 
 std::vector<DocId> SecondaryIndex::Range(const DocValue& lo_v,
                                          const DocValue& hi_v) const {
   std::vector<DocId> out;
-  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
-  // Inverted bounds select nothing — and would put lower_bound(lo)
-  // after upper_bound(hi), walking the iteration off the container.
-  if (khi < klo) return out;
-  auto lo = entries_.lower_bound(klo);
-  auto hi = entries_.upper_bound(khi);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  Scan scan = ScanPrefix({}, &lo_v, &hi_v, /*descending=*/false);
+  DocId id;
+  while (scan.Next(&id)) out.push_back(id);
   return out;
-}
-
-void SecondaryIndex::VisitEqual(const DocValue& value,
-                                const EntryVisitor& visit) const {
-  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
-  for (auto it = lo; it != hi; ++it) {
-    if (!visit(it->first, it->second)) return;
-  }
-}
-
-void SecondaryIndex::VisitRange(const DocValue& lo_v, const DocValue& hi_v,
-                                const EntryVisitor& visit) const {
-  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
-  if (khi < klo) return;  // empty range; see Range()
-  auto lo = entries_.lower_bound(klo);
-  auto hi = entries_.upper_bound(khi);
-  for (auto it = lo; it != hi; ++it) {
-    if (!visit(it->first, it->second)) return;
-  }
 }
 
 void SecondaryIndex::VisitKeyCounts(
     const std::function<void(const IndexKey&, int64_t)>& visit) const {
+  // Equal leading components are contiguous under lexicographic order,
+  // so one forward walk groups them even in a compound index.
   auto it = entries_.begin();
   while (it != entries_.end()) {
-    auto next = entries_.upper_bound(it->first);
-    visit(it->first, static_cast<int64_t>(std::distance(it, next)));
-    it = next;
+    const IndexKey& lead = it->first.part(0);
+    int64_t n = 0;
+    auto run = it;
+    while (run != entries_.end() && run->first.part(0) == lead) {
+      ++run;
+      ++n;
+    }
+    visit(lead, n);
+    it = run;
   }
 }
 
 int64_t SecondaryIndex::CountEqual(const DocValue& value) const {
-  auto [lo, hi] = entries_.equal_range(IndexKey::FromValue(value));
-  return static_cast<int64_t>(std::distance(lo, hi));
+  return CountScan({value}, nullptr, nullptr);
 }
 
 int64_t SecondaryIndex::CountRange(const DocValue& lo_v,
                                    const DocValue& hi_v) const {
-  IndexKey klo = IndexKey::FromValue(lo_v), khi = IndexKey::FromValue(hi_v);
-  if (khi < klo) return 0;  // empty range; see Range()
-  auto lo = entries_.lower_bound(klo);
-  auto hi = entries_.upper_bound(khi);
-  return static_cast<int64_t>(std::distance(lo, hi));
+  return CountScan({}, &lo_v, &hi_v);
+}
+
+std::pair<SecondaryIndex::EntryMap::const_iterator,
+          SecondaryIndex::EntryMap::const_iterator>
+SecondaryIndex::BoundsFor(const std::vector<DocValue>& eq_prefix,
+                          const DocValue* range_lo,
+                          const DocValue* range_hi) const {
+  std::vector<IndexKey> lo_parts, hi_parts;
+  lo_parts.reserve(field_paths_.size());
+  hi_parts.reserve(field_paths_.size());
+  for (const DocValue& v : eq_prefix) {
+    IndexKey k = IndexKey::FromValue(v);
+    lo_parts.push_back(k);
+    hi_parts.push_back(std::move(k));
+  }
+  if (range_lo != nullptr && range_hi != nullptr) {
+    // An inverted range selects nothing — and would put the lower bound
+    // after the upper one, walking the iteration off the container.
+    if (IndexKey::FromValue(*range_hi) < IndexKey::FromValue(*range_lo)) {
+      return {entries_.end(), entries_.end()};
+    }
+  }
+  if (range_lo != nullptr) lo_parts.push_back(IndexKey::FromValue(*range_lo));
+  if (range_hi != nullptr) hi_parts.push_back(IndexKey::FromValue(*range_hi));
+  // Close the upper probe with Max sentinels: every stored key
+  // extending the constrained components compares below it.
+  while (hi_parts.size() < field_paths_.size()) {
+    hi_parts.push_back(IndexKey::Max());
+  }
+  auto first = entries_.lower_bound(CompositeKey(std::move(lo_parts)));
+  auto last = entries_.upper_bound(CompositeKey(std::move(hi_parts)));
+  return {first, last};
+}
+
+SecondaryIndex::Scan::Scan(Iter first, Iter last, bool descending)
+    : it_(first),
+      end_(last),
+      rit_(std::make_reverse_iterator(last)),
+      rend_(std::make_reverse_iterator(first)),
+      descending_(descending) {}
+
+bool SecondaryIndex::Scan::Next(const CompositeKey** key, DocId* id) {
+  if (descending_) {
+    if (rit_ == rend_) return false;
+    *key = &rit_->first;
+    *id = rit_->second;
+    ++rit_;
+    return true;
+  }
+  if (it_ == end_) return false;
+  *key = &it_->first;
+  *id = it_->second;
+  ++it_;
+  return true;
+}
+
+SecondaryIndex::Scan SecondaryIndex::ScanPrefix(
+    const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
+    const DocValue* range_hi, bool descending) const {
+  auto [first, last] = BoundsFor(eq_prefix, range_lo, range_hi);
+  return Scan(first, last, descending);
+}
+
+int64_t SecondaryIndex::CountScan(const std::vector<DocValue>& eq_prefix,
+                                  const DocValue* range_lo,
+                                  const DocValue* range_hi) const {
+  auto [first, last] = BoundsFor(eq_prefix, range_lo, range_hi);
+  return static_cast<int64_t>(std::distance(first, last));
 }
 
 }  // namespace dt::storage

@@ -1,8 +1,13 @@
 /// \file index.h
 /// \brief Secondary indexes over a document collection.
 ///
-/// An index maps the value found at a dotted field path to the ids of
-/// documents holding that value, in key order (a B-tree stand-in). Per
+/// An index maps the values found at one or more dotted field paths to
+/// the ids of documents holding those values, in composite-key order
+/// (a B-tree stand-in). A single-field index is the width-1 case of a
+/// compound index: entries are `CompositeKey`s — one `IndexKey` per
+/// component — ordered lexicographically, so an index on `(type, name)`
+/// serves equality on `type`, equality on `type` plus a range or order
+/// on `name`, and an ordered walk of `name` within each `type`. Per
 /// entry byte accounting feeds `totalIndexSize` in collection stats,
 /// matching the shape of the `db.entity.stats()` numbers in Table II of
 /// the paper.
@@ -33,6 +38,11 @@ class IndexKey {
 
   static IndexKey FromValue(const DocValue& v);
 
+  /// \brief Probe sentinel ordering after every real key. Never stored
+  /// in an index; scan bound computation uses it to close a key-prefix
+  /// range ("everything extending this prefix").
+  static IndexKey Max();
+
   bool operator<(const IndexKey& other) const;
   bool operator==(const IndexKey& other) const;
 
@@ -46,7 +56,13 @@ class IndexKey {
   std::string ToString() const;
 
  private:
-  enum class Tag : uint8_t { kNull = 0, kBool = 1, kNumber = 2, kString = 3 };
+  enum class Tag : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kNumber = 2,
+    kString = 3,
+    kMax = 255  // probe-only sentinel, greater than every real key
+  };
 
   Tag tag_;
   bool bool_ = false;
@@ -54,7 +70,41 @@ class IndexKey {
   std::string str_;
 };
 
-/// \brief Ordered secondary index on one field path.
+/// \brief Lexicographically ordered tuple of `IndexKey`s — the entry
+/// key of a (possibly compound) secondary index. Component comparison
+/// reuses the `IndexKey` semantics, so scans and predicate evaluation
+/// agree per component by construction.
+class CompositeKey {
+ public:
+  CompositeKey() = default;
+  explicit CompositeKey(std::vector<IndexKey> parts)
+      : parts_(std::move(parts)) {}
+
+  /// Key of `doc` under `paths`: one component per path, each extracted
+  /// exactly as a single-field index would (missing/non-indexable
+  /// collapse to the null key).
+  static CompositeKey FromDoc(const std::vector<std::string>& paths,
+                              const DocValue& doc);
+
+  bool operator<(const CompositeKey& other) const {
+    return parts_ < other.parts_;
+  }
+  bool operator==(const CompositeKey& other) const;
+
+  const std::vector<IndexKey>& parts() const { return parts_; }
+  const IndexKey& part(size_t i) const { return parts_[i]; }
+  size_t width() const { return parts_.size(); }
+
+  int64_t SizeBytes() const;
+
+  /// `(Movie, Matilda)` for compound keys, `Movie` for width 1.
+  std::string ToString() const;
+
+ private:
+  std::vector<IndexKey> parts_;
+};
+
+/// \brief Ordered secondary index on one or more field paths.
 class SecondaryIndex {
  public:
   /// Per-entry overhead charged on top of key bytes: B-tree pointer,
@@ -63,49 +113,90 @@ class SecondaryIndex {
   static constexpr int64_t kEntryOverheadBytes = 33;
 
   explicit SecondaryIndex(std::string field_path)
-      : field_path_(std::move(field_path)) {}
+      : SecondaryIndex(std::vector<std::string>{std::move(field_path)}) {}
 
-  const std::string& field_path() const { return field_path_; }
+  /// Compound constructor; `field_paths` must be non-empty.
+  explicit SecondaryIndex(std::vector<std::string> field_paths);
 
-  /// Indexes `id` under the value at the field path (null if absent).
+  /// Canonical name: the single path for width 1, components joined by
+  /// ',' for compound indexes (e.g. "type,award_winning").
+  const std::string& field_path() const { return canonical_name_; }
+
+  /// Component paths in index order.
+  const std::vector<std::string>& field_paths() const { return field_paths_; }
+
+  bool is_compound() const { return field_paths_.size() > 1; }
+  int width() const { return static_cast<int>(field_paths_.size()); }
+
+  /// Indexes `id` under the values at the field paths (null if absent).
   void Insert(DocId id, const DocValue& doc);
 
   /// Removes the entry for `id` given the document previously indexed.
   void Remove(DocId id, const DocValue& doc);
 
-  /// Ids of documents whose key equals the key of `value`.
+  /// Ids of documents whose *leading* component equals the key of
+  /// `value` (for a width-1 index: whose key equals it).
   std::vector<DocId> Lookup(const DocValue& value) const;
 
-  /// Ids with keys in [lo, hi] inclusive, in key order.
+  /// Ids with leading components in [lo, hi] inclusive, in key order.
   std::vector<DocId> Range(const DocValue& lo, const DocValue& hi) const;
 
-  // ---- Ordered iteration (the planner's access paths) ----
+  // ---- Ordered iteration (the executor's access paths) ----
 
-  /// Visitor over (key, id) entries; return false to stop the scan.
-  using EntryVisitor = std::function<bool(const IndexKey&, DocId)>;
-
-  /// \brief Point-lookup iteration: visits every entry whose key equals
-  /// the key of `value`, in entry order, without materializing a vector.
-  void VisitEqual(const DocValue& value, const EntryVisitor& visit) const;
-
-  /// \brief Ordered range scan over keys in [lo, hi] inclusive. Entries
-  /// arrive in key order (B-tree leaf order); `visit` returning false
-  /// ends the scan early.
-  void VisitRange(const DocValue& lo, const DocValue& hi,
-                  const EntryVisitor& visit) const;
-
-  /// \brief Visits each distinct key with its entry count, in key
-  /// order. Powers index-only group-by-count aggregation: the query
-  /// layer can answer CountByField without touching a single document.
+  /// \brief Visits each distinct leading key component with its entry
+  /// count, in key order. Powers index-only group-by-count aggregation:
+  /// the query layer can answer CountByField without touching a single
+  /// document.
   void VisitKeyCounts(
       const std::function<void(const IndexKey&, int64_t)>& visit) const;
 
-  /// Number of entries whose key equals the key of `value` (planner
-  /// selectivity estimate; O(hits), not O(n)).
+  /// Number of entries whose leading component equals the key of
+  /// `value` (planner selectivity estimate; O(hits), not O(n)).
   int64_t CountEqual(const DocValue& value) const;
 
-  /// Number of entries with keys in [lo, hi] inclusive (O(hits)).
+  /// Number of entries with leading components in [lo, hi] inclusive
+  /// (O(hits)).
   int64_t CountRange(const DocValue& lo, const DocValue& hi) const;
+
+  /// \brief Pull-based ordered iterator over a bounds-delimited portion
+  /// of the index — the storage half of the executor's `IxScanCursor`.
+  /// Yields entries in key order (reversed when constructed
+  /// descending); the returned key pointer stays valid while the index
+  /// is not mutated.
+  class Scan {
+   public:
+    /// Pulls the next entry; false at end of scan.
+    bool Next(const CompositeKey** key, DocId* id);
+    bool Next(DocId* id) {
+      const CompositeKey* ignored;
+      return Next(&ignored, id);
+    }
+
+   private:
+    friend class SecondaryIndex;
+    using Iter = std::multimap<CompositeKey, DocId>::const_iterator;
+    Scan(Iter first, Iter last, bool descending);
+
+    Iter it_, end_;
+    std::multimap<CompositeKey, DocId>::const_reverse_iterator rit_, rend_;
+    bool descending_;
+  };
+
+  /// \brief Ordered scan over the entries whose first
+  /// `eq_prefix.size()` components equal the keys of `eq_prefix`, with
+  /// an optional inclusive [range_lo, range_hi] bound on the next
+  /// component (either side may be null for half-open; an inverted
+  /// range selects nothing). An empty prefix with no bounds scans the
+  /// whole index. `descending` reverses the key order. The constrained
+  /// component count must not exceed the index width.
+  Scan ScanPrefix(const std::vector<DocValue>& eq_prefix,
+                  const DocValue* range_lo, const DocValue* range_hi,
+                  bool descending) const;
+
+  /// Entry count `ScanPrefix` with the same constraints would visit
+  /// (planner selectivity estimate; O(hits)).
+  int64_t CountScan(const std::vector<DocValue>& eq_prefix,
+                    const DocValue* range_lo, const DocValue* range_hi) const;
 
   int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
 
@@ -113,8 +204,17 @@ class SecondaryIndex {
   int64_t SizeBytes() const { return size_bytes_; }
 
  private:
-  std::string field_path_;
-  std::multimap<IndexKey, DocId> entries_;
+  using EntryMap = std::multimap<CompositeKey, DocId>;
+
+  /// [first, last) iterator bounds for the ScanPrefix constraints;
+  /// {end, end} for an inverted range.
+  std::pair<EntryMap::const_iterator, EntryMap::const_iterator> BoundsFor(
+      const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
+      const DocValue* range_hi) const;
+
+  std::vector<std::string> field_paths_;
+  std::string canonical_name_;
+  EntryMap entries_;
   int64_t size_bytes_ = 0;
 };
 

@@ -21,6 +21,72 @@ namespace {
 constexpr uint8_t kKindStore = 1;
 constexpr uint8_t kKindCollection = 2;
 
+// ---- index metadata records -------------------------------------------
+//
+// A single-field index persists as its raw field path — byte-identical
+// to the pre-compound snapshot format, so old snapshots load unchanged
+// and snapshots holding only single-field indexes keep their old bytes.
+// A compound index persists as a versioned record whose leading control
+// byte can never begin a valid field path (Collection::CreateIndex
+// rejects control characters and ',' in paths). One caveat: a
+// pre-compound snapshot whose index path contains one of those
+// now-reserved bytes (creatable through the old unvalidated
+// CreateIndex, never produced by this codebase's pipelines or tests)
+// is rejected at load as kCorruption rather than silently risking a
+// canonical-name collision.
+
+constexpr char kIndexRecordMagic = '\x01';    // compound record marker
+constexpr char kIndexRecordKind = 'C';        // compound
+constexpr char kIndexRecordVersion = '\x01';  // record format version
+constexpr char kIndexPathSeparator = '\x1f';  // joins component paths
+
+std::string EncodeIndexRecord(const std::vector<std::string>& paths) {
+  if (paths.size() == 1) return paths[0];
+  std::string out;
+  out.push_back(kIndexRecordMagic);
+  out.push_back(kIndexRecordKind);
+  out.push_back(kIndexRecordVersion);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) out.push_back(kIndexPathSeparator);
+    out += paths[i];
+  }
+  return out;
+}
+
+Status DecodeIndexRecord(const std::string& record,
+                         std::vector<std::string>* paths) {
+  paths->clear();
+  if (record.empty()) {
+    return Status::Corruption("empty index metadata record");
+  }
+  if (record[0] != kIndexRecordMagic) {
+    paths->push_back(record);  // pre-compound format: the path itself
+    return Status::OK();
+  }
+  if (record.size() < 4 || record[1] != kIndexRecordKind ||
+      record[2] != kIndexRecordVersion) {
+    return Status::Corruption("unrecognized index metadata record version");
+  }
+  size_t at = 3;
+  while (true) {
+    size_t sep = record.find(kIndexPathSeparator, at);
+    paths->push_back(record.substr(at, sep == std::string::npos
+                                           ? std::string::npos
+                                           : sep - at));
+    if (sep == std::string::npos) break;
+    at = sep + 1;
+  }
+  for (const std::string& p : *paths) {
+    if (p.empty()) {
+      return Status::Corruption("empty component in compound index record");
+    }
+  }
+  if (paths->size() < 2) {
+    return Status::Corruption("compound index record with one component");
+  }
+  return Status::OK();
+}
+
 // ---- file IO ----------------------------------------------------------
 
 Status ReadFileToString(const std::string& path, std::string* out) {
@@ -119,9 +185,9 @@ Status WriteCollectionSection(const Collection& coll, ThreadPool* pool,
   w.PutU64(static_cast<uint64_t>(copts.initial_extent_size_bytes));
   w.PutU64(static_cast<uint64_t>(copts.max_extent_size_bytes));
   w.PutU64(coll.next_id());
-  std::vector<std::string> index_paths = coll.IndexPaths();
-  w.PutU32(static_cast<uint32_t>(index_paths.size()));
-  for (const std::string& p : index_paths) w.PutString(p);
+  std::vector<std::vector<std::string>> index_specs = coll.IndexSpecs();
+  w.PutU32(static_cast<uint32_t>(index_specs.size()));
+  for (const auto& spec : index_specs) w.PutString(EncodeIndexRecord(spec));
 
   // Snapshot (id, doc) in id order; chunk boundaries depend only on
   // the order and docs_per_chunk, so output bytes are identical for
@@ -192,13 +258,15 @@ Result<std::unique_ptr<Collection>> ReadCollectionSection(BinaryReader* r,
     return Status::Corruption("index count " + std::to_string(index_count) +
                               " exceeds remaining bytes");
   }
-  std::vector<std::string> index_paths;
+  std::vector<std::vector<std::string>> index_specs;
   // Clamped reserve: growth past it is paid only as entries really read.
-  index_paths.reserve(std::min<uint32_t>(index_count, 1u << 10));
+  index_specs.reserve(std::min<uint32_t>(index_count, 1u << 10));
   for (uint32_t i = 0; i < index_count; ++i) {
-    std::string p;
-    DT_RETURN_NOT_OK(r->ReadString(&p));
-    index_paths.push_back(std::move(p));
+    std::string record;
+    DT_RETURN_NOT_OK(r->ReadString(&record));
+    std::vector<std::string> paths;
+    DT_RETURN_NOT_OK(DecodeIndexRecord(record, &paths));
+    index_specs.push_back(std::move(paths));
   }
 
   DT_RETURN_NOT_OK(r->ReadU64(&doc_count));
@@ -301,8 +369,8 @@ Result<std::unique_ptr<Collection>> ReadCollectionSection(BinaryReader* r,
     }
   }
   coll->RestoreNextId(static_cast<DocId>(next_id));
-  for (const std::string& p : index_paths) {
-    Status st = coll->CreateIndex(p);
+  for (const std::vector<std::string>& spec : index_specs) {
+    Status st = coll->CreateIndex(spec);
     if (!st.ok()) {
       return Status::Corruption("invalid snapshot index metadata: " +
                                 st.ToString());
@@ -333,6 +401,12 @@ Status ReadHeader(BinaryReader* r, uint8_t expected_kind) {
 
 ThreadPool* MakePool(const SnapshotOptions& opts,
                      std::unique_ptr<ThreadPool>* holder) {
+  // A caller-provided pool carries the work (the facade shares one
+  // pool across planner and snapshot calls); only without one does the
+  // num_threads knob spin up a transient pool.
+  if (opts.pool != nullptr) {
+    return opts.pool->num_threads() > 1 ? opts.pool : nullptr;
+  }
   int n = ResolveNumThreads(opts.num_threads);
   if (n <= 1) return nullptr;
   *holder = std::make_unique<ThreadPool>(n);

@@ -19,7 +19,15 @@
 ///     ns string
 ///     options            u32 num_shards, u64 initial/max extent bytes
 ///     u64 next_id
-///     index metadata     u32 count + field-path strings
+///     index metadata     u32 count + one record string per index:
+///                        a single-field index is its raw field path
+///                        (the pre-compound format, unchanged byte for
+///                        byte); a compound index is a versioned record
+///                        `0x01 'C' 0x01` + component paths joined by
+///                        0x1f. Field paths cannot contain control
+///                        characters (Collection::CreateIndex rejects
+///                        them), so the leading byte disambiguates and
+///                        old snapshots load unchanged.
 ///     u64 doc_count
 ///     chunk directory    u32 chunk count, then per chunk
 ///                        u32 doc count + u64 payload bytes
@@ -44,6 +52,10 @@
 #include "common/status.h"
 #include "storage/document_store.h"
 
+namespace dt {
+class ThreadPool;
+}
+
 namespace dt::storage {
 
 /// Knobs for snapshot save/load.
@@ -53,6 +65,10 @@ struct SnapshotOptions {
   int num_threads = 1;
   /// Documents per encode/decode chunk (the parallelism grain).
   int docs_per_chunk = 512;
+  /// Borrowed worker pool; when set it carries the chunk work and
+  /// `num_threads` is ignored (the facade shares one cached pool across
+  /// planner and snapshot calls instead of constructing per operation).
+  dt::ThreadPool* pool = nullptr;
 };
 
 // ---- Whole-store snapshots ----

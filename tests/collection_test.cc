@@ -97,6 +97,90 @@ TEST(CollectionTest, DuplicateIndexRejected) {
   EXPECT_TRUE(coll.CreateIndex("type").IsAlreadyExists());
 }
 
+TEST(CollectionTest, CompoundIndexBasics) {
+  Collection coll("dt.test");
+  for (int i = 0; i < 10; ++i) coll.Insert(MakeDoc(i));
+  ASSERT_TRUE(coll.CreateIndex({"type", "score"}).ok());
+  EXPECT_TRUE(coll.HasIndex("type,score"));
+  const SecondaryIndex* idx = coll.IndexOn("type,score");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_TRUE(idx->is_compound());
+  EXPECT_EQ(idx->width(), 2);
+  EXPECT_EQ(idx->entry_count(), 10);
+  // Leading-component lookup: the 5 "Movie" docs.
+  EXPECT_EQ(idx->Lookup(DocValue::Str("Movie")).size(), 5u);
+  EXPECT_EQ(idx->CountEqual(DocValue::Str("Movie")), 5);
+  // Prefix + range on the next component: Movie docs are even i with
+  // score 0, 3, 6, 9, 12 -> [3, 9] holds three.
+  const DocValue lo = DocValue::Double(3.0), hi = DocValue::Double(9.0);
+  EXPECT_EQ(idx->CountScan({DocValue::Str("Movie")}, &lo, &hi), 3);
+  // The scan streams in (type, score) order.
+  auto scan = idx->ScanPrefix({DocValue::Str("Movie")}, nullptr, nullptr,
+                              /*descending=*/false);
+  const CompositeKey* key;
+  DocId id;
+  double prev = -1;
+  int seen = 0;
+  while (scan.Next(&key, &id)) {
+    const DocValue* doc = coll.Get(id);
+    ASSERT_NE(doc, nullptr);
+    double score = doc->FindPath("score")->double_value();
+    EXPECT_GE(score, prev);
+    prev = score;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 5);
+  // A second index with the same components is a duplicate.
+  EXPECT_TRUE(coll.CreateIndex({"type", "score"}).IsAlreadyExists());
+  // The single-field index on "type" is a distinct index.
+  EXPECT_TRUE(coll.CreateIndex("type").ok());
+}
+
+TEST(CollectionTest, CompoundIndexValidation) {
+  Collection coll("dt.test");
+  EXPECT_TRUE(coll.CreateIndex(std::vector<std::string>{})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(coll.CreateIndex({"a", ""}).IsInvalidArgument());
+  EXPECT_TRUE(coll.CreateIndex({"a", "b", "a"}).IsInvalidArgument());
+  EXPECT_TRUE(coll.CreateIndex({"a", "b\x1f" "c"}).IsInvalidArgument());
+  // ',' is the canonical-name separator: a path containing it could
+  // collide with a compound index's canonical name.
+  EXPECT_TRUE(coll.CreateIndex("a,b").IsInvalidArgument());
+  EXPECT_TRUE(coll.CreateIndex({"a", "b"}).ok());
+}
+
+TEST(CollectionTest, CompoundIndexMaintainedOnUpdateAndRemove) {
+  Collection coll("dt.test");
+  DocId a = coll.Insert(MakeDoc(0));
+  DocId b = coll.Insert(MakeDoc(2));
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  const SecondaryIndex* idx = coll.IndexOn("type,name");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(DocValue::Str("Movie")).size(), 2u);
+  ASSERT_TRUE(coll.Update(a, MakeDoc(1)).ok());  // now a Person
+  EXPECT_EQ(idx->Lookup(DocValue::Str("Movie")).size(), 1u);
+  ASSERT_TRUE(coll.Remove(b).ok());
+  EXPECT_TRUE(idx->Lookup(DocValue::Str("Movie")).empty());
+  EXPECT_EQ(idx->entry_count(), 1);
+}
+
+TEST(CollectionTest, DocCursorPullsEveryDocInIdOrder) {
+  Collection coll("dt.test");
+  for (int i = 0; i < 7; ++i) coll.Insert(MakeDoc(i));
+  auto cursor = coll.ScanDocs();
+  DocId id;
+  const DocValue* doc;
+  DocId prev = 0;
+  int n = 0;
+  while (cursor.Next(&id, &doc)) {
+    EXPECT_GT(id, prev);
+    prev = id;
+    ASSERT_NE(doc, nullptr);
+    ++n;
+  }
+  EXPECT_EQ(n, 7);
+}
+
 TEST(CollectionTest, FindEqualWithoutIndexFallsBackToScan) {
   Collection coll("dt.test");
   for (int i = 0; i < 6; ++i) coll.Insert(MakeDoc(i));

@@ -1,12 +1,17 @@
-/// Unit and differential tests for the predicate tree and the
-/// cost-aware query planner: predicate semantics, access-path choice,
-/// index/scan agreement, the bounded top-k aggregation and the
-/// DataTamer facade surface (Find/Explain, counters, snapshots).
+/// Unit and differential tests for the predicate tree, the cost-aware
+/// query planner and the cursor executor: predicate semantics,
+/// access-path choice (including compound indexes), order_by/limit
+/// push-down (operator pipeline + ExecStats counters), index/scan
+/// agreement, the bounded top-k aggregation and the DataTamer facade
+/// surface (Find/Explain, counters, snapshots).
 ///
-/// The differential harness at the bottom runs randomized predicate
-/// trees over a datagen-generated corpus and asserts the planner's
-/// output is id-set-identical to a naive full-scan oracle — serial and
-/// 4-threaded, with and without indexes present (1200 comparisons).
+/// The differential harnesses at the bottom run randomized predicate
+/// trees over a datagen-generated corpus and assert the planner's
+/// output is identical to a naive full-scan oracle — serial and
+/// 4-threaded, with and without indexes present (1200 unordered
+/// comparisons), plus randomized order_by/order_desc/limit and
+/// compound-index configurations against a sort+truncate oracle
+/// (1500 more).
 
 #include <gtest/gtest.h>
 
@@ -305,6 +310,234 @@ TEST(PlannerTest, CountersFeedCollectionStats) {
 }
 
 // ---------------------------------------------------------------------
+// Compound indexes
+// ---------------------------------------------------------------------
+
+TEST(CompoundPlannerTest, MultiEqAndRoutesThroughCompoundIndex) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  auto pred = Predicate::And({Predicate::Eq("type", DocValue::Str("Movie")),
+                              Predicate::Eq("name", DocValue::Str("Matilda"))});
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexEq);
+  ASSERT_NE(plan.index, nullptr);
+  EXPECT_EQ(plan.index->field_path(), "type,name");
+  // Both children bind index components: the scan is exact.
+  EXPECT_FALSE(plan.residual);
+  EXPECT_EQ(plan.estimated_rows, 5);
+  std::string explain = ExplainFind(coll, pred);
+  EXPECT_NE(explain.find("IXSCAN(type,name)"), std::string::npos) << explain;
+
+  auto ids = Find(coll, pred);
+  FindOptions scan;
+  scan.use_indexes = false;
+  auto oracle = Find(coll, pred, scan);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*ids, *oracle);
+  EXPECT_EQ(ids->size(), 5u);
+}
+
+TEST(CompoundPlannerTest, EqPlusRangeBindsCompoundPrefix) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex({"type", "confidence"}).ok());
+  auto pred = Predicate::And(
+      {Predicate::Eq("type", DocValue::Str("Person")),
+       Predicate::Range("confidence", DocValue::Double(0.4),
+                        DocValue::Double(0.6))});
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexRange);
+  EXPECT_FALSE(plan.residual);
+  EXPECT_EQ(plan.estimated_rows, 10);
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 10u);
+  EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+}
+
+TEST(CompoundPlannerTest, BareEqRidesCompoundLeadingComponent) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex({"name", "confidence"}).ok());
+  auto pred = Predicate::Eq("name", DocValue::Str("Matilda"));
+  QueryPlan plan = PlanFind(coll, pred);
+  EXPECT_EQ(plan.access, AccessPath::kIndexEq);
+  ASSERT_NE(plan.index, nullptr);
+  EXPECT_EQ(plan.index->field_path(), "name,confidence");
+  auto ids = Find(coll, pred);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 5u);
+  EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+}
+
+TEST(CompoundPlannerTest, CompoundBeatsSingleFieldResidualOnSelectivity) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  // The single "type" index estimates 30 rows and needs a residual;
+  // the compound pins both children at 5 exact rows.
+  auto pred = Predicate::And({Predicate::Eq("type", DocValue::Str("Movie")),
+                              Predicate::Eq("name", DocValue::Str("Matilda"))});
+  QueryPlan plan = PlanFind(coll, pred);
+  ASSERT_NE(plan.index, nullptr);
+  EXPECT_EQ(plan.index->field_path(), "type,name");
+  EXPECT_FALSE(plan.residual);
+  EXPECT_EQ(plan.estimated_rows, 5);
+}
+
+// ---------------------------------------------------------------------
+// order_by / limit semantics and push-down
+// ---------------------------------------------------------------------
+
+/// The ordering oracle: matching ids sorted by (index key of the
+/// order-by field, id) — descending flips the key comparison only —
+/// then truncated. This is the contract Find must meet on every path.
+std::vector<DocId> OracleOrdered(const Collection& coll,
+                                 const PredicatePtr& p,
+                                 const std::string& order_by, bool desc,
+                                 int64_t limit) {
+  std::vector<DocId> ids;
+  coll.ForEach([&](DocId id, const DocValue& doc) {
+    if (p == nullptr || p->Matches(doc)) ids.push_back(id);
+  });
+  if (!order_by.empty()) {
+    auto key_of = [&](DocId id) {
+      const DocValue* doc = coll.Get(id);
+      const DocValue* v = doc == nullptr ? nullptr : doc->FindPath(order_by);
+      return v == nullptr ? storage::IndexKey()
+                          : storage::IndexKey::FromValue(*v);
+    };
+    std::sort(ids.begin(), ids.end(), [&](DocId a, DocId b) {
+      storage::IndexKey ka = key_of(a), kb = key_of(b);
+      if (ka < kb) return !desc;
+      if (kb < ka) return desc;
+      return a < b;
+    });
+  }
+  if (limit >= 0 && static_cast<int64_t>(ids.size()) > limit) {
+    ids.resize(static_cast<size_t>(limit));
+  }
+  return ids;
+}
+
+TEST(OrderLimitTest, OrderBySortsByKeyThenIdBothDirections) {
+  Collection coll = MakeEntities();
+  // A few docs missing "confidence" exercise the null-key placement.
+  coll.Insert(DocBuilder().Set("type", "Venue").Set("name", "Shubert").Build());
+  coll.Insert(DocBuilder().Set("type", "Venue").Set("name", "Gershwin").Build());
+  auto pred = Predicate::And({});  // match everything
+  for (bool desc : {false, true}) {
+    FindOptions opts;
+    opts.order_by = "confidence";
+    opts.order_desc = desc;
+    auto got = Find(coll, pred, opts);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, OracleOrdered(coll, pred, "confidence", desc, -1))
+        << "desc=" << desc;
+  }
+}
+
+TEST(OrderLimitTest, IndexedOrderLimitStreamsOffIndexAndStopsEarly) {
+  Collection coll("dt.ranked");
+  // (i * 37) % 1000 is injective for i < 200: unique rank keys.
+  for (int i = 0; i < 200; ++i) {
+    coll.Insert(
+        DocBuilder().Set("rank", (i * 37) % 1000).Set("v", i).Build());
+  }
+  ASSERT_TRUE(coll.CreateIndex("rank").ok());
+  auto pred = Predicate::And({});  // match everything
+  for (bool desc : {false, true}) {
+    ExecStats stats;
+    FindOptions opts;
+    opts.order_by = "rank";
+    opts.order_desc = desc;
+    opts.limit = 10;
+    opts.stats = &stats;
+    std::string explain = ExplainFind(coll, pred, opts);
+    EXPECT_NE(explain.find("IXSCAN"), std::string::npos) << explain;
+    EXPECT_NE(explain.find("LIMIT(10)"), std::string::npos) << explain;
+    EXPECT_EQ(explain.find("SORT"), std::string::npos) << explain;
+    EXPECT_EQ(explain.find("TOPK"), std::string::npos) << explain;
+
+    auto got = Find(coll, pred, opts);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, OracleOrdered(coll, pred, "rank", desc, 10));
+    // The push-down promise: ~limit index entries examined (one run
+    // plus a one-entry lookahead each), nothing close to 200 — and no
+    // document ever fetched.
+    EXPECT_LE(stats.index_entries_examined, 12) << "desc=" << desc;
+    EXPECT_EQ(stats.docs_examined, 0);
+    EXPECT_EQ(stats.docs_returned, 10);
+  }
+}
+
+TEST(OrderLimitTest, EqPrefixOrderCoveredByCompoundIndex) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  ExecStats stats;
+  FindOptions opts;
+  opts.order_by = "name";
+  opts.limit = 4;
+  opts.stats = &stats;
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("IXSCAN(type)"), std::string::npos) << explain;
+  EXPECT_EQ(explain.find("SORT"), std::string::npos) << explain;
+  EXPECT_EQ(explain.find("TOPK"), std::string::npos) << explain;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(coll, pred, "name", false, 4));
+  // The first name run ("Matilda", 5 entries) already covers limit 4:
+  // nowhere near the 30 Movie entries.
+  EXPECT_LE(stats.index_entries_examined, 7);
+}
+
+TEST(OrderLimitTest, UnindexedOrderLimitFusesIntoTopK) {
+  Collection coll = MakeEntities();
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.order_by = "name";
+  opts.order_desc = true;
+  opts.limit = 7;
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("COLLSCAN"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("TOPK(name desc, k=7)"), std::string::npos)
+      << explain;
+  EXPECT_EQ(explain.find("SORT"), std::string::npos) << explain;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(coll, pred, "name", true, 7));
+}
+
+TEST(OrderLimitTest, UncoveredOrderWithoutLimitSorts) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  auto pred = Predicate::Eq("name", DocValue::Str("Wicked"));
+  FindOptions opts;
+  opts.order_by = "confidence";
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("IXSCAN"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("SORT(confidence)"), std::string::npos) << explain;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(coll, pred, "confidence", false, -1));
+}
+
+TEST(OrderLimitTest, SerialCollScanLimitStopsEarly) {
+  Collection coll = MakeEntities();
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  ExecStats stats;
+  FindOptions opts;
+  opts.limit = 3;
+  opts.stats = &stats;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<DocId>{1, 2, 3}));
+  // Limit is honored inside execution: the serial scan stopped after
+  // the third match instead of visiting all 40 documents.
+  EXPECT_EQ(stats.docs_examined, 3);
+}
+
+// ---------------------------------------------------------------------
 // Planner-backed aggregation
 // ---------------------------------------------------------------------
 
@@ -466,6 +699,21 @@ TEST(DataTamerFindTest, SnapshotPreservesPlannerVisibleIndexes) {
   EXPECT_GT(loaded.entity_collection()->index_scans(), 0);
 }
 
+TEST(DataTamerFindTest, FacadeFindPassesOrderAndLimitThrough) {
+  FacadeCorpus corpus(120);
+  fusion::DataTamer tamer;
+  corpus.Ingest(&tamer, /*with_indexes=*/true);
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.order_by = "confidence";
+  opts.order_desc = true;
+  opts.limit = 5;
+  auto got = tamer.Find("entity", pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(*tamer.entity_collection(), pred,
+                                "confidence", true, 5));
+}
+
 // ---------------------------------------------------------------------
 // Differential harness: planner vs full-scan oracle
 // ---------------------------------------------------------------------
@@ -564,6 +812,78 @@ TEST(PlannerOracleDifferentialTest, RandomTreesMatchOracle) {
   }
   // The acceptance bar for this harness: >= 1000 clean comparisons.
   EXPECT_GE(comparisons, 1200);
+}
+
+TEST(PlannerOracleDifferentialTest, RandomOrdersLimitsAndCompoundIndexes) {
+  FacadeCorpus corpus(300);
+  fusion::DataTamer unindexed;
+  corpus.Ingest(&unindexed, /*with_indexes=*/false);
+  fusion::DataTamer indexed;
+  corpus.Ingest(&indexed, /*with_indexes=*/true);
+  // Third configuration: the standard single-field set plus compound
+  // indexes the And-matcher can prefer (and order-covering prefixes).
+  fusion::DataTamer compound;
+  corpus.Ingest(&compound, /*with_indexes=*/true);
+  auto* compound_coll = compound.entity_collection();
+  ASSERT_TRUE(compound_coll->CreateIndex({"type", "name"}).ok());
+  ASSERT_TRUE(
+      compound_coll->CreateIndex({"type", "award_winning", "confidence"})
+          .ok());
+  ASSERT_TRUE(compound_coll->CreateIndex({"confidence", "instance_id"}).ok());
+
+  constexpr const char* kOrderPaths[] = {"confidence", "name", "instance_id",
+                                         "no_such_field"};
+  const fusion::DataTamer* tamers[] = {&unindexed, &indexed, &compound};
+  constexpr uint64_t kSeeds[] = {1717, 2828, 3939};
+  int64_t comparisons = 0;
+  for (int cfg = 0; cfg < 3; ++cfg) {
+    const Collection& coll = *tamers[cfg]->entity_collection();
+    Rng rng(kSeeds[cfg]);
+    PredicateGen gen(coll, &rng);
+    for (int trial = 0; trial < 250; ++trial) {
+      PredicatePtr pred = gen.Random(3);
+      std::string order_by;
+      bool desc = false;
+      if (rng.Bernoulli(0.66)) {
+        order_by = kOrderPaths[rng.Uniform(4)];
+        desc = rng.Bernoulli(0.5);
+      }
+      int64_t limit = -1;
+      switch (rng.Uniform(4)) {
+        case 0:
+          limit = -1;
+          break;
+        case 1:
+          limit = 0;
+          break;
+        case 2:
+          limit = static_cast<int64_t>(rng.Uniform(25));
+          break;
+        default:
+          limit = 100000;  // larger than any result set
+      }
+      std::vector<DocId> expected =
+          OracleOrdered(coll, pred, order_by, desc, limit);
+      for (int threads : {1, 4}) {
+        FindOptions opts;
+        opts.num_threads = threads;
+        opts.order_by = order_by;
+        opts.order_desc = desc;
+        opts.limit = limit;
+        auto got = Find(coll, pred, opts);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_EQ(*got, expected)
+            << "cfg=" << cfg << " threads=" << threads << " trial=" << trial
+            << " order_by=" << order_by << " desc=" << desc
+            << " limit=" << limit << "\npred: " << pred->ToString()
+            << "\nplan: " << ExplainFind(coll, pred, opts);
+        ++comparisons;
+      }
+    }
+  }
+  // The acceptance bar: >= 1000 randomized comparisons including
+  // order/limit/compound cases.
+  EXPECT_GE(comparisons, 1500);
 }
 
 }  // namespace

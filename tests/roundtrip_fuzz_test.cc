@@ -237,26 +237,62 @@ TEST_P(PlannerOracleFuzz, IndexedExecutionMatchesScanOracle) {
     }
     if (rng.Bernoulli(0.7)) ASSERT_TRUE(coll.CreateIndex("a").ok());
     if (rng.Bernoulli(0.5)) ASSERT_TRUE(coll.CreateIndex("c").ok());
+    // Compound configurations exercise the And matcher and
+    // order-covering prefixes against the same oracle.
+    if (rng.Bernoulli(0.4)) ASSERT_TRUE(coll.CreateIndex({"a", "b"}).ok());
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(coll.CreateIndex({"c", "a", "b"}).ok());
+    }
     query::InvertedIndex text_idx("text");
     const bool with_text = rng.Bernoulli(0.7);
     if (with_text) text_idx.Build(coll);
 
     for (int trial = 0; trial < 25; ++trial) {
       query::PredicatePtr pred = planner_fuzz::RandomPredicate(&rng, 3);
+      std::string order_by;
+      bool desc = false;
+      if (rng.Bernoulli(0.5)) {
+        static const char* kOrderPaths[] = {"a", "b", "c", "missing"};
+        order_by = kOrderPaths[rng.Uniform(4)];
+        desc = rng.Bernoulli(0.5);
+      }
+      const int64_t limit =
+          rng.Bernoulli(0.5) ? -1 : static_cast<int64_t>(rng.Uniform(30));
       std::vector<storage::DocId> expected;
       coll.ForEach([&](storage::DocId id, const DocValue& doc) {
         if (pred->Matches(doc)) expected.push_back(id);
       });
+      if (!order_by.empty()) {
+        auto key_of = [&](storage::DocId id) {
+          const DocValue* v = coll.Get(id)->FindPath(order_by);
+          return v == nullptr ? storage::IndexKey()
+                              : storage::IndexKey::FromValue(*v);
+        };
+        std::sort(expected.begin(), expected.end(),
+                  [&](storage::DocId x, storage::DocId y) {
+                    storage::IndexKey kx = key_of(x), ky = key_of(y);
+                    if (kx < ky) return !desc;
+                    if (ky < kx) return desc;
+                    return x < y;
+                  });
+      }
+      if (limit >= 0 && static_cast<int64_t>(expected.size()) > limit) {
+        expected.resize(static_cast<size_t>(limit));
+      }
       for (int threads : {1, 4}) {
         query::FindOptions opts;
         opts.num_threads = threads;
+        opts.order_by = order_by;
+        opts.order_desc = desc;
+        opts.limit = limit;
         if (with_text) opts.text_index = &text_idx;
         auto got = query::Find(coll, pred, opts);
         ASSERT_TRUE(got.ok()) << got.status().ToString();
         ASSERT_EQ(*got, expected)
             << "seed=" << GetParam() << " round=" << round
             << " trial=" << trial << " threads=" << threads
-            << "\npred: " << pred->ToString()
+            << " order_by=" << order_by << " desc=" << desc
+            << " limit=" << limit << "\npred: " << pred->ToString()
             << "\nplan: " << query::ExplainFind(coll, pred, opts);
       }
     }
