@@ -255,6 +255,14 @@ Result<std::vector<storage::DocId>> DataTamer::Find(
   return query::Find(*coll, pred, ResolveFindOptions(collection, opts));
 }
 
+Result<query::FindResult> DataTamer::FindPage(
+    const std::string& collection, const query::PredicatePtr& pred,
+    query::FindOptions opts) const {
+  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                      store_.GetCollection(collection));
+  return query::FindPage(*coll, pred, ResolveFindOptions(collection, opts));
+}
+
 Result<std::string> DataTamer::Explain(const std::string& collection,
                                        const query::PredicatePtr& pred,
                                        query::FindOptions opts) const {
@@ -431,18 +439,53 @@ Status DataTamer::LoadSnapshot(const std::string& path) {
   // over the loaded fragments.
   fragment_index_ = query::InvertedIndex("text");
   fragments_indexed_ = 0;
+  fragment_index_epoch_ = 0;
+  fragment_index_next_id_ = 0;
   return Status::OK();
 }
 
 void DataTamer::RefreshFragmentIndex() const {
-  if (fragments_indexed_ != instance_->count()) {
-    // Rebuild from scratch: simple and correct under updates/removes;
-    // incremental maintenance is an optimization the demo scale does
-    // not need.
+  // Staleness is judged by the collection's mutation epoch, not the
+  // doc count: count-neutral churn (remove one + append one) and
+  // in-place updates must invalidate too.
+  const uint64_t epoch = instance_->mutation_epoch();
+  if (epoch == fragment_index_epoch_) return;
+  const int64_t total = instance_->count();
+  const uint64_t delta = epoch - fragment_index_epoch_;
+  // The common case is pure append (fragments only ever arrive
+  // through IngestTextFragment, with monotonically growing ids):
+  // exactly one mutation per fresh doc past the watermark, and the
+  // pre-watermark population intact. Then the new fragments apply as
+  // Add deltas instead of rebuilding the whole index.
+  std::vector<std::pair<storage::DocId, const storage::DocValue*>> fresh;
+  auto cursor = instance_->ScanDocs();
+  if (fragment_index_next_id_ > 0) {
+    cursor.SeekAfter(fragment_index_next_id_ - 1);
+  }
+  storage::DocId id;
+  const storage::DocValue* doc;
+  while (cursor.Next(&id, &doc)) fresh.emplace_back(id, doc);
+  const bool pure_append =
+      delta == fresh.size() &&
+      fragments_indexed_ + static_cast<int64_t>(fresh.size()) == total;
+  if (pure_append) {
+    for (const auto& [fid, fdoc] : fresh) {
+      // Extract via the index's own field path, exactly as Build does.
+      const storage::DocValue* text =
+          fdoc->FindPath(fragment_index_.field_path());
+      if (text != nullptr && text->is_string()) {
+        fragment_index_.Add(fid, text->string_value());
+      }
+    }
+  } else {
+    // Removal, update or mixed churn: postings may reference dead or
+    // rewritten documents, so fall back to a full rebuild.
     fragment_index_ = query::InvertedIndex("text");
     (void)fragment_index_.Build(*instance_);
-    fragments_indexed_ = instance_->count();
   }
+  fragments_indexed_ = total;
+  fragment_index_epoch_ = epoch;
+  fragment_index_next_id_ = instance_->next_id();
 }
 
 std::vector<query::SearchHit> DataTamer::SearchFragments(

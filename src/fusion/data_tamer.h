@@ -158,6 +158,18 @@ class DataTamer {
                                            const query::PredicatePtr& pred,
                                            query::FindOptions opts = {}) const;
 
+  /// \brief Resumable page of `Find`: at most `opts.page_size` ids plus
+  /// the opaque token that continues the stream
+  /// (`FindResult::next_token`, empty when exhausted). Pass the token
+  /// back via `opts.resume_token` to fetch the next page; stitched
+  /// pages are byte-identical to the one-shot `Find`. Tokens are
+  /// rejected with `kInvalidArgument` when tampered with, when the
+  /// collection mutated since they were minted, or when the query
+  /// (predicate, order, limit, index set) no longer plans identically.
+  Result<query::FindResult> FindPage(const std::string& collection,
+                                     const query::PredicatePtr& pred,
+                                     query::FindOptions opts = {}) const;
+
   /// \brief The access path `Find` would take, rendered for humans
   /// (e.g. `IXSCAN { name == "Matilda" } est=12`). Pair with the
   /// `indexScans`/`collScans` counters in `Collection::Stats()` to see
@@ -225,8 +237,11 @@ class DataTamer {
   std::vector<dedup::DedupRecord> CollectRecords(
       const std::string& entity_type, const std::string& name) const;
 
-  /// Rebuilds the lazy fragment text index when fragments arrived (or
-  /// a snapshot replaced the store) since the last build.
+  /// Brings the lazy fragment text index up to date: fragments that
+  /// arrived since the last refresh are applied as Add deltas
+  /// (appends are the common case — ids grow monotonically), and only
+  /// removals (or a snapshot replacing the store) force a full
+  /// rebuild.
   void RefreshFragmentIndex() const;
 
   /// \brief The facade's one lazily-constructed worker pool (sized by
@@ -263,9 +278,14 @@ class DataTamer {
   std::unique_ptr<textparse::DomainParser> parser_;
   PipelineStats stats_;
   int64_t ingest_seq_ = 0;
-  // Lazily built full-text index over dt.instance (see SearchFragments).
+  // Lazily built full-text index over dt.instance (see SearchFragments
+  // and RefreshFragmentIndex): the doc count and mutation epoch it
+  // reflects plus the id watermark separating indexed fragments from
+  // append deltas.
   mutable query::InvertedIndex fragment_index_{"text"};
   mutable int64_t fragments_indexed_ = 0;
+  mutable uint64_t fragment_index_epoch_ = 0;
+  mutable storage::DocId fragment_index_next_id_ = 0;
   // One pool for every parallel scan/snapshot this facade runs (see
   // WorkerPool); constructed on first use, never per operation. The
   // mutex guards the lazy init against concurrent const queries.

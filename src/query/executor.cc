@@ -23,17 +23,36 @@ Status DrainCursor(Cursor* cursor, ExecStats* stats,
   return Status::OK();
 }
 
+// ---- checkpoint helpers ------------------------------------------------
+
+DocValue MakeCheckpoint(const char* tag, std::vector<DocValue> fields) {
+  DocValue out = DocValue::Array();
+  out.Push(DocValue::Str(tag));
+  for (DocValue& f : fields) out.Push(std::move(f));
+  return out;
+}
+
+bool CheckpointHasTag(const DocValue& ckpt, const char* tag) {
+  if (!ckpt.is_array() || ckpt.array_items().empty()) return false;
+  const DocValue& head = ckpt.array_items().front();
+  return head.is_string() && head.string_value() == tag;
+}
+
+const DocValue* CheckpointField(const DocValue& ckpt, size_t i) {
+  if (!ckpt.is_array() || ckpt.array_items().size() <= i + 1) return nullptr;
+  return &ckpt.array_items()[i + 1];
+}
+
 // ---- IxScanCursor ------------------------------------------------------
 
 namespace {
 
-/// Equality on the first `n` key components (clamped to the key width).
-bool SamePrefix(const CompositeKey& a, const CompositeKey& b, size_t n) {
-  n = std::min({n, a.width(), b.width()});
-  for (size_t i = 0; i < n; ++i) {
-    if (!(a.part(i) == b.part(i))) return false;
-  }
-  return true;
+/// First `n` components of `key` as their own key.
+CompositeKey TruncateKey(const CompositeKey& key, size_t n) {
+  n = std::min(n, key.width());
+  std::vector<IndexKey> parts(key.parts().begin(),
+                              key.parts().begin() + static_cast<long>(n));
+  return CompositeKey(std::move(parts));
 }
 
 /// The (order key, id) comparison every ordering operator shares:
@@ -61,6 +80,19 @@ IxScanCursor::IxScanCursor(storage::SecondaryIndex::Scan scan,
                            size_t run_prefix_len, ExecStats* stats)
     : scan_(scan), run_prefix_len_(run_prefix_len), stats_(stats) {}
 
+IxScanCursor::IxScanCursor(storage::SecondaryIndex::Scan scan,
+                           size_t run_prefix_len, ExecStats* stats,
+                           const CompositeKey& resume_prefix,
+                           DocId resume_id)
+    : scan_(scan),
+      run_prefix_len_(run_prefix_len),
+      stats_(stats),
+      run_prefix_key_(resume_prefix),
+      emitted_(true),
+      last_id_(resume_id) {
+  scan_.SeekAfter(resume_prefix, resume_id);
+}
+
 bool IxScanCursor::FillRun() {
   run_.clear();
   run_at_ = 0;
@@ -77,7 +109,7 @@ bool IxScanCursor::FillRun() {
   pending_valid_ = false;
   while (scan_.Next(&key, &id)) {
     if (stats_ != nullptr) ++stats_->index_entries_examined;
-    if (!SamePrefix(run_key, *key, run_prefix_len_)) {
+    if (!run_key.PrefixEquals(*key, run_prefix_len_)) {
       // First entry of the next run: park it for the next fill.
       pending_key_ = *key;
       pending_id_ = id;
@@ -86,6 +118,7 @@ bool IxScanCursor::FillRun() {
     }
     run_.push_back(id);
   }
+  run_prefix_key_ = TruncateKey(run_key, run_prefix_len_);
   // Ids inside a run tie on every component that orders the output, so
   // the contract says ascending id.
   std::sort(run_.begin(), run_.end());
@@ -97,33 +130,60 @@ bool IxScanCursor::Next(DocId* id) {
     if (!FillRun()) return false;
   }
   *id = run_[run_at_++];
+  emitted_ = true;
+  last_id_ = *id;
   return true;
+}
+
+DocValue IxScanCursor::SaveCheckpoint() const {
+  if (!emitted_) {
+    return MakeCheckpoint("IX", {DocValue::Null(), DocValue::Int(0)});
+  }
+  DocValue prefix = DocValue::Array();
+  for (const IndexKey& part : run_prefix_key_.parts()) {
+    prefix.Push(part.ToDocValue());
+  }
+  return MakeCheckpoint(
+      "IX", {std::move(prefix), DocValue::Int(static_cast<int64_t>(last_id_))});
 }
 
 // ---- CollScanCursor ----------------------------------------------------
 
 CollScanCursor::CollScanCursor(const Collection& coll, PredicatePtr pred,
-                               ExecStats* stats)
-    : docs_(coll.ScanDocs()), pred_(std::move(pred)), stats_(stats) {}
+                               ExecStats* stats, DocId after_id)
+    : docs_(coll.ScanDocs()),
+      pred_(std::move(pred)),
+      stats_(stats),
+      last_id_(after_id) {
+  if (after_id > 0) docs_.SeekAfter(after_id);
+}
 
 bool CollScanCursor::Next(DocId* id) {
   const DocValue* doc;
   while (docs_.Next(id, &doc)) {
     if (stats_ != nullptr) ++stats_->docs_examined;
-    if (pred_ == nullptr || pred_->Matches(*doc)) return true;
+    if (pred_ == nullptr || pred_->Matches(*doc)) {
+      last_id_ = *id;
+      return true;
+    }
   }
   return false;
+}
+
+DocValue CollScanCursor::SaveCheckpoint() const {
+  return MakeCheckpoint("CS",
+                        {DocValue::Int(static_cast<int64_t>(last_id_))});
 }
 
 Result<CursorPtr> CollScanCursor::Parallel(const Collection& coll,
                                            const PredicatePtr& pred,
                                            int num_threads, ThreadPool* pool,
-                                           ExecStats* stats) {
+                                           ExecStats* stats, DocId after_id) {
   // The chunked loop needs random access; stage (id, doc) pointers.
   std::vector<std::pair<DocId, const DocValue*>> docs;
   docs.reserve(static_cast<size_t>(coll.count()));
   coll.ForEach([&](DocId id, const DocValue& doc) {
-    docs.emplace_back(id, &doc);
+    if (id > after_id) docs.emplace_back(id, &doc);
   });
   if (stats != nullptr) {
     stats->docs_examined += static_cast<int64_t>(docs.size());
@@ -152,7 +212,10 @@ Result<CursorPtr> CollScanCursor::Parallel(const Collection& coll,
   for (const auto& part : parts) {
     ids.insert(ids.end(), part.begin(), part.end());
   }
-  return CursorPtr(std::make_unique<VectorCursor>(std::move(ids)));
+  // Tagged "CS" so serial and parallel executions mint interchangeable
+  // resume positions.
+  return CursorPtr(
+      std::make_unique<ReplayCursor>(std::move(ids), "CS", after_id));
 }
 
 // ---- FilterCursor ------------------------------------------------------
@@ -176,20 +239,48 @@ bool FilterCursor::Next(DocId* id) {
 
 // ---- UnionCursor -------------------------------------------------------
 
-bool UnionCursor::Next(DocId* id) {
-  if (!merged_) {
-    merged_ = true;
-    for (const CursorPtr& child : children_) {
-      DocId cid;
-      while (child->Next(&cid)) ids_.push_back(cid);
-      if (!child->status().ok()) return false;
-    }
-    std::sort(ids_.begin(), ids_.end());
-    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+UnionCursor::UnionCursor(std::vector<CursorPtr> children, DocId after_id)
+    : children_(std::move(children)),
+      heads_(children_.size(), 0),
+      head_valid_(children_.size(), false),
+      emitted_(after_id > 0),
+      last_id_(after_id) {}
+
+void UnionCursor::Refill(size_t c) {
+  DocId id;
+  // Children emit strictly ascending ids, so one pull suffices past
+  // the priming phase; on resume the watermark drop loops.
+  while (children_[c]->Next(&id)) {
+    if (emitted_ && id <= last_id_) continue;  // consumed before resume
+    heads_[c] = id;
+    head_valid_[c] = true;
+    return;
   }
-  if (at_ >= ids_.size()) return false;
-  *id = ids_[at_++];
-  return true;
+  head_valid_[c] = false;
+  if (!children_[c]->status().ok()) failed_ = true;
+}
+
+bool UnionCursor::Next(DocId* id) {
+  if (!primed_) {
+    primed_ = true;
+    for (size_t c = 0; c < children_.size(); ++c) Refill(c);
+  }
+  while (!failed_) {
+    size_t best = children_.size();
+    for (size_t c = 0; c < children_.size(); ++c) {
+      if (!head_valid_[c]) continue;
+      if (best == children_.size() || heads_[c] < heads_[best]) best = c;
+    }
+    if (best == children_.size()) return false;  // all dry
+    DocId v = heads_[best];
+    Refill(best);
+    if (emitted_ && v == last_id_) continue;  // duplicate across branches
+    emitted_ = true;
+    last_id_ = v;
+    *id = v;
+    return true;
+  }
+  return false;
 }
 
 Status UnionCursor::status() const {
@@ -199,16 +290,95 @@ Status UnionCursor::status() const {
   return Status::OK();
 }
 
+DocValue UnionCursor::SaveCheckpoint() const {
+  return MakeCheckpoint("U", {DocValue::Int(static_cast<int64_t>(last_id_))});
+}
+
+// ---- MergeUnionCursor --------------------------------------------------
+
+MergeUnionCursor::MergeUnionCursor(std::vector<MergeBranch> branches,
+                                   bool descending)
+    : branches_(std::move(branches)),
+      heads_(branches_.size()),
+      descending_(descending) {}
+
+MergeUnionCursor::MergeUnionCursor(std::vector<MergeBranch> branches,
+                                   bool descending, IndexKey resume_key,
+                                   DocId resume_id)
+    : branches_(std::move(branches)),
+      heads_(branches_.size()),
+      descending_(descending),
+      emitted_(true),
+      last_key_(std::move(resume_key)),
+      last_id_(resume_id) {}
+
+void MergeUnionCursor::Refill(size_t b) {
+  DocId id;
+  if (branches_[b].cursor->Next(&id)) {
+    heads_[b].key = branches_[b].scan->RunKeyPart(branches_[b].order_component);
+    heads_[b].id = id;
+    heads_[b].valid = true;
+  } else {
+    heads_[b].valid = false;
+    if (!branches_[b].cursor->status().ok()) failed_ = true;
+  }
+}
+
+bool MergeUnionCursor::Next(DocId* id) {
+  if (!primed_) {
+    primed_ = true;
+    for (size_t b = 0; b < branches_.size(); ++b) Refill(b);
+  }
+  const OrderBetter better{descending_};
+  while (!failed_) {
+    size_t best = branches_.size();
+    for (size_t b = 0; b < branches_.size(); ++b) {
+      if (!heads_[b].valid) continue;
+      if (best == branches_.size() ||
+          better({heads_[b].key, heads_[b].id},
+                 {heads_[best].key, heads_[best].id})) {
+        best = b;
+      }
+    }
+    if (best == branches_.size()) return false;  // all branches dry
+    Head head = heads_[best];
+    Refill(best);
+    // Equal ids across branches carry equal keys (the key is a
+    // function of the document), so duplicates surface back to back.
+    if (emitted_ && head.id == last_id_ && head.key == last_key_) continue;
+    emitted_ = true;
+    last_key_ = head.key;
+    last_id_ = head.id;
+    *id = head.id;
+    return true;
+  }
+  return false;
+}
+
+Status MergeUnionCursor::status() const {
+  for (const MergeBranch& b : branches_) {
+    DT_RETURN_NOT_OK(b.cursor->status());
+  }
+  return Status::OK();
+}
+
+DocValue MergeUnionCursor::SaveCheckpoint() const {
+  return MakeCheckpoint(
+      "MU", {DocValue::Bool(emitted_), last_key_.ToDocValue(),
+             DocValue::Int(static_cast<int64_t>(last_id_))});
+}
+
 // ---- SortCursor --------------------------------------------------------
 
 SortCursor::SortCursor(const Collection& coll, CursorPtr child,
                        std::string order_by, bool descending,
-                       ExecStats* stats)
+                       ExecStats* stats, int64_t skip)
     : coll_(coll),
       child_(std::move(child)),
       order_by_(std::move(order_by)),
       descending_(descending),
-      stats_(stats) {}
+      stats_(stats),
+      skip_(skip) {}
 
 void SortCursor::Materialize() {
   std::vector<std::pair<IndexKey, DocId>> keyed;
@@ -235,23 +405,32 @@ bool SortCursor::Next(DocId* id) {
     sorted_ = true;
     Materialize();
     if (!child_->status().ok()) return false;
+    at_ = std::min(static_cast<size_t>(skip_), ids_.size());
   }
   if (at_ >= ids_.size()) return false;
   *id = ids_[at_++];
   return true;
 }
 
+DocValue SortCursor::SaveCheckpoint() const {
+  // The count of emitted ids: the sort's total order is deterministic,
+  // so re-materializing and skipping reproduces the stream exactly.
+  const int64_t emitted = sorted_ ? static_cast<int64_t>(at_) : skip_;
+  return MakeCheckpoint("SORT", {DocValue::Int(emitted)});
+}
+
 // ---- TopKCursor --------------------------------------------------------
 
 TopKCursor::TopKCursor(const Collection& coll, CursorPtr child,
                        std::string order_by, bool descending, int64_t k,
-                       ExecStats* stats)
+                       ExecStats* stats, int64_t skip)
     : coll_(coll),
       child_(std::move(child)),
       order_by_(std::move(order_by)),
       descending_(descending),
       k_(k),
-      stats_(stats) {}
+      stats_(stats),
+      skip_(skip) {}
 
 void TopKCursor::Materialize() {
   BoundedTopK<std::pair<IndexKey, DocId>, OrderBetter> top(
@@ -271,10 +450,16 @@ bool TopKCursor::Next(DocId* id) {
     selected_ = true;
     Materialize();
     if (!child_->status().ok()) return false;
+    at_ = std::min(static_cast<size_t>(skip_), ids_.size());
   }
   if (at_ >= ids_.size()) return false;
   *id = ids_[at_++];
   return true;
+}
+
+DocValue TopKCursor::SaveCheckpoint() const {
+  const int64_t emitted = selected_ ? static_cast<int64_t>(at_) : skip_;
+  return MakeCheckpoint("TOPK", {DocValue::Int(emitted)});
 }
 
 }  // namespace dt::query

@@ -5,24 +5,38 @@
 /// A plan executes as a tree of `Cursor`s, each pulling document ids
 /// from its child on demand:
 ///
-///   IxScanCursor    ordered (key, id) stream off a `SecondaryIndex`
-///                   scan, run-buffered so ties come back in ascending
-///                   id order.
-///   CollScanCursor  full collection scan with the predicate applied
-///                   inline (serial pull; the parallel form
-///                   materializes once on the thread pool and replays).
-///   FilterCursor    residual predicate re-check on fetched documents.
-///   UnionCursor     deduplicated ascending-id merge of branch cursors.
-///   SortCursor      materialize + sort by (order key, id).
-///   LimitCursor     stop pulling after k ids.
-///   TopKCursor      fused sort+limit: bounded k-element heap instead
-///                   of sorting everything.
+///   IxScanCursor       ordered (key, id) stream off a `SecondaryIndex`
+///                      scan, run-buffered so ties come back in
+///                      ascending id order.
+///   CollScanCursor     full collection scan with the predicate applied
+///                      inline (serial pull; the parallel form
+///                      materializes once on the thread pool and
+///                      replays).
+///   FilterCursor       residual predicate re-check on fetched docs.
+///   UnionCursor        deduplicated ascending-id streaming merge of
+///                      branch cursors.
+///   MergeUnionCursor   ordered k-way merge of order-covering index
+///                      branches: (order key, id-asc) heap order, so an
+///                      `Or` + `order_by` executes SORT-free.
+///   SortCursor         materialize + sort by (order key, id).
+///   LimitCursor        stop pulling after k ids.
+///   TopKCursor         fused sort+limit: bounded k-element heap
+///                      instead of sorting everything.
 ///
 /// Pull composition is what makes sort/limit push-down work: a
 /// `LimitCursor` over an order-covering `IxScanCursor` stops the index
-/// walk after ~k entries instead of scanning, materializing and
+/// walk after ~limit entries instead of scanning, materializing and
 /// sorting the whole result set. `ExecStats` counts what an execution
 /// actually touched, which the push-down tests assert on.
+///
+/// Every operator is **checkpointable**: `SaveCheckpoint()` captures
+/// the position strictly after the last id the operator produced as a
+/// small tagged `DocValue`, and each cursor offers a resume
+/// construction path that reopens at a saved position (streaming
+/// operators seek — `SecondaryIndex::Scan::SeekAfter`,
+/// `DocCursor::SeekAfter`, id watermarks; blocking operators
+/// re-materialize and skip). The planner serializes the checkpoint
+/// tree into the opaque page token behind `FindPage`.
 
 #pragma once
 
@@ -45,7 +59,8 @@ namespace dt::query {
 /// Counters filled in during one `Find` execution — what the chosen
 /// plan actually touched (the observable half of push-down: an indexed
 /// order-by + limit-10 query examines ~10 index entries, not the
-/// collection).
+/// collection; resuming page 2 examines ~page_size entries, not the
+/// consumed offset).
 struct ExecStats {
   /// Index entries pulled from secondary-index scans.
   int64_t index_entries_examined = 0;
@@ -67,6 +82,13 @@ class Cursor {
 
   /// First error the cursor (or a child) hit; OK while healthy.
   virtual Status status() const { return Status::OK(); }
+
+  /// \brief This operator's resume position as a tagged `DocValue`
+  /// array: reopening at it continues the stream strictly after the
+  /// last id `Next` returned, byte-identically to never having
+  /// stopped. Valid only against the same plan over an unmutated
+  /// collection (the page token layer enforces both).
+  virtual storage::DocValue SaveCheckpoint() const = 0;
 };
 
 using CursorPtr = std::unique_ptr<Cursor>;
@@ -75,6 +97,20 @@ using CursorPtr = std::unique_ptr<Cursor>;
 /// counting returned ids into `stats` (may be null).
 Status DrainCursor(Cursor* cursor, ExecStats* stats,
                    std::vector<storage::DocId>* out);
+
+// ---- checkpoint helpers (shared by executor.cc and planner.cc) ----
+
+/// Builds a tagged checkpoint array: [tag, fields...].
+storage::DocValue MakeCheckpoint(const char* tag,
+                                 std::vector<storage::DocValue> fields);
+
+/// True when `ckpt` is an array whose first element is the string
+/// `tag`.
+bool CheckpointHasTag(const storage::DocValue& ckpt, const char* tag);
+
+/// Field `i` (0 = the element after the tag), or nullptr.
+const storage::DocValue* CheckpointField(const storage::DocValue& ckpt,
+                                         size_t i);
 
 /// \brief Ordered secondary-index scan.
 ///
@@ -90,12 +126,33 @@ Status DrainCursor(Cursor* cursor, ExecStats* stats,
 ///   run_prefix_len == equality components + 1: runs group by the
 ///   order-by component, so ids stream out ordered by that component
 ///   with ties ascending — the push-down contract.
+///
+/// Checkpoint: the current run's key prefix plus the last emitted id.
+/// Resume seeks the underlying scan to the start of that run
+/// (`Scan::SeekAfter`), which suppresses the already-consumed ids, so
+/// a resumed scan re-examines at most one run — O(page) for ordered
+/// queries — instead of re-walking the consumed offset.
 class IxScanCursor : public Cursor {
  public:
   IxScanCursor(storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
                ExecStats* stats);
 
+  /// Resume form: reopens strictly after the position a prior
+  /// `SaveCheckpoint` captured (`resume_prefix` must have
+  /// `run_prefix_len` components drawn from this scan's bounds).
+  IxScanCursor(storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
+               ExecStats* stats, const storage::CompositeKey& resume_prefix,
+               storage::DocId resume_id);
+
   bool Next(storage::DocId* id) override;
+  storage::DocValue SaveCheckpoint() const override;
+
+  /// Key component `component` of the run that produced the last
+  /// emitted id (`component < run_prefix_len`). How `MergeUnionCursor`
+  /// reads branch order keys without fetching documents.
+  const storage::IndexKey& RunKeyPart(size_t component) const {
+    return run_prefix_key_.part(component);
+  }
 
  private:
   /// Refills `run_` with the next run; false when the scan is dry.
@@ -109,6 +166,11 @@ class IxScanCursor : public Cursor {
   storage::DocId pending_id_ = 0;
   std::vector<storage::DocId> run_;
   size_t run_at_ = 0;
+  // Checkpoint state: the current run's `run_prefix_len_`-component
+  // key prefix and the last id handed out.
+  storage::CompositeKey run_prefix_key_;
+  bool emitted_ = false;
+  storage::DocId last_id_ = 0;
 };
 
 /// \brief Full collection scan with the predicate applied inline.
@@ -116,49 +178,72 @@ class IxScanCursor : public Cursor {
 /// The serial form pulls documents lazily (a downstream limit stops
 /// the scan early); `Parallel` chunks the scan over a thread pool,
 /// materializes the thread-count-independent result once and replays
-/// it.
+/// it. Both checkpoint by last-emitted-id watermark (tag "CS"), so a
+/// token minted by either form resumes under the other with identical
+/// output: the serial resume seeks `DocCursor::SeekAfter(id)`, the
+/// parallel resume drops ids at or below the watermark while
+/// materializing.
 class CollScanCursor : public Cursor {
  public:
   /// Serial pull over `coll`; `pred` may be null (match everything).
+  /// `after_id` > 0 resumes strictly after that document id.
   CollScanCursor(const storage::Collection& coll, PredicatePtr pred,
-                 ExecStats* stats);
+                 ExecStats* stats, storage::DocId after_id = 0);
 
-  /// Parallel scan: materializes matching ids on `pool` (or a
-  /// transient pool of `num_threads` when `pool` is null) and returns
-  /// a cursor replaying them. Output is identical to the serial form
-  /// for every thread count.
+  /// Parallel scan: materializes matching ids > `after_id` on `pool`
+  /// (or a transient pool of `num_threads` when `pool` is null) and
+  /// returns a cursor replaying them. Output is identical to the
+  /// serial form for every thread count.
   static Result<CursorPtr> Parallel(const storage::Collection& coll,
                                     const PredicatePtr& pred, int num_threads,
-                                    ThreadPool* pool, ExecStats* stats);
+                                    ThreadPool* pool, ExecStats* stats,
+                                    storage::DocId after_id = 0);
 
   bool Next(storage::DocId* id) override;
+  storage::DocValue SaveCheckpoint() const override;
 
  private:
   storage::Collection::DocCursor docs_;
   PredicatePtr pred_;
   ExecStats* stats_;
+  storage::DocId last_id_ = 0;
 };
 
-/// \brief Replays a pre-materialized id vector (parallel scans, text
-/// postings intersections).
-class VectorCursor : public Cursor {
+/// \brief Replays a pre-materialized ascending unique id vector
+/// (parallel scans, text postings intersections), checkpointing by id
+/// watermark under the caller's tag ("CS" for parallel collection
+/// scans so serial and parallel tokens interchange, "V" for text).
+class ReplayCursor : public Cursor {
  public:
-  explicit VectorCursor(std::vector<storage::DocId> ids)
-      : ids_(std::move(ids)) {}
+  ReplayCursor(std::vector<storage::DocId> ids, const char* tag,
+               storage::DocId after_id = 0)
+      : ids_(std::move(ids)), tag_(tag), last_id_(after_id) {
+    at_ = static_cast<size_t>(
+        std::upper_bound(ids_.begin(), ids_.end(), after_id) - ids_.begin());
+  }
 
   bool Next(storage::DocId* id) override {
     if (at_ >= ids_.size()) return false;
     *id = ids_[at_++];
+    last_id_ = *id;
     return true;
+  }
+
+  storage::DocValue SaveCheckpoint() const override {
+    return MakeCheckpoint(
+        tag_, {storage::DocValue::Int(static_cast<int64_t>(last_id_))});
   }
 
  private:
   std::vector<storage::DocId> ids_;
   size_t at_ = 0;
+  const char* tag_;
+  storage::DocId last_id_;
 };
 
 /// \brief Residual filter: re-checks the full predicate on each
-/// document the child produces.
+/// document the child produces. Positionally transparent — the
+/// checkpoint is the child's.
 class FilterCursor : public Cursor {
  public:
   FilterCursor(const storage::Collection& coll, CursorPtr child,
@@ -166,6 +251,9 @@ class FilterCursor : public Cursor {
 
   bool Next(storage::DocId* id) override;
   Status status() const override { return child_->status(); }
+  storage::DocValue SaveCheckpoint() const override {
+    return child_->SaveCheckpoint();
+  }
 
  private:
   const storage::Collection& coll_;
@@ -174,34 +262,103 @@ class FilterCursor : public Cursor {
   ExecStats* stats_;
 };
 
-/// \brief Deduplicated ascending-id union of branch cursors
-/// (materializes the branches on first pull).
+/// \brief Deduplicated ascending-id streaming merge of branch cursors.
+///
+/// Every unordered access cursor emits strictly ascending ids, so the
+/// union is a k-way min-merge with adjacent-duplicate suppression — no
+/// materialization, and a downstream limit stops the branch scans
+/// early. Checkpoint: the last emitted id; resume reopens the branches
+/// and discards ids at or below the watermark.
 class UnionCursor : public Cursor {
  public:
-  explicit UnionCursor(std::vector<CursorPtr> children)
-      : children_(std::move(children)) {}
+  explicit UnionCursor(std::vector<CursorPtr> children,
+                       storage::DocId after_id = 0);
 
   bool Next(storage::DocId* id) override;
   Status status() const override;
+  storage::DocValue SaveCheckpoint() const override;
 
  private:
+  /// Loads the next id > the watermark from child `c` into `heads_`.
+  void Refill(size_t c);
+
   std::vector<CursorPtr> children_;
-  bool merged_ = false;
-  std::vector<storage::DocId> ids_;
-  size_t at_ = 0;
+  std::vector<storage::DocId> heads_;
+  std::vector<bool> head_valid_;
+  bool primed_ = false;
+  bool failed_ = false;
+  bool emitted_ = false;
+  storage::DocId last_id_ = 0;
+};
+
+/// \brief One branch of an ordered union merge: the (possibly
+/// filter-wrapped) branch cursor plus the `IxScanCursor` it pulls
+/// from, which supplies each emitted id's order key straight off the
+/// index run — no document fetch.
+struct MergeBranch {
+  CursorPtr cursor;
+  /// Borrowed from inside `cursor`; outlives the merge with it.
+  IxScanCursor* scan = nullptr;
+  /// Index key component holding the order-by value for this branch.
+  size_t order_component = 0;
+};
+
+/// \brief Ordered k-way merge of order-covering index branches — the
+/// SORT-free execution of `Or` + `order_by`: each branch streams in
+/// (order key, id-asc) order, the merge emits the minimum (maximum
+/// when descending) across branches with ascending-id tie break and
+/// duplicate suppression. Checkpoint: the last emitted (order key,
+/// id); resume positions each branch strictly after it (the planner
+/// derives per-branch seek targets), so page 2 of an ordered `Or`
+/// costs O(page), not O(offset).
+class MergeUnionCursor : public Cursor {
+ public:
+  MergeUnionCursor(std::vector<MergeBranch> branches, bool descending);
+
+  /// Resume form: branches must already be positioned strictly after
+  /// (`resume_key`, `resume_id`) in merge order.
+  MergeUnionCursor(std::vector<MergeBranch> branches, bool descending,
+                   storage::IndexKey resume_key, storage::DocId resume_id);
+
+  bool Next(storage::DocId* id) override;
+  Status status() const override;
+  storage::DocValue SaveCheckpoint() const override;
+
+ private:
+  struct Head {
+    storage::IndexKey key;
+    storage::DocId id = 0;
+    bool valid = false;
+  };
+
+  void Refill(size_t b);
+
+  std::vector<MergeBranch> branches_;
+  std::vector<Head> heads_;
+  bool descending_;
+  bool primed_ = false;
+  bool failed_ = false;
+  bool emitted_ = false;
+  storage::IndexKey last_key_;
+  storage::DocId last_id_ = 0;
 };
 
 /// \brief Materialize-then-sort by (order key, id): the fallback when
 /// no index covers the requested order. Missing fields sort as the
 /// null key (first ascending); `descending` flips the key comparison
-/// only — ties stay ascending by id.
+/// only — ties stay ascending by id. Checkpoint: the count of emitted
+/// ids; resume re-materializes (blocking operators have no cheaper
+/// position) and skips — the deterministic total order makes the
+/// stitched pages byte-identical.
 class SortCursor : public Cursor {
  public:
   SortCursor(const storage::Collection& coll, CursorPtr child,
-             std::string order_by, bool descending, ExecStats* stats);
+             std::string order_by, bool descending, ExecStats* stats,
+             int64_t skip = 0);
 
   bool Next(storage::DocId* id) override;
   Status status() const override { return child_->status(); }
+  storage::DocValue SaveCheckpoint() const override;
 
  private:
   void Materialize();
@@ -211,13 +368,16 @@ class SortCursor : public Cursor {
   std::string order_by_;
   bool descending_;
   ExecStats* stats_;
+  int64_t skip_;
   bool sorted_ = false;
   std::vector<storage::DocId> ids_;
   size_t at_ = 0;
 };
 
 /// \brief Stops pulling from the child after `limit` ids — and, pulled
-/// lazily itself, stops the upstream scan with it.
+/// lazily itself, stops the upstream scan with it. Checkpoint: the
+/// remaining budget plus the child's checkpoint, so a limit spans
+/// pages.
 class LimitCursor : public Cursor {
  public:
   LimitCursor(CursorPtr child, int64_t limit)
@@ -233,6 +393,10 @@ class LimitCursor : public Cursor {
     return true;
   }
   Status status() const override { return child_->status(); }
+  storage::DocValue SaveCheckpoint() const override {
+    return MakeCheckpoint("LIM", {storage::DocValue::Int(remaining_),
+                                  child_->SaveCheckpoint()});
+  }
 
  private:
   CursorPtr child_;
@@ -274,16 +438,17 @@ class BoundedTopK {
 };
 
 /// \brief Fused sort+limit: a bounded k-element heap over the child's
-/// (order key, id) stream, then the k best in order. Same ordering
-/// contract as `SortCursor`.
+/// (order key, id) stream, then the k best in order. Same ordering and
+/// checkpoint contract as `SortCursor` (resume re-selects and skips).
 class TopKCursor : public Cursor {
  public:
   TopKCursor(const storage::Collection& coll, CursorPtr child,
              std::string order_by, bool descending, int64_t k,
-             ExecStats* stats);
+             ExecStats* stats, int64_t skip = 0);
 
   bool Next(storage::DocId* id) override;
   Status status() const override { return child_->status(); }
+  storage::DocValue SaveCheckpoint() const override;
 
  private:
   void Materialize();
@@ -294,6 +459,7 @@ class TopKCursor : public Cursor {
   bool descending_;
   int64_t k_;
   ExecStats* stats_;
+  int64_t skip_;
   bool selected_ = false;
   std::vector<storage::DocId> ids_;
   size_t at_ = 0;

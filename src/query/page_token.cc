@@ -1,0 +1,70 @@
+#include "query/page_token.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "storage/codec.h"
+
+namespace dt::query {
+
+using storage::DocValue;
+
+namespace {
+
+/// Version salt: folded into the seal so tokens from a future format
+/// revision fail the checksum instead of misparsing.
+constexpr std::string_view kTokenSalt = "DTPT1";
+
+uint64_t Seal(std::string_view payload) {
+  return HashCombine(Fnv1a64(kTokenSalt), Fnv1a64(payload));
+}
+
+}  // namespace
+
+std::string EncodePageToken(uint64_t fingerprint, uint64_t epoch,
+                            const DocValue& checkpoint) {
+  DocValue payload = DocValue::Array();
+  payload.Push(DocValue::Int(static_cast<int64_t>(fingerprint)));
+  payload.Push(DocValue::Int(static_cast<int64_t>(epoch)));
+  payload.Push(checkpoint);
+  std::string bytes;
+  // Encoding an in-memory value cannot fail (no IO, bounded depth).
+  RethrowIfError(storage::EncodeDocValue(payload, &bytes));
+  uint64_t seal = Seal(bytes);
+  char tail[8];
+  for (int i = 0; i < 8; ++i) {
+    tail[i] = static_cast<char>((seal >> (8 * i)) & 0xff);
+  }
+  bytes.append(tail, 8);
+  return bytes;
+}
+
+Status DecodePageToken(std::string_view token, uint64_t* fingerprint,
+                       uint64_t* epoch, DocValue* checkpoint) {
+  const Status invalid =
+      Status::InvalidArgument("malformed resume token (truncated or tampered)");
+  if (token.size() < 9) return invalid;
+  std::string_view payload = token.substr(0, token.size() - 8);
+  uint64_t seal = 0;
+  for (int i = 0; i < 8; ++i) {
+    seal |= static_cast<uint64_t>(
+                static_cast<unsigned char>(token[payload.size() + i]))
+            << (8 * i);
+  }
+  if (seal != Seal(payload)) return invalid;
+  DocValue decoded;
+  if (!storage::DecodeDocValue(payload, &decoded).ok()) return invalid;
+  if (!decoded.is_array() || decoded.array_items().size() != 3) {
+    return invalid;
+  }
+  const DocValue& fp = decoded.array_items()[0];
+  const DocValue& ep = decoded.array_items()[1];
+  if (!fp.is_int() || !ep.is_int()) return invalid;
+  *fingerprint = static_cast<uint64_t>(fp.int_value());
+  *epoch = static_cast<uint64_t>(ep.int_value());
+  *checkpoint = decoded.array_items()[2];
+  return Status::OK();
+}
+
+}  // namespace dt::query

@@ -1,0 +1,38 @@
+/// \file page_token.h
+/// \brief Opaque page tokens for resumable query cursors.
+///
+/// A token seals three things: the **plan fingerprint** (predicate,
+/// chosen index bounds, order, limit — hashed from the planner's
+/// canonical rendering), the collection's **mutation epoch**, and the
+/// operator tree's **checkpoint** (executor.h). `FindPage` re-plans on
+/// resume and rejects the token with `kInvalidArgument` unless both
+/// the fingerprint and the epoch still match — a resumed query can
+/// therefore never silently skip or duplicate documents because an
+/// index appeared, the predicate changed, or the collection mutated
+/// between pages. The byte string is opaque to clients and sealed
+/// with a checksum: any truncation or byte flip is detected and
+/// rejected rather than decoded into a wrong position.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/docvalue.h"
+
+namespace dt::query {
+
+/// Seals (fingerprint, epoch, checkpoint) into an opaque token.
+std::string EncodePageToken(uint64_t fingerprint, uint64_t epoch,
+                            const storage::DocValue& checkpoint);
+
+/// Opens a token produced by `EncodePageToken`. Returns
+/// `kInvalidArgument` for malformed, truncated or tampered bytes; the
+/// caller still has to verify fingerprint and epoch against the
+/// freshly planned query.
+Status DecodePageToken(std::string_view token, uint64_t* fingerprint,
+                       uint64_t* epoch, storage::DocValue* checkpoint);
+
+}  // namespace dt::query

@@ -4,7 +4,9 @@
 #include <limits>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/thread_pool.h"
+#include "query/page_token.h"
 
 namespace dt::query {
 
@@ -22,6 +24,8 @@ const char* AccessPathName(AccessPath access) {
       return "TEXT";
     case AccessPath::kUnion:
       return "UNION";
+    case AccessPath::kMergeUnion:
+      return "MERGE_UNION";
     case AccessPath::kCollScan:
       return "COLLSCAN";
   }
@@ -225,6 +229,68 @@ QueryPlan PlanAccess(const Collection& coll, const PredicatePtr& pred,
       return PlanConjunction(coll, pred, pred->children(), /*is_and=*/true,
                              opts);
     case PredicateKind::kOr: {
+      // Ordered-merge attempt first: when an order is requested and
+      // every branch plans as an order-covering index scan, the union
+      // executes as a SORT-free k-way merge of the branch streams
+      // (MERGE_UNION) — under a limit the branch walks early-terminate
+      // like single-index sort push-down does. Two free pre-gates keep
+      // a doomed attempt from paying the O(hits) estimate counting
+      // twice (once here, once re-planning the unordered branches):
+      // only Eq/Range/And children can yield covering IXSCANs, and no
+      // index can cover an order path it does not even contain.
+      bool merge_conceivable =
+          !opts.order_by.empty() && !pred->children().empty();
+      if (merge_conceivable) {
+        for (const auto& child : pred->children()) {
+          if (child->kind() != PredicateKind::kEq &&
+              child->kind() != PredicateKind::kRange &&
+              child->kind() != PredicateKind::kAnd) {
+            merge_conceivable = false;
+            break;
+          }
+        }
+      }
+      if (merge_conceivable) {
+        bool order_indexed = false;
+        for (const SecondaryIndex* idx : coll.Indexes()) {
+          const std::vector<std::string>& paths = idx->field_paths();
+          if (std::find(paths.begin(), paths.end(), opts.order_by) !=
+              paths.end()) {
+            order_indexed = true;
+            break;
+          }
+        }
+        merge_conceivable = order_indexed;
+      }
+      if (merge_conceivable) {
+        QueryPlan merged;
+        merged.access = AccessPath::kMergeUnion;
+        merged.node = pred;
+        merged.order_covered = true;
+        bool all_covered = true;
+        for (const auto& child : pred->children()) {
+          QueryPlan branch = PlanAccess(coll, child, opts);
+          if ((branch.access != AccessPath::kIndexEq &&
+               branch.access != AccessPath::kIndexRange) ||
+              !branch.order_covered) {
+            all_covered = false;
+            break;
+          }
+          // Branches carry the order decoration so the executor opens
+          // them with order-grouped runs (and Explain annotates them).
+          branch.order_by = opts.order_by;
+          branch.order_desc = opts.order_desc;
+          merged.estimated_rows += branch.estimated_rows;
+          merged.branches.push_back(std::move(branch));
+        }
+        // Without a limit the merge must still visit every branch
+        // entry, so it only pays off when it beats the straight scan's
+        // cardinality; with a limit the early termination is the point.
+        if (all_covered &&
+            (opts.limit >= 0 || merged.estimated_rows < coll.count())) {
+          return merged;
+        }
+      }
       // Union only when every branch is index-routable on its own; one
       // non-routable branch means one full scan answers the whole Or.
       QueryPlan plan;
@@ -301,10 +367,108 @@ QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
 
 namespace {
 
+using storage::CompositeKey;
+using storage::IndexKey;
+
+const Status kBadCheckpoint = Status::InvalidArgument(
+    "resume token does not match this query's operator tree");
+
+/// Reads an integer checkpoint field.
+bool CkptInt(const DocValue& ckpt, size_t i, int64_t* out) {
+  const DocValue* f = CheckpointField(ckpt, i);
+  if (f == nullptr || !f->is_int()) return false;
+  *out = f->int_value();
+  return true;
+}
+
+/// Reads an id-watermark checkpoint of shape [tag, last_id].
+Result<DocId> CkptWatermark(const DocValue& ckpt, const char* tag) {
+  int64_t id;
+  if (!CheckpointHasTag(ckpt, tag) || !CkptInt(ckpt, 0, &id) || id < 0) {
+    return kBadCheckpoint;
+  }
+  return static_cast<DocId>(id);
+}
+
+/// The IXSCAN run grouping for `plan`: how many leading components
+/// define a run, whether the scan walks backwards, and which component
+/// carries the order key (for merge branches; index of the order path
+/// among the scanned components, or npos when no order applies).
+struct IxScanShape {
+  size_t run_len = 0;
+  bool scan_desc = false;
+  size_t order_component = std::string::npos;
+};
+
+IxScanShape ShapeOf(const QueryPlan& plan) {
+  IxScanShape shape;
+  const size_t m = plan.eq_values.size();
+  shape.run_len = m;
+  if (plan.order_covered && plan.index != nullptr &&
+      !plan.order_by.empty()) {
+    const std::vector<std::string>& paths = plan.index->field_paths();
+    // Runs group on the equality-bound components, plus the order-by
+    // component when it is the next one scanned — see IxScanCursor.
+    if (m < paths.size() && paths[m] == plan.order_by) {
+      shape.run_len = m + 1;
+      shape.scan_desc = plan.order_desc;
+      shape.order_component = m;
+    } else {
+      for (size_t i = 0; i < m && i < paths.size(); ++i) {
+        if (paths[i] == plan.order_by) shape.order_component = i;
+      }
+    }
+  }
+  return shape;
+}
+
+/// Builds an IXSCAN cursor for `plan`, optionally resumed at an "IX"
+/// checkpoint or an explicit (prefix, id) position.
+Result<std::unique_ptr<IxScanCursor>> BuildIxScan(
+    const QueryPlan& plan, const IxScanShape& shape, ExecStats* stats,
+    const DocValue* ckpt, const CompositeKey* seek_prefix = nullptr,
+    DocId seek_id = 0) {
+  const SecondaryIndex* idx = plan.index;
+  if (idx == nullptr) {
+    return Status::Internal("IXSCAN plan without an index");
+  }
+  SecondaryIndex::Scan scan = idx->ScanPrefix(
+      plan.eq_values, plan.has_range ? &plan.range_lo : nullptr,
+      plan.has_range ? &plan.range_hi : nullptr, shape.scan_desc);
+  if (seek_prefix != nullptr) {
+    return std::make_unique<IxScanCursor>(scan, shape.run_len, stats,
+                                          *seek_prefix, seek_id);
+  }
+  if (ckpt != nullptr) {
+    if (!CheckpointHasTag(*ckpt, "IX")) return kBadCheckpoint;
+    const DocValue* prefix = CheckpointField(*ckpt, 0);
+    int64_t id;
+    if (prefix == nullptr || !CkptInt(*ckpt, 1, &id) || id < 0) {
+      return kBadCheckpoint;
+    }
+    if (!prefix->is_null()) {  // null prefix = nothing emitted yet
+      if (!prefix->is_array() ||
+          prefix->array_items().size() != shape.run_len) {
+        return kBadCheckpoint;
+      }
+      std::vector<IndexKey> parts;
+      parts.reserve(shape.run_len);
+      for (const DocValue& part : prefix->array_items()) {
+        parts.push_back(IndexKey::FromValue(part));
+      }
+      return std::make_unique<IxScanCursor>(scan, shape.run_len, stats,
+                                            CompositeKey(std::move(parts)),
+                                            static_cast<DocId>(id));
+    }
+  }
+  return std::make_unique<IxScanCursor>(scan, shape.run_len, stats);
+}
+
 /// Postings intersection for a TEXT access: smallest list first, all
 /// lists sorted ascending by id (so the result is too).
 Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
-                                  const FindOptions& opts, ExecStats* stats) {
+                                  const FindOptions& opts, ExecStats* stats,
+                                  DocId after_id) {
   const Predicate& driver = *plan.driver;
   if (opts.text_index == nullptr) {
     return Status::Internal("TEXT plan without a text index");
@@ -318,7 +482,8 @@ Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
           static_cast<int64_t>(lists.back().size());
     }
     if (lists.back().empty()) {  // conjunction fails
-      return CursorPtr(std::make_unique<VectorCursor>(std::vector<DocId>{}));
+      return CursorPtr(std::make_unique<ReplayCursor>(std::vector<DocId>{},
+                                                      "V", after_id));
     }
   }
   std::sort(lists.begin(), lists.end(),
@@ -332,117 +497,364 @@ Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
                           lists[i].end(), std::back_inserter(next));
     ids.swap(next);
   }
-  return CursorPtr(std::make_unique<VectorCursor>(std::move(ids)));
+  return CursorPtr(
+      std::make_unique<ReplayCursor>(std::move(ids), "V", after_id));
 }
 
-/// Builds the access-path cursor for `plan` (no pipeline operators).
+/// Builds one MERGE_UNION branch positioned strictly after the merged
+/// stream's last emitted (order key, id) — the per-branch seek target
+/// depends on where the branch's order key lives:
+///
+///   order key on the component after the equality prefix: seek to the
+///   run (eq keys..., last_key) and suppress ids <= last_id in it;
+///
+///   order key equality-bound (the branch stream carries one constant
+///   key k_b): before last_key in scan direction -> the branch is
+///   exhausted; equal -> suppress ids <= last_id; after -> nothing of
+///   the branch was consumed, open fresh.
+Result<std::unique_ptr<IxScanCursor>> BuildResumedMergeBranch(
+    const QueryPlan& branch, const IxScanShape& shape, ExecStats* stats,
+    const IndexKey& last_key, DocId last_id) {
+  const size_t m = branch.eq_values.size();
+  std::vector<IndexKey> parts;
+  parts.reserve(shape.run_len);
+  for (const DocValue& v : branch.eq_values) {
+    parts.push_back(IndexKey::FromValue(v));
+  }
+  if (shape.run_len == m + 1) {
+    parts.push_back(last_key);
+    CompositeKey prefix(std::move(parts));
+    return BuildIxScan(branch, shape, stats, nullptr, &prefix, last_id);
+  }
+  const IndexKey& k_b = parts[shape.order_component];
+  // "Before" is judged in MERGE order (branch.order_desc) — an
+  // eq-bound branch walks its single run forward regardless of
+  // direction, so shape.scan_desc would misjudge it and drop (or
+  // replay) the whole branch on a descending resume.
+  const bool before =
+      branch.order_desc ? (last_key < k_b) : (k_b < last_key);
+  CompositeKey prefix(std::move(parts));
+  if (before) {
+    // Fully consumed: suppress the whole (single-run) branch stream.
+    return BuildIxScan(branch, shape, stats, nullptr, &prefix,
+                       std::numeric_limits<DocId>::max());
+  }
+  if (k_b == last_key) {
+    return BuildIxScan(branch, shape, stats, nullptr, &prefix, last_id);
+  }
+  return BuildIxScan(branch, shape, stats, nullptr);
+}
+
+/// Builds the MERGE_UNION cursor, resumed at an "MU" checkpoint when
+/// given.
+Result<CursorPtr> BuildMergeUnionCursor(const Collection& coll,
+                                        const QueryPlan& plan,
+                                        ExecStats* stats,
+                                        const DocValue* ckpt) {
+  bool resumed = false;
+  IndexKey last_key;
+  DocId last_id = 0;
+  if (ckpt != nullptr) {
+    if (!CheckpointHasTag(*ckpt, "MU")) return kBadCheckpoint;
+    const DocValue* emitted = CheckpointField(*ckpt, 0);
+    const DocValue* key = CheckpointField(*ckpt, 1);
+    int64_t id;
+    if (emitted == nullptr || !emitted->is_bool() || key == nullptr ||
+        !CkptInt(*ckpt, 2, &id) || id < 0) {
+      return kBadCheckpoint;
+    }
+    if (emitted->bool_value()) {
+      resumed = true;
+      last_key = IndexKey::FromValue(*key);
+      last_id = static_cast<DocId>(id);
+    }
+  }
+  std::vector<MergeBranch> branches;
+  branches.reserve(plan.branches.size());
+  for (const QueryPlan& branch : plan.branches) {
+    IxScanShape shape = ShapeOf(branch);
+    if (shape.order_component == std::string::npos) {
+      return Status::Internal("MERGE_UNION branch without an order key");
+    }
+    std::unique_ptr<IxScanCursor> scan;
+    if (resumed) {
+      DT_ASSIGN_OR_RETURN(scan, BuildResumedMergeBranch(branch, shape, stats,
+                                                        last_key, last_id));
+    } else {
+      DT_ASSIGN_OR_RETURN(scan, BuildIxScan(branch, shape, stats, nullptr));
+    }
+    MergeBranch mb;
+    mb.scan = scan.get();
+    mb.order_component = shape.order_component;
+    mb.cursor = std::move(scan);
+    if (branch.residual) {
+      mb.cursor = std::make_unique<FilterCursor>(coll, std::move(mb.cursor),
+                                                 branch.node, stats);
+    }
+    branches.push_back(std::move(mb));
+  }
+  if (resumed) {
+    return CursorPtr(std::make_unique<MergeUnionCursor>(
+        std::move(branches), plan.order_desc, last_key, last_id));
+  }
+  return CursorPtr(
+      std::make_unique<MergeUnionCursor>(std::move(branches),
+                                         plan.order_desc));
+}
+
+/// Builds the access-path cursor for `plan` (no pipeline operators),
+/// resumed at `ckpt` when given.
 Result<CursorPtr> BuildAccessCursor(const Collection& coll,
                                     const QueryPlan& plan,
                                     const FindOptions& opts,
-                                    ExecStats* stats) {
+                                    ExecStats* stats,
+                                    const DocValue* ckpt) {
   switch (plan.access) {
     case AccessPath::kCollScan: {
+      DocId after_id = 0;
+      if (ckpt != nullptr) {
+        DT_ASSIGN_OR_RETURN(after_id, CkptWatermark(*ckpt, "CS"));
+      }
       const int threads = opts.pool != nullptr
                               ? opts.pool->num_threads()
                               : ResolveNumThreads(opts.num_threads);
       if (threads > 1 && coll.count() >= 2) {
         return CollScanCursor::Parallel(coll, plan.node, opts.num_threads,
-                                        opts.pool, stats);
+                                        opts.pool, stats, after_id);
       }
-      return CursorPtr(
-          std::make_unique<CollScanCursor>(coll, plan.node, stats));
+      return CursorPtr(std::make_unique<CollScanCursor>(coll, plan.node,
+                                                        stats, after_id));
     }
     case AccessPath::kIndexEq:
     case AccessPath::kIndexRange: {
-      const SecondaryIndex* idx = plan.index;
-      if (idx == nullptr) {
-        return Status::Internal("IXSCAN plan without an index");
-      }
-      // Runs group on the equality-bound components, plus the order-by
-      // component when it is the next one scanned — see IxScanCursor.
-      size_t run_len = plan.eq_values.size();
-      bool scan_desc = false;
-      if (plan.order_covered) {
-        const std::vector<std::string>& paths = idx->field_paths();
-        const size_t m = plan.eq_values.size();
-        if (m < paths.size() && paths[m] == plan.order_by) {
-          run_len = m + 1;
-          scan_desc = plan.order_desc;
-        }
-      }
-      SecondaryIndex::Scan scan = idx->ScanPrefix(
-          plan.eq_values, plan.has_range ? &plan.range_lo : nullptr,
-          plan.has_range ? &plan.range_hi : nullptr, scan_desc);
-      return CursorPtr(
-          std::make_unique<IxScanCursor>(scan, run_len, stats));
+      DT_ASSIGN_OR_RETURN(
+          std::unique_ptr<IxScanCursor> scan,
+          BuildIxScan(plan, ShapeOf(plan), stats, ckpt));
+      return CursorPtr(std::move(scan));
     }
-    case AccessPath::kTextIndex:
-      return BuildTextCursor(plan, opts, stats);
+    case AccessPath::kTextIndex: {
+      DocId after_id = 0;
+      if (ckpt != nullptr) {
+        DT_ASSIGN_OR_RETURN(after_id, CkptWatermark(*ckpt, "V"));
+      }
+      return BuildTextCursor(plan, opts, stats, after_id);
+    }
     case AccessPath::kUnion: {
+      DocId after_id = 0;
+      if (ckpt != nullptr) {
+        DT_ASSIGN_OR_RETURN(after_id, CkptWatermark(*ckpt, "U"));
+      }
       std::vector<CursorPtr> branches;
       branches.reserve(plan.branches.size());
       for (const QueryPlan& branch : plan.branches) {
-        DT_ASSIGN_OR_RETURN(CursorPtr cur,
-                            BuildAccessCursor(coll, branch, opts, stats));
+        DT_ASSIGN_OR_RETURN(
+            CursorPtr cur, BuildAccessCursor(coll, branch, opts, stats,
+                                             nullptr));
         if (branch.residual) {
           cur = std::make_unique<FilterCursor>(coll, std::move(cur),
                                                branch.node, stats);
         }
         branches.push_back(std::move(cur));
       }
-      return CursorPtr(std::make_unique<UnionCursor>(std::move(branches)));
+      return CursorPtr(
+          std::make_unique<UnionCursor>(std::move(branches), after_id));
     }
+    case AccessPath::kMergeUnion:
+      return BuildMergeUnionCursor(coll, plan, stats, ckpt);
   }
   return Status::Internal("unknown access path");
 }
 
 /// Builds the full operator tree: access path, residual FILTER, then
-/// SORT / TOPK / LIMIT as the decoration demands.
+/// SORT / TOPK / LIMIT as the decoration demands. `ckpt` (may be null)
+/// is the checkpoint tree a prior page saved off the same plan; the
+/// walk mirrors `SaveCheckpoint`'s nesting.
 Result<CursorPtr> BuildCursor(const Collection& coll, const QueryPlan& plan,
-                              const FindOptions& opts, ExecStats* stats) {
-  DT_ASSIGN_OR_RETURN(CursorPtr cur,
-                      BuildAccessCursor(coll, plan, opts, stats));
+                              const FindOptions& opts, ExecStats* stats,
+                              const DocValue* ckpt) {
+  const bool blocking_order =
+      !plan.order_by.empty() && !plan.order_covered;
+  if (blocking_order) {
+    // SORT/TOPK own the position (emitted count; they re-materialize
+    // on resume — blocking operators have no cheaper checkpoint), so
+    // the subtree below them always opens fresh.
+    int64_t skip = 0;
+    const char* tag = plan.limit >= 0 ? "TOPK" : "SORT";
+    if (ckpt != nullptr) {
+      if (!CheckpointHasTag(*ckpt, tag) || !CkptInt(*ckpt, 0, &skip) ||
+          skip < 0) {
+        return kBadCheckpoint;
+      }
+    }
+    DT_ASSIGN_OR_RETURN(CursorPtr cur,
+                        BuildAccessCursor(coll, plan, opts, stats, nullptr));
+    if (plan.residual && plan.access != AccessPath::kCollScan) {
+      cur = std::make_unique<FilterCursor>(coll, std::move(cur), plan.node,
+                                           stats);
+    }
+    if (plan.limit >= 0) {
+      return CursorPtr(std::make_unique<TopKCursor>(
+          coll, std::move(cur), plan.order_by, plan.order_desc, plan.limit,
+          stats, skip));
+    }
+    return CursorPtr(std::make_unique<SortCursor>(
+        coll, std::move(cur), plan.order_by, plan.order_desc, stats, skip));
+  }
+  const DocValue* inner_ckpt = ckpt;
+  int64_t remaining = plan.limit;
+  if (plan.limit >= 0 && ckpt != nullptr) {
+    if (!CheckpointHasTag(*ckpt, "LIM") || !CkptInt(*ckpt, 0, &remaining) ||
+        remaining < 0 || remaining > plan.limit) {
+      return kBadCheckpoint;
+    }
+    inner_ckpt = CheckpointField(*ckpt, 1);
+    if (inner_ckpt == nullptr) return kBadCheckpoint;
+  }
+  DT_ASSIGN_OR_RETURN(
+      CursorPtr cur, BuildAccessCursor(coll, plan, opts, stats, inner_ckpt));
   if (plan.residual && plan.access != AccessPath::kCollScan) {
     cur = std::make_unique<FilterCursor>(coll, std::move(cur), plan.node,
                                          stats);
   }
-  bool limit_pending = plan.limit >= 0;
-  if (!plan.order_by.empty() && !plan.order_covered) {
-    if (limit_pending) {
-      cur = std::make_unique<TopKCursor>(coll, std::move(cur), plan.order_by,
-                                         plan.order_desc, plan.limit, stats);
-      limit_pending = false;
-    } else {
-      cur = std::make_unique<SortCursor>(coll, std::move(cur), plan.order_by,
-                                         plan.order_desc, stats);
-    }
-  }
-  if (limit_pending) {
-    cur = std::make_unique<LimitCursor>(std::move(cur), plan.limit);
+  if (plan.limit >= 0) {
+    cur = std::make_unique<LimitCursor>(std::move(cur), remaining);
   }
   return cur;
 }
 
-}  // namespace
+/// The resume-safety fingerprint: the collection identity plus the
+/// canonical plan rendering (access path, index bounds, order, limit,
+/// estimates) plus the predicate tree. Identical state re-plans to an
+/// identical fingerprint; any drift in what the token's position means
+/// — including handing a token minted on one collection to another
+/// whose epoch coincidentally matches — rejects the token.
+uint64_t PlanFingerprint(const Collection& coll, const QueryPlan& plan,
+                         const PredicatePtr& pred) {
+  std::string s = coll.ns();
+  s += '\x1f';
+  s += plan.ToString();
+  s += '\x1f';
+  s += pred != nullptr ? pred->ToString() : "";
+  return Fnv1a64(s);
+}
 
-Result<std::vector<DocId>> Find(const Collection& coll,
-                                const PredicatePtr& pred,
-                                const FindOptions& opts) {
-  if (pred == nullptr) {
-    return Status::InvalidArgument("Find requires a predicate");
-  }
-  if (opts.stats != nullptr) *opts.stats = ExecStats{};
-  QueryPlan plan = PlanFind(coll, pred, opts);
-  DT_ASSIGN_OR_RETURN(CursorPtr root,
-                      BuildCursor(coll, plan, opts, opts.stats));
-  std::vector<DocId> out;
-  DT_RETURN_NOT_OK(DrainCursor(root.get(), opts.stats, &out));
+void NoteScan(const Collection& coll, const QueryPlan& plan) {
   if (plan.access == AccessPath::kCollScan) {
     coll.NoteCollScan();
   } else {
     coll.NoteIndexScan();
   }
+}
+
+/// The shared plan-validate-open core of FindPage/FindFold: plans
+/// `pred`, validates the resume token when set (epoch + fingerprint)
+/// and returns the root cursor positioned accordingly. Resets
+/// `opts.stats` and copies the plan to `*plan_out` / the fingerprint
+/// to `*fingerprint_out`.
+Result<CursorPtr> OpenFind(const Collection& coll, const PredicatePtr& pred,
+                           const FindOptions& opts, QueryPlan* plan_out,
+                           uint64_t* fingerprint_out) {
+  if (pred == nullptr) {
+    return Status::InvalidArgument("Find requires a predicate");
+  }
+  if (opts.stats != nullptr) *opts.stats = ExecStats{};
+  QueryPlan plan = PlanFind(coll, pred, opts);
+  const uint64_t fingerprint = PlanFingerprint(coll, plan, pred);
+  DocValue ckpt;
+  bool resumed = false;
+  if (!opts.resume_token.empty()) {
+    uint64_t token_fp, token_epoch;
+    DT_RETURN_NOT_OK(
+        DecodePageToken(opts.resume_token, &token_fp, &token_epoch, &ckpt));
+    if (token_epoch != coll.mutation_epoch()) {
+      return Status::InvalidArgument(
+          "stale resume token: " + coll.ns() +
+          " has been modified since the token was issued");
+    }
+    if (token_fp != fingerprint) {
+      return Status::InvalidArgument(
+          "resume token does not match this query's plan");
+    }
+    resumed = true;
+  }
+  DT_ASSIGN_OR_RETURN(CursorPtr root,
+                      BuildCursor(coll, plan, opts, opts.stats,
+                                  resumed ? &ckpt : nullptr));
+  *plan_out = std::move(plan);
+  *fingerprint_out = fingerprint;
+  return root;
+}
+
+}  // namespace
+
+Result<FindResult> FindPage(const Collection& coll, const PredicatePtr& pred,
+                            const FindOptions& opts) {
+  if (opts.page_size == 0 || opts.page_size < -1) {
+    return Status::InvalidArgument(
+        "page_size must be positive (or -1 for unpaged)");
+  }
+  QueryPlan plan;
+  uint64_t fingerprint;
+  DT_ASSIGN_OR_RETURN(CursorPtr root,
+                      OpenFind(coll, pred, opts, &plan, &fingerprint));
+  FindResult out;
+  if (opts.page_size < 0) {
+    DT_RETURN_NOT_OK(DrainCursor(root.get(), opts.stats, &out.ids));
+  } else {
+    DocId id;
+    while (static_cast<int64_t>(out.ids.size()) < opts.page_size &&
+           root->Next(&id)) {
+      out.ids.push_back(id);
+    }
+    DT_RETURN_NOT_OK(root->status());
+    if (static_cast<int64_t>(out.ids.size()) == opts.page_size) {
+      // Snapshot the position, then probe once: a token is only minted
+      // when another id actually exists, so clients never chase an
+      // empty trailing page.
+      DocValue position = root->SaveCheckpoint();
+      DocId probe;
+      const bool more = root->Next(&probe);
+      DT_RETURN_NOT_OK(root->status());
+      if (more) {
+        out.next_token =
+            EncodePageToken(fingerprint, coll.mutation_epoch(), position);
+      }
+    }
+    if (opts.stats != nullptr) {
+      opts.stats->docs_returned += static_cast<int64_t>(out.ids.size());
+    }
+  }
+  NoteScan(coll, plan);
   return out;
+}
+
+Result<std::vector<DocId>> Find(const Collection& coll,
+                                const PredicatePtr& pred,
+                                const FindOptions& opts) {
+  DT_ASSIGN_OR_RETURN(FindResult page, FindPage(coll, pred, opts));
+  return std::move(page.ids);
+}
+
+Status FindFold(const Collection& coll, const PredicatePtr& pred,
+                const FindOptions& opts,
+                const std::function<void(DocId)>& fn) {
+  FindOptions fold_opts = opts;  // pagination is a FindPage concern
+  fold_opts.page_size = -1;
+  fold_opts.resume_token.clear();
+  QueryPlan plan;
+  uint64_t fingerprint;
+  DT_ASSIGN_OR_RETURN(CursorPtr root,
+                      OpenFind(coll, pred, fold_opts, &plan, &fingerprint));
+  DocId id;
+  int64_t returned = 0;
+  while (root->Next(&id)) {
+    fn(id);
+    ++returned;
+  }
+  DT_RETURN_NOT_OK(root->status());
+  if (fold_opts.stats != nullptr) fold_opts.stats->docs_returned += returned;
+  NoteScan(coll, plan);
+  return Status::OK();
 }
 
 // ---- rendering ---------------------------------------------------------
@@ -462,13 +874,20 @@ std::string QueryPlan::ToString() const {
       out += " { " + (node != nullptr ? node->ToString() : "TRUE") +
              " } docs=" + std::to_string(estimated_rows);
       break;
-    case AccessPath::kUnion: {
+    case AccessPath::kUnion:
+    case AccessPath::kMergeUnion: {
       out += " [ ";
+      // Each branch renders recursively — per-branch access, bounds
+      // and `est=` (and, inside MERGE_UNION, the order annotation).
       for (size_t i = 0; i < branches.size(); ++i) {
         if (i > 0) out += " , ";
         out += branches[i].ToString();
       }
-      out += " ] est=" + std::to_string(estimated_rows);
+      out += " ]";
+      if (access == AccessPath::kMergeUnion && !order_by.empty()) {
+        out += " order=" + order_by + (order_desc ? " desc" : "");
+      }
+      out += " est=" + std::to_string(estimated_rows);
       break;
     }
     case AccessPath::kTextIndex:
@@ -511,8 +930,12 @@ std::string QueryPlan::ToString() const {
     }
   }
   if (residual && access != AccessPath::kCollScan) {
+    // The residual's own output cardinality is unknown without
+    // histograms; `est=` reports the rows entering the filter (the
+    // driver estimate), the bound that matters for fetch cost.
     out += " -> FILTER { " +
-           (node != nullptr ? node->ToString() : "TRUE") + " }";
+           (node != nullptr ? node->ToString() : "TRUE") +
+           " } est=" + std::to_string(estimated_rows);
   }
   bool limit_pending = limit >= 0;
   if (!order_by.empty() && !order_covered) {
@@ -530,7 +953,26 @@ std::string QueryPlan::ToString() const {
 
 std::string ExplainFind(const Collection& coll, const PredicatePtr& pred,
                         const FindOptions& opts) {
-  return PlanFind(coll, pred, opts).ToString();
+  QueryPlan plan = PlanFind(coll, pred, opts);
+  std::string out = plan.ToString();
+  if (!opts.resume_token.empty()) {
+    // Render where the resumed execution would restart — or why the
+    // token would be rejected.
+    uint64_t token_fp = 0, token_epoch = 0;
+    DocValue ckpt;
+    if (!DecodePageToken(opts.resume_token, &token_fp, &token_epoch, &ckpt)
+             .ok()) {
+      out += " resume=INVALID";
+    } else if (token_epoch != coll.mutation_epoch()) {
+      out += " resume=STALE(epoch " + std::to_string(token_epoch) + " != " +
+             std::to_string(coll.mutation_epoch()) + ")";
+    } else if (token_fp != PlanFingerprint(coll, plan, pred)) {
+      out += " resume=PLAN_MISMATCH";
+    } else {
+      out += " resume=" + ckpt.ToJson();
+    }
+  }
+  return out;
 }
 
 }  // namespace dt::query

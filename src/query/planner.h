@@ -5,16 +5,21 @@
 ///
 /// Given a predicate tree, the planner picks the cheapest access path:
 ///
-///   IXSCAN    Eq/Range predicates over a `SecondaryIndex` — single
-///             field or a compound index prefix: an And's equality
-///             children bind leading components, one range child binds
-///             the next, and an `order_by` on the following component
-///             rides the scan order (sort push-down).
-///   TEXT      TextContains predicates via `InvertedIndex` postings
-///             intersection (smallest posting list first).
-///   UNION     Or whose branches are all individually index-routable.
-///   COLLSCAN  everything else: a full scan, chunked over the thread
-///             pool when `num_threads > 1`.
+///   IXSCAN       Eq/Range predicates over a `SecondaryIndex` — single
+///                field or a compound index prefix: an And's equality
+///                children bind leading components, one range child
+///                binds the next, and an `order_by` on the following
+///                component rides the scan order (sort push-down).
+///   TEXT         TextContains predicates via `InvertedIndex` postings
+///                intersection (smallest posting list first).
+///   UNION        Or whose branches are all individually
+///                index-routable (ascending-id streaming merge).
+///   MERGE_UNION  Or under an `order_by` all of whose branches are
+///                order-covering index scans: a k-way (order key,
+///                id-asc) merge, so the ordered Or executes SORT-free
+///                and a limit early-terminates the branch walks.
+///   COLLSCAN     everything else: a full scan, chunked over the
+///                thread pool when `num_threads > 1`.
 ///
 /// The access path is then decorated into an operator pipeline —
 /// FILTER for residual re-checks, SORT / TOPK (fused sort+limit) when
@@ -37,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,6 +76,20 @@ struct FindOptions {
   /// Planner escape hatch: false forces COLLSCAN (differential tests;
   /// measuring raw scan cost).
   bool use_indexes = true;
+  /// \brief Page size for resumable execution: `FindPage` returns at
+  /// most this many ids plus an opaque continuation token when more
+  /// remain. -1 = unpaged (the whole result in one shot, no token);
+  /// 0 and other negatives are invalid. Orthogonal to `limit`, which
+  /// bounds the *total* across all pages.
+  int64_t page_size = -1;
+  /// \brief Opaque continuation token from a prior page's
+  /// `FindResult::next_token`. Execution restarts strictly after the
+  /// last id that page returned — stitched pages are byte-identical
+  /// to the one-shot result. Rejected with `kInvalidArgument` when
+  /// malformed/tampered, when the collection has mutated since the
+  /// token was minted (stale epoch), or when the re-planned query
+  /// fingerprint (predicate, index bounds, order, limit) differs.
+  std::string resume_token;
   /// Borrowed worker pool for parallel scans; null = construct a
   /// transient pool when `num_threads` resolves past 1 (the facade
   /// shares its cached pool through this).
@@ -85,7 +105,8 @@ enum class AccessPath : uint8_t {
   kIndexRange = 1, ///< secondary-index ordered range / prefix scan
   kTextIndex = 2,  ///< inverted-index postings intersection
   kUnion = 3,      ///< union of index-routable Or branches
-  kCollScan = 4    ///< full scan (parallel-chunked fallback)
+  kCollScan = 4,   ///< full scan (parallel-chunked fallback)
+  kMergeUnion = 5  ///< ordered k-way merge of order-covering Or branches
 };
 
 const char* AccessPathName(AccessPath access);
@@ -142,14 +163,44 @@ struct QueryPlan {
 QueryPlan PlanFind(const storage::Collection& coll, const PredicatePtr& pred,
                    const FindOptions& opts = {});
 
+/// \brief One page of a resumable `Find`: the ids plus the opaque
+/// token that continues the stream (empty when exhausted or unpaged).
+struct FindResult {
+  std::vector<storage::DocId> ids;
+  std::string next_token;
+};
+
+/// \brief Plans and executes one page: exactly the documents matching
+/// `pred` in the requested order, `opts.page_size` at a time, resumed
+/// strictly after `opts.resume_token`'s position. Stitching pages
+/// yields byte-identical output to the one-shot call, and resuming an
+/// order-covering indexed query examines O(page_size) index entries —
+/// not O(consumed offset). Every page bumps the collection's
+/// index-scan / coll-scan counter once. Errors on invalid arguments
+/// (null predicate, bad page size, rejected token) or a scan body
+/// failure (thread-pool propagated).
+Result<FindResult> FindPage(const storage::Collection& coll,
+                            const PredicatePtr& pred,
+                            const FindOptions& opts = {});
+
 /// \brief Plans and executes: returns the ids of exactly the documents
 /// matching `pred` in the requested order (ascending id by default),
 /// truncated to `limit` inside execution, and bumps the collection's
-/// index-scan / coll-scan counter. Errors only on invalid arguments or
-/// a scan body failure (thread-pool propagated).
+/// index-scan / coll-scan counter. Pagination options are honored
+/// (one page's ids come back) but the continuation token is dropped —
+/// use `FindPage` to paginate. Errors only on invalid arguments or a
+/// scan body failure (thread-pool propagated).
 Result<std::vector<storage::DocId>> Find(const storage::Collection& coll,
                                          const PredicatePtr& pred,
                                          const FindOptions& opts = {});
+
+/// \brief Streaming execution: invokes `fn` for every matching id in
+/// the requested order without materializing the id vector — the
+/// aggregation fold behind `CountByField`/`TopKByCount`. Pagination
+/// options are ignored.
+Status FindFold(const storage::Collection& coll, const PredicatePtr& pred,
+                const FindOptions& opts,
+                const std::function<void(storage::DocId)>& fn);
 
 /// The plan `Find` would run, rendered for humans (the shape of the
 /// mongo shell's `explain()` next to the paper's `stats()` calls).

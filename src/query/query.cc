@@ -59,20 +59,23 @@ GroupCounts CountGroups(const storage::Collection& coll,
     coll.NoteCollScan();
     return counts;
   }
-  // Counting needs every matching document: a leftover limit or order
-  // from a reused FindOptions must not truncate the group counts (or
-  // pay for an ordering the hash aggregation ignores).
+  // Counting needs every matching document: a leftover limit, order or
+  // page decoration from a reused FindOptions must not truncate the
+  // group counts (or pay for an ordering the hash aggregation
+  // ignores). The fold streams ids straight off the cursor tree — no
+  // intermediate id vector however large the match set.
   FindOptions find_opts = opts;
   find_opts.limit = -1;
   find_opts.order_by.clear();
-  auto ids = Find(coll, pred, find_opts);
-  RethrowIfError(ids.status());  // scan bodies cannot fail short of OOM
-  for (storage::DocId id : *ids) {
+  find_opts.page_size = -1;
+  find_opts.resume_token.clear();
+  Status st = FindFold(coll, pred, find_opts, [&](storage::DocId id) {
     const DocValue* doc = coll.Get(id);
-    if (doc == nullptr) continue;
+    if (doc == nullptr) return;
     std::string key;
     if (CountKeyOf(doc->FindPath(path), &key)) ++counts[key];
-  }
+  });
+  RethrowIfError(st);  // scan bodies cannot fail short of OOM
   return counts;
 }
 

@@ -48,6 +48,7 @@ void Collection::InsertUnchecked(DocId id, DocValue doc) {
   for (auto& idx : indexes_) idx->Insert(id, doc);
   docs_.emplace(id, std::move(doc));
   if (id >= next_id_) next_id_ = id + 1;
+  ++mutation_epoch_;
 }
 
 DocId Collection::Insert(DocValue doc) {
@@ -90,6 +91,7 @@ Status Collection::Update(DocId id, DocValue doc) {
   // In-place update: extent accounting models append-only allocation,
   // so updated bytes stay attributed to the original extent.
   it->second = std::move(doc);
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -102,6 +104,7 @@ Status Collection::Remove(DocId id) {
   for (auto& idx : indexes_) idx->Remove(id, it->second);
   data_size_ -= it->second.SerializedSize();
   docs_.erase(it);
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -153,6 +156,7 @@ Status Collection::CreateIndex(const std::vector<std::string>& field_paths) {
   }
   for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
   indexes_.push_back(std::move(idx));
+  ++mutation_epoch_;
   return Status::OK();
 }
 

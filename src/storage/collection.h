@@ -129,11 +129,18 @@ class Collection {
     /// Pulls the next (id, document); false at end.
     bool Next(DocId* id, const DocValue** doc);
 
+    /// Repositions the cursor at the first live document with id
+    /// strictly greater than `id` (O(log n)) — how a resumed
+    /// collection scan restarts after a prior page without re-walking
+    /// the consumed prefix.
+    void SeekAfter(DocId id) { it_ = docs_->upper_bound(id); }
+
    private:
     friend class Collection;
     explicit DocCursor(const std::map<DocId, DocValue>* docs)
-        : it_(docs->begin()), end_(docs->end()) {}
+        : docs_(docs), it_(docs->begin()), end_(docs->end()) {}
 
+    const std::map<DocId, DocValue>* docs_;
     std::map<DocId, DocValue>::const_iterator it_, end_;
   };
 
@@ -176,6 +183,15 @@ class Collection {
                                const DocValue& lo, const DocValue& hi) const;
 
   int64_t count() const { return static_cast<int64_t>(docs_.size()); }
+
+  /// \brief Counts structural mutations (inserts, updates, removes,
+  /// index creation) since this in-memory collection was constructed.
+  /// Resume tokens pin the epoch they were minted at, so a resumed
+  /// query after any mutation is rejected instead of silently skipping
+  /// or duplicating documents. Not persisted: a loaded collection's
+  /// epoch reflects its restore inserts, which invalidates pre-save
+  /// tokens by construction.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   const CollectionOptions& options() const { return opts_; }
 
@@ -242,6 +258,7 @@ class Collection {
   std::vector<ExtentChain> shards_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;  // [0] is _id
   int64_t data_size_ = 0;
+  uint64_t mutation_epoch_ = 0;
   mutable int64_t index_scans_ = 0;
   mutable int64_t coll_scans_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "storage/index.h"
 
+#include <algorithm>
 #include <iterator>
 #include <utility>
 
@@ -37,6 +38,21 @@ IndexKey IndexKey::Max() {
   IndexKey k;
   k.tag_ = Tag::kMax;
   return k;
+}
+
+DocValue IndexKey::ToDocValue() const {
+  switch (tag_) {
+    case Tag::kBool:
+      return DocValue::Bool(bool_);
+    case Tag::kNumber:
+      return DocValue::Double(num_);
+    case Tag::kString:
+      return DocValue::Str(str_);
+    case Tag::kNull:
+    case Tag::kMax:
+      break;
+  }
+  return DocValue::Null();
 }
 
 bool IndexKey::operator<(const IndexKey& other) const {
@@ -103,7 +119,12 @@ CompositeKey CompositeKey::FromDoc(const std::vector<std::string>& paths,
 
 bool CompositeKey::operator==(const CompositeKey& other) const {
   if (parts_.size() != other.parts_.size()) return false;
-  for (size_t i = 0; i < parts_.size(); ++i) {
+  return PrefixEquals(other, parts_.size());
+}
+
+bool CompositeKey::PrefixEquals(const CompositeKey& other, size_t n) const {
+  n = std::min({n, parts_.size(), other.parts_.size()});
+  for (size_t i = 0; i < n; ++i) {
     if (!(parts_[i] == other.parts_[i])) return false;
   }
   return true;
@@ -196,11 +217,10 @@ int64_t SecondaryIndex::CountRange(const DocValue& lo_v,
   return CountScan({}, &lo_v, &hi_v);
 }
 
-std::pair<SecondaryIndex::EntryMap::const_iterator,
-          SecondaryIndex::EntryMap::const_iterator>
-SecondaryIndex::BoundsFor(const std::vector<DocValue>& eq_prefix,
-                          const DocValue* range_lo,
-                          const DocValue* range_hi) const {
+SecondaryIndex::ScanBounds SecondaryIndex::BoundsFor(
+    const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
+    const DocValue* range_hi) const {
+  ScanBounds out;
   std::vector<IndexKey> lo_parts, hi_parts;
   lo_parts.reserve(field_paths_.size());
   hi_parts.reserve(field_paths_.size());
@@ -213,7 +233,9 @@ SecondaryIndex::BoundsFor(const std::vector<DocValue>& eq_prefix,
     // An inverted range selects nothing — and would put the lower bound
     // after the upper one, walking the iteration off the container.
     if (IndexKey::FromValue(*range_hi) < IndexKey::FromValue(*range_lo)) {
-      return {entries_.end(), entries_.end()};
+      out.first = out.last = entries_.end();
+      out.empty = true;
+      return out;
     }
   }
   if (range_lo != nullptr) lo_parts.push_back(IndexKey::FromValue(*range_lo));
@@ -223,19 +245,29 @@ SecondaryIndex::BoundsFor(const std::vector<DocValue>& eq_prefix,
   while (hi_parts.size() < field_paths_.size()) {
     hi_parts.push_back(IndexKey::Max());
   }
-  auto first = entries_.lower_bound(CompositeKey(std::move(lo_parts)));
-  auto last = entries_.upper_bound(CompositeKey(std::move(hi_parts)));
-  return {first, last};
+  out.lo_probe = CompositeKey(std::move(lo_parts));
+  out.hi_probe = CompositeKey(std::move(hi_parts));
+  out.first = entries_.lower_bound(out.lo_probe);
+  out.last = entries_.upper_bound(out.hi_probe);
+  return out;
 }
 
-SecondaryIndex::Scan::Scan(Iter first, Iter last, bool descending)
-    : it_(first),
+SecondaryIndex::Scan::Scan(const std::multimap<CompositeKey, DocId>* entries,
+                           Iter first, Iter last, bool descending,
+                           size_t key_width, CompositeKey lo_probe,
+                           CompositeKey hi_probe, bool empty)
+    : entries_(entries),
+      key_width_(key_width),
+      it_(first),
       end_(last),
       rit_(std::make_reverse_iterator(last)),
       rend_(std::make_reverse_iterator(first)),
-      descending_(descending) {}
+      descending_(descending),
+      lo_probe_(std::move(lo_probe)),
+      hi_probe_(std::move(hi_probe)),
+      empty_(empty) {}
 
-bool SecondaryIndex::Scan::Next(const CompositeKey** key, DocId* id) {
+bool SecondaryIndex::Scan::RawNext(const CompositeKey** key, DocId* id) {
   if (descending_) {
     if (rit_ == rend_) return false;
     *key = &rit_->first;
@@ -250,18 +282,70 @@ bool SecondaryIndex::Scan::Next(const CompositeKey** key, DocId* id) {
   return true;
 }
 
+bool SecondaryIndex::Scan::Next(const CompositeKey** key, DocId* id) {
+  while (RawNext(key, id)) {
+    if (skip_active_) {
+      if ((*key)->PrefixEquals(skip_prefix_, skip_prefix_.width())) {
+        if (*id <= skip_id_) continue;  // consumed before the checkpoint
+      } else {
+        // Prefix-tying entries are contiguous; once past them the
+        // suppression can never fire again.
+        skip_active_ = false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void SecondaryIndex::Scan::SeekAfter(const CompositeKey& prefix,
+                                     DocId last_id) {
+  skip_active_ = true;
+  skip_prefix_ = prefix;
+  skip_id_ = last_id;
+  if (empty_) return;  // inverted range: nothing to position into
+  // The prior position may lie outside THIS scan's bounds (a merge
+  // union checkpoints one global position across branches with
+  // different ranges), so the reposition clamps both ways: a prefix
+  // before the scanned range keeps the original start (suppression
+  // skips nothing there), and one past it exhausts the scan — seeking
+  // beyond the end iterator would otherwise walk out of bounds.
+  if (descending_) {
+    // Start at the last entry (forward order) still extending the
+    // prefix: reverse from the first entry past every extension of it
+    // (Max-padded probe, like the upper scan bound computation).
+    std::vector<IndexKey> padded = prefix.parts();
+    while (padded.size() < key_width_) padded.push_back(IndexKey::Max());
+    CompositeKey probe(std::move(padded));
+    if (hi_probe_ < probe) return;
+    if (probe < lo_probe_) {
+      rit_ = rend_;
+      return;
+    }
+    rit_ = std::make_reverse_iterator(entries_->upper_bound(probe));
+  } else {
+    if (prefix < lo_probe_) return;
+    if (hi_probe_ < prefix) {
+      it_ = end_;
+      return;
+    }
+    it_ = entries_->lower_bound(prefix);
+  }
+}
+
 SecondaryIndex::Scan SecondaryIndex::ScanPrefix(
     const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
     const DocValue* range_hi, bool descending) const {
-  auto [first, last] = BoundsFor(eq_prefix, range_lo, range_hi);
-  return Scan(first, last, descending);
+  ScanBounds b = BoundsFor(eq_prefix, range_lo, range_hi);
+  return Scan(&entries_, b.first, b.last, descending, field_paths_.size(),
+              std::move(b.lo_probe), std::move(b.hi_probe), b.empty);
 }
 
 int64_t SecondaryIndex::CountScan(const std::vector<DocValue>& eq_prefix,
                                   const DocValue* range_lo,
                                   const DocValue* range_hi) const {
-  auto [first, last] = BoundsFor(eq_prefix, range_lo, range_hi);
-  return static_cast<int64_t>(std::distance(first, last));
+  ScanBounds b = BoundsFor(eq_prefix, range_lo, range_hi);
+  return static_cast<int64_t>(std::distance(b.first, b.last));
 }
 
 }  // namespace dt::storage

@@ -50,6 +50,12 @@ class IndexKey {
   /// non-indexable values (arrays/objects) all collapse here.
   bool is_null() const { return tag_ == Tag::kNull; }
 
+  /// The key as a plain `DocValue` (null/bool/double/string) such that
+  /// `FromValue(ToDocValue()) == *this` — how resume tokens persist a
+  /// scan position. The probe-only Max sentinel is never serialized
+  /// and maps to null.
+  DocValue ToDocValue() const;
+
   /// Serialized footprint of the key itself (B-tree leaf estimate).
   int64_t SizeBytes() const;
 
@@ -90,6 +96,11 @@ class CompositeKey {
     return parts_ < other.parts_;
   }
   bool operator==(const CompositeKey& other) const;
+
+  /// Equality with `other` on the first `n` components, clamped to
+  /// both widths — the run-grouping / resume-suppression comparison
+  /// shared by `Scan::SeekAfter` and the executor's `IxScanCursor`.
+  bool PrefixEquals(const CompositeKey& other, size_t n) const;
 
   const std::vector<IndexKey>& parts() const { return parts_; }
   const IndexKey& part(size_t i) const { return parts_[i]; }
@@ -172,14 +183,43 @@ class SecondaryIndex {
       return Next(&ignored, id);
     }
 
+    /// \brief Repositions the scan strictly after a prior position so
+    /// it need not re-walk the consumed prefix: iteration restarts at
+    /// the first entry (in scan direction) whose leading
+    /// `prefix.width()` components compare at-or-after `prefix`, and
+    /// entries tying `prefix` exactly with id <= `last_id` are
+    /// suppressed — under the run contract (prefix-tying entries are
+    /// consumed in ascending id order) those are exactly the entries
+    /// already emitted. `prefix` must be a position this scan's bounds
+    /// contain (resume tokens guarantee that: they are epoch-pinned to
+    /// an unmutated index).
+    void SeekAfter(const CompositeKey& prefix, DocId last_id);
+
    private:
     friend class SecondaryIndex;
     using Iter = std::multimap<CompositeKey, DocId>::const_iterator;
-    Scan(Iter first, Iter last, bool descending);
+    Scan(const std::multimap<CompositeKey, DocId>* entries, Iter first,
+         Iter last, bool descending, size_t key_width, CompositeKey lo_probe,
+         CompositeKey hi_probe, bool empty);
 
+    /// Next() minus the SeekAfter suppression filter.
+    bool RawNext(const CompositeKey** key, DocId* id);
+
+    const std::multimap<CompositeKey, DocId>* entries_;
+    size_t key_width_;
     Iter it_, end_;
     std::multimap<CompositeKey, DocId>::const_reverse_iterator rit_, rend_;
     bool descending_;
+    // The probe keys that delimited [first, last): SeekAfter clamps
+    // its reposition into them, so a short resume prefix (fewer
+    // components than the bounds) cannot escape the scanned range.
+    CompositeKey lo_probe_, hi_probe_;
+    bool empty_;
+    // SeekAfter suppression: active until iteration leaves the
+    // prefix-tying group that contained the prior position.
+    bool skip_active_ = false;
+    CompositeKey skip_prefix_;
+    DocId skip_id_ = 0;
   };
 
   /// \brief Ordered scan over the entries whose first
@@ -206,11 +246,17 @@ class SecondaryIndex {
  private:
   using EntryMap = std::multimap<CompositeKey, DocId>;
 
-  /// [first, last) iterator bounds for the ScanPrefix constraints;
-  /// {end, end} for an inverted range.
-  std::pair<EntryMap::const_iterator, EntryMap::const_iterator> BoundsFor(
-      const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
-      const DocValue* range_hi) const;
+  /// Bounds for the ScanPrefix constraints: the [first, last) iterator
+  /// range plus the probe keys that produced it (which `Scan::SeekAfter`
+  /// clamps against). `empty` for an inverted range.
+  struct ScanBounds {
+    EntryMap::const_iterator first, last;
+    CompositeKey lo_probe, hi_probe;
+    bool empty = false;
+  };
+  ScanBounds BoundsFor(const std::vector<DocValue>& eq_prefix,
+                       const DocValue* range_lo,
+                       const DocValue* range_hi) const;
 
   std::vector<std::string> field_paths_;
   std::string canonical_name_;

@@ -224,6 +224,45 @@ TEST_F(DataTamerTest, SearchFragmentsFindsTheGrossesStory) {
   ASSERT_EQ(hits2.size(), 1u);
 }
 
+TEST_F(DataTamerTest, FragmentIndexAppliesAppendDeltasAndRebuildsOnRemoval) {
+  IngestText();
+  (void)tamer_->SearchFragments("matilda", 3);  // force the initial build
+  // Appended fragments go through the Add-after-Build delta path; the
+  // result must be indistinguishable from a from-scratch build (same
+  // hits, same TF-IDF scores).
+  auto id1 = tamer_->IngestTextFragment("quirkava Matilda encore", "blog", 7);
+  auto id2 = tamer_->IngestTextFragment("quirkava once more", "blog", 8);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  auto incremental = tamer_->SearchFragments("quirkava", 5);
+  ASSERT_EQ(incremental.size(), 2u);
+  query::InvertedIndex oracle("text");
+  oracle.Build(*tamer_->instance_collection());
+  auto rebuilt = oracle.Search("quirkava", 5);
+  ASSERT_EQ(rebuilt.size(), incremental.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(incremental[i].doc_id, rebuilt[i].doc_id);
+    EXPECT_DOUBLE_EQ(incremental[i].score, rebuilt[i].score);
+  }
+  // Removing a fragment forces the rebuild fallback: the dead document
+  // must stop matching.
+  ASSERT_TRUE(tamer_->instance_collection()->Remove(*id1).ok());
+  auto after_removal = tamer_->SearchFragments("quirkava", 5);
+  ASSERT_EQ(after_removal.size(), 1u);
+  EXPECT_EQ(after_removal[0].doc_id, *id2);
+  // And append deltas keep working after the rebuild.
+  ASSERT_TRUE(
+      tamer_->IngestTextFragment("quirkava returns", "blog", 9).ok());
+  EXPECT_EQ(tamer_->SearchFragments("quirkava", 5).size(), 2u);
+  // Count-neutral churn (remove one + append one, doc count unchanged)
+  // must invalidate too — staleness is judged by the mutation epoch,
+  // not the count.
+  ASSERT_TRUE(tamer_->instance_collection()->Remove(*id2).ok());
+  ASSERT_TRUE(tamer_->IngestTextFragment("wobblux debut", "blog", 10).ok());
+  EXPECT_EQ(tamer_->SearchFragments("quirkava", 5).size(), 1u);
+  EXPECT_EQ(tamer_->SearchFragments("wobblux", 5).size(), 1u);
+}
+
 TEST_F(DataTamerTest, ExtentAccountingScalesWithCorpus) {
   IngestText();
   auto stats = tamer_->instance_collection()->Stats();

@@ -886,5 +886,594 @@ TEST(PlannerOracleDifferentialTest, RandomOrdersLimitsAndCompoundIndexes) {
   EXPECT_GE(comparisons, 1500);
 }
 
+// ---------------------------------------------------------------------
+// Resumable pagination: stitched pages vs one-shot, token safety
+// ---------------------------------------------------------------------
+
+/// Fetches every page of `pred` at `page_size`, chaining continuation
+/// tokens, and returns the concatenation. Asserts token discipline on
+/// the way: pages never exceed the requested size and a token only
+/// ever follows a completely full page.
+std::vector<DocId> StitchPages(const Collection& coll, const PredicatePtr& pred,
+                               FindOptions opts, int64_t page_size) {
+  opts.page_size = page_size;
+  opts.resume_token.clear();
+  std::vector<DocId> out;
+  for (int pages = 0;; ++pages) {
+    EXPECT_LT(pages, 5000) << "pagination failed to terminate";
+    if (pages >= 5000) break;
+    auto page = FindPage(coll, pred, opts);
+    EXPECT_TRUE(page.ok()) << page.status().ToString();
+    if (!page.ok()) break;
+    EXPECT_LE(static_cast<int64_t>(page->ids.size()), page_size);
+    out.insert(out.end(), page->ids.begin(), page->ids.end());
+    if (page->next_token.empty()) break;
+    EXPECT_EQ(static_cast<int64_t>(page->ids.size()), page_size);
+    opts.resume_token = page->next_token;
+  }
+  return out;
+}
+
+TEST(PaginationTest, PageSizeValidationAndUnpagedBehavior) {
+  Collection coll = MakeEntities();
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.page_size = 0;
+  EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument());
+  opts.page_size = -7;
+  EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument());
+  // Unpaged: the whole result, no token.
+  opts.page_size = -1;
+  auto all = FindPage(coll, pred, opts);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->ids.size(), 30u);
+  EXPECT_TRUE(all->next_token.empty());
+  // A page covering the whole result mints no token either (the probe
+  // found nothing): clients never chase an empty trailing page.
+  opts.page_size = 30;
+  auto exact = FindPage(coll, pred, opts);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->ids.size(), 30u);
+  EXPECT_TRUE(exact->next_token.empty());
+}
+
+TEST(PaginationTest, StitchedPagesMatchOneShotOnEveryAccessPath) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  struct Case {
+    const char* label;
+    PredicatePtr pred;
+    std::string order_by;
+    bool desc;
+    int64_t limit;
+    int threads;
+    bool use_indexes;
+  };
+  const auto movie = Predicate::Eq("type", DocValue::Str("Movie"));
+  const auto matilda = Predicate::Eq("name", DocValue::Str("Matilda"));
+  std::vector<Case> cases = {
+      {"ixscan eq", matilda, "", false, -1, 1, true},
+      {"ixscan order covered", movie, "name", false, -1, 1, true},
+      {"ixscan order covered desc limit", movie, "name", true, 9, 1, true},
+      {"collscan serial", movie, "", false, -1, 1, false},
+      {"collscan parallel", movie, "", false, -1, 4, false},
+      {"collscan sort", movie, "confidence", false, -1, 1, false},
+      {"collscan topk", movie, "name", true, 8, 1, false},
+      {"union", Predicate::Or({matilda,
+                               Predicate::Eq("name", DocValue::Str("Wicked"))}),
+       "", false, -1, 1, true},
+      {"merge union",
+       Predicate::Or({movie, Predicate::Eq("type", DocValue::Str("Person"))}),
+       "name", false, 11, 1, true},
+  };
+  for (const Case& c : cases) {
+    FindOptions opts;
+    opts.order_by = c.order_by;
+    opts.order_desc = c.desc;
+    opts.limit = c.limit;
+    opts.num_threads = c.threads;
+    opts.use_indexes = c.use_indexes;
+    std::vector<DocId> expected =
+        OracleOrdered(coll, c.pred, c.order_by, c.desc, c.limit);
+    for (int64_t page_size : {1, 3, 7, 1000}) {
+      EXPECT_EQ(StitchPages(coll, c.pred, opts, page_size), expected)
+          << c.label << " page_size=" << page_size
+          << "\nplan: " << ExplainFind(coll, c.pred, opts);
+    }
+  }
+}
+
+TEST(PaginationTest, LimitSpansPagesAndPageSizeMayChangeMidStream) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.limit = 10;
+  opts.page_size = 3;
+  std::vector<DocId> stitched;
+  auto page = FindPage(coll, pred, opts);
+  for (int pages = 1;; ++pages) {
+    ASSERT_TRUE(page.ok());
+    stitched.insert(stitched.end(), page->ids.begin(), page->ids.end());
+    if (page->next_token.empty()) {
+      // 10 results at page size 3: 3 + 3 + 3 + 1.
+      EXPECT_EQ(pages, 4);
+      break;
+    }
+    opts.resume_token = page->next_token;
+    page = FindPage(coll, pred, opts);
+  }
+  FindOptions one_shot;
+  one_shot.limit = 10;
+  EXPECT_EQ(stitched, *Find(coll, pred, one_shot));
+
+  // The fingerprint covers the query, not the page geometry: a client
+  // may fetch the next page at a different size.
+  opts.resume_token.clear();
+  opts.page_size = 4;
+  auto first = FindPage(coll, pred, opts);
+  ASSERT_TRUE(first.ok());
+  opts.resume_token = first->next_token;
+  opts.page_size = 6;
+  auto rest = FindPage(coll, pred, opts);
+  ASSERT_TRUE(rest.ok());
+  std::vector<DocId> spliced = first->ids;
+  spliced.insert(spliced.end(), rest->ids.begin(), rest->ids.end());
+  EXPECT_EQ(spliced, stitched);
+}
+
+TEST(PaginationTest, ResumeExaminesPageEntriesNotOffset) {
+  Collection coll("dt.ranked");
+  // (i * 37) % 10000 is injective for i < 400: unique rank keys, so
+  // each order-grouped run holds one entry.
+  for (int i = 0; i < 400; ++i) {
+    coll.Insert(DocBuilder()
+                    .Set("type", "frag")
+                    .Set("rank", (i * 37) % 10000)
+                    .Set("v", i)
+                    .Build());
+  }
+  ASSERT_TRUE(coll.CreateIndex({"type", "rank"}).ok());
+  auto pred = Predicate::Eq("type", DocValue::Str("frag"));
+  ExecStats stats;
+  FindOptions opts;
+  opts.order_by = "rank";
+  opts.page_size = 10;
+  opts.stats = &stats;
+  std::vector<DocId> stitched;
+  int resumes = 0;
+  for (;;) {
+    auto page = FindPage(coll, pred, opts);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    stitched.insert(stitched.end(), page->ids.begin(), page->ids.end());
+    // The acceptance bar: every page — page 2 as much as page 39, i.e.
+    // at any consumed offset — examines O(page_size) index entries
+    // (one per unique-key run, plus the lookahead, the probe and the
+    // checkpoint run's suppressed entry), never O(offset).
+    EXPECT_LE(stats.index_entries_examined, 14)
+        << "resume #" << resumes << " re-walked the consumed offset";
+    EXPECT_EQ(stats.docs_examined, 0);
+    if (page->next_token.empty()) break;
+    opts.resume_token = page->next_token;
+    ++resumes;
+  }
+  EXPECT_EQ(resumes, 39);  // 400 ids at page size 10
+  EXPECT_EQ(stitched, OracleOrdered(coll, pred, "rank", false, -1));
+}
+
+TEST(PaginationTest, TamperedTokensAreRejected) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.page_size = 5;
+  auto page = FindPage(coll, pred, opts);
+  ASSERT_TRUE(page.ok());
+  const std::string token = page->next_token;
+  ASSERT_FALSE(token.empty());
+
+  // Any byte flip anywhere in the token fails the seal.
+  const size_t step = std::max<size_t>(1, token.size() / 17);
+  for (size_t i = 0; i < token.size(); i += step) {
+    std::string bent = token;
+    bent[i] = static_cast<char>(bent[i] ^ 0x5A);
+    opts.resume_token = bent;
+    EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument())
+        << "flipped byte " << i << " was accepted";
+  }
+  // Truncations, suffix growth and garbage too.
+  opts.resume_token = token.substr(0, token.size() - 3);
+  EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument());
+  opts.resume_token = token + "x";
+  EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument());
+  opts.resume_token = "definitely not a token";
+  EXPECT_TRUE(FindPage(coll, pred, opts).status().IsInvalidArgument());
+  // The untouched token still works.
+  opts.resume_token = token;
+  auto resumed = FindPage(coll, pred, opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->ids.size(), 5u);
+}
+
+TEST(PaginationTest, StaleTokenRejectedAfterAnyMutation) {
+  auto mint = [](Collection* coll) {
+    FindOptions opts;
+    opts.page_size = 5;
+    auto page =
+        FindPage(*coll, Predicate::Eq("type", DocValue::Str("Movie")), opts);
+    EXPECT_TRUE(page.ok());
+    return page.ok() ? page->next_token : std::string();
+  };
+  auto expect_stale = [](const Collection& coll, const std::string& token) {
+    FindOptions opts;
+    opts.page_size = 5;
+    opts.resume_token = token;
+    Status st =
+        FindPage(coll, Predicate::Eq("type", DocValue::Str("Movie")), opts)
+            .status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_NE(st.ToString().find("stale"), std::string::npos)
+        << st.ToString();
+  };
+  {
+    Collection coll = MakeEntities();
+    std::string token = mint(&coll);
+    coll.Insert(DocBuilder().Set("type", "Movie").Set("name", "New").Build());
+    expect_stale(coll, token);
+  }
+  {
+    Collection coll = MakeEntities();
+    std::string token = mint(&coll);
+    ASSERT_TRUE(coll.Remove(40).ok());  // far past the consumed position
+    expect_stale(coll, token);
+  }
+  {
+    Collection coll = MakeEntities();
+    std::string token = mint(&coll);
+    ASSERT_TRUE(
+        coll.Update(40, DocBuilder().Set("type", "Person").Build()).ok());
+    expect_stale(coll, token);
+  }
+  {
+    Collection coll = MakeEntities();
+    std::string token = mint(&coll);
+    ASSERT_TRUE(coll.CreateIndex("confidence").ok());
+    expect_stale(coll, token);
+  }
+}
+
+TEST(PaginationTest, TokenForADifferentQueryIsRejected) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex({"type", "name"}).ok());
+  auto movie = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.page_size = 5;
+  opts.order_by = "name";
+  auto page = FindPage(coll, movie, opts);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_token.empty());
+  opts.resume_token = page->next_token;
+
+  // Different predicate.
+  FindOptions other = opts;
+  Status st =
+      FindPage(coll, Predicate::Eq("type", DocValue::Str("Person")), other)
+          .status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  // Different direction.
+  other = opts;
+  other.order_desc = true;
+  EXPECT_TRUE(FindPage(coll, movie, other).status().IsInvalidArgument());
+  // Different order path.
+  other = opts;
+  other.order_by = "confidence";
+  EXPECT_TRUE(FindPage(coll, movie, other).status().IsInvalidArgument());
+  // Different limit.
+  other = opts;
+  other.limit = 3;
+  EXPECT_TRUE(FindPage(coll, movie, other).status().IsInvalidArgument());
+  // The matching query still resumes.
+  EXPECT_TRUE(FindPage(coll, movie, opts).ok());
+}
+
+TEST(PaginationTest, RandomizedStitchDifferential) {
+  FacadeCorpus corpus(300);
+  fusion::DataTamer indexed;
+  corpus.Ingest(&indexed, /*with_indexes=*/true);
+  fusion::DataTamer compound;
+  corpus.Ingest(&compound, /*with_indexes=*/true);
+  auto* ccoll = compound.entity_collection();
+  ASSERT_TRUE(ccoll->CreateIndex({"type", "name"}).ok());
+  ASSERT_TRUE(ccoll->CreateIndex({"confidence", "instance_id"}).ok());
+
+  constexpr const char* kOrderPaths[] = {"confidence", "name", "instance_id",
+                                         "no_such_field"};
+  const fusion::DataTamer* tamers[] = {&indexed, &compound};
+  constexpr int64_t kPageSizes[] = {1, 7, 13, 100000};
+  int64_t comparisons = 0;
+  for (int cfg = 0; cfg < 2; ++cfg) {
+    const Collection& coll = *tamers[cfg]->entity_collection();
+    Rng rng(cfg == 0 ? 8080 : 9090);
+    PredicateGen gen(coll, &rng);
+    for (int trial = 0; trial < 40; ++trial) {
+      PredicatePtr pred = gen.Random(3);
+      std::string order_by;
+      bool desc = false;
+      if (rng.Bernoulli(0.6)) {
+        order_by = kOrderPaths[rng.Uniform(4)];
+        desc = rng.Bernoulli(0.5);
+      }
+      const int64_t limit =
+          rng.Bernoulli(0.5) ? static_cast<int64_t>(rng.Uniform(40)) : -1;
+      std::vector<DocId> expected =
+          OracleOrdered(coll, pred, order_by, desc, limit);
+      for (int64_t page_size : kPageSizes) {
+        // Bound the page count so tiny pages only stitch bounded
+        // streams (limit trials and selective predicates).
+        if (page_size < 1000 &&
+            static_cast<int64_t>(expected.size()) > page_size * 40) {
+          continue;
+        }
+        for (int threads : {1, 4}) {
+          FindOptions opts;
+          opts.num_threads = threads;
+          opts.order_by = order_by;
+          opts.order_desc = desc;
+          opts.limit = limit;
+          ASSERT_EQ(StitchPages(coll, pred, opts, page_size), expected)
+              << "cfg=" << cfg << " trial=" << trial
+              << " page_size=" << page_size << " threads=" << threads
+              << " order_by=" << order_by << " desc=" << desc
+              << " limit=" << limit << "\npred: " << pred->ToString()
+              << "\nplan: " << ExplainFind(coll, pred, opts);
+          ++comparisons;
+        }
+      }
+    }
+  }
+  EXPECT_GE(comparisons, 300);
+}
+
+// ---------------------------------------------------------------------
+// Ordered UNION merge (MERGE_UNION)
+// ---------------------------------------------------------------------
+
+/// 300 docs, types A/B alternating (plus C when `three_types`), with
+/// collision-free names so every (type,name) run holds one entry.
+Collection MakeMergeCorpus(bool three_types) {
+  Collection coll("dt.merge");
+  for (int i = 0; i < 300; ++i) {
+    const char* type = three_types && i % 3 == 2 ? "C" : (i % 2 ? "A" : "B");
+    char name[8];
+    std::snprintf(name, sizeof(name), "n%03d", (i * 53) % 1000);
+    coll.Insert(DocBuilder().Set("type", type).Set("name", name).Build());
+  }
+  (void)coll.CreateIndex({"type", "name"});
+  return coll;
+}
+
+TEST(MergeUnionTest, OrderedOrExecutesSortFree) {
+  Collection coll = MakeMergeCorpus(false);
+  auto pred = Predicate::Or({Predicate::Eq("type", DocValue::Str("A")),
+                             Predicate::Eq("type", DocValue::Str("B"))});
+  for (bool desc : {false, true}) {
+    ExecStats stats;
+    FindOptions opts;
+    opts.order_by = "name";
+    opts.order_desc = desc;
+    opts.limit = 10;
+    opts.stats = &stats;
+    std::string explain = ExplainFind(coll, pred, opts);
+    EXPECT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
+    EXPECT_NE(explain.find("order=name"), std::string::npos) << explain;
+    EXPECT_EQ(explain.find("SORT"), std::string::npos) << explain;
+    EXPECT_EQ(explain.find("TOPK"), std::string::npos) << explain;
+
+    auto got = Find(coll, pred, opts);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, OracleOrdered(coll, pred, "name", desc, 10));
+    // The push-down promise extends to the merge: ~limit entries
+    // across the branch walks (runs + lookahead), nowhere near the
+    // 300 union rows — and order keys come off the index runs, so no
+    // document is ever fetched.
+    EXPECT_LE(stats.index_entries_examined, 30) << "desc=" << desc;
+    EXPECT_EQ(stats.docs_examined, 0);
+  }
+  // Without a limit the merge still applies when it beats the scan's
+  // cardinality (here: 2 of 3 type partitions).
+  Collection three = MakeMergeCorpus(true);
+  FindOptions unlimited;
+  unlimited.order_by = "name";
+  std::string explain = ExplainFind(three, pred, unlimited);
+  EXPECT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
+  auto got = Find(three, pred, unlimited);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(three, pred, "name", false, -1));
+}
+
+TEST(MergeUnionTest, OverlappingRangeBranchesDeduplicate) {
+  Collection coll("dt.ranked");
+  for (int i = 0; i < 200; ++i) {
+    coll.Insert(DocBuilder().Set("rank", i).Build());
+  }
+  ASSERT_TRUE(coll.CreateIndex("rank").ok());
+  auto pred = Predicate::Or(
+      {Predicate::Range("rank", DocValue::Int(0), DocValue::Int(99)),
+       Predicate::Range("rank", DocValue::Int(50), DocValue::Int(149))});
+  FindOptions opts;
+  opts.order_by = "rank";
+  opts.limit = 160;
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  std::vector<DocId> expected = OracleOrdered(coll, pred, "rank", false, 160);
+  EXPECT_EQ(expected.size(), 150u);  // 0..149 once each, not 200 rows
+  EXPECT_EQ(*got, expected);
+  // The overlap survives pagination too.
+  EXPECT_EQ(StitchPages(coll, pred, opts, 7), expected);
+}
+
+TEST(MergeUnionTest, EqBoundOrderKeyBranchesResumeBothDirections) {
+  // Branches whose order key is EQUALITY-bound (each branch streams one
+  // constant key) exercise the resume case split where a whole branch
+  // sits before/at/after the checkpoint in merge order — the
+  // descending variant is the regression: judging "before" in scan
+  // direction instead of merge direction silently drops the lower-key
+  // branch on resume.
+  Collection coll("dt.eqorder");
+  for (int i = 0; i < 30; ++i) {
+    coll.Insert(
+        DocBuilder().Set("rank", i < 10 ? 1 : (i < 20 ? 2 : 3)).Build());
+  }
+  ASSERT_TRUE(coll.CreateIndex("rank").ok());
+  auto pred = Predicate::Or({Predicate::Eq("rank", DocValue::Int(1)),
+                             Predicate::Eq("rank", DocValue::Int(3))});
+  for (bool desc : {false, true}) {
+    FindOptions opts;
+    opts.order_by = "rank";
+    opts.order_desc = desc;
+    std::string explain = ExplainFind(coll, pred, opts);
+    ASSERT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
+    std::vector<DocId> expected = OracleOrdered(coll, pred, "rank", desc, -1);
+    ASSERT_EQ(expected.size(), 20u);
+    // Page sizes chosen so boundaries fall inside the first branch,
+    // exactly between branches, and inside the second branch.
+    for (int64_t page_size : {3, 4, 7, 10}) {
+      EXPECT_EQ(StitchPages(coll, pred, opts, page_size), expected)
+          << "desc=" << desc << " page_size=" << page_size;
+    }
+  }
+}
+
+TEST(MergeUnionTest, NonCoveringBranchFallsBackToUnionTopK) {
+  // Three type partitions: the A+B union covers 2/3 of the collection,
+  // so the unordered union survives the cardinality check.
+  Collection coll = MakeMergeCorpus(true);
+  auto pred = Predicate::Or({Predicate::Eq("type", DocValue::Str("A")),
+                             Predicate::Eq("type", DocValue::Str("B"))});
+  // "confidence" is not an index component: branches route but cannot
+  // cover the order, so the planner keeps the unordered union and
+  // fuses the sort+limit into TOPK.
+  FindOptions opts;
+  opts.order_by = "confidence";
+  opts.limit = 10;
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("UNION"), std::string::npos) << explain;
+  EXPECT_EQ(explain.find("MERGE_UNION"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("TOPK"), std::string::npos) << explain;
+  auto got = Find(coll, pred, opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, OracleOrdered(coll, pred, "confidence", false, 10));
+}
+
+TEST(MergeUnionTest, PaginatedMergeResumesCheaply) {
+  Collection coll = MakeMergeCorpus(true);
+  auto pred = Predicate::Or({Predicate::Eq("type", DocValue::Str("A")),
+                             Predicate::Eq("type", DocValue::Str("B"))});
+  ExecStats stats;
+  FindOptions opts;
+  opts.order_by = "name";
+  opts.page_size = 10;
+  opts.stats = &stats;
+  std::vector<DocId> stitched;
+  for (;;) {
+    auto page = FindPage(coll, pred, opts);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    stitched.insert(stitched.end(), page->ids.begin(), page->ids.end());
+    // Each resumed page re-reads at most the checkpoint runs plus
+    // ~2 entries per merged id (run + lookahead) per branch — O(page),
+    // not the consumed offset.
+    EXPECT_LE(stats.index_entries_examined, 40);
+    EXPECT_EQ(stats.docs_examined, 0);
+    if (page->next_token.empty()) break;
+    opts.resume_token = page->next_token;
+  }
+  EXPECT_EQ(stitched, OracleOrdered(coll, pred, "name", false, -1));
+}
+
+TEST(ExplainTest, FilterAndUnionBranchesCarryEstimates) {
+  Collection coll = MakeEntities();
+  ASSERT_TRUE(coll.CreateIndex("type").ok());
+  // Residual FILTER renders the rows entering it.
+  auto tree =
+      Predicate::And({Predicate::Eq("type", DocValue::Str("Movie")),
+                      Predicate::Eq("name", DocValue::Str("Matilda"))});
+  std::string explain = ExplainFind(coll, tree);
+  EXPECT_NE(explain.find("FILTER"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("} est=30"), std::string::npos) << explain;
+  // Union branches each carry their own estimate.
+  ASSERT_TRUE(coll.CreateIndex("name").ok());
+  auto both =
+      Predicate::Or({Predicate::Eq("name", DocValue::Str("Matilda")),
+                     Predicate::Eq("name", DocValue::Str("Wicked"))});
+  explain = ExplainFind(coll, both);
+  EXPECT_NE(explain.find("UNION"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("est=5"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("est=25"), std::string::npos) << explain;
+}
+
+TEST(PaginationTest, ExplainRendersResumePosition) {
+  Collection coll = MakeMergeCorpus(false);
+  auto pred = Predicate::Or({Predicate::Eq("type", DocValue::Str("A")),
+                             Predicate::Eq("type", DocValue::Str("B"))});
+  FindOptions opts;
+  opts.order_by = "name";
+  opts.limit = 25;
+  opts.page_size = 10;
+  auto page = FindPage(coll, pred, opts);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_token.empty());
+  opts.resume_token = page->next_token;
+  std::string explain = ExplainFind(coll, pred, opts);
+  EXPECT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("resume=[\"LIM\""), std::string::npos) << explain;
+  EXPECT_NE(explain.find("\"MU\""), std::string::npos) << explain;
+  // A tampered token renders as rejected, and a post-mutation one as
+  // stale, instead of a position.
+  opts.resume_token[3] = static_cast<char>(opts.resume_token[3] ^ 0x11);
+  EXPECT_NE(ExplainFind(coll, pred, opts).find("resume=INVALID"),
+            std::string::npos);
+  opts.resume_token = page->next_token;
+  coll.Insert(DocBuilder().Set("type", "A").Set("name", "zzz").Build());
+  EXPECT_NE(ExplainFind(coll, pred, opts).find("resume=STALE"),
+            std::string::npos);
+}
+
+TEST(DataTamerFindTest, FacadeFindPageStitchesAndRejectsStaleTokens) {
+  FacadeCorpus corpus(150);
+  fusion::DataTamer tamer;
+  corpus.Ingest(&tamer, /*with_indexes=*/true);
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions base;
+  base.order_by = "name";
+  auto expected = tamer.Find("entity", pred, base);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->size(), 3u);
+
+  FindOptions opts = base;
+  opts.page_size = 7;
+  std::vector<DocId> stitched;
+  std::string last_token;
+  for (;;) {
+    auto page = tamer.FindPage("entity", pred, opts);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    stitched.insert(stitched.end(), page->ids.begin(), page->ids.end());
+    if (page->next_token.empty()) break;
+    last_token = page->next_token;
+    opts.resume_token = page->next_token;
+  }
+  EXPECT_EQ(stitched, *expected);
+  ASSERT_FALSE(last_token.empty());
+
+  // Mutating the entity collection invalidates outstanding tokens.
+  tamer.entity_collection()->Insert(
+      DocBuilder().Set("type", "Movie").Set("name", "Fresh").Build());
+  opts.resume_token = last_token;
+  EXPECT_TRUE(
+      tamer.FindPage("entity", pred, opts).status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace dt::query

@@ -294,6 +294,31 @@ TEST_P(PlannerOracleFuzz, IndexedExecutionMatchesScanOracle) {
             << " order_by=" << order_by << " desc=" << desc
             << " limit=" << limit << "\npred: " << pred->ToString()
             << "\nplan: " << query::ExplainFind(coll, pred, opts);
+
+        // Resume fuzzing: stitch the same query through pages at a
+        // random size, chaining continuation tokens across every
+        // access path the trees hit (IXSCAN runs, collscans, text,
+        // unions ordered and not) — the stitched stream must be
+        // byte-identical to the one-shot result.
+        query::FindOptions paged = opts;
+        paged.page_size = 1 + static_cast<int64_t>(rng.Uniform(9));
+        std::vector<storage::DocId> stitched;
+        for (int pages = 0;; ++pages) {
+          ASSERT_LT(pages, 400) << "pagination failed to terminate";
+          auto page = query::FindPage(coll, pred, paged);
+          ASSERT_TRUE(page.ok()) << page.status().ToString();
+          stitched.insert(stitched.end(), page->ids.begin(),
+                          page->ids.end());
+          if (page->next_token.empty()) break;
+          paged.resume_token = page->next_token;
+        }
+        ASSERT_EQ(stitched, expected)
+            << "seed=" << GetParam() << " round=" << round
+            << " trial=" << trial << " threads=" << threads
+            << " page_size=" << paged.page_size
+            << " order_by=" << order_by << " desc=" << desc
+            << " limit=" << limit << "\npred: " << pred->ToString()
+            << "\nplan: " << query::ExplainFind(coll, pred, opts);
       }
     }
   }
