@@ -21,6 +21,9 @@
 ///   K. Resumable cursors: token-resumed page fetches vs materializing
 ///      the full ordered result, and the ordered-`Or` MERGE_UNION vs
 ///      the unordered-union TOPK fallback.
+///   L. Reader throughput (QPS, p99 latency) at 4 reader threads with
+///      0 vs 1 concurrent writer — the cost of the versioned-read
+///      concurrency model under write churn.
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
@@ -31,8 +34,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
@@ -813,6 +818,115 @@ void AblationResumableCursors(int64_t fragments_override) {
   RecordMetric("merge_union_touch_ratio", touch_ratio);
 }
 
+void AblationConcurrency() {
+  PrintSection("L. reader throughput vs one concurrent writer (4 readers)");
+  const int64_t kDocs = 20000;
+  storage::Collection coll("dt.bench");
+  static const char* kTypes[] = {"Movie", "Person", "Company", "City"};
+  for (int64_t i = 0; i < kDocs; ++i) {
+    coll.Insert(storage::DocBuilder()
+                    .Set("type", kTypes[i % 4])
+                    .Set("rank", (i * 37) % 1000)
+                    .Set("score", static_cast<double>(i % 100))
+                    .Build());
+  }
+  if (!coll.CreateIndex("type").ok() || !coll.CreateIndex("rank").ok()) {
+    std::printf("  index creation FAILED\n");
+    CheckFailed() = true;
+    return;
+  }
+  std::printf("  docs: %s\n", WithThousandsSep(coll.count()).c_str());
+
+  const int kReaders = 4;
+  const int kQueriesPerReader = 1500;
+  const auto pred = query::Predicate::And(
+      {query::Predicate::Eq("type", storage::DocValue::Str("Movie")),
+       query::Predicate::Range("rank", storage::DocValue::Int(100),
+                               storage::DocValue::Int(500))});
+
+  // One mode = 4 reader threads each timing a fixed count of indexed
+  // queries, optionally racing one writer that churns inserts/updates/
+  // removes (forcing copy-on-write version publication) until the
+  // readers finish.
+  const auto run_mode = [&](int writers, double* qps, double* p99_ms) {
+    std::atomic<bool> done{false};
+    std::thread writer;
+    if (writers > 0) {
+      writer = std::thread([&coll, &done] {
+        int64_t seq = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+          storage::DocId id = coll.Insert(
+              storage::DocBuilder()
+                  .Set("type", kTypes[seq % 4])
+                  .Set("rank", (seq * 37) % 1000)
+                  .Build());
+          if (seq % 3 == 0) {
+            (void)coll.Update(
+                id, storage::DocBuilder().Set("type", "Updated").Build());
+          }
+          if (seq % 5 == 0) (void)coll.Remove(id);
+          ++seq;
+        }
+      });
+    }
+    std::vector<std::vector<double>> latencies(kReaders);
+    std::vector<std::thread> readers;
+    Timer wall;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&coll, &pred, &latencies, t] {
+        auto& lat = latencies[t];
+        lat.reserve(kQueriesPerReader);
+        for (int q = 0; q < kQueriesPerReader; ++q) {
+          Timer tq;
+          auto got = query::Find(coll, pred);
+          if (!got.ok() || got->empty()) {
+            CheckFailed() = true;
+            return;
+          }
+          lat.push_back(tq.Millis());
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+    double wall_ms = wall.Millis();
+    done.store(true);
+    if (writer.joinable()) writer.join();
+
+    std::vector<double> all;
+    for (const auto& lat : latencies) {
+      all.insert(all.end(), lat.begin(), lat.end());
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() < static_cast<size_t>(kReaders * kQueriesPerReader)) {
+      std::printf("  FAILED: a reader thread aborted\n");
+      CheckFailed() = true;
+    }
+    *qps = all.empty() || wall_ms <= 0
+               ? 0.0
+               : static_cast<double>(all.size()) / (wall_ms / 1000.0);
+    *p99_ms = all.empty() ? 0.0 : all[all.size() * 99 / 100];
+  };
+
+  double qps_0w = 0, p99_0w = 0, qps_1w = 0, p99_1w = 0;
+  run_mode(0, &qps_0w, &p99_0w);
+  run_mode(1, &qps_1w, &p99_1w);
+  const double retention = qps_0w > 0 ? qps_1w / qps_0w : 0.0;
+  std::printf("  %-38s %10.0f QPS   (p99 %.4f ms)\n", "0 writers (read-only)",
+              qps_0w, p99_0w);
+  std::printf("  %-38s %10.0f QPS   (p99 %.4f ms)\n", "1 concurrent writer",
+              qps_1w, p99_1w);
+  std::printf("  %-38s %9.0f%%   of read-only throughput under churn\n",
+              "retention", retention * 100);
+  // No latency bar (machines vary); the correctness bar is every query
+  // succeeding with hits on a live pinned version, both modes.
+  RecordMetric("concurrency_docs", static_cast<double>(kDocs));
+  RecordMetric("concurrency_readonly_qps", qps_0w);
+  RecordMetric("concurrency_readonly_p99_ms", p99_0w);
+  RecordMetric("concurrency_1writer_qps", qps_1w);
+  RecordMetric("concurrency_1writer_p99_ms", p99_1w);
+  RecordMetric("concurrency_qps_retention", retention);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -853,6 +967,7 @@ int main(int argc, char** argv) {
   if (run('I')) AblationPlanner();
   if (run('J')) AblationSortLimitPushdown();
   if (run('K')) AblationResumableCursors(fragments);
+  if (run('L')) AblationConcurrency();
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -1,0 +1,68 @@
+#include "common/epoch.h"
+
+namespace dt {
+
+void EpochManager::Pin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[epoch];
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    if (it == pins_.end()) return;  // unmatched unpin: tolerate, don't corrupt
+    if (--it->second <= 0) pins_.erase(it);
+  }
+  Reclaim();
+}
+
+uint64_t EpochManager::MinPinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MinPinnedLocked();
+}
+
+uint64_t EpochManager::MinPinnedLocked() const {
+  return pins_.empty() ? UINT64_MAX : pins_.begin()->first;
+}
+
+void EpochManager::Retire(uint64_t epoch, std::function<void()> reclaim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.emplace_back(epoch, std::move(reclaim));
+}
+
+size_t EpochManager::Reclaim() {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t min_pinned = MinPinnedLocked();
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->first < min_pinned) {
+        runnable.push_back(std::move(it->second));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  for (auto& fn : runnable) fn();
+  return runnable.size();
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+size_t EpochManager::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [epoch, count] : pins_) {
+    n += static_cast<size_t>(count);
+  }
+  return n;
+}
+
+}  // namespace dt

@@ -1,0 +1,76 @@
+/// \file epoch.h
+/// \brief FASTER-style epoch protection for versioned shared state.
+///
+/// Readers `Pin` the epoch of the version they are about to traverse
+/// and `Unpin` it when done; writers `Retire` superseded versions with
+/// a reclamation closure that must not run until every reader that
+/// could still reach the version has drained. `Reclaim` runs the
+/// closures whose epoch has fallen below the minimum pinned epoch.
+///
+/// The manager does not own the protected objects — lifetimes are
+/// carried by `shared_ptr` elsewhere; what it defers is *logical*
+/// reclamation (eviction from a retained-version set, which is what
+/// decides whether a resume token is still serviceable), so a slow
+/// reader can never have the version window it started in collapse
+/// underneath its page stream.
+///
+/// Locking: an internal mutex guards the pin table and the retired
+/// list. `Reclaim` collects eligible closures under the lock but runs
+/// them after releasing it, so a closure may itself take locks that
+/// are held while calling `Pin`/`MinPinned` (the storage layer holds
+/// its version mutex around both) without inverting lock order.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dt {
+
+/// \brief Pin table + deferred-reclamation queue. Thread-safe.
+class EpochManager {
+ public:
+  /// Marks a reader active at `epoch`. Pins are counted: the same
+  /// epoch may be pinned by any number of readers.
+  void Pin(uint64_t epoch);
+
+  /// Releases one pin at `epoch` and runs any reclamations that the
+  /// departure made eligible. Must pair with a prior `Pin(epoch)`.
+  void Unpin(uint64_t epoch);
+
+  /// Smallest currently pinned epoch, or UINT64_MAX when no reader is
+  /// pinned (everything retired is then reclaimable).
+  uint64_t MinPinned() const;
+
+  /// Queues `reclaim` to run once no pin at or below `epoch` remains.
+  /// Never runs the closure synchronously — callers may hold locks the
+  /// closure needs; eligible closures run on the next `Unpin` or
+  /// explicit `Reclaim`.
+  void Retire(uint64_t epoch, std::function<void()> reclaim);
+
+  /// Runs every queued reclamation whose epoch is below `MinPinned()`;
+  /// returns how many ran. Closures execute outside the internal lock,
+  /// on the calling thread.
+  size_t Reclaim();
+
+  /// Queued (not yet run) reclamations — test/introspection hook.
+  size_t retired_count() const;
+
+  /// Live pin count across all epochs — test/introspection hook.
+  size_t pinned_count() const;
+
+ private:
+  uint64_t MinPinnedLocked() const;
+
+  mutable std::mutex mu_;
+  /// epoch -> outstanding pin count (erased at zero, so begin() is the
+  /// minimum).
+  std::map<uint64_t, int64_t> pins_;
+  std::vector<std::pair<uint64_t, std::function<void()>>> retired_;
+};
+
+}  // namespace dt

@@ -252,7 +252,10 @@ Result<std::vector<storage::DocId>> DataTamer::Find(
     query::FindOptions opts) const {
   DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
                       store_.GetCollection(collection));
-  return query::Find(*coll, pred, ResolveFindOptions(collection, opts));
+  // Reads go through an explicit version handle: the whole execution
+  // sees one immutable storage version however the collection mutates.
+  return query::Find(coll->GetView(), pred,
+                     ResolveFindOptions(collection, opts));
 }
 
 Result<query::FindResult> DataTamer::FindPage(
@@ -260,7 +263,8 @@ Result<query::FindResult> DataTamer::FindPage(
     query::FindOptions opts) const {
   DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
                       store_.GetCollection(collection));
-  return query::FindPage(*coll, pred, ResolveFindOptions(collection, opts));
+  return query::FindPage(coll->GetView(), pred,
+                         ResolveFindOptions(collection, opts));
 }
 
 Result<std::string> DataTamer::Explain(const std::string& collection,
@@ -268,7 +272,7 @@ Result<std::string> DataTamer::Explain(const std::string& collection,
                                        query::FindOptions opts) const {
   DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
                       store_.GetCollection(collection));
-  return query::ExplainFind(*coll, pred,
+  return query::ExplainFind(coll->GetView(), pred,
                             ResolveFindOptions(collection, opts));
 }
 
@@ -447,10 +451,13 @@ Status DataTamer::LoadSnapshot(const std::string& path) {
 void DataTamer::RefreshFragmentIndex() const {
   // Staleness is judged by the collection's mutation epoch, not the
   // doc count: count-neutral churn (remove one + append one) and
-  // in-place updates must invalidate too.
-  const uint64_t epoch = instance_->mutation_epoch();
+  // in-place updates must invalidate too. One view supplies epoch,
+  // count, scan and next_id, so the watermark bookkeeping can never
+  // mix state from two different storage versions.
+  storage::CollectionView view = instance_->GetView();
+  const uint64_t epoch = view.mutation_epoch();
   if (epoch == fragment_index_epoch_) return;
-  const int64_t total = instance_->count();
+  const int64_t total = view.count();
   const uint64_t delta = epoch - fragment_index_epoch_;
   // The common case is pure append (fragments only ever arrive
   // through IngestTextFragment, with monotonically growing ids):
@@ -458,7 +465,7 @@ void DataTamer::RefreshFragmentIndex() const {
   // pre-watermark population intact. Then the new fragments apply as
   // Add deltas instead of rebuilding the whole index.
   std::vector<std::pair<storage::DocId, const storage::DocValue*>> fresh;
-  auto cursor = instance_->ScanDocs();
+  auto cursor = view.ScanDocs();
   if (fragment_index_next_id_ > 0) {
     cursor.SeekAfter(fragment_index_next_id_ - 1);
   }
@@ -485,7 +492,7 @@ void DataTamer::RefreshFragmentIndex() const {
   }
   fragments_indexed_ = total;
   fragment_index_epoch_ = epoch;
-  fragment_index_next_id_ = instance_->next_id();
+  fragment_index_next_id_ = view.next_id();
 }
 
 std::vector<query::SearchHit> DataTamer::SearchFragments(

@@ -6,7 +6,7 @@
 
 namespace dt::query {
 
-using storage::Collection;
+using storage::CollectionView;
 using storage::CompositeKey;
 using storage::DocId;
 using storage::DocValue;
@@ -76,15 +76,21 @@ IndexKey OrderKeyOf(const DocValue* doc, const std::string& path) {
 
 }  // namespace
 
-IxScanCursor::IxScanCursor(storage::SecondaryIndex::Scan scan,
+IxScanCursor::IxScanCursor(CollectionView view,
+                           storage::SecondaryIndex::Scan scan,
                            size_t run_prefix_len, ExecStats* stats)
-    : scan_(scan), run_prefix_len_(run_prefix_len), stats_(stats) {}
+    : view_(std::move(view)),
+      scan_(scan),
+      run_prefix_len_(run_prefix_len),
+      stats_(stats) {}
 
-IxScanCursor::IxScanCursor(storage::SecondaryIndex::Scan scan,
+IxScanCursor::IxScanCursor(CollectionView view,
+                           storage::SecondaryIndex::Scan scan,
                            size_t run_prefix_len, ExecStats* stats,
                            const CompositeKey& resume_prefix,
                            DocId resume_id)
-    : scan_(scan),
+    : view_(std::move(view)),
+      scan_(scan),
       run_prefix_len_(run_prefix_len),
       stats_(stats),
       run_prefix_key_(resume_prefix),
@@ -149,9 +155,9 @@ DocValue IxScanCursor::SaveCheckpoint() const {
 
 // ---- CollScanCursor ----------------------------------------------------
 
-CollScanCursor::CollScanCursor(const Collection& coll, PredicatePtr pred,
+CollScanCursor::CollScanCursor(const CollectionView& view, PredicatePtr pred,
                                ExecStats* stats, DocId after_id)
-    : docs_(coll.ScanDocs()),
+    : docs_(view.ScanDocs()),
       pred_(std::move(pred)),
       stats_(stats),
       last_id_(after_id) {
@@ -175,14 +181,16 @@ DocValue CollScanCursor::SaveCheckpoint() const {
                         {DocValue::Int(static_cast<int64_t>(last_id_))});
 }
 
-Result<CursorPtr> CollScanCursor::Parallel(const Collection& coll,
+Result<CursorPtr> CollScanCursor::Parallel(const CollectionView& view,
                                            const PredicatePtr& pred,
                                            int num_threads, ThreadPool* pool,
                                            ExecStats* stats, DocId after_id) {
-  // The chunked loop needs random access; stage (id, doc) pointers.
+  // The chunked loop needs random access; stage (id, doc) pointers —
+  // they point into the view's immutable version, which the caller
+  // keeps alive across this call.
   std::vector<std::pair<DocId, const DocValue*>> docs;
-  docs.reserve(static_cast<size_t>(coll.count()));
-  coll.ForEach([&](DocId id, const DocValue& doc) {
+  docs.reserve(static_cast<size_t>(view.count()));
+  view.ForEach([&](DocId id, const DocValue& doc) {
     if (id > after_id) docs.emplace_back(id, &doc);
   });
   if (stats != nullptr) {
@@ -220,17 +228,17 @@ Result<CursorPtr> CollScanCursor::Parallel(const Collection& coll,
 
 // ---- FilterCursor ------------------------------------------------------
 
-FilterCursor::FilterCursor(const Collection& coll, CursorPtr child,
+FilterCursor::FilterCursor(CollectionView view, CursorPtr child,
                            PredicatePtr pred, ExecStats* stats)
-    : coll_(coll),
+    : view_(std::move(view)),
       child_(std::move(child)),
       pred_(std::move(pred)),
       stats_(stats) {}
 
 bool FilterCursor::Next(DocId* id) {
   while (child_->Next(id)) {
-    const DocValue* doc = coll_.Get(*id);
-    if (doc == nullptr) continue;  // concurrently removed: not a match
+    const DocValue* doc = view_.Get(*id);
+    if (doc == nullptr) continue;  // not live in this version: no match
     if (stats_ != nullptr) ++stats_->docs_examined;
     if (pred_ == nullptr || pred_->Matches(*doc)) return true;
   }
@@ -370,10 +378,10 @@ DocValue MergeUnionCursor::SaveCheckpoint() const {
 
 // ---- SortCursor --------------------------------------------------------
 
-SortCursor::SortCursor(const Collection& coll, CursorPtr child,
+SortCursor::SortCursor(CollectionView view, CursorPtr child,
                        std::string order_by, bool descending,
                        ExecStats* stats, int64_t skip)
-    : coll_(coll),
+    : view_(std::move(view)),
       child_(std::move(child)),
       order_by_(std::move(order_by)),
       descending_(descending),
@@ -389,7 +397,7 @@ void SortCursor::Materialize() {
       continue;
     }
     if (stats_ != nullptr) ++stats_->docs_examined;
-    keyed.emplace_back(OrderKeyOf(coll_.Get(id), order_by_), id);
+    keyed.emplace_back(OrderKeyOf(view_.Get(id), order_by_), id);
   }
   if (order_by_.empty()) {
     std::sort(ids_.begin(), ids_.end());
@@ -421,10 +429,10 @@ DocValue SortCursor::SaveCheckpoint() const {
 
 // ---- TopKCursor --------------------------------------------------------
 
-TopKCursor::TopKCursor(const Collection& coll, CursorPtr child,
+TopKCursor::TopKCursor(CollectionView view, CursorPtr child,
                        std::string order_by, bool descending, int64_t k,
                        ExecStats* stats, int64_t skip)
-    : coll_(coll),
+    : view_(std::move(view)),
       child_(std::move(child)),
       order_by_(std::move(order_by)),
       descending_(descending),
@@ -438,7 +446,7 @@ void TopKCursor::Materialize() {
   DocId id;
   while (child_->Next(&id)) {
     if (stats_ != nullptr) ++stats_->docs_examined;
-    top.Offer({OrderKeyOf(coll_.Get(id), order_by_), id});
+    top.Offer({OrderKeyOf(view_.Get(id), order_by_), id});
   }
   std::vector<std::pair<IndexKey, DocId>> best = top.TakeSorted();
   ids_.reserve(best.size());

@@ -37,6 +37,12 @@
 /// `DocCursor::SeekAfter`, id watermarks; blocking operators
 /// re-materialize and skip). The planner serializes the checkpoint
 /// tree into the opaque page token behind `FindPage`.
+///
+/// Every cursor that touches storage holds the `CollectionView` it
+/// reads through by value: the view pins an immutable storage version,
+/// so a cursor tree stays valid — and yields one consistent snapshot —
+/// no matter what writers do (or even if the `Collection` itself is
+/// destroyed) while the tree is executing.
 
 #pragma once
 
@@ -86,8 +92,9 @@ class Cursor {
   /// \brief This operator's resume position as a tagged `DocValue`
   /// array: reopening at it continues the stream strictly after the
   /// last id `Next` returned, byte-identically to never having
-  /// stopped. Valid only against the same plan over an unmutated
-  /// collection (the page token layer enforces both).
+  /// stopped. Valid only against the same plan over the same storage
+  /// version (the page token layer enforces both: tokens pin the
+  /// version they were minted against).
   virtual storage::DocValue SaveCheckpoint() const = 0;
 };
 
@@ -134,13 +141,17 @@ const storage::DocValue* CheckpointField(const storage::DocValue& ckpt,
 /// queries — instead of re-walking the consumed offset.
 class IxScanCursor : public Cursor {
  public:
-  IxScanCursor(storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
+  /// `view` must be the view owning the index behind `scan` (the
+  /// cursor keeps it pinned for its own lifetime).
+  IxScanCursor(storage::CollectionView view,
+               storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
                ExecStats* stats);
 
   /// Resume form: reopens strictly after the position a prior
   /// `SaveCheckpoint` captured (`resume_prefix` must have
   /// `run_prefix_len` components drawn from this scan's bounds).
-  IxScanCursor(storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
+  IxScanCursor(storage::CollectionView view,
+               storage::SecondaryIndex::Scan scan, size_t run_prefix_len,
                ExecStats* stats, const storage::CompositeKey& resume_prefix,
                storage::DocId resume_id);
 
@@ -158,6 +169,7 @@ class IxScanCursor : public Cursor {
   /// Refills `run_` with the next run; false when the scan is dry.
   bool FillRun();
 
+  storage::CollectionView view_;  // keeps the scanned index alive
   storage::SecondaryIndex::Scan scan_;
   size_t run_prefix_len_;
   ExecStats* stats_;
@@ -185,16 +197,17 @@ class IxScanCursor : public Cursor {
 /// materializing.
 class CollScanCursor : public Cursor {
  public:
-  /// Serial pull over `coll`; `pred` may be null (match everything).
-  /// `after_id` > 0 resumes strictly after that document id.
-  CollScanCursor(const storage::Collection& coll, PredicatePtr pred,
+  /// Serial pull over `view`'s version; `pred` may be null (match
+  /// everything). `after_id` > 0 resumes strictly after that document
+  /// id.
+  CollScanCursor(const storage::CollectionView& view, PredicatePtr pred,
                  ExecStats* stats, storage::DocId after_id = 0);
 
   /// Parallel scan: materializes matching ids > `after_id` on `pool`
   /// (or a transient pool of `num_threads` when `pool` is null) and
   /// returns a cursor replaying them. Output is identical to the
   /// serial form for every thread count.
-  static Result<CursorPtr> Parallel(const storage::Collection& coll,
+  static Result<CursorPtr> Parallel(const storage::CollectionView& view,
                                     const PredicatePtr& pred, int num_threads,
                                     ThreadPool* pool, ExecStats* stats,
                                     storage::DocId after_id = 0);
@@ -203,7 +216,7 @@ class CollScanCursor : public Cursor {
   storage::DocValue SaveCheckpoint() const override;
 
  private:
-  storage::Collection::DocCursor docs_;
+  storage::DocCursor docs_;  // co-owns the scanned version
   PredicatePtr pred_;
   ExecStats* stats_;
   storage::DocId last_id_ = 0;
@@ -246,7 +259,7 @@ class ReplayCursor : public Cursor {
 /// checkpoint is the child's.
 class FilterCursor : public Cursor {
  public:
-  FilterCursor(const storage::Collection& coll, CursorPtr child,
+  FilterCursor(storage::CollectionView view, CursorPtr child,
                PredicatePtr pred, ExecStats* stats);
 
   bool Next(storage::DocId* id) override;
@@ -256,7 +269,7 @@ class FilterCursor : public Cursor {
   }
 
  private:
-  const storage::Collection& coll_;
+  storage::CollectionView view_;
   CursorPtr child_;
   PredicatePtr pred_;
   ExecStats* stats_;
@@ -352,7 +365,7 @@ class MergeUnionCursor : public Cursor {
 /// stitched pages byte-identical.
 class SortCursor : public Cursor {
  public:
-  SortCursor(const storage::Collection& coll, CursorPtr child,
+  SortCursor(storage::CollectionView view, CursorPtr child,
              std::string order_by, bool descending, ExecStats* stats,
              int64_t skip = 0);
 
@@ -363,7 +376,7 @@ class SortCursor : public Cursor {
  private:
   void Materialize();
 
-  const storage::Collection& coll_;
+  storage::CollectionView view_;
   CursorPtr child_;
   std::string order_by_;
   bool descending_;
@@ -442,7 +455,7 @@ class BoundedTopK {
 /// checkpoint contract as `SortCursor` (resume re-selects and skips).
 class TopKCursor : public Cursor {
  public:
-  TopKCursor(const storage::Collection& coll, CursorPtr child,
+  TopKCursor(storage::CollectionView view, CursorPtr child,
              std::string order_by, bool descending, int64_t k,
              ExecStats* stats, int64_t skip = 0);
 
@@ -453,7 +466,7 @@ class TopKCursor : public Cursor {
  private:
   void Materialize();
 
-  const storage::Collection& coll_;
+  storage::CollectionView view_;
   CursorPtr child_;
   std::string order_by_;
   bool descending_;

@@ -12,9 +12,11 @@ using storage::DocValue;
 
 namespace {
 
-/// Version salt: folded into the seal so tokens from a future format
-/// revision fail the checksum instead of misparsing.
-constexpr std::string_view kTokenSalt = "DTPT1";
+/// Version salt: folded into the seal so tokens from a prior or future
+/// format revision fail the checksum instead of misparsing. "DTPT1"
+/// tokens carried a (fingerprint, epoch, checkpoint) triple; "DTPT2"
+/// carries the lineage quadruple below.
+constexpr std::string_view kTokenSalt = "DTPT2";
 
 uint64_t Seal(std::string_view payload) {
   return HashCombine(Fnv1a64(kTokenSalt), Fnv1a64(payload));
@@ -22,11 +24,12 @@ uint64_t Seal(std::string_view payload) {
 
 }  // namespace
 
-std::string EncodePageToken(uint64_t fingerprint, uint64_t epoch,
-                            const DocValue& checkpoint) {
+std::string EncodePageToken(uint64_t fingerprint, uint64_t incarnation,
+                            uint64_t version_id, const DocValue& checkpoint) {
   DocValue payload = DocValue::Array();
   payload.Push(DocValue::Int(static_cast<int64_t>(fingerprint)));
-  payload.Push(DocValue::Int(static_cast<int64_t>(epoch)));
+  payload.Push(DocValue::Int(static_cast<int64_t>(incarnation)));
+  payload.Push(DocValue::Int(static_cast<int64_t>(version_id)));
   payload.Push(checkpoint);
   std::string bytes;
   // Encoding an in-memory value cannot fail (no IO, bounded depth).
@@ -41,7 +44,8 @@ std::string EncodePageToken(uint64_t fingerprint, uint64_t epoch,
 }
 
 Status DecodePageToken(std::string_view token, uint64_t* fingerprint,
-                       uint64_t* epoch, DocValue* checkpoint) {
+                       uint64_t* incarnation, uint64_t* version_id,
+                       DocValue* checkpoint) {
   const Status invalid =
       Status::InvalidArgument("malformed resume token (truncated or tampered)");
   if (token.size() < 9) return invalid;
@@ -55,15 +59,17 @@ Status DecodePageToken(std::string_view token, uint64_t* fingerprint,
   if (seal != Seal(payload)) return invalid;
   DocValue decoded;
   if (!storage::DecodeDocValue(payload, &decoded).ok()) return invalid;
-  if (!decoded.is_array() || decoded.array_items().size() != 3) {
+  if (!decoded.is_array() || decoded.array_items().size() != 4) {
     return invalid;
   }
   const DocValue& fp = decoded.array_items()[0];
-  const DocValue& ep = decoded.array_items()[1];
-  if (!fp.is_int() || !ep.is_int()) return invalid;
+  const DocValue& inc = decoded.array_items()[1];
+  const DocValue& vid = decoded.array_items()[2];
+  if (!fp.is_int() || !inc.is_int() || !vid.is_int()) return invalid;
   *fingerprint = static_cast<uint64_t>(fp.int_value());
-  *epoch = static_cast<uint64_t>(ep.int_value());
-  *checkpoint = decoded.array_items()[2];
+  *incarnation = static_cast<uint64_t>(inc.int_value());
+  *version_id = static_cast<uint64_t>(vid.int_value());
+  *checkpoint = decoded.array_items()[3];
   return Status::OK();
 }
 

@@ -1,17 +1,22 @@
 /// \file page_token.h
 /// \brief Opaque page tokens for resumable query cursors.
 ///
-/// A token seals three things: the **plan fingerprint** (predicate,
+/// A token seals four things: the **plan fingerprint** (predicate,
 /// chosen index bounds, order, limit — hashed from the planner's
-/// canonical rendering), the collection's **mutation epoch**, and the
-/// operator tree's **checkpoint** (executor.h). `FindPage` re-plans on
-/// resume and rejects the token with `kInvalidArgument` unless both
-/// the fingerprint and the epoch still match — a resumed query can
-/// therefore never silently skip or duplicate documents because an
-/// index appeared, the predicate changed, or the collection mutated
-/// between pages. The byte string is opaque to clients and sealed
-/// with a checksum: any truncation or byte flip is detected and
-/// rejected rather than decoded into a wrong position.
+/// canonical rendering), the collection's **incarnation** (a random
+/// lineage id minted when the collection is first created and carried
+/// across snapshots), the **version id** of the immutable storage
+/// version the page executed against, and the operator tree's
+/// **checkpoint** (executor.h). `FindPage` re-plans on resume and
+/// rejects the token with `kInvalidArgument` unless the fingerprint
+/// and incarnation match and the version is still reachable — either
+/// the currently published version or one the collection has retained
+/// for resumption. A resumed query therefore never silently skips or
+/// duplicates documents: it continues against the *exact* version it
+/// started on, or fails cleanly once that version has been reclaimed.
+/// The byte string is opaque to clients and sealed with a checksum:
+/// any truncation or byte flip is detected and rejected rather than
+/// decoded into a wrong position.
 
 #pragma once
 
@@ -24,15 +29,18 @@
 
 namespace dt::query {
 
-/// Seals (fingerprint, epoch, checkpoint) into an opaque token.
-std::string EncodePageToken(uint64_t fingerprint, uint64_t epoch,
+/// Seals (fingerprint, incarnation, version_id, checkpoint) into an
+/// opaque token.
+std::string EncodePageToken(uint64_t fingerprint, uint64_t incarnation,
+                            uint64_t version_id,
                             const storage::DocValue& checkpoint);
 
 /// Opens a token produced by `EncodePageToken`. Returns
 /// `kInvalidArgument` for malformed, truncated or tampered bytes; the
-/// caller still has to verify fingerprint and epoch against the
-/// freshly planned query.
+/// caller still has to verify fingerprint, incarnation and version
+/// reachability against the freshly planned query.
 Status DecodePageToken(std::string_view token, uint64_t* fingerprint,
-                       uint64_t* epoch, storage::DocValue* checkpoint);
+                       uint64_t* incarnation, uint64_t* version_id,
+                       storage::DocValue* checkpoint);
 
 }  // namespace dt::query

@@ -11,6 +11,7 @@
 namespace dt::query {
 
 using storage::Collection;
+using storage::CollectionView;
 using storage::DocId;
 using storage::DocValue;
 using storage::SecondaryIndex;
@@ -157,7 +158,7 @@ bool BetterCandidate(const Candidate& a, const Candidate& b,
   return wa < wb;
 }
 
-QueryPlan CollScanPlan(const Collection& coll, const PredicatePtr& pred) {
+QueryPlan CollScanPlan(const CollectionView& coll, const PredicatePtr& pred) {
   QueryPlan plan;
   plan.access = AccessPath::kCollScan;
   plan.node = pred;
@@ -168,7 +169,7 @@ QueryPlan CollScanPlan(const Collection& coll, const PredicatePtr& pred) {
 /// Builds the access-path half of the plan (no pipeline decoration).
 /// `children` views `pred` as a conjunction: the predicate itself for
 /// leaves, its child list for an And.
-QueryPlan PlanConjunction(const Collection& coll, const PredicatePtr& pred,
+QueryPlan PlanConjunction(const CollectionView& coll, const PredicatePtr& pred,
                           const std::vector<PredicatePtr>& children,
                           bool is_and, const FindOptions& opts) {
   Candidate best;
@@ -216,7 +217,7 @@ QueryPlan PlanConjunction(const Collection& coll, const PredicatePtr& pred,
 }
 
 /// The access-path chooser (pre-decoration); see PlanFind.
-QueryPlan PlanAccess(const Collection& coll, const PredicatePtr& pred,
+QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
                      const FindOptions& opts) {
   if (pred == nullptr || !opts.use_indexes) return CollScanPlan(coll, pred);
 
@@ -322,7 +323,7 @@ QueryPlan PlanAccess(const Collection& coll, const PredicatePtr& pred,
 
 }  // namespace
 
-QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
+QueryPlan PlanFind(const CollectionView& coll, const PredicatePtr& pred,
                    const FindOptions& opts) {
   QueryPlan plan = PlanAccess(coll, pred, opts);
   // Sort push-down fallback for the match-everything case: an index
@@ -361,6 +362,11 @@ QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
   }
   if (opts.order_by.empty()) plan.order_covered = false;
   return plan;
+}
+
+QueryPlan PlanFind(const Collection& coll, const PredicatePtr& pred,
+                   const FindOptions& opts) {
+  return PlanFind(coll.GetView(), pred, opts);
 }
 
 // ---- execution ---------------------------------------------------------
@@ -423,11 +429,12 @@ IxScanShape ShapeOf(const QueryPlan& plan) {
 }
 
 /// Builds an IXSCAN cursor for `plan`, optionally resumed at an "IX"
-/// checkpoint or an explicit (prefix, id) position.
+/// checkpoint or an explicit (prefix, id) position. `view` must be the
+/// view whose version owns `plan.index`.
 Result<std::unique_ptr<IxScanCursor>> BuildIxScan(
-    const QueryPlan& plan, const IxScanShape& shape, ExecStats* stats,
-    const DocValue* ckpt, const CompositeKey* seek_prefix = nullptr,
-    DocId seek_id = 0) {
+    const CollectionView& view, const QueryPlan& plan,
+    const IxScanShape& shape, ExecStats* stats, const DocValue* ckpt,
+    const CompositeKey* seek_prefix = nullptr, DocId seek_id = 0) {
   const SecondaryIndex* idx = plan.index;
   if (idx == nullptr) {
     return Status::Internal("IXSCAN plan without an index");
@@ -436,7 +443,7 @@ Result<std::unique_ptr<IxScanCursor>> BuildIxScan(
       plan.eq_values, plan.has_range ? &plan.range_lo : nullptr,
       plan.has_range ? &plan.range_hi : nullptr, shape.scan_desc);
   if (seek_prefix != nullptr) {
-    return std::make_unique<IxScanCursor>(scan, shape.run_len, stats,
+    return std::make_unique<IxScanCursor>(view, scan, shape.run_len, stats,
                                           *seek_prefix, seek_id);
   }
   if (ckpt != nullptr) {
@@ -456,12 +463,12 @@ Result<std::unique_ptr<IxScanCursor>> BuildIxScan(
       for (const DocValue& part : prefix->array_items()) {
         parts.push_back(IndexKey::FromValue(part));
       }
-      return std::make_unique<IxScanCursor>(scan, shape.run_len, stats,
+      return std::make_unique<IxScanCursor>(view, scan, shape.run_len, stats,
                                             CompositeKey(std::move(parts)),
                                             static_cast<DocId>(id));
     }
   }
-  return std::make_unique<IxScanCursor>(scan, shape.run_len, stats);
+  return std::make_unique<IxScanCursor>(view, scan, shape.run_len, stats);
 }
 
 /// Postings intersection for a TEXT access: smallest list first, all
@@ -513,8 +520,9 @@ Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
 ///   exhausted; equal -> suppress ids <= last_id; after -> nothing of
 ///   the branch was consumed, open fresh.
 Result<std::unique_ptr<IxScanCursor>> BuildResumedMergeBranch(
-    const QueryPlan& branch, const IxScanShape& shape, ExecStats* stats,
-    const IndexKey& last_key, DocId last_id) {
+    const CollectionView& view, const QueryPlan& branch,
+    const IxScanShape& shape, ExecStats* stats, const IndexKey& last_key,
+    DocId last_id) {
   const size_t m = branch.eq_values.size();
   std::vector<IndexKey> parts;
   parts.reserve(shape.run_len);
@@ -524,7 +532,7 @@ Result<std::unique_ptr<IxScanCursor>> BuildResumedMergeBranch(
   if (shape.run_len == m + 1) {
     parts.push_back(last_key);
     CompositeKey prefix(std::move(parts));
-    return BuildIxScan(branch, shape, stats, nullptr, &prefix, last_id);
+    return BuildIxScan(view, branch, shape, stats, nullptr, &prefix, last_id);
   }
   const IndexKey& k_b = parts[shape.order_component];
   // "Before" is judged in MERGE order (branch.order_desc) — an
@@ -536,18 +544,18 @@ Result<std::unique_ptr<IxScanCursor>> BuildResumedMergeBranch(
   CompositeKey prefix(std::move(parts));
   if (before) {
     // Fully consumed: suppress the whole (single-run) branch stream.
-    return BuildIxScan(branch, shape, stats, nullptr, &prefix,
+    return BuildIxScan(view, branch, shape, stats, nullptr, &prefix,
                        std::numeric_limits<DocId>::max());
   }
   if (k_b == last_key) {
-    return BuildIxScan(branch, shape, stats, nullptr, &prefix, last_id);
+    return BuildIxScan(view, branch, shape, stats, nullptr, &prefix, last_id);
   }
-  return BuildIxScan(branch, shape, stats, nullptr);
+  return BuildIxScan(view, branch, shape, stats, nullptr);
 }
 
 /// Builds the MERGE_UNION cursor, resumed at an "MU" checkpoint when
 /// given.
-Result<CursorPtr> BuildMergeUnionCursor(const Collection& coll,
+Result<CursorPtr> BuildMergeUnionCursor(const CollectionView& coll,
                                         const QueryPlan& plan,
                                         ExecStats* stats,
                                         const DocValue* ckpt) {
@@ -578,10 +586,12 @@ Result<CursorPtr> BuildMergeUnionCursor(const Collection& coll,
     }
     std::unique_ptr<IxScanCursor> scan;
     if (resumed) {
-      DT_ASSIGN_OR_RETURN(scan, BuildResumedMergeBranch(branch, shape, stats,
-                                                        last_key, last_id));
+      DT_ASSIGN_OR_RETURN(scan, BuildResumedMergeBranch(coll, branch, shape,
+                                                        stats, last_key,
+                                                        last_id));
     } else {
-      DT_ASSIGN_OR_RETURN(scan, BuildIxScan(branch, shape, stats, nullptr));
+      DT_ASSIGN_OR_RETURN(scan,
+                          BuildIxScan(coll, branch, shape, stats, nullptr));
     }
     MergeBranch mb;
     mb.scan = scan.get();
@@ -604,7 +614,7 @@ Result<CursorPtr> BuildMergeUnionCursor(const Collection& coll,
 
 /// Builds the access-path cursor for `plan` (no pipeline operators),
 /// resumed at `ckpt` when given.
-Result<CursorPtr> BuildAccessCursor(const Collection& coll,
+Result<CursorPtr> BuildAccessCursor(const CollectionView& coll,
                                     const QueryPlan& plan,
                                     const FindOptions& opts,
                                     ExecStats* stats,
@@ -629,7 +639,7 @@ Result<CursorPtr> BuildAccessCursor(const Collection& coll,
     case AccessPath::kIndexRange: {
       DT_ASSIGN_OR_RETURN(
           std::unique_ptr<IxScanCursor> scan,
-          BuildIxScan(plan, ShapeOf(plan), stats, ckpt));
+          BuildIxScan(coll, plan, ShapeOf(plan), stats, ckpt));
       return CursorPtr(std::move(scan));
     }
     case AccessPath::kTextIndex: {
@@ -669,9 +679,9 @@ Result<CursorPtr> BuildAccessCursor(const Collection& coll,
 /// SORT / TOPK / LIMIT as the decoration demands. `ckpt` (may be null)
 /// is the checkpoint tree a prior page saved off the same plan; the
 /// walk mirrors `SaveCheckpoint`'s nesting.
-Result<CursorPtr> BuildCursor(const Collection& coll, const QueryPlan& plan,
-                              const FindOptions& opts, ExecStats* stats,
-                              const DocValue* ckpt) {
+Result<CursorPtr> BuildCursor(const CollectionView& coll,
+                              const QueryPlan& plan, const FindOptions& opts,
+                              ExecStats* stats, const DocValue* ckpt) {
   const bool blocking_order =
       !plan.order_by.empty() && !plan.order_covered;
   if (blocking_order) {
@@ -728,7 +738,7 @@ Result<CursorPtr> BuildCursor(const Collection& coll, const QueryPlan& plan,
 /// identical fingerprint; any drift in what the token's position means
 /// — including handing a token minted on one collection to another
 /// whose epoch coincidentally matches — rejects the token.
-uint64_t PlanFingerprint(const Collection& coll, const QueryPlan& plan,
+uint64_t PlanFingerprint(const CollectionView& coll, const QueryPlan& plan,
                          const PredicatePtr& pred) {
   std::string s = coll.ns();
   s += '\x1f';
@@ -738,7 +748,7 @@ uint64_t PlanFingerprint(const Collection& coll, const QueryPlan& plan,
   return Fnv1a64(s);
 }
 
-void NoteScan(const Collection& coll, const QueryPlan& plan) {
+void NoteScan(const CollectionView& coll, const QueryPlan& plan) {
   if (plan.access == AccessPath::kCollScan) {
     coll.NoteCollScan();
   } else {
@@ -746,48 +756,65 @@ void NoteScan(const Collection& coll, const QueryPlan& plan) {
   }
 }
 
-/// The shared plan-validate-open core of FindPage/FindFold: plans
-/// `pred`, validates the resume token when set (epoch + fingerprint)
-/// and returns the root cursor positioned accordingly. Resets
-/// `opts.stats` and copies the plan to `*plan_out` / the fingerprint
-/// to `*fingerprint_out`.
-Result<CursorPtr> OpenFind(const Collection& coll, const PredicatePtr& pred,
-                           const FindOptions& opts, QueryPlan* plan_out,
-                           uint64_t* fingerprint_out) {
+/// The shared plan-validate-open core of FindPage/FindFold: resolves
+/// the execution view (the caller's view, or — on resume — the exact
+/// retained version the token was minted against), plans `pred`
+/// against it, validates the token (incarnation, version reachability,
+/// plan fingerprint) and returns the root cursor positioned
+/// accordingly. Resets `opts.stats`, copies the plan to `*plan_out`,
+/// the fingerprint to `*fingerprint_out` and the execution view to
+/// `*exec_view_out` (so the caller mints tokens against the version
+/// that actually executed).
+Result<CursorPtr> OpenFind(const CollectionView& view,
+                           const PredicatePtr& pred, const FindOptions& opts,
+                           QueryPlan* plan_out, uint64_t* fingerprint_out,
+                           CollectionView* exec_view_out) {
   if (pred == nullptr) {
     return Status::InvalidArgument("Find requires a predicate");
   }
   if (opts.stats != nullptr) *opts.stats = ExecStats{};
-  QueryPlan plan = PlanFind(coll, pred, opts);
-  const uint64_t fingerprint = PlanFingerprint(coll, plan, pred);
+  CollectionView exec_view = view;
   DocValue ckpt;
-  bool resumed = false;
   if (!opts.resume_token.empty()) {
-    uint64_t token_fp, token_epoch;
-    DT_RETURN_NOT_OK(
-        DecodePageToken(opts.resume_token, &token_fp, &token_epoch, &ckpt));
-    if (token_epoch != coll.mutation_epoch()) {
+    uint64_t token_fp, token_inc, token_vid;
+    DT_RETURN_NOT_OK(DecodePageToken(opts.resume_token, &token_fp,
+                                     &token_inc, &token_vid, &ckpt));
+    if (token_inc != view.incarnation()) {
       return Status::InvalidArgument(
-          "stale resume token: " + coll.ns() +
-          " has been modified since the token was issued");
+          "stale resume token: it was issued against a different "
+          "incarnation of " +
+          view.ns());
     }
-    if (token_fp != fingerprint) {
+    // Resolve the exact storage version the token was minted against:
+    // the caller's current version, or an older one the collection
+    // retained when the token was issued. Reclaimed versions reject.
+    DT_ASSIGN_OR_RETURN(exec_view, view.At(token_vid));
+    QueryPlan plan = PlanFind(exec_view, pred, opts);
+    if (token_fp != PlanFingerprint(exec_view, plan, pred)) {
       return Status::InvalidArgument(
           "resume token does not match this query's plan");
     }
-    resumed = true;
+    DT_ASSIGN_OR_RETURN(CursorPtr root, BuildCursor(exec_view, plan, opts,
+                                                    opts.stats, &ckpt));
+    *plan_out = std::move(plan);
+    *fingerprint_out = token_fp;
+    *exec_view_out = std::move(exec_view);
+    return root;
   }
-  DT_ASSIGN_OR_RETURN(CursorPtr root,
-                      BuildCursor(coll, plan, opts, opts.stats,
-                                  resumed ? &ckpt : nullptr));
+  QueryPlan plan = PlanFind(exec_view, pred, opts);
+  const uint64_t fingerprint = PlanFingerprint(exec_view, plan, pred);
+  DT_ASSIGN_OR_RETURN(CursorPtr root, BuildCursor(exec_view, plan, opts,
+                                                  opts.stats, nullptr));
   *plan_out = std::move(plan);
   *fingerprint_out = fingerprint;
+  *exec_view_out = std::move(exec_view);
   return root;
 }
 
 }  // namespace
 
-Result<FindResult> FindPage(const Collection& coll, const PredicatePtr& pred,
+Result<FindResult> FindPage(const CollectionView& view,
+                            const PredicatePtr& pred,
                             const FindOptions& opts) {
   if (opts.page_size == 0 || opts.page_size < -1) {
     return Status::InvalidArgument(
@@ -795,8 +822,10 @@ Result<FindResult> FindPage(const Collection& coll, const PredicatePtr& pred,
   }
   QueryPlan plan;
   uint64_t fingerprint;
-  DT_ASSIGN_OR_RETURN(CursorPtr root,
-                      OpenFind(coll, pred, opts, &plan, &fingerprint));
+  CollectionView exec_view = view;
+  DT_ASSIGN_OR_RETURN(
+      CursorPtr root,
+      OpenFind(view, pred, opts, &plan, &fingerprint, &exec_view));
   FindResult out;
   if (opts.page_size < 0) {
     DT_RETURN_NOT_OK(DrainCursor(root.get(), opts.stats, &out.ids));
@@ -816,26 +845,42 @@ Result<FindResult> FindPage(const Collection& coll, const PredicatePtr& pred,
       const bool more = root->Next(&probe);
       DT_RETURN_NOT_OK(root->status());
       if (more) {
+        // The token pins the exact version this page executed against:
+        // retain it so the next page resumes on identical data no
+        // matter what writers publish in between.
+        exec_view.RetainForResume();
         out.next_token =
-            EncodePageToken(fingerprint, coll.mutation_epoch(), position);
+            EncodePageToken(fingerprint, exec_view.incarnation(),
+                            exec_view.version_id(), position);
       }
     }
     if (opts.stats != nullptr) {
       opts.stats->docs_returned += static_cast<int64_t>(out.ids.size());
     }
   }
-  NoteScan(coll, plan);
+  NoteScan(view, plan);
   return out;
+}
+
+Result<FindResult> FindPage(const Collection& coll, const PredicatePtr& pred,
+                            const FindOptions& opts) {
+  return FindPage(coll.GetView(), pred, opts);
+}
+
+Result<std::vector<DocId>> Find(const CollectionView& view,
+                                const PredicatePtr& pred,
+                                const FindOptions& opts) {
+  DT_ASSIGN_OR_RETURN(FindResult page, FindPage(view, pred, opts));
+  return std::move(page.ids);
 }
 
 Result<std::vector<DocId>> Find(const Collection& coll,
                                 const PredicatePtr& pred,
                                 const FindOptions& opts) {
-  DT_ASSIGN_OR_RETURN(FindResult page, FindPage(coll, pred, opts));
-  return std::move(page.ids);
+  return Find(coll.GetView(), pred, opts);
 }
 
-Status FindFold(const Collection& coll, const PredicatePtr& pred,
+Status FindFold(const CollectionView& view, const PredicatePtr& pred,
                 const FindOptions& opts,
                 const std::function<void(DocId)>& fn) {
   FindOptions fold_opts = opts;  // pagination is a FindPage concern
@@ -843,8 +888,10 @@ Status FindFold(const Collection& coll, const PredicatePtr& pred,
   fold_opts.resume_token.clear();
   QueryPlan plan;
   uint64_t fingerprint;
-  DT_ASSIGN_OR_RETURN(CursorPtr root,
-                      OpenFind(coll, pred, fold_opts, &plan, &fingerprint));
+  CollectionView exec_view = view;
+  DT_ASSIGN_OR_RETURN(
+      CursorPtr root,
+      OpenFind(view, pred, fold_opts, &plan, &fingerprint, &exec_view));
   DocId id;
   int64_t returned = 0;
   while (root->Next(&id)) {
@@ -853,8 +900,14 @@ Status FindFold(const Collection& coll, const PredicatePtr& pred,
   }
   DT_RETURN_NOT_OK(root->status());
   if (fold_opts.stats != nullptr) fold_opts.stats->docs_returned += returned;
-  NoteScan(coll, plan);
+  NoteScan(view, plan);
   return Status::OK();
+}
+
+Status FindFold(const Collection& coll, const PredicatePtr& pred,
+                const FindOptions& opts,
+                const std::function<void(DocId)>& fn) {
+  return FindFold(coll.GetView(), pred, opts, fn);
 }
 
 // ---- rendering ---------------------------------------------------------
@@ -951,28 +1004,45 @@ std::string QueryPlan::ToString() const {
   return out;
 }
 
-std::string ExplainFind(const Collection& coll, const PredicatePtr& pred,
+std::string ExplainFind(const CollectionView& view, const PredicatePtr& pred,
                         const FindOptions& opts) {
-  QueryPlan plan = PlanFind(coll, pred, opts);
+  QueryPlan plan = PlanFind(view, pred, opts);
   std::string out = plan.ToString();
   if (!opts.resume_token.empty()) {
     // Render where the resumed execution would restart — or why the
     // token would be rejected.
-    uint64_t token_fp = 0, token_epoch = 0;
+    uint64_t token_fp = 0, token_inc = 0, token_vid = 0;
     DocValue ckpt;
-    if (!DecodePageToken(opts.resume_token, &token_fp, &token_epoch, &ckpt)
+    if (!DecodePageToken(opts.resume_token, &token_fp, &token_inc,
+                         &token_vid, &ckpt)
              .ok()) {
       out += " resume=INVALID";
-    } else if (token_epoch != coll.mutation_epoch()) {
-      out += " resume=STALE(epoch " + std::to_string(token_epoch) + " != " +
-             std::to_string(coll.mutation_epoch()) + ")";
-    } else if (token_fp != PlanFingerprint(coll, plan, pred)) {
-      out += " resume=PLAN_MISMATCH";
+    } else if (token_inc != view.incarnation()) {
+      out += " resume=STALE(incarnation mismatch)";
     } else {
-      out += " resume=" + ckpt.ToJson();
+      Result<CollectionView> resolved = view.At(token_vid);
+      if (!resolved.ok()) {
+        out += " resume=STALE(version " + std::to_string(token_vid) +
+               " reclaimed)";
+      } else {
+        const CollectionView& exec_view = *resolved;
+        QueryPlan exec_plan = PlanFind(exec_view, pred, opts);
+        if (token_fp != PlanFingerprint(exec_view, exec_plan, pred)) {
+          out += " resume=PLAN_MISMATCH";
+        } else if (exec_view.version_id() != view.version_id()) {
+          out += " resume=RETAINED " + ckpt.ToJson();
+        } else {
+          out += " resume=" + ckpt.ToJson();
+        }
+      }
     }
   }
   return out;
+}
+
+std::string ExplainFind(const Collection& coll, const PredicatePtr& pred,
+                        const FindOptions& opts) {
+  return ExplainFind(coll.GetView(), pred, opts);
 }
 
 }  // namespace dt::query

@@ -84,11 +84,16 @@ struct FindOptions {
   int64_t page_size = -1;
   /// \brief Opaque continuation token from a prior page's
   /// `FindResult::next_token`. Execution restarts strictly after the
-  /// last id that page returned — stitched pages are byte-identical
-  /// to the one-shot result. Rejected with `kInvalidArgument` when
-  /// malformed/tampered, when the collection has mutated since the
-  /// token was minted (stale epoch), or when the re-planned query
-  /// fingerprint (predicate, index bounds, order, limit) differs.
+  /// last id that page returned, against the *same immutable storage
+  /// version* the token was minted on — stitched pages are
+  /// byte-identical to the one-shot result even when writers mutate
+  /// the collection between pages, because minting a token retains
+  /// that version for resumption. Rejected with `kInvalidArgument`
+  /// when malformed/tampered, when the token belongs to a different
+  /// collection incarnation (e.g. a pre-restart lineage), when the
+  /// version it pins has been reclaimed (the error message contains
+  /// "stale"), or when the re-planned query fingerprint (predicate,
+  /// index bounds, order, limit) differs.
   std::string resume_token;
   /// Borrowed worker pool for parallel scans; null = construct a
   /// transient pool when `num_threads` resolves past 1 (the facade
@@ -158,8 +163,16 @@ struct QueryPlan {
   std::string ToString() const;
 };
 
-/// \brief Chooses the cheapest access path for `pred` over `coll`
-/// (does not execute). A null `pred` plans as a match-all COLLSCAN.
+/// \brief Chooses the cheapest access path for `pred` over the storage
+/// version behind `view` (does not execute). A null `pred` plans as a
+/// match-all COLLSCAN. The plan's `index` pointer borrows from that
+/// version, so the plan is valid while `view` (or a copy) is alive.
+QueryPlan PlanFind(const storage::CollectionView& view,
+                   const PredicatePtr& pred, const FindOptions& opts = {});
+
+/// Convenience overload planning against the currently published
+/// version; the plan's `index` borrows from it, so writers publishing
+/// new versions do not invalidate the plan.
 QueryPlan PlanFind(const storage::Collection& coll, const PredicatePtr& pred,
                    const FindOptions& opts = {});
 
@@ -172,13 +185,25 @@ struct FindResult {
 
 /// \brief Plans and executes one page: exactly the documents matching
 /// `pred` in the requested order, `opts.page_size` at a time, resumed
-/// strictly after `opts.resume_token`'s position. Stitching pages
-/// yields byte-identical output to the one-shot call, and resuming an
-/// order-covering indexed query examines O(page_size) index entries —
-/// not O(consumed offset). Every page bumps the collection's
-/// index-scan / coll-scan counter once. Errors on invalid arguments
-/// (null predicate, bad page size, rejected token) or a scan body
-/// failure (thread-pool propagated).
+/// strictly after `opts.resume_token`'s position. Execution runs
+/// against `view`'s immutable storage version; when a continuation
+/// token is minted that version is retained so the next page resumes
+/// against the exact same data — stitching pages yields byte-identical
+/// output to the one-shot call even under concurrent writers, and
+/// resuming an order-covering indexed query examines O(page_size)
+/// index entries — not O(consumed offset). A token whose version has
+/// since been reclaimed (the collection retains a bounded window of
+/// versions) is rejected with `kInvalidArgument` whose message
+/// contains "stale". Every page bumps the collection's index-scan /
+/// coll-scan counter once. Errors on invalid arguments (null
+/// predicate, bad page size, rejected token) or a scan body failure
+/// (thread-pool propagated).
+Result<FindResult> FindPage(const storage::CollectionView& view,
+                            const PredicatePtr& pred,
+                            const FindOptions& opts = {});
+
+/// Convenience overload executing against the currently published
+/// version (`coll.GetView()`).
 Result<FindResult> FindPage(const storage::Collection& coll,
                             const PredicatePtr& pred,
                             const FindOptions& opts = {});
@@ -190,6 +215,12 @@ Result<FindResult> FindPage(const storage::Collection& coll,
 /// (one page's ids come back) but the continuation token is dropped —
 /// use `FindPage` to paginate. Errors only on invalid arguments or a
 /// scan body failure (thread-pool propagated).
+Result<std::vector<storage::DocId>> Find(const storage::CollectionView& view,
+                                         const PredicatePtr& pred,
+                                         const FindOptions& opts = {});
+
+/// Convenience overload executing against the currently published
+/// version (`coll.GetView()`).
 Result<std::vector<storage::DocId>> Find(const storage::Collection& coll,
                                          const PredicatePtr& pred,
                                          const FindOptions& opts = {});
@@ -198,12 +229,29 @@ Result<std::vector<storage::DocId>> Find(const storage::Collection& coll,
 /// the requested order without materializing the id vector — the
 /// aggregation fold behind `CountByField`/`TopKByCount`. Pagination
 /// options are ignored.
+Status FindFold(const storage::CollectionView& view, const PredicatePtr& pred,
+                const FindOptions& opts,
+                const std::function<void(storage::DocId)>& fn);
+
+/// Convenience overload executing against the currently published
+/// version (`coll.GetView()`).
 Status FindFold(const storage::Collection& coll, const PredicatePtr& pred,
                 const FindOptions& opts,
                 const std::function<void(storage::DocId)>& fn);
 
 /// The plan `Find` would run, rendered for humans (the shape of the
 /// mongo shell's `explain()` next to the paper's `stats()` calls).
+/// With a resume token set, appends where the resumed execution would
+/// restart: `resume=<checkpoint json>` against the current version,
+/// `resume=RETAINED <checkpoint json>` against a retained older
+/// version, or why the token would be rejected (`resume=INVALID`,
+/// `resume=STALE(...)`, `resume=PLAN_MISMATCH`).
+std::string ExplainFind(const storage::CollectionView& view,
+                        const PredicatePtr& pred,
+                        const FindOptions& opts = {});
+
+/// Convenience overload rendering against the currently published
+/// version (`coll.GetView()`).
 std::string ExplainFind(const storage::Collection& coll,
                         const PredicatePtr& pred,
                         const FindOptions& opts = {});

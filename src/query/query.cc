@@ -42,21 +42,26 @@ using GroupCounts = std::unordered_map<std::string, int64_t>;
 GroupCounts CountGroups(const storage::Collection& coll,
                         const std::string& path, const PredicatePtr& pred,
                         const FindOptions& opts) {
+  // One view per aggregation: every read below — index key counts,
+  // full scans, the filtered fold and its document fetches — touches
+  // the same immutable storage version, so the counts are consistent
+  // even with writers publishing new versions mid-aggregation.
+  storage::CollectionView view = coll.GetView();
   GroupCounts counts;
   if (pred == nullptr) {
-    const storage::SecondaryIndex* idx = coll.IndexOn(path);
+    const storage::SecondaryIndex* idx = view.IndexOn(path);
     if (idx != nullptr && opts.use_indexes) {
       idx->VisitKeyCounts([&](const IndexKey& k, int64_t n) {
         if (!k.is_null()) counts[k.ToString()] += n;
       });
-      coll.NoteIndexScan();
+      view.NoteIndexScan();
       return counts;
     }
-    coll.ForEach([&](storage::DocId, const DocValue& doc) {
+    view.ForEach([&](storage::DocId, const DocValue& doc) {
       std::string key;
       if (CountKeyOf(doc.FindPath(path), &key)) ++counts[key];
     });
-    coll.NoteCollScan();
+    view.NoteCollScan();
     return counts;
   }
   // Counting needs every matching document: a leftover limit, order or
@@ -69,8 +74,8 @@ GroupCounts CountGroups(const storage::Collection& coll,
   find_opts.order_by.clear();
   find_opts.page_size = -1;
   find_opts.resume_token.clear();
-  Status st = FindFold(coll, pred, find_opts, [&](storage::DocId id) {
-    const DocValue* doc = coll.Get(id);
+  Status st = FindFold(view, pred, find_opts, [&](storage::DocId id) {
+    const DocValue* doc = view.Get(id);
     if (doc == nullptr) return;
     std::string key;
     if (CountKeyOf(doc->FindPath(path), &key)) ++counts[key];
@@ -84,13 +89,14 @@ GroupCounts CountGroups(const storage::Collection& coll,
 GroupCounts CountGroupsByFilter(const storage::Collection& coll,
                                 const std::string& path,
                                 const DocFilter& filter) {
+  storage::CollectionView view = coll.GetView();
   GroupCounts counts;
-  coll.ForEach([&](storage::DocId, const DocValue& doc) {
+  view.ForEach([&](storage::DocId, const DocValue& doc) {
     if (!filter(doc)) return;
     std::string key;
     if (CountKeyOf(doc.FindPath(path), &key)) ++counts[key];
   });
-  coll.NoteCollScan();
+  view.NoteCollScan();
   return counts;
 }
 

@@ -238,7 +238,7 @@ void AppendCodecHeader(std::string* out) {
   w.PutU16(0);  // flags, reserved
 }
 
-Status ReadCodecHeader(BinaryReader* reader) {
+Status ReadCodecHeader(BinaryReader* reader, uint16_t* version_out) {
   uint32_t magic = 0;
   uint16_t version = 0, flags = 0;
   DT_RETURN_NOT_OK(reader->ReadU32(&magic));
@@ -246,11 +246,13 @@ Status ReadCodecHeader(BinaryReader* reader) {
     return Status::Corruption("bad magic: not a dt binary stream");
   }
   DT_RETURN_NOT_OK(reader->ReadU16(&version));
-  if (version != kCodecVersion) {
-    return Status::Corruption("unsupported codec version " +
-                              std::to_string(version) + " (this build reads " +
-                              std::to_string(kCodecVersion) + ")");
+  if (version < kMinCodecVersion || version > kCodecVersion) {
+    return Status::Corruption(
+        "unsupported codec version " + std::to_string(version) +
+        " (this build reads " + std::to_string(kMinCodecVersion) + ".." +
+        std::to_string(kCodecVersion) + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   DT_RETURN_NOT_OK(reader->ReadU16(&flags));
   if (flags != 0) {
     return Status::Corruption("unknown codec flags " + std::to_string(flags));

@@ -42,10 +42,19 @@ namespace dt::storage {
 /// little-endian u32.
 inline constexpr uint32_t kCodecMagic = 0x31425444u;
 
-/// Bumped on any incompatible change to the value encoding. Readers
-/// reject other versions with kCorruption (forward compatibility is a
-/// policy decision left to callers, not silently guessed here).
-inline constexpr uint16_t kCodecVersion = 1;
+/// Bumped on any incompatible change to the value encoding, and on
+/// additive stream-layout changes readers branch on (writers always
+/// emit the current version). Version history:
+///   1  original format
+///   2  collection sections carry epoch lineage (incarnation + epoch)
+///      after next_id
+/// Readers accept [kMinCodecVersion, kCodecVersion] and reject
+/// anything else with kCorruption (forward compatibility is a policy
+/// decision left to callers, not silently guessed here).
+inline constexpr uint16_t kCodecVersion = 2;
+
+/// Oldest stream version this build still reads.
+inline constexpr uint16_t kMinCodecVersion = 1;
 
 /// Both directions refuse trees nested deeper than this: decode
 /// because a 4-byte-per-level crafted input could otherwise overflow
@@ -178,7 +187,10 @@ Status DecodeDocValue(std::string_view buf, DocValue* out);
 void AppendCodecHeader(std::string* out);
 
 /// Validates magic and version at the reader's cursor and advances past
-/// the header. Wrong magic or version is kCorruption.
-Status ReadCodecHeader(BinaryReader* reader);
+/// the header. Wrong magic, or a version outside
+/// [kMinCodecVersion, kCodecVersion], is kCorruption. When `version`
+/// is non-null it receives the stream's version so callers can branch
+/// on layout differences.
+Status ReadCodecHeader(BinaryReader* reader, uint16_t* version = nullptr);
 
 }  // namespace dt::storage

@@ -1,13 +1,15 @@
 #include "storage/collection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <random>
 
 #include "common/hash.h"
 #include "common/strutil.h"
 
 namespace dt::storage {
 
-void ExtentChain::Append(int64_t bytes) {
+void ExtentChain::Append(int64_t bytes, uint64_t* alloc_epoch) {
   if (extents_.empty() ||
       extents_.back().used + bytes > extents_.back().capacity) {
     int64_t cap = extents_.empty()
@@ -17,108 +19,453 @@ void ExtentChain::Append(int64_t bytes) {
     cap = std::max(cap, bytes);  // oversized documents get a fitted extent
     extents_.push_back(Extent{cap, 0});
     storage_size_ += cap;
-    if (epoch_counter_ != nullptr) last_alloc_epoch_ = ++*epoch_counter_;
+    if (alloc_epoch != nullptr) last_alloc_epoch_ = ++*alloc_epoch;
   }
   extents_.back().used += bytes;
 }
 
-Collection::Collection(std::string ns, CollectionOptions opts)
-    : ns_(std::move(ns)), opts_(opts) {
-  shards_.reserve(opts_.num_shards);
-  for (int i = 0; i < opts_.num_shards; ++i) {
-    shards_.emplace_back(opts_);
-    shards_.back().set_epoch_counter(&alloc_epoch_);
+namespace internal {
+
+StorageVersion::StorageVersion(const StorageVersion& other)
+    : ns(other.ns),
+      opts(other.opts),
+      next_id(other.next_id),
+      alloc_epoch(other.alloc_epoch),
+      chunks(other.chunks),
+      shards(other.shards),
+      indexes(other.indexes),
+      data_size(other.data_size),
+      doc_count(other.doc_count),
+      epoch(other.epoch),
+      version_id(other.version_id) {}
+
+size_t StorageVersion::ChunkLowerBound(DocId id) const {
+  auto it = std::partition_point(
+      chunks.begin(), chunks.end(),
+      [id](const std::shared_ptr<DocChunk>& c) {
+        return c->docs.back().first < id;
+      });
+  return static_cast<size_t>(it - chunks.begin());
+}
+
+namespace {
+
+/// Position of `id` within a chunk's sorted doc run.
+std::vector<std::pair<DocId, DocValue>>::const_iterator LowerBoundIn(
+    const DocChunk& chunk, DocId id) {
+  return std::partition_point(
+      chunk.docs.begin(), chunk.docs.end(),
+      [id](const std::pair<DocId, DocValue>& e) { return e.first < id; });
+}
+
+}  // namespace
+
+const DocValue* StorageVersion::Get(DocId id) const {
+  size_t ci = ChunkLowerBound(id);
+  if (ci == chunks.size()) return nullptr;
+  auto it = LowerBoundIn(*chunks[ci], id);
+  if (it == chunks[ci]->docs.end() || it->first != id) return nullptr;
+  return &it->second;
+}
+
+void StorageVersion::ForEach(
+    const std::function<void(DocId, const DocValue&)>& fn) const {
+  for (const auto& chunk : chunks) {
+    for (const auto& [id, doc] : chunk->docs) fn(id, doc);
   }
+}
+
+const SecondaryIndex* StorageVersion::IndexOn(
+    const std::string& field_path) const {
+  for (const auto& idx : indexes) {
+    if (idx->field_path() == field_path) return idx.get();
+  }
+  return nullptr;
+}
+
+DocChunk* StorageVersion::MutableChunk(size_t i) {
+  if (chunks[i].use_count() != 1) {
+    chunks[i] = std::make_shared<DocChunk>(*chunks[i]);
+  }
+  return chunks[i].get();
+}
+
+SecondaryIndex* StorageVersion::MutableIndex(size_t i) {
+  if (indexes[i].use_count() != 1) {
+    indexes[i] = std::make_shared<SecondaryIndex>(*indexes[i]);
+  }
+  return indexes[i].get();
+}
+
+void StorageVersion::InsertDocSorted(DocId id, DocValue doc) {
+  size_t ci = ChunkLowerBound(id);
+  if (ci == chunks.size()) {
+    // Append path (the common case: ids are assigned ascending).
+    if (chunks.empty() || chunks.back()->docs.size() >= kDocChunkCapacity) {
+      chunks.push_back(std::make_shared<DocChunk>());
+    }
+    MutableChunk(chunks.size() - 1)
+        ->docs.emplace_back(id, std::move(doc));
+    return;
+  }
+  DocChunk* chunk = MutableChunk(ci);
+  auto it = LowerBoundIn(*chunk, id);
+  chunk->docs.emplace(chunk->docs.begin() + (it - chunk->docs.cbegin()), id,
+                      std::move(doc));
+  if (chunk->docs.size() > kDocChunkCapacity) {
+    // Split in half so mid-directory inserts stay O(chunk), not O(n).
+    auto right = std::make_shared<DocChunk>();
+    size_t half = chunk->docs.size() / 2;
+    right->docs.assign(std::make_move_iterator(chunk->docs.begin() + half),
+                       std::make_move_iterator(chunk->docs.end()));
+    chunk->docs.resize(half);
+    chunks.insert(chunks.begin() + ci + 1, std::move(right));
+  }
+}
+
+bool StorageVersion::EraseDoc(DocId id, DocValue* removed) {
+  size_t ci = ChunkLowerBound(id);
+  if (ci == chunks.size()) return false;
+  {
+    auto it = LowerBoundIn(*chunks[ci], id);
+    if (it == chunks[ci]->docs.end() || it->first != id) return false;
+  }
+  DocChunk* chunk = MutableChunk(ci);
+  auto it = chunk->docs.begin() +
+            (LowerBoundIn(*chunk, id) - chunk->docs.cbegin());
+  *removed = std::move(it->second);
+  chunk->docs.erase(it);
+  if (chunk->docs.empty()) chunks.erase(chunks.begin() + ci);
+  return true;
+}
+
+DocValue* StorageVersion::FindMutableDoc(DocId id) {
+  size_t ci = ChunkLowerBound(id);
+  if (ci == chunks.size()) return nullptr;
+  {
+    auto it = LowerBoundIn(*chunks[ci], id);
+    if (it == chunks[ci]->docs.end() || it->first != id) return nullptr;
+  }
+  DocChunk* chunk = MutableChunk(ci);
+  auto it = chunk->docs.begin() +
+            (LowerBoundIn(*chunk, id) - chunk->docs.cbegin());
+  return &it->second;
+}
+
+void CollectionShared::TrimRetainedLocked() {
+  const size_t budget =
+      opts.retained_versions < 0 ? 0
+                                 : static_cast<size_t>(opts.retained_versions);
+  while (retained.size() > budget) {
+    const std::shared_ptr<const StorageVersion>& victim = retained.front();
+    if (victim->epoch < epochs.MinPinned()) {
+      victim->in_retained = false;
+      retained.pop_front();
+      continue;
+    }
+    // A pinned reader could still resume against this version: defer
+    // the eviction until the pinned epochs drain.
+    if (!victim->retire_pending) {
+      victim->retire_pending = true;
+      epochs.Retire(victim->epoch, [this, vid = victim->version_id] {
+        std::lock_guard<std::mutex> lock(version_mu);
+        for (auto it = retained.begin(); it != retained.end(); ++it) {
+          if ((*it)->version_id == vid) {
+            (*it)->in_retained = false;
+            retained.erase(it);
+            break;
+          }
+        }
+      });
+    }
+    break;  // everything behind the front is at least as recent
+  }
+}
+
+namespace {
+
+/// Non-deterministic writer-RNG seed: collection identity (version
+/// ids, incarnations) must differ across processes, unlike the
+/// repository's reproducible experiment seeds.
+uint64_t EntropySeed() {
+  std::random_device rd;
+  uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  seed ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return Mix64(seed);
+}
+
+}  // namespace
+
+}  // namespace internal
+
+// ---- CollectionView ----
+
+std::vector<const SecondaryIndex*> CollectionView::Indexes() const {
+  std::vector<const SecondaryIndex*> out;
+  out.reserve(core_->indexes.size());
+  for (const auto& idx : core_->indexes) out.push_back(idx.get());
+  return out;
+}
+
+std::vector<std::vector<std::string>> CollectionView::IndexSpecs() const {
+  std::vector<std::vector<std::string>> out;
+  for (const auto& idx : core_->indexes) {
+    if (idx->field_path() != "_id") out.push_back(idx->field_paths());
+  }
+  return out;
+}
+
+void CollectionView::RetainForResume() const {
+  internal::CollectionShared& st = *state_;
+  std::lock_guard<std::mutex> lock(st.version_mu);
+  if (core_->in_retained) return;
+  core_->in_retained = true;
+  st.retained.push_back(core_);
+}
+
+Result<CollectionView> CollectionView::At(uint64_t version_id) const {
+  if (version_id == core_->version_id) return *this;
+  internal::CollectionShared& st = *state_;
+  std::shared_ptr<const internal::StorageVersion> found;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(st.version_mu);
+    if (st.published->version_id == version_id) {
+      found = st.published;
+    } else {
+      for (const auto& v : st.retained) {
+        if (v->version_id == version_id) {
+          found = v;
+          break;
+        }
+      }
+    }
+    if (found != nullptr) {
+      epoch = found->epoch;
+      st.epochs.Pin(epoch);
+    }
+  }
+  if (found == nullptr) {
+    return Status::InvalidArgument(
+        "stale resume token: the version of " + core_->ns +
+        " it was minted against is no longer retained");
+  }
+  auto pin = std::make_shared<const internal::VersionPin>(state_, epoch);
+  return CollectionView(state_, std::move(found), std::move(pin));
+}
+
+// ---- DocCursor ----
+
+bool DocCursor::Next(DocId* id, const DocValue** doc) {
+  const auto& chunks = core_->chunks;
+  while (chunk_ < chunks.size()) {
+    const auto& docs = chunks[chunk_]->docs;
+    if (pos_ < docs.size()) {
+      *id = docs[pos_].first;
+      *doc = &docs[pos_].second;
+      ++pos_;
+      return true;
+    }
+    ++chunk_;
+    pos_ = 0;
+  }
+  return false;
+}
+
+void DocCursor::SeekAfter(DocId id) {
+  // Land on the chunk that would hold `id`, then take the first
+  // element strictly greater (spilling into the next chunk when `id`
+  // was that chunk's last element).
+  const auto& chunks = core_->chunks;
+  chunk_ = core_->ChunkLowerBound(id);
+  pos_ = 0;
+  if (chunk_ >= chunks.size()) return;
+  const auto& docs = chunks[chunk_]->docs;
+  pos_ = static_cast<size_t>(
+      std::partition_point(docs.begin(), docs.end(),
+                           [id](const std::pair<DocId, DocValue>& e) {
+                             return e.first <= id;
+                           }) -
+      docs.begin());
+  if (pos_ >= docs.size()) {
+    ++chunk_;
+    pos_ = 0;
+  }
+}
+
+// ---- Collection ----
+
+Collection::Collection(std::string ns, CollectionOptions opts)
+    : state_(std::make_shared<internal::CollectionShared>()) {
+  internal::CollectionShared& st = *state_;
+  st.ns = ns;
+  st.opts = opts;
+  st.rng.Seed(internal::EntropySeed());
+  st.incarnation = st.rng.Next();
+  auto v = std::make_shared<internal::StorageVersion>();
+  v->ns = std::move(ns);
+  v->opts = opts;
+  v->shards.reserve(opts.num_shards);
+  for (int i = 0; i < opts.num_shards; ++i) v->shards.emplace_back(opts);
   // Default _id index, as in the production store behind Table I
   // (nindexes == 1 for a collection with no user indexes).
-  indexes_.push_back(std::make_unique<SecondaryIndex>("_id"));
+  v->indexes.push_back(std::make_shared<SecondaryIndex>("_id"));
+  v->version_id = st.rng.Next();
+  st.published = std::move(v);
 }
 
-int Collection::ShardOf(DocId id) const {
-  return static_cast<int>(Mix64(id) % static_cast<uint64_t>(opts_.num_shards));
+std::shared_ptr<const internal::StorageVersion> Collection::CurrentCore()
+    const {
+  std::lock_guard<std::mutex> lock(state_->version_mu);
+  return state_->published;
 }
 
-void Collection::InsertUnchecked(DocId id, DocValue doc) {
+CollectionView Collection::GetView() const {
+  internal::CollectionShared& st = *state_;
+  std::shared_ptr<const internal::StorageVersion> core;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(st.version_mu);
+    core = st.published;
+    epoch = core->epoch;
+    st.epochs.Pin(epoch);
+  }
+  auto pin = std::make_shared<const internal::VersionPin>(state_, epoch);
+  return CollectionView(state_, std::move(core), std::move(pin));
+}
+
+void Collection::Mutate(
+    const std::function<void(internal::StorageVersion&)>& fn) {
+  internal::CollectionShared& st = *state_;
+  std::unique_lock<std::mutex> vlock(st.version_mu);
+  if (st.published.use_count() == 1) {
+    // No view, cursor or retained entry can reach this version, and
+    // none can be acquired while we hold version_mu: mutate in place
+    // (granules shared with older versions still get cloned).
+    internal::StorageVersion& v = *st.published;
+    fn(v);
+    ++v.epoch;
+    v.version_id = st.rng.Next();
+    st.TrimRetainedLocked();
+    vlock.unlock();
+  } else {
+    std::shared_ptr<const internal::StorageVersion> base = st.published;
+    vlock.unlock();
+    // Copy-on-write off the lock: readers keep traversing `base`
+    // while the successor is assembled against shared granules.
+    auto next = std::make_shared<internal::StorageVersion>(*base);
+    fn(*next);
+    ++next->epoch;
+    next->version_id = st.rng.Next();
+    vlock.lock();
+    st.published = std::move(next);
+    st.TrimRetainedLocked();
+    vlock.unlock();
+    base.reset();
+  }
+  st.epochs.Reclaim();
+}
+
+int Collection::ShardOf(const CollectionOptions& opts, DocId id) {
+  return static_cast<int>(Mix64(id) % static_cast<uint64_t>(opts.num_shards));
+}
+
+void Collection::InsertUnchecked(internal::StorageVersion& v, DocId id,
+                                 DocValue doc) {
   if (doc.is_object() && doc.Find("_id") == nullptr) {
     doc.Add("_id", DocValue::Int(static_cast<int64_t>(id)));
   }
   int64_t bytes = doc.SerializedSize();
-  shards_[ShardOf(id)].Append(bytes);
-  data_size_ += bytes;
-  for (auto& idx : indexes_) idx->Insert(id, doc);
-  docs_.emplace(id, std::move(doc));
-  if (id >= next_id_) next_id_ = id + 1;
-  ++mutation_epoch_;
+  v.shards[ShardOf(v.opts, id)].Append(bytes, &v.alloc_epoch);
+  v.data_size += bytes;
+  for (size_t i = 0; i < v.indexes.size(); ++i) {
+    v.MutableIndex(i)->Insert(id, doc);
+  }
+  v.InsertDocSorted(id, std::move(doc));
+  ++v.doc_count;
+  if (id >= v.next_id) v.next_id = id + 1;
 }
 
 DocId Collection::Insert(DocValue doc) {
-  DocId id = next_id_;  // never live and never 0
-  InsertUnchecked(id, std::move(doc));
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  DocId id = state_->published->next_id;  // never live and never 0
+  Mutate([&](internal::StorageVersion& v) {
+    InsertUnchecked(v, id, std::move(doc));
+  });
   return id;
 }
 
 Status Collection::RestoreDocument(DocId id, DocValue doc) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
   if (id == 0) {
     return Status::InvalidArgument("document id 0 is not assignable");
   }
-  if (docs_.count(id) != 0) {
+  if (state_->published->Get(id) != nullptr) {
     return Status::AlreadyExists("document id " + std::to_string(id) +
-                                 " already live in " + ns_);
+                                 " already live in " + state_->ns);
   }
-  InsertUnchecked(id, std::move(doc));
+  Mutate([&](internal::StorageVersion& v) {
+    InsertUnchecked(v, id, std::move(doc));
+  });
   return Status::OK();
 }
 
 const DocValue* Collection::Get(DocId id) const {
-  auto it = docs_.find(id);
-  return it == docs_.end() ? nullptr : &it->second;
+  std::lock_guard<std::mutex> lock(state_->version_mu);
+  return state_->published->Get(id);
 }
 
 Status Collection::Update(DocId id, DocValue doc) {
-  auto it = docs_.find(id);
-  if (it == docs_.end()) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  if (state_->published->Get(id) == nullptr) {
     return Status::NotFound("no document with id " + std::to_string(id) +
-                            " in " + ns_);
+                            " in " + state_->ns);
   }
   if (doc.is_object() && doc.Find("_id") == nullptr) {
     doc.Add("_id", DocValue::Int(static_cast<int64_t>(id)));
   }
-  for (auto& idx : indexes_) {
-    idx->Remove(id, it->second);
-    idx->Insert(id, doc);
-  }
-  data_size_ += doc.SerializedSize() - it->second.SerializedSize();
-  // In-place update: extent accounting models append-only allocation,
-  // so updated bytes stay attributed to the original extent.
-  it->second = std::move(doc);
-  ++mutation_epoch_;
+  Mutate([&](internal::StorageVersion& v) {
+    DocValue* slot = v.FindMutableDoc(id);
+    for (size_t i = 0; i < v.indexes.size(); ++i) {
+      SecondaryIndex* idx = v.MutableIndex(i);
+      idx->Remove(id, *slot);
+      idx->Insert(id, doc);
+    }
+    v.data_size += doc.SerializedSize() - slot->SerializedSize();
+    // In-place update: extent accounting models append-only
+    // allocation, so updated bytes stay attributed to the original
+    // extent.
+    *slot = std::move(doc);
+  });
   return Status::OK();
 }
 
 Status Collection::Remove(DocId id) {
-  auto it = docs_.find(id);
-  if (it == docs_.end()) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  if (state_->published->Get(id) == nullptr) {
     return Status::NotFound("no document with id " + std::to_string(id) +
-                            " in " + ns_);
+                            " in " + state_->ns);
   }
-  for (auto& idx : indexes_) idx->Remove(id, it->second);
-  data_size_ -= it->second.SerializedSize();
-  docs_.erase(it);
-  ++mutation_epoch_;
+  Mutate([&](internal::StorageVersion& v) {
+    DocValue removed;
+    v.EraseDoc(id, &removed);
+    for (size_t i = 0; i < v.indexes.size(); ++i) {
+      v.MutableIndex(i)->Remove(id, removed);
+    }
+    v.data_size -= removed.SerializedSize();
+    --v.doc_count;
+  });
   return Status::OK();
 }
 
 void Collection::ForEach(
     const std::function<void(DocId, const DocValue&)>& fn) const {
-  for (const auto& [id, doc] : docs_) fn(id, doc);
+  CurrentCore()->ForEach(fn);
 }
 
-bool Collection::DocCursor::Next(DocId* id, const DocValue** doc) {
-  if (it_ == end_) return false;
-  *id = it_->first;
-  *doc = &it_->second;
-  ++it_;
-  return true;
+storage::DocCursor Collection::ScanDocs() const {
+  return GetView().ScanDocs();
 }
 
 Status Collection::CreateIndex(const char* field_path) {
@@ -126,6 +473,7 @@ Status Collection::CreateIndex(const char* field_path) {
 }
 
 Status Collection::CreateIndex(const std::vector<std::string>& field_paths) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
   if (field_paths.empty()) {
     return Status::InvalidArgument("an index needs at least one field path");
   }
@@ -149,29 +497,32 @@ Status Collection::CreateIndex(const std::vector<std::string>& field_paths) {
                                      " in compound index");
     }
   }
-  auto idx = std::make_unique<SecondaryIndex>(field_paths);
-  if (HasIndex(idx->field_path())) {
+  auto idx = std::make_shared<SecondaryIndex>(field_paths);
+  if (state_->published->IndexOn(idx->field_path()) != nullptr) {
     return Status::AlreadyExists("index on " + idx->field_path() +
                                  " already exists");
   }
-  for (const auto& [id, doc] : docs_) idx->Insert(id, doc);
-  indexes_.push_back(std::move(idx));
-  ++mutation_epoch_;
+  Mutate([&](internal::StorageVersion& v) {
+    v.ForEach([&](DocId id, const DocValue& doc) { idx->Insert(id, doc); });
+    v.indexes.push_back(std::move(idx));
+  });
   return Status::OK();
 }
 
 std::vector<std::vector<std::string>> Collection::IndexSpecs() const {
+  auto core = CurrentCore();
   std::vector<std::vector<std::string>> out;
-  for (const auto& idx : indexes_) {
+  for (const auto& idx : core->indexes) {
     if (idx->field_path() != "_id") out.push_back(idx->field_paths());
   }
   return out;
 }
 
 std::vector<const SecondaryIndex*> Collection::Indexes() const {
+  auto core = CurrentCore();
   std::vector<const SecondaryIndex*> out;
-  out.reserve(indexes_.size());
-  for (const auto& idx : indexes_) out.push_back(idx.get());
+  out.reserve(core->indexes.size());
+  for (const auto& idx : core->indexes) out.push_back(idx.get());
   return out;
 }
 
@@ -180,50 +531,81 @@ bool Collection::HasIndex(const std::string& field_path) const {
 }
 
 const SecondaryIndex* Collection::IndexOn(const std::string& field_path) const {
-  for (const auto& idx : indexes_) {
-    if (idx->field_path() == field_path) return idx.get();
-  }
-  return nullptr;
+  std::lock_guard<std::mutex> lock(state_->version_mu);
+  return state_->published->IndexOn(field_path);
 }
 
 std::vector<DocId> Collection::FindEqual(const std::string& field_path,
                                          const DocValue& value) const {
-  for (const auto& idx : indexes_) {
-    if (idx->field_path() == field_path) return idx->Lookup(value);
+  auto core = CurrentCore();
+  if (const SecondaryIndex* idx = core->IndexOn(field_path)) {
+    return idx->Lookup(value);
   }
   std::vector<DocId> out;
-  for (const auto& [id, doc] : docs_) {
+  core->ForEach([&](DocId id, const DocValue& doc) {
     const DocValue* v = doc.FindPath(field_path);
     if (v != nullptr && v->Equals(value)) out.push_back(id);
-  }
+  });
   return out;
 }
 
 std::vector<DocId> Collection::FindRange(const std::string& field_path,
                                          const DocValue& lo,
                                          const DocValue& hi) const {
-  for (const auto& idx : indexes_) {
-    if (idx->field_path() == field_path) return idx->Range(lo, hi);
+  auto core = CurrentCore();
+  if (const SecondaryIndex* idx = core->IndexOn(field_path)) {
+    return idx->Range(lo, hi);
   }
   std::vector<DocId> out;
   IndexKey klo = IndexKey::FromValue(lo), khi = IndexKey::FromValue(hi);
-  for (const auto& [id, doc] : docs_) {
+  core->ForEach([&](DocId id, const DocValue& doc) {
     const DocValue* v = doc.FindPath(field_path);
-    if (v == nullptr) continue;
+    if (v == nullptr) return;
     IndexKey k = IndexKey::FromValue(*v);
     if (!(k < klo) && !(khi < k)) out.push_back(id);
-  }
+  });
   return out;
 }
 
+int64_t Collection::count() const { return CurrentCore()->doc_count; }
+
+uint64_t Collection::mutation_epoch() const { return CurrentCore()->epoch; }
+
+uint64_t Collection::version_id() const { return CurrentCore()->version_id; }
+
+size_t Collection::retained_version_count() const {
+  std::lock_guard<std::mutex> lock(state_->version_mu);
+  return state_->retained.size();
+}
+
+DocId Collection::next_id() const { return CurrentCore()->next_id; }
+
+void Collection::RestoreNextId(DocId next_id) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  std::lock_guard<std::mutex> vlock(state_->version_mu);
+  // Loading is single-threaded and the version unobserved; adjust in
+  // place without minting a new version.
+  if (next_id > state_->published->next_id) {
+    state_->published->next_id = next_id;
+  }
+}
+
+void Collection::RestoreLineage(uint64_t incarnation, uint64_t epoch) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  std::lock_guard<std::mutex> vlock(state_->version_mu);
+  state_->incarnation = incarnation;
+  state_->published->epoch = epoch;
+}
+
 CollectionStats Collection::Stats() const {
+  auto core = CurrentCore();
   CollectionStats st;
-  st.ns = ns_;
-  st.count = count();
-  st.nindexes = static_cast<int64_t>(indexes_.size());
-  st.num_shards = opts_.num_shards;
+  st.ns = core->ns;
+  st.count = core->doc_count;
+  st.nindexes = static_cast<int64_t>(core->indexes.size());
+  st.num_shards = core->opts.num_shards;
   uint64_t best_epoch = 0;
-  for (const auto& shard : shards_) {
+  for (const auto& shard : core->shards) {
     st.num_extents += shard.num_extents();
     st.storage_size += shard.storage_size();
     if (shard.last_alloc_epoch() >= best_epoch && shard.num_extents() > 0) {
@@ -231,11 +613,11 @@ CollectionStats Collection::Stats() const {
       st.last_extent_size = shard.last_extent_size();
     }
   }
-  for (const auto& idx : indexes_) st.total_index_size += idx->SizeBytes();
-  st.data_size = data_size_;
+  for (const auto& idx : core->indexes) st.total_index_size += idx->SizeBytes();
+  st.data_size = core->data_size;
   st.avg_obj_size = st.count > 0 ? st.data_size / st.count : 0;
-  st.index_scans = index_scans_;
-  st.coll_scans = coll_scans_;
+  st.index_scans = index_scans();
+  st.coll_scans = coll_scans();
   return st;
 }
 

@@ -1,5 +1,6 @@
 /// \file collection.h
-/// \brief Sharded document collection with extent-based storage accounting.
+/// \brief Sharded document collection with extent-based storage
+/// accounting and epoch-protected, versioned reads.
 ///
 /// Mirrors the storage engine the paper runs on: a collection is split
 /// across shards; each shard appends documents into fixed-capacity
@@ -8,16 +9,48 @@
 /// figures of Tables I and II). A default `_id` index always exists;
 /// secondary indexes can be added and are maintained on insert/update/
 /// remove.
+///
+/// Concurrency model (the "heavy traffic from millions of users"
+/// serving path):
+///
+///   * All reachable document/index state lives in an immutable
+///     `StorageVersion`. Writers (serialized by an internal writer
+///     mutex) either mutate the published version in place when no
+///     reader holds it, or build the next version copy-on-write —
+///     sharing untouched doc chunks and index shards with the previous
+///     version and cloning only what the mutation touches — and swap
+///     it in atomically.
+///   * Readers call `GetView()` to obtain a `CollectionView`: a
+///     version handle that pins the version's epoch in an
+///     `EpochManager` and keeps the version alive by `shared_ptr`.
+///     Everything reached through a view (cursors, index scans,
+///     borrowed documents) is immutable and stays valid for the
+///     view's lifetime, no matter what writers do concurrently.
+///   * Versions that resume tokens reference are parked in a retained
+///     set (`RetainForResume`). Publication trims the set to
+///     `CollectionOptions::retained_versions`, but eviction of a
+///     version whose epoch is still pinned is deferred through
+///     `EpochManager::Retire` until the pinned epochs drain.
+///
+/// Direct reads on `Collection` (Get/ForEach/IndexOn/...) remain for
+/// single-threaded callers and borrow from the currently published
+/// version: they are valid until the next mutation and must not run
+/// concurrently with writers — concurrent readers go through views.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/epoch.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "storage/docvalue.h"
 #include "storage/index.h"
@@ -25,6 +58,8 @@
 namespace dt::storage {
 
 struct SnapshotOptions;
+class Collection;
+class CollectionView;
 
 /// Tuning knobs for a collection. The defaults reproduce the paper's
 /// production configuration; benches scale `max_extent_size_bytes`
@@ -37,6 +72,11 @@ struct CollectionOptions {
   /// Extent allocation doubles until reaching this cap (2 GB in the
   /// paper's deployment).
   int64_t max_extent_size_bytes = 2LL * 1024 * 1024 * 1024;
+  /// How many superseded versions the collection keeps resumable for
+  /// page tokens (the retained set). 0 makes every token die on the
+  /// next write; the budget is an in-memory serving knob and is not
+  /// persisted by snapshots.
+  int retained_versions = 8;
 };
 
 /// Snapshot of collection statistics — the `db.<coll>.stats()` call
@@ -64,14 +104,17 @@ struct CollectionStats {
 };
 
 /// \brief One shard's extent chain (byte bookkeeping only; documents
-/// live in the collection's id map).
+/// live in the version's doc chunks).
 class ExtentChain {
  public:
   explicit ExtentChain(const CollectionOptions& opts) : opts_(opts) {}
 
   /// Accounts for a document of `bytes`; allocates a new extent when
-  /// the current one cannot fit it.
-  void Append(int64_t bytes);
+  /// the current one cannot fit it. `alloc_epoch` is the owning
+  /// version's allocation counter, bumped per extent allocation (a
+  /// per-call parameter rather than a stored pointer so chains stay
+  /// plainly copyable when a version is cloned).
+  void Append(int64_t bytes, uint64_t* alloc_epoch);
 
   int64_t num_extents() const { return static_cast<int64_t>(extents_.size()); }
   int64_t last_extent_size() const {
@@ -82,9 +125,6 @@ class ExtentChain {
   /// "latest extent" resolution).
   uint64_t last_alloc_epoch() const { return last_alloc_epoch_; }
 
-  /// Sets the allocation epoch source shared by all shards.
-  void set_epoch_counter(uint64_t* counter) { epoch_counter_ = counter; }
-
  private:
   struct Extent {
     int64_t capacity = 0;
@@ -94,22 +134,255 @@ class ExtentChain {
   CollectionOptions opts_;
   std::vector<Extent> extents_;
   int64_t storage_size_ = 0;
-  uint64_t* epoch_counter_ = nullptr;
   uint64_t last_alloc_epoch_ = 0;
 };
 
+namespace internal {
+
+/// Sorted run of (id, document) pairs — the copy-on-write granule of
+/// document storage. Chunks within a version are disjoint and
+/// ascending, so iterating the chunk directory yields id order.
+struct DocChunk {
+  std::vector<std::pair<DocId, DocValue>> docs;
+};
+
+/// Splitting threshold for a doc chunk. Small enough that cloning the
+/// one touched chunk per write is cheap, large enough that the chunk
+/// directory stays shallow.
+inline constexpr size_t kDocChunkCapacity = 256;
+
+/// \brief One immutable published state of a collection. Everything a
+/// reader traverses hangs off a version; writers publish a new one
+/// (or mutate the current one in place when provably unobserved).
+struct StorageVersion {
+  StorageVersion() = default;
+  /// Copy shares doc chunks and indexes structurally (shared_ptr) —
+  /// the writer clones a granule before first touching it. Retention
+  /// bookkeeping does not carry over to the copy.
+  StorageVersion(const StorageVersion& other);
+  StorageVersion& operator=(const StorageVersion&) = delete;
+
+  std::string ns;
+  CollectionOptions opts;
+  DocId next_id = 1;
+  uint64_t alloc_epoch = 0;
+  std::vector<std::shared_ptr<DocChunk>> chunks;
+  std::vector<ExtentChain> shards;
+  std::vector<std::shared_ptr<SecondaryIndex>> indexes;  // [0] is _id
+  int64_t data_size = 0;
+  int64_t doc_count = 0;
+  /// Ordinal mutation counter: exactly one bump per insert/update/
+  /// remove/index creation, continued across snapshot save/load (the
+  /// persisted epoch lineage).
+  uint64_t epoch = 0;
+  /// Random identity of this exact version; what page tokens pin.
+  /// Regenerated on every publication and on snapshot load, so a
+  /// token can never falsely match a state it was not minted against.
+  uint64_t version_id = 0;
+
+  // Retention bookkeeping, guarded by CollectionShared::version_mu.
+  mutable bool in_retained = false;
+  mutable bool retire_pending = false;
+
+  // ---- Read accessors (safe on a published version) ----
+  const DocValue* Get(DocId id) const;
+  void ForEach(const std::function<void(DocId, const DocValue&)>& fn) const;
+  const SecondaryIndex* IndexOn(const std::string& field_path) const;
+  /// Index of the first chunk whose last id is >= `id` (chunks.size()
+  /// if none) — the chunk `id` would live in.
+  size_t ChunkLowerBound(DocId id) const;
+
+  // ---- Mutators (writer-only: callers guarantee exclusive access
+  // to *this; shared granules are cloned before mutation) ----
+  DocChunk* MutableChunk(size_t i);
+  SecondaryIndex* MutableIndex(size_t i);
+  /// Inserts into the chunk directory (no index/extent bookkeeping).
+  void InsertDocSorted(DocId id, DocValue doc);
+  /// Removes `id` from the chunk directory, moving the removed
+  /// document into `removed`; false if not present.
+  bool EraseDoc(DocId id, DocValue* removed);
+  /// Mutable slot of a live document (clones its chunk first), or
+  /// nullptr.
+  DocValue* FindMutableDoc(DocId id);
+};
+
+/// State shared between a Collection, its views and its cursors.
+/// Behind one shared_ptr so Collection stays movable and a view can
+/// structurally outlive the Collection that minted it.
+struct CollectionShared {
+  std::string ns;
+  CollectionOptions opts;
+  /// Random lineage id minted when the collection is first created
+  /// and persisted by snapshots: tokens carry it, so a token can name
+  /// which lineage it belongs to across process restarts.
+  uint64_t incarnation = 0;
+
+  /// Serializes writers (Insert/Update/Remove/CreateIndex/Restore*).
+  std::mutex writer_mu;
+  /// Guards `published`, `retained` and the per-version retention
+  /// flags. Ordering: version_mu may be taken before the epoch
+  /// manager's internal lock, never the other way around.
+  mutable std::mutex version_mu;
+  EpochManager epochs;
+  std::shared_ptr<StorageVersion> published;
+  std::deque<std::shared_ptr<const StorageVersion>> retained;
+
+  /// Writer-side RNG for version ids (guarded by writer_mu).
+  Rng rng;
+
+  // Query-path accounting; atomics so concurrent readers may record.
+  mutable std::atomic<int64_t> index_scans{0};
+  mutable std::atomic<int64_t> coll_scans{0};
+
+  /// Evicts over-budget retained versions; defers (via
+  /// EpochManager::Retire) the ones whose epoch is still pinned.
+  /// Requires version_mu.
+  void TrimRetainedLocked();
+};
+
+/// Epoch pin tied to an object lifetime: shared by every view/cursor
+/// that reads the pinned version; unpins on destruction of the last.
+struct VersionPin {
+  VersionPin(std::shared_ptr<CollectionShared> s, uint64_t e)
+      : state(std::move(s)), epoch(e) {}
+  ~VersionPin() { state->epochs.Unpin(epoch); }
+  VersionPin(const VersionPin&) = delete;
+  VersionPin& operator=(const VersionPin&) = delete;
+
+  std::shared_ptr<CollectionShared> state;
+  uint64_t epoch;
+};
+
+}  // namespace internal
+
+/// \brief Pull-based iteration over the live documents of one storage
+/// version, in id order. The cursor co-owns the version (and holds
+/// its epoch pin), so it is structurally impossible for it to outlive
+/// the documents it yields — concurrent writers publish new versions
+/// and never touch this one.
+class DocCursor {
+ public:
+  /// Pulls the next (id, document); false at end. The document
+  /// pointer stays valid for the cursor's lifetime.
+  bool Next(DocId* id, const DocValue** doc);
+
+  /// Repositions the cursor at the first live document with id
+  /// strictly greater than `id` (O(log n)) — how a resumed
+  /// collection scan restarts after a prior page without re-walking
+  /// the consumed prefix.
+  void SeekAfter(DocId id);
+
+ private:
+  friend class Collection;
+  friend class CollectionView;
+  DocCursor(std::shared_ptr<const internal::StorageVersion> core,
+            std::shared_ptr<const internal::VersionPin> pin)
+      : core_(std::move(core)), pin_(std::move(pin)) {}
+
+  std::shared_ptr<const internal::StorageVersion> core_;
+  std::shared_ptr<const internal::VersionPin> pin_;
+  size_t chunk_ = 0;
+  size_t pos_ = 0;
+};
+
+/// \brief An epoch-pinned, immutable handle on one published state of
+/// a collection — the unit the query layer reads through. Copyable
+/// (copies share the pin); cheap to pass by value. Everything
+/// borrowed from a view (documents, index scans, cursors) is valid
+/// for as long as any copy of the view or cursor lives.
+class CollectionView {
+ public:
+  const std::string& ns() const { return core_->ns; }
+  const CollectionOptions& options() const { return core_->opts; }
+  int64_t count() const { return core_->doc_count; }
+  DocId next_id() const { return core_->next_id; }
+  /// Ordinal mutation epoch of this version (see StorageVersion).
+  uint64_t mutation_epoch() const { return core_->epoch; }
+  /// Random identity of this version — what resume tokens pin.
+  uint64_t version_id() const { return core_->version_id; }
+  /// Lineage id of the owning collection (persisted by snapshots).
+  uint64_t incarnation() const { return state_->incarnation; }
+
+  /// Document with `id`, or nullptr; valid for the view's lifetime.
+  const DocValue* Get(DocId id) const { return core_->Get(id); }
+
+  /// Invokes `fn` for every live document in id order.
+  void ForEach(const std::function<void(DocId, const DocValue&)>& fn) const {
+    core_->ForEach(fn);
+  }
+
+  DocCursor ScanDocs() const { return DocCursor(core_, pin_); }
+
+  bool HasIndex(const std::string& field_path) const {
+    return IndexOn(field_path) != nullptr;
+  }
+  const SecondaryIndex* IndexOn(const std::string& field_path) const {
+    return core_->IndexOn(field_path);
+  }
+  std::vector<const SecondaryIndex*> Indexes() const;
+  std::vector<std::vector<std::string>> IndexSpecs() const;
+
+  void NoteIndexScan() const {
+    state_->index_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteCollScan() const {
+    state_->coll_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Parks this view's version in the collection's retained set so a
+  /// resume token minted against it stays serviceable after writers
+  /// publish newer versions (until the retention budget or epoch
+  /// drain evicts it). Idempotent.
+  void RetainForResume() const;
+
+  /// Resolves `version_id` to a view: this view or the live published
+  /// version if they match, else a still-retained version; otherwise
+  /// InvalidArgument ("stale resume token": the version was
+  /// reclaimed, so the token cannot be honored without skipping or
+  /// duplicating documents).
+  Result<CollectionView> At(uint64_t version_id) const;
+
+ private:
+  friend class Collection;
+  CollectionView(std::shared_ptr<internal::CollectionShared> state,
+                 std::shared_ptr<const internal::StorageVersion> core,
+                 std::shared_ptr<const internal::VersionPin> pin)
+      : state_(std::move(state)), core_(std::move(core)),
+        pin_(std::move(pin)) {}
+
+  std::shared_ptr<internal::CollectionShared> state_;
+  std::shared_ptr<const internal::StorageVersion> core_;
+  std::shared_ptr<const internal::VersionPin> pin_;
+};
+
 /// \brief A sharded document collection.
+///
+/// Writers are internally serialized and may run concurrently with
+/// any number of `GetView()` readers. The borrowing read accessors on
+/// Collection itself (Get/ForEach/IndexOn/Indexes/ScanDocs) are the
+/// legacy single-threaded surface: their results are only guaranteed
+/// stable until the next mutation.
 class Collection {
  public:
   Collection(std::string ns, CollectionOptions opts = {});
 
-  const std::string& ns() const { return ns_; }
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  const std::string& ns() const { return state_->ns; }
+
+  /// Pins and returns the currently published version. The preferred
+  /// read path — and the only safe one under concurrent writers.
+  CollectionView GetView() const;
 
   /// Inserts a document, assigning and returning its id. The document
   /// gains an "_id" field if absent.
   DocId Insert(DocValue doc);
 
-  /// Returns the document with `id`, or nullptr.
+  /// Returns the document with `id`, or nullptr (legacy borrow:
+  /// valid until the next mutation).
   const DocValue* Get(DocId id) const;
 
   /// Replaces the document with `id`. Indexes are maintained.
@@ -118,33 +391,17 @@ class Collection {
   /// Removes the document with `id`. Indexes are maintained.
   Status Remove(DocId id);
 
-  /// Invokes `fn` for every live document in id order.
+  /// Invokes `fn` for every live document in id order (one consistent
+  /// version: a concurrent writer cannot tear the iteration).
   void ForEach(const std::function<void(DocId, const DocValue&)>& fn) const;
 
-  /// \brief Pull-based iteration over live documents in id order — the
-  /// executor's collection-scan access path (`ForEach` remains the push
-  /// form). Valid while the collection is not mutated.
-  class DocCursor {
-   public:
-    /// Pulls the next (id, document); false at end.
-    bool Next(DocId* id, const DocValue** doc);
+  /// Nested-name compatibility: the cursor type predates views.
+  using DocCursor = storage::DocCursor;
 
-    /// Repositions the cursor at the first live document with id
-    /// strictly greater than `id` (O(log n)) — how a resumed
-    /// collection scan restarts after a prior page without re-walking
-    /// the consumed prefix.
-    void SeekAfter(DocId id) { it_ = docs_->upper_bound(id); }
-
-   private:
-    friend class Collection;
-    explicit DocCursor(const std::map<DocId, DocValue>* docs)
-        : docs_(docs), it_(docs->begin()), end_(docs->end()) {}
-
-    const std::map<DocId, DocValue>* docs_;
-    std::map<DocId, DocValue>::const_iterator it_, end_;
-  };
-
-  DocCursor ScanDocs() const { return DocCursor(&docs_); }
+  /// Pull-based scan over the currently published version. The cursor
+  /// owns its version: it stays valid (and yields that version's
+  /// documents) even if the collection is mutated or destroyed.
+  storage::DocCursor ScanDocs() const;
 
   /// Creates a secondary index on `field_path`, backfilling existing
   /// documents. Fails with AlreadyExists if one exists on that path.
@@ -165,8 +422,7 @@ class Collection {
   bool HasIndex(const std::string& field_path) const;
 
   /// The index whose canonical name is `field_path` (including "_id"),
-  /// or nullptr. The planner uses this to iterate/count without copying
-  /// id vectors.
+  /// or nullptr (legacy borrow: stable until the next mutation).
   const SecondaryIndex* IndexOn(const std::string& field_path) const;
 
   /// Every index (the "_id" index first, then user indexes in creation
@@ -182,25 +438,34 @@ class Collection {
   std::vector<DocId> FindRange(const std::string& field_path,
                                const DocValue& lo, const DocValue& hi) const;
 
-  int64_t count() const { return static_cast<int64_t>(docs_.size()); }
+  int64_t count() const;
 
-  /// \brief Counts structural mutations (inserts, updates, removes,
-  /// index creation) since this in-memory collection was constructed.
-  /// Resume tokens pin the epoch they were minted at, so a resumed
-  /// query after any mutation is rejected instead of silently skipping
-  /// or duplicating documents. Not persisted: a loaded collection's
-  /// epoch reflects its restore inserts, which invalidates pre-save
-  /// tokens by construction.
-  uint64_t mutation_epoch() const { return mutation_epoch_; }
+  /// \brief Ordinal count of structural mutations (inserts, updates,
+  /// removes, index creation) over the collection's whole lineage:
+  /// snapshots persist it, so a loaded collection continues from the
+  /// saved value instead of wrapping back to its restore-insert
+  /// count. Resume-token validation pins the random `version_id()`
+  /// rather than this counter.
+  uint64_t mutation_epoch() const;
 
-  const CollectionOptions& options() const { return opts_; }
+  /// Random identity of the currently published version.
+  uint64_t version_id() const;
+
+  /// Random lineage id (persisted by snapshots; folded into resume
+  /// tokens so cross-lineage tokens are rejected by name).
+  uint64_t incarnation() const { return state_->incarnation; }
+
+  /// Superseded versions currently kept resumable (test hook).
+  size_t retained_version_count() const;
+
+  const CollectionOptions& options() const { return state_->opts; }
 
   /// Component path lists of the user-created secondary indexes, in
   /// creation order (snapshot persistence; "_id" excluded).
   std::vector<std::vector<std::string>> IndexSpecs() const;
 
   /// Id that the next `Insert` will assign.
-  DocId next_id() const { return next_id_; }
+  DocId next_id() const;
 
   // ---- Snapshot persistence (implemented in storage/snapshot.cc) ----
 
@@ -223,9 +488,15 @@ class Collection {
 
   /// Raises `next_id` to at least `next_id` (restores ids burned by
   /// removed documents so save -> load -> save is byte-identical).
-  void RestoreNextId(DocId next_id) {
-    if (next_id > next_id_) next_id_ = next_id;
-  }
+  void RestoreNextId(DocId next_id);
+
+  /// \brief Adopts a persisted epoch lineage (snapshot loading): the
+  /// saving collection's incarnation id and exact mutation epoch.
+  /// Overwrites whatever the restore inserts accumulated, so
+  /// save -> load -> save round-trips the lineage byte-identically.
+  /// The published version keeps its fresh random `version_id`, so
+  /// tokens minted before the save never validate after a load.
+  void RestoreLineage(uint64_t incarnation, uint64_t epoch);
 
   /// The `db.<coll>.stats()` snapshot.
   CollectionStats Stats() const;
@@ -234,33 +505,41 @@ class Collection {
 
   /// Records that a query was served via an index access path / via a
   /// full scan. Counters are observational (mutable): recording against
-  /// a const collection is expected. Not thread-safe; concurrent
-  /// queries may undercount, which stats consumers tolerate.
-  void NoteIndexScan() const { ++index_scans_; }
-  void NoteCollScan() const { ++coll_scans_; }
-  int64_t index_scans() const { return index_scans_; }
-  int64_t coll_scans() const { return coll_scans_; }
+  /// a const collection is expected.
+  void NoteIndexScan() const {
+    state_->index_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteCollScan() const {
+    state_->coll_scans.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t index_scans() const {
+    return state_->index_scans.load(std::memory_order_relaxed);
+  }
+  int64_t coll_scans() const {
+    return state_->coll_scans.load(std::memory_order_relaxed);
+  }
 
  private:
-  int ShardOf(DocId id) const;
+  static int ShardOf(const CollectionOptions& opts, DocId id);
   /// Shared mutation core of Insert/RestoreDocument: no liveness check
   /// (callers guarantee `id` is fresh), maintains extents, indexes and
-  /// next_id_.
-  void InsertUnchecked(DocId id, DocValue doc);
+  /// next_id.
+  static void InsertUnchecked(internal::StorageVersion& v, DocId id,
+                              DocValue doc);
 
-  std::string ns_;
-  CollectionOptions opts_;
-  DocId next_id_ = 1;
-  uint64_t alloc_epoch_ = 0;
-  // Id-ordered storage. A std::map keeps ForEach deterministic in id
-  // order, which the query layer and tests rely on.
-  std::map<DocId, DocValue> docs_;
-  std::vector<ExtentChain> shards_;
-  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;  // [0] is _id
-  int64_t data_size_ = 0;
-  uint64_t mutation_epoch_ = 0;
-  mutable int64_t index_scans_ = 0;
-  mutable int64_t coll_scans_ = 0;
+  /// Runs `fn` against the next version under the publication
+  /// protocol: in place when the published version is unobserved
+  /// (holding version_mu throughout, so no reader can acquire it
+  /// mid-mutation), else copy-on-write + atomic swap. Bumps the epoch,
+  /// mints a fresh version_id and trims the retained set. Callers
+  /// hold writer_mu.
+  void Mutate(const std::function<void(internal::StorageVersion&)>& fn);
+
+  /// Published version under version_mu (stable while writer_mu is
+  /// held, since publication requires both).
+  std::shared_ptr<const internal::StorageVersion> CurrentCore() const;
+
+  std::shared_ptr<internal::CollectionShared> state_;
 };
 
 }  // namespace dt::storage

@@ -1,6 +1,12 @@
 /// \file document_store.h
 /// \brief Named registry of sharded document collections (the "dt"
 /// database of the paper: dt.instance, dt.entity, ...).
+///
+/// The registry itself (create/drop/lookup) is not synchronized —
+/// establish the collection set before going multi-threaded. The
+/// collections it hands out are: readers take epoch-pinned
+/// `CollectionView` handles (see collection.h) and may run
+/// concurrently with each collection's internally serialized writers.
 
 #pragma once
 

@@ -172,8 +172,11 @@ class SecondaryIndex {
   /// \brief Pull-based ordered iterator over a bounds-delimited portion
   /// of the index — the storage half of the executor's `IxScanCursor`.
   /// Yields entries in key order (reversed when constructed
-  /// descending); the returned key pointer stays valid while the index
-  /// is not mutated.
+  /// descending); the returned key pointer stays valid while the
+  /// index object is alive and unmutated. Indexes reached through a
+  /// `CollectionView` are immutable version members, so a scan is
+  /// valid for the lifetime of the view that produced it no matter
+  /// what writers do concurrently.
   class Scan {
    public:
     /// Pulls the next entry; false at end of scan.
@@ -191,8 +194,9 @@ class SecondaryIndex {
     /// suppressed — under the run contract (prefix-tying entries are
     /// consumed in ascending id order) those are exactly the entries
     /// already emitted. `prefix` must be a position this scan's bounds
-    /// contain (resume tokens guarantee that: they are epoch-pinned to
-    /// an unmutated index).
+    /// contain (resume tokens guarantee that: they pin the storage
+    /// version — and thus the exact index state — they were minted
+    /// against).
     void SeekAfter(const CompositeKey& prefix, DocId last_id);
 
    private:

@@ -176,7 +176,7 @@ Status ForEachChunk(ThreadPool* pool, size_t n,
 
 // ---- collection section -----------------------------------------------
 
-Status WriteCollectionSection(const Collection& coll, ThreadPool* pool,
+Status WriteCollectionSection(const CollectionView& coll, ThreadPool* pool,
                               int docs_per_chunk, std::string* out) {
   BinaryWriter w(out);
   w.PutString(coll.ns());
@@ -185,6 +185,13 @@ Status WriteCollectionSection(const Collection& coll, ThreadPool* pool,
   w.PutU64(static_cast<uint64_t>(copts.initial_extent_size_bytes));
   w.PutU64(static_cast<uint64_t>(copts.max_extent_size_bytes));
   w.PutU64(coll.next_id());
+  // v2 epoch lineage: the incarnation id and mutation epoch ride the
+  // snapshot so a reloaded collection keeps its lineage (and re-saving
+  // an untouched load stays byte-identical), while resume tokens
+  // minted before the save can never be accepted after a restart —
+  // the loaded collection publishes under a fresh random version id.
+  w.PutU64(coll.incarnation());
+  w.PutU64(coll.mutation_epoch());
   std::vector<std::vector<std::string>> index_specs = coll.IndexSpecs();
   w.PutU32(static_cast<uint32_t>(index_specs.size()));
   for (const auto& spec : index_specs) w.PutString(EncodeIndexRecord(spec));
@@ -226,18 +233,26 @@ Status WriteCollectionSection(const Collection& coll, ThreadPool* pool,
 
 /// Reads one collection section at the reader's cursor into a fresh
 /// collection constructed from the persisted ns/options. Secondary
-/// indexes are rebuilt from the persisted field paths.
-Result<std::unique_ptr<Collection>> ReadCollectionSection(BinaryReader* r,
-                                                          ThreadPool* pool) {
+/// indexes are rebuilt from the persisted field paths. `codec_version`
+/// selects the section layout: v2 sections carry epoch lineage
+/// (incarnation + mutation epoch) after next_id, v1 sections do not
+/// (the loaded collection keeps its fresh random incarnation).
+Result<std::unique_ptr<Collection>> ReadCollectionSection(
+    BinaryReader* r, ThreadPool* pool, uint16_t codec_version) {
   std::string ns;
   DT_RETURN_NOT_OK(r->ReadString(&ns));
   CollectionOptions copts;
   uint32_t num_shards = 0;
   uint64_t init_extent = 0, max_extent = 0, next_id = 0, doc_count = 0;
+  uint64_t incarnation = 0, epoch = 0;
   DT_RETURN_NOT_OK(r->ReadU32(&num_shards));
   DT_RETURN_NOT_OK(r->ReadU64(&init_extent));
   DT_RETURN_NOT_OK(r->ReadU64(&max_extent));
   DT_RETURN_NOT_OK(r->ReadU64(&next_id));
+  if (codec_version >= 2) {
+    DT_RETURN_NOT_OK(r->ReadU64(&incarnation));
+    DT_RETURN_NOT_OK(r->ReadU64(&epoch));
+  }
   if (num_shards == 0 || num_shards > (1u << 20)) {
     return Status::Corruption("implausible shard count " +
                               std::to_string(num_shards));
@@ -376,6 +391,12 @@ Result<std::unique_ptr<Collection>> ReadCollectionSection(BinaryReader* r,
                                 st.ToString());
     }
   }
+  // Adopt the persisted lineage last: restore/CreateIndex above bump
+  // the mutation epoch, and the loaded collection must report exactly
+  // the persisted (incarnation, epoch) so save -> load -> save is
+  // byte-identical. The version id stays this process's fresh random
+  // draw, which is what rejects pre-save resume tokens after a load.
+  if (codec_version >= 2) coll->RestoreLineage(incarnation, epoch);
   return coll;
 }
 
@@ -386,8 +407,9 @@ Status WriteHeader(uint8_t kind, std::string* out) {
   return Status::OK();
 }
 
-Status ReadHeader(BinaryReader* r, uint8_t expected_kind) {
-  DT_RETURN_NOT_OK(ReadCodecHeader(r));
+Status ReadHeader(BinaryReader* r, uint8_t expected_kind,
+                  uint16_t* codec_version) {
+  DT_RETURN_NOT_OK(ReadCodecHeader(r, codec_version));
   uint8_t kind = 0;
   DT_RETURN_NOT_OK(r->ReadU8(&kind));
   if (kind != expected_kind) {
@@ -430,8 +452,10 @@ Status EncodeStoreSnapshot(const DocumentStore& store,
   for (const std::string& name : names) {
     const Collection* coll = store.GetCollection(name).ValueOrDie();
     w.PutString(name);
-    DT_RETURN_NOT_OK(
-        WriteCollectionSection(*coll, pool, opts.docs_per_chunk, out));
+    // Snapshot through a view: the write walks one immutable version,
+    // consistent even if a writer publishes mid-save.
+    DT_RETURN_NOT_OK(WriteCollectionSection(coll->GetView(), pool,
+                                            opts.docs_per_chunk, out));
   }
   return Status::OK();
 }
@@ -441,7 +465,8 @@ Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
   std::unique_ptr<ThreadPool> pool_holder;
   ThreadPool* pool = MakePool(opts, &pool_holder);
   BinaryReader r(buf);
-  DT_RETURN_NOT_OK(ReadHeader(&r, kKindStore));
+  uint16_t codec_version = 0;
+  DT_RETURN_NOT_OK(ReadHeader(&r, kKindStore, &codec_version));
   std::string db_name;
   DT_RETURN_NOT_OK(r.ReadString(&db_name));
   uint32_t count = 0;
@@ -455,7 +480,7 @@ Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
     std::string name;
     DT_RETURN_NOT_OK(r.ReadString(&name));
     DT_ASSIGN_OR_RETURN(std::unique_ptr<Collection> coll,
-                        ReadCollectionSection(&r, pool));
+                        ReadCollectionSection(&r, pool, codec_version));
     Status st = store->AdoptCollection(name, std::move(coll));
     if (!st.ok()) {
       // A duplicate collection name means the file is bad.
@@ -492,7 +517,7 @@ Status SaveSnapshot(const Collection& coll, const std::string& path,
   std::string buf;
   DT_RETURN_NOT_OK(WriteHeader(kKindCollection, &buf));
   DT_RETURN_NOT_OK(
-      WriteCollectionSection(coll, pool, opts.docs_per_chunk, &buf));
+      WriteCollectionSection(coll.GetView(), pool, opts.docs_per_chunk, &buf));
   return WriteStringToFile(path, buf);
 }
 
@@ -503,9 +528,10 @@ Result<std::unique_ptr<Collection>> LoadCollectionSnapshot(
   std::string buf;
   DT_RETURN_NOT_OK(ReadFileToString(path, &buf));
   BinaryReader r(buf);
-  DT_RETURN_NOT_OK(ReadHeader(&r, kKindCollection));
+  uint16_t codec_version = 0;
+  DT_RETURN_NOT_OK(ReadHeader(&r, kKindCollection, &codec_version));
   DT_ASSIGN_OR_RETURN(std::unique_ptr<Collection> coll,
-                      ReadCollectionSection(&r, pool));
+                      ReadCollectionSection(&r, pool, codec_version));
   if (r.remaining() != 0) {
     return Status::Corruption(std::to_string(r.remaining()) +
                               " trailing bytes after collection");

@@ -19,6 +19,14 @@
 ///     ns string
 ///     options            u32 num_shards, u64 initial/max extent bytes
 ///     u64 next_id
+///     epoch lineage      u64 incarnation + u64 mutation epoch (codec
+///                        version >= 2 only; v1 sections omit both and
+///                        load with a fresh incarnation). Loading
+///                        adopts the lineage, so save -> load -> save
+///                        is byte-identical — but resume tokens minted
+///                        before the save are still rejected after a
+///                        load, because token validity is keyed on the
+///                        never-persisted random version id.
 ///     index metadata     u32 count + one record string per index:
 ///                        a single-field index is its raw field path
 ///                        (the pre-compound format, unchanged byte for

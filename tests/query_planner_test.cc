@@ -1096,51 +1096,84 @@ TEST(PaginationTest, TamperedTokensAreRejected) {
   EXPECT_EQ(resumed->ids.size(), 5u);
 }
 
-TEST(PaginationTest, StaleTokenRejectedAfterAnyMutation) {
-  auto mint = [](Collection* coll) {
+TEST(PaginationTest, ResumeAfterMutationServesPinnedVersion) {
+  // Minting a token retains the storage version the page executed
+  // against: later mutations publish new versions, but the resumed
+  // stream continues on the pinned one, so the stitched result is
+  // byte-identical to the pre-mutation one-shot answer — no skipped or
+  // duplicated ids, whatever the writer did in between.
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  auto run = [&](const std::function<void(Collection*)>& mutate) {
+    Collection coll = MakeEntities();
+    auto expected = Find(coll, pred, FindOptions{});
+    ASSERT_TRUE(expected.ok());
     FindOptions opts;
     opts.page_size = 5;
-    auto page =
-        FindPage(*coll, Predicate::Eq("type", DocValue::Str("Movie")), opts);
-    EXPECT_TRUE(page.ok());
-    return page.ok() ? page->next_token : std::string();
+    auto page = FindPage(coll, pred, opts);
+    ASSERT_TRUE(page.ok());
+    std::vector<DocId> stitched = page->ids;
+    std::string token = page->next_token;
+    ASSERT_FALSE(token.empty());
+    mutate(&coll);
+    while (!token.empty()) {
+      opts.resume_token = token;
+      auto next = FindPage(coll, pred, opts);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      stitched.insert(stitched.end(), next->ids.begin(), next->ids.end());
+      token = next->next_token;
+    }
+    EXPECT_EQ(stitched, *expected);
   };
-  auto expect_stale = [](const Collection& coll, const std::string& token) {
-    FindOptions opts;
-    opts.page_size = 5;
-    opts.resume_token = token;
-    Status st =
-        FindPage(coll, Predicate::Eq("type", DocValue::Str("Movie")), opts)
-            .status();
-    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
-    EXPECT_NE(st.ToString().find("stale"), std::string::npos)
-        << st.ToString();
-  };
-  {
-    Collection coll = MakeEntities();
-    std::string token = mint(&coll);
-    coll.Insert(DocBuilder().Set("type", "Movie").Set("name", "New").Build());
-    expect_stale(coll, token);
-  }
-  {
-    Collection coll = MakeEntities();
-    std::string token = mint(&coll);
-    ASSERT_TRUE(coll.Remove(40).ok());  // far past the consumed position
-    expect_stale(coll, token);
-  }
-  {
-    Collection coll = MakeEntities();
-    std::string token = mint(&coll);
+  run([](Collection* coll) {
+    coll->Insert(
+        DocBuilder().Set("type", "Movie").Set("name", "New").Build());
+  });
+  run([](Collection* coll) {
+    ASSERT_TRUE(coll->Remove(40).ok());  // far past the consumed position
+  });
+  run([](Collection* coll) {
     ASSERT_TRUE(
-        coll.Update(40, DocBuilder().Set("type", "Person").Build()).ok());
-    expect_stale(coll, token);
+        coll->Update(40, DocBuilder().Set("type", "Person").Build()).ok());
+  });
+  run([](Collection* coll) {
+    ASSERT_TRUE(coll->CreateIndex("confidence").ok());
+  });
+}
+
+TEST(PaginationTest, ReclaimedVersionTokenRejectedAsStale) {
+  // With a zero retained-version budget the version a token pins is
+  // reclaimed as soon as the next mutation publishes — the resume then
+  // fails cleanly instead of answering from reclaimed state.
+  storage::CollectionOptions opts_zero;
+  opts_zero.retained_versions = 0;
+  Collection coll("dt.entity", opts_zero);
+  for (int i = 0; i < 30; ++i) {
+    coll.Insert(
+        DocBuilder().Set("type", "Movie").Set("rank", int64_t{i}).Build());
   }
-  {
-    Collection coll = MakeEntities();
-    std::string token = mint(&coll);
-    ASSERT_TRUE(coll.CreateIndex("confidence").ok());
-    expect_stale(coll, token);
+  auto pred = Predicate::Eq("type", DocValue::Str("Movie"));
+  FindOptions opts;
+  opts.page_size = 5;
+  auto page = FindPage(coll, pred, opts);
+  ASSERT_TRUE(page.ok());
+  ASSERT_FALSE(page->next_token.empty());
+  coll.Insert(DocBuilder().Set("type", "Movie").Set("name", "New").Build());
+  opts.resume_token = page->next_token;
+  Status st = FindPage(coll, pred, opts).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("stale"), std::string::npos) << st.ToString();
+
+  // A token handed to a different collection lineage — same namespace,
+  // same data, different incarnation — is stale too, even though its
+  // fingerprint would match.
+  Collection other("dt.entity", opts_zero);
+  for (int i = 0; i < 30; ++i) {
+    other.Insert(
+        DocBuilder().Set("type", "Movie").Set("rank", int64_t{i}).Build());
   }
+  st = FindPage(other, pred, opts).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("stale"), std::string::npos) << st.ToString();
 }
 
 TEST(PaginationTest, TokenForADifferentQueryIsRejected) {
@@ -1430,18 +1463,22 @@ TEST(PaginationTest, ExplainRendersResumePosition) {
   EXPECT_NE(explain.find("MERGE_UNION"), std::string::npos) << explain;
   EXPECT_NE(explain.find("resume=[\"LIM\""), std::string::npos) << explain;
   EXPECT_NE(explain.find("\"MU\""), std::string::npos) << explain;
-  // A tampered token renders as rejected, and a post-mutation one as
-  // stale, instead of a position.
+  // A tampered token renders as rejected; after a mutation the token
+  // resumes against the retained pre-mutation version; and handed to a
+  // different collection lineage it renders stale.
   opts.resume_token[3] = static_cast<char>(opts.resume_token[3] ^ 0x11);
   EXPECT_NE(ExplainFind(coll, pred, opts).find("resume=INVALID"),
             std::string::npos);
   opts.resume_token = page->next_token;
   coll.Insert(DocBuilder().Set("type", "A").Set("name", "zzz").Build());
-  EXPECT_NE(ExplainFind(coll, pred, opts).find("resume=STALE"),
+  EXPECT_NE(ExplainFind(coll, pred, opts).find("resume=RETAINED"),
+            std::string::npos);
+  Collection other = MakeMergeCorpus(false);
+  EXPECT_NE(ExplainFind(other, pred, opts).find("resume=STALE"),
             std::string::npos);
 }
 
-TEST(DataTamerFindTest, FacadeFindPageStitchesAndRejectsStaleTokens) {
+TEST(DataTamerFindTest, FacadeFindPageStitchesAcrossMutations) {
   FacadeCorpus corpus(150);
   fusion::DataTamer tamer;
   corpus.Ingest(&tamer, /*with_indexes=*/true);
@@ -1455,11 +1492,13 @@ TEST(DataTamerFindTest, FacadeFindPageStitchesAndRejectsStaleTokens) {
   FindOptions opts = base;
   opts.page_size = 7;
   std::vector<DocId> stitched;
+  std::vector<DocId> final_page;
   std::string last_token;
   for (;;) {
     auto page = tamer.FindPage("entity", pred, opts);
     ASSERT_TRUE(page.ok()) << page.status().ToString();
     stitched.insert(stitched.end(), page->ids.begin(), page->ids.end());
+    final_page = page->ids;
     if (page->next_token.empty()) break;
     last_token = page->next_token;
     opts.resume_token = page->next_token;
@@ -1467,12 +1506,16 @@ TEST(DataTamerFindTest, FacadeFindPageStitchesAndRejectsStaleTokens) {
   EXPECT_EQ(stitched, *expected);
   ASSERT_FALSE(last_token.empty());
 
-  // Mutating the entity collection invalidates outstanding tokens.
+  // Mutating the entity collection publishes a new version; the
+  // outstanding token still resumes against the version it pinned,
+  // reproducing the final pre-mutation page exactly.
   tamer.entity_collection()->Insert(
       DocBuilder().Set("type", "Movie").Set("name", "Fresh").Build());
   opts.resume_token = last_token;
-  EXPECT_TRUE(
-      tamer.FindPage("entity", pred, opts).status().IsInvalidArgument());
+  auto resumed = tamer.FindPage("entity", pred, opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->ids, final_page);
+  EXPECT_TRUE(resumed->next_token.empty());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "datagen/webtext_gen.h"
 #include "fusion/data_tamer.h"
+#include "query/planner.h"
 #include "storage/codec.h"
 #include "storage/collection.h"
 #include "storage/document_store.h"
@@ -132,6 +133,52 @@ TEST(CollectionSnapshotTest, SaveLoadSaveIsByteIdentical) {
   EXPECT_EQ(a, b);
 }
 
+TEST(CollectionSnapshotTest, EpochLineageRoundTripsAndOldTokensRejectAfterLoad) {
+  Collection coll("dt.entity");
+  for (int i = 0; i < 40; ++i) {
+    coll.Insert(DocBuilder()
+                    .Set("type", "Movie")
+                    .Set("rank", static_cast<int64_t>(i))
+                    .Build());
+  }
+  ASSERT_TRUE(coll.CreateIndex("rank").ok());
+
+  // Mint a resume token against the live collection.
+  auto pred = query::Predicate::Eq("type", DocValue::Str("Movie"));
+  query::FindOptions opts;
+  opts.page_size = 10;
+  auto page = query::FindPage(coll, pred, opts);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  ASSERT_FALSE(page->next_token.empty());
+
+  TempFile f("lineage");
+  ASSERT_TRUE(coll.Save(f.path()).ok());
+  auto loaded = Collection::Open(f.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The persisted lineage is adopted exactly: same incarnation, same
+  // mutation epoch, even though loading replays inserts and index
+  // builds internally.
+  EXPECT_EQ((*loaded)->incarnation(), coll.incarnation());
+  EXPECT_EQ((*loaded)->mutation_epoch(), coll.mutation_epoch());
+
+  // The token still resumes against the original in-memory collection
+  // (its version is current there)...
+  query::FindOptions resume = opts;
+  resume.resume_token = page->next_token;
+  auto live = query::FindPage(coll, pred, resume);
+  EXPECT_TRUE(live.ok()) << live.status().ToString();
+
+  // ...but is rejected as stale by the loaded copy: the random version
+  // id is never persisted, so a restart can never false-accept a token
+  // minted against a pre-save (or pre-crash) version of the data.
+  auto stale = query::FindPage(**loaded, pred, resume);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsInvalidArgument()) << stale.status().ToString();
+  EXPECT_NE(stale.status().ToString().find("stale"), std::string::npos)
+      << stale.status().ToString();
+}
+
 TEST(CollectionSnapshotTest, CompoundIndexSurvivesSaveLoadSaveByteIdentically) {
   Collection coll("dt.compound", {});
   FillCollection(&coll, 300, 13);
@@ -186,8 +233,12 @@ TEST(CollectionSnapshotTest, PreCompoundFormatSnapshotLoadsUnchanged) {
   });
 
   std::string buf;
-  AppendCodecHeader(&buf);
   BinaryWriter w(&buf);
+  // Codec v1 header, hand-written: the layout this test pins predates
+  // the v2 epoch-lineage fields (AppendCodecHeader now writes v2).
+  w.PutU32(kCodecMagic);
+  w.PutU16(1);
+  w.PutU16(0);  // flags
   w.PutU8(2);  // collection snapshot kind
   w.PutString("dt.legacy");
   w.PutU32(8);                                  // num_shards (default)
