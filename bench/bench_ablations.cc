@@ -24,6 +24,9 @@
 ///   L. Reader throughput (QPS, p99 latency) at 4 reader threads with
 ///      0 vs 1 concurrent writer — the cost of the versioned-read
 ///      concurrency model under write churn.
+///   M. Network serving: sustained QPS and p99 latency over the
+///      loopback RPC server with 4 pipelining clients (the wire
+///      protocol + event loop + admission path end to end).
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
@@ -35,9 +38,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
@@ -50,6 +55,9 @@
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/query.h"
+#include "query/request.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -927,6 +935,125 @@ void AblationConcurrency() {
   RecordMetric("concurrency_qps_retention", retention);
 }
 
+void AblationServing(int64_t fragments_override) {
+  PrintSection("M. network serving: loopback RPC QPS + p99 (4 clients)");
+  const bool full_scale = fragments_override <= 0;
+  BenchScale scale;
+  scale.num_fragments = full_scale ? 4000 : fragments_override;
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  std::printf("  docs: %s\n",
+              WithThousandsSep(p.tamer->entity_collection()->count()).c_str());
+
+  server::ServerOptions sopts;
+  sopts.num_workers = 4;
+  server::DtServer srv(p.tamer.get(), sopts);
+  if (!srv.Start().ok()) {
+    std::printf("  FAILED: server did not start\n");
+    CheckFailed() = true;
+    return;
+  }
+
+  const int kClients = 4;
+  const int kRequestsPerClient = full_scale ? 1000 : 100;
+  // Open-loop-ish driver: each client keeps a bounded window of
+  // pipelined requests in flight instead of strict request/response
+  // lockstep, so the server sees concurrent arrivals per session.
+  const int kWindow = 8;
+  query::QueryRequest req;
+  req.op = query::QueryOp::kFind;
+  req.collection = "entity";
+  req.predicate =
+      query::Predicate::Eq("type", storage::DocValue::Str("Movie"));
+  req.order_by = "name";
+  req.limit = 50;
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<std::thread> clients;
+  Timer wall;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = server::DtClient::Connect("127.0.0.1", srv.port());
+      if (!conn.ok()) {
+        CheckFailed() = true;
+        return;
+      }
+      auto& lat = latencies[c];
+      lat.reserve(kRequestsPerClient);
+      std::unordered_map<uint64_t, std::chrono::steady_clock::time_point>
+          sent_at;
+      int sent = 0, received = 0;
+      while (received < kRequestsPerClient) {
+        while (sent < kRequestsPerClient &&
+               sent - received < kWindow) {
+          auto id = (*conn)->Send(req);
+          if (!id.ok()) {
+            CheckFailed() = true;
+            return;
+          }
+          sent_at[*id] = std::chrono::steady_clock::now();
+          ++sent;
+        }
+        auto env = (*conn)->Receive();
+        if (!env.ok() || !env->status.ok() || env->response.ids.empty()) {
+          CheckFailed() = true;
+          return;
+        }
+        auto it = sent_at.find(env->id);
+        if (it == sent_at.end()) {
+          CheckFailed() = true;
+          return;
+        }
+        lat.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - it->second)
+                          .count());
+        sent_at.erase(it);
+        ++received;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall_ms = wall.Millis();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  const size_t expected =
+      static_cast<size_t>(kClients) * kRequestsPerClient;
+  if (all.size() < expected) {
+    std::printf("  FAILED: a client thread aborted (%zu/%zu answered)\n",
+                all.size(), expected);
+    CheckFailed() = true;
+  }
+  const double qps = all.empty() || wall_ms <= 0
+                         ? 0.0
+                         : static_cast<double>(all.size()) / (wall_ms / 1000.0);
+  const double p50 = all.empty() ? 0.0 : all[all.size() / 2];
+  const double p99 = all.empty() ? 0.0 : all[all.size() * 99 / 100];
+  const server::ServerStats stats = srv.stats();
+  srv.Stop();
+  std::printf("  %-38s %10.0f QPS over the wire\n",
+              "4 clients, window 8", qps);
+  std::printf("  %-38s %10.4f ms p50 / %.4f ms p99\n", "request latency",
+              p50, p99);
+  std::printf("  %-38s %10llu executed, %llu rejected\n", "server counters",
+              static_cast<unsigned long long>(stats.requests_executed),
+              static_cast<unsigned long long>(stats.requests_rejected));
+  // Correctness bar: every request answered OK with hits; the default
+  // admission queue (256) never overflows under 4x8 in flight.
+  if (stats.requests_rejected > 0) {
+    std::printf("  FAILED: admission control rejected inside capacity\n");
+    CheckFailed() = true;
+  }
+  RecordMetric("server_clients", kClients);
+  RecordMetric("server_requests", static_cast<double>(all.size()));
+  RecordMetric("server_qps", qps);
+  RecordMetric("server_p50_ms", p50);
+  RecordMetric("server_p99_ms", p99);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -968,6 +1095,7 @@ int main(int argc, char** argv) {
   if (run('J')) AblationSortLimitPushdown();
   if (run('K')) AblationResumableCursors(fragments);
   if (run('L')) AblationConcurrency();
+  if (run('M')) AblationServing(fragments);
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kNotImplemented = 7,
   kCapacityExceeded = 8,
   kInternal = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -87,6 +88,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Transient overload/shutdown rejection: the request was not
+  /// executed and a retry later may succeed (the server's admission
+  /// control answers with this instead of silently dropping).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -105,6 +112,7 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

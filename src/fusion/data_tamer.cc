@@ -186,17 +186,14 @@ Result<match::IntegrationReport> DataTamer::IngestJsonLines(
 
 std::vector<query::CountRow> DataTamer::TopDiscussed(
     const std::string& entity_type, int k, bool award_winning_only) const {
-  query::PredicatePtr pred =
-      query::Predicate::Eq("type", DocValue::Str(entity_type));
-  if (award_winning_only) {
-    pred = query::Predicate::And(
-        {std::move(pred),
-         query::Predicate::Eq("award_winning", DocValue::Str("true"))});
-  }
-  // Rides the shared bounded top-k machinery (see executor.h's
-  // TopKCursor / BoundedTopK) over the planner-routed group counts.
-  return query::TopKByCount(*entity_, "name", k, pred,
-                            ResolveFindOptions("entity", {}));
+  query::QueryRequest req;
+  req.op = query::QueryOp::kTopDiscussed;
+  req.entity_type = entity_type;
+  req.k = k;
+  req.award_winning_only = award_winning_only;
+  Result<query::QueryResponse> resp = Execute(req);
+  if (!resp.ok()) return {};
+  return std::move(resp->groups);
 }
 
 ThreadPool* DataTamer::WorkerPool() const {
@@ -247,33 +244,140 @@ query::FindOptions DataTamer::ResolveFindOptions(
   return opts;
 }
 
+namespace {
+
+/// The serializable projection of a legacy (collection, pred, opts)
+/// call — what the thin wrappers hand to `ExecuteInternal`.
+query::QueryRequest MakeFindRequest(query::QueryOp op,
+                                    const std::string& collection,
+                                    const query::PredicatePtr& pred,
+                                    const query::FindOptions& opts) {
+  query::QueryRequest req;
+  req.op = op;
+  req.collection = collection;
+  req.predicate = pred;
+  req.limit = opts.limit;
+  req.order_by = opts.order_by;
+  req.order_desc = opts.order_desc;
+  req.page_size = opts.page_size;
+  req.resume_token = opts.resume_token;
+  req.use_indexes = opts.use_indexes;
+  req.num_threads = opts.num_threads;
+  return req;
+}
+
+}  // namespace
+
+Result<query::QueryResponse> DataTamer::Execute(
+    const query::QueryRequest& req) const {
+  return ExecuteInternal(req, query::FindOptions{});
+}
+
+Result<query::QueryResponse> DataTamer::ExecuteInternal(
+    const query::QueryRequest& req, query::FindOptions opts) const {
+  // The request's serializable knobs overlay the base options; the
+  // process-local members (pool, text index, stats out-param) stay
+  // whatever the wrapper supplied and resolve below exactly as the
+  // legacy entry points did.
+  opts.limit = req.limit;
+  opts.order_by = req.order_by;
+  opts.order_desc = req.order_desc;
+  opts.page_size = req.page_size;
+  opts.resume_token = req.resume_token;
+  opts.use_indexes = req.use_indexes;
+  opts.num_threads = static_cast<int>(req.num_threads);
+  query::ExecStats exec_stats;
+  query::ExecStats* caller_stats = opts.stats;
+  opts.stats = &exec_stats;
+
+  const std::string coll_name = req.op == query::QueryOp::kTopDiscussed
+                                    ? std::string("entity")
+                                    : req.collection;
+  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                      store_.GetCollection(coll_name));
+  opts = ResolveFindOptions(coll_name, std::move(opts));
+
+  query::QueryResponse resp;
+  switch (req.op) {
+    case query::QueryOp::kFind: {
+      // Reads go through an explicit version handle: the whole
+      // execution sees one immutable storage version however the
+      // collection mutates.
+      DT_ASSIGN_OR_RETURN(resp.ids,
+                          query::Find(coll->GetView(), req.predicate, opts));
+      break;
+    }
+    case query::QueryOp::kFindPage: {
+      DT_ASSIGN_OR_RETURN(
+          query::FindResult page,
+          query::FindPage(coll->GetView(), req.predicate, opts));
+      resp.ids = std::move(page.ids);
+      resp.next_token = std::move(page.next_token);
+      break;
+    }
+    case query::QueryOp::kExplain: {
+      storage::CollectionView view = coll->GetView();
+      resp.explain = query::ExplainFind(view, req.predicate, opts);
+      resp.plan = query::PlanFind(view, req.predicate, opts).ToDocValue();
+      break;
+    }
+    case query::QueryOp::kCount:
+      resp.groups = query::CountByField(*coll, req.group_path, req.predicate,
+                                        opts);
+      break;
+    case query::QueryOp::kTopK:
+      resp.groups = query::TopKByCount(*coll, req.group_path,
+                                       static_cast<int>(req.k), req.predicate,
+                                       opts);
+      break;
+    case query::QueryOp::kTopDiscussed: {
+      query::PredicatePtr pred =
+          query::Predicate::Eq("type", DocValue::Str(req.entity_type));
+      if (req.award_winning_only) {
+        pred = query::Predicate::And(
+            {std::move(pred),
+             query::Predicate::Eq("award_winning", DocValue::Str("true"))});
+      }
+      // Rides the shared bounded top-k machinery (see executor.h's
+      // TopKCursor / BoundedTopK) over the planner-routed group counts.
+      resp.groups = query::TopKByCount(*coll, "name", static_cast<int>(req.k),
+                                       pred, opts);
+      break;
+    }
+  }
+  resp.stats = exec_stats;
+  if (caller_stats != nullptr) *caller_stats = exec_stats;
+  return resp;
+}
+
 Result<std::vector<storage::DocId>> DataTamer::Find(
     const std::string& collection, const query::PredicatePtr& pred,
     query::FindOptions opts) const {
-  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
-                      store_.GetCollection(collection));
-  // Reads go through an explicit version handle: the whole execution
-  // sees one immutable storage version however the collection mutates.
-  return query::Find(coll->GetView(), pred,
-                     ResolveFindOptions(collection, opts));
+  query::QueryRequest req =
+      MakeFindRequest(query::QueryOp::kFind, collection, pred, opts);
+  DT_ASSIGN_OR_RETURN(query::QueryResponse resp,
+                      ExecuteInternal(req, std::move(opts)));
+  return std::move(resp.ids);
 }
 
 Result<query::FindResult> DataTamer::FindPage(
     const std::string& collection, const query::PredicatePtr& pred,
     query::FindOptions opts) const {
-  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
-                      store_.GetCollection(collection));
-  return query::FindPage(coll->GetView(), pred,
-                         ResolveFindOptions(collection, opts));
+  query::QueryRequest req =
+      MakeFindRequest(query::QueryOp::kFindPage, collection, pred, opts);
+  DT_ASSIGN_OR_RETURN(query::QueryResponse resp,
+                      ExecuteInternal(req, std::move(opts)));
+  return query::FindResult{std::move(resp.ids), std::move(resp.next_token)};
 }
 
 Result<std::string> DataTamer::Explain(const std::string& collection,
                                        const query::PredicatePtr& pred,
                                        query::FindOptions opts) const {
-  DT_ASSIGN_OR_RETURN(const storage::Collection* coll,
-                      store_.GetCollection(collection));
-  return query::ExplainFind(coll->GetView(), pred,
-                            ResolveFindOptions(collection, opts));
+  query::QueryRequest req =
+      MakeFindRequest(query::QueryOp::kExplain, collection, pred, opts);
+  DT_ASSIGN_OR_RETURN(query::QueryResponse resp,
+                      ExecuteInternal(req, std::move(opts)));
+  return std::move(resp.explain);
 }
 
 namespace {

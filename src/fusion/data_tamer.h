@@ -26,6 +26,7 @@
 #include "match/global_schema.h"
 #include "match/synonyms.h"
 #include "query/query.h"
+#include "query/request.h"
 #include "query/text_search.h"
 #include "relational/catalog.h"
 #include "storage/document_store.h"
@@ -134,6 +135,14 @@ class DataTamer {
       const ReviewResolver& resolver = nullptr);
 
   // ---- Fusion queries (the demo of §V) ----
+
+  /// \brief The unified query entry point: dispatches a serializable
+  /// `QueryRequest` (kFind / kFindPage / kExplain / kCount / kTopK /
+  /// kTopDiscussed) and returns the serializable response. This is
+  /// what the RPC server executes — a request decoded off the wire
+  /// runs byte-identically to the in-process call — and every legacy
+  /// query signature below is now a thin wrapper over it.
+  Result<query::QueryResponse> Execute(const query::QueryRequest& req) const;
 
   /// \brief Table IV: top-k most discussed entities of `entity_type`
   /// in the web text, optionally restricted to award winners. Routed
@@ -262,6 +271,14 @@ class DataTamer {
   /// lockstep.
   query::FindOptions ResolveFindOptions(const std::string& collection,
                                         query::FindOptions opts) const;
+
+  /// `Execute` with a caller-supplied base `FindOptions`: the legacy
+  /// wrappers route their options object through so process-local
+  /// members a request cannot carry (the `stats` out-param, an
+  /// explicitly wired text index or pool) keep working. The request's
+  /// serializable knobs overlay the base before resolution.
+  Result<query::QueryResponse> ExecuteInternal(const query::QueryRequest& req,
+                                               query::FindOptions opts) const;
 
   relational::Table ApplyIngestTransforms(relational::Table table);
 

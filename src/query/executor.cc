@@ -12,6 +12,38 @@ using storage::DocId;
 using storage::DocValue;
 using storage::IndexKey;
 
+DocValue ExecStats::ToDocValue() const {
+  DocValue out = DocValue::Object();
+  out.Add("index_entries_examined", DocValue::Int(index_entries_examined));
+  out.Add("docs_examined", DocValue::Int(docs_examined));
+  out.Add("docs_returned", DocValue::Int(docs_returned));
+  return out;
+}
+
+Result<ExecStats> ExecStats::FromDocValue(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("ExecStats wants an object");
+  }
+  ExecStats out;
+  struct Field {
+    const char* key;
+    int64_t* dst;
+  } fields[] = {
+      {"index_entries_examined", &out.index_entries_examined},
+      {"docs_examined", &out.docs_examined},
+      {"docs_returned", &out.docs_returned},
+  };
+  for (const Field& f : fields) {
+    const DocValue* fv = v.Find(f.key);
+    if (fv == nullptr || !fv->is_int()) {
+      return Status::InvalidArgument(std::string("ExecStats field ") + f.key +
+                                     " must be an int");
+    }
+    *f.dst = fv->int_value();
+  }
+  return out;
+}
+
 Status DrainCursor(Cursor* cursor, ExecStats* stats,
                    std::vector<DocId>* out) {
   DocId id;

@@ -75,6 +75,12 @@ struct ExecStats {
   int64_t docs_examined = 0;
   /// Ids the root cursor produced.
   int64_t docs_returned = 0;
+
+  /// Structured form for the wire (`QueryResponse`): a flat object of
+  /// the three counters. `FromDocValue(ToDocValue())` round-trips.
+  storage::DocValue ToDocValue() const;
+  /// Rejects anything but an object of int counters (kInvalidArgument).
+  static Result<ExecStats> FromDocValue(const storage::DocValue& v);
 };
 
 /// \brief One operator of an executing plan: pulls document ids.

@@ -918,80 +918,153 @@ std::string RenderDocValue(const DocValue& v) {
   return v.is_string() ? "\"" + v.string_value() + "\"" : v.ToJson();
 }
 
+// ---- lenient field readers for RenderPlan ------------------------------
+// The renderer accepts documents from the wire; a missing or mistyped
+// field degrades to a placeholder instead of crashing.
+
+std::string PlanStr(const DocValue& plan, const char* key) {
+  const DocValue* v = plan.is_object() ? plan.Find(key) : nullptr;
+  return v != nullptr && v->is_string() ? v->string_value() : std::string();
+}
+
+int64_t PlanInt(const DocValue& plan, const char* key, int64_t fallback) {
+  const DocValue* v = plan.is_object() ? plan.Find(key) : nullptr;
+  return v != nullptr && v->is_int() ? v->int_value() : fallback;
+}
+
+bool PlanBool(const DocValue& plan, const char* key) {
+  const DocValue* v = plan.is_object() ? plan.Find(key) : nullptr;
+  return v != nullptr && v->is_bool() && v->bool_value();
+}
+
+const storage::DocArray* PlanArray(const DocValue& plan, const char* key) {
+  const DocValue* v = plan.is_object() ? plan.Find(key) : nullptr;
+  return v != nullptr && v->is_array() ? &v->array_items() : nullptr;
+}
+
+/// Renders a serialized predicate field: absent/null falls back to
+/// `fallback` ("TRUE" for match-all slots), undecodable to "?".
+std::string PlanPredStr(const DocValue& plan, const char* key,
+                        const char* fallback) {
+  const DocValue* v = plan.is_object() ? plan.Find(key) : nullptr;
+  if (v == nullptr || v->is_null()) return fallback;
+  Result<PredicatePtr> pred = Predicate::FromDocValue(*v);
+  return pred.ok() ? (*pred)->ToString() : "?";
+}
+
 }  // namespace
 
-std::string QueryPlan::ToString() const {
-  std::string out = AccessPathName(access);
-  switch (access) {
-    case AccessPath::kCollScan:
-      out += " { " + (node != nullptr ? node->ToString() : "TRUE") +
-             " } docs=" + std::to_string(estimated_rows);
-      break;
-    case AccessPath::kUnion:
-    case AccessPath::kMergeUnion: {
-      out += " [ ";
-      // Each branch renders recursively — per-branch access, bounds
-      // and `est=` (and, inside MERGE_UNION, the order annotation).
-      for (size_t i = 0; i < branches.size(); ++i) {
-        if (i > 0) out += " , ";
-        out += branches[i].ToString();
-      }
-      out += " ]";
-      if (access == AccessPath::kMergeUnion && !order_by.empty()) {
-        out += " order=" + order_by + (order_desc ? " desc" : "");
-      }
-      out += " est=" + std::to_string(estimated_rows);
-      break;
-    }
-    case AccessPath::kTextIndex:
-      out += " { " + driver->ToString() +
-             " } est=" + std::to_string(estimated_rows);
-      break;
-    case AccessPath::kIndexEq:
-    case AccessPath::kIndexRange: {
-      const std::vector<std::string> paths =
-          index != nullptr ? index->field_paths() : std::vector<std::string>{};
-      const size_t m = eq_values.size();
-      size_t shown = m + (has_range ? 1 : 0);
-      if (shown == 0) shown = std::min<size_t>(1, paths.size());
-      out += "(";
-      for (size_t i = 0; i < shown && i < paths.size(); ++i) {
-        if (i > 0) out += ",";
-        out += paths[i];
-      }
-      out += ") { ";
-      if (shown == 0 || paths.empty()) {
-        out += "all";
-      } else {
-        for (size_t i = 0; i < m && i < paths.size(); ++i) {
-          if (i > 0) out += ", ";
-          out += paths[i] + " == " + RenderDocValue(eq_values[i]);
-        }
-        if (has_range && m < paths.size()) {
-          if (m > 0) out += ", ";
-          out += paths[m] + " in [" + RenderDocValue(range_lo) + ", " +
-                 RenderDocValue(range_hi) + "]";
-        }
-        if (m == 0 && !has_range) out += "all";
-      }
-      out += " }";
-      if (order_covered && !order_by.empty()) {
-        out += " order=" + order_by + (order_desc ? " desc" : "");
-      }
-      out += " est=" + std::to_string(estimated_rows);
-      break;
-    }
+DocValue QueryPlan::ToDocValue() const {
+  DocValue out = DocValue::Object();
+  out.Add("access", DocValue::Str(AccessPathName(access)));
+  out.Add("pred", node != nullptr ? node->ToDocValue() : DocValue::Null());
+  out.Add("driver",
+          driver != nullptr ? driver->ToDocValue() : DocValue::Null());
+  out.Add("est", DocValue::Int(estimated_rows));
+  out.Add("residual", DocValue::Bool(residual));
+  DocValue paths = DocValue::Array();
+  if (index != nullptr) {
+    for (const auto& p : index->field_paths()) paths.Push(DocValue::Str(p));
   }
-  if (residual && access != AccessPath::kCollScan) {
+  out.Add("paths", std::move(paths));
+  DocValue eq = DocValue::Array();
+  for (const auto& v : eq_values) eq.Push(v);
+  out.Add("eq", std::move(eq));
+  if (has_range) {
+    DocValue range = DocValue::Array();
+    range.Push(range_lo);
+    range.Push(range_hi);
+    out.Add("range", std::move(range));
+  } else {
+    out.Add("range", DocValue::Null());
+  }
+  out.Add("order_by", DocValue::Str(order_by));
+  out.Add("order_desc", DocValue::Bool(order_desc));
+  out.Add("limit", DocValue::Int(limit));
+  out.Add("order_covered", DocValue::Bool(order_covered));
+  DocValue branch_docs = DocValue::Array();
+  for (const auto& b : branches) branch_docs.Push(b.ToDocValue());
+  out.Add("branches", std::move(branch_docs));
+  return out;
+}
+
+std::string QueryPlan::ToString() const { return RenderPlan(ToDocValue()); }
+
+std::string RenderPlan(const DocValue& plan) {
+  const std::string access = PlanStr(plan, "access");
+  const std::string est = std::to_string(PlanInt(plan, "est", 0));
+  const std::string order_by = PlanStr(plan, "order_by");
+  const bool order_desc = PlanBool(plan, "order_desc");
+  std::string out = access.empty() ? "?" : access;
+  if (access == "COLLSCAN") {
+    out += " { " + PlanPredStr(plan, "pred", "TRUE") + " } docs=" + est;
+  } else if (access == "UNION" || access == "MERGE_UNION") {
+    out += " [ ";
+    // Each branch renders recursively — per-branch access, bounds
+    // and `est=` (and, inside MERGE_UNION, the order annotation).
+    if (const storage::DocArray* branches = PlanArray(plan, "branches")) {
+      for (size_t i = 0; i < branches->size(); ++i) {
+        if (i > 0) out += " , ";
+        out += RenderPlan((*branches)[i]);
+      }
+    }
+    out += " ]";
+    if (access == "MERGE_UNION" && !order_by.empty()) {
+      out += " order=" + order_by + (order_desc ? " desc" : "");
+    }
+    out += " est=" + est;
+  } else if (access == "TEXT") {
+    out += " { " + PlanPredStr(plan, "driver", "?") + " } est=" + est;
+  } else if (access == "IXSCAN") {
+    static const storage::DocArray kEmpty;
+    const storage::DocArray* paths_arr = PlanArray(plan, "paths");
+    const storage::DocArray& paths = paths_arr ? *paths_arr : kEmpty;
+    const storage::DocArray* eq_arr = PlanArray(plan, "eq");
+    const storage::DocArray& eq = eq_arr ? *eq_arr : kEmpty;
+    const storage::DocArray* range = PlanArray(plan, "range");
+    const bool has_range = range != nullptr && range->size() == 2;
+    auto path_at = [&paths](size_t i) {
+      return paths[i].is_string() ? paths[i].string_value() : std::string("?");
+    };
+    const size_t m = eq.size();
+    size_t shown = m + (has_range ? 1 : 0);
+    if (shown == 0) shown = std::min<size_t>(1, paths.size());
+    out += "(";
+    for (size_t i = 0; i < shown && i < paths.size(); ++i) {
+      if (i > 0) out += ",";
+      out += path_at(i);
+    }
+    out += ") { ";
+    if (shown == 0 || paths.empty()) {
+      out += "all";
+    } else {
+      for (size_t i = 0; i < m && i < paths.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += path_at(i) + " == " + RenderDocValue(eq[i]);
+      }
+      if (has_range && m < paths.size()) {
+        if (m > 0) out += ", ";
+        out += path_at(m) + " in [" + RenderDocValue((*range)[0]) + ", " +
+               RenderDocValue((*range)[1]) + "]";
+      }
+      if (m == 0 && !has_range) out += "all";
+    }
+    out += " }";
+    if (PlanBool(plan, "order_covered") && !order_by.empty()) {
+      out += " order=" + order_by + (order_desc ? " desc" : "");
+    }
+    out += " est=" + est;
+  }
+  if (PlanBool(plan, "residual") && access != "COLLSCAN") {
     // The residual's own output cardinality is unknown without
     // histograms; `est=` reports the rows entering the filter (the
     // driver estimate), the bound that matters for fetch cost.
-    out += " -> FILTER { " +
-           (node != nullptr ? node->ToString() : "TRUE") +
-           " } est=" + std::to_string(estimated_rows);
+    out += " -> FILTER { " + PlanPredStr(plan, "pred", "TRUE") +
+           " } est=" + est;
   }
+  const int64_t limit = PlanInt(plan, "limit", -1);
   bool limit_pending = limit >= 0;
-  if (!order_by.empty() && !order_covered) {
+  if (!order_by.empty() && !PlanBool(plan, "order_covered")) {
     if (limit_pending) {
       out += " -> TOPK(" + order_by + (order_desc ? " desc" : "") +
              ", k=" + std::to_string(limit) + ")";

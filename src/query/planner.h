@@ -160,8 +160,22 @@ struct QueryPlan {
 
   /// Operator-tree rendering, e.g.
   ///   `IXSCAN(type,name) { type == "Movie" } est=12 -> LIMIT(10)`.
+  /// Implemented as `RenderPlan(ToDocValue())`, so the human string and
+  /// the structured wire form can never drift apart.
   std::string ToString() const;
+
+  /// \brief Structured machine-readable form of the plan (what
+  /// `Explain` ships to remote clients): access tag, predicates in
+  /// `Predicate::ToDocValue` form, index bounds and the pipeline
+  /// decoration, with `branches` recursing.
+  storage::DocValue ToDocValue() const;
 };
+
+/// \brief Formats a `QueryPlan::ToDocValue` document back into the
+/// exact `QueryPlan::ToString` rendering. Tolerant of malformed input
+/// (missing/mistyped fields render as placeholders, never crash) so a
+/// client can safely pretty-print whatever a server sent.
+std::string RenderPlan(const storage::DocValue& plan);
 
 /// \brief Chooses the cheapest access path for `pred` over the storage
 /// version behind `view` (does not execute). A null `pred` plans as a

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strutil.h"
+#include "storage/codec.h"
 
 namespace dt::query {
 
@@ -137,6 +138,104 @@ std::string Predicate::ToString() const {
     }
   }
   return "?";
+}
+
+// ---- wire serialization ------------------------------------------------
+
+DocValue Predicate::ToDocValue() const {
+  DocValue out = DocValue::Array();
+  switch (kind_) {
+    case PredicateKind::kEq:
+      out.Push(DocValue::Str("eq"));
+      out.Push(DocValue::Str(path_));
+      out.Push(value_);
+      break;
+    case PredicateKind::kRange:
+      out.Push(DocValue::Str("range"));
+      out.Push(DocValue::Str(path_));
+      out.Push(value_);
+      out.Push(hi_);
+      break;
+    case PredicateKind::kAnd:
+    case PredicateKind::kOr:
+      out.Push(DocValue::Str(kind_ == PredicateKind::kAnd ? "and" : "or"));
+      for (const auto& c : children_) out.Push(c->ToDocValue());
+      break;
+    case PredicateKind::kTextContains: {
+      out.Push(DocValue::Str("text"));
+      out.Push(DocValue::Str(path_));
+      DocValue toks = DocValue::Array();
+      for (const auto& t : tokens_) toks.Push(DocValue::Str(t));
+      out.Push(std::move(toks));
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<PredicatePtr> FromDocValueImpl(const DocValue& v, int depth) {
+  if (depth > storage::kMaxDecodeDepth) {
+    return Status::InvalidArgument("predicate nesting too deep");
+  }
+  if (!v.is_array() || v.array_items().empty() ||
+      !v.array_items()[0].is_string()) {
+    return Status::InvalidArgument(
+        "predicate node must be a tagged array [\"tag\", ...]");
+  }
+  const auto& items = v.array_items();
+  const std::string& tag = items[0].string_value();
+  if (tag == "eq") {
+    if (items.size() != 3 || !items[1].is_string()) {
+      return Status::InvalidArgument("eq node wants [\"eq\", path, value]");
+    }
+    return Predicate::Eq(items[1].string_value(), items[2]);
+  }
+  if (tag == "range") {
+    if (items.size() != 4 || !items[1].is_string()) {
+      return Status::InvalidArgument(
+          "range node wants [\"range\", path, lo, hi]");
+    }
+    return Predicate::Range(items[1].string_value(), items[2], items[3]);
+  }
+  if (tag == "and" || tag == "or") {
+    std::vector<PredicatePtr> children;
+    children.reserve(items.size() - 1);
+    for (size_t i = 1; i < items.size(); ++i) {
+      DT_ASSIGN_OR_RETURN(PredicatePtr child,
+                          FromDocValueImpl(items[i], depth + 1));
+      children.push_back(std::move(child));
+    }
+    return tag == "and" ? Predicate::And(std::move(children))
+                        : Predicate::Or(std::move(children));
+  }
+  if (tag == "text") {
+    if (items.size() != 3 || !items[1].is_string() || !items[2].is_array()) {
+      return Status::InvalidArgument(
+          "text node wants [\"text\", path, [token...]]");
+    }
+    // Rejoin the tokens and route through the TextContains constructor:
+    // its tokenize/sort/dedup pass canonicalizes whatever a remote
+    // client sent, so Matches semantics never depend on the sender.
+    std::string keywords;
+    for (const auto& t : items[2].array_items()) {
+      if (!t.is_string()) {
+        return Status::InvalidArgument("text tokens must be strings");
+      }
+      if (!keywords.empty()) keywords += ' ';
+      keywords += t.string_value();
+    }
+    return Predicate::TextContains(items[1].string_value(),
+                                   std::move(keywords));
+  }
+  return Status::InvalidArgument("unknown predicate tag: " + tag);
+}
+
+}  // namespace
+
+Result<PredicatePtr> Predicate::FromDocValue(const DocValue& v) {
+  return FromDocValueImpl(v, 0);
 }
 
 }  // namespace dt::query

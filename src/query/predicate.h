@@ -83,6 +83,26 @@ class Predicate {
   /// Compact rendering, e.g. `(type == "Movie" AND year in [1990, 1999])`.
   std::string ToString() const;
 
+  /// \brief Serializes the tree as a tagged `DocValue` array — the
+  /// predicate half of the wire-serializable `QueryRequest`:
+  ///
+  ///   ["eq", path, value]
+  ///   ["range", path, lo, hi]
+  ///   ["and", child...]            ["or", child...]
+  ///   ["text", path, [token...]]
+  ///
+  /// `FromDocValue(ToDocValue())` reconstructs a tree with identical
+  /// `Matches` semantics, and re-encoding it is byte-identical under
+  /// the storage codec (TextContains carries its canonical sorted
+  /// deduplicated token list, which retokenizes to itself).
+  storage::DocValue ToDocValue() const;
+
+  /// \brief Rebuilds a predicate tree from `ToDocValue` form. Every
+  /// shape error (wrong tag, arity, element type, nesting past
+  /// `storage::kMaxDecodeDepth`) is `kInvalidArgument` — malformed
+  /// remote input never crashes and never builds a half-formed tree.
+  static Result<PredicatePtr> FromDocValue(const storage::DocValue& v);
+
  private:
   Predicate() = default;
 

@@ -1,0 +1,185 @@
+#include "query/request.h"
+
+namespace dt::query {
+
+using storage::DocValue;
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kFind:
+      return "find";
+    case QueryOp::kFindPage:
+      return "find_page";
+    case QueryOp::kExplain:
+      return "explain";
+    case QueryOp::kCount:
+      return "count";
+    case QueryOp::kTopK:
+      return "top_k";
+    case QueryOp::kTopDiscussed:
+      return "top_discussed";
+  }
+  return "?";
+}
+
+Result<QueryOp> QueryOpFromName(const std::string& name) {
+  for (QueryOp op :
+       {QueryOp::kFind, QueryOp::kFindPage, QueryOp::kExplain, QueryOp::kCount,
+        QueryOp::kTopK, QueryOp::kTopDiscussed}) {
+    if (name == QueryOpName(op)) return op;
+  }
+  return Status::InvalidArgument("unknown query op: " + name);
+}
+
+namespace {
+
+// ---- strict typed field readers ----------------------------------------
+// Absent fields keep the caller's default; present-but-mistyped fields
+// are errors, so a remote typo fails loudly instead of silently running
+// a different query.
+
+Status ReadStr(const DocValue& obj, const char* key, std::string* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_string()) {
+    return Status::InvalidArgument(std::string(key) + " must be a string");
+  }
+  *dst = v->string_value();
+  return Status::OK();
+}
+
+Status ReadInt(const DocValue& obj, const char* key, int64_t* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_int()) {
+    return Status::InvalidArgument(std::string(key) + " must be an int");
+  }
+  *dst = v->int_value();
+  return Status::OK();
+}
+
+Status ReadBool(const DocValue& obj, const char* key, bool* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(std::string(key) + " must be a bool");
+  }
+  *dst = v->bool_value();
+  return Status::OK();
+}
+
+}  // namespace
+
+DocValue QueryRequest::ToDocValue() const {
+  DocValue out = DocValue::Object();
+  out.Add("op", DocValue::Str(QueryOpName(op)));
+  out.Add("collection", DocValue::Str(collection));
+  out.Add("pred",
+          predicate != nullptr ? predicate->ToDocValue() : DocValue::Null());
+  out.Add("limit", DocValue::Int(limit));
+  out.Add("order_by", DocValue::Str(order_by));
+  out.Add("order_desc", DocValue::Bool(order_desc));
+  out.Add("page_size", DocValue::Int(page_size));
+  out.Add("resume_token", DocValue::Str(resume_token));
+  out.Add("use_indexes", DocValue::Bool(use_indexes));
+  out.Add("num_threads", DocValue::Int(num_threads));
+  out.Add("group_path", DocValue::Str(group_path));
+  out.Add("k", DocValue::Int(k));
+  out.Add("entity_type", DocValue::Str(entity_type));
+  out.Add("award_winning_only", DocValue::Bool(award_winning_only));
+  return out;
+}
+
+Result<QueryRequest> QueryRequest::FromDocValue(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("QueryRequest wants an object");
+  }
+  QueryRequest out;
+  const DocValue* op = v.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("QueryRequest.op must be a string");
+  }
+  DT_ASSIGN_OR_RETURN(out.op, QueryOpFromName(op->string_value()));
+  DT_RETURN_NOT_OK(ReadStr(v, "collection", &out.collection));
+  const DocValue* pred = v.Find("pred");
+  if (pred != nullptr && !pred->is_null()) {
+    DT_ASSIGN_OR_RETURN(out.predicate, Predicate::FromDocValue(*pred));
+  }
+  DT_RETURN_NOT_OK(ReadInt(v, "limit", &out.limit));
+  DT_RETURN_NOT_OK(ReadStr(v, "order_by", &out.order_by));
+  DT_RETURN_NOT_OK(ReadBool(v, "order_desc", &out.order_desc));
+  DT_RETURN_NOT_OK(ReadInt(v, "page_size", &out.page_size));
+  DT_RETURN_NOT_OK(ReadStr(v, "resume_token", &out.resume_token));
+  DT_RETURN_NOT_OK(ReadBool(v, "use_indexes", &out.use_indexes));
+  DT_RETURN_NOT_OK(ReadInt(v, "num_threads", &out.num_threads));
+  DT_RETURN_NOT_OK(ReadStr(v, "group_path", &out.group_path));
+  DT_RETURN_NOT_OK(ReadInt(v, "k", &out.k));
+  DT_RETURN_NOT_OK(ReadStr(v, "entity_type", &out.entity_type));
+  DT_RETURN_NOT_OK(ReadBool(v, "award_winning_only", &out.award_winning_only));
+  return out;
+}
+
+DocValue QueryResponse::ToDocValue() const {
+  DocValue out = DocValue::Object();
+  DocValue id_arr = DocValue::Array();
+  for (storage::DocId id : ids) {
+    id_arr.Push(DocValue::Int(static_cast<int64_t>(id)));
+  }
+  out.Add("ids", std::move(id_arr));
+  out.Add("next_token", DocValue::Str(next_token));
+  DocValue group_arr = DocValue::Array();
+  for (const CountRow& row : groups) {
+    DocValue g = DocValue::Object();
+    g.Add("key", DocValue::Str(row.key));
+    g.Add("count", DocValue::Int(row.count));
+    group_arr.Push(std::move(g));
+  }
+  out.Add("groups", std::move(group_arr));
+  out.Add("explain", DocValue::Str(explain));
+  out.Add("plan", plan);
+  out.Add("stats", stats.ToDocValue());
+  return out;
+}
+
+Result<QueryResponse> QueryResponse::FromDocValue(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("QueryResponse wants an object");
+  }
+  QueryResponse out;
+  if (const DocValue* ids = v.Find("ids")) {
+    if (!ids->is_array()) {
+      return Status::InvalidArgument("QueryResponse.ids must be an array");
+    }
+    out.ids.reserve(ids->array_items().size());
+    for (const DocValue& id : ids->array_items()) {
+      if (!id.is_int() || id.int_value() < 0) {
+        return Status::InvalidArgument("ids must be non-negative ints");
+      }
+      out.ids.push_back(static_cast<storage::DocId>(id.int_value()));
+    }
+  }
+  DT_RETURN_NOT_OK(ReadStr(v, "next_token", &out.next_token));
+  if (const DocValue* groups = v.Find("groups")) {
+    if (!groups->is_array()) {
+      return Status::InvalidArgument("QueryResponse.groups must be an array");
+    }
+    out.groups.reserve(groups->array_items().size());
+    for (const DocValue& g : groups->array_items()) {
+      CountRow row;
+      if (!g.is_object()) {
+        return Status::InvalidArgument("group rows must be objects");
+      }
+      DT_RETURN_NOT_OK(ReadStr(g, "key", &row.key));
+      DT_RETURN_NOT_OK(ReadInt(g, "count", &row.count));
+      out.groups.push_back(std::move(row));
+    }
+  }
+  DT_RETURN_NOT_OK(ReadStr(v, "explain", &out.explain));
+  if (const DocValue* plan = v.Find("plan")) out.plan = *plan;
+  if (const DocValue* stats = v.Find("stats")) {
+    DT_ASSIGN_OR_RETURN(out.stats, ExecStats::FromDocValue(*stats));
+  }
+  return out;
+}
+
+}  // namespace dt::query

@@ -1,0 +1,77 @@
+/// \file client.h
+/// \brief `DtClient` — blocking TCP client for the DTW1 RPC protocol.
+///
+/// One client owns one connection. `Call` is the simple path:
+/// send one request, wait for its response. Pipelining is explicit:
+/// `Send` queues any number of requests without waiting and `Receive`
+/// pulls responses as they arrive; responses may come back out of
+/// order, so `Call` stashes non-matching ids and hands them to later
+/// `Receive`/`Call` calls instead of dropping them.
+///
+/// A client is NOT thread-safe; give each thread its own connection
+/// (sessions are cheap and stateless — continuation tokens travel in
+/// responses, so any connection can resume any stream).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/frame.h"
+
+namespace dt::server {
+
+struct ClientOptions {
+  /// Per-frame payload cap (mirror of the server's).
+  size_t max_frame_size = kDefaultMaxFrameSize;
+};
+
+class DtClient {
+ public:
+  /// Connects to `host:port` (IPv4 literal host, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<DtClient>> Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   ClientOptions opts = {});
+
+  ~DtClient();
+  DtClient(const DtClient&) = delete;
+  DtClient& operator=(const DtClient&) = delete;
+
+  /// \brief Pipelined send: frames the request, writes it, returns the
+  /// correlation id without waiting for the response.
+  Result<uint64_t> Send(const query::QueryRequest& req);
+
+  /// \brief Next response off the wire (or from the out-of-order
+  /// stash). Blocks until a full frame arrives; errors on connection
+  /// loss or a corrupt/oversized frame.
+  Result<ResponseEnvelope> Receive();
+
+  /// \brief `Send` + wait for exactly that request's response.
+  /// Responses for other pipelined ids arriving first are stashed, not
+  /// lost. The outer `Result` is transport failure; the returned
+  /// envelope's `status` is the server's verdict, surfaced here as the
+  /// error when non-OK.
+  Result<query::QueryResponse> Call(const query::QueryRequest& req);
+
+  void Close();
+
+ private:
+  explicit DtClient(int fd, ClientOptions opts);
+
+  /// Blocks until a response arrives: the one with `want_id` when
+  /// `match_id` (others are stashed), else the next in arrival order
+  /// (stash served first).
+  Result<ResponseEnvelope> ReceiveInternal(uint64_t want_id, bool match_id);
+
+  int fd_ = -1;
+  ClientOptions opts_;
+  uint64_t next_id_ = 1;
+  std::string inbuf_;
+  /// Out-of-order responses parked for their `Receive`/`Call`.
+  std::map<uint64_t, ResponseEnvelope> stashed_;
+};
+
+}  // namespace dt::server

@@ -1,0 +1,177 @@
+#include "server/frame.h"
+
+#include "common/hash.h"
+#include "storage/codec.h"
+
+namespace dt::server {
+
+using storage::BinaryReader;
+using storage::BinaryWriter;
+using storage::DocValue;
+
+uint64_t FrameChecksum(std::string_view payload) {
+  return HashCombine(Fnv1a64("DTW1v1"), Fnv1a64(payload));
+}
+
+Status EncodeFrame(const DocValue& payload, size_t max_frame_size,
+                   std::string* out) {
+  std::string body;
+  DT_RETURN_NOT_OK(storage::EncodeDocValue(payload, &body));
+  if (body.size() > max_frame_size) {
+    return Status::OutOfRange("frame payload " + std::to_string(body.size()) +
+                              " bytes exceeds max frame size " +
+                              std::to_string(max_frame_size));
+  }
+  BinaryWriter w(out);
+  w.PutU32(kFrameMagic);
+  w.PutU16(kFrameVersion);
+  w.PutU16(0);  // flags: reserved
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutU64(FrameChecksum(body));
+  out->append(body);
+  return Status::OK();
+}
+
+Status TryDecodeFrame(std::string_view buf, size_t max_frame_size,
+                      DocValue* payload, size_t* frame_size) {
+  *frame_size = 0;
+  // Validate whatever header prefix has arrived: a wrong byte is
+  // corruption *now*, not after the peer trickles in the rest.
+  {
+    // Each field is validated only once it has fully arrived; a
+    // partially-arrived field is "need more bytes", never a misread
+    // of the bytes that did arrive.
+    BinaryReader r(buf.substr(0, std::min(buf.size(), kFrameHeaderSize)));
+    uint32_t magic = 0;
+    if (r.remaining() < sizeof(uint32_t)) return Status::OK();  // need more
+    DT_RETURN_NOT_OK(r.ReadU32(&magic));
+    if (magic != kFrameMagic) {
+      return Status::Corruption("bad frame magic");
+    }
+    uint16_t version = 0;
+    if (r.remaining() < sizeof(uint16_t)) return Status::OK();  // need more
+    DT_RETURN_NOT_OK(r.ReadU16(&version));
+    if (version != kFrameVersion) {
+      return Status::Corruption("unsupported frame version " +
+                                std::to_string(version));
+    }
+    uint16_t flags = 0;
+    if (r.remaining() < sizeof(uint16_t)) return Status::OK();  // need more
+    DT_RETURN_NOT_OK(r.ReadU16(&flags));
+    if (flags != 0) {
+      return Status::Corruption("nonzero reserved frame flags");
+    }
+    if (r.remaining() >= sizeof(uint32_t)) {
+      uint32_t len = 0;
+      DT_RETURN_NOT_OK(r.ReadU32(&len));
+      // The oversize check needs only the length field: a hostile
+      // 4GB declaration is rejected here instead of buffering toward
+      // it.
+      if (len > max_frame_size) {
+        return Status::Corruption("frame payload length " +
+                                  std::to_string(len) +
+                                  " exceeds max frame size " +
+                                  std::to_string(max_frame_size));
+      }
+    }
+  }
+  if (buf.size() < kFrameHeaderSize) return Status::OK();  // need more
+
+  BinaryReader r(buf);
+  uint32_t magic = 0;
+  uint16_t version = 0, flags = 0;
+  uint32_t len = 0;
+  uint64_t checksum = 0;
+  DT_RETURN_NOT_OK(r.ReadU32(&magic));
+  DT_RETURN_NOT_OK(r.ReadU16(&version));
+  DT_RETURN_NOT_OK(r.ReadU16(&flags));
+  DT_RETURN_NOT_OK(r.ReadU32(&len));
+  DT_RETURN_NOT_OK(r.ReadU64(&checksum));
+  if (buf.size() < kFrameHeaderSize + len) return Status::OK();  // need more
+
+  std::string_view body = buf.substr(kFrameHeaderSize, len);
+  if (FrameChecksum(body) != checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  DT_RETURN_NOT_OK(storage::DecodeDocValue(body, payload));
+  *frame_size = kFrameHeaderSize + len;
+  return Status::OK();
+}
+
+// ---- RPC envelopes -----------------------------------------------------
+
+DocValue EncodeRequestEnvelope(const RequestEnvelope& env) {
+  DocValue out = DocValue::Object();
+  out.Add("id", DocValue::Int(static_cast<int64_t>(env.id)));
+  out.Add("req", env.request.ToDocValue());
+  return out;
+}
+
+Result<RequestEnvelope> DecodeRequestEnvelope(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request envelope wants an object");
+  }
+  RequestEnvelope env;
+  const DocValue* id = v.Find("id");
+  if (id == nullptr || !id->is_int()) {
+    return Status::InvalidArgument("request envelope id must be an int");
+  }
+  env.id = static_cast<uint64_t>(id->int_value());
+  const DocValue* req = v.Find("req");
+  if (req == nullptr) {
+    return Status::InvalidArgument("request envelope missing req");
+  }
+  DT_ASSIGN_OR_RETURN(env.request, query::QueryRequest::FromDocValue(*req));
+  return env;
+}
+
+DocValue EncodeResponseEnvelope(const ResponseEnvelope& env) {
+  DocValue out = DocValue::Object();
+  out.Add("id", DocValue::Int(static_cast<int64_t>(env.id)));
+  out.Add("code", DocValue::Int(static_cast<int64_t>(env.status.code())));
+  out.Add("message", DocValue::Str(env.status.message()));
+  out.Add("resp", env.status.ok() ? env.response.ToDocValue()
+                                  : DocValue::Null());
+  return out;
+}
+
+Result<ResponseEnvelope> DecodeResponseEnvelope(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("response envelope wants an object");
+  }
+  ResponseEnvelope env;
+  const DocValue* id = v.Find("id");
+  if (id == nullptr || !id->is_int()) {
+    return Status::InvalidArgument("response envelope id must be an int");
+  }
+  env.id = static_cast<uint64_t>(id->int_value());
+  const DocValue* code = v.Find("code");
+  if (code == nullptr || !code->is_int() || code->int_value() < 0 ||
+      code->int_value() > static_cast<int64_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("response envelope code out of range");
+  }
+  std::string message;
+  const DocValue* msg = v.Find("message");
+  if (msg != nullptr) {
+    if (!msg->is_string()) {
+      return Status::InvalidArgument("response envelope message not a string");
+    }
+    message = msg->string_value();
+  }
+  StatusCode sc = static_cast<StatusCode>(code->int_value());
+  const DocValue* resp = v.Find("resp");
+  if (sc != StatusCode::kOk) {
+    if (resp != nullptr && !resp->is_null()) {
+      return Status::InvalidArgument("error response envelope carries a resp");
+    }
+    env.status = Status(sc, std::move(message));
+    return env;
+  }
+  if (resp == nullptr || resp->is_null()) {
+    return Status::InvalidArgument("OK response envelope missing resp");
+  }
+  DT_ASSIGN_OR_RETURN(env.response, query::QueryResponse::FromDocValue(*resp));
+  return env;
+}
+
+}  // namespace dt::server

@@ -1,0 +1,99 @@
+/// \file frame.h
+/// \brief The "DTW1" wire frame: how query documents travel over a
+/// socket.
+///
+/// Every message is one frame:
+///
+///   offset  size  field
+///        0     4  magic     "DTW1" (0x31575444 little-endian)
+///        4     2  version   kFrameVersion
+///        6     2  flags     reserved, must be zero
+///        8     4  payload_len  bytes of payload that follow the header
+///       12     8  checksum  FNV-1a over the payload, seeded per
+///                           protocol version (HashCombine of the
+///                           "DTW1v<n>" salt hash and the payload hash)
+///       20     …  payload   one `DocValue` in storage-codec encoding
+///
+/// The payload reuses `storage::EncodeDocValue` — the same versioned,
+/// bounds-checked, never-crash "DTB1" discipline snapshots use — so
+/// frame decoding inherits its corruption guarantees. `TryDecodeFrame`
+/// is incremental: a prefix of a valid frame reports "need more bytes"
+/// (OK with `*frame_size == 0`), while a bad magic/version/flags, an
+/// oversized declared length (rejected from the header alone, before
+/// the payload even arrives), a checksum mismatch, or a malformed
+/// payload is `kCorruption` — malicious bytes never crash and never
+/// stall a session waiting for data that can't redeem them.
+///
+/// On top of the raw frame sit the two envelope documents of the RPC
+/// protocol: requests `{id, req}` and responses `{id, code, message,
+/// resp}`, with `id` matching pipelined responses (which may arrive
+/// out of order) back to their requests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/request.h"
+#include "storage/docvalue.h"
+
+namespace dt::server {
+
+/// "DTW1" little-endian.
+inline constexpr uint32_t kFrameMagic = 0x31575444u;
+/// Bumped when the frame layout changes; decoders reject mismatches.
+inline constexpr uint16_t kFrameVersion = 1;
+/// Bytes before the payload: magic + version + flags + len + checksum.
+inline constexpr size_t kFrameHeaderSize = 4 + 2 + 2 + 4 + 8;
+/// Default cap on one frame's payload; per-session configurable.
+inline constexpr size_t kDefaultMaxFrameSize = 16u << 20;
+
+/// \brief Checksum of `payload` as stored in the frame header: the
+/// protocol-version salt hash combined with the payload's FNV-1a, so a
+/// frame of one protocol version never verifies as another's.
+uint64_t FrameChecksum(std::string_view payload);
+
+/// \brief Appends one complete frame carrying `payload` to `*out`.
+/// `kOutOfRange` when the encoded payload would exceed
+/// `max_frame_size` (the encoder refuses to build frames every decoder
+/// rejects); payload encoding errors pass through.
+Status EncodeFrame(const storage::DocValue& payload, size_t max_frame_size,
+                   std::string* out);
+
+/// \brief Incremental decode of the frame at the front of `buf`.
+///
+///   * complete frame: OK, `*payload` filled, `*frame_size` = bytes
+///     consumed (header + payload) — the caller drops that prefix.
+///   * prefix of a possibly-valid frame: OK with `*frame_size == 0` —
+///     read more bytes and retry.
+///   * anything else: `kCorruption` — the stream is beyond recovery
+///     (framing is lost), close the session.
+Status TryDecodeFrame(std::string_view buf, size_t max_frame_size,
+                      storage::DocValue* payload, size_t* frame_size);
+
+// ---- RPC envelopes -----------------------------------------------------
+
+/// One request as carried by a frame: `{id, req}`.
+struct RequestEnvelope {
+  /// Caller-chosen correlation id echoed on the response.
+  uint64_t id = 0;
+  query::QueryRequest request;
+};
+
+/// One response as carried by a frame: `{id, code, message, resp}`.
+/// `resp` is present exactly when `status` is OK.
+struct ResponseEnvelope {
+  uint64_t id = 0;
+  Status status;
+  query::QueryResponse response;
+};
+
+storage::DocValue EncodeRequestEnvelope(const RequestEnvelope& env);
+Result<RequestEnvelope> DecodeRequestEnvelope(const storage::DocValue& v);
+
+storage::DocValue EncodeResponseEnvelope(const ResponseEnvelope& env);
+Result<ResponseEnvelope> DecodeResponseEnvelope(const storage::DocValue& v);
+
+}  // namespace dt::server

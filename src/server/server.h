@@ -1,0 +1,119 @@
+/// \file server.h
+/// \brief `DtServer` — the network serving layer: a poll()-based
+/// socket server speaking the DTW1 frame protocol over TCP, executing
+/// `QueryRequest`s against a `DataTamer` facade.
+///
+/// Architecture:
+///
+///   * One event-loop thread owns every socket: it accepts
+///     connections, reads bytes into per-session buffers, splits
+///     frames, and flushes per-session outboxes. No worker ever
+///     touches a file descriptor.
+///   * A fixed worker pool (the repo's `ThreadPool`) executes
+///     requests. Facade access is serialized behind one mutex — the
+///     facade's const query surface is documented not thread-safe —
+///     so concurrency buys pipelining and overlap of network and
+///     execution, not parallel execution of one facade.
+///   * Workers hand finished responses back through the session's
+///     locked outbox and wake the loop via a self-pipe.
+///
+/// Sessions are stateless between requests: pagination state rides in
+/// `FindPage` continuation tokens inside responses, and the storage
+/// layer's epoch-pinned version semantics reject stale tokens cleanly
+/// across server restarts (a new process is a new collection
+/// incarnation). Clients may pipeline: many requests can be in flight
+/// per connection, responses match by envelope id and may return out
+/// of order.
+///
+/// Overload never drops silently. Admission control answers with
+/// `kUnavailable` ("overloaded" when the global execution queue is
+/// full, "session pipeline full" past the per-session in-flight cap);
+/// a corrupt frame gets a final `kCorruption` response before the
+/// session closes (framing is unrecoverable); idle sessions past the
+/// timeout are closed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "server/frame.h"
+
+namespace dt::fusion {
+class DataTamer;
+}
+
+namespace dt::server {
+
+struct ServerOptions {
+  /// IPv4 listen address; loopback by default (the in-process demo
+  /// and test topology).
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via `DtServer::port()`.
+  uint16_t port = 0;
+  /// Request-execution worker threads.
+  int num_workers = 2;
+  /// Per-frame payload cap, both directions.
+  size_t max_frame_size = kDefaultMaxFrameSize;
+  /// Per-session pipelining cap: requests admitted but not yet
+  /// answered. Excess requests are answered kUnavailable.
+  int max_inflight_per_session = 64;
+  /// Global bound on queued-but-not-executing requests (admission
+  /// control): a full queue answers kUnavailable "overloaded".
+  size_t max_pending_requests = 256;
+  /// Sessions with no traffic and nothing in flight for this long are
+  /// closed. <= 0 disables.
+  int idle_timeout_ms = 60000;
+  /// Concurrent session cap; excess connections are closed on accept.
+  int max_sessions = 256;
+  /// Test hook: artificial per-request execution delay. Lets the
+  /// overload test fill the admission queue deterministically.
+  int debug_execution_delay_ms = 0;
+};
+
+/// Monotonic counters since `Start` (snapshot; see `DtServer::stats`).
+struct ServerStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_rejected = 0;  ///< over max_sessions
+  uint64_t requests_executed = 0;
+  uint64_t requests_rejected = 0;  ///< kUnavailable admissions
+  uint64_t corrupt_frames = 0;
+  uint64_t idle_closes = 0;
+};
+
+/// \brief The serving endpoint. Construct over a facade (borrowed; must
+/// outlive the server), `Start()`, connect `DtClient`s, `Stop()`.
+class DtServer {
+ public:
+  explicit DtServer(const fusion::DataTamer* tamer, ServerOptions opts = {});
+  ~DtServer();
+
+  DtServer(const DtServer&) = delete;
+  DtServer& operator=(const DtServer&) = delete;
+
+  /// Binds, listens and launches the event loop + workers. Errors on
+  /// socket failures (address in use, ...). Start after Stop is not
+  /// supported; construct a fresh server.
+  Status Start();
+
+  /// Drains nothing: closes the listener and every session, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option port 0); valid after `Start`.
+  uint16_t port() const { return port_; }
+
+  /// Counter snapshot (safe to call while serving).
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace dt::server

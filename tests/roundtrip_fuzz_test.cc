@@ -16,6 +16,7 @@
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/text_search.h"
+#include "server/frame.h"
 #include "storage/codec.h"
 #include "storage/collection.h"
 #include "storage/docvalue.h"
@@ -427,6 +428,128 @@ TEST(BlockingFuzz, RandomRecordsNeverCrashAndPairsAreOrdered) {
   }
   ASSERT_EQ(stats.num_records, 300);
 }
+
+// ---------------------------------------------------------------------
+// DTW1 wire frames: the server's framing must uphold the same
+// discipline as the storage codec — one representation per payload,
+// incremental "need more" on any honest prefix, and kCorruption (never
+// a crash, never a bogus frame) on anything else.
+// ---------------------------------------------------------------------
+
+std::string EncodeOneFrame(const DocValue& payload) {
+  std::string frame;
+  Status st = server::EncodeFrame(payload, server::kDefaultMaxFrameSize,
+                                  &frame);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return frame;
+}
+
+class WireFrameFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFrameFuzz, EncodeDecodeEncodeIsByteIdentical) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 150; ++trial) {
+    DocValue payload = RandomValue(&rng, 4);
+    std::string frame = EncodeOneFrame(payload);
+    // Trailing garbage must not disturb the frame at the front.
+    std::string buf = frame + RandomString(&rng, 8);
+    DocValue decoded;
+    size_t consumed = 0;
+    Status st = server::TryDecodeFrame(buf, server::kDefaultMaxFrameSize,
+                                       &decoded, &consumed);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_EQ(consumed, frame.size());
+    ASSERT_TRUE(decoded.Equals(payload));
+    ASSERT_EQ(EncodeOneFrame(decoded), frame)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(WireFrameFuzz, EveryTruncationReportsNeedMoreBytes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string frame = EncodeOneFrame(RandomValue(&rng, 3));
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      DocValue decoded;
+      size_t consumed = 0;
+      Status st =
+          server::TryDecodeFrame(std::string_view(frame.data(), cut),
+                                 server::kDefaultMaxFrameSize, &decoded,
+                                 &consumed);
+      // An honest prefix is never corruption and never a bogus
+      // complete frame — always "need more".
+      ASSERT_TRUE(st.ok()) << "cut=" << cut << ": " << st.ToString();
+      ASSERT_EQ(consumed, 0u) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_P(WireFrameFuzz, RandomMutationsNeverCrashAndNeverOverrun) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string frame = EncodeOneFrame(RandomValue(&rng, 3));
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(frame.size());
+      frame[pos] = static_cast<char>(frame[pos] ^
+                                     (1u << rng.Uniform(8)));
+    }
+    DocValue decoded;
+    size_t consumed = 0;
+    Status st = server::TryDecodeFrame(frame, server::kDefaultMaxFrameSize,
+                                       &decoded, &consumed);
+    // Any outcome is allowed except a lie: completion may not consume
+    // more bytes than exist, and errors must be kCorruption.
+    if (st.ok()) {
+      ASSERT_LE(consumed, frame.size());
+    } else {
+      ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+    }
+  }
+}
+
+TEST(WireFrameTest, OversizedLengthRejectedFromHeaderAlone) {
+  std::string frame = EncodeOneFrame(DocValue::Str("payload"));
+  // Declare a payload far past the cap; hand the decoder only the
+  // header. It must refuse immediately instead of waiting for bytes
+  // that could never redeem the frame.
+  for (int i = 0; i < 4; ++i) frame[8 + i] = static_cast<char>(0xFF);
+  DocValue decoded;
+  size_t consumed = 0;
+  Status st =
+      server::TryDecodeFrame(std::string_view(frame.data(), 12),
+                             server::kDefaultMaxFrameSize, &decoded, &consumed);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  // A small cap rejects honest frames over it the same way.
+  std::string big = EncodeOneFrame(DocValue::Str(std::string(256, 'x')));
+  st = server::TryDecodeFrame(big, /*max_frame_size=*/64, &decoded, &consumed);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(WireFrameTest, BadChecksumMagicVersionFlagsRejected) {
+  const std::string frame = EncodeOneFrame(DocValue::Str("hello"));
+  DocValue decoded;
+  size_t consumed = 0;
+  auto expect_corrupt = [&](std::string buf) {
+    Status st = server::TryDecodeFrame(buf, server::kDefaultMaxFrameSize,
+                                       &decoded, &consumed);
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  };
+  std::string bad = frame;
+  bad[12] ^= 0x01;  // checksum
+  expect_corrupt(bad);
+  bad = frame;
+  bad[0] ^= 0x01;  // magic — rejected from the first 4 bytes alone
+  expect_corrupt(bad.substr(0, 4));
+  bad = frame;
+  bad[4] ^= 0x01;  // version
+  expect_corrupt(bad);
+  bad = frame;
+  bad[6] ^= 0x01;  // reserved flags must be zero
+  expect_corrupt(bad);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFrameFuzz, ::testing::Values(5, 55, 555));
 
 }  // namespace
 }  // namespace dt

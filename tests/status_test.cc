@@ -35,6 +35,17 @@ TEST(StatusTest, AllFactoriesMapToPredicates) {
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableCarriesCodeAndMessage) {
+  Status s = Status::Unavailable("overloaded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "overloaded");
+  EXPECT_EQ(s.ToString(), "Unavailable: overloaded");
 }
 
 TEST(StatusTest, CopyPreservesState) {
@@ -127,6 +138,7 @@ TEST(StatusCodeTest, Names) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCapacityExceeded),
                "Capacity exceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 }  // namespace
