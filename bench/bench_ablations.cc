@@ -27,12 +27,19 @@
 ///   M. Network serving: sustained QPS and p99 latency over the
 ///      loopback RPC server with 4 pipelining clients (the wire
 ///      protocol + event loop + admission path end to end).
+///   N. Durability: acknowledged-insert throughput under the WAL
+///      durability modes (group commit vs strict fsync), plus the
+///      incremental-checkpoint win (re-encode dirty collections only),
+///      each run closed out by a cold-reopen recovery check.
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
 /// trajectory). `--only <letters>` runs a subset of sections (the
-/// bench-smoke ctest entry runs `--only K`), and `--fragments <n>`
-/// overrides section K's corpus scale.
+/// bench-smoke ctest entries run `--only K`, `--only M` and
+/// `--only KMN`), `--fragments <n>` overrides section K's corpus
+/// scale, and `--require <p1,p2,...>` re-parses the written JSON and
+/// fails unless every listed key prefix is present — the smoke-level
+/// guarantee that the CI artifact stays well-formed and populated.
 
 #include <unistd.h>
 
@@ -40,17 +47,23 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/strutil.h"
 #include "common/thread_pool.h"
 #include "datagen/dedup_labels.h"
 #include "dedup/blocking.h"
 #include "dedup/consolidation.h"
 #include "dedup/pair_features.h"
 #include "expert/expert.h"
+#include "ingest/json.h"
 #include "match/global_schema.h"
 #include "query/planner.h"
 #include "query/predicate.h"
@@ -58,6 +71,7 @@
 #include "query/request.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -1054,17 +1068,217 @@ void AblationServing(int64_t fragments_override) {
   RecordMetric("server_p99_ms", p99);
 }
 
+// ---- N. durability ----------------------------------------------------
+
+const char* DurabilityModeName(storage::Durability m) {
+  switch (m) {
+    case storage::Durability::kNone:
+      return "none";
+    case storage::Durability::kAsync:
+      return "async";
+    case storage::Durability::kGroup:
+      return "group";
+    case storage::Durability::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+struct DurabilityRun {
+  double ops_per_sec = 0;
+  uint64_t syncs = 0;
+  uint64_t group_batches = 0;
+};
+
+/// 4 writer threads over 4 collections sharing one log: every insert
+/// is acknowledged per the mode's contract, then the directory is
+/// reopened and the acknowledged writes must all be there.
+DurabilityRun RunDurabilityWriters(storage::Durability mode,
+                                   const std::string& dir) {
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 250;
+  std::system(("rm -rf '" + dir + "'").c_str());
+  storage::DurabilityOptions o;
+  o.dir = dir;
+  o.durability = mode;
+  o.checkpoint_wal_bytes = 0;
+  DurabilityRun out;
+  {
+    std::unique_ptr<storage::DocumentStore> recovered;
+    auto mgr = storage::WalManager::Open(o, "dt", &recovered);
+    if (!mgr.ok()) {
+      CheckFailed() = true;
+      return out;
+    }
+    storage::DocumentStore store("dt");
+    std::vector<storage::Collection*> colls;
+    for (int w = 0; w < kWriters; ++w) {
+      colls.push_back(
+          store.CreateCollection("w" + std::to_string(w)).ValueOrDie());
+    }
+    if (!(*mgr)->Attach(&store).ok()) {
+      CheckFailed() = true;
+      return out;
+    }
+    Timer t;
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&colls, w] {
+        for (int i = 0; i < kOpsPerWriter; ++i) {
+          colls[w]->Insert(storage::DocBuilder()
+                               .Set("seq", static_cast<int64_t>(i))
+                               .Set("writer", static_cast<int64_t>(w))
+                               .Build());
+        }
+      });
+    }
+    for (auto& th : writers) th.join();
+    if (!(*mgr)->Flush().ok()) CheckFailed() = true;
+    const double secs = t.Seconds();
+    const storage::DurabilityStats s = (*mgr)->stats();
+    out.ops_per_sec = secs <= 0 ? 0.0 : kWriters * kOpsPerWriter / secs;
+    out.syncs = s.wal_syncs;
+    out.group_batches = s.wal_group_batches;
+    (*mgr)->DetachAll();
+  }
+  // Recovery differential: reopen the directory cold.
+  std::unique_ptr<storage::DocumentStore> recovered;
+  auto mgr = storage::WalManager::Open(o, "dt", &recovered);
+  bool ok = mgr.ok() && recovered != nullptr;
+  for (int w = 0; ok && w < kWriters; ++w) {
+    auto coll = recovered->GetCollection("w" + std::to_string(w));
+    ok = coll.ok() &&
+         (*coll)->count() == static_cast<uint64_t>(kOpsPerWriter);
+  }
+  if (!ok) {
+    std::printf("  FAILED: %s-mode recovery lost acknowledged writes\n",
+                DurabilityModeName(mode));
+    CheckFailed() = true;
+  }
+  std::system(("rm -rf '" + dir + "'").c_str());
+  return out;
+}
+
+void AblationDurability() {
+  PrintSection("N. durability: group commit vs strict fsync, "
+               "incremental checkpoints");
+  const std::string dir =
+      "/tmp/dt_bench_durability_" + std::to_string(::getpid());
+
+  // (1) Acknowledged-insert throughput per durability mode. Group
+  // commit's win is fsyncs amortized across concurrent appenders;
+  // strict pays one ack'd fsync per append (modulo leader batching).
+  std::printf("  4 writer threads, 250 acknowledged inserts each\n");
+  double group_qps = 0, strict_qps = 0;
+  for (storage::Durability mode :
+       {storage::Durability::kAsync, storage::Durability::kGroup,
+        storage::Durability::kStrict}) {
+    const DurabilityRun r = RunDurabilityWriters(mode, dir);
+    std::printf("  %-38s %10.0f ops/s   (%llu fsyncs, %llu batched)\n",
+                DurabilityModeName(mode), r.ops_per_sec,
+                static_cast<unsigned long long>(r.syncs),
+                static_cast<unsigned long long>(r.group_batches));
+    RecordMetric(std::string("durability_") + DurabilityModeName(mode) +
+                     "_ops_per_sec",
+                 r.ops_per_sec);
+    if (mode == storage::Durability::kGroup) group_qps = r.ops_per_sec;
+    if (mode == storage::Durability::kStrict) strict_qps = r.ops_per_sec;
+  }
+  const double speedup = strict_qps <= 0 ? 0.0 : group_qps / strict_qps;
+  std::printf("  %-38s %10.1fx strict-fsync throughput\n",
+              "group commit", speedup);
+  RecordMetric("durability_group_vs_strict_speedup", speedup);
+
+  // (2) Incremental checkpoints: 8 collections, then dirty exactly
+  // one — the second checkpoint must re-encode only that one and cost
+  // less than the full fold.
+  std::system(("rm -rf '" + dir + "'").c_str());
+  storage::DurabilityOptions o;
+  o.dir = dir;
+  o.durability = storage::Durability::kGroup;
+  o.checkpoint_wal_bytes = 0;
+  std::unique_ptr<storage::DocumentStore> recovered;
+  auto mgr = storage::WalManager::Open(o, "dt", &recovered);
+  if (!mgr.ok()) {
+    CheckFailed() = true;
+    return;
+  }
+  constexpr int kColls = 8;
+  constexpr int kDocsPerColl = 1500;
+  storage::DocumentStore store("dt");
+  std::vector<storage::Collection*> colls;
+  for (int c = 0; c < kColls; ++c) {
+    colls.push_back(
+        store.CreateCollection("c" + std::to_string(c)).ValueOrDie());
+  }
+  if (!(*mgr)->Attach(&store).ok()) {
+    CheckFailed() = true;
+    return;
+  }
+  for (storage::Collection* coll : colls) {
+    for (int i = 0; i < kDocsPerColl; ++i) {
+      coll->Insert(storage::DocBuilder()
+                       .Set("i", static_cast<int64_t>(i))
+                       .Set("pad", std::string(32, 'x'))
+                       .Build());
+    }
+  }
+  Timer t_full;
+  if (!(*mgr)->Checkpoint().ok()) CheckFailed() = true;
+  const double full_ms = t_full.Seconds() * 1e3;
+  const storage::DurabilityStats after_full = (*mgr)->stats();
+
+  for (int i = 0; i < 50; ++i) {
+    colls[3]->Insert(storage::DocBuilder().Set("i", static_cast<int64_t>(i)).Build());
+  }
+  Timer t_incr;
+  if (!(*mgr)->Checkpoint().ok()) CheckFailed() = true;
+  const double incr_ms = t_incr.Seconds() * 1e3;
+  const storage::DurabilityStats after_incr = (*mgr)->stats();
+  const uint64_t written =
+      after_incr.checkpoint_collections_written -
+      after_full.checkpoint_collections_written;
+  const uint64_t reused = after_incr.checkpoint_collections_reused -
+                          after_full.checkpoint_collections_reused;
+  (*mgr)->DetachAll();
+
+  std::printf("  %-38s %10.2f ms   (%d collections re-encoded)\n",
+              "full checkpoint", full_ms, kColls);
+  std::printf("  %-38s %10.2f ms   (%llu re-encoded, %llu reused)\n",
+              "incremental checkpoint, 1 dirty", incr_ms,
+              static_cast<unsigned long long>(written),
+              static_cast<unsigned long long>(reused));
+  // Correctness bar: the incremental fold touches only the dirty
+  // collection and is cheaper than re-encoding the corpus.
+  if (written != 1 || reused != kColls - 1) {
+    std::printf("  FAILED: expected 1 written / %d reused\n", kColls - 1);
+    CheckFailed() = true;
+  }
+  if (incr_ms >= full_ms) {
+    std::printf("  FAILED: incremental checkpoint not cheaper than full\n");
+    CheckFailed() = true;
+  }
+  RecordMetric("durability_checkpoint_full_ms", full_ms);
+  RecordMetric("durability_checkpoint_incremental_ms", incr_ms);
+  RecordMetric("durability_checkpoint_reused",
+               static_cast<double>(reused));
+  std::system(("rm -rf '" + dir + "'").c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string only;        // section letters to run; empty = all
+  std::string require;     // key prefixes the JSON artifact must hold
   int64_t fragments = 0;   // section K corpus override (0 = default)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       only = argv[++i];
+    } else if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      require = argv[++i];
     } else if (std::strcmp(argv[i], "--fragments") == 0 && i + 1 < argc) {
       if (!ParseInt64(argv[++i], &fragments) || fragments <= 0) {
         std::fprintf(stderr, "--fragments needs a positive integer\n");
@@ -1075,10 +1289,15 @@ int main(int argc, char** argv) {
       // the CI job that collects it.
       std::fprintf(stderr,
                    "unknown argument: %s\nusage: %s [--json <path>] "
-                   "[--only <section letters>] [--fragments <n>]\n",
+                   "[--only <section letters>] [--fragments <n>] "
+                   "[--require <key prefixes>]\n",
                    argv[i], argv[0]);
       return 2;
     }
+  }
+  if (!require.empty() && json_path.empty()) {
+    std::fprintf(stderr, "--require needs --json\n");
+    return 2;
   }
   const auto run = [&](char section) {
     return only.empty() || only.find(section) != std::string::npos;
@@ -1096,6 +1315,7 @@ int main(int argc, char** argv) {
   if (run('K')) AblationResumableCursors(fragments);
   if (run('L')) AblationConcurrency();
   if (run('M')) AblationServing(fragments);
+  if (run('N')) AblationDurability();
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -1103,6 +1323,40 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %zu metrics to %s\n", JsonMetrics().size(),
                 json_path.c_str());
+  }
+  if (!require.empty()) {
+    // Round-trip the artifact through the real parser: the file on
+    // disk (not the in-memory metric list) must be valid JSON and
+    // carry at least one key per required prefix.
+    std::string blob;
+    if (!storage::ReadFileToString(json_path, &blob).ok()) {
+      std::fprintf(stderr, "--require: cannot read back %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    auto parsed = ingest::ParseJson(blob);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--require: %s is not valid JSON: %s\n",
+                   json_path.c_str(), parsed.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& prefix : Split(require, ',')) {
+      if (prefix.empty()) continue;
+      bool found = false;
+      for (const auto& field : parsed->fields()) {
+        if (field.first.rfind(prefix, 0) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr,
+                     "--require: no \"%s*\" key in %s\n", prefix.c_str(),
+                     json_path.c_str());
+        return 1;
+      }
+    }
+    std::printf("all required key prefixes present (%s)\n", require.c_str());
   }
   if (CheckFailed()) {
     std::fprintf(stderr, "\nFAILED: one or more correctness checks above\n");

@@ -39,6 +39,71 @@ DataTamer::DataTamer(DataTamerOptions opts)
       store_.CreateCollection("entity", opts_.collection_options).ValueOrDie();
 }
 
+DataTamer::~DataTamer() = default;
+
+Result<std::unique_ptr<DataTamer>> DataTamer::Open(DataTamerOptions opts) {
+  auto dt = std::make_unique<DataTamer>(opts);
+  const storage::DurabilityOptions& dopts = dt->opts_.durability;
+  if (dopts.dir.empty() || dopts.durability == storage::Durability::kNone) {
+    return dt;  // durability disabled: plain in-memory facade
+  }
+  std::unique_ptr<storage::DocumentStore> recovered;
+  DT_ASSIGN_OR_RETURN(dt->wal_manager_,
+                      storage::WalManager::Open(dopts, "dt", &recovered));
+  if (recovered != nullptr) {
+    dt->ReplaceStore(std::move(*recovered));
+  }
+  DT_RETURN_NOT_OK(dt->wal_manager_->Attach(&dt->store_));
+  return dt;
+}
+
+void DataTamer::ReplaceStore(storage::DocumentStore store) {
+  store_ = std::move(store);
+  // The standard collections can be missing from recovered state (a
+  // crash before their create records reached disk under kAsync);
+  // recreate them so the facade invariant holds.
+  instance_ = store_.GetOrCreateCollection("instance",
+                                           opts_.collection_options);
+  entity_ = store_.GetOrCreateCollection("entity", opts_.collection_options);
+  // Only the document store is persisted: the structured side resets
+  // to empty so the facade reflects exactly the replaced store
+  // (re-ingest structured sources afterwards).
+  catalog_ = relational::Catalog();
+  registry_ = ingest::SourceRegistry();
+  global_schema_ = std::make_unique<match::GlobalSchema>(opts_.schema_options,
+                                                         synonyms_.get());
+  ingest_seq_ = 0;
+  stats_ = PipelineStats{};
+  stats_.fragments_ingested = instance_->count();
+  stats_.entities_extracted = entity_->count();
+  // Drop the lazy full-text index; the next SearchFragments rebuilds
+  // it over the replaced fragments.
+  fragment_index_ = query::InvertedIndex("text");
+  fragments_indexed_ = 0;
+  fragment_index_epoch_ = 0;
+  fragment_index_next_id_ = 0;
+}
+
+Status DataTamer::Checkpoint() {
+  if (wal_manager_ == nullptr) return Status::OK();
+  return wal_manager_->Checkpoint();
+}
+
+Status DataTamer::FlushDurability() const {
+  if (wal_manager_ == nullptr) return Status::OK();
+  return wal_manager_->Flush();
+}
+
+Status DataTamer::durability_health() const {
+  if (wal_manager_ == nullptr) return Status::OK();
+  return wal_manager_->health();
+}
+
+storage::DurabilityStats DataTamer::durability_stats() const {
+  if (wal_manager_ == nullptr) return storage::DurabilityStats{};
+  return wal_manager_->stats();
+}
+
 void DataTamer::SetGazetteer(const textparse::Gazetteer* gazetteer) {
   gazetteer_ = gazetteer;
   parser_ = std::make_unique<textparse::DomainParser>(gazetteer_);
@@ -528,27 +593,17 @@ Status DataTamer::LoadSnapshot(const std::string& path) {
                                 required + " collection");
     }
   }
-  store_ = std::move(*loaded);
-  instance_ = store_.GetCollection("instance").ValueOrDie();
-  entity_ = store_.GetCollection("entity").ValueOrDie();
-  // The snapshot covers only the document store, so the structured
-  // side resets to empty too — otherwise QueryEntity/ConsolidateAll
-  // would join loaded text entities against tables from the replaced
-  // state. Structured sources are re-ingested after loading.
-  catalog_ = relational::Catalog();
-  registry_ = ingest::SourceRegistry();
-  global_schema_ = std::make_unique<match::GlobalSchema>(opts_.schema_options,
-                                                         synonyms_.get());
-  ingest_seq_ = 0;
-  stats_ = PipelineStats{};
-  stats_.fragments_ingested = instance_->count();
-  stats_.entities_extracted = entity_->count();
-  // Drop the lazy full-text index; the next SearchFragments rebuilds it
-  // over the loaded fragments.
-  fragment_index_ = query::InvertedIndex("text");
-  fragments_indexed_ = 0;
-  fragment_index_epoch_ = 0;
-  fragment_index_next_id_ = 0;
+  // A durable facade must unhook its WAL observers from the dying
+  // collections first, and re-baseline afterwards: the loaded snapshot
+  // may rewind a lineage the log is ahead of, so the checkpoint below
+  // makes the loaded state THE durable state (and prunes stale
+  // segments that would otherwise replay over it).
+  if (wal_manager_ != nullptr) wal_manager_->DetachAll();
+  ReplaceStore(std::move(*loaded));
+  if (wal_manager_ != nullptr) {
+    DT_RETURN_NOT_OK(wal_manager_->Attach(&store_));
+    DT_RETURN_NOT_OK(wal_manager_->Checkpoint());
+  }
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 #include "query/text_search.h"
 #include "relational/catalog.h"
 #include "storage/document_store.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 #include "textparse/domain_parser.h"
 
@@ -63,6 +64,12 @@ struct DataTamerOptions {
   /// `num_threads` inherits the facade-level knob above unless set
   /// away from its default.
   storage::SnapshotOptions snapshot_options;
+  /// Crash-safe durability (WAL + incremental checkpoints). Only
+  /// honored by `DataTamer::Open`: set `durability.dir` to a
+  /// directory and every committed mutation is write-ahead logged
+  /// per `durability.durability`; `Open` replays that state back.
+  /// The plain constructor ignores this (in-memory facade).
+  storage::DurabilityOptions durability;
 };
 
 /// Decides a reviewed attribute: return the chosen global attribute
@@ -91,6 +98,17 @@ struct PipelineStats {
 class DataTamer {
  public:
   explicit DataTamer(DataTamerOptions opts = {});
+
+  /// \brief Opens a durable facade: recovers the state under
+  /// `opts.durability.dir` (checkpoints + WAL replay — see
+  /// storage/recovery.h) when one exists, and attaches the write-ahead
+  /// log so every committed mutation is durable per
+  /// `opts.durability.durability`. With durability disabled (empty dir
+  /// or mode kNone) this degrades to the plain in-memory constructor.
+  static Result<std::unique_ptr<DataTamer>> Open(DataTamerOptions opts);
+
+  /// Detaches and flushes the write-ahead log (durable facades).
+  ~DataTamer();
 
   // ---- Text pipeline (unstructured arrow of Fig. 1) ----
 
@@ -228,6 +246,29 @@ class DataTamer {
   /// structured sources after loading). On error the facade is left
   /// untouched.
   Status LoadSnapshot(const std::string& path);
+
+  // ---- Durability (crash safety; only live after `Open`) ----
+
+  /// Folds the WAL into incremental per-collection checkpoints (only
+  /// dirty collections are re-encoded). No-op success when the facade
+  /// is not durable.
+  Status Checkpoint();
+
+  /// Forces every acknowledged mutation onto disk regardless of the
+  /// durability mode (how kAsync callers bound their loss window).
+  /// Const: flushing writes no facade state (the server calls this on
+  /// its borrowed const facade at shutdown).
+  Status FlushDurability() const;
+
+  /// First WAL I/O failure, sticky; OK while healthy or not durable.
+  Status durability_health() const;
+
+  /// WAL/checkpoint/recovery counters (`enabled` false when the
+  /// facade is in-memory).
+  storage::DurabilityStats durability_stats() const;
+
+  bool durable() const { return wal_manager_ != nullptr; }
+
   storage::Collection* instance_collection() { return instance_; }
   const storage::Collection* instance_collection() const { return instance_; }
   storage::Collection* entity_collection() { return entity_; }
@@ -264,6 +305,12 @@ class DataTamer {
 
   /// `options().snapshot_options` with the cached pool attached.
   storage::SnapshotOptions ResolveSnapshotOptions() const;
+
+  /// Installs `store` as the facade's document store (recovery and
+  /// snapshot-load share this): recreates missing standard
+  /// collections, re-resolves the cached pointers and resets every
+  /// piece of derived state to reflect exactly the replaced store.
+  void ReplaceStore(storage::DocumentStore store);
 
   /// Shared Find/Explain option normalization: facade thread-knob
   /// inheritance and fragment-index wiring for the instance
@@ -308,6 +355,9 @@ class DataTamer {
   // mutex guards the lazy init against concurrent const queries.
   mutable std::mutex worker_pool_mu_;
   mutable std::unique_ptr<ThreadPool> worker_pool_;
+  // Declared after store_ so destruction detaches the WAL observers
+  // (and flushes the log) while the collections are still alive.
+  std::unique_ptr<storage::WalManager> wal_manager_;
 };
 
 }  // namespace dt::fusion

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "fusion/data_tamer.h"
 
@@ -83,6 +84,7 @@ struct DtServer::Impl {
   std::atomic<uint64_t> requests_rejected{0};
   std::atomic<uint64_t> corrupt_frames{0};
   std::atomic<uint64_t> idle_closes{0};
+  std::atomic<uint64_t> peer_disconnects{0};
 
   void Wake() {
     char b = 1;
@@ -203,30 +205,41 @@ struct DtServer::Impl {
     sessions.erase(s->fd);
   }
 
-  /// Reads until EAGAIN and parses complete frames; false when the
-  /// peer is gone (EOF / hard error) — reply traffic still owed drains
-  /// through the close-after-flush path.
-  bool ReadSession(const SessionPtr& s) {
+  /// How a session's read side ended this poll round.
+  enum class ReadOutcome {
+    kOk,     ///< still open (drained to EAGAIN)
+    kEof,    ///< clean close: drain owed responses, then close
+    kError,  ///< transport is dead (ECONNRESET, ...): close now
+  };
+
+  /// Reads until EAGAIN and parses complete frames. A clean EOF keeps
+  /// the session draining (workers may still owe responses); a fatal
+  /// transport error reports kError so the loop tears the session
+  /// down immediately — nothing sent to a reset connection arrives,
+  /// and a draining zombie would pin its slot until idle reaping.
+  ReadOutcome ReadSession(const SessionPtr& s) {
     char buf[64 * 1024];
     while (true) {
       ssize_t n = recv(s->fd, buf, sizeof buf, 0);
+      // Capture errno before anything (NowMs, parsing) can clobber it.
+      const int err = n < 0 ? errno : 0;
       if (n > 0) {
         s->inbuf.append(buf, static_cast<size_t>(n));
         s->last_active_ms = NowMs();
         continue;
       }
-      if (n == 0) return false;  // peer closed
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;
+      if (n == 0) return ReadOutcome::kEof;  // peer closed cleanly
+      if (err == EAGAIN || err == EWOULDBLOCK) break;
+      if (err == EINTR) continue;
+      return ReadOutcome::kError;  // ECONNRESET, ETIMEDOUT, ...
     }
     ParseFrames(s);
-    return true;
+    return ReadOutcome::kOk;
   }
 
   /// Flushes as much buffered output as the socket accepts; false when
-  /// the session should close now (write error, or fully drained after
-  /// the read side ended).
+  /// the session should close now (fatal write error, or fully drained
+  /// after the read side ended).
   bool FlushSession(const SessionPtr& s) {
     std::string chunk;
     {
@@ -237,13 +250,20 @@ struct DtServer::Impl {
     while (off < chunk.size()) {
       ssize_t n =
           send(s->fd, chunk.data() + off, chunk.size() - off, MSG_NOSIGNAL);
+      const int err = n < 0 ? errno : 0;
       if (n > 0) {
         off += static_cast<size_t>(n);
         s->last_active_ms = NowMs();
         continue;
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
+      // A 0-byte send sets no errno; checking one here would read a
+      // stale value and misclassify the socket. Treat it like a full
+      // buffer and retry on the next POLLOUT.
+      if (n == 0 || err == EAGAIN || err == EWOULDBLOCK) break;
+      if (err == EINTR) continue;
+      // EPIPE / ECONNRESET / ...: the peer is gone and the remaining
+      // output is undeliverable — close now instead of draining.
+      peer_disconnects.fetch_add(1);
       return false;
     }
     bool has_output = false;
@@ -321,7 +341,17 @@ struct DtServer::Impl {
         if (sessions.count(s->fd) == 0) continue;
         short re = fds[i + 2].revents;
         if ((re & (POLLIN | POLLHUP | POLLERR)) && !s->close_after_flush) {
-          if (!ReadSession(s)) s->close_after_flush = true;
+          switch (ReadSession(s)) {
+            case ReadOutcome::kOk:
+              break;
+            case ReadOutcome::kEof:
+              s->close_after_flush = true;
+              break;
+            case ReadOutcome::kError:
+              peer_disconnects.fetch_add(1);
+              CloseSession(s);
+              break;
+          }
         }
       }
 
@@ -444,6 +474,15 @@ void DtServer::Stop() {
   if (im.wake_r >= 0) close(im.wake_r);
   if (im.wake_w >= 0) close(im.wake_w);
   im.wake_r = im.wake_w = -1;
+  // Every request acknowledged over the wire must be on disk before
+  // the process can exit (group/async modes may hold a synced-behind
+  // tail). Workers are joined, so this cannot race an append.
+  if (im.tamer != nullptr) {
+    Status st = im.tamer->FlushDurability();
+    if (!st.ok()) {
+      DT_LOG(Error) << "WAL flush on server stop failed: " << st.ToString();
+    }
+  }
 }
 
 ServerStats DtServer::stats() const {
@@ -455,6 +494,8 @@ ServerStats DtServer::stats() const {
   out.requests_rejected = im.requests_rejected.load();
   out.corrupt_frames = im.corrupt_frames.load();
   out.idle_closes = im.idle_closes.load();
+  out.peer_disconnects = im.peer_disconnects.load();
+  if (im.tamer != nullptr) out.durability = im.tamer->durability_stats();
   return out;
 }
 

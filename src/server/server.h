@@ -42,6 +42,7 @@
 
 #include "common/status.h"
 #include "server/frame.h"
+#include "storage/recovery.h"
 
 namespace dt::fusion {
 class DataTamer;
@@ -83,6 +84,13 @@ struct ServerStats {
   uint64_t requests_rejected = 0;  ///< kUnavailable admissions
   uint64_t corrupt_frames = 0;
   uint64_t idle_closes = 0;
+  /// Sessions torn down on a fatal transport error (ECONNRESET /
+  /// EPIPE / ...): the peer vanished mid-conversation, as opposed to
+  /// the clean-EOF drain path.
+  uint64_t peer_disconnects = 0;
+  /// The facade's durability counters (`enabled` false when serving
+  /// an in-memory facade).
+  storage::DurabilityStats durability;
 };
 
 /// \brief The serving endpoint. Construct over a facade (borrowed; must
@@ -101,7 +109,9 @@ class DtServer {
   Status Start();
 
   /// Drains nothing: closes the listener and every session, joins all
-  /// threads. Idempotent.
+  /// threads, then flushes the facade's write-ahead log so every
+  /// acknowledged mutation is on disk before the process can exit.
+  /// Idempotent.
   void Stop();
 
   /// The bound port (resolves option port 0); valid after `Start`.

@@ -393,6 +393,17 @@ DocId Collection::Insert(DocValue doc) {
   Mutate([&](internal::StorageVersion& v) {
     InsertUnchecked(v, id, std::move(doc));
   });
+  if (state_->observer) {
+    // The pinned core keeps the borrowed document alive across the
+    // callback even if a concurrent trim retires this version.
+    auto core = CurrentCore();
+    MutationEvent ev;
+    ev.op = MutationEvent::Op::kInsert;
+    ev.epoch = core->epoch;
+    ev.id = id;
+    ev.doc = core->Get(id);
+    state_->observer(ev);
+  }
   return id;
 }
 
@@ -438,6 +449,15 @@ Status Collection::Update(DocId id, DocValue doc) {
     // extent.
     *slot = std::move(doc);
   });
+  if (state_->observer) {
+    auto core = CurrentCore();
+    MutationEvent ev;
+    ev.op = MutationEvent::Op::kUpdate;
+    ev.epoch = core->epoch;
+    ev.id = id;
+    ev.doc = core->Get(id);
+    state_->observer(ev);
+  }
   return Status::OK();
 }
 
@@ -456,6 +476,13 @@ Status Collection::Remove(DocId id) {
     v.data_size -= removed.SerializedSize();
     --v.doc_count;
   });
+  if (state_->observer) {
+    MutationEvent ev;
+    ev.op = MutationEvent::Op::kRemove;
+    ev.epoch = CurrentCore()->epoch;
+    ev.id = id;
+    state_->observer(ev);
+  }
   return Status::OK();
 }
 
@@ -506,7 +533,19 @@ Status Collection::CreateIndex(const std::vector<std::string>& field_paths) {
     v.ForEach([&](DocId id, const DocValue& doc) { idx->Insert(id, doc); });
     v.indexes.push_back(std::move(idx));
   });
+  if (state_->observer) {
+    MutationEvent ev;
+    ev.op = MutationEvent::Op::kCreateIndex;
+    ev.epoch = CurrentCore()->epoch;
+    ev.index_paths = &field_paths;
+    state_->observer(ev);
+  }
   return Status::OK();
+}
+
+void Collection::SetMutationObserver(MutationObserver observer) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  state_->observer = std::move(observer);
 }
 
 std::vector<std::vector<std::string>> Collection::IndexSpecs() const {

@@ -137,6 +137,29 @@ class ExtentChain {
   uint64_t last_alloc_epoch_ = 0;
 };
 
+/// \brief Post-commit mutation notification — the hook the write-ahead
+/// log hangs off (see storage/wal.h). Invoked synchronously at the end
+/// of Insert/Update/Remove/CreateIndex with the collection's writer
+/// mutex held, after the mutation has published: `epoch` is the
+/// post-mutation epoch, and the borrowed pointers are valid only for
+/// the duration of the callback. `RestoreDocument`/`RestoreLineage`
+/// (snapshot/WAL replay paths) never notify — replay must not re-log.
+struct MutationEvent {
+  enum class Op : uint8_t { kInsert, kUpdate, kRemove, kCreateIndex };
+  Op op = Op::kInsert;
+  uint64_t epoch = 0;  ///< the collection's post-mutation epoch
+  DocId id = 0;        ///< insert/update/remove
+  /// Stored document after the mutation (insert/update: includes the
+  /// auto-added "_id" field); nullptr otherwise.
+  const DocValue* doc = nullptr;
+  /// Component paths of the created index (create_index only).
+  const std::vector<std::string>* index_paths = nullptr;
+};
+
+/// Observer of committed mutations. Runs under the writer mutex, so it
+/// must not call back into the collection's write surface.
+using MutationObserver = std::function<void(const MutationEvent&)>;
+
 namespace internal {
 
 /// Sorted run of (id, document) pairs — the copy-on-write granule of
@@ -229,6 +252,9 @@ struct CollectionShared {
 
   /// Writer-side RNG for version ids (guarded by writer_mu).
   Rng rng;
+
+  /// Committed-mutation observer (guarded by writer_mu; empty = none).
+  MutationObserver observer;
 
   // Query-path accounting; atomics so concurrent readers may record.
   mutable std::atomic<int64_t> index_scans{0};
@@ -497,6 +523,13 @@ class Collection {
   /// The published version keeps its fresh random `version_id`, so
   /// tokens minted before the save never validate after a load.
   void RestoreLineage(uint64_t incarnation, uint64_t epoch);
+
+  /// \brief Installs (or, with an empty function, removes) the
+  /// committed-mutation observer — the WAL's append hook. At most one
+  /// observer exists; it runs under the writer mutex (see
+  /// MutationEvent for the contract). Safe to call concurrently with
+  /// writers.
+  void SetMutationObserver(MutationObserver observer);
 
   /// The `db.<coll>.stats()` snapshot.
   CollectionStats Stats() const;

@@ -1,10 +1,13 @@
 #include "storage/snapshot.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
@@ -13,6 +16,7 @@
 
 #include "common/thread_pool.h"
 #include "storage/codec.h"
+#include "storage/wal.h"
 
 namespace dt::storage {
 
@@ -87,63 +91,36 @@ Status DecodeIndexRecord(const std::string& record,
   return Status::OK();
 }
 
-// ---- file IO ----------------------------------------------------------
-
-Status ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open " + path + " for reading");
-  std::streamsize size = in.tellg();
-  if (size < 0) return Status::IOError("cannot stat " + path);
-  out->resize(static_cast<size_t>(size));
-  in.seekg(0);
-  if (size > 0 && !in.read(&(*out)[0], size)) {
-    return Status::IOError("short read from " + path);
-  }
-  return Status::OK();
+/// Directory component of `path` ("" when it has none — the cwd).
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
 }
 
-Status WriteStringToFile(const std::string& path, std::string_view data) {
-  // Unique temp file + fsync + rename: a crash mid-write leaves any
-  // previous snapshot at `path` intact, the data is on disk before the
-  // rename can replace it, and concurrent saves to the same path
-  // cannot interleave into one temp file (last rename wins whole).
-  static std::atomic<uint64_t> counter{0};
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(counter.fetch_add(1));
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IOError("cannot open " + tmp + " for writing");
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;  // signal mid-write is not a failure
-      ::close(fd);
-      std::remove(tmp.c_str());
-      return Status::IOError("short write to " + tmp);
-    }
-    written += static_cast<size_t>(n);
+/// True when `name` matches the `AtomicWriteFile` temp pattern
+/// `<base>.tmp.<pid>.<n>`; fills the embedded pid.
+bool ParseTempFilePid(const std::string& name, pid_t* pid) {
+  size_t at = name.rfind(".tmp.");
+  if (at == std::string::npos) return false;
+  size_t p = at + 5;
+  uint64_t v = 0;
+  size_t digits = 0;
+  while (p < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[p]))) {
+    v = v * 10 + static_cast<uint64_t>(name[p] - '0');
+    if (v > (1ull << 31)) return false;
+    ++p;
+    ++digits;
   }
-  bool synced = ::fsync(fd) == 0;
-  if (::close(fd) != 0) synced = false;  // close must run even if fsync failed
-  if (!synced) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot sync " + tmp);
+  if (digits == 0 || p >= name.size() || name[p] != '.') return false;
+  ++p;
+  if (p >= name.size()) return false;
+  while (p < name.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(name[p]))) return false;
+    ++p;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
-  }
-  // Make the rename itself durable (best-effort: some filesystems do
-  // not support fsync on directories).
-  std::string dir = path;
-  size_t slash = dir.find_last_of('/');
-  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
-  int dfd = ::open(dir.c_str(), O_RDONLY);
-  if (dfd >= 0) {
-    (void)::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::OK();
+  *pid = static_cast<pid_t>(v);
+  return true;
 }
 
 // ---- chunking ---------------------------------------------------------
@@ -437,6 +414,88 @@ ThreadPool* MakePool(const SnapshotOptions& opts,
 
 }  // namespace
 
+// ---- file utilities ----------------------------------------------------
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::streamsize size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(&(*out)[0], size)) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  // Unique temp file + fsync + rename: a crash mid-write leaves any
+  // previous file at `path` intact, the data is on disk before the
+  // rename can replace it, and concurrent saves to the same path
+  // cannot interleave into one temp file (last rename wins whole).
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open " + tmp + " for writing");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = crashpoint::CrashAwareWrite(fd, data.data() + written,
+                                            data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal mid-write is not a failure
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  if (::close(fd) != 0) synced = false;  // close must run even if fsync failed
+  if (!synced) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot sync " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  // Make the rename itself durable (best-effort: some filesystems do
+  // not support fsync on directories).
+  std::string dir = DirOf(path);
+  if (dir.empty()) dir = ".";
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+int SweepStaleTempFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.empty() ? "." : dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> victims;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    pid_t pid = 0;
+    if (!ParseTempFilePid(name, &pid)) continue;
+    // kill(pid, 0) probes liveness without signaling; EPERM still
+    // means "alive, just not ours". Only a provably dead owner makes
+    // the temp file garbage — a live pid may be a saver whose rename
+    // has not landed yet (including this very process).
+    if (::kill(pid, 0) == 0 || errno == EPERM) continue;
+    victims.push_back(dir.empty() ? name : dir + "/" + name);
+  }
+  ::closedir(d);
+  int removed = 0;
+  for (const std::string& path : victims) {
+    if (std::remove(path.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
 // ---- whole-store snapshots --------------------------------------------
 
 Status EncodeStoreSnapshot(const DocumentStore& store,
@@ -496,13 +555,15 @@ Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
 
 Status SaveSnapshot(const DocumentStore& store, const std::string& path,
                     const SnapshotOptions& opts) {
+  SweepStaleTempFiles(DirOf(path));
   std::string buf;
   DT_RETURN_NOT_OK(EncodeStoreSnapshot(store, opts, &buf));
-  return WriteStringToFile(path, buf);
+  return AtomicWriteFile(path, buf);
 }
 
 Result<std::unique_ptr<DocumentStore>> LoadSnapshot(
     const std::string& path, const SnapshotOptions& opts) {
+  SweepStaleTempFiles(DirOf(path));
   std::string buf;
   DT_RETURN_NOT_OK(ReadFileToString(path, &buf));
   return DecodeStoreSnapshot(buf, opts);
@@ -510,19 +571,26 @@ Result<std::unique_ptr<DocumentStore>> LoadSnapshot(
 
 // ---- single-collection snapshots --------------------------------------
 
-Status SaveSnapshot(const Collection& coll, const std::string& path,
-                    const SnapshotOptions& opts) {
+Status EncodeCollectionSnapshot(const CollectionView& view,
+                                const SnapshotOptions& opts,
+                                std::string* out) {
   std::unique_ptr<ThreadPool> pool_holder;
   ThreadPool* pool = MakePool(opts, &pool_holder);
+  DT_RETURN_NOT_OK(WriteHeader(kKindCollection, out));
+  return WriteCollectionSection(view, pool, opts.docs_per_chunk, out);
+}
+
+Status SaveSnapshot(const Collection& coll, const std::string& path,
+                    const SnapshotOptions& opts) {
+  SweepStaleTempFiles(DirOf(path));
   std::string buf;
-  DT_RETURN_NOT_OK(WriteHeader(kKindCollection, &buf));
-  DT_RETURN_NOT_OK(
-      WriteCollectionSection(coll.GetView(), pool, opts.docs_per_chunk, &buf));
-  return WriteStringToFile(path, buf);
+  DT_RETURN_NOT_OK(EncodeCollectionSnapshot(coll.GetView(), opts, &buf));
+  return AtomicWriteFile(path, buf);
 }
 
 Result<std::unique_ptr<Collection>> LoadCollectionSnapshot(
     const std::string& path, const SnapshotOptions& opts) {
+  SweepStaleTempFiles(DirOf(path));
   std::unique_ptr<ThreadPool> pool_holder;
   ThreadPool* pool = MakePool(opts, &pool_holder);
   std::string buf;

@@ -98,6 +98,15 @@ Status SaveSnapshot(const Collection& coll, const std::string& path,
 Result<std::unique_ptr<Collection>> LoadCollectionSnapshot(
     const std::string& path, const SnapshotOptions& opts = {});
 
+/// Encodes a single-collection snapshot of one immutable `view` — the
+/// unit an incremental checkpoint writes per dirty collection (the
+/// view pins a consistent version, so a checkpoint never freezes
+/// writers). Bytes are identical to `SaveSnapshot(coll, ...)` taken at
+/// the same version.
+Status EncodeCollectionSnapshot(const CollectionView& view,
+                                const SnapshotOptions& opts,
+                                std::string* out);
+
 // ---- In-memory variants (testing; embedding in other streams) ----
 
 Status EncodeStoreSnapshot(const DocumentStore& store,
@@ -105,5 +114,24 @@ Status EncodeStoreSnapshot(const DocumentStore& store,
 
 Result<std::unique_ptr<DocumentStore>> DecodeStoreSnapshot(
     std::string_view buf, const SnapshotOptions& opts = {});
+
+// ---- File utilities (shared with the WAL/recovery layer) ----
+
+/// Reads the whole file at `path` into `out` (kIOError on failure).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `data` to `path` atomically: unique temp file
+/// (`<path>.tmp.<pid>.<n>`) + fsync + rename + directory fsync, so a
+/// crash mid-write can never truncate or tear an existing file.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// Deletes stale `*.tmp.<pid>.<n>` files under `dir` ("" = cwd) left
+/// behind by an `AtomicWriteFile` whose process crashed between
+/// temp-create and rename. A temp file whose embedded pid is still a
+/// live process is a concurrent saver's work in progress and is left
+/// alone (which also protects this process's own in-flight saves).
+/// Best-effort: I/O errors are swallowed — sweeping is hygiene, not
+/// correctness. Returns the number of files removed.
+int SweepStaleTempFiles(const std::string& dir);
 
 }  // namespace dt::storage

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -424,6 +425,114 @@ TEST(ServerIntegrationTest, IdleSessionsAndExcessSessionsAreClosed) {
   EXPECT_GE(srv.stats().sessions_rejected, 1u);
   EXPECT_GE(srv.stats().idle_closes, 1u);
   srv.Stop();
+}
+
+TEST(ServerIntegrationTest, AbortedClientMidFlushClosedAndCounted) {
+  const Corpus& corpus = SharedCorpus();
+  fusion::DataTamer tamer;
+  corpus.Ingest(&tamer);
+  DtServer srv(&tamer);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // A client with a tiny receive window pipelines far more response
+  // bytes than the kernel will buffer, so the server's flush backs up
+  // on EAGAIN with a non-empty outbox — then the client vanishes.
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 1024;
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf), 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  RequestEnvelope env;
+  env.request.op = QueryOp::kFind;
+  env.request.collection = "entity";
+  env.request.predicate = Predicate::And({});  // every document
+  std::string burst;
+  for (uint64_t i = 1; i <= 48; ++i) {
+    env.id = i;
+    std::string frame;
+    ASSERT_TRUE(EncodeFrame(EncodeRequestEnvelope(env), kDefaultMaxFrameSize,
+                            &frame)
+                    .ok());
+    burst += frame;
+  }
+  SendAll(fd, burst);
+  // Let responses pile into the server-side outbox (this client never
+  // reads), then abort with an RST instead of a FIN: SO_LINGER {1,0}.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ASSERT_EQ(setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg), 0);
+  close(fd);
+
+  // The dead peer surfaces as a fatal errno (ECONNRESET/EPIPE) on the
+  // next flush or read; the server must close the session immediately
+  // and count it — never hang, spin, or crash.
+  bool counted = false;
+  for (int i = 0; i < 150 && !counted; ++i) {
+    counted = srv.stats().peer_disconnects >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(counted) << "peer_disconnects never incremented";
+
+  // Collateral check: a well-behaved client is unaffected.
+  auto cli = DtClient::Connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(cli.ok());
+  QueryRequest req;
+  req.op = QueryOp::kCount;
+  req.collection = "entity";
+  req.group_path = "type";
+  auto r = (*cli)->Call(req);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  srv.Stop();
+}
+
+TEST(ServerIntegrationTest, DurableFacadeStatsAndShutdownFlush) {
+  const std::string dir = ::testing::TempDir() + "dt_srv_durable_" +
+                          std::to_string(::getpid());
+  (void)!system(("rm -rf '" + dir + "'").c_str());
+  fusion::DataTamerOptions opts;
+  opts.durability.dir = dir;
+  // kAsync acknowledges before fsync — the Stop() flush is what makes
+  // the served writes durable, which is exactly what this test pins.
+  opts.durability.durability = storage::Durability::kAsync;
+  opts.durability.checkpoint_wal_bytes = 0;
+  {
+    auto dt = fusion::DataTamer::Open(opts);
+    ASSERT_TRUE(dt.ok()) << dt.status().ToString();
+    const Corpus& corpus = SharedCorpus();
+    corpus.Ingest(dt->get());
+
+    DtServer srv(dt->get());
+    ASSERT_TRUE(srv.Start().ok());
+    auto cli = DtClient::Connect("127.0.0.1", srv.port());
+    ASSERT_TRUE(cli.ok());
+    QueryRequest req;
+    req.op = QueryOp::kCount;
+    req.collection = "entity";
+    req.group_path = "type";
+    auto r = (*cli)->Call(req);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    ServerStats stats = srv.stats();
+    EXPECT_TRUE(stats.durability.enabled);
+    EXPECT_EQ(stats.durability.mode, storage::Durability::kAsync);
+    EXPECT_GT(stats.durability.wal_appends, 0u);
+    srv.Stop();  // flushes the WAL before reporting stopped
+  }
+  // Reopen: everything the server acknowledged is on disk.
+  auto dt2 = fusion::DataTamer::Open(opts);
+  ASSERT_TRUE(dt2.ok()) << dt2.status().ToString();
+  auto found = (*dt2)->Find("entity", Predicate::And({}));
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_GT(found->size(), 0u);
+  (void)!system(("rm -rf '" + dir + "'").c_str());
 }
 
 }  // namespace
