@@ -759,6 +759,10 @@ void AblationResumableCursors(int64_t fragments_override) {
   ordered.limit = 10;
   query::ExecStats topk_stats;
   ordered.stats = &topk_stats;
+  // The fallback arm runs the pre-statistics planner (exact O(hits)
+  // counting, no stats-driven plan switches) so the comparison stays
+  // the one this section has always made: UNION + TOPK vs the merge.
+  ordered.debug_exact_count_planning = true;
   const std::string before = query::ExplainFind(*coll, pred_or, ordered);
   const int topk_reps = 10;
   Timer t_topk;
@@ -777,6 +781,7 @@ void AblationResumableCursors(int64_t fragments_override) {
   }
   query::ExecStats merge_stats;
   ordered.stats = &merge_stats;
+  ordered.debug_exact_count_planning = false;
   const std::string after = query::ExplainFind(*coll, pred_or, ordered);
   const int merge_reps = 200;
   Timer t_merge;
@@ -807,10 +812,10 @@ void AblationResumableCursors(int64_t fragments_override) {
               WithThousandsSep(merge_touched).c_str());
   std::printf("  %-38s %9.1fx wall clock, %.0fx touched\n", "merge advantage",
               merge_speedup, touch_ratio);
-  std::printf("  identical: %s   (end-to-end time includes planning, whose "
-              "exact O(hits)\n   cardinality counting dominates the "
-              "microsecond execution — the roadmap's\n   histogram item; "
-              "the touched ratio isolates the execution change)\n",
+  std::printf("  identical: %s   (fallback arm plans with pre-statistics "
+              "exact O(hits) counting;\n   the merge arm plans O(1) off the "
+              "histograms — section O isolates that\n   planning delta; the "
+              "touched ratio isolates the execution change)\n",
               same ? "yes" : "NO");
   if (!same || via_merge.empty()) CheckFailed() = true;
   if (!plan_ok) {
@@ -1265,6 +1270,168 @@ void AblationDurability() {
   std::system(("rm -rf '" + dir + "'").c_str());
 }
 
+void AblationPlannerStats(int64_t fragments_override) {
+  PrintSection("O. planner statistics: O(1) planning via histograms/sketches");
+  const bool full_scale = fragments_override <= 0;
+  // Synthetic skewed corpus: a "bucket" field whose values hit 1, ~1k
+  // and ~50k documents (the spread that makes exact cardinality
+  // counting O(hits)), a unique "name", and a 50/50 "type" split for
+  // the ordered-Or workload below.
+  const int64_t n = full_scale ? 54000 : 2101;
+  const int64_t warm = full_scale ? 1000 : 100;
+  storage::Collection coll("bench.planner_stats");
+  for (int64_t i = 0; i < n; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "n%07lld", static_cast<long long>(i));
+    coll.Insert(storage::DocBuilder()
+                    .Set("bucket", i == 0          ? "cold"
+                                   : i <= warm     ? "warm"
+                                                   : "hot")
+                    .Set("type", i % 2 == 0 ? "Movie" : "Person")
+                    .Set("name", name)
+                    .Build());
+  }
+  if (!coll.CreateIndex("bucket").ok() || !coll.CreateIndex("name").ok() ||
+      !coll.CreateIndex("type").ok()) {
+    std::printf("  index creation FAILED\n");
+    CheckFailed() = true;
+    return;
+  }
+  std::printf("  docs: %s   bucket hits: 1 / %s / %s\n",
+              WithThousandsSep(n).c_str(), WithThousandsSep(warm).c_str(),
+              WithThousandsSep(n - warm - 1).c_str());
+
+  // ---- Planning cost across three orders of magnitude of hit count.
+  // The point Find carries an order_by + limit so the planner also
+  // prices the filtered order-walk alternative — the estimate-hungry
+  // decision. `plan_entries_counted` is deterministic; the wall clock
+  // is informational.
+  const struct {
+    const char* label;
+    const char* value;
+  } kBuckets[] = {{"1", "cold"}, {"1k", "warm"}, {"50k", "hot"}};
+  const int plan_reps = 200;
+  int64_t max_entries = 0;
+  double plan_us[3] = {0, 0, 0};
+  int64_t plan_entries[3] = {0, 0, 0};
+  std::printf("  %-10s %14s %18s\n", "hits", "plan(us)", "entries counted");
+  for (int b = 0; b < 3; ++b) {
+    auto pred = query::Predicate::Eq("bucket",
+                                     storage::DocValue::Str(kBuckets[b].value));
+    query::FindOptions opts;
+    opts.order_by = "name";
+    opts.limit = 10;
+    query::ExecStats st;
+    opts.stats = &st;
+    int64_t total_ns = 0;
+    for (int i = 0; i < plan_reps; ++i) {
+      st = query::ExecStats{};
+      (void)query::PlanFind(coll, pred, opts);
+      total_ns += st.planning_ns;
+      plan_entries[b] = st.plan_entries_counted;
+    }
+    plan_us[b] = static_cast<double>(total_ns) / plan_reps / 1000.0;
+    max_entries = std::max(max_entries, plan_entries[b]);
+    std::printf("  %-10s %14.2f %18s\n", kBuckets[b].label, plan_us[b],
+                WithThousandsSep(plan_entries[b]).c_str());
+    RecordMetric(std::string("planner_stats_plan_us_") + kBuckets[b].label,
+                 plan_us[b]);
+    RecordMetric(std::string("planner_stats_entries_counted_") +
+                     kBuckets[b].label,
+                 static_cast<double>(plan_entries[b]));
+  }
+  // The tentpole bar: planning examines a bounded number of index
+  // entries regardless of hit count — flat from 1 to 50k hits.
+  if (max_entries > 1024) {
+    std::printf("  FAILED: planning examined %s entries (O(hits)?)\n",
+                WithThousandsSep(max_entries).c_str());
+    CheckFailed() = true;
+  }
+
+  // The pre-statistics baseline at the widest bucket: exact counting
+  // walks every hit.
+  {
+    auto pred =
+        query::Predicate::Eq("bucket", storage::DocValue::Str("hot"));
+    query::FindOptions opts;
+    opts.order_by = "name";
+    opts.limit = 10;
+    opts.debug_exact_count_planning = true;
+    query::ExecStats st;
+    opts.stats = &st;
+    const int exact_reps = 20;
+    int64_t total_ns = 0;
+    int64_t exact_entries = 0;
+    for (int i = 0; i < exact_reps; ++i) {
+      st = query::ExecStats{};
+      (void)query::PlanFind(coll, pred, opts);
+      total_ns += st.planning_ns;
+      exact_entries = st.plan_entries_counted;
+    }
+    const double exact_us = static_cast<double>(total_ns) / exact_reps / 1000.0;
+    std::printf("  %-10s %14.2f %18s   (exact-count planning)\n", "50k",
+                exact_us, WithThousandsSep(exact_entries).c_str());
+    RecordMetric("planner_stats_exact_plan_us_50k", exact_us);
+    RecordMetric("planner_stats_exact_entries_50k",
+                 static_cast<double>(exact_entries));
+    if (exact_entries <= max_entries) {
+      std::printf("  FAILED: exact baseline counted %s entries — no contrast "
+                  "with the O(1) planner\n",
+                  WithThousandsSep(exact_entries).c_str());
+      CheckFailed() = true;
+    }
+  }
+
+  // ---- End-to-end ordered Or (the section-K workload shape): the
+  // pre-statistics planner both counts every hit while planning and
+  // lands on COLLSCAN + TOPK; the statistics planner prices the
+  // filtered order-walk off the histograms and early-terminates.
+  auto pred_or = query::Predicate::Or(
+      {query::Predicate::Eq("type", storage::DocValue::Str("Movie")),
+       query::Predicate::Eq("type", storage::DocValue::Str("Person"))});
+  query::FindOptions ordered;
+  ordered.order_by = "name";
+  ordered.limit = 10;
+  ordered.debug_exact_count_planning = true;
+  std::printf("  exact-planner plan: %s\n",
+              query::ExplainFind(coll, pred_or, ordered).c_str());
+  const int exact_or_reps = 5;
+  Timer t_exact;
+  std::vector<storage::DocId> via_exact;
+  for (int i = 0; i < exact_or_reps; ++i) {
+    via_exact = query::Find(coll, pred_or, ordered).ValueOrDie();
+  }
+  const double exact_ms = t_exact.Millis() / exact_or_reps;
+
+  ordered.debug_exact_count_planning = false;
+  std::printf("  stats-planner plan: %s\n",
+              query::ExplainFind(coll, pred_or, ordered).c_str());
+  const int stats_or_reps = 200;
+  Timer t_stats;
+  std::vector<storage::DocId> via_stats;
+  for (int i = 0; i < stats_or_reps; ++i) {
+    via_stats = query::Find(coll, pred_or, ordered).ValueOrDie();
+  }
+  const double stats_ms = t_stats.Millis() / stats_or_reps;
+  const double or_speedup = stats_ms > 0 ? exact_ms / stats_ms : 0.0;
+  std::printf("  %-38s %10.4f ms\n", "ordered Or, exact-count planner",
+              exact_ms);
+  std::printf("  %-38s %10.4f ms\n", "ordered Or, statistics planner",
+              stats_ms);
+  std::printf("  %-38s %9.1fx   identical: %s\n", "planner speedup",
+              or_speedup, via_exact == via_stats ? "yes" : "NO");
+  if (via_exact != via_stats || via_stats.empty()) CheckFailed() = true;
+  if (full_scale && or_speedup < 2.0) {
+    std::printf("  FAILED: statistics planner only %.1fx faster end-to-end "
+                "(need >= 2x)\n",
+                or_speedup);
+    CheckFailed() = true;
+  }
+  RecordMetric("planner_stats_or_exact_ms", exact_ms);
+  RecordMetric("planner_stats_or_stats_ms", stats_ms);
+  RecordMetric("planner_stats_or_speedup", or_speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1316,6 +1483,7 @@ int main(int argc, char** argv) {
   if (run('L')) AblationConcurrency();
   if (run('M')) AblationServing(fragments);
   if (run('N')) AblationDurability();
+  if (run('O')) AblationPlannerStats(fragments);
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

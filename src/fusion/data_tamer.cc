@@ -383,7 +383,11 @@ Result<query::QueryResponse> DataTamer::ExecuteInternal(
     case query::QueryOp::kExplain: {
       storage::CollectionView view = coll->GetView();
       resp.explain = query::ExplainFind(view, req.predicate, opts);
-      resp.plan = query::PlanFind(view, req.predicate, opts).ToDocValue();
+      // The second planning pass only reifies the structured form; it
+      // must not double-count into the planning stats.
+      query::FindOptions no_stats = opts;
+      no_stats.stats = nullptr;
+      resp.plan = query::PlanFind(view, req.predicate, no_stats).ToDocValue();
       break;
     }
     case query::QueryOp::kCount:

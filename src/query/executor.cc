@@ -17,6 +17,10 @@ DocValue ExecStats::ToDocValue() const {
   out.Add("index_entries_examined", DocValue::Int(index_entries_examined));
   out.Add("docs_examined", DocValue::Int(docs_examined));
   out.Add("docs_returned", DocValue::Int(docs_returned));
+  out.Add("planning_ns", DocValue::Int(planning_ns));
+  out.Add("plan_entries_counted", DocValue::Int(plan_entries_counted));
+  out.Add("estimated_rows", DocValue::Int(estimated_rows));
+  out.Add("estimate_exact", DocValue::Int(estimate_exact));
   return out;
 }
 
@@ -32,6 +36,10 @@ Result<ExecStats> ExecStats::FromDocValue(const DocValue& v) {
       {"index_entries_examined", &out.index_entries_examined},
       {"docs_examined", &out.docs_examined},
       {"docs_returned", &out.docs_returned},
+      {"planning_ns", &out.planning_ns},
+      {"plan_entries_counted", &out.plan_entries_counted},
+      {"estimated_rows", &out.estimated_rows},
+      {"estimate_exact", &out.estimate_exact},
   };
   for (const Field& f : fields) {
     const DocValue* fv = v.Find(f.key);
@@ -53,6 +61,18 @@ Status DrainCursor(Cursor* cursor, ExecStats* stats,
     stats->docs_returned += static_cast<int64_t>(out->size());
   }
   return Status::OK();
+}
+
+std::vector<std::string> SplitOrderPaths(const std::string& order_by) {
+  std::vector<std::string> paths;
+  size_t at = 0;
+  while (at <= order_by.size()) {
+    size_t comma = order_by.find(',', at);
+    if (comma == std::string::npos) comma = order_by.size();
+    if (comma > at) paths.push_back(order_by.substr(at, comma - at));
+    at = comma + 1;
+  }
+  return paths;
 }
 
 // ---- checkpoint helpers ------------------------------------------------
@@ -87,23 +107,31 @@ CompositeKey TruncateKey(const CompositeKey& key, size_t n) {
   return CompositeKey(std::move(parts));
 }
 
-/// The (order key, id) comparison every ordering operator shares:
+/// The (order key, id) comparison every ordering operator shares —
+/// order keys are composite (one component per `order_by` path);
 /// `descending` flips the key comparison only — ties stay ascending by
 /// id, the deterministic contract the differential harness pins.
 struct OrderBetter {
   bool descending;
-  bool operator()(const std::pair<IndexKey, DocId>& a,
-                  const std::pair<IndexKey, DocId>& b) const {
+  bool operator()(const std::pair<CompositeKey, DocId>& a,
+                  const std::pair<CompositeKey, DocId>& b) const {
     if (a.first < b.first) return !descending;
     if (b.first < a.first) return descending;
     return a.second < b.second;
   }
 };
 
-IndexKey OrderKeyOf(const DocValue* doc, const std::string& path) {
-  if (doc == nullptr) return IndexKey();
-  const DocValue* v = doc->FindPath(path);
-  return v == nullptr ? IndexKey() : IndexKey::FromValue(*v);
+/// The document's composite order key: one component per order path,
+/// missing fields and non-indexable values as the null key.
+CompositeKey OrderKeyOf(const DocValue* doc,
+                        const std::vector<std::string>& paths) {
+  std::vector<IndexKey> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const DocValue* v = doc == nullptr ? nullptr : doc->FindPath(path);
+    parts.push_back(v == nullptr ? IndexKey() : IndexKey::FromValue(*v));
+  }
+  return CompositeKey(std::move(parts));
 }
 
 }  // namespace
@@ -343,7 +371,7 @@ MergeUnionCursor::MergeUnionCursor(std::vector<MergeBranch> branches,
       descending_(descending) {}
 
 MergeUnionCursor::MergeUnionCursor(std::vector<MergeBranch> branches,
-                                   bool descending, IndexKey resume_key,
+                                   bool descending, CompositeKey resume_key,
                                    DocId resume_id)
     : branches_(std::move(branches)),
       heads_(branches_.size()),
@@ -355,7 +383,12 @@ MergeUnionCursor::MergeUnionCursor(std::vector<MergeBranch> branches,
 void MergeUnionCursor::Refill(size_t b) {
   DocId id;
   if (branches_[b].cursor->Next(&id)) {
-    heads_[b].key = branches_[b].scan->RunKeyPart(branches_[b].order_component);
+    std::vector<IndexKey> parts;
+    parts.reserve(branches_[b].order_components.size());
+    for (size_t component : branches_[b].order_components) {
+      parts.push_back(branches_[b].scan->RunKeyPart(component));
+    }
+    heads_[b].key = CompositeKey(std::move(parts));
     heads_[b].id = id;
     heads_[b].valid = true;
   } else {
@@ -403,8 +436,13 @@ Status MergeUnionCursor::status() const {
 }
 
 DocValue MergeUnionCursor::SaveCheckpoint() const {
+  // One component per order path (the shape the resume path rebuilds).
+  DocValue key = DocValue::Array();
+  for (const IndexKey& part : last_key_.parts()) {
+    key.Push(part.ToDocValue());
+  }
   return MakeCheckpoint(
-      "MU", {DocValue::Bool(emitted_), last_key_.ToDocValue(),
+      "MU", {DocValue::Bool(emitted_), std::move(key),
              DocValue::Int(static_cast<int64_t>(last_id_))});
 }
 
@@ -415,29 +453,29 @@ SortCursor::SortCursor(CollectionView view, CursorPtr child,
                        ExecStats* stats, int64_t skip)
     : view_(std::move(view)),
       child_(std::move(child)),
-      order_by_(std::move(order_by)),
+      order_paths_(SplitOrderPaths(order_by)),
       descending_(descending),
       stats_(stats),
       skip_(skip) {}
 
 void SortCursor::Materialize() {
-  std::vector<std::pair<IndexKey, DocId>> keyed;
+  std::vector<std::pair<CompositeKey, DocId>> keyed;
   DocId id;
   while (child_->Next(&id)) {
-    if (order_by_.empty()) {
+    if (order_paths_.empty()) {
       ids_.push_back(id);
       continue;
     }
     if (stats_ != nullptr) ++stats_->docs_examined;
-    keyed.emplace_back(OrderKeyOf(view_.Get(id), order_by_), id);
+    keyed.emplace_back(OrderKeyOf(view_.Get(id), order_paths_), id);
   }
-  if (order_by_.empty()) {
+  if (order_paths_.empty()) {
     std::sort(ids_.begin(), ids_.end());
     return;
   }
   std::sort(keyed.begin(), keyed.end(), OrderBetter{descending_});
   ids_.reserve(keyed.size());
-  for (const auto& [key, kid] : keyed) ids_.push_back(kid);
+  for (auto& [key, kid] : keyed) ids_.push_back(kid);
 }
 
 bool SortCursor::Next(DocId* id) {
@@ -466,23 +504,23 @@ TopKCursor::TopKCursor(CollectionView view, CursorPtr child,
                        ExecStats* stats, int64_t skip)
     : view_(std::move(view)),
       child_(std::move(child)),
-      order_by_(std::move(order_by)),
+      order_paths_(SplitOrderPaths(order_by)),
       descending_(descending),
       k_(k),
       stats_(stats),
       skip_(skip) {}
 
 void TopKCursor::Materialize() {
-  BoundedTopK<std::pair<IndexKey, DocId>, OrderBetter> top(
+  BoundedTopK<std::pair<CompositeKey, DocId>, OrderBetter> top(
       k_, OrderBetter{descending_});
   DocId id;
   while (child_->Next(&id)) {
     if (stats_ != nullptr) ++stats_->docs_examined;
-    top.Offer({OrderKeyOf(view_.Get(id), order_by_), id});
+    top.Offer({OrderKeyOf(view_.Get(id), order_paths_), id});
   }
-  std::vector<std::pair<IndexKey, DocId>> best = top.TakeSorted();
+  std::vector<std::pair<CompositeKey, DocId>> best = top.TakeSorted();
   ids_.reserve(best.size());
-  for (const auto& [key, kid] : best) ids_.push_back(kid);
+  for (auto& [key, kid] : best) ids_.push_back(kid);
 }
 
 bool TopKCursor::Next(DocId* id) {

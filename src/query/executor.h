@@ -75,13 +75,37 @@ struct ExecStats {
   int64_t docs_examined = 0;
   /// Ids the root cursor produced.
   int64_t docs_returned = 0;
+  /// Wall time `PlanFind` spent choosing the plan. With incremental
+  /// index statistics this is O(1) in hit count — the planner walks at
+  /// most `SecondaryIndex::kExactCountThreshold + 1` entries per
+  /// candidate, never O(hits).
+  int64_t planning_ns = 0;
+  /// Index entries the planner's bounded exact-count walks examined
+  /// across every candidate it costed (the observable half of O(1)
+  /// planning: bounded by candidates * (threshold + 1), independent of
+  /// hit count).
+  int64_t plan_entries_counted = 0;
+  /// The chosen plan's driver cardinality estimate. Compare against
+  /// `docs_returned` (for unlimited queries) for the
+  /// estimate-vs-actual error the plan-quality harness bounds.
+  int64_t estimated_rows = 0;
+  /// 1 when every cardinality in the chosen plan came from an exact
+  /// bounded count, 0 when a histogram/sketch estimate was involved
+  /// (`est=~N (hist)` in Explain).
+  int64_t estimate_exact = 1;
 
   /// Structured form for the wire (`QueryResponse`): a flat object of
-  /// the three counters. `FromDocValue(ToDocValue())` round-trips.
+  /// the counters. `FromDocValue(ToDocValue())` round-trips.
   storage::DocValue ToDocValue() const;
   /// Rejects anything but an object of int counters (kInvalidArgument).
   static Result<ExecStats> FromDocValue(const storage::DocValue& v);
 };
+
+/// Splits a comma-separated `order_by` into its component paths
+/// ("type,name" -> {"type", "name"}). Field paths cannot contain ','
+/// (`Collection::CreateIndex` rejects it), so the separator is
+/// unambiguous; empty segments are dropped. Empty input -> empty.
+std::vector<std::string> SplitOrderPaths(const std::string& order_by);
 
 /// \brief One operator of an executing plan: pulls document ids.
 class Cursor {
@@ -318,8 +342,10 @@ struct MergeBranch {
   CursorPtr cursor;
   /// Borrowed from inside `cursor`; outlives the merge with it.
   IxScanCursor* scan = nullptr;
-  /// Index key component holding the order-by value for this branch.
-  size_t order_component = 0;
+  /// Index key component holding each order-by path's value for this
+  /// branch, in order-path order (one entry per `order_by` component —
+  /// multi-field orders read a composite merge key off the run).
+  std::vector<size_t> order_components;
 };
 
 /// \brief Ordered k-way merge of order-covering index branches — the
@@ -335,9 +361,11 @@ class MergeUnionCursor : public Cursor {
   MergeUnionCursor(std::vector<MergeBranch> branches, bool descending);
 
   /// Resume form: branches must already be positioned strictly after
-  /// (`resume_key`, `resume_id`) in merge order.
+  /// (`resume_key`, `resume_id`) in merge order. `resume_key` carries
+  /// one component per order-by path.
   MergeUnionCursor(std::vector<MergeBranch> branches, bool descending,
-                   storage::IndexKey resume_key, storage::DocId resume_id);
+                   storage::CompositeKey resume_key,
+                   storage::DocId resume_id);
 
   bool Next(storage::DocId* id) override;
   Status status() const override;
@@ -345,7 +373,7 @@ class MergeUnionCursor : public Cursor {
 
  private:
   struct Head {
-    storage::IndexKey key;
+    storage::CompositeKey key;
     storage::DocId id = 0;
     bool valid = false;
   };
@@ -358,7 +386,7 @@ class MergeUnionCursor : public Cursor {
   bool primed_ = false;
   bool failed_ = false;
   bool emitted_ = false;
-  storage::IndexKey last_key_;
+  storage::CompositeKey last_key_;
   storage::DocId last_id_ = 0;
 };
 
@@ -384,7 +412,7 @@ class SortCursor : public Cursor {
 
   storage::CollectionView view_;
   CursorPtr child_;
-  std::string order_by_;
+  std::vector<std::string> order_paths_;  // comma-split `order_by`
   bool descending_;
   ExecStats* stats_;
   int64_t skip_;
@@ -474,7 +502,7 @@ class TopKCursor : public Cursor {
 
   storage::CollectionView view_;
   CursorPtr child_;
-  std::string order_by_;
+  std::vector<std::string> order_paths_;  // comma-split `order_by`
   bool descending_;
   int64_t k_;
   ExecStats* stats_;

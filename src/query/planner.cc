@@ -1,6 +1,8 @@
 #include "query/planner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -53,16 +55,43 @@ struct Candidate {
   std::vector<DocValue> eq_values;        // equality bounds, component order
   int range_child = -1;                   // child bounding the next component
   int64_t est = 0;
+  bool est_exact = true;       // false once a histogram estimate answered
+  int64_t entries_counted = 0; // entries the bounded exact-count walk cost
   bool covers_order = false;
   PredicatePtr driver;
 };
+
+/// True when `idx`'s components serve every order path: each path is
+/// either equality-bound (every result ties on it, so it degenerates
+/// to the tie break) or rides the next scanned component in sequence.
+bool CoversOrder(const std::vector<std::string>& paths, size_t eq_width,
+                 const std::vector<std::string>& order_paths) {
+  size_t next = eq_width;  // next scanned component an order path may ride
+  for (const std::string& op : order_paths) {
+    bool eq_bound = false;
+    for (size_t i = 0; i < eq_width && i < paths.size(); ++i) {
+      if (paths[i] == op) {
+        eq_bound = true;
+        break;
+      }
+    }
+    if (eq_bound) continue;
+    if (next < paths.size() && paths[next] == op) {
+      ++next;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
 
 /// Matches `idx` against conjunction `children`: equality children
 /// bind leading components greedily, then one range child may bind the
 /// next component. Returns false when no component binds.
 bool MatchIndex(const SecondaryIndex& idx,
                 const std::vector<PredicatePtr>& children,
-                const FindOptions& opts, Candidate* out) {
+                const FindOptions& opts,
+                const std::vector<std::string>& order_paths, Candidate* out) {
   const std::vector<std::string>& paths = idx.field_paths();
   std::vector<bool> used(children.size(), false);
   for (const std::string& comp : paths) {
@@ -96,24 +125,19 @@ bool MatchIndex(const SecondaryIndex& idx,
     lo = &children[out->range_child]->lo();
     hi = &children[out->range_child]->hi();
   }
-  out->est = idx.CountScan(out->eq_values, lo, hi);
+  const SecondaryIndex::ScanEstimate se =
+      idx.EstimateScan(out->eq_values, lo, hi, opts.debug_exact_count_planning);
+  out->est = static_cast<int64_t>(std::llround(se.rows));
+  out->est_exact = se.exact;
+  out->entries_counted = se.entries_counted;
   out->access = (out->range_child >= 0 || out->eq_values.empty())
                     ? AccessPath::kIndexRange
                     : AccessPath::kIndexEq;
   out->driver = out->eq_values.empty()
                     ? children[out->range_child]
                     : children[out->covered_children.front()];
-  // The scan streams in the requested order when the order-by path is
-  // equality-bound (every result ties, so order degenerates to the
-  // ascending-id tie break) or is exactly the next scanned component.
-  if (!opts.order_by.empty()) {
-    const size_t m = out->eq_values.size();
-    for (size_t i = 0; i < m; ++i) {
-      if (paths[i] == opts.order_by) out->covers_order = true;
-    }
-    if (m < paths.size() && paths[m] == opts.order_by) {
-      out->covers_order = true;
-    }
+  if (!order_paths.empty()) {
+    out->covers_order = CoversOrder(paths, out->eq_values.size(), order_paths);
   }
   return true;
 }
@@ -171,12 +195,15 @@ QueryPlan CollScanPlan(const CollectionView& coll, const PredicatePtr& pred) {
 /// leaves, its child list for an And.
 QueryPlan PlanConjunction(const CollectionView& coll, const PredicatePtr& pred,
                           const std::vector<PredicatePtr>& children,
-                          bool is_and, const FindOptions& opts) {
+                          bool is_and, const FindOptions& opts,
+                          const std::vector<std::string>& order_paths,
+                          int64_t* entries_counted) {
   Candidate best;
   bool found = false;
   for (const SecondaryIndex* idx : coll.Indexes()) {
     Candidate cand;
-    if (!MatchIndex(*idx, children, opts, &cand)) continue;
+    if (!MatchIndex(*idx, children, opts, order_paths, &cand)) continue;
+    *entries_counted += cand.entries_counted;
     if (!found || BetterCandidate(cand, best, opts)) {
       best = std::move(cand);
       found = true;
@@ -204,6 +231,7 @@ QueryPlan PlanConjunction(const CollectionView& coll, const PredicatePtr& pred,
   plan.node = pred;
   plan.driver = best.driver;
   plan.estimated_rows = best.est;
+  plan.est_exact = best.est_exact;
   plan.residual = best.covered_children.size() < children.size();
   plan.index = best.index;
   plan.eq_values = std::move(best.eq_values);
@@ -218,17 +246,20 @@ QueryPlan PlanConjunction(const CollectionView& coll, const PredicatePtr& pred,
 
 /// The access-path chooser (pre-decoration); see PlanFind.
 QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
-                     const FindOptions& opts) {
+                     const FindOptions& opts,
+                     const std::vector<std::string>& order_paths,
+                     int64_t* entries_counted) {
   if (pred == nullptr || !opts.use_indexes) return CollScanPlan(coll, pred);
 
   switch (pred->kind()) {
     case PredicateKind::kEq:
     case PredicateKind::kRange:
     case PredicateKind::kTextContains:
-      return PlanConjunction(coll, pred, {pred}, /*is_and=*/false, opts);
+      return PlanConjunction(coll, pred, {pred}, /*is_and=*/false, opts,
+                             order_paths, entries_counted);
     case PredicateKind::kAnd:
       return PlanConjunction(coll, pred, pred->children(), /*is_and=*/true,
-                             opts);
+                             opts, order_paths, entries_counted);
     case PredicateKind::kOr: {
       // Ordered-merge attempt first: when an order is requested and
       // every branch plans as an order-covering index scan, the union
@@ -251,11 +282,11 @@ QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
           }
         }
       }
-      if (merge_conceivable) {
+      if (merge_conceivable && !order_paths.empty()) {
         bool order_indexed = false;
         for (const SecondaryIndex* idx : coll.Indexes()) {
           const std::vector<std::string>& paths = idx->field_paths();
-          if (std::find(paths.begin(), paths.end(), opts.order_by) !=
+          if (std::find(paths.begin(), paths.end(), order_paths.front()) !=
               paths.end()) {
             order_indexed = true;
             break;
@@ -270,7 +301,8 @@ QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
         merged.order_covered = true;
         bool all_covered = true;
         for (const auto& child : pred->children()) {
-          QueryPlan branch = PlanAccess(coll, child, opts);
+          QueryPlan branch =
+              PlanAccess(coll, child, opts, order_paths, entries_counted);
           if ((branch.access != AccessPath::kIndexEq &&
                branch.access != AccessPath::kIndexRange) ||
               !branch.order_covered) {
@@ -282,6 +314,7 @@ QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
           branch.order_by = opts.order_by;
           branch.order_desc = opts.order_desc;
           merged.estimated_rows += branch.estimated_rows;
+          merged.est_exact = merged.est_exact && branch.est_exact;
           merged.branches.push_back(std::move(branch));
         }
         // Without a limit the merge must still visit every branch
@@ -304,12 +337,15 @@ QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
       FindOptions branch_opts = opts;
       branch_opts.order_by.clear();
       branch_opts.limit = -1;
+      const std::vector<std::string> no_order;
       for (const auto& child : pred->children()) {
-        QueryPlan branch = PlanAccess(coll, child, branch_opts);
+        QueryPlan branch =
+            PlanAccess(coll, child, branch_opts, no_order, entries_counted);
         if (branch.access == AccessPath::kCollScan) {
           return CollScanPlan(coll, pred);
         }
         plan.estimated_rows += branch.estimated_rows;
+        plan.est_exact = plan.est_exact && branch.est_exact;
         plan.branches.push_back(std::move(branch));
       }
       if (plan.estimated_rows < coll.count() || plan.branches.empty()) {
@@ -321,28 +357,108 @@ QueryPlan PlanAccess(const CollectionView& coll, const PredicatePtr& pred,
   return CollScanPlan(coll, pred);
 }
 
+// Relative operator costs for pipeline-alternative decisions: stepping
+// one index entry vs fetching + re-checking one document.
+constexpr double kEntryCost = 1.0;
+constexpr double kDocCost = 4.0;
+
+/// The narrowest index whose leading components are exactly
+/// `order_paths` in sequence — the index a pure order-driven walk can
+/// stream from. Null when none qualifies.
+const SecondaryIndex* OrderWalkIndex(
+    const CollectionView& coll, const std::vector<std::string>& order_paths) {
+  const SecondaryIndex* best = nullptr;
+  for (const SecondaryIndex* idx : coll.Indexes()) {
+    const std::vector<std::string>& paths = idx->field_paths();
+    if (paths.size() < order_paths.size()) continue;
+    bool leads = true;
+    for (size_t i = 0; i < order_paths.size(); ++i) {
+      if (paths[i] != order_paths[i]) {
+        leads = false;
+        break;
+      }
+    }
+    if (!leads) continue;
+    if (best == nullptr || idx->width() < best->width()) best = idx;
+  }
+  return best;
+}
+
+/// Rough match cardinality of `pred`, for costing pipeline
+/// alternatives (not access paths): leaves ask the narrowest index
+/// leading with their path, And multiplies child selectivities, Or
+/// adds child estimates (clamped), and anything unestimable
+/// (TextContains, unindexed leaves) pessimistically estimates the
+/// whole collection. Accumulates walked entries into
+/// `*entries_counted` and clears `*exact` when a histogram answered.
+double EstimatePredicateRows(const CollectionView& coll,
+                             const PredicatePtr& pred, bool force_exact,
+                             int64_t* entries_counted, bool* exact) {
+  const double n = static_cast<double>(coll.count());
+  if (pred == nullptr) return n;
+  switch (pred->kind()) {
+    case PredicateKind::kEq:
+    case PredicateKind::kRange: {
+      const SecondaryIndex* best = nullptr;
+      for (const SecondaryIndex* idx : coll.Indexes()) {
+        if (idx->field_paths().front() != pred->path()) continue;
+        if (best == nullptr || idx->width() < best->width()) best = idx;
+      }
+      if (best == nullptr) return n;
+      std::vector<DocValue> eq;
+      const DocValue* lo = nullptr;
+      const DocValue* hi = nullptr;
+      if (pred->kind() == PredicateKind::kEq) {
+        eq.push_back(pred->value());
+      } else {
+        lo = &pred->lo();
+        hi = &pred->hi();
+      }
+      const SecondaryIndex::ScanEstimate se =
+          best->EstimateScan(eq, lo, hi, force_exact);
+      *entries_counted += se.entries_counted;
+      *exact = *exact && se.exact;
+      return se.rows;
+    }
+    case PredicateKind::kTextContains:
+      return n;
+    case PredicateKind::kAnd: {
+      double sel = 1.0;
+      for (const auto& c : pred->children()) {
+        sel *= n > 0 ? EstimatePredicateRows(coll, c, force_exact,
+                                             entries_counted, exact) /
+                           n
+                     : 0.0;
+      }
+      return n * sel;
+    }
+    case PredicateKind::kOr: {
+      double sum = 0;
+      for (const auto& c : pred->children()) {
+        sum += EstimatePredicateRows(coll, c, force_exact, entries_counted,
+                                     exact);
+      }
+      return std::min(sum, n);
+    }
+  }
+  return n;
+}
+
 }  // namespace
 
 QueryPlan PlanFind(const CollectionView& coll, const PredicatePtr& pred,
                    const FindOptions& opts) {
-  QueryPlan plan = PlanAccess(coll, pred, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::string> order_paths = SplitOrderPaths(opts.order_by);
+  int64_t entries_counted = 0;
+  QueryPlan plan = PlanAccess(coll, pred, opts, order_paths, &entries_counted);
   // Sort push-down fallback for the match-everything case: an index
-  // leads with the order-by field and a limit bounds the walk, so
-  // stream off the index order and stop after ~limit entries instead
-  // of scanning, materializing and sorting everything. Restricted to
-  // trivially-true predicates: with a residual filter in between, the
-  // walk visits limit/selectivity entries plus a document fetch each,
-  // which loses to COLLSCAN+TOPK for selective predicates — and
-  // without cardinality stats the planner cannot tell those apart.
+  // leads with the order paths and a limit bounds the walk, so stream
+  // off the index order and stop after ~limit entries instead of
+  // scanning, materializing and sorting everything.
   if (plan.access == AccessPath::kCollScan && opts.use_indexes &&
-      TriviallyTrue(pred) && !opts.order_by.empty() && opts.limit >= 0) {
-    const SecondaryIndex* order_idx = nullptr;
-    for (const SecondaryIndex* idx : coll.Indexes()) {
-      if (idx->field_paths().front() != opts.order_by) continue;
-      if (order_idx == nullptr || idx->width() < order_idx->width()) {
-        order_idx = idx;
-      }
-    }
+      TriviallyTrue(pred) && !order_paths.empty() && opts.limit >= 0) {
+    const SecondaryIndex* order_idx = OrderWalkIndex(coll, order_paths);
     if (order_idx != nullptr) {
       QueryPlan scan;
       scan.access = AccessPath::kIndexRange;
@@ -353,6 +469,69 @@ QueryPlan PlanFind(const CollectionView& coll, const PredicatePtr& pred,
       plan = std::move(scan);
     }
   }
+  // Filtered order-walk: when no chosen path streams the requested
+  // order but an index leads with it, walking that index in order and
+  // filtering — stopping once the limit fills — beats materializing
+  // and sorting, provided the predicate passes rows often enough that
+  // the walk stays short. The statistics make that call: expected walk
+  // length is limit / selectivity, and the switch demands a 2x cost
+  // advantage as a margin against estimation error (PR 4 punted this
+  // decision precisely because exact counting made it O(hits)).
+  // `debug_exact_count_planning` disables the switch along with the
+  // estimates: the knob reproduces the whole pre-statistics planner,
+  // not just its counting.
+  if (!plan.order_covered && plan.access != AccessPath::kTextIndex &&
+      opts.use_indexes && !opts.debug_exact_count_planning &&
+      !order_paths.empty() && opts.limit >= 0 && pred != nullptr &&
+      !TriviallyTrue(pred) && coll.count() > 0) {
+    const SecondaryIndex* order_idx = OrderWalkIndex(coll, order_paths);
+    if (order_idx != nullptr) {
+      const double n = static_cast<double>(coll.count());
+      bool est_exact = true;
+      double pred_rows = EstimatePredicateRows(
+          coll, pred, opts.debug_exact_count_planning, &entries_counted,
+          &est_exact);
+      // The incumbent's driver estimate is a second upper bound on the
+      // predicate's rows (an index-driven scan is a superset of the
+      // result), and a tighter one when a compound index binds
+      // components the per-leaf estimator treats as unindexed — e.g.
+      // `name` in And(type, name) under a (type,name) index. Without
+      // this clamp such predicates look unselective, the walk looks
+      // short, and the switch fires into a walk that actually visits
+      // 1/true-selectivity entries per emitted row.
+      if (plan.access != AccessPath::kCollScan) {
+        if (static_cast<double>(plan.estimated_rows) < pred_rows) {
+          pred_rows = static_cast<double>(plan.estimated_rows);
+          est_exact = est_exact && plan.est_exact;
+        }
+      }
+      pred_rows = std::min(std::max(pred_rows, 0.0), n);
+      const double sel = std::max(pred_rows / n, 1e-9);
+      const double walk_entries =
+          std::min(n, static_cast<double>(opts.limit) / sel);
+      // Every walked entry fetches + re-checks its document; the
+      // incumbent pays a fetch per estimated row (plus an entry step
+      // when index-driven) and sorts, which the TOPK heap keeps cheap
+      // enough to ignore at this granularity.
+      const double walk_cost = walk_entries * (kEntryCost + kDocCost);
+      const double cur_cost =
+          plan.access == AccessPath::kCollScan
+              ? n * kDocCost
+              : static_cast<double>(plan.estimated_rows) *
+                    (kEntryCost + kDocCost);
+      if (walk_cost * 2 < cur_cost) {
+        QueryPlan walk;
+        walk.access = AccessPath::kIndexRange;
+        walk.node = pred;
+        walk.estimated_rows = static_cast<int64_t>(std::llround(pred_rows));
+        walk.est_exact = est_exact;
+        walk.index = order_idx;
+        walk.residual = true;
+        walk.order_covered = true;
+        plan = std::move(walk);
+      }
+    }
+  }
   plan.order_by = opts.order_by;
   plan.order_desc = opts.order_desc;
   plan.limit = opts.limit;
@@ -360,7 +539,15 @@ QueryPlan PlanFind(const CollectionView& coll, const PredicatePtr& pred,
       plan.access == AccessPath::kTextIndex) {
     plan.order_covered = false;
   }
-  if (opts.order_by.empty()) plan.order_covered = false;
+  if (order_paths.empty()) plan.order_covered = false;
+  if (opts.stats != nullptr) {
+    opts.stats->planning_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+    opts.stats->plan_entries_counted += entries_counted;
+    opts.stats->estimated_rows = plan.estimated_rows;
+    opts.stats->estimate_exact = plan.est_exact ? 1 : 0;
+  }
   return plan;
 }
 
@@ -398,12 +585,12 @@ Result<DocId> CkptWatermark(const DocValue& ckpt, const char* tag) {
 
 /// The IXSCAN run grouping for `plan`: how many leading components
 /// define a run, whether the scan walks backwards, and which component
-/// carries the order key (for merge branches; index of the order path
-/// among the scanned components, or npos when no order applies).
+/// carries each order path's key (for merge branches; empty when no
+/// order applies or the order is not covered by this scan).
 struct IxScanShape {
   size_t run_len = 0;
   bool scan_desc = false;
-  size_t order_component = std::string::npos;
+  std::vector<size_t> order_components;  // one component per order path
 };
 
 IxScanShape ShapeOf(const QueryPlan& plan) {
@@ -413,17 +600,29 @@ IxScanShape ShapeOf(const QueryPlan& plan) {
   if (plan.order_covered && plan.index != nullptr &&
       !plan.order_by.empty()) {
     const std::vector<std::string>& paths = plan.index->field_paths();
-    // Runs group on the equality-bound components, plus the order-by
-    // component when it is the next one scanned — see IxScanCursor.
-    if (m < paths.size() && paths[m] == plan.order_by) {
-      shape.run_len = m + 1;
-      shape.scan_desc = plan.order_desc;
-      shape.order_component = m;
-    } else {
+    // Runs group on the equality-bound components plus every order
+    // path riding a consecutively scanned component — see IxScanCursor.
+    size_t next = m;
+    for (const std::string& op : SplitOrderPaths(plan.order_by)) {
+      size_t comp = std::string::npos;
       for (size_t i = 0; i < m && i < paths.size(); ++i) {
-        if (paths[i] == plan.order_by) shape.order_component = i;
+        if (paths[i] == op) {
+          comp = i;
+          break;
+        }
       }
+      if (comp == std::string::npos && next < paths.size() &&
+          paths[next] == op) {
+        comp = next++;
+      }
+      if (comp == std::string::npos) {  // not actually covered
+        shape.order_components.clear();
+        return shape;
+      }
+      shape.order_components.push_back(comp);
     }
+    shape.run_len = next;
+    shape.scan_desc = next > m && plan.order_desc;
   }
   return shape;
 }
@@ -509,48 +708,50 @@ Result<CursorPtr> BuildTextCursor(const QueryPlan& plan,
 }
 
 /// Builds one MERGE_UNION branch positioned strictly after the merged
-/// stream's last emitted (order key, id) — the per-branch seek target
-/// depends on where the branch's order key lives:
-///
-///   order key on the component after the equality prefix: seek to the
-///   run (eq keys..., last_key) and suppress ids <= last_id in it;
-///
-///   order key equality-bound (the branch stream carries one constant
-///   key k_b): before last_key in scan direction -> the branch is
-///   exhausted; equal -> suppress ids <= last_id; after -> nothing of
-///   the branch was consumed, open fresh.
+/// stream's last emitted (composite order key, id). The order
+/// positions are walked in significance order: scanned components pin
+/// to the resume key's parts (they are consecutive after the equality
+/// prefix, so the pins extend the seek prefix), and the first
+/// equality-bound position whose constant differs from the resume key
+/// decides in merge order — "before" means every entry tying the
+/// pinned prefix so far is already consumed (skip that whole group),
+/// "after" means none of it is (open at the group's start; earlier
+/// groups were consumed at an earlier scanned position). When every
+/// position ties, the exact (prefix, id) watermark applies.
 Result<std::unique_ptr<IxScanCursor>> BuildResumedMergeBranch(
     const CollectionView& view, const QueryPlan& branch,
-    const IxScanShape& shape, ExecStats* stats, const IndexKey& last_key,
+    const IxScanShape& shape, ExecStats* stats, const CompositeKey& last_key,
     DocId last_id) {
   const size_t m = branch.eq_values.size();
+  if (last_key.width() != shape.order_components.size()) {
+    return kBadCheckpoint;
+  }
   std::vector<IndexKey> parts;
   parts.reserve(shape.run_len);
   for (const DocValue& v : branch.eq_values) {
     parts.push_back(IndexKey::FromValue(v));
   }
-  if (shape.run_len == m + 1) {
-    parts.push_back(last_key);
+  for (size_t j = 0; j < shape.order_components.size(); ++j) {
+    const size_t c = shape.order_components[j];
+    if (c >= m) {  // scanned component, consecutive from m
+      parts.push_back(last_key.part(j));
+      continue;
+    }
+    const IndexKey& k_b = parts[c];
+    if (k_b == last_key.part(j)) continue;
+    // "Before" is judged in MERGE order (branch.order_desc) — an
+    // eq-bound component holds one constant regardless of scan
+    // direction, so shape.scan_desc would misjudge it and drop (or
+    // replay) the whole group on a descending resume.
+    const bool before = branch.order_desc ? (last_key.part(j) < k_b)
+                                          : (k_b < last_key.part(j));
     CompositeKey prefix(std::move(parts));
-    return BuildIxScan(view, branch, shape, stats, nullptr, &prefix, last_id);
-  }
-  const IndexKey& k_b = parts[shape.order_component];
-  // "Before" is judged in MERGE order (branch.order_desc) — an
-  // eq-bound branch walks its single run forward regardless of
-  // direction, so shape.scan_desc would misjudge it and drop (or
-  // replay) the whole branch on a descending resume.
-  const bool before =
-      branch.order_desc ? (last_key < k_b) : (k_b < last_key);
-  CompositeKey prefix(std::move(parts));
-  if (before) {
-    // Fully consumed: suppress the whole (single-run) branch stream.
     return BuildIxScan(view, branch, shape, stats, nullptr, &prefix,
-                       std::numeric_limits<DocId>::max());
+                       before ? std::numeric_limits<DocId>::max()
+                              : static_cast<DocId>(0));
   }
-  if (k_b == last_key) {
-    return BuildIxScan(view, branch, shape, stats, nullptr, &prefix, last_id);
-  }
-  return BuildIxScan(view, branch, shape, stats, nullptr);
+  CompositeKey prefix(std::move(parts));
+  return BuildIxScan(view, branch, shape, stats, nullptr, &prefix, last_id);
 }
 
 /// Builds the MERGE_UNION cursor, resumed at an "MU" checkpoint when
@@ -560,7 +761,7 @@ Result<CursorPtr> BuildMergeUnionCursor(const CollectionView& coll,
                                         ExecStats* stats,
                                         const DocValue* ckpt) {
   bool resumed = false;
-  IndexKey last_key;
+  CompositeKey last_key;
   DocId last_id = 0;
   if (ckpt != nullptr) {
     if (!CheckpointHasTag(*ckpt, "MU")) return kBadCheckpoint;
@@ -572,8 +773,14 @@ Result<CursorPtr> BuildMergeUnionCursor(const CollectionView& coll,
       return kBadCheckpoint;
     }
     if (emitted->bool_value()) {
+      if (!key->is_array()) return kBadCheckpoint;
+      std::vector<IndexKey> key_parts;
+      key_parts.reserve(key->array_items().size());
+      for (const DocValue& part : key->array_items()) {
+        key_parts.push_back(IndexKey::FromValue(part));
+      }
       resumed = true;
-      last_key = IndexKey::FromValue(*key);
+      last_key = CompositeKey(std::move(key_parts));
       last_id = static_cast<DocId>(id);
     }
   }
@@ -581,7 +788,7 @@ Result<CursorPtr> BuildMergeUnionCursor(const CollectionView& coll,
   branches.reserve(plan.branches.size());
   for (const QueryPlan& branch : plan.branches) {
     IxScanShape shape = ShapeOf(branch);
-    if (shape.order_component == std::string::npos) {
+    if (shape.order_components.empty()) {
       return Status::Internal("MERGE_UNION branch without an order key");
     }
     std::unique_ptr<IxScanCursor> scan;
@@ -595,7 +802,7 @@ Result<CursorPtr> BuildMergeUnionCursor(const CollectionView& coll,
     }
     MergeBranch mb;
     mb.scan = scan.get();
-    mb.order_component = shape.order_component;
+    mb.order_components = shape.order_components;
     mb.cursor = std::move(scan);
     if (branch.residual) {
       mb.cursor = std::make_unique<FilterCursor>(coll, std::move(mb.cursor),
@@ -961,6 +1168,7 @@ DocValue QueryPlan::ToDocValue() const {
   out.Add("driver",
           driver != nullptr ? driver->ToDocValue() : DocValue::Null());
   out.Add("est", DocValue::Int(estimated_rows));
+  out.Add("est_exact", DocValue::Bool(est_exact));
   out.Add("residual", DocValue::Bool(residual));
   DocValue paths = DocValue::Array();
   if (index != nullptr) {
@@ -992,12 +1200,21 @@ std::string QueryPlan::ToString() const { return RenderPlan(ToDocValue()); }
 
 std::string RenderPlan(const DocValue& plan) {
   const std::string access = PlanStr(plan, "access");
-  const std::string est = std::to_string(PlanInt(plan, "est", 0));
+  const std::string est_num = std::to_string(PlanInt(plan, "est", 0));
+  // Estimate provenance: only an explicit `est_exact: false` renders
+  // as a histogram estimate, so plans from peers that predate the
+  // field read as exact counts (which they were).
+  const DocValue* ee = plan.is_object() ? plan.Find("est_exact") : nullptr;
+  const bool est_exact = ee == nullptr || !ee->is_bool() || ee->bool_value();
+  const std::string est =
+      est_exact ? est_num + " (exact)" : "~" + est_num + " (hist)";
   const std::string order_by = PlanStr(plan, "order_by");
   const bool order_desc = PlanBool(plan, "order_desc");
   std::string out = access.empty() ? "?" : access;
   if (access == "COLLSCAN") {
-    out += " { " + PlanPredStr(plan, "pred", "TRUE") + " } docs=" + est;
+    // A full scan's cardinality is the doc count — trivially exact, so
+    // no provenance suffix.
+    out += " { " + PlanPredStr(plan, "pred", "TRUE") + " } docs=" + est_num;
   } else if (access == "UNION" || access == "MERGE_UNION") {
     out += " [ ";
     // Each branch renders recursively — per-branch access, bounds

@@ -63,9 +63,14 @@ struct FindOptions {
   /// -1 = unlimited. Honored inside execution: an order-covering index
   /// scan stops after ~limit entries.
   int64_t limit = -1;
-  /// Order results by the index key of the value at this dotted path
-  /// (missing fields and non-indexable values sort as the null key,
-  /// first ascending), ties by ascending id. Empty = ascending id.
+  /// Order results by the index keys of the values at these dotted
+  /// paths — one path, or several comma-separated ("type,name") for a
+  /// lexicographic multi-field order (paths cannot contain ',', so the
+  /// separator is unambiguous). Missing fields and non-indexable
+  /// values sort as the null key, first ascending; ties across all
+  /// paths break by ascending id. Empty = ascending id. An index whose
+  /// components cover the paths in sequence (after any equality-bound
+  /// prefix) serves the order scan-free.
   std::string order_by;
   /// Flips the `order_by` key comparison (ties stay ascending by id).
   bool order_desc = false;
@@ -76,6 +81,13 @@ struct FindOptions {
   /// Planner escape hatch: false forces COLLSCAN (differential tests;
   /// measuring raw scan cost).
   bool use_indexes = true;
+  /// Debug/testing knob (never serialized): true reproduces the
+  /// pre-statistics planner — candidates cost with full O(hits) exact
+  /// counts instead of the O(1) bounded-walk + histogram estimates,
+  /// and the stats-driven filtered order-walk switch stays off. The
+  /// plan-quality differential harness and the bench baselines compare
+  /// against this.
+  bool debug_exact_count_planning = false;
   /// \brief Page size for resumable execution: `FindPage` returns at
   /// most this many ids plus an opaque continuation token when more
   /// remain. -1 = unpaged (the whole result in one shot, no token);
@@ -132,6 +144,10 @@ struct QueryPlan {
   bool residual = false;
   /// Driver cardinality estimate from the index (COLLSCAN: doc count).
   int64_t estimated_rows = 0;
+  /// True when `estimated_rows` (and every branch's) came from exact
+  /// bounded counts; false when a histogram/sketch estimate was
+  /// involved — rendered as `est=N (exact)` vs `est=~N (hist)`.
+  bool est_exact = true;
   /// kUnion: one exact sub-plan per Or branch.
   std::vector<QueryPlan> branches;
 

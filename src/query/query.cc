@@ -36,27 +36,53 @@ bool BetterRow(const CountRow& a, const CountRow& b) {
 
 using GroupCounts = std::unordered_map<std::string, int64_t>;
 
+/// Streams an index's per-key counts straight into rows — the visit
+/// itself is already the whole aggregation for an unfiltered count, so
+/// no hash-map intermediate and no second pass over the entries. The
+/// reservation comes from the index's distinct-count sketch. Distinct
+/// index keys can render to the same string (Str("true") vs
+/// Bool(true)), so rows merge adjacent-after-sort before returning.
+std::vector<CountRow> IndexGroupRows(const storage::CollectionView& view,
+                                     const storage::SecondaryIndex& idx) {
+  std::vector<CountRow> rows;
+  rows.reserve(static_cast<size_t>(idx.stats().EstimateDistinct(0)));
+  idx.VisitKeyCounts([&](const IndexKey& k, int64_t n) {
+    if (!k.is_null()) rows.push_back({k.ToString(), n});
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const CountRow& a, const CountRow& b) { return a.key < b.key; });
+  size_t w = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (w > 0 && rows[w - 1].key == rows[r].key) {
+      rows[w - 1].count += rows[r].count;
+    } else {
+      if (w != r) rows[w] = std::move(rows[r]);
+      ++w;
+    }
+  }
+  rows.resize(w);
+  view.NoteIndexScan();
+  return rows;
+}
+
+/// The unfiltered-over-an-indexed-path fast path both aggregations
+/// share: non-null when the index's key counts are the whole answer.
+const storage::SecondaryIndex* AggIndex(const storage::CollectionView& view,
+                                        const std::string& path,
+                                        const PredicatePtr& pred,
+                                        const FindOptions& opts) {
+  if (pred != nullptr || !opts.use_indexes) return nullptr;
+  return view.IndexOn(path);
+}
+
 /// Group counts of `path` over the documents matching `pred` (null =
-/// all). The unfiltered form over an indexed path never touches a
-/// document: the index's key counts are the answer.
-GroupCounts CountGroups(const storage::Collection& coll,
+/// all). The unfiltered indexed form goes through `IndexGroupRows`
+/// instead (the callers dispatch), so this always scans or folds.
+GroupCounts CountGroups(const storage::CollectionView& view,
                         const std::string& path, const PredicatePtr& pred,
                         const FindOptions& opts) {
-  // One view per aggregation: every read below — index key counts,
-  // full scans, the filtered fold and its document fetches — touches
-  // the same immutable storage version, so the counts are consistent
-  // even with writers publishing new versions mid-aggregation.
-  storage::CollectionView view = coll.GetView();
   GroupCounts counts;
   if (pred == nullptr) {
-    const storage::SecondaryIndex* idx = view.IndexOn(path);
-    if (idx != nullptr && opts.use_indexes) {
-      idx->VisitKeyCounts([&](const IndexKey& k, int64_t n) {
-        if (!k.is_null()) counts[k.ToString()] += n;
-      });
-      view.NoteIndexScan();
-      return counts;
-    }
     view.ForEach([&](storage::DocId, const DocValue& doc) {
       std::string key;
       if (CountKeyOf(doc.FindPath(path), &key)) ++counts[key];
@@ -124,7 +150,17 @@ std::vector<CountRow> CountByField(const storage::Collection& coll,
                                    const std::string& path,
                                    const PredicatePtr& pred,
                                    const FindOptions& opts) {
-  return SortAllGroups(CountGroups(coll, path, pred, opts));
+  // One view per aggregation: every read below — index key counts,
+  // full scans, the filtered fold and its document fetches — touches
+  // the same immutable storage version, so the counts are consistent
+  // even with writers publishing new versions mid-aggregation.
+  storage::CollectionView view = coll.GetView();
+  if (const storage::SecondaryIndex* idx = AggIndex(view, path, pred, opts)) {
+    std::vector<CountRow> rows = IndexGroupRows(view, *idx);
+    std::sort(rows.begin(), rows.end(), BetterRow);
+    return rows;
+  }
+  return SortAllGroups(CountGroups(view, path, pred, opts));
 }
 
 std::vector<CountRow> CountByField(const storage::Collection& coll,
@@ -141,7 +177,14 @@ std::vector<CountRow> TopKByCount(const storage::Collection& coll,
                                   const std::string& path, int k,
                                   const PredicatePtr& pred,
                                   const FindOptions& opts) {
-  return TopKGroups(CountGroups(coll, path, pred, opts), k);
+  storage::CollectionView view = coll.GetView();
+  if (const storage::SecondaryIndex* idx = AggIndex(view, path, pred, opts)) {
+    BoundedTopK<CountRow, bool (*)(const CountRow&, const CountRow&)> top(
+        k, BetterRow);
+    for (CountRow& row : IndexGroupRows(view, *idx)) top.Offer(std::move(row));
+    return top.TakeSorted();
+  }
+  return TopKGroups(CountGroups(view, path, pred, opts), k);
 }
 
 std::vector<CountRow> TopKByCount(const storage::Collection& coll,

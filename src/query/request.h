@@ -93,7 +93,9 @@ struct QueryRequest {
 /// members are populated follows the op: `ids`(+`next_token`) for
 /// kFind/kFindPage, `groups` for the aggregations, `explain`+`plan`
 /// for kExplain. `stats` always reports what the execution touched
-/// (zeros for kExplain, which plans without executing).
+/// (kExplain, which plans without executing, reports only the
+/// planning-side fields: `planning_ns`, `plan_entries_counted` and the
+/// estimate provenance).
 struct QueryResponse {
   std::vector<storage::DocId> ids;
   /// kFindPage: opaque continuation token, empty when exhausted.

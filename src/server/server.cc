@@ -85,6 +85,10 @@ struct DtServer::Impl {
   std::atomic<uint64_t> corrupt_frames{0};
   std::atomic<uint64_t> idle_closes{0};
   std::atomic<uint64_t> peer_disconnects{0};
+  std::atomic<uint64_t> planner_plans{0};
+  std::atomic<uint64_t> planner_planning_ns{0};
+  std::atomic<uint64_t> planner_entries_counted{0};
+  std::atomic<uint64_t> planner_estimate_plans{0};
 
   void Wake() {
     char b = 1;
@@ -132,6 +136,17 @@ struct DtServer::Impl {
       std::lock_guard<std::mutex> lock(tamer_mu);
       Result<query::QueryResponse> r = tamer->Execute(env.request);
       if (r.ok()) {
+        // A request that planned something reports nonzero planning
+        // time; ops that never touch the planner (inserts, stats)
+        // leave the whole block untouched.
+        if (r->stats.planning_ns > 0) {
+          planner_plans.fetch_add(1);
+          planner_planning_ns.fetch_add(
+              static_cast<uint64_t>(r->stats.planning_ns));
+          planner_entries_counted.fetch_add(
+              static_cast<uint64_t>(r->stats.plan_entries_counted));
+          if (r->stats.estimate_exact == 0) planner_estimate_plans.fetch_add(1);
+        }
         out.response = std::move(*r);
       } else {
         out.status = r.status();
@@ -495,6 +510,10 @@ ServerStats DtServer::stats() const {
   out.corrupt_frames = im.corrupt_frames.load();
   out.idle_closes = im.idle_closes.load();
   out.peer_disconnects = im.peer_disconnects.load();
+  out.planner_stats_plans = im.planner_plans.load();
+  out.planner_stats_planning_ns = im.planner_planning_ns.load();
+  out.planner_stats_entries_counted = im.planner_entries_counted.load();
+  out.planner_stats_estimate_plans = im.planner_estimate_plans.load();
   if (im.tamer != nullptr) out.durability = im.tamer->durability_stats();
   return out;
 }

@@ -88,6 +88,15 @@ struct ServerStats {
   /// EPIPE / ...): the peer vanished mid-conversation, as opposed to
   /// the clean-EOF drain path.
   uint64_t peer_disconnects = 0;
+  /// Query-planner aggregates over every executed request that planned
+  /// something (Find / FindPage / Explain / Count / TopK): total plans,
+  /// time spent planning, index entries the planner's bounded exact
+  /// counting walked, and how many plans priced at least one candidate
+  /// off the histogram/sketch statistics instead of exact counts.
+  uint64_t planner_stats_plans = 0;
+  uint64_t planner_stats_planning_ns = 0;
+  uint64_t planner_stats_entries_counted = 0;
+  uint64_t planner_stats_estimate_plans = 0;
   /// The facade's durability counters (`enabled` false when serving
   /// an in-memory facade).
   storage::DurabilityStats durability;

@@ -48,10 +48,14 @@ inline constexpr uint32_t kCodecMagic = 0x31425444u;
 ///   1  original format
 ///   2  collection sections carry epoch lineage (incarnation + epoch)
 ///      after next_id
+///   3  collection sections carry one per-index statistics record
+///      (histogram + distinct sketches, see storage/stats.h) after the
+///      index specs; older sections load with stats rebuilt from the
+///      restored documents
 /// Readers accept [kMinCodecVersion, kCodecVersion] and reject
 /// anything else with kCorruption (forward compatibility is a policy
 /// decision left to callers, not silently guessed here).
-inline constexpr uint16_t kCodecVersion = 2;
+inline constexpr uint16_t kCodecVersion = 3;
 
 /// Oldest stream version this build still reads.
 inline constexpr uint16_t kMinCodecVersion = 1;

@@ -636,6 +636,21 @@ void Collection::RestoreLineage(uint64_t incarnation, uint64_t epoch) {
   state_->published->epoch = epoch;
 }
 
+Status Collection::RestoreIndexStats(std::vector<IndexStats> stats) {
+  std::lock_guard<std::mutex> wlock(state_->writer_mu);
+  std::lock_guard<std::mutex> vlock(state_->version_mu);
+  internal::StorageVersion& v = *state_->published;
+  if (stats.size() != v.indexes.size()) {
+    return Status::InvalidArgument(
+        std::to_string(stats.size()) + " stats records for " +
+        std::to_string(v.indexes.size()) + " indexes in " + state_->ns);
+  }
+  for (size_t i = 0; i < stats.size(); ++i) {
+    v.MutableIndex(i)->RestoreStats(std::move(stats[i]));
+  }
+  return Status::OK();
+}
+
 CollectionStats Collection::Stats() const {
   auto core = CurrentCore();
   CollectionStats st;

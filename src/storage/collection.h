@@ -524,6 +524,16 @@ class Collection {
   /// tokens minted before the save never validate after a load.
   void RestoreLineage(uint64_t incarnation, uint64_t epoch);
 
+  /// \brief Adopts persisted per-index statistics (snapshot loading),
+  /// one record per index in `Indexes()` order ("_id" first, then user
+  /// indexes in creation order). Replaces the stats the restore
+  /// inserts built incrementally — the saving writer's stats reflect
+  /// its full mutation history, not an id-order reinsertion — so
+  /// save -> load -> save round-trips them byte-identically.
+  /// InvalidArgument when the record count does not match the index
+  /// count.
+  Status RestoreIndexStats(std::vector<IndexStats> stats);
+
   /// \brief Installs (or, with an empty function, removes) the
   /// committed-mutation observer — the WAL's append hook. At most one
   /// observer exists; it runs under the writer mutex (see

@@ -90,6 +90,38 @@ int64_t IndexKey::SizeBytes() const {
   return 1;
 }
 
+uint64_t IndexKey::Hash64() const {
+  // FNV-1a, unseeded: sketch state must be reproducible across runs
+  // (it persists in snapshots and replays through crash recovery).
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const void* p, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const uint8_t tag = static_cast<uint8_t>(tag_);
+  mix(&tag, 1);
+  switch (tag_) {
+    case Tag::kNull:
+    case Tag::kMax:
+      break;
+    case Tag::kBool: {
+      const uint8_t b = bool_ ? 1 : 0;
+      mix(&b, 1);
+      break;
+    }
+    case Tag::kNumber:
+      mix(&num_, sizeof num_);
+      break;
+    case Tag::kString:
+      mix(str_.data(), str_.size());
+      break;
+  }
+  return h;
+}
+
 std::string IndexKey::ToString() const {
   switch (tag_) {
     case Tag::kNull:
@@ -148,7 +180,8 @@ std::string CompositeKey::ToString() const {
 }
 
 SecondaryIndex::SecondaryIndex(std::vector<std::string> field_paths)
-    : field_paths_(std::move(field_paths)) {
+    : field_paths_(std::move(field_paths)),
+      stats_(static_cast<int>(field_paths_.size())) {
   for (size_t i = 0; i < field_paths_.size(); ++i) {
     if (i > 0) canonical_name_ += ',';
     canonical_name_ += field_paths_[i];
@@ -158,7 +191,9 @@ SecondaryIndex::SecondaryIndex(std::vector<std::string> field_paths)
 void SecondaryIndex::Insert(DocId id, const DocValue& doc) {
   CompositeKey key = CompositeKey::FromDoc(field_paths_, doc);
   size_bytes_ += key.SizeBytes() + kEntryOverheadBytes;
+  stats_.OnInsert(key);
   entries_.emplace(std::move(key), id);
+  if (stats_.NeedsRebuild()) RebuildStats();
 }
 
 void SecondaryIndex::Remove(DocId id, const DocValue& doc) {
@@ -167,10 +202,18 @@ void SecondaryIndex::Remove(DocId id, const DocValue& doc) {
   for (auto it = lo; it != hi; ++it) {
     if (it->second == id) {
       size_bytes_ -= key.SizeBytes() + kEntryOverheadBytes;
+      stats_.OnRemove(key);
       entries_.erase(it);
+      if (stats_.NeedsRebuild()) RebuildStats();
       return;
     }
   }
+}
+
+void SecondaryIndex::RebuildStats() {
+  IndexStats::Rebuilder rb(&stats_, entry_count());
+  for (const auto& [key, id] : entries_) rb.Add(key);
+  rb.Finish();
 }
 
 std::vector<DocId> SecondaryIndex::Lookup(const DocValue& value) const {
@@ -346,6 +389,56 @@ int64_t SecondaryIndex::CountScan(const std::vector<DocValue>& eq_prefix,
                                   const DocValue* range_hi) const {
   ScanBounds b = BoundsFor(eq_prefix, range_lo, range_hi);
   return static_cast<int64_t>(std::distance(b.first, b.last));
+}
+
+SecondaryIndex::ScanEstimate SecondaryIndex::EstimateScan(
+    const std::vector<DocValue>& eq_prefix, const DocValue* range_lo,
+    const DocValue* range_hi, bool force_exact) const {
+  ScanEstimate out;
+  ScanBounds b = BoundsFor(eq_prefix, range_lo, range_hi);
+  if (b.empty) return out;
+  // Bounded exact pass: a selective scan (the common case for point
+  // predicates) gets a precise answer for a constant-bounded walk.
+  int64_t walked = 0;
+  auto it = b.first;
+  while (it != b.last && walked <= kExactCountThreshold) {
+    ++it;
+    ++walked;
+  }
+  if (it == b.last) {
+    out.rows = static_cast<double>(walked);
+    out.exact = true;
+    out.entries_counted = walked;
+    return out;
+  }
+  if (force_exact) {
+    const int64_t n = walked + static_cast<int64_t>(std::distance(it, b.last));
+    out.rows = static_cast<double>(n);
+    out.exact = true;
+    out.entries_counted = n;
+    return out;
+  }
+  IndexKey lo_k, hi_k;
+  const IndexKey* lo_p = nullptr;
+  const IndexKey* hi_p = nullptr;
+  if (range_lo != nullptr) {
+    lo_k = IndexKey::FromValue(*range_lo);
+    lo_p = &lo_k;
+  }
+  if (range_hi != nullptr) {
+    hi_k = IndexKey::FromValue(*range_hi);
+    hi_p = &hi_k;
+  }
+  const IndexKey lead =
+      eq_prefix.empty() ? IndexKey() : IndexKey::FromValue(eq_prefix[0]);
+  const double est = stats_.EstimateScan(eq_prefix.size(), lead, lo_p, hi_p);
+  // The walk proved at least walked + 1 rows exist; the estimate can
+  // never contradict that, nor exceed the index.
+  out.rows = std::min(std::max(est, static_cast<double>(walked + 1)),
+                      static_cast<double>(entry_count()));
+  out.exact = false;
+  out.entries_counted = walked;
+  return out;
 }
 
 }  // namespace dt::storage

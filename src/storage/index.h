@@ -11,6 +11,12 @@
 /// entry byte accounting feeds `totalIndexSize` in collection stats,
 /// matching the shape of the `db.entity.stats()` numbers in Table II of
 /// the paper.
+///
+/// Each index also carries an `IndexStats` bundle (histogram +
+/// distinct sketches, see stats.h) maintained incrementally by
+/// `Insert`/`Remove`. Because the index object is the copy-on-write
+/// granule of versioned storage, the stats a reader sees are always
+/// consistent with the entries of the version its view pins.
 
 #pragma once
 
@@ -21,99 +27,10 @@
 #include <vector>
 
 #include "storage/docvalue.h"
+#include "storage/index_key.h"
+#include "storage/stats.h"
 
 namespace dt::storage {
-
-/// Document id within a collection (monotonically assigned on insert).
-using DocId = uint64_t;
-
-/// \brief Totally ordered key extracted from a document field.
-///
-/// Ordering: nulls < bools < numbers (int and double compared as a
-/// common numeric domain) < strings. Arrays/objects are not indexable;
-/// documents lacking the field index under a null key.
-class IndexKey {
- public:
-  IndexKey() : tag_(Tag::kNull) {}
-
-  static IndexKey FromValue(const DocValue& v);
-
-  /// \brief Probe sentinel ordering after every real key. Never stored
-  /// in an index; scan bound computation uses it to close a key-prefix
-  /// range ("everything extending this prefix").
-  static IndexKey Max();
-
-  bool operator<(const IndexKey& other) const;
-  bool operator==(const IndexKey& other) const;
-
-  /// True for the null key: absent fields, explicit nulls and
-  /// non-indexable values (arrays/objects) all collapse here.
-  bool is_null() const { return tag_ == Tag::kNull; }
-
-  /// The key as a plain `DocValue` (null/bool/double/string) such that
-  /// `FromValue(ToDocValue()) == *this` — how resume tokens persist a
-  /// scan position. The probe-only Max sentinel is never serialized
-  /// and maps to null.
-  DocValue ToDocValue() const;
-
-  /// Serialized footprint of the key itself (B-tree leaf estimate).
-  int64_t SizeBytes() const;
-
-  std::string ToString() const;
-
- private:
-  enum class Tag : uint8_t {
-    kNull = 0,
-    kBool = 1,
-    kNumber = 2,
-    kString = 3,
-    kMax = 255  // probe-only sentinel, greater than every real key
-  };
-
-  Tag tag_;
-  bool bool_ = false;
-  double num_ = 0;
-  std::string str_;
-};
-
-/// \brief Lexicographically ordered tuple of `IndexKey`s — the entry
-/// key of a (possibly compound) secondary index. Component comparison
-/// reuses the `IndexKey` semantics, so scans and predicate evaluation
-/// agree per component by construction.
-class CompositeKey {
- public:
-  CompositeKey() = default;
-  explicit CompositeKey(std::vector<IndexKey> parts)
-      : parts_(std::move(parts)) {}
-
-  /// Key of `doc` under `paths`: one component per path, each extracted
-  /// exactly as a single-field index would (missing/non-indexable
-  /// collapse to the null key).
-  static CompositeKey FromDoc(const std::vector<std::string>& paths,
-                              const DocValue& doc);
-
-  bool operator<(const CompositeKey& other) const {
-    return parts_ < other.parts_;
-  }
-  bool operator==(const CompositeKey& other) const;
-
-  /// Equality with `other` on the first `n` components, clamped to
-  /// both widths — the run-grouping / resume-suppression comparison
-  /// shared by `Scan::SeekAfter` and the executor's `IxScanCursor`.
-  bool PrefixEquals(const CompositeKey& other, size_t n) const;
-
-  const std::vector<IndexKey>& parts() const { return parts_; }
-  const IndexKey& part(size_t i) const { return parts_[i]; }
-  size_t width() const { return parts_.size(); }
-
-  int64_t SizeBytes() const;
-
-  /// `(Movie, Matilda)` for compound keys, `Movie` for width 1.
-  std::string ToString() const;
-
- private:
-  std::vector<IndexKey> parts_;
-};
 
 /// \brief Ordered secondary index on one or more field paths.
 class SecondaryIndex {
@@ -122,6 +39,11 @@ class SecondaryIndex {
   /// record id and page amortization (tuned so int-keyed indexes cost
   /// ~40 B/entry like the production numbers behind Tables I/II).
   static constexpr int64_t kEntryOverheadBytes = 33;
+
+  /// `EstimateScan` counts exactly by walking up to this many entries;
+  /// beyond it the histogram/sketch estimate answers instead. This is
+  /// the constant that makes planning O(1) in hit count.
+  static constexpr int64_t kExactCountThreshold = 128;
 
   explicit SecondaryIndex(std::string field_path)
       : SecondaryIndex(std::vector<std::string>{std::move(field_path)}) {}
@@ -162,11 +84,11 @@ class SecondaryIndex {
       const std::function<void(const IndexKey&, int64_t)>& visit) const;
 
   /// Number of entries whose leading component equals the key of
-  /// `value` (planner selectivity estimate; O(hits), not O(n)).
+  /// `value` (exact; O(hits), not O(n)).
   int64_t CountEqual(const DocValue& value) const;
 
   /// Number of entries with leading components in [lo, hi] inclusive
-  /// (O(hits)).
+  /// (exact; O(hits)).
   int64_t CountRange(const DocValue& lo, const DocValue& hi) const;
 
   /// \brief Pull-based ordered iterator over a bounds-delimited portion
@@ -238,9 +160,38 @@ class SecondaryIndex {
                   bool descending) const;
 
   /// Entry count `ScanPrefix` with the same constraints would visit
-  /// (planner selectivity estimate; O(hits)).
+  /// (exact; O(hits) — planning uses `EstimateScan` instead).
   int64_t CountScan(const std::vector<DocValue>& eq_prefix,
                     const DocValue* range_lo, const DocValue* range_hi) const;
+
+  /// \brief The planner's cardinality estimate for a `ScanPrefix` with
+  /// the same constraints. Walks at most `kExactCountThreshold + 1`
+  /// entries: selective scans come back exact (`exact == true`, and
+  /// `entries_counted` says what the walk cost); anything larger is
+  /// answered from the histogram/sketches, clamped to the walked lower
+  /// bound and `entry_count()`. `force_exact` falls through to a full
+  /// O(hits) count — the knob the plan-quality differential harness
+  /// and the bench baseline use to reconstruct pre-statistics
+  /// planning.
+  struct ScanEstimate {
+    double rows = 0;
+    bool exact = true;
+    int64_t entries_counted = 0;  ///< entries the bounded walk touched
+  };
+  ScanEstimate EstimateScan(const std::vector<DocValue>& eq_prefix,
+                            const DocValue* range_lo, const DocValue* range_hi,
+                            bool force_exact = false) const;
+
+  /// The statistics bundle consistent with the current entries.
+  const IndexStats& stats() const { return stats_; }
+
+  /// Discards the incremental stats and rebuilds them from the entry
+  /// map (deterministic).
+  void RebuildStats();
+
+  /// Snapshot adoption: replaces the stats wholesale with a persisted
+  /// record so a save -> load -> save cycle is byte-identical.
+  void RestoreStats(IndexStats stats) { stats_ = std::move(stats); }
 
   int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
 
@@ -266,6 +217,7 @@ class SecondaryIndex {
   std::string canonical_name_;
   EntryMap entries_;
   int64_t size_bytes_ = 0;
+  IndexStats stats_;
 };
 
 }  // namespace dt::storage

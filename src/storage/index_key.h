@@ -1,0 +1,117 @@
+/// \file index_key.h
+/// \brief Ordered key domain shared by secondary indexes and the
+/// statistics subsystem: `IndexKey` (one totally ordered component
+/// extracted from a document field) and `CompositeKey` (the
+/// lexicographic tuple a compound index stores). Split out of
+/// `index.h` so `stats.h` can depend on the key types without a
+/// circular include.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/docvalue.h"
+
+namespace dt::storage {
+
+/// Document id within a collection (monotonically assigned on insert).
+using DocId = uint64_t;
+
+/// \brief Totally ordered key extracted from a document field.
+///
+/// Ordering: nulls < bools < numbers (int and double compared as a
+/// common numeric domain) < strings. Arrays/objects are not indexable;
+/// documents lacking the field index under a null key.
+class IndexKey {
+ public:
+  IndexKey() : tag_(Tag::kNull) {}
+
+  static IndexKey FromValue(const DocValue& v);
+
+  /// \brief Probe sentinel ordering after every real key. Never stored
+  /// in an index; scan bound computation uses it to close a key-prefix
+  /// range ("everything extending this prefix").
+  static IndexKey Max();
+
+  bool operator<(const IndexKey& other) const;
+  bool operator==(const IndexKey& other) const;
+
+  /// True for the null key: absent fields, explicit nulls and
+  /// non-indexable values (arrays/objects) all collapse here.
+  bool is_null() const { return tag_ == Tag::kNull; }
+
+  /// The key as a plain `DocValue` (null/bool/double/string) such that
+  /// `FromValue(ToDocValue()) == *this` — how resume tokens persist a
+  /// scan position. The probe-only Max sentinel is never serialized
+  /// and maps to null.
+  DocValue ToDocValue() const;
+
+  /// Serialized footprint of the key itself (B-tree leaf estimate).
+  int64_t SizeBytes() const;
+
+  /// Deterministic 64-bit hash of the key (FNV-1a over tag + payload;
+  /// no per-process seed) — the distinct-sketch domain. Determinism
+  /// across runs is load-bearing: sketches persist in snapshots and
+  /// must evolve identically under crash-recovery replay.
+  uint64_t Hash64() const;
+
+  std::string ToString() const;
+
+ private:
+  enum class Tag : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kNumber = 2,
+    kString = 3,
+    kMax = 255  // probe-only sentinel, greater than every real key
+  };
+
+  Tag tag_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+};
+
+/// \brief Lexicographically ordered tuple of `IndexKey`s — the entry
+/// key of a (possibly compound) secondary index, and the executor's
+/// order-by sort key. Component comparison reuses the `IndexKey`
+/// semantics, so scans and predicate evaluation agree per component by
+/// construction.
+class CompositeKey {
+ public:
+  CompositeKey() = default;
+  explicit CompositeKey(std::vector<IndexKey> parts)
+      : parts_(std::move(parts)) {}
+
+  /// Key of `doc` under `paths`: one component per path, each extracted
+  /// exactly as a single-field index would (missing/non-indexable
+  /// collapse to the null key).
+  static CompositeKey FromDoc(const std::vector<std::string>& paths,
+                              const DocValue& doc);
+
+  bool operator<(const CompositeKey& other) const {
+    return parts_ < other.parts_;
+  }
+  bool operator==(const CompositeKey& other) const;
+
+  /// Equality with `other` on the first `n` components, clamped to
+  /// both widths — the run-grouping / resume-suppression comparison
+  /// shared by `Scan::SeekAfter` and the executor's `IxScanCursor`.
+  bool PrefixEquals(const CompositeKey& other, size_t n) const;
+
+  const std::vector<IndexKey>& parts() const { return parts_; }
+  const IndexKey& part(size_t i) const { return parts_[i]; }
+  size_t width() const { return parts_.size(); }
+
+  int64_t SizeBytes() const;
+
+  /// `(Movie, Matilda)` for compound keys, `Movie` for width 1.
+  std::string ToString() const;
+
+ private:
+  std::vector<IndexKey> parts_;
+};
+
+}  // namespace dt::storage

@@ -172,6 +172,18 @@ Status WriteCollectionSection(const CollectionView& coll, ThreadPool* pool,
   std::vector<std::vector<std::string>> index_specs = coll.IndexSpecs();
   w.PutU32(static_cast<uint32_t>(index_specs.size()));
   for (const auto& spec : index_specs) w.PutString(EncodeIndexRecord(spec));
+  // v3 per-index statistics: one full-state record per index in
+  // Indexes() order ("_id" first, then creation order). The load path
+  // adopts these after rebuilding the indexes — the writer's stats
+  // reflect its whole mutation history, which an id-order reinsertion
+  // cannot reproduce — so save -> load -> save stays byte-identical.
+  std::vector<const SecondaryIndex*> indexes = coll.Indexes();
+  w.PutU32(static_cast<uint32_t>(indexes.size()));
+  for (const SecondaryIndex* idx : indexes) {
+    std::string blob;
+    idx->stats().EncodeTo(&blob);
+    w.PutString(blob);
+  }
 
   // Snapshot (id, doc) in id order; chunk boundaries depend only on
   // the order and docs_per_chunk, so output bytes are identical for
@@ -259,6 +271,33 @@ Result<std::unique_ptr<Collection>> ReadCollectionSection(
     std::vector<std::string> paths;
     DT_RETURN_NOT_OK(DecodeIndexRecord(record, &paths));
     index_specs.push_back(std::move(paths));
+  }
+
+  // v3 per-index statistics records; adopted after the index rebuild
+  // below. Older sections leave the vector empty and keep the stats
+  // the restore inserts build incrementally (deterministic, just not
+  // the saving writer's history).
+  std::vector<IndexStats> index_stats;
+  if (codec_version >= 3) {
+    uint32_t stats_count = 0;
+    DT_RETURN_NOT_OK(r->ReadU32(&stats_count));
+    if (stats_count != index_count + 1) {
+      return Status::Corruption("stats record count " +
+                                std::to_string(stats_count) + " for " +
+                                std::to_string(index_count + 1) + " indexes");
+    }
+    index_stats.reserve(stats_count);
+    for (uint32_t i = 0; i < stats_count; ++i) {
+      std::string blob;
+      DT_RETURN_NOT_OK(r->ReadString(&blob));
+      BinaryReader sr(blob);
+      IndexStats s;
+      DT_RETURN_NOT_OK(IndexStats::DecodeFrom(&sr, &s));
+      if (sr.remaining() != 0) {
+        return Status::Corruption("trailing bytes in index stats record");
+      }
+      index_stats.push_back(std::move(s));
+    }
   }
 
   DT_RETURN_NOT_OK(r->ReadU64(&doc_count));
@@ -365,6 +404,13 @@ Result<std::unique_ptr<Collection>> ReadCollectionSection(
     Status st = coll->CreateIndex(spec);
     if (!st.ok()) {
       return Status::Corruption("invalid snapshot index metadata: " +
+                                st.ToString());
+    }
+  }
+  if (!index_stats.empty()) {
+    Status st = coll->RestoreIndexStats(std::move(index_stats));
+    if (!st.ok()) {
+      return Status::Corruption("invalid snapshot index stats: " +
                                 st.ToString());
     }
   }

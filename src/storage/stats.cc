@@ -1,0 +1,389 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dt::storage {
+
+namespace {
+
+/// The sketch hash domain is [0, 2^64); the estimator normalizes the
+/// k-th smallest hash against it.
+constexpr double kHashDomain = 18446744073709551616.0;  // 2^64
+
+bool NumericKey(const IndexKey& k, double* out) {
+  DocValue v = k.ToDocValue();
+  if (v.type() != DocType::kDouble) return false;
+  *out = v.double_value();
+  return true;
+}
+
+Status DecodeIndexKey(BinaryReader* r, IndexKey* out) {
+  DocValue v;
+  DT_RETURN_NOT_OK(DecodeDocValue(r, &v));
+  *out = IndexKey::FromValue(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DistinctSketch
+
+void DistinctSketch::Add(uint64_t hash) {
+  auto it = kmin_.find(hash);
+  if (it != kmin_.end()) {
+    ++it->second;
+    return;
+  }
+  if (kmin_.size() < k_) {
+    kmin_.emplace(hash, 1);
+    return;
+  }
+  auto last = std::prev(kmin_.end());
+  if (hash >= last->first) {
+    saturated_ = true;  // evicted on arrival
+    return;
+  }
+  kmin_.erase(last);
+  kmin_.emplace(hash, 1);
+  saturated_ = true;
+}
+
+void DistinctSketch::Remove(uint64_t hash) {
+  auto it = kmin_.find(hash);
+  if (it == kmin_.end()) return;  // evicted while saturated: unobservable
+  if (--it->second <= 0) kmin_.erase(it);
+}
+
+void DistinctSketch::Merge(const DistinctSketch& other) {
+  saturated_ = saturated_ || other.saturated_;
+  for (const auto& [hash, count] : other.kmin_) kmin_[hash] += count;
+  while (kmin_.size() > k_) {
+    kmin_.erase(std::prev(kmin_.end()));
+    saturated_ = true;
+  }
+}
+
+double DistinctSketch::Estimate() const {
+  if (!saturated_ || kmin_.size() < k_) {
+    return static_cast<double>(kmin_.size());
+  }
+  // k distinct hashes occupy a fraction max/2^64 of the hash domain.
+  const uint64_t kth = std::prev(kmin_.end())->first;
+  const double fraction = static_cast<double>(kth) / kHashDomain;
+  if (fraction <= 0) return static_cast<double>(kmin_.size());
+  return static_cast<double>(k_ - 1) / fraction;
+}
+
+void DistinctSketch::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU32(static_cast<uint32_t>(k_));
+  w.PutU8(saturated_ ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(kmin_.size()));
+  for (const auto& [hash, count] : kmin_) {
+    w.PutU64(hash);
+    w.PutI64(count);
+  }
+}
+
+Status DistinctSketch::DecodeFrom(BinaryReader* r, DistinctSketch* out) {
+  uint32_t k = 0, n = 0;
+  uint8_t saturated = 0;
+  DT_RETURN_NOT_OK(r->ReadU32(&k));
+  DT_RETURN_NOT_OK(r->ReadU8(&saturated));
+  DT_RETURN_NOT_OK(r->ReadU32(&n));
+  DistinctSketch s(k);
+  s.saturated_ = saturated != 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t hash = 0;
+    int64_t count = 0;
+    DT_RETURN_NOT_OK(r->ReadU64(&hash));
+    DT_RETURN_NOT_OK(r->ReadI64(&count));
+    if (count <= 0 || n > k) {
+      return Status::Corruption("malformed distinct sketch entry");
+    }
+    s.kmin_.emplace(hash, count);
+  }
+  *out = std::move(s);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// KeyHistogram
+
+KeyHistogram::Builder::Builder(int64_t total_rows, int target_buckets) {
+  depth_ = std::max<int64_t>(1, (total_rows + target_buckets - 1) /
+                                    std::max(1, target_buckets));
+}
+
+void KeyHistogram::Builder::Add(const IndexKey& key, int64_t rows) {
+  total_rows_ += rows;
+  ++total_distinct_;
+  // A run larger than the target depth gets a bucket of its own (heavy
+  // hitter: distinct == 1 makes EstimateEq exact at build time), so
+  // first close any open bucket it would otherwise distort.
+  const bool heavy = rows >= depth_;
+  if (heavy && !buckets_.empty() && buckets_.back().rows < depth_ &&
+      buckets_.back().distinct > 0) {
+    // Close the open bucket by starting a new one for the heavy key.
+    buckets_.push_back(HistogramBucket{});
+  }
+  if (buckets_.empty() || buckets_.back().rows >= depth_) {
+    buckets_.push_back(HistogramBucket{});
+  }
+  HistogramBucket& b = buckets_.back();
+  b.upper = key;
+  b.rows += rows;
+  b.distinct += 1;
+}
+
+KeyHistogram KeyHistogram::Builder::Finish() {
+  KeyHistogram h;
+  h.buckets_ = std::move(buckets_);
+  h.total_rows_ = total_rows_;
+  h.total_distinct_ = total_distinct_;
+  return h;
+}
+
+size_t KeyHistogram::BucketFor(const IndexKey& key) const {
+  size_t lo = 0, hi = buckets_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (buckets_[mid].upper < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double KeyHistogram::EstimateEq(const IndexKey& key) const {
+  if (buckets_.empty()) return 0;
+  size_t i = BucketFor(key);
+  if (i >= buckets_.size()) {
+    // Past every build-time key: assume global average depth.
+    return static_cast<double>(total_rows_) /
+           std::max<int64_t>(1, total_distinct_);
+  }
+  const HistogramBucket& b = buckets_[i];
+  return static_cast<double>(b.rows) / std::max<int64_t>(1, b.distinct);
+}
+
+double KeyHistogram::EstimateRange(const IndexKey* lo,
+                                   const IndexKey* hi) const {
+  if (buckets_.empty()) return 0;
+  double est = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const HistogramBucket& b = buckets_[i];
+    // Bucket i covers (lower_i, upper_i] where lower_i is bucket i-1's
+    // upper bound (open below for the first bucket).
+    const IndexKey* bucket_lo = i > 0 ? &buckets_[i - 1].upper : nullptr;
+    const bool lo_cuts =
+        lo != nullptr && (bucket_lo == nullptr || *bucket_lo < *lo);
+    const bool hi_cuts = hi != nullptr && *hi < b.upper;
+    if (lo != nullptr && b.upper < *lo) continue;     // wholly below
+    if (hi != nullptr && bucket_lo != nullptr && *hi < *bucket_lo) break;
+    if (!lo_cuts && !hi_cuts) {
+      est += static_cast<double>(b.rows);
+      continue;
+    }
+    // Partial overlap: interpolate numerically when possible, else
+    // charge half the bucket.
+    double blo = 0, bhi = 0, vlo = 0, vhi = 0;
+    const bool numeric = bucket_lo != nullptr &&
+                         NumericKey(*bucket_lo, &blo) &&
+                         NumericKey(b.upper, &bhi) && bhi > blo &&
+                         (!lo_cuts || NumericKey(*lo, &vlo)) &&
+                         (!hi_cuts || NumericKey(*hi, &vhi));
+    if (numeric) {
+      const double from = lo_cuts ? std::max(blo, std::min(vlo, bhi)) : blo;
+      const double to = hi_cuts ? std::max(blo, std::min(vhi, bhi)) : bhi;
+      est += static_cast<double>(b.rows) * std::max(0.0, to - from) /
+             (bhi - blo);
+    } else {
+      est += static_cast<double>(b.rows) * 0.5;
+    }
+  }
+  return std::min(est, static_cast<double>(total_rows_));
+}
+
+void KeyHistogram::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutI64(total_rows_);
+  w.PutI64(total_distinct_);
+  w.PutU32(static_cast<uint32_t>(buckets_.size()));
+  for (const HistogramBucket& b : buckets_) {
+    (void)EncodeDocValue(b.upper.ToDocValue(), out);
+    BinaryWriter wb(out);
+    wb.PutI64(b.rows);
+    wb.PutI64(b.distinct);
+  }
+}
+
+Status KeyHistogram::DecodeFrom(BinaryReader* r, KeyHistogram* out) {
+  KeyHistogram h;
+  uint32_t n = 0;
+  DT_RETURN_NOT_OK(r->ReadI64(&h.total_rows_));
+  DT_RETURN_NOT_OK(r->ReadI64(&h.total_distinct_));
+  DT_RETURN_NOT_OK(r->ReadU32(&n));
+  h.buckets_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HistogramBucket b;
+    DT_RETURN_NOT_OK(DecodeIndexKey(r, &b.upper));
+    DT_RETURN_NOT_OK(r->ReadI64(&b.rows));
+    DT_RETURN_NOT_OK(r->ReadI64(&b.distinct));
+    if (b.rows < 0 || b.distinct < 0) {
+      return Status::Corruption("malformed histogram bucket");
+    }
+    h.buckets_.push_back(std::move(b));
+  }
+  *out = std::move(h);
+  return Status::OK();
+}
+
+bool KeyHistogram::operator==(const KeyHistogram& other) const {
+  if (total_rows_ != other.total_rows_ ||
+      total_distinct_ != other.total_distinct_ ||
+      buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (!(buckets_[i].upper == other.buckets_[i].upper) ||
+        buckets_[i].rows != other.buckets_[i].rows ||
+        buckets_[i].distinct != other.buckets_[i].distinct) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// IndexStats
+
+IndexStats::IndexStats(int width) : width_(width) {
+  sketches_.assign(static_cast<size_t>(width), DistinctSketch());
+}
+
+void IndexStats::OnInsert(const CompositeKey& key) {
+  ++total_rows_;
+  ++mutations_since_build_;
+  for (size_t i = 0; i < sketches_.size() && i < key.width(); ++i) {
+    sketches_[i].Add(key.part(i).Hash64());
+  }
+}
+
+void IndexStats::OnRemove(const CompositeKey& key) {
+  --total_rows_;
+  ++mutations_since_build_;
+  for (size_t i = 0; i < sketches_.size() && i < key.width(); ++i) {
+    sketches_[i].Remove(key.part(i).Hash64());
+  }
+}
+
+IndexStats::Rebuilder::Rebuilder(IndexStats* stats, int64_t row_count)
+    : stats_(stats), rows_(row_count), hist_(row_count) {
+  sketches_.assign(static_cast<size_t>(stats->width_), DistinctSketch());
+}
+
+void IndexStats::Rebuilder::Add(const CompositeKey& key) {
+  for (size_t i = 0; i < sketches_.size() && i < key.width(); ++i) {
+    sketches_[i].Add(key.part(i).Hash64());
+  }
+  const IndexKey& lead = key.part(0);
+  if (have_run_ && run_key_ == lead) {
+    ++run_rows_;
+    return;
+  }
+  if (have_run_) hist_.Add(run_key_, run_rows_);
+  have_run_ = true;
+  run_key_ = lead;
+  run_rows_ = 1;
+}
+
+void IndexStats::Rebuilder::Finish() {
+  if (have_run_) hist_.Add(run_key_, run_rows_);
+  stats_->hist_ = hist_.Finish();
+  stats_->sketches_ = std::move(sketches_);
+  stats_->total_rows_ = rows_;
+  stats_->rows_at_build_ = rows_;
+  stats_->mutations_since_build_ = 0;
+}
+
+double IndexStats::EstimateDistinct(size_t component) const {
+  if (component >= sketches_.size()) return 0;
+  return sketches_[component].Estimate();
+}
+
+double IndexStats::EstimateScan(size_t eq_width, const IndexKey& lead,
+                                const IndexKey* range_lo,
+                                const IndexKey* range_hi) const {
+  if (total_rows_ <= 0) return 0;
+  // Scale histogram figures (frozen at build time) by the drift since.
+  const double drift =
+      hist_.total_rows() > 0
+          ? static_cast<double>(total_rows_) /
+                static_cast<double>(hist_.total_rows())
+          : 1.0;
+  double est;
+  if (eq_width == 0) {
+    est = hist_.empty() ? static_cast<double>(total_rows_)
+                        : hist_.EstimateRange(range_lo, range_hi) * drift;
+  } else {
+    est = hist_.empty() ? static_cast<double>(total_rows_)
+                        : hist_.EstimateEq(lead) * drift;
+    // Deeper equality components: independence, 1/distinct each.
+    for (size_t i = 1; i < eq_width; ++i) {
+      est /= std::max(1.0, EstimateDistinct(i));
+    }
+    // A range on the component after the equality prefix has no
+    // conditioned histogram; classic fixed selectivity.
+    if (range_lo != nullptr || range_hi != nullptr) est /= 3.0;
+  }
+  return std::clamp(est, 0.0, static_cast<double>(total_rows_));
+}
+
+void IndexStats::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU32(static_cast<uint32_t>(width_));
+  w.PutI64(total_rows_);
+  w.PutI64(rows_at_build_);
+  w.PutI64(mutations_since_build_);
+  hist_.EncodeTo(out);
+  BinaryWriter w2(out);
+  w2.PutU32(static_cast<uint32_t>(sketches_.size()));
+  for (const DistinctSketch& s : sketches_) s.EncodeTo(out);
+}
+
+Status IndexStats::DecodeFrom(BinaryReader* r, IndexStats* out) {
+  IndexStats s;
+  uint32_t width = 0, nsketch = 0;
+  DT_RETURN_NOT_OK(r->ReadU32(&width));
+  DT_RETURN_NOT_OK(r->ReadI64(&s.total_rows_));
+  DT_RETURN_NOT_OK(r->ReadI64(&s.rows_at_build_));
+  DT_RETURN_NOT_OK(r->ReadI64(&s.mutations_since_build_));
+  DT_RETURN_NOT_OK(KeyHistogram::DecodeFrom(r, &s.hist_));
+  DT_RETURN_NOT_OK(r->ReadU32(&nsketch));
+  if (width > 64 || nsketch != width) {
+    return Status::Corruption("malformed index stats record");
+  }
+  s.width_ = static_cast<int>(width);
+  s.sketches_.reserve(nsketch);
+  for (uint32_t i = 0; i < nsketch; ++i) {
+    DistinctSketch sk;
+    DT_RETURN_NOT_OK(DistinctSketch::DecodeFrom(r, &sk));
+    s.sketches_.push_back(std::move(sk));
+  }
+  *out = std::move(s);
+  return Status::OK();
+}
+
+bool IndexStats::operator==(const IndexStats& other) const {
+  return width_ == other.width_ && total_rows_ == other.total_rows_ &&
+         rows_at_build_ == other.rows_at_build_ &&
+         mutations_since_build_ == other.mutations_since_build_ &&
+         hist_ == other.hist_ && sketches_ == other.sketches_;
+}
+
+}  // namespace dt::storage

@@ -1,0 +1,221 @@
+/// \file stats.h
+/// \brief Incremental cardinality statistics for secondary indexes.
+///
+/// Each `SecondaryIndex` owns an `IndexStats`: an equi-depth histogram
+/// over the leading key component plus one KMV distinct-count sketch
+/// per component. The sketches are maintained incrementally on every
+/// `Insert`/`Remove`; the histogram is rebuilt wholesale whenever the
+/// mutation count since the last build crosses half the rows it was
+/// built over (amortized O(1) per write). Because the stats live
+/// inside the index object — the copy-on-write granule of
+/// `StorageVersion` — every published version carries a stats view
+/// consistent with its entries, and readers pin it with their
+/// `CollectionView` at zero extra synchronization.
+///
+/// Everything here is deterministic: no clocks, no randomness, and the
+/// rebuild trigger is a pure function of persisted state. That is what
+/// lets snapshots round-trip byte-identically and crash recovery
+/// replay to the same stats the uninterrupted writer would hold.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/codec.h"
+#include "storage/index_key.h"
+
+namespace dt::storage {
+
+/// \brief KMV (k-minimum-values) distinct-count sketch with
+/// multiplicity counts, bounded to the `k` smallest key hashes.
+///
+/// While fewer than `k` distinct hashes have ever been seen the sketch
+/// is an exact distinct counter. Once saturated, the estimate is the
+/// classic (k-1)/max_hash_fraction KMV estimator with relative error
+/// ~1/sqrt(k-2) (~7% at k=192). `Remove` decrements the multiplicity
+/// of a tracked hash; removals of hashes evicted while saturated are
+/// necessarily unobserved, degrading the estimate by at most the
+/// removed fraction until the next histogram rebuild reconstructs the
+/// sketch from scratch.
+class DistinctSketch {
+ public:
+  static constexpr size_t kDefaultK = 192;
+
+  explicit DistinctSketch(size_t k = kDefaultK) : k_(k) {}
+
+  void Add(uint64_t hash);
+  void Remove(uint64_t hash);
+
+  /// Union with `other` (same-stream semantics: multiplicities of a
+  /// shared hash add). The result keeps the k smallest hashes of the
+  /// union and is saturated if either input was or the union overflows.
+  void Merge(const DistinctSketch& other);
+
+  /// Estimated number of distinct values; exact while `!saturated()`.
+  double Estimate() const;
+
+  bool saturated() const { return saturated_; }
+  size_t size() const { return kmin_.size(); }
+  size_t k() const { return k_; }
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(BinaryReader* r, DistinctSketch* out);
+
+  bool operator==(const DistinctSketch& other) const {
+    return k_ == other.k_ && saturated_ == other.saturated_ &&
+           kmin_ == other.kmin_;
+  }
+
+ private:
+  size_t k_;
+  bool saturated_ = false;  ///< ever evicted a hash: estimate, not exact
+  std::map<uint64_t, int64_t> kmin_;  ///< k smallest hashes -> multiplicity
+};
+
+/// One equi-depth histogram bucket: the inclusive upper-bound key, the
+/// number of index rows in the bucket and the number of distinct
+/// leading keys among them. A run of one key larger than the target
+/// depth becomes a singleton bucket (`distinct == 1`), so heavy
+/// hitters are estimated from their own exact build-time count.
+struct HistogramBucket {
+  IndexKey upper;
+  int64_t rows = 0;
+  int64_t distinct = 0;
+};
+
+/// \brief Equi-depth histogram over the leading key component of an
+/// index, built from one ordered walk of its entries.
+class KeyHistogram {
+ public:
+  static constexpr int kTargetBuckets = 64;
+
+  /// Feed `(key, run_length)` pairs in ascending key order — exactly
+  /// what `SecondaryIndex::VisitKeyCounts` yields — then `Finish`.
+  class Builder {
+   public:
+    explicit Builder(int64_t total_rows, int target_buckets = kTargetBuckets);
+    void Add(const IndexKey& key, int64_t rows);
+    KeyHistogram Finish();
+
+   private:
+    int64_t depth_;  ///< target rows per bucket
+    std::vector<HistogramBucket> buckets_;
+    int64_t total_rows_ = 0;
+    int64_t total_distinct_ = 0;
+  };
+
+  /// Estimated rows whose leading key equals `key`: the containing
+  /// bucket's rows/distinct (exact for singleton buckets). Keys past
+  /// the last bucket (inserted after the build) estimate at the global
+  /// average depth.
+  double EstimateEq(const IndexKey& key) const;
+
+  /// Estimated rows with leading key in [lo, hi] (either side null for
+  /// half-open). Fully covered buckets contribute their rows; a
+  /// partially covered bucket contributes linearly interpolated rows
+  /// for numeric bounds and half its rows otherwise.
+  double EstimateRange(const IndexKey* lo, const IndexKey* hi) const;
+
+  int64_t total_rows() const { return total_rows_; }
+  int64_t total_distinct() const { return total_distinct_; }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  bool empty() const { return buckets_.empty(); }
+
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(BinaryReader* r, KeyHistogram* out);
+
+  bool operator==(const KeyHistogram& other) const;
+
+ private:
+  /// Index of the bucket covering `key` (buckets partition the key
+  /// space at their upper bounds), or buckets_.size() when past the
+  /// last upper bound.
+  size_t BucketFor(const IndexKey& key) const;
+
+  std::vector<HistogramBucket> buckets_;
+  int64_t total_rows_ = 0;
+  int64_t total_distinct_ = 0;
+};
+
+/// \brief The per-index statistics bundle: leading-component histogram
+/// + per-component distinct sketches + the counters that drive the
+/// deterministic rebuild schedule. Owned by `SecondaryIndex`, cloned
+/// with it on copy-on-write publication.
+class IndexStats {
+ public:
+  IndexStats() = default;
+  explicit IndexStats(int width);
+
+  /// Incremental maintenance, called by the index on every mutation.
+  void OnInsert(const CompositeKey& key);
+  void OnRemove(const CompositeKey& key);
+
+  /// True when accumulated drift warrants a histogram rebuild:
+  /// mutations since the last build exceed half the rows it was built
+  /// over, plus a constant so tiny indexes don't rebuild every write.
+  /// Deterministic in (rows_at_build_, mutations_since_build_) only.
+  bool NeedsRebuild() const {
+    return 2 * mutations_since_build_ >= rows_at_build_ + 64;
+  }
+
+  /// \brief One-pass rebuild: stream every key of the index in
+  /// ascending order through `Add`, then `Finish` installs the new
+  /// histogram and freshly counted sketches and zeroes the mutation
+  /// counter.
+  class Rebuilder {
+   public:
+    Rebuilder(IndexStats* stats, int64_t row_count);
+    void Add(const CompositeKey& key);
+    void Finish();
+
+   private:
+    IndexStats* stats_;
+    int64_t rows_;
+    KeyHistogram::Builder hist_;
+    std::vector<DistinctSketch> sketches_;
+    bool have_run_ = false;
+    IndexKey run_key_;
+    int64_t run_rows_ = 0;
+  };
+
+  /// Estimated rows for a `ScanPrefix` with `eq_width` leading
+  /// equality components (component 0's key passed as `lead`, deeper
+  /// ones estimated at 1/distinct under independence) and an optional
+  /// [lo, hi] range on the next component. The result is clamped to
+  /// [0, total_rows].
+  double EstimateScan(size_t eq_width, const IndexKey& lead,
+                      const IndexKey* range_lo, const IndexKey* range_hi) const;
+
+  int64_t total_rows() const { return total_rows_; }
+  int64_t mutations_since_build() const { return mutations_since_build_; }
+  int64_t rows_at_build() const { return rows_at_build_; }
+  const KeyHistogram& histogram() const { return hist_; }
+  const std::vector<DistinctSketch>& sketches() const { return sketches_; }
+
+  /// Estimated distinct leading keys (CountByField/TopKByCount group
+  /// cardinality without a key walk).
+  double EstimateDistinct(size_t component) const;
+
+  /// Full-state serialization — everything that influences future
+  /// evolution (counters included), so an adopted snapshot record
+  /// continues exactly where the writer that saved it left off.
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(BinaryReader* r, IndexStats* out);
+
+  bool operator==(const IndexStats& other) const;
+
+ private:
+  int width_ = 0;
+  int64_t total_rows_ = 0;
+  int64_t rows_at_build_ = 0;
+  int64_t mutations_since_build_ = 0;
+  KeyHistogram hist_;
+  std::vector<DistinctSketch> sketches_;  ///< one per key component
+};
+
+}  // namespace dt::storage
