@@ -31,6 +31,13 @@
 ///      durability modes (group commit vs strict fsync), plus the
 ///      incremental-checkpoint win (re-encode dirty collections only),
 ///      each run closed out by a cold-reopen recovery check.
+///   O. Planner statistics: O(1) planning off histograms/sketches vs
+///      bounded exact index counting.
+///   P. Streaming ingest: per-record incremental consolidation cost
+///      across residencies (must stay ~flat — the candidate bound at
+///      work) vs batch re-consolidation (superlinear), streamed-vs-
+///      batch byte parity at every scale, and reader QPS retention
+///      under a live wire ingest stream.
 ///
 /// `--json <path>` additionally writes the headline timings as a flat
 /// JSON object (the per-commit artifact CI uploads to track the perf
@@ -62,6 +69,8 @@
 #include "dedup/blocking.h"
 #include "dedup/consolidation.h"
 #include "dedup/pair_features.h"
+#include "dedup/record.h"
+#include "dedup/streaming.h"
 #include "expert/expert.h"
 #include "ingest/json.h"
 #include "match/global_schema.h"
@@ -71,6 +80,7 @@
 #include "query/request.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/codec.h"
 #include "storage/recovery.h"
 #include "storage/snapshot.h"
 
@@ -1432,6 +1442,262 @@ void AblationPlannerStats(int64_t fragments_override) {
   RecordMetric("planner_stats_or_speedup", or_speedup);
 }
 
+// ---- P. streaming ingest ----------------------------------------------
+
+std::vector<dedup::DedupRecord> StreamingCorpus(int64_t num_records,
+                                                uint64_t seed) {
+  datagen::DedupLabelOptions lopts;
+  lopts.num_pairs = (num_records + 1) / 2;
+  lopts.seed = seed;
+  auto pairs =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kPerson, lopts);
+  std::vector<dedup::DedupRecord> records;
+  records.reserve(pairs.size() * 2);
+  for (const auto& p : pairs) {
+    records.push_back(p.a);
+    records.push_back(p.b);
+  }
+  records.resize(static_cast<size_t>(num_records));
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].id = static_cast<int64_t>(i + 1);
+    records[i].ingest_seq = static_cast<int64_t>(i + 1);
+  }
+  return records;
+}
+
+void AblationStreamingIngest(int64_t fragments_override) {
+  PrintSection(
+      "P. streaming ingest: incremental consolidation vs batch re-runs");
+  const bool full_scale = fragments_override <= 0;
+
+  // The streaming engine's pitch is O(candidate-neighborhood) work per
+  // arriving record. Measure it directly: seed the consolidator to a
+  // target residency, then time a probe batch of one-at-a-time
+  // ingests. Batch re-consolidation over the same corpus is the
+  // baseline that scales superlinearly.
+  const int64_t base = full_scale ? 10000 : fragments_override;
+  const std::vector<std::pair<const char*, int64_t>> sizes = {
+      {"small", base / 10}, {"mid", base}, {"large", base * 5}};
+  const int64_t probe = full_scale ? 200 : 40;
+  auto corpus = StreamingCorpus(sizes.back().second + probe, 9001);
+
+  dedup::ConsolidationOptions opts;
+  // A tight block cap saturates the candidate bound below the smallest
+  // residency, so the per-record cost curve shows the bound, not
+  // corpus growth (at smoke scale the cap shrinks with the corpus for
+  // the same reason). Batch runs use the identical options — parity
+  // stays byte-exact.
+  opts.blocking.max_block_size = full_scale ? 64 : 8;
+  ThreadPool pool(4);
+
+  double per_record_us_small = 0, per_record_us_large = 0;
+  for (const auto& [tag, resident] : sizes) {
+    std::vector<dedup::DedupRecord> seed_records(
+        corpus.begin(), corpus.begin() + resident);
+    dedup::StreamingConsolidator sc(opts);
+    auto seeded = sc.Seed(seed_records, &pool);
+    if (!seeded.ok()) {
+      std::printf("  FAILED: seed: %s\n", seeded.ToString().c_str());
+      CheckFailed() = true;
+      return;
+    }
+    Timer t;
+    for (int64_t i = 0; i < probe; ++i) {
+      auto delta = sc.Ingest(corpus[resident + i], &pool);
+      if (!delta.ok()) {
+        std::printf("  FAILED: ingest: %s\n",
+                    delta.status().ToString().c_str());
+        CheckFailed() = true;
+        return;
+      }
+    }
+    const double per_record_us = t.Millis() * 1000.0 / probe;
+    if (std::string(tag) == "small") per_record_us_small = per_record_us;
+    if (std::string(tag) == "large") per_record_us_large = per_record_us;
+
+    // The batch alternative: re-consolidate everything per arrival
+    // batch. One run over the final corpus stands in for it.
+    std::vector<dedup::DedupRecord> all(
+        corpus.begin(), corpus.begin() + resident + probe);
+    dedup::ConsolidationOptions batch_opts = opts;
+    batch_opts.pool = &pool;
+    Timer bt;
+    auto batch = dedup::Consolidate(all, batch_opts);
+    const double batch_ms = bt.Millis();
+    if (!batch.ok()) {
+      std::printf("  FAILED: batch: %s\n",
+                  batch.status().ToString().c_str());
+      CheckFailed() = true;
+      return;
+    }
+
+    // Parity: the streamed state must be byte-identical to the batch
+    // oracle over the same corpus (the tentpole invariant, re-proved
+    // at bench scale on every run).
+    auto streamed = sc.Entities(&pool);
+    bool identical = streamed.ok() && streamed->size() == batch->size();
+    if (identical) {
+      for (size_t g = 0; g < batch->size(); ++g) {
+        std::string a, b;
+        storage::EncodeDocValue(dedup::CompositeEntityToDoc((*batch)[g]),
+                                &a);
+        storage::EncodeDocValue(dedup::CompositeEntityToDoc((*streamed)[g]),
+                                &b);
+        if (a != b) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    if (!identical) {
+      std::printf("  FAILED: streamed entities differ from batch at "
+                  "%s residency\n", tag);
+      CheckFailed() = true;
+    }
+    std::printf("  %-10s %8s resident: %8.1f us/record ingest, "
+                "%9.1f ms batch re-run, parity %s\n",
+                tag, WithThousandsSep(resident).c_str(), per_record_us,
+                batch_ms, identical ? "yes" : "NO");
+    RecordMetric(std::string("ingest_per_record_us_") + tag, per_record_us);
+    RecordMetric(std::string("ingest_batch_ms_") + tag, batch_ms);
+  }
+  const double cost_ratio =
+      per_record_us_small > 0 ? per_record_us_large / per_record_us_small
+                              : 0.0;
+  std::printf("  %-38s %9.2fx (large/small residency)\n",
+              "per-record cost growth", cost_ratio);
+  if (cost_ratio > 3.0) {
+    std::printf("  FAILED: per-record ingest cost grew %.2fx from %lld to "
+                "%lld resident records (bound: 3x)\n",
+                cost_ratio, static_cast<long long>(sizes.front().second),
+                static_cast<long long>(sizes.back().second));
+    CheckFailed() = true;
+  }
+  RecordMetric("ingest_cost_ratio", cost_ratio);
+
+  // Reader throughput under a live ingest stream: 4 wire clients
+  // replay the serving workload against a read-write server, first
+  // alone, then with one ingest client pushing record batches through
+  // kIngest. The facade serializes execution, so this prices the lock
+  // hold of incremental consolidation against reader QPS.
+  BenchScale scale;
+  scale.num_fragments = full_scale ? 4000 : fragments_override;
+  DemoPipeline p = BuildDemoPipeline(scale, /*ingest_text=*/true,
+                                     /*ingest_structured=*/false);
+  server::ServerOptions sopts;
+  sopts.num_workers = 4;
+  server::DtServer srv(p.tamer.get(), sopts);  // mutable: ingest allowed
+  if (!srv.Start().ok()) {
+    std::printf("  FAILED: server did not start\n");
+    CheckFailed() = true;
+    return;
+  }
+  const int kReaders = 4;
+  const int kRequestsPerReader = full_scale ? 400 : 60;
+  query::QueryRequest read_req;
+  read_req.op = query::QueryOp::kFind;
+  read_req.collection = "entity";
+  read_req.predicate =
+      query::Predicate::Eq("type", storage::DocValue::Str("Movie"));
+  read_req.order_by = "name";
+  read_req.limit = 50;
+
+  auto reader_phase = [&](std::atomic<bool>* stop_ingest) -> double {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    Timer wall;
+    for (int c = 0; c < kReaders; ++c) {
+      readers.emplace_back([&] {
+        auto conn = server::DtClient::Connect("127.0.0.1", srv.port());
+        if (!conn.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < kRequestsPerReader; ++i) {
+          auto resp = (*conn)->Call(read_req);
+          if (!resp.ok() || resp->ids.empty()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+    const double secs = wall.Seconds();
+    if (stop_ingest != nullptr) stop_ingest->store(true);
+    if (failures.load() > 0) {
+      std::printf("  FAILED: %d reader thread(s) errored\n", failures.load());
+      CheckFailed() = true;
+    }
+    return secs > 0 ? kReaders * kRequestsPerReader / secs : 0.0;
+  };
+
+  // Warm the connection path and caches before timing anything, then
+  // take the read-only baseline.
+  (void)reader_phase(nullptr);
+  const double qps_baseline = reader_phase(nullptr);
+
+  auto ingest_corpus = StreamingCorpus(full_scale ? 20000 : 2000, 555);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> pushed{0};
+  Timer ingest_wall;
+  std::thread ingester([&] {
+    auto conn = server::DtClient::Connect("127.0.0.1", srv.port());
+    if (!conn.ok()) {
+      CheckFailed() = true;
+      return;
+    }
+    const int kBatch = 10;
+    size_t next = 0;
+    while (!stop.load() && next + kBatch <= ingest_corpus.size()) {
+      query::QueryRequest req;
+      req.op = query::QueryOp::kIngest;
+      req.ingest_records.assign(ingest_corpus.begin() + next,
+                                ingest_corpus.begin() + next + kBatch);
+      next += kBatch;
+      auto resp = (*conn)->Call(req);
+      if (!resp.ok()) {
+        CheckFailed() = true;
+        return;
+      }
+      pushed.fetch_add(resp->ingested);
+      // A steady arrival stream, not a saturating firehose: yield the
+      // facade between batches so the measurement prices ingest load,
+      // not a pathological mutex hog.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const double qps_under_ingest = reader_phase(&stop);
+  ingester.join();
+  const double ingest_secs = ingest_wall.Seconds();
+  const server::ServerStats stats = srv.stats();
+  srv.Stop();
+
+  const double retention =
+      qps_baseline > 0 ? qps_under_ingest / qps_baseline : 0.0;
+  const double ingest_rate =
+      ingest_secs > 0 ? static_cast<double>(pushed.load()) / ingest_secs : 0.0;
+  std::printf("  %-38s %10.0f QPS read-only\n", "4 readers", qps_baseline);
+  std::printf("  %-38s %10.0f QPS (+%0.0f records/s ingested)\n",
+              "4 readers + 1 ingester", qps_under_ingest, ingest_rate);
+  std::printf("  %-38s %9.0f%%   ingest reqs: %llu\n", "reader retention",
+              retention * 100.0,
+              static_cast<unsigned long long>(stats.ingest_requests));
+  if (pushed.load() == 0 || stats.ingest_records == 0) {
+    std::printf("  FAILED: the ingest stream never landed a record\n");
+    CheckFailed() = true;
+  }
+  if (retention < 0.40) {
+    std::printf("  FAILED: reader throughput fell to %.0f%% of read-only "
+                "under ingest (floor: 40%%)\n", retention * 100.0);
+    CheckFailed() = true;
+  }
+  RecordMetric("ingest_reader_qps_baseline", qps_baseline);
+  RecordMetric("ingest_reader_qps_under_ingest", qps_under_ingest);
+  RecordMetric("ingest_reader_retention", retention);
+  RecordMetric("ingest_rate_rps", ingest_rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1484,6 +1750,7 @@ int main(int argc, char** argv) {
   if (run('M')) AblationServing(fragments);
   if (run('N')) AblationDurability();
   if (run('O')) AblationPlannerStats(fragments);
+  if (run('P')) AblationStreamingIngest(fragments);
   if (!json_path.empty()) {
     if (!WriteJsonMetrics(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

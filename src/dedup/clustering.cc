@@ -28,6 +28,13 @@ bool UnionFind::Union(size_t a, size_t b) {
   return true;
 }
 
+size_t UnionFind::Add() {
+  parent_.push_back(parent_.size());
+  rank_.push_back(0);
+  ++num_sets_;
+  return parent_.size() - 1;
+}
+
 std::vector<std::vector<size_t>> UnionFind::Groups() {
   std::map<size_t, std::vector<size_t>> by_root;
   for (size_t i = 0; i < parent_.size(); ++i) {

@@ -21,6 +21,10 @@ class UnionFind {
   /// Merges the sets of `a` and `b`; returns true if they were distinct.
   bool Union(size_t a, size_t b);
 
+  /// Appends one fresh singleton element (the streaming consolidator
+  /// grows the forest one record at a time); returns its index.
+  size_t Add();
+
   /// True when `a` and `b` share a set.
   bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
 

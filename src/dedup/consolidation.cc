@@ -101,30 +101,40 @@ CompositeEntity MergeCluster(const std::vector<DedupRecord>& records,
   return out;
 }
 
-Result<std::vector<CompositeEntity>> Consolidate(
-    const std::vector<DedupRecord>& records, const ConsolidationOptions& opts,
-    ConsolidationStats* stats) {
-  if (opts.classifier != nullptr && opts.feature_dict == nullptr) {
+Status ScoreCandidatePairs(
+    const std::vector<DedupRecord>& records,
+    const std::vector<std::pair<size_t, size_t>>& candidates,
+    const ConsolidationOptions& opts, ThreadPool* pool,
+    std::vector<std::pair<size_t, size_t>>* matches) {
+  if (opts.fs_scorer == nullptr && opts.classifier != nullptr &&
+      opts.feature_dict == nullptr) {
     return Status::InvalidArgument(
         "consolidation with a classifier requires the feature dictionary "
         "it was trained with");
   }
-  // One pool for the whole run (the caller's when provided);
-  // num_threads == 1 without a caller pool stays fully serial.
-  ThreadPool* pool = opts.pool;
-  std::unique_ptr<ThreadPool> owned_pool;
-  if (pool == nullptr && opts.num_threads != 1) {
-    const int resolved = ResolveNumThreads(opts.num_threads);
-    if (resolved > 1) {
-      owned_pool = std::make_unique<ThreadPool>(resolved);
-      pool = owned_pool.get();
-    }
+  if (opts.fs_scorer != nullptr && !opts.fs_scorer->fitted()) {
+    return Status::InvalidArgument(
+        "consolidation with a Fellegi-Sunter scorer requires a fitted one");
   }
   const int num_threads = pool != nullptr ? pool->num_threads() : 1;
 
-  BlockingStats bstats;
-  auto candidates =
-      GenerateCandidatePairs(records, opts.blocking, &bstats, pool);
+  if (opts.fs_scorer != nullptr) {
+    // Decision-theoretic path: materialize the signals once, batch-
+    // classify on the pool, keep the kMatch region. Both helpers are
+    // index-aligned and thread-count-invariant.
+    std::vector<PairSignals> signals;
+    DT_RETURN_NOT_OK(
+        ComputeAllPairSignals(records, candidates, pool, &signals));
+    std::vector<LinkageDecision> decisions =
+        opts.fs_scorer->DecideAll(signals, pool);
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (signals[k].same_type == 0) continue;
+      if (decisions[k] == LinkageDecision::kMatch) {
+        matches->push_back(candidates[k]);
+      }
+    }
+    return Status::OK();
+  }
 
   // Compute signals and score candidates in contiguous chunks; each
   // chunk appends to its own slot and slots concatenate in chunk
@@ -151,7 +161,6 @@ Result<std::vector<CompositeEntity>> Consolidate(
       if (score >= opts.match_threshold) out->push_back(candidates[k]);
     }
   };
-  std::vector<std::pair<size_t, size_t>> matches;
   if (pool != nullptr) {
     const size_t num_chunks = static_cast<size_t>(num_threads) * 4;
     std::vector<std::vector<std::pair<size_t, size_t>>> chunk_matches(
@@ -163,11 +172,36 @@ Result<std::vector<CompositeEntity>> Consolidate(
           return Status::OK();
         }));
     for (const auto& cm : chunk_matches) {
-      matches.insert(matches.end(), cm.begin(), cm.end());
+      matches->insert(matches->end(), cm.begin(), cm.end());
     }
   } else {
-    score_range(0, candidates.size(), &matches);
+    score_range(0, candidates.size(), matches);
   }
+  return Status::OK();
+}
+
+Result<std::vector<CompositeEntity>> Consolidate(
+    const std::vector<DedupRecord>& records, const ConsolidationOptions& opts,
+    ConsolidationStats* stats) {
+  // One pool for the whole run (the caller's when provided);
+  // num_threads == 1 without a caller pool stays fully serial.
+  ThreadPool* pool = opts.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && opts.num_threads != 1) {
+    const int resolved = ResolveNumThreads(opts.num_threads);
+    if (resolved > 1) {
+      owned_pool = std::make_unique<ThreadPool>(resolved);
+      pool = owned_pool.get();
+    }
+  }
+
+  BlockingStats bstats;
+  auto candidates =
+      GenerateCandidatePairs(records, opts.blocking, &bstats, pool);
+
+  std::vector<std::pair<size_t, size_t>> matches;
+  DT_RETURN_NOT_OK(
+      ScoreCandidatePairs(records, candidates, opts, pool, &matches));
 
   auto groups = ClusterPairs(records.size(), matches);
   // Cluster merges are independent; group order (and with it

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "dedup/blocking.h"
 #include "dedup/clustering.h"
+#include "dedup/fellegi_sunter.h"
 #include "dedup/pair_features.h"
 #include "dedup/record.h"
 #include "ml/classifier.h"
@@ -46,6 +47,11 @@ struct ConsolidationOptions {
   /// Dictionary the classifier was trained with (required with
   /// classifier; inference-time features use add=false).
   ml::FeatureDictionary* feature_dict = nullptr;
+  /// When set (must be fitted), the Fellegi-Sunter scorer decides
+  /// pairs instead of the classifier / rule blend: only kMatch
+  /// decisions merge (kPossibleMatch is clerical-review territory,
+  /// never an automatic merge). Takes precedence over `classifier`.
+  const FellegiSunterScorer* fs_scorer = nullptr;
   /// Threads for candidate generation, pair scoring and cluster
   /// merging: 1 = serial, <= 0 = all hardware threads. The clusters
   /// produced are byte-identical for every value.
@@ -74,6 +80,19 @@ struct ConsolidationStats {
 Result<std::vector<CompositeEntity>> Consolidate(
     const std::vector<DedupRecord>& records, const ConsolidationOptions& opts,
     ConsolidationStats* stats = nullptr);
+
+/// \brief Scores `candidates` (i < j index pairs into `records`) with
+/// the configured decision procedure — Fellegi-Sunter scorer, ML
+/// classifier or the rule blend, in that precedence — and appends the
+/// matching pairs to `matches` in candidate order, byte-identical for
+/// any `pool`. This is the one scoring path shared by batch
+/// `Consolidate` and the streaming consolidator, so incremental ingest
+/// can never drift from the batch decision boundary.
+Status ScoreCandidatePairs(
+    const std::vector<DedupRecord>& records,
+    const std::vector<std::pair<size_t, size_t>>& candidates,
+    const ConsolidationOptions& opts, ThreadPool* pool,
+    std::vector<std::pair<size_t, size_t>>* matches);
 
 /// \brief Merges one cluster of records into a composite entity using
 /// `policy` (exposed for tests and for the query layer's on-the-fly

@@ -2,12 +2,141 @@
 
 namespace dt::dedup {
 
+using storage::DocValue;
+
 const std::string& DedupRecord::DisplayName() const {
   static const std::string kEmpty;
   auto it = fields.find("name");
   if (it != fields.end()) return it->second;
   if (!fields.empty()) return fields.begin()->second;
   return kEmpty;
+}
+
+namespace {
+
+Status ReadStr(const DocValue& obj, const char* key, std::string* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_string()) {
+    return Status::InvalidArgument(std::string(key) + " must be a string");
+  }
+  *dst = v->string_value();
+  return Status::OK();
+}
+
+Status ReadInt(const DocValue& obj, const char* key, int64_t* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_int()) {
+    return Status::InvalidArgument(std::string(key) + " must be an int");
+  }
+  *dst = v->int_value();
+  return Status::OK();
+}
+
+Status ReadFields(const DocValue& obj, const char* key,
+                  std::map<std::string, std::string>* dst) {
+  const DocValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_object()) {
+    return Status::InvalidArgument(std::string(key) + " must be an object");
+  }
+  for (const auto& [field, value] : v->fields()) {
+    if (!value.is_string()) {
+      return Status::InvalidArgument(std::string(key) +
+                                     " values must be strings");
+    }
+    (*dst)[field] = value.string_value();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DocValue DedupRecordToDoc(const DedupRecord& record) {
+  DocValue out = DocValue::Object();
+  out.Add("rid", DocValue::Int(record.id));
+  out.Add("entity_type", DocValue::Str(record.entity_type));
+  DocValue fields = DocValue::Object();
+  // std::map iterates in sorted key order: deterministic encoding.
+  for (const auto& [field, value] : record.fields) {
+    fields.Add(field, DocValue::Str(value));
+  }
+  out.Add("fields", std::move(fields));
+  out.Add("source_id", DocValue::Str(record.source_id));
+  out.Add("trust_priority", DocValue::Int(record.trust_priority));
+  out.Add("ingest_seq", DocValue::Int(record.ingest_seq));
+  return out;
+}
+
+Result<DedupRecord> DedupRecordFromDoc(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("DedupRecord wants an object");
+  }
+  DedupRecord out;
+  DT_RETURN_NOT_OK(ReadInt(v, "rid", &out.id));
+  DT_RETURN_NOT_OK(ReadStr(v, "entity_type", &out.entity_type));
+  DT_RETURN_NOT_OK(ReadFields(v, "fields", &out.fields));
+  DT_RETURN_NOT_OK(ReadStr(v, "source_id", &out.source_id));
+  int64_t trust = out.trust_priority;
+  DT_RETURN_NOT_OK(ReadInt(v, "trust_priority", &trust));
+  out.trust_priority = static_cast<int>(trust);
+  DT_RETURN_NOT_OK(ReadInt(v, "ingest_seq", &out.ingest_seq));
+  return out;
+}
+
+DocValue CompositeEntityToDoc(const CompositeEntity& entity) {
+  DocValue out = DocValue::Object();
+  out.Add("cluster_id", DocValue::Int(entity.cluster_id));
+  out.Add("entity_type", DocValue::Str(entity.entity_type));
+  DocValue fields = DocValue::Object();
+  for (const auto& [field, value] : entity.fields) {
+    fields.Add(field, DocValue::Str(value));
+  }
+  out.Add("fields", std::move(fields));
+  DocValue members = DocValue::Array();
+  for (int64_t id : entity.member_record_ids) members.Push(DocValue::Int(id));
+  out.Add("member_record_ids", std::move(members));
+  DocValue sources = DocValue::Array();
+  for (const std::string& s : entity.contributing_sources) {
+    sources.Push(DocValue::Str(s));
+  }
+  out.Add("contributing_sources", std::move(sources));
+  return out;
+}
+
+Result<CompositeEntity> CompositeEntityFromDoc(const DocValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("CompositeEntity wants an object");
+  }
+  CompositeEntity out;
+  DT_RETURN_NOT_OK(ReadInt(v, "cluster_id", &out.cluster_id));
+  DT_RETURN_NOT_OK(ReadStr(v, "entity_type", &out.entity_type));
+  DT_RETURN_NOT_OK(ReadFields(v, "fields", &out.fields));
+  if (const DocValue* members = v.Find("member_record_ids")) {
+    if (!members->is_array()) {
+      return Status::InvalidArgument("member_record_ids must be an array");
+    }
+    for (const DocValue& id : members->array_items()) {
+      if (!id.is_int()) {
+        return Status::InvalidArgument("member_record_ids must hold ints");
+      }
+      out.member_record_ids.push_back(id.int_value());
+    }
+  }
+  if (const DocValue* sources = v.Find("contributing_sources")) {
+    if (!sources->is_array()) {
+      return Status::InvalidArgument("contributing_sources must be an array");
+    }
+    for (const DocValue& s : sources->array_items()) {
+      if (!s.is_string()) {
+        return Status::InvalidArgument("contributing_sources must hold "
+                                       "strings");
+      }
+      out.contributing_sources.push_back(s.string_value());
+    }
+  }
+  return out;
 }
 
 }  // namespace dt::dedup

@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "storage/docvalue.h"
+
 namespace dt::dedup {
 
 /// \brief One record headed into entity consolidation.
@@ -41,5 +44,21 @@ struct CompositeEntity {
   std::vector<int64_t> member_record_ids;
   std::vector<std::string> contributing_sources;
 };
+
+// ---- DocValue codecs (the streaming-ingest persistence format) ------
+// Canonical fixed-order object encodings, so encode -> decode ->
+// encode is byte-identical under the storage codec. The record codec
+// is what the facade's ingest path appends to the dt.dedup_record log
+// and what `QueryRequest`'s ingest op carries over the wire.
+
+storage::DocValue DedupRecordToDoc(const DedupRecord& record);
+
+/// Strict decode: kInvalidArgument on a non-object or any mistyped
+/// field; absent fields keep their defaults.
+Result<DedupRecord> DedupRecordFromDoc(const storage::DocValue& v);
+
+storage::DocValue CompositeEntityToDoc(const CompositeEntity& entity);
+
+Result<CompositeEntity> CompositeEntityFromDoc(const storage::DocValue& v);
 
 }  // namespace dt::dedup

@@ -82,6 +82,15 @@ void DataTamer::ReplaceStore(storage::DocumentStore store) {
   fragments_indexed_ = 0;
   fragment_index_epoch_ = 0;
   fragment_index_next_id_ = 0;
+  // Streaming-ingest state is derived from the store too: drop it and
+  // let the next ingest/search re-seed from the replaced record log.
+  record_coll_ = nullptr;
+  fused_coll_ = nullptr;
+  streaming_.reset();
+  cluster_doc_.clear();
+  ingest_stats_ = IngestStats{};
+  fused_index_ = query::InvertedIndex("text");
+  fused_index_epoch_ = 0;
 }
 
 Status DataTamer::Checkpoint() {
@@ -292,6 +301,16 @@ storage::SnapshotOptions DataTamer::ResolveSnapshotOptions() const {
   return opts;
 }
 
+dedup::ConsolidationOptions DataTamer::ResolveConsolidationOptions() const {
+  dedup::ConsolidationOptions opts = opts_.consolidation_options;
+  // Batch and streaming consolidation ride the facade's one cached
+  // pool instead of spawning a private pool per call.
+  if (opts.pool == nullptr && PoolServes(ResolveNumThreads(opts.num_threads))) {
+    opts.pool = WorkerPool();
+  }
+  return opts;
+}
+
 query::FindOptions DataTamer::ResolveFindOptions(
     const std::string& collection, query::FindOptions opts) const {
   if (opts_.num_threads != 1 && opts.num_threads == 1) {
@@ -340,6 +359,13 @@ Result<query::QueryResponse> DataTamer::Execute(
 
 Result<query::QueryResponse> DataTamer::ExecuteInternal(
     const query::QueryRequest& req, query::FindOptions opts) const {
+  if (req.op == query::QueryOp::kIngest) {
+    // Reads never mutate: the const surface rejects the mutating op
+    // instead of silently executing it (read-only servers rely on
+    // this).
+    return Status::InvalidArgument(
+        "ingest is a mutating op; route it through ExecuteMutable");
+  }
   // The request's serializable knobs overlay the base options; the
   // process-local members (pool, text index, stats out-param) stay
   // whatever the wrapper supplied and resolve below exactly as the
@@ -413,6 +439,8 @@ Result<query::QueryResponse> DataTamer::ExecuteInternal(
                                        pred, opts);
       break;
     }
+    case query::QueryOp::kIngest:
+      break;  // rejected above
   }
   resp.stats = exec_stats;
   if (caller_stats != nullptr) *caller_stats = exec_stats;
@@ -667,7 +695,235 @@ std::vector<query::SearchHit> DataTamer::SearchFragments(
 Result<std::vector<dedup::CompositeEntity>> DataTamer::ConsolidateAll(
     const std::string& entity_type, dedup::ConsolidationStats* stats) const {
   auto records = CollectRecords(entity_type, "");
-  return dedup::Consolidate(records, opts_.consolidation_options, stats);
+  return dedup::Consolidate(records, ResolveConsolidationOptions(), stats);
+}
+
+// ---- Continuous ingest (streaming consolidation) -----------------------
+
+namespace {
+
+/// Deterministic searchable rendering of a composite entity: its field
+/// values in field-name order (includes the name). What dt.fused's
+/// "text" carries and the entity index tokenizes.
+std::string FusedText(const dedup::CompositeEntity& entity) {
+  std::string text;
+  for (const auto& [field, value] : entity.fields) {
+    if (value.empty()) continue;
+    if (!text.empty()) text += ' ';
+    text += value;
+  }
+  return text;
+}
+
+}  // namespace
+
+DocValue DataTamer::FusedEntityDoc(size_t cluster_key) const {
+  dedup::CompositeEntity entity = streaming_->EntityOf(cluster_key);
+  DocValue doc = dedup::CompositeEntityToDoc(entity);
+  doc.Add("text", DocValue::Str(FusedText(entity)));
+  return doc;
+}
+
+Status DataTamer::EnsureStreaming() {
+  if (streaming_ != nullptr) return Status::OK();
+  const bool had_records = store_.GetCollection("dedup_record").ok();
+  const bool had_fused = store_.GetCollection("fused").ok();
+  record_coll_ =
+      store_.GetOrCreateCollection("dedup_record", opts_.collection_options);
+  fused_coll_ = store_.GetOrCreateCollection("fused", opts_.collection_options);
+  if (wal_manager_ != nullptr && (!had_records || !had_fused)) {
+    // Collections created after Attach are invisible to the WAL
+    // observers; re-attaching enrolls the new lineages (a fresh
+    // collection costs one create-collection record). Safe here: the
+    // facade is documented externally serialized.
+    DT_RETURN_NOT_OK(wal_manager_->Attach(&store_));
+  }
+  streaming_ = std::make_unique<dedup::StreamingConsolidator>(
+      ResolveConsolidationOptions());
+  // Rebuild the resident state from the persisted record log (ascending
+  // id = original arrival order), the durable source of truth.
+  std::vector<dedup::DedupRecord> persisted;
+  persisted.reserve(static_cast<size_t>(record_coll_->count()));
+  Status decode = Status::OK();
+  record_coll_->ForEach([&](storage::DocId, const DocValue& doc) {
+    if (!decode.ok()) return;
+    Result<dedup::DedupRecord> rec = dedup::DedupRecordFromDoc(doc);
+    if (!rec.ok()) {
+      decode = rec.status();
+      return;
+    }
+    ingest_seq_ = std::max(ingest_seq_, rec->ingest_seq);
+    persisted.push_back(std::move(*rec));
+  });
+  DT_RETURN_NOT_OK(decode);
+  if (!persisted.empty()) {
+    DT_RETURN_NOT_OK(streaming_->Seed(std::move(persisted)));
+    ingest_stats_.seeded_records =
+        static_cast<int64_t>(streaming_->records().size());
+  }
+  return ReconcileFusedDocs();
+}
+
+Status DataTamer::ReconcileFusedDocs() {
+  // Expected fused state, derived from the record log.
+  std::map<size_t, DocValue> expected;
+  for (size_t key : streaming_->ClusterKeys()) {
+    expected.emplace(key, FusedEntityDoc(key));
+  }
+  // Walk the persisted fused docs: adopt matching ones, queue
+  // divergent ones for repair and orphans for removal. A crash can
+  // land between the record append and the fused upsert; replay then
+  // reproduces only the logged prefix, and the log wins.
+  cluster_doc_.clear();
+  std::vector<storage::DocId> drop;
+  std::vector<std::pair<storage::DocId, size_t>> repair;
+  fused_coll_->ForEach([&](storage::DocId id, const DocValue& doc) {
+    const DocValue* key_field = doc.Find("cluster_id");
+    if (key_field == nullptr || !key_field->is_int() ||
+        key_field->int_value() < 0) {
+      drop.push_back(id);
+      return;
+    }
+    const size_t key = static_cast<size_t>(key_field->int_value());
+    auto it = expected.find(key);
+    if (it == expected.end() || cluster_doc_.count(key) > 0) {
+      drop.push_back(id);
+      return;
+    }
+    cluster_doc_[key] = id;
+    if (!doc.Equals(it->second)) repair.emplace_back(id, key);
+  });
+  for (storage::DocId id : drop) {
+    DT_RETURN_NOT_OK(fused_coll_->Remove(id));
+  }
+  for (const auto& [id, key] : repair) {
+    DT_RETURN_NOT_OK(fused_coll_->Update(id, expected.at(key)));
+  }
+  for (const auto& [key, doc] : expected) {
+    if (cluster_doc_.count(key) > 0) continue;
+    cluster_doc_[key] = fused_coll_->Insert(doc);
+  }
+  // Index over the reconciled docs.
+  fused_index_ = query::InvertedIndex("text");
+  (void)fused_index_.Build(*fused_coll_);
+  fused_index_epoch_ = fused_coll_->mutation_epoch();
+  return Status::OK();
+}
+
+Status DataTamer::ApplyClusterDelta(
+    const dedup::StreamingConsolidator::IngestDelta& delta) {
+  for (size_t key : delta.removed) {
+    auto it = cluster_doc_.find(key);
+    // Keys the engine merged away within a single ingest (e.g. the new
+    // record's transient singleton) never had a doc; skip them.
+    if (it == cluster_doc_.end()) continue;
+    if (const DocValue* old = fused_coll_->Get(it->second)) {
+      if (const DocValue* text = old->Find("text")) {
+        if (text->is_string()) {
+          fused_index_.Remove(it->second, text->string_value());
+        }
+      }
+    }
+    DT_RETURN_NOT_OK(fused_coll_->Remove(it->second));
+    cluster_doc_.erase(it);
+    ++ingest_stats_.clusters_removed;
+  }
+  for (size_t key : delta.upserted) {
+    DocValue doc = FusedEntityDoc(key);
+    const DocValue* new_text = doc.Find("text");
+    auto it = cluster_doc_.find(key);
+    if (it != cluster_doc_.end()) {
+      if (const DocValue* old = fused_coll_->Get(it->second)) {
+        if (const DocValue* text = old->Find("text")) {
+          if (text->is_string()) {
+            fused_index_.Remove(it->second, text->string_value());
+          }
+        }
+      }
+      if (new_text != nullptr && new_text->is_string()) {
+        fused_index_.Add(it->second, new_text->string_value());
+      }
+      DT_RETURN_NOT_OK(fused_coll_->Update(it->second, std::move(doc)));
+    } else {
+      // Index after Insert so the posting carries the assigned id.
+      std::string text_copy;
+      if (new_text != nullptr && new_text->is_string()) {
+        text_copy = new_text->string_value();
+      }
+      storage::DocId id = fused_coll_->Insert(std::move(doc));
+      cluster_doc_[key] = id;
+      fused_index_.Add(id, text_copy);
+    }
+    ++ingest_stats_.clusters_upserted;
+  }
+  fused_index_epoch_ = fused_coll_->mutation_epoch();
+  return Status::OK();
+}
+
+Result<IngestResult> DataTamer::IngestRecords(
+    std::vector<dedup::DedupRecord> records) {
+  DT_RETURN_NOT_OK(EnsureStreaming());
+  IngestResult out;
+  for (dedup::DedupRecord& rec : records) {
+    if (rec.ingest_seq == 0) rec.ingest_seq = ++ingest_seq_;
+    // The record log append commits first: it is the durable source of
+    // truth the fused upsert below (and any crash recovery) derives
+    // from.
+    record_coll_->Insert(dedup::DedupRecordToDoc(rec));
+    DT_ASSIGN_OR_RETURN(dedup::StreamingConsolidator::IngestDelta delta,
+                        streaming_->Ingest(std::move(rec)));
+    DT_RETURN_NOT_OK(ApplyClusterDelta(delta));
+    ++out.ingested;
+    out.clusters_upserted += static_cast<int64_t>(delta.upserted.size());
+    out.clusters_removed += static_cast<int64_t>(delta.removed.size());
+  }
+  ingest_stats_.records_ingested += out.ingested;
+  const dedup::StreamingStats& ss = streaming_->stats();
+  ingest_stats_.pairs_scored = ss.pairs_scored;
+  ingest_stats_.candidates_generated = ss.candidates_generated;
+  ingest_stats_.retracted_matches = ss.retracted_matches;
+  ingest_stats_.rebuilds = ss.rebuilds;
+  ingest_stats_.resident_clusters =
+      static_cast<int64_t>(streaming_->num_clusters());
+  return out;
+}
+
+Result<IngestResult> DataTamer::IngestRecord(dedup::DedupRecord record) {
+  std::vector<dedup::DedupRecord> one;
+  one.push_back(std::move(record));
+  return IngestRecords(std::move(one));
+}
+
+Result<query::QueryResponse> DataTamer::ExecuteMutable(
+    const query::QueryRequest& req) {
+  if (req.op != query::QueryOp::kIngest) return Execute(req);
+  DT_ASSIGN_OR_RETURN(IngestResult r, IngestRecords(req.ingest_records));
+  query::QueryResponse resp;
+  resp.ingested = r.ingested;
+  resp.ingest_clusters_upserted = r.clusters_upserted;
+  resp.ingest_clusters_removed = r.clusters_removed;
+  return resp;
+}
+
+std::vector<query::SearchHit> DataTamer::SearchEntities(
+    std::string_view keywords, int k) const {
+  Result<const storage::Collection*> coll = store_.GetCollection("fused");
+  if (!coll.ok()) return {};  // nothing ingested yet
+  // The ingest path maintains the index eagerly; a mismatched epoch
+  // means dt.fused mutated out of band (snapshot surgery, direct
+  // writes), so fall back to a rebuild.
+  const uint64_t epoch = (*coll)->mutation_epoch();
+  if (epoch != fused_index_epoch_) {
+    fused_index_ = query::InvertedIndex("text");
+    (void)fused_index_.Build(**coll);
+    fused_index_epoch_ = epoch;
+  }
+  return fused_index_.Search(keywords, k);
+}
+
+Result<std::vector<dedup::CompositeEntity>> DataTamer::IngestedEntities() {
+  DT_RETURN_NOT_OK(EnsureStreaming());
+  return streaming_->Entities();
 }
 
 Result<Table> DataTamer::QueryEntity(const std::string& entity_type,

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "dedup/consolidation.h"
+#include "dedup/streaming.h"
 #include "ingest/source_registry.h"
 #include "match/global_schema.h"
 #include "match/synonyms.h"
@@ -77,6 +78,32 @@ struct DataTamerOptions {
 /// loop by the caller (the facade stays oracle-free).
 using ReviewResolver = std::function<int(
     const match::AttributeMatchResult&, const match::GlobalSchema&)>;
+
+/// Counters of the continuous-ingest path (streaming consolidation).
+/// The engine-level totals mirror `dedup::StreamingStats` (including a
+/// recovery `Seed`'s bulk scoring); the cluster upsert/remove counts
+/// are what the facade pushed through the fused collection's normal
+/// mutation path (WAL, snapshots and index stats ride along).
+struct IngestStats {
+  int64_t records_ingested = 0;
+  int64_t pairs_scored = 0;
+  int64_t candidates_generated = 0;
+  int64_t clusters_upserted = 0;
+  int64_t clusters_removed = 0;
+  int64_t retracted_matches = 0;
+  int64_t rebuilds = 0;
+  int64_t resident_clusters = 0;
+  /// Records restored into the resident state from the persisted
+  /// dt.dedup_record log (recovery / first use after a snapshot load).
+  int64_t seeded_records = 0;
+};
+
+/// What one `IngestRecord(s)` call changed.
+struct IngestResult {
+  int64_t ingested = 0;
+  int64_t clusters_upserted = 0;
+  int64_t clusters_removed = 0;
+};
 
 /// Running counts of what the pipeline has processed.
 struct PipelineStats {
@@ -152,6 +179,48 @@ class DataTamer {
       const std::string& source_name, std::string_view json_lines,
       const ReviewResolver& resolver = nullptr);
 
+  // ---- Continuous ingest (streaming consolidation) ----
+
+  /// \brief Absorbs one dedup record into the live entity set at
+  /// O(blocking-candidate-neighborhood) cost: the record is appended
+  /// to the persistent dt.dedup_record log (the durable source of
+  /// truth), scored only against its blocking neighbors, and exactly
+  /// the affected composite entities are re-merged and upserted into
+  /// dt.fused through the normal mutation path — WAL, snapshots,
+  /// page-token staleness and index stats all ride along. The fused
+  /// entity set stays byte-identical (up to dense cluster-id
+  /// renumbering) to a from-scratch batch `Consolidate` over the full
+  /// record log. A zero `ingest_seq` is assigned from the facade's
+  /// monotonic counter.
+  Result<IngestResult> IngestRecord(dedup::DedupRecord record);
+
+  /// Ingests a batch in order (same semantics per record). On mid-
+  /// batch failure the records already applied stay applied — the
+  /// persisted log is the source of truth and reopening reconciles
+  /// dt.fused against it.
+  Result<IngestResult> IngestRecords(std::vector<dedup::DedupRecord> records);
+
+  /// \brief `Execute` plus the mutating ops: routes kIngest through
+  /// `IngestRecords` and delegates every read op to `Execute`. This is
+  /// what a read-write `DtServer` serves.
+  Result<query::QueryResponse> ExecuteMutable(const query::QueryRequest& req);
+
+  /// \brief Keyword search over the *fused* composite entities
+  /// maintained by streaming ingest (conjunctive TF-IDF like
+  /// `SearchFragments`, over each entity's synthesized text). The
+  /// entity-side index is maintained as add/remove deltas by the
+  /// ingest path itself — no rebuild per query.
+  std::vector<query::SearchHit> SearchEntities(std::string_view keywords,
+                                               int k = 10) const;
+
+  /// \brief The full entity set of the streaming consolidator, dense
+  /// cluster ids in batch order — byte-identical to
+  /// `Consolidate` over the persisted record log. (Non-const: first
+  /// use after recovery seeds the resident state from the log.)
+  Result<std::vector<dedup::CompositeEntity>> IngestedEntities();
+
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
+
   // ---- Fusion queries (the demo of §V) ----
 
   /// \brief The unified query entry point: dispatches a serializable
@@ -224,7 +293,8 @@ class DataTamer {
 
   /// \brief Consolidates all structured rows plus text entities of
   /// `entity_type` into composite entities (the full entity-
-  /// consolidation pass, used by benches and examples).
+  /// consolidation pass, used by benches and examples). Parallel runs
+  /// ride the facade's one shared worker pool, not a per-call pool.
   Result<std::vector<dedup::CompositeEntity>> ConsolidateAll(
       const std::string& entity_type,
       dedup::ConsolidationStats* stats = nullptr) const;
@@ -306,6 +376,35 @@ class DataTamer {
   /// `options().snapshot_options` with the cached pool attached.
   storage::SnapshotOptions ResolveSnapshotOptions() const;
 
+  /// `options().consolidation_options` with the cached pool attached
+  /// (the batch and streaming engines both run on the facade's one
+  /// shared pool instead of constructing a pool per call).
+  dedup::ConsolidationOptions ResolveConsolidationOptions() const;
+
+  // ---- streaming-ingest internals ----
+
+  /// Lazily creates the dt.dedup_record / dt.fused collections (re-
+  /// attaching the WAL when durable so the new lineages are logged),
+  /// seeds the resident consolidator from the persisted record log,
+  /// and reconciles dt.fused against it (heals a crash that landed
+  /// between the record append and the fused upsert).
+  Status EnsureStreaming();
+
+  /// Applies one ingest delta to dt.fused: removed cluster keys drop
+  /// their docs, upserted keys re-merge and insert/update, and the
+  /// entity text index tracks every mutation as add/remove deltas.
+  Status ApplyClusterDelta(
+      const dedup::StreamingConsolidator::IngestDelta& delta);
+
+  /// Rebuilds the cluster-key -> DocId map and the entity text index
+  /// from the consolidator + the persisted fused docs, repairing any
+  /// divergence (the record log wins).
+  Status ReconcileFusedDocs();
+
+  /// The fused doc for one cluster: the composite entity encoding plus
+  /// the synthesized "text" field the entity index serves.
+  storage::DocValue FusedEntityDoc(size_t cluster_key) const;
+
   /// Installs `store` as the facade's document store (recovery and
   /// snapshot-load share this): recreates missing standard
   /// collections, re-resolves the cached pointers and resets every
@@ -342,6 +441,21 @@ class DataTamer {
   std::unique_ptr<textparse::DomainParser> parser_;
   PipelineStats stats_;
   int64_t ingest_seq_ = 0;
+  // ---- streaming-ingest state (see EnsureStreaming) ----
+  // The consolidator's resident corpus mirrors the persisted
+  // dt.dedup_record log in ascending-id order; cluster_doc_ maps each
+  // stable cluster key to its dt.fused doc. All rebuilt lazily from
+  // the store after recovery or a snapshot load.
+  storage::Collection* record_coll_ = nullptr;
+  storage::Collection* fused_coll_ = nullptr;
+  std::unique_ptr<dedup::StreamingConsolidator> streaming_;
+  std::map<size_t, storage::DocId> cluster_doc_;
+  IngestStats ingest_stats_;
+  // Entity-side text index: maintained eagerly as add/remove deltas by
+  // ApplyClusterDelta; the epoch detects out-of-band fused mutations
+  // (then SearchEntities falls back to a rebuild).
+  mutable query::InvertedIndex fused_index_{"text"};
+  mutable uint64_t fused_index_epoch_ = 0;
   // Lazily built full-text index over dt.instance (see SearchFragments
   // and RefreshFragmentIndex): the doc count and mutation epoch it
   // reflects plus the id watermark separating indexed fragments from

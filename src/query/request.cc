@@ -18,6 +18,8 @@ const char* QueryOpName(QueryOp op) {
       return "top_k";
     case QueryOp::kTopDiscussed:
       return "top_discussed";
+    case QueryOp::kIngest:
+      return "ingest";
   }
   return "?";
 }
@@ -25,7 +27,7 @@ const char* QueryOpName(QueryOp op) {
 Result<QueryOp> QueryOpFromName(const std::string& name) {
   for (QueryOp op :
        {QueryOp::kFind, QueryOp::kFindPage, QueryOp::kExplain, QueryOp::kCount,
-        QueryOp::kTopK, QueryOp::kTopDiscussed}) {
+        QueryOp::kTopK, QueryOp::kTopDiscussed, QueryOp::kIngest}) {
     if (name == QueryOpName(op)) return op;
   }
   return Status::InvalidArgument("unknown query op: " + name);
@@ -87,6 +89,11 @@ DocValue QueryRequest::ToDocValue() const {
   out.Add("k", DocValue::Int(k));
   out.Add("entity_type", DocValue::Str(entity_type));
   out.Add("award_winning_only", DocValue::Bool(award_winning_only));
+  DocValue records = DocValue::Array();
+  for (const dedup::DedupRecord& rec : ingest_records) {
+    records.Push(dedup::DedupRecordToDoc(rec));
+  }
+  out.Add("ingest_records", std::move(records));
   return out;
 }
 
@@ -116,6 +123,17 @@ Result<QueryRequest> QueryRequest::FromDocValue(const DocValue& v) {
   DT_RETURN_NOT_OK(ReadInt(v, "k", &out.k));
   DT_RETURN_NOT_OK(ReadStr(v, "entity_type", &out.entity_type));
   DT_RETURN_NOT_OK(ReadBool(v, "award_winning_only", &out.award_winning_only));
+  if (const DocValue* records = v.Find("ingest_records")) {
+    if (!records->is_array()) {
+      return Status::InvalidArgument("ingest_records must be an array");
+    }
+    out.ingest_records.reserve(records->array_items().size());
+    for (const DocValue& rec : records->array_items()) {
+      DT_ASSIGN_OR_RETURN(dedup::DedupRecord decoded,
+                          dedup::DedupRecordFromDoc(rec));
+      out.ingest_records.push_back(std::move(decoded));
+    }
+  }
   return out;
 }
 
@@ -138,6 +156,9 @@ DocValue QueryResponse::ToDocValue() const {
   out.Add("explain", DocValue::Str(explain));
   out.Add("plan", plan);
   out.Add("stats", stats.ToDocValue());
+  out.Add("ingested", DocValue::Int(ingested));
+  out.Add("ingest_upserted", DocValue::Int(ingest_clusters_upserted));
+  out.Add("ingest_removed", DocValue::Int(ingest_clusters_removed));
   return out;
 }
 
@@ -179,6 +200,11 @@ Result<QueryResponse> QueryResponse::FromDocValue(const DocValue& v) {
   if (const DocValue* stats = v.Find("stats")) {
     DT_ASSIGN_OR_RETURN(out.stats, ExecStats::FromDocValue(*stats));
   }
+  DT_RETURN_NOT_OK(ReadInt(v, "ingested", &out.ingested));
+  DT_RETURN_NOT_OK(ReadInt(v, "ingest_upserted",
+                           &out.ingest_clusters_upserted));
+  DT_RETURN_NOT_OK(ReadInt(v, "ingest_removed",
+                           &out.ingest_clusters_removed));
   return out;
 }
 

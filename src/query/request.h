@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dedup/record.h"
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/query.h"
@@ -34,6 +35,7 @@ enum class QueryOp : uint8_t {
   kCount = 3,         ///< group-by-count of `group_path` values
   kTopK = 4,          ///< first `k` groups by descending count
   kTopDiscussed = 5,  ///< the Table IV demo query over dt.entity
+  kIngest = 6,        ///< streaming consolidation: ingest dedup records
 };
 
 /// Stable wire name of an op ("find", "find_page", ...).
@@ -79,6 +81,12 @@ struct QueryRequest {
   std::string entity_type;
   bool award_winning_only = false;
 
+  // ---- streaming ingest (kIngest) ----
+  /// Records to absorb into the streaming consolidator. Executed only
+  /// by `DataTamer::ExecuteMutable` (the const `Execute` rejects the
+  /// op — reads never mutate).
+  std::vector<dedup::DedupRecord> ingest_records;
+
   /// Canonical object encoding: every field, fixed order, so
   /// encode -> decode -> encode is byte-identical under the codec.
   storage::DocValue ToDocValue() const;
@@ -109,6 +117,11 @@ struct QueryResponse {
   /// null for every other op.
   storage::DocValue plan;
   ExecStats stats;
+  /// kIngest: records absorbed and the fused-entity docs the ingest
+  /// upserted/removed through the normal mutation path.
+  int64_t ingested = 0;
+  int64_t ingest_clusters_upserted = 0;
+  int64_t ingest_clusters_removed = 0;
 
   /// Canonical object encoding (fixed field order, see QueryRequest).
   storage::DocValue ToDocValue() const;

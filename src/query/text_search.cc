@@ -17,14 +17,47 @@ void InvertedIndex::Add(storage::DocId id, std::string_view text) {
   for (const auto& t : tokens) ++tf[t];
   for (const auto& [term, freq] : tf) {
     auto& plist = postings_[term];
-    // Postings stay sorted by doc id because ids are assigned
-    // monotonically and Add is called in ingest order; re-adding the
-    // same doc merges frequencies.
-    if (!plist.empty() && plist.back().doc_id == id) {
-      plist.back().term_frequency += freq;
-    } else {
+    // The common case is append in ingest order (monotonic ids), which
+    // the back-check keeps O(1); out-of-order ids (entity upserts
+    // under streaming ingest) insert in position so postings stay
+    // sorted. Re-adding the same doc merges frequencies.
+    if (!plist.empty() && plist.back().doc_id < id) {
       plist.push_back({id, freq});
+      continue;
     }
+    auto it = std::lower_bound(
+        plist.begin(), plist.end(), id,
+        [](const Posting& p, storage::DocId want) { return p.doc_id < want; });
+    if (it != plist.end() && it->doc_id == id) {
+      it->term_frequency += freq;
+    } else {
+      plist.insert(it, {id, freq});
+    }
+  }
+}
+
+void InvertedIndex::Remove(storage::DocId id, std::string_view text) {
+  std::vector<std::string> tokens = WordTokens(text);
+  auto len_it = doc_length_.find(id);
+  if (len_it == doc_length_.end()) return;
+  std::unordered_map<std::string, int32_t> tf;
+  for (const auto& t : tokens) ++tf[t];
+  for (const auto& [term, freq] : tf) {
+    auto pit = postings_.find(term);
+    if (pit == postings_.end()) continue;
+    auto& plist = pit->second;
+    auto it = std::lower_bound(
+        plist.begin(), plist.end(), id,
+        [](const Posting& p, storage::DocId want) { return p.doc_id < want; });
+    if (it == plist.end() || it->doc_id != id) continue;
+    it->term_frequency -= freq;
+    if (it->term_frequency <= 0) plist.erase(it);
+    if (plist.empty()) postings_.erase(pit);
+  }
+  len_it->second -= static_cast<int32_t>(tokens.size());
+  if (len_it->second <= 0) {
+    doc_length_.erase(len_it);
+    --num_docs_;
   }
 }
 

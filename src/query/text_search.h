@@ -34,8 +34,16 @@ class InvertedIndex {
   explicit InvertedIndex(std::string field_path = "text")
       : field_path_(std::move(field_path)) {}
 
-  /// Indexes (or re-indexes) one document's text.
+  /// Indexes (or re-indexes) one document's text. Postings stay
+  /// sorted by doc id for any id order (appends take the O(1) tail
+  /// path; out-of-order ids — entity upserts under streaming ingest —
+  /// insert in position).
   void Add(storage::DocId id, std::string_view text);
+
+  /// Removes one document's contribution, given the exact text it was
+  /// added with (the entity-side append-delta path keeps the old text
+  /// at hand when upserting). Unknown id/text pairs are a no-op.
+  void Remove(storage::DocId id, std::string_view text);
 
   /// Builds the index over an entire collection (documents lacking the
   /// field are skipped). Returns the number of documents indexed.

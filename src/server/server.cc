@@ -60,6 +60,9 @@ using SessionPtr = std::shared_ptr<Session>;
 
 struct DtServer::Impl {
   const fusion::DataTamer* tamer;
+  /// Non-null only for the read-write constructor: the same facade,
+  /// mutably — what kIngest executes through.
+  fusion::DataTamer* mutable_tamer = nullptr;
   ServerOptions opts;
 
   int listen_fd = -1;
@@ -89,6 +92,10 @@ struct DtServer::Impl {
   std::atomic<uint64_t> planner_planning_ns{0};
   std::atomic<uint64_t> planner_entries_counted{0};
   std::atomic<uint64_t> planner_estimate_plans{0};
+  std::atomic<uint64_t> ingest_requests{0};
+  std::atomic<uint64_t> ingest_records{0};
+  std::atomic<uint64_t> ingest_clusters_upserted{0};
+  std::atomic<uint64_t> ingest_clusters_removed{0};
 
   void Wake() {
     char b = 1;
@@ -134,8 +141,22 @@ struct DtServer::Impl {
     out.id = env.id;
     if (running.load()) {
       std::lock_guard<std::mutex> lock(tamer_mu);
-      Result<query::QueryResponse> r = tamer->Execute(env.request);
+      const bool is_ingest = env.request.op == query::QueryOp::kIngest;
+      Result<query::QueryResponse> r =
+          is_ingest && mutable_tamer == nullptr
+              ? Result<query::QueryResponse>(Status::InvalidArgument(
+                    "server is read-only: ingest rejected"))
+              : (is_ingest ? mutable_tamer->ExecuteMutable(env.request)
+                           : tamer->Execute(env.request));
       if (r.ok()) {
+        if (is_ingest) {
+          ingest_requests.fetch_add(1);
+          ingest_records.fetch_add(static_cast<uint64_t>(r->ingested));
+          ingest_clusters_upserted.fetch_add(
+              static_cast<uint64_t>(r->ingest_clusters_upserted));
+          ingest_clusters_removed.fetch_add(
+              static_cast<uint64_t>(r->ingest_clusters_removed));
+        }
         // A request that planned something reports nonzero planning
         // time; ops that never touch the planner (inserts, stats)
         // leave the whole block untouched.
@@ -411,6 +432,12 @@ DtServer::DtServer(const fusion::DataTamer* tamer, ServerOptions opts)
   impl_->opts = std::move(opts);
 }
 
+DtServer::DtServer(fusion::DataTamer* tamer, ServerOptions opts)
+    : DtServer(static_cast<const fusion::DataTamer*>(tamer),
+               std::move(opts)) {
+  impl_->mutable_tamer = tamer;
+}
+
 DtServer::~DtServer() { Stop(); }
 
 Status DtServer::Start() {
@@ -514,6 +541,10 @@ ServerStats DtServer::stats() const {
   out.planner_stats_planning_ns = im.planner_planning_ns.load();
   out.planner_stats_entries_counted = im.planner_entries_counted.load();
   out.planner_stats_estimate_plans = im.planner_estimate_plans.load();
+  out.ingest_requests = im.ingest_requests.load();
+  out.ingest_records = im.ingest_records.load();
+  out.ingest_clusters_upserted = im.ingest_clusters_upserted.load();
+  out.ingest_clusters_removed = im.ingest_clusters_removed.load();
   if (im.tamer != nullptr) out.durability = im.tamer->durability_stats();
   return out;
 }

@@ -97,6 +97,13 @@ struct ServerStats {
   uint64_t planner_stats_planning_ns = 0;
   uint64_t planner_stats_entries_counted = 0;
   uint64_t planner_stats_estimate_plans = 0;
+  /// Streaming-ingest aggregates over executed kIngest requests (only
+  /// a read-write server — constructed over a mutable facade — ever
+  /// counts these; a read-only server rejects the op).
+  uint64_t ingest_requests = 0;
+  uint64_t ingest_records = 0;
+  uint64_t ingest_clusters_upserted = 0;
+  uint64_t ingest_clusters_removed = 0;
   /// The facade's durability counters (`enabled` false when serving
   /// an in-memory facade).
   storage::DurabilityStats durability;
@@ -106,7 +113,16 @@ struct ServerStats {
 /// outlive the server), `Start()`, connect `DtClient`s, `Stop()`.
 class DtServer {
  public:
+  /// Read-only serving: every op except kIngest (which is answered
+  /// kInvalidArgument — reads never mutate).
   explicit DtServer(const fusion::DataTamer* tamer, ServerOptions opts = {});
+
+  /// Read-write serving over a mutable facade: kIngest routes through
+  /// `DataTamer::ExecuteMutable` (still serialized behind the facade
+  /// mutex alongside the read ops, so ingest interleaves with — never
+  /// races — concurrent queries).
+  explicit DtServer(fusion::DataTamer* tamer, ServerOptions opts = {});
+
   ~DtServer();
 
   DtServer(const DtServer&) = delete;

@@ -1,0 +1,205 @@
+/// Ingest-while-serving stress (`ingest` ctest label; runs in the
+/// sanitizer and TSan CI lanes): a read-write server over one mutable
+/// facade takes two concurrent ingest clients pushing record batches
+/// through the wire `kIngest` op while four reader clients page and
+/// aggregate over the same facade. Every response must be well-formed,
+/// the server's ingest counters must account for exactly what was
+/// sent, and the final consolidated state must partition the ingested
+/// records identically to a from-scratch batch consolidation (the
+/// cluster partition is arrival-order independent; byte-level parity
+/// per interleaving is ingest_parity_test's job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/dedup_labels.h"
+#include "datagen/webtext_gen.h"
+#include "dedup/consolidation.h"
+#include "dedup/record.h"
+#include "fusion/data_tamer.h"
+#include "query/predicate.h"
+#include "query/request.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/docvalue.h"
+
+namespace dt::server {
+namespace {
+
+using dedup::DedupRecord;
+using query::QueryOp;
+using query::QueryRequest;
+using storage::DocValue;
+
+constexpr int kIngesters = 2;
+constexpr int kReaders = 4;
+constexpr int kBatchesPerIngester = 25;
+constexpr int kRecordsPerBatch = 5;
+
+std::vector<DedupRecord> StressRecords() {
+  datagen::DedupLabelOptions opts;
+  opts.num_pairs = kIngesters * kBatchesPerIngester * kRecordsPerBatch / 2;
+  opts.seed = 4242;
+  auto pairs =
+      datagen::GenerateLabeledPairs(textparse::EntityType::kPerson, opts);
+  std::vector<DedupRecord> records;
+  for (const auto& p : pairs) {
+    records.push_back(p.a);
+    records.push_back(p.b);
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].id = static_cast<int64_t>(i + 1);
+    records[i].ingest_seq = 0;  // the facade stamps arrival order
+  }
+  return records;
+}
+
+// Sorted member-id vectors, one per cluster: the order-independent
+// fingerprint of a consolidation result.
+std::vector<std::vector<int64_t>> PartitionOf(
+    const std::vector<dedup::CompositeEntity>& entities) {
+  std::vector<std::vector<int64_t>> part;
+  part.reserve(entities.size());
+  for (const auto& e : entities) {
+    std::vector<int64_t> members = e.member_record_ids;
+    std::sort(members.begin(), members.end());
+    part.push_back(std::move(members));
+  }
+  std::sort(part.begin(), part.end());
+  return part;
+}
+
+TEST(IngestStressTest, TwoIngestersFourReaders) {
+  // Text corpus gives the readers something real to query while the
+  // dedup stream lands.
+  datagen::WebTextGenOptions gen_opts;
+  gen_opts.num_fragments = 150;
+  datagen::WebTextGenerator gen(gen_opts);
+  textparse::Gazetteer gazetteer = gen.BuildGazetteer();
+
+  fusion::DataTamerOptions topts;
+  topts.consolidation_options.blocking.qgram_size = 2;
+  fusion::DataTamer tamer(topts);
+  tamer.SetGazetteer(&gazetteer);
+  for (const auto& frag : gen.Generate()) {
+    ASSERT_TRUE(
+        tamer.IngestTextFragment(frag.text, frag.feed, frag.timestamp).ok());
+  }
+  ASSERT_TRUE(tamer.CreateStandardIndexes().ok());
+
+  auto records = StressRecords();
+  const int64_t total_records = static_cast<int64_t>(records.size());
+
+  ServerOptions sopts;
+  sopts.num_workers = 3;
+  DtServer server(&tamer, sopts);  // read-write: kIngest allowed
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int64_t> ingest_failures{0};
+  std::atomic<int64_t> acked_records{0};
+  std::atomic<int64_t> reader_failures{0};
+  std::atomic<int64_t> reads_ok{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kIngesters; ++w) {
+    threads.emplace_back([&, w] {
+      auto cli = DtClient::Connect("127.0.0.1", port);
+      if (!cli.ok()) {
+        ingest_failures.fetch_add(kBatchesPerIngester);
+        return;
+      }
+      for (int b = 0; b < kBatchesPerIngester; ++b) {
+        QueryRequest req;
+        req.op = QueryOp::kIngest;
+        const int base = (w * kBatchesPerIngester + b) * kRecordsPerBatch;
+        req.ingest_records.assign(records.begin() + base,
+                                  records.begin() + base + kRecordsPerBatch);
+        auto resp = (*cli)->Call(req);
+        if (!resp.ok() || resp->ingested != kRecordsPerBatch) {
+          ingest_failures.fetch_add(1);
+          continue;
+        }
+        acked_records.fetch_add(resp->ingested);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      auto cli = DtClient::Connect("127.0.0.1", port);
+      if (!cli.ok()) {
+        reader_failures.fetch_add(1);
+        return;
+      }
+      int iter = 0;
+      // Keep reading until the writers are done (plus one closing
+      // round), alternating a predicate find and an aggregation.
+      while (true) {
+        const bool closing = ingest_done.load();
+        QueryRequest req;
+        if ((iter + r) % 2 == 0) {
+          req.op = QueryOp::kFind;
+          req.collection = "entity";
+          req.predicate = query::Predicate::Eq("type", DocValue::Str("Movie"));
+          req.order_by = "name";
+        } else {
+          req.op = QueryOp::kCount;
+          req.collection = "entity";
+          req.group_path = "type";
+        }
+        auto resp = (*cli)->Call(req);
+        if (!resp.ok()) {
+          // Admission-control pushback is a legal answer under
+          // overload; anything else is a bug.
+          if (!resp.status().IsUnavailable()) reader_failures.fetch_add(1);
+        } else if ((req.op == QueryOp::kFind && !resp->ids.empty()) ||
+                   (req.op == QueryOp::kCount && !resp->groups.empty())) {
+          reads_ok.fetch_add(1);
+        } else {
+          reader_failures.fetch_add(1);
+        }
+        ++iter;
+        if (closing) break;
+      }
+    });
+  }
+
+  for (int w = 0; w < kIngesters; ++w) threads[w].join();
+  ingest_done.store(true);
+  for (size_t t = kIngesters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(ingest_failures.load(), 0);
+  EXPECT_EQ(reader_failures.load(), 0);
+  EXPECT_EQ(acked_records.load(), total_records);
+  EXPECT_GE(reads_ok.load(), kReaders);  // every reader really read
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ingest_requests,
+            static_cast<uint64_t>(kIngesters * kBatchesPerIngester));
+  EXPECT_EQ(stats.ingest_records, static_cast<uint64_t>(total_records));
+  EXPECT_GT(stats.ingest_clusters_upserted, 0u);
+  EXPECT_GE(stats.requests_executed,
+            stats.ingest_requests + static_cast<uint64_t>(reads_ok.load()));
+  server.Stop();
+
+  // Whatever interleaving the scheduler produced, the final cluster
+  // partition equals the batch oracle's over the same records.
+  EXPECT_EQ(tamer.ingest_stats().records_ingested, total_records);
+  auto streamed = tamer.IngestedEntities();
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  auto batch = dedup::Consolidate(records, topts.consolidation_options);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(PartitionOf(*streamed), PartitionOf(*batch));
+}
+
+}  // namespace
+}  // namespace dt::server
